@@ -1,0 +1,22 @@
+"""Shared benchmark configuration.
+
+Every benchmark both *times* a piece of the system (via the ``benchmark``
+fixture, so ``--benchmark-only`` runs the full suite) and *validates* the
+shape the paper reports, printing the regenerated table for EXPERIMENTS.md.
+"""
+
+import pytest
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run *fn* exactly once under the benchmark clock and return its result.
+
+    Error sweeps are deterministic given seeds and far too slow to repeat;
+    one timed round records their cost without distorting the suite runtime.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def run_once():
+    return once

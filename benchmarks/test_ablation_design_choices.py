@@ -1,0 +1,80 @@
+"""Ablations for design choices the paper calls out.
+
+- local full sort vs local-max selection (Section VI-C: sorting "can in
+  principle be replaced by a cheaper operation such as a local maximum"),
+- max-weight vs weighted-mean global estimate (Section IV: "what is a good
+  function ... depends on the application"),
+- exchange-graph connectivity between ring (2) and torus (4) via a random
+  3-regular graph (networkx),
+- best-t vs weight-sampled exchange selection (Algorithm 2, line 11).
+"""
+
+import numpy as np
+
+from repro.bench import format_table
+from repro.bench.harness import sweep_error
+from repro.core import DistributedFilterConfig
+from repro.topology import GraphTopology
+
+
+def _cfg(**kw):
+    base = dict(n_particles=32, n_filters=16, estimator="weighted_mean")
+    base.update(kw)
+    return DistributedFilterConfig(**base)
+
+
+def test_selection_sort_vs_max(benchmark, run_once):
+    def sweep():
+        return {
+            "sort": sweep_error(_cfg(selection="sort"), n_runs=3, n_steps=60),
+            "max": sweep_error(_cfg(selection="max"), n_runs=3, n_steps=60),
+        }
+
+    errs = run_once(benchmark, sweep)
+    print("\n== Ablation: local sort vs local max selection ==", errs)
+    # With t=1 the local max carries the same information as the sort; the
+    # accuracies must be in the same class.
+    assert errs["max"] < 1.5 * errs["sort"] + 0.05
+
+
+def test_estimator_choice(benchmark, run_once):
+    def sweep():
+        return {
+            "max_weight": sweep_error(_cfg(estimator="max_weight"), n_runs=3, n_steps=60),
+            "weighted_mean": sweep_error(_cfg(estimator="weighted_mean"), n_runs=3, n_steps=60),
+        }
+
+    errs = run_once(benchmark, sweep)
+    print("\n== Ablation: global estimator ==", errs)
+    # The MMSE (weighted-mean) estimate is at least as good as the paper's
+    # max-weight particle; both must track.
+    assert errs["weighted_mean"] <= errs["max_weight"] * 1.1 + 0.02
+    assert errs["max_weight"] < 1.0
+
+
+def test_intermediate_connectivity_graph(benchmark, run_once):
+    def sweep():
+        ring = sweep_error(_cfg(topology="ring"), n_runs=3, n_steps=60)
+        reg3 = sweep_error(
+            _cfg(topology=GraphTopology.random_regular(3, 16, seed=1)), n_runs=3, n_steps=60
+        )
+        torus = sweep_error(_cfg(topology="torus"), n_runs=3, n_steps=60)
+        return {"ring(2)": ring, "regular(3)": reg3, "torus(4)": torus}
+
+    errs = run_once(benchmark, sweep)
+    print("\n== Ablation: exchange-graph connectivity ==", errs)
+    # All three connected low-degree schemes land in one accuracy class.
+    vals = list(errs.values())
+    assert max(vals) < 2.0 * min(vals) + 0.05
+
+
+def test_exchange_selection_mode(benchmark, run_once):
+    def sweep():
+        return {
+            "best": sweep_error(_cfg(exchange_select="best"), n_runs=3, n_steps=60),
+            "sample": sweep_error(_cfg(exchange_select="sample"), n_runs=3, n_steps=60),
+        }
+
+    errs = run_once(benchmark, sweep)
+    print("\n== Ablation: exchange selection (best-t vs weight-sampled) ==", errs)
+    assert errs["sample"] < 2.0 * errs["best"] + 0.05

@@ -1,0 +1,59 @@
+"""Fig. 3: achieved particle-filter update rate vs number of particles.
+
+Times one vectorized filtering round on the host (the directly measurable
+quantity) and regenerates the full cross-platform table from the cost model,
+validating the paper's ordering claims.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import format_table, run_fig3
+from repro.bench.harness import arm_truth
+from repro.core import DistributedFilterConfig, DistributedParticleFilter
+from repro.models import RobotArmModel
+
+
+@pytest.mark.parametrize("total", [4096, 32768])
+def test_fig3_host_step_rate(benchmark, total):
+    """Wall-clock cost of one distributed filtering round on this host."""
+    model = RobotArmModel()
+    cfg = DistributedFilterConfig(n_particles=64, n_filters=total // 64, seed=0)
+    pf = DistributedParticleFilter(model, cfg)
+    truth = arm_truth(3, seed=5, model=model)
+    pf.initialize()
+    pf.step(truth.measurements[0], truth.controls[0])
+
+    k = [1]
+
+    def one_round():
+        pf.step(truth.measurements[k[0] % 3], truth.controls[k[0] % 3])
+        k[0] += 1
+
+    benchmark(one_round)
+    assert pf.k > 1
+
+
+def test_fig3_platform_table(benchmark, run_once):
+    rows = run_once(benchmark, run_fig3, [1 << k for k in range(10, 23, 2)], None, False)
+    print("\n== Fig 3: update rate (Hz) vs total particles ==")
+    print(format_table(rows))
+
+    at = {r["total_particles"]: r for r in rows}
+    one_m = at[1 << 20]
+    # "a few hundred state estimations per second with one million particles"
+    assert 100 <= one_m["gtx-580"] <= 1000
+    assert 100 <= one_m["hd-7970"] <= 1000
+    # Dual CPU several times the sequential centralized reference.
+    assert 3.0 < one_m["2x-e5-2650"] / one_m["seq_centralized"] < 12.0
+    # High-end GPU clearly ahead of the dual CPU at large populations.
+    assert one_m["hd-7970"] > 3 * one_m["2x-e5-2650"]
+    # Radeons behind at the smallest size, HD 7970 winning at the largest.
+    small, large = at[1 << 10], at[1 << 22]
+    assert small["hd-6970"] < small["gtx-580"]
+    gpu_cols = ["gtx-580", "gtx-680", "hd-6970", "hd-7970"]
+    assert max(gpu_cols, key=lambda c: large[c]) == "hd-7970"
+    # Monotone decrease with population size on every platform.
+    for col in gpu_cols + ["i7-2820qm", "2x-e5-2650", "seq_centralized"]:
+        series = [r[col] for r in rows]
+        assert all(a > b for a, b in zip(series, series[1:]))

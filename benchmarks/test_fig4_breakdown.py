@@ -1,0 +1,49 @@
+"""Fig. 4: per-kernel runtime breakdown under three scaling directions."""
+
+from repro.bench import format_table, measured_breakdown, run_fig4a, run_fig4b, run_fig4c
+
+
+def test_fig4a_particles_per_subfilter(benchmark, run_once):
+    rows = run_once(benchmark, run_fig4a)
+    print("\n== Fig 4a: breakdown vs particles per sub-filter (GTX 580) ==")
+    print(format_table(rows))
+    first, last = rows[0], rows[-1]
+    # Compute-heavy sorting and resampling stages grow to dominate...
+    assert last["sort"] + last["resample"] > first["sort"] + first["resample"]
+    # ...at the cost of the non-local stages.
+    assert last["estimate"] + last["exchange"] < first["estimate"] + first["exchange"]
+
+
+def test_fig4b_number_of_subfilters(benchmark, run_once):
+    rows = run_once(benchmark, run_fig4b)
+    print("\n== Fig 4b: breakdown vs number of sub-filters (GTX 580) ==")
+    print(format_table(rows))
+    last, prev = rows[-1], rows[-2]
+    # Changes settle down approaching 8K sub-filters...
+    for k in ("rand", "sampling", "sort", "estimate", "exchange", "resample"):
+        assert abs(last[k] - prev[k]) < 0.02
+    # ...with execution time rising linearly once the device is saturated.
+    assert 1.8 < last["total_ms"] / prev["total_ms"] < 2.2
+    # Local sort is the largest local stage at scale.
+    assert last["sort"] >= max(last["estimate"], last["exchange"])
+
+
+def test_fig4c_state_dimensions(benchmark, run_once):
+    rows = run_once(benchmark, run_fig4c)
+    print("\n== Fig 4c: breakdown vs state dimensions (GTX 580) ==")
+    print(format_table(rows))
+    first, last = rows[0], rows[-1]
+    # Sampling (with weight calculation) grows to dominate the runtime as the
+    # model becomes the determining factor.
+    assert last["sampling"] > first["sampling"]
+    assert last["sampling"] > 0.55
+    assert last["sort"] < first["sort"] and last["resample"] < first["resample"]
+
+
+def test_fig4_measured_host_breakdown(benchmark, run_once):
+    fractions = run_once(benchmark, measured_breakdown)
+    print("\n== Fig 4 (measured on host, vectorized backend) ==")
+    print({k: round(v, 3) for k, v in fractions.items()})
+    assert abs(sum(fractions.values()) - 1.0) < 1e-6
+    # Sampling + rand (the model work) must be a visible share on the host too.
+    assert fractions["sampling"] + fractions["rand"] > 0.2

@@ -1,0 +1,34 @@
+"""Fig. 6: estimation error across exchange schemes and network sizes."""
+
+import numpy as np
+
+from repro.bench import format_table, run_fig6
+
+
+def test_fig6_exchange_schemes(benchmark, run_once):
+    rows = run_once(
+        benchmark,
+        run_fig6,
+    )
+    print("\n== Fig 6: estimation error by exchange scheme ==")
+    print(format_table(rows))
+
+    by = {(r["particles_per_filter"], r["n_filters"]): r for r in rows}
+
+    # All-to-All delivers the worst estimates at scale (diversity collapse):
+    # at the largest network size it must lose to Ring for every m.
+    n_max = max(r["n_filters"] for r in rows)
+    for m in sorted({r["particles_per_filter"] for r in rows}):
+        r = by[(m, n_max)]
+        assert r["all-to-all"] > r["ring"], f"m={m}: all-to-all should be worst at N={n_max}"
+
+    # A low particle count can be compensated by adding more sub-filters:
+    # for the smallest m, error decreases with N under Ring.
+    m_min = min(r["particles_per_filter"] for r in rows)
+    ns = sorted({r["n_filters"] for r in rows})
+    ring_series = [by[(m_min, n)]["ring"] for n in ns]
+    assert ring_series[-1] < ring_series[0]
+
+    # Small-m many-filters reaches the accuracy class of large-m few-filters.
+    m_max = max(r["particles_per_filter"] for r in rows)
+    assert by[(m_min, n_max)]["ring"] < 2.0 * by[(m_max, ns[0])]["ring"] + 0.05

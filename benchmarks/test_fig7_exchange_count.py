@@ -1,0 +1,24 @@
+"""Fig. 7: estimation error vs number of exchanged particles (t = 0, 1, 2)."""
+
+import numpy as np
+
+from repro.bench import format_table, run_fig7
+
+
+def test_fig7_exchange_count(benchmark, run_once):
+    rows = run_once(benchmark, run_fig7)
+    print("\n== Fig 7: estimation error vs particles per exchange ==")
+    print(format_table(rows))
+
+    # "the benefit of particle exchange is evident": t=1 beats t=0 in the
+    # clear majority of configurations (single-run Monte Carlo noise makes a
+    # strict per-cell ordering too brittle)...
+    wins = sum(r["t=1"] < r["t=0"] for r in rows)
+    assert wins >= (2 * len(rows)) // 3, f"t=1 only beat t=0 in {wins}/{len(rows)} configs"
+    # ...and medians across configurations agree.
+    med_t0 = np.median([r["t=0"] for r in rows])
+    med_t1 = np.median([r["t=1"] for r in rows])
+    med_t2 = np.median([r["t=2"] for r in rows])
+    assert med_t1 < med_t0
+    # Exchanging more than one particle offers at most a minor improvement.
+    assert abs(med_t2 - med_t1) < 0.75 * (med_t0 - med_t1) + 0.02

@@ -1,0 +1,24 @@
+"""Fig. 8: lemniscate ground truth; high-particle filter converges, the
+low-particle filter does not."""
+
+import numpy as np
+
+from repro.bench import run_fig8
+
+
+def test_fig8_convergence(benchmark, run_once):
+    result = run_once(benchmark, run_fig8)
+    print("\n== Fig 8: lemniscate convergence ==")
+    print(f"high-particle filter converged at step: {result['high_converged_at']}")
+    print(f"low-particle filter converged at step:  {result['low_converged_at']}")
+    print(f"high final error: {result['high_errors'][-20:].mean():.3f} m")
+    print(f"low final error:  {result['low_errors'][-20:].mean():.3f} m")
+
+    assert result["ground_truth"].shape[1] == 2
+    # The high-particle estimation converges to the known path...
+    assert result["high_converged_at"] is not None
+    assert result["high_errors"][-20:].mean() < 0.25
+    # ...the low-particle estimation is not enough (stays off or converges
+    # far later and worse).
+    low, high = result["low_errors"][-20:].mean(), result["high_errors"][-20:].mean()
+    assert low > 1.5 * high

@@ -1,0 +1,26 @@
+"""Fig. 9: distributed vs centralized estimation error at equal totals."""
+
+import numpy as np
+
+from repro.bench import format_table, run_fig9
+
+
+def test_fig9_distributed_overhead(benchmark, run_once):
+    rows = run_once(benchmark, run_fig9)
+    print("\n== Fig 9: distributed vs centralized error (equal totals) ==")
+    print(format_table(rows))
+
+    for row in rows:
+        dist_cols = [k for k in row if k.startswith("distributed_")]
+        best_dist = min(row[k] for k in dist_cols)
+        # "for all filter sizes, distributed configurations exist which
+        # perform similarly to (or even outperform) their centralized
+        # counterparts."
+        assert best_dist < 1.4 * row["centralized"] + 0.03
+
+    # Very small sub-filters at the smallest total degrade accuracy relative
+    # to the best configuration (the paper's warning case) — check the trend
+    # on the largest total where m=4 gives N big enough to matter.
+    last = rows[-1]
+    if "distributed_m=4" in last and "distributed_m=64" in last:
+        assert last["distributed_m=4"] >= 0.8 * last["distributed_m=64"] - 0.02

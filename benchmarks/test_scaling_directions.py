@@ -1,0 +1,58 @@
+"""Section IX future-work directions, implemented and benchmarked:
+scaling *down* to embedded SoCs and *up* to clusters."""
+
+from repro.bench import format_table
+from repro.device import filter_round_cost, get_platform
+from repro.device.scaling import EMBEDDED_PLATFORMS, ClusterSpec, cluster_round_cost, cluster_speedup
+
+
+def test_embedded_scaling_down(benchmark, run_once):
+    def sweep():
+        rows = []
+        for key, dev in EMBEDDED_PLATFORMS.items():
+            for total, dim in ((4096, 6), (65536, 9), (1 << 20, 9)):
+                m = 128 if dev.device_type == "gpu" else 32
+                c = filter_round_cost(dev, m, max(total // m, 1), dim)
+                rows.append({"platform": key, "total": total, "state_dim": dim, "hz": c.update_rate_hz})
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print("\n== Scaling down: embedded platforms (model) ==")
+    print(format_table(rows))
+    by = {(r["platform"], r["total"]): r["hz"] for r in rows}
+    # Small estimation problems reach usable real-time rates on the SoC GPU...
+    assert by[("embedded-soc-gpu", 4096)] > 100
+    # ...but the paper's 1M-particle setup is out of reach down there.
+    assert by[("embedded-soc-gpu", 1 << 20)] < 30
+
+
+def test_cluster_scaling_up(benchmark, run_once):
+    def sweep():
+        node = get_platform("gtx-580")
+        rows = []
+        for n_nodes in (1, 2, 4, 8, 16):
+            cl = ClusterSpec(node=node, n_nodes=n_nodes)
+            for scheme in ("ring", "all-to-all"):
+                c = cluster_round_cost(cl, 512, 4096, 9, scheme=scheme)
+                rows.append(
+                    {
+                        "nodes": n_nodes,
+                        "scheme": scheme,
+                        "hz": c.update_rate_hz,
+                        "network_ms": c.seconds["network"] * 1e3,
+                        "speedup": cluster_speedup(cl, 512, 4096, 9, scheme=scheme),
+                    }
+                )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print("\n== Scaling up: GTX 580 cluster, 2M particles (model) ==")
+    print(format_table(rows))
+    ring = {r["nodes"]: r["speedup"] for r in rows if r["scheme"] == "ring"}
+    a2a = {r["nodes"]: r["speedup"] for r in rows if r["scheme"] == "all-to-all"}
+    # The ring's constant per-node cut gives near-linear scaling...
+    assert ring[8] > 6.0 and ring[16] > 10.0
+    # ...while All-to-All's global pool scales strictly worse.
+    assert a2a[16] < ring[16]
+    # Speedup is monotone for the ring across this range.
+    assert ring[2] < ring[4] < ring[8] < ring[16]

@@ -1,0 +1,20 @@
+"""Table II: default filter/model parameters (regenerated and validated)."""
+
+from repro.bench import format_table, table2_rows
+
+
+def test_table2_defaults(benchmark, run_once):
+    rows = run_once(benchmark, table2_rows)
+    print("\n== Table II: default filter and model parameters ==")
+    print(format_table(rows))
+    as_map = {r["parameter"]: r["value"] for r in rows}
+    assert as_map["particles per sub-filter (GPU)"] == 512
+    assert as_map["particles per sub-filter (CPU)"] == 64
+    assert as_map["number of sub-filters"] == 1024
+    assert as_map["exchange scheme"] == "ring"
+    assert as_map["particles per exchange"] == 1
+    assert as_map["number of joints"] == 5
+    assert as_map["state dimension (#joints + 4)"] == 9
+    assert as_map["arm length (meter)"] == 1.0
+    for key in ("sigma theta (process, rad)", "sigma camera (m)", "sigma x/y (m)", "sigma vx/vy (m/s)"):
+        assert as_map[key] == 0.1

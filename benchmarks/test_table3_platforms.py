@@ -1,0 +1,31 @@
+"""Table III: the six hardware platforms, plus the OpenCL-vs-CUDA check."""
+
+from repro.bench import format_table, table3_rows
+from repro.device import filter_round_cost, get_platform
+
+
+def test_table3_platforms(benchmark, run_once):
+    rows = run_once(benchmark, table3_rows)
+    print("\n== Table III: hardware platforms ==")
+    print(format_table(rows))
+    assert len(rows) == 6
+    by_key = {r["key"]: r for r in rows}
+    assert by_key["gtx-580"]["cores_SMs_CUs"] == 16
+    assert by_key["2x-e5-2650"]["type"] == "cpu"
+    assert by_key["hd-7970"]["SP_GFLOPs"] == 3789.0
+    # Dual-CPU TDP comparable to one GPU (the paper's pairing rationale).
+    assert abs(by_key["2x-e5-2650"]["TDP_W"] - by_key["gtx-580"]["TDP_W"]) < 60
+
+
+def test_opencl_within_5pct_of_cuda(benchmark):
+    # Section VII-C: "our OpenCL code on the GTX 580 is at most 5% slower
+    # than with CUDA" — modelled as a runtime-overhead factor.
+    dev = get_platform("gtx-580")
+
+    def both():
+        cuda = filter_round_cost(dev, 512, 1024, 9).total_seconds
+        opencl = filter_round_cost(dev.with_(runtime_overhead=1.05), 512, 1024, 9).total_seconds
+        return cuda, opencl
+
+    cuda, opencl = benchmark(both)
+    assert 1.0 < opencl / cuda <= 1.05 + 1e-9

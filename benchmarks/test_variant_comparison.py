@@ -1,0 +1,58 @@
+"""Related-work algorithm comparison: GDPF / LDPF / CDPF / RNA / RPA vs the
+paper's exchange-based distributed filter, at equal particle totals.
+
+Related work found LDPF both accurate and fast [10], RNA the best-scaling
+non-Gaussian variant [13], RPA more accurate than RNA [11]; the paper's
+contribution is matching the accuracy of globally-coordinated schemes while
+keeping every operation local. This bench puts all of them side by side.
+"""
+
+import numpy as np
+
+from repro.baselines import (
+    CompressedDistributedPF,
+    GlobalDistributedPF,
+    LocalDistributedPF,
+    RNAExchangePF,
+    RPAProportionalPF,
+)
+from repro.bench import format_table
+from repro.bench.harness import arm_truth
+from repro.core import DistributedFilterConfig, DistributedParticleFilter, run_filter
+from repro.models import RobotArmModel
+
+
+def test_variant_accuracy_comparison(benchmark, run_once):
+    def sweep():
+        model = RobotArmModel()
+        cfg = DistributedFilterConfig(n_particles=32, n_filters=32, estimator="weighted_mean")
+        variants = {
+            "esthera (ring, t=1)": lambda s: DistributedParticleFilter(model, cfg.with_(seed=s, topology="ring", n_exchange=1)),
+            "gdpf (global resample)": lambda s: GlobalDistributedPF(model, cfg.with_(seed=s)),
+            "ldpf (isolated)": lambda s: LocalDistributedPF(model, cfg.with_(seed=s)),
+            "cdpf (compressed)": lambda s: CompressedDistributedPF(model, cfg.with_(seed=s), compress=4),
+            "rna (post-exchange)": lambda s: RNAExchangePF(model, cfg.with_(seed=s, topology="ring", n_exchange=1)),
+            "rpa (proportional)": lambda s: RPAProportionalPF(model, cfg.with_(seed=s)),
+        }
+        rows = []
+        for name, make in variants.items():
+            errs = []
+            for r in range(4):
+                truth = arm_truth(60, seed=3000 + r, model=model)
+                errs.append(run_filter(make(r), model, truth).mean_error(warmup=20))
+            rows.append({"variant": name, "object_error_m": float(np.mean(errs))})
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print("\n== Related-work variant comparison (equal totals, 1024 particles) ==")
+    print(format_table(rows))
+    by = {r["variant"]: r["object_error_m"] for r in rows}
+    ours = by["esthera (ring, t=1)"]
+    # The paper's claim: fully local exchange matches globally-coordinated
+    # resampling in accuracy (GDPF/RPA are the coordination-heavy references).
+    assert ours < 1.35 * by["gdpf (global resample)"] + 0.02
+    assert ours < 1.35 * by["rpa (proportional)"] + 0.02
+    # And it should not lose to the no-communication LDPF.
+    assert ours < by["ldpf (isolated)"] * 1.1 + 0.02
+    # Everything stays bounded (no variant diverges at this budget).
+    assert all(v < 1.0 for v in by.values())

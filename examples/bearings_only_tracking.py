@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""A different estimation problem: bearings-only target tracking.
+
+The paper's framework "separates generic particle filtering from
+model-specific routines [so] new dynamical system models can be easily
+added". This example plugs in a four-state bearings-only tracking model (the
+size class the paper quotes kHz rates for) and compares the distributed
+particle filter against the parametric baselines.
+
+Run:  python examples/bearings_only_tracking.py
+"""
+
+import numpy as np
+
+from repro.baselines import ExtendedKalmanFilter, GaussianParticleFilter, UnscentedKalmanFilter
+from repro.bench import format_table
+from repro.core import DistributedFilterConfig, DistributedParticleFilter, run_filter
+from repro.models import BearingsOnlyModel
+from repro.prng import make_rng
+
+
+def main() -> None:
+    model = BearingsOnlyModel()
+    truth = model.simulate(120, make_rng("numpy", seed=5))
+
+    def ekf():
+        Q = np.diag([model.sigma_pos**2] * 2 + [model.sigma_vel**2] * 2)
+        R = np.eye(model.measurement_dim) * model.sigma_bearing**2
+
+        def f(x, u, k):
+            out = np.asarray(x, dtype=np.float64).copy()
+            out[:2] += model.h_s * x[2:]
+            return out
+
+        def h(x):
+            return model._bearings(np.asarray(x))
+
+        x0_cov = np.eye(4) * model.x0_spread**2
+        return ExtendedKalmanFilter(f=f, h=h, Q=Q, R=R, x0_mean=model.x0_mean, x0_cov=x0_cov)
+
+    def ukf():
+        e = ekf()
+        return UnscentedKalmanFilter(f=e.f, h=e.h, Q=e.Q, R=e.R, x0_mean=e.x0_mean, x0_cov=e.x0_cov)
+
+    filters = {
+        "distributed_pf": DistributedParticleFilter(
+            model,
+            DistributedFilterConfig(n_particles=64, n_filters=32, estimator="weighted_mean", seed=1),
+        ),
+        "gaussian_pf": GaussianParticleFilter(model, n_particles=2048, seed=1),
+        "ekf": ekf(),
+        "ukf": ukf(),
+    }
+
+    rows = []
+    for name, flt in filters.items():
+        run = run_filter(flt, model, truth)
+        rows.append(
+            {
+                "filter": name,
+                "position_error_m": run.mean_error(warmup=30),
+                "update_rate_hz": run.update_rate_hz,
+            }
+        )
+    print("== Bearings-only tracking (4-state model, 2 angle sensors) ==")
+    print(format_table(rows))
+    print(
+        "\nAngle-only measurements are non-linear but close to unimodal here,\n"
+        "so the parametric filters stay competitive - the regime the paper\n"
+        "describes as suited to Kalman-family filters, while the robotic-arm\n"
+        "camera model needs the particle filter."
+    )
+
+
+if __name__ == "__main__":
+    main()

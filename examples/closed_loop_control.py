@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Closed-loop control: the filter's estimate drives the arm.
+
+The companion work the paper cites ([30], IEEE TCST) closes the loop on a
+real robotic arm. Here the simulated arm is steered by a pointing controller
+that only sees the particle filter's estimate; we compare how well the camera
+keeps the moving object in view against the open-loop sweep, and show how
+estimation quality (particle budget) feeds through to control quality.
+
+Run:  python examples/closed_loop_control.py
+"""
+
+from repro.bench import format_table
+from repro.control import PointingController, run_closed_loop
+from repro.core import DistributedFilterConfig, DistributedParticleFilter
+from repro.models import RobotArmModel, lemniscate
+from repro.prng import make_rng
+
+
+def main() -> None:
+    model = RobotArmModel()
+    pos, vel = lemniscate(160, h_s=model.params.h_s, center=(0.8, 0.0), scale=0.5)
+
+    def pf(total_budget: int):
+        m = max(total_budget // 32, 2)
+        return DistributedParticleFilter(
+            model,
+            DistributedFilterConfig(n_particles=m, n_filters=32, estimator="weighted_mean", seed=2),
+        )
+
+    rows = []
+    open_loop = run_closed_loop(model, pf(2048), pos, vel, make_rng("numpy", 7), None)
+    rows.append(
+        {
+            "configuration": "open loop (sinusoid sweep)",
+            "pointing_error_m": open_loop.mean_pointing_error(warmup=40),
+            "estimation_error_m": open_loop.mean_estimation_error(warmup=40),
+        }
+    )
+    for budget in (128, 512, 2048):
+        res = run_closed_loop(
+            model, pf(budget), pos, vel, make_rng("numpy", 7), PointingController(model)
+        )
+        rows.append(
+            {
+                "configuration": f"closed loop, {budget} particles",
+                "pointing_error_m": res.mean_pointing_error(warmup=40),
+                "estimation_error_m": res.mean_estimation_error(warmup=40),
+            }
+        )
+    print("== Closed-loop pointing: keep the object on the camera axis ==")
+    print(format_table(rows))
+    print(
+        "\nClosing the loop on the estimate keeps the object near the optical\n"
+        "axis; more particles -> better estimates -> better control. This is\n"
+        "why the paper pushes update *rate*: in a control loop the filter\n"
+        "must deliver an estimate every sampling period, on time."
+    )
+
+
+if __name__ == "__main__":
+    main()

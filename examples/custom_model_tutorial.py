@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Tutorial: plugging your own dynamical system into the framework.
+
+The paper: "Our application separates generic particle filtering from
+model-specific routines. New dynamical system models can be easily added."
+This walkthrough adds a model the library does not ship — a noisy pendulum
+observed only through the horizontal position of its bob — and runs the full
+distributed machinery on it, untouched.
+
+A model implements six methods; everything else (sub-filters, exchange,
+resampling, estimators, diagnostics, platform projection) comes for free.
+
+Run:  python examples/custom_model_tutorial.py
+"""
+
+import numpy as np
+
+from repro.backends import DeviceSimulatedFilter
+from repro.core import DistributedFilterConfig, DistributedParticleFilter, run_filter
+from repro.models.base import StateSpaceModel
+from repro.prng import make_rng
+
+
+class PendulumModel(StateSpaceModel):
+    """A damped pendulum: state (angle, angular velocity).
+
+    Measurement: the bob's horizontal position ``L sin(angle)`` — nonlinear,
+    and sign-ambiguous near the top, so the posterior can be bimodal.
+    """
+
+    # 1) Declare the dimensions.
+    state_dim = 2
+    measurement_dim = 1
+    control_dim = 0
+
+    def __init__(self, length=1.0, damping=0.1, h_s=0.05, sigma_q=0.05, sigma_r=0.02):
+        self.g_over_l = 9.81 / length
+        self.length = length
+        self.damping = damping
+        self.h_s = h_s
+        self.sigma_q = sigma_q
+        self.sigma_r = sigma_r
+
+    # 2) The prior over initial states (vectorized over n particles).
+    def initial_particles(self, n, rng, dtype=np.float64):
+        z = rng.normal((n, 2), dtype=np.float64)
+        return (np.array([1.2, 0.0]) + np.array([0.5, 0.5]) * z).astype(dtype, copy=False)
+
+    # 3) The transition kernel p(x_k | x_{k-1}) — note the batch shape
+    #    (..., 2): one call advances every particle of every sub-filter.
+    def transition(self, states, control, k, rng):
+        states = np.asarray(states)
+        theta, omega = states[..., 0], states[..., 1]
+        noise = rng.normal(states.shape, dtype=np.float64).astype(states.dtype, copy=False)
+        omega_new = omega + self.h_s * (-self.g_over_l * np.sin(theta) - self.damping * omega)
+        theta_new = theta + self.h_s * omega_new
+        out = np.stack([theta_new, omega_new], axis=-1)
+        return out + self.sigma_q * noise * np.sqrt(self.h_s)
+
+    # 4) The measurement log-density log p(z_k | x_k), per particle.
+    def log_likelihood(self, states, measurement, k):
+        z_hat = self.length * np.sin(np.asarray(states)[..., 0])
+        d = (z_hat - float(np.asarray(measurement).reshape(()))) / self.sigma_r
+        return -0.5 * d * d
+
+    # 5) + 6) Ground-truth simulation hooks.
+    def initial_state(self, rng):
+        return np.array([1.2, 0.0])
+
+    def observe(self, state, k, rng):
+        z = self.length * np.sin(np.asarray(state)[0])
+        return np.array([z]) + self.sigma_r * rng.normal((1,))
+
+
+def main() -> None:
+    model = PendulumModel()
+    truth = model.simulate(150, make_rng("numpy", seed=0))
+
+    # The generic machinery, completely unchanged:
+    cfg = DistributedFilterConfig(
+        n_particles=32, n_filters=32, topology="ring", estimator="weighted_mean", seed=1
+    )
+    pf = DistributedParticleFilter(model, cfg)
+    run = run_filter(pf, model, truth)
+    angle_err = np.abs(run.estimates[:, 0] - truth.states[:, 0])
+    print(f"pendulum angle error: {angle_err[30:].mean():.4f} rad "
+          f"(measurement noise corresponds to ~{model.sigma_r / model.length:.3f} rad)")
+    print(f"host update rate    : {run.update_rate_hz:.0f} Hz")
+
+    # Even the platform projection works on the new model (the cost model
+    # scales the sampling kernel by the state dimension):
+    sim = DeviceSimulatedFilter(DistributedParticleFilter(model, cfg), "gtx-580")
+    print(f"projected GTX 580   : {sim.simulated_update_rate_hz:.0f} Hz for this configuration")
+
+    assert angle_err[30:].mean() < 0.1, "tutorial model should track"
+    print("\nThat is the whole integration surface: six methods.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Exchange-scheme study: reproduce the paper's configuration rules of thumb.
+
+Sweeps the exchange scheme (All-to-All / Ring / 2D Torus) and the number of
+exchanged particles t over several network sizes, then prints the resulting
+accuracy tables and the derived guidance (Sections VII-D and IX).
+
+Run:  python examples/exchange_scheme_study.py        (takes ~a minute)
+"""
+
+from repro.bench import format_table, run_fig6, run_fig7
+
+
+def main() -> None:
+    print("== Estimation error by exchange scheme (lower is better) ==")
+    fig6 = run_fig6(particles_per_filter=(8, 32), n_filters=(4, 16, 64), n_runs=3)
+    print(format_table(fig6))
+
+    print("\n== Estimation error by particles-per-exchange t ==")
+    fig7 = run_fig7(particles_per_filter=(8, 32), n_filters=(8, 32), n_runs=3)
+    print(format_table(fig7))
+
+    print(
+        "\nRules of thumb (matching the paper's conclusions):\n"
+        " 1. All-to-All collapses particle diversity: the same best particles\n"
+        "    flood every sub-filter, so it delivers the worst estimates.\n"
+        " 2. Low connectivity (Ring) wins for small networks; the 2D Torus's\n"
+        "    extra links pay off once the network is large, spreading likely\n"
+        "    particles faster.\n"
+        " 3. Exchanging a single particle per neighbour pair captures nearly\n"
+        "    the whole benefit; t >= 2 is a minor improvement.\n"
+        " 4. Few particles per sub-filter can be compensated by adding more\n"
+        "    sub-filters - which is exactly the direction hardware is growing."
+    )
+
+
+if __name__ == "__main__":
+    main()

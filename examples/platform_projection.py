@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Project your filter configuration onto the paper's hardware (Table III).
+
+Runs the filter functionally on the host while the device cost model accounts
+simulated per-kernel time for each platform, reproducing the Fig. 3/4 views
+for a configuration you choose.
+
+Run:  python examples/platform_projection.py [total_particles]
+"""
+
+import sys
+
+from repro import DistributedFilterConfig, DistributedParticleFilter
+from repro.backends import DeviceSimulatedFilter
+from repro.bench import format_table
+from repro.bench.harness import arm_truth
+from repro.device import PLATFORMS
+from repro.models import RobotArmModel
+
+
+def main() -> None:
+    total = int(sys.argv[1]) if len(sys.argv) > 1 else 1 << 20
+    model = RobotArmModel()
+
+    rows = []
+    for key, dev in PLATFORMS.items():
+        m = 64 if dev.device_type == "cpu" else 512
+        cfg = DistributedFilterConfig(n_particles=m, n_filters=max(total // m, 1), seed=0)
+        sim = DeviceSimulatedFilter(DistributedParticleFilter(model, cfg), dev)
+        breakdown = sim.simulated_breakdown()
+        rows.append(
+            {
+                "platform": dev.name,
+                "m": m,
+                "N": cfg.n_filters,
+                "simulated_Hz": sim.simulated_update_rate_hz,
+                "sort_share": breakdown.get("sort", 0.0),
+                "sampling_share": breakdown.get("sampling", 0.0),
+                "resample_share": breakdown.get("resample", 0.0),
+            }
+        )
+    print(f"== Simulated update rates at {total} total particles (robot arm, dim 9) ==")
+    print(format_table(rows))
+
+    # Demonstrate the wrapper end to end on a small functional run.
+    cfg = DistributedFilterConfig(n_particles=32, n_filters=32, estimator="weighted_mean", seed=0)
+    sim = DeviceSimulatedFilter(DistributedParticleFilter(model, cfg), "gtx-580")
+    truth = arm_truth(30, seed=3, model=model)
+    sim.initialize()
+    for k in range(truth.n_steps):
+        sim.step(truth.measurements[k], truth.controls[k])
+    print(
+        f"\nFunctional run of {truth.n_steps} rounds ({cfg.total_particles} particles): "
+        f"simulated GTX 580 time {sim.simulated_seconds * 1e3:.2f} ms "
+        f"({sim.simulated_update_rate_hz:.0f} Hz/round)"
+    )
+
+
+if __name__ == "__main__":
+    main()

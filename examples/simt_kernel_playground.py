@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Run the device kernels on the SIMT simulator and inspect their hardware
+behaviour: barriers, divergence, local-memory bank conflicts, and the
+concurrency collapse of Vose's parallel alias-table construction.
+
+Run:  python examples/simt_kernel_playground.py
+"""
+
+import numpy as np
+
+from repro.device import WorkGroup
+from repro.kernels import (
+    alias_build_workgroup,
+    bitonic_network,
+    bitonic_sort_workgroup,
+    blelloch_scan_workgroup,
+    rws_workgroup,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    m = 256
+
+    print("== Bitonic sort of one sub-filter's weights (m = 256) ==")
+    wg = WorkGroup(m)
+    keys = wg.local_array(m)
+    keys[:] = rng.random(m)
+    bitonic_sort_workgroup(wg, keys, descending=True)
+    stats = wg.finalize()
+    print(f"  network stages / barriers : {len(bitonic_network(m))} / {stats.barriers}")
+    print(f"  divergent selects         : {stats.divergent_selects}")
+    print(f"  local access cycles       : {stats.local_access_cycles}")
+    assert np.all(np.diff(keys.data) <= 0), "sorted descending"
+
+    print("\n== Blelloch scan: bank conflicts with and without padding ==")
+    data = rng.random(512)
+    for avoid in (False, True):
+        wg = WorkGroup(256)
+        blelloch_scan_workgroup(wg, data, avoid_conflicts=avoid)
+        s = wg.finalize()
+        label = "padded (conflict-avoiding)" if avoid else "naive layout          "
+        print(f"  {label}: {s.local_access_cycles} access cycles, {s.local_conflicted} conflicted accesses")
+
+    print("\n== RWS kernel (scan + per-lane binary search) ==")
+    wg = WorkGroup(m)
+    idx = rws_workgroup(wg, rng.random(m) + 1e-6, rng.random(m))
+    s = wg.finalize()
+    print(f"  resampled indices in [{idx.min()}, {idx.max()}], barriers {s.barriers}")
+
+    print("\n== Vose alias build: concurrency per pairing round ==")
+    for label, w in (
+        ("balanced weights ", rng.random(m) + 0.5),
+        ("skewed weights   ", np.concatenate([[m / 2.0], np.full(m - 1, 1e-3)])),
+    ):
+        wg = WorkGroup(m)
+        _, _, trace = alias_build_workgroup(wg, w)
+        head = ", ".join(map(str, trace.concurrency[:8]))
+        tail = "..." if trace.rounds > 8 else ""
+        print(f"  {label}: {trace.rounds:4d} rounds, pairs/round = [{head}{tail}]"
+              f" -> final concurrency {trace.final_concurrency}")
+    print("\nThe skewed case shows the paper's observation: 'concurrency usually"
+          "\ndrops steeply towards one' — why Vose's is not faster on sub-filters.")
+
+
+if __name__ == "__main__":
+    main()

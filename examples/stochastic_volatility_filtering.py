@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Econometrics application: filtering stochastic volatility from returns.
+
+The paper's introduction motivates particle filters with econometrics
+(Flury & Shephard, reference [3]). Here the latent log-volatility of a
+simulated return series is recovered by the distributed particle filter —
+a measurement model (z ~ N(0, exp(x))) with no closed-form filter.
+
+Run:  python examples/stochastic_volatility_filtering.py
+"""
+
+import numpy as np
+
+from repro.bench import format_table
+from repro.core import (
+    CentralizedFilterConfig,
+    CentralizedParticleFilter,
+    DistributedFilterConfig,
+    DistributedParticleFilter,
+    run_filter,
+)
+from repro.models import StochasticVolatilityModel
+from repro.prng import make_rng
+
+
+def main() -> None:
+    model = StochasticVolatilityModel(mu=-1.0, phi=0.97, sigma=0.2)
+    truth = model.simulate(250, make_rng("numpy", seed=11))
+    returns = truth.measurements[:, 0]
+    print(f"simulated {truth.n_steps} daily returns; |r| range "
+          f"[{np.abs(returns).min():.4f}, {np.abs(returns).max():.4f}]")
+
+    rows = []
+    filters = {
+        "centralized (4096)": CentralizedParticleFilter(
+            model, CentralizedFilterConfig(n_particles=4096, estimator="weighted_mean", resampler="rws", seed=1)
+        ),
+        "distributed 64x64": DistributedParticleFilter(
+            model,
+            DistributedFilterConfig(n_particles=64, n_filters=64, estimator="weighted_mean", seed=1),
+        ),
+        "distributed 16x64 (tiny sub-filters)": DistributedParticleFilter(
+            model,
+            DistributedFilterConfig(n_particles=16, n_filters=64, estimator="weighted_mean", seed=1),
+        ),
+    }
+    for name, pf in filters.items():
+        run = run_filter(pf, model, truth)
+        corr = float(np.corrcoef(run.estimates[50:, 0], truth.states[50:, 0])[0, 1])
+        rows.append(
+            {
+                "filter": name,
+                "logvol_rmse": run.mean_error(warmup=50),
+                "corr_with_truth": corr,
+                "host_hz": run.update_rate_hz,
+            }
+        )
+    print(format_table(rows))
+    print(
+        "\nVolatility is only weakly identified per observation, so the error\n"
+        "floor is high — but the filtered log-volatility tracks the truth\n"
+        "(positive correlation), and the distributed network matches the\n"
+        "centralized filter at equal budget, as in the paper's Fig. 9."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Why particle filters: tracking through cluttered detections.
+
+The paper's introduction motivates PFs with visual tracking, where detectors
+fire on clutter. A Kalman filter treats every detection as Gaussian evidence
+and gets yanked off target by outliers; the particle filter's mixture
+likelihood simply down-weights them.
+
+Run:  python examples/tracking_in_clutter.py
+"""
+
+import numpy as np
+
+from repro.baselines import ExtendedKalmanFilter
+from repro.bench import format_table
+from repro.core import (
+    DistributedFilterConfig,
+    DistributedParticleFilter,
+    run_filter,
+)
+from repro.models import ClutterTrackingModel
+from repro.prng import make_rng
+
+
+def naive_kalman(m: ClutterTrackingModel) -> ExtendedKalmanFilter:
+    """A Kalman filter that (wrongly) trusts every detection."""
+    return ExtendedKalmanFilter(
+        f=lambda x, u, k: np.array([x[0] + m.h_s * x[2], x[1] + m.h_s * x[3], x[2], x[3]]),
+        h=lambda x: x[:2],
+        Q=np.diag([m.sigma_pos**2] * 2 + [m.sigma_vel**2] * 2),
+        R=np.eye(2) * m.sigma_meas**2,
+        x0_mean=m.x0_mean,
+        x0_cov=np.eye(4) * m.x0_spread**2,
+    )
+
+
+def main() -> None:
+    rows = []
+    for p_clutter in (0.0, 0.1, 0.25, 0.4):
+        m = ClutterTrackingModel(p_clutter=p_clutter)
+        truth = m.simulate(100, make_rng("numpy", seed=0))
+        pf = DistributedParticleFilter(
+            m, DistributedFilterConfig(n_particles=64, n_filters=32, estimator="weighted_mean", seed=1)
+        )
+        pf_err = run_filter(pf, m, truth).mean_error(warmup=20)
+        kf_err = run_filter(naive_kalman(m), m, truth).mean_error(warmup=20)
+        rows.append(
+            {
+                "clutter_rate": p_clutter,
+                "particle_filter_err": pf_err,
+                "kalman_err": kf_err,
+                "pf_advantage": kf_err / pf_err,
+            }
+        )
+    print("== Tracking error vs clutter rate (position error, m) ==")
+    print(format_table(rows))
+    print(
+        "\nWith clean detections the Kalman filter is optimal and the PF just\n"
+        "matches it. Every percent of clutter widens the gap: the PF's\n"
+        "heavy-tailed mixture likelihood treats outliers as outliers, which\n"
+        "no Gaussian filter can. This is the regime the paper's introduction\n"
+        "builds its case on."
+    )
+
+
+if __name__ == "__main__":
+    main()

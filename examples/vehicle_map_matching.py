@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Vehicle localization with map matching (the related-work [2] application).
+
+A vehicle drives a route through a Manhattan road grid; GPS fixes are noisy
+(sigma = 20 m, a whole lane-width scale). The particle filter fuses GPS with
+the road map as a prior — particles off the network die out — and the
+estimate snaps to the road even though the raw GPS does not.
+
+Run:  python examples/vehicle_map_matching.py
+"""
+
+import networkx as nx
+import numpy as np
+
+from repro.bench import format_table
+from repro.core import DistributedFilterConfig, DistributedParticleFilter, run_filter
+from repro.models import MapMatchingModel, grid_road_network, random_route
+from repro.prng import make_rng
+
+
+def main() -> None:
+    g = grid_road_network(4, spacing=100.0)
+    route = random_route(g, 10, seed=2)
+    start = np.array(nx.get_node_attributes(g, "pos")[route[0]])
+    print(f"road network: {g.number_of_nodes()} intersections, "
+          f"{g.number_of_edges()} segments; route through {len(route)} nodes")
+
+    rows = []
+    for label, sigma_road in (("GPS + road map", 5.0), ("GPS only", 1e6)):
+        model = MapMatchingModel(
+            g, sigma_gps=20.0, sigma_road=sigma_road,
+            x0_mean=np.array([start[0], start[1], 0.0, 0.0]),
+        )
+        truth = model.simulate_route(route, speed=10.0, n_steps=80, rng=make_rng("numpy", 0))
+        pf = DistributedParticleFilter(
+            model,
+            DistributedFilterConfig(n_particles=64, n_filters=32, estimator="weighted_mean", seed=1),
+        )
+        run = run_filter(pf, model, truth)
+        cross_track = float(np.mean([model.road_distance(e[:2]) for e in run.estimates[20:]]))
+        gps_cross = float(np.mean(model.road_distance(truth.measurements[20:])))
+        rows.append(
+            {
+                "configuration": label,
+                "position_error_m": run.mean_error(warmup=20),
+                "cross_track_m": cross_track,
+                "raw_gps_cross_track_m": gps_cross,
+            }
+        )
+    print(format_table(rows))
+    print(
+        "\nThe road prior cannot fix along-track ambiguity (any point on the\n"
+        "road ahead explains the GPS equally well), but it collapses the\n"
+        "cross-track error far below the raw GPS scatter: the filter knows\n"
+        "the vehicle is ON the road. This is the multi-modal, constraint-\n"
+        "shaped posterior that motivates particle filters for navigation."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Esthera-Py: distributed particle filters for many-core architectures.
+
+A from-scratch Python reproduction of Chitchian, van Amesfoort, Simonetto,
+Keviczky & Sips, "Adapting Particle Filter Algorithms to Many-Core
+Architectures" (IPPS 2013): a network of small sub-filters with local
+resampling and neighbour particle exchange, a robotic-arm tracking
+application, RWS vs. Vose resampling, and a simulated many-core device model
+standing in for the paper's CUDA/OpenCL platforms.
+
+Quickstart::
+
+    from repro import DistributedParticleFilter, DistributedFilterConfig
+    from repro.models import RobotArmModel, lemniscate, simulate_arm_tracking
+    from repro.core import run_filter
+    from repro.prng import make_rng
+
+    model = RobotArmModel()
+    pos, vel = lemniscate(200, h_s=model.params.h_s)
+    truth = simulate_arm_tracking(model, pos, vel, make_rng("numpy", 42))
+    pf = DistributedParticleFilter(
+        model, DistributedFilterConfig(n_particles=64, n_filters=64, seed=1)
+    )
+    result = run_filter(pf, model, truth)
+    print(f"mean error {result.mean_error(warmup=20):.3f} m at {result.update_rate_hz:.1f} Hz")
+"""
+
+from repro.core import (
+    CentralizedFilterConfig,
+    CentralizedParticleFilter,
+    DistributedFilterConfig,
+    DistributedParticleFilter,
+    FilterRun,
+    run_filter,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CentralizedFilterConfig",
+    "CentralizedParticleFilter",
+    "DistributedFilterConfig",
+    "DistributedParticleFilter",
+    "FilterRun",
+    "run_filter",
+    "__version__",
+]

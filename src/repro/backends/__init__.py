@@ -1,0 +1,25 @@
+"""Execution backends.
+
+- :class:`~repro.backends.sequential.SequentialDistributedParticleFilter` —
+  a deliberately loop-based, unoptimized reference implementation of
+  Algorithm 2 (the paper's Section VIII-A "sequential reference
+  implementations ... much easier to implement as intended"), used to
+  validate the vectorized filter.
+- :class:`~repro.backends.device_backend.DeviceSimulatedFilter` — wraps any
+  distributed filter, computing the numbers with vectorized NumPy while
+  accounting *simulated* per-kernel time on a named Table III platform via
+  the cost model. This is the stand-in for running on the paper's GPUs.
+- :class:`~repro.backends.multiprocess.MultiprocessDistributedParticleFilter`
+  — genuinely distributed execution across OS processes with message-passing
+  boundary exchange (the cluster/mpi4py-shaped deployment of the algorithm).
+"""
+
+from repro.backends.sequential import SequentialDistributedParticleFilter
+from repro.backends.device_backend import DeviceSimulatedFilter
+from repro.backends.multiprocess import MultiprocessDistributedParticleFilter
+
+__all__ = [
+    "SequentialDistributedParticleFilter",
+    "DeviceSimulatedFilter",
+    "MultiprocessDistributedParticleFilter",
+]

@@ -1,0 +1,36 @@
+"""Baseline estimators the paper positions itself against.
+
+Parametric filters (Section I: "for systems where the amount of non-linearity
+is limited"): the exact Kalman filter, the extended KF and the unscented KF.
+The Gaussian particle filter (related work [12]) approximates the posterior
+with a normal distribution and needs no resampling. The distributed-PF
+variants of related work [10]/[11] — GDPF (central resampling), LDPF (local
+resampling, no exchange), CDPF (compressed central resampling) and RNA-style
+(local resampling + post-resampling exchange) — are provided for the
+algorithm-comparison ablations.
+"""
+
+from repro.baselines.kalman import KalmanFilter
+from repro.baselines.ekf import ExtendedKalmanFilter, numerical_jacobian
+from repro.baselines.ukf import UnscentedKalmanFilter
+from repro.baselines.gaussian_pf import GaussianParticleFilter
+from repro.baselines.distributed_variants import (
+    CompressedDistributedPF,
+    GlobalDistributedPF,
+    LocalDistributedPF,
+    RNAExchangePF,
+    RPAProportionalPF,
+)
+
+__all__ = [
+    "KalmanFilter",
+    "ExtendedKalmanFilter",
+    "numerical_jacobian",
+    "UnscentedKalmanFilter",
+    "GaussianParticleFilter",
+    "GlobalDistributedPF",
+    "LocalDistributedPF",
+    "CompressedDistributedPF",
+    "RNAExchangePF",
+    "RPAProportionalPF",
+]

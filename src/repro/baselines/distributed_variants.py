@@ -1,0 +1,153 @@
+"""Distributed particle-filter variants from the related work.
+
+Bashi et al. [10] propose three distribution strategies that the paper's
+design space discussion builds on; Bolic et al. [11] add RNA. All four are
+implemented on top of the core distributed machinery so they share kernels
+(and therefore timing instrumentation) with Algorithm 2:
+
+- **GDPF** — sampling and weighting run per sub-filter, but resampling is one
+  *global* operation over the whole population (the centralized bottleneck
+  the paper's design removes).
+- **LDPF** — purely local resampling, no communication at all (our Algorithm
+  2 with t = 0).
+- **CDPF** — resampling is central but operates on a small *compressed*
+  representative set (the best c of each sub-filter); the results are sent
+  back to every node.
+- **RNA** — local resampling followed by a deterministic particle exchange
+  (exchange after, not before, the local resample).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.distributed import DistributedParticleFilter
+from repro.core.parameters import DistributedFilterConfig
+from repro.models.base import StateSpaceModel
+
+
+class GlobalDistributedPF(DistributedParticleFilter):
+    """GDPF: global resampling over the concatenated population."""
+
+    def __init__(self, model: StateSpaceModel, config: DistributedFilterConfig):
+        # Exchange is meaningless when resampling is global.
+        super().__init__(model, config.with_(topology="none", n_exchange=0))
+
+    def _resample(self, pooled_states, pooled_logw):
+        cfg = self.config
+        F, m, d = self.states.shape
+        flat_logw = self.log_weights.reshape(1, F * m)
+        w = np.exp(flat_logw - flat_logw.max())
+        idx = self.resampler.resample_batch(w, F * m, self.rng)[0]
+        flat = self.states.reshape(F * m, d)
+        self.states = np.ascontiguousarray(flat[idx].reshape(F, m, d))
+        self.log_weights = np.zeros((F, m), dtype=np.float64)
+
+
+class LocalDistributedPF(DistributedParticleFilter):
+    """LDPF: local resampling, no exchange (t = 0)."""
+
+    def __init__(self, model: StateSpaceModel, config: DistributedFilterConfig):
+        super().__init__(model, config.with_(topology="none", n_exchange=0))
+
+
+class CompressedDistributedPF(DistributedParticleFilter):
+    """CDPF: central resampling over a compressed representative set.
+
+    Each sub-filter contributes its best ``compress`` particles; every
+    sub-filter then resamples its m particles from that shared set.
+    """
+
+    def __init__(self, model: StateSpaceModel, config: DistributedFilterConfig, compress: int = 4):
+        if compress < 1 or compress > config.n_particles:
+            raise ValueError(f"compress must be in [1, m], got {compress}")
+        super().__init__(model, config.with_(topology="none", n_exchange=0))
+        self.compress = int(compress)
+
+    def _resample(self, pooled_states, pooled_logw):
+        cfg = self.config
+        F, m, d = self.states.shape
+        c = self.compress
+        # Rows are sorted descending by the sort kernel: best c lead each row.
+        comp_states = self.states[:, :c, :].reshape(F * c, d)
+        comp_logw = self.log_weights[:, :c].reshape(F * c)
+        w = np.exp(comp_logw - comp_logw.max())[None, :]
+        idx = self.resampler.resample_batch(np.repeat(w, F, axis=0), m, self.rng)  # (F, m)
+        self.states = np.ascontiguousarray(comp_states[idx])
+        self.log_weights = np.zeros((F, m), dtype=np.float64)
+
+
+class RNAExchangePF(DistributedParticleFilter):
+    """RNA-style: resample locally first, then exchange deterministically.
+
+    After the local resample all weights are uniform, so each sub-filter
+    sends t randomly chosen survivors to each neighbour, which replace t
+    randomly chosen local particles. (Bolic et al. use deterministic routing
+    schedules; random choice is the topology-agnostic equivalent.)
+    """
+
+    def _exchange(self):
+        # Disable pre-resampling exchange; RNA exchanges after the resample.
+        return self.states, self.log_weights
+
+    def step(self, measurement, control=None):
+        estimate = super().step(measurement, control)
+        t = self.config.n_exchange
+        if t > 0 and self._table.shape[1] > 0 and not self.topology.pooled:
+            with self.timer.phase("exchange"):
+                F, m, d = self.states.shape
+                D = self._table.shape[1]
+                send_sel = (self.rng.uniform((F, t)) * m).astype(np.int64)
+                send = np.take_along_axis(self.states, send_sel[:, :, None], axis=1)  # (F, t, d)
+                src = np.maximum(self._table, 0)
+                recv = send[src].reshape(F, D * t, d)  # (F, D*t, d)
+                dest = (self.rng.uniform((F, D * t)) * m).astype(np.int64)
+                mask = np.repeat(self._mask, t, axis=1)
+                rows = np.repeat(np.arange(F)[:, None], D * t, axis=1)
+                self.states[rows[mask], dest[mask]] = recv[mask].astype(self.states.dtype)
+        return estimate
+
+
+class RPAProportionalPF(DistributedParticleFilter):
+    """RPA (Bolic et al. [11]): resampling with proportional allocation.
+
+    Two-stage resampling with centralized planning: each sub-filter's output
+    particle count is allocated proportionally to its share of the global
+    weight mass, sub-filters resample their allocation locally, and the
+    population is redistributed evenly afterwards. Better estimation than
+    RNA at the cost of global coordination every round — exactly the
+    centralized step the paper's design avoids.
+    """
+
+    def __init__(self, model: StateSpaceModel, config: DistributedFilterConfig):
+        super().__init__(model, config.with_(topology="none", n_exchange=0))
+
+    def _resample(self, pooled_states, pooled_logw):
+        cfg = self.config
+        F, m, d = self.states.shape
+        total = F * m
+        # Stage 1 (central plan): particles per sub-filter ~ weight share.
+        shift = self.log_weights.max()
+        w = np.exp(self.log_weights - shift)  # (F, m)
+        filter_mass = w.sum(axis=1)
+        share = filter_mass / filter_mass.sum()
+        alloc = np.floor(share * total).astype(np.int64)
+        # Distribute the remainder by largest fractional part.
+        rest = total - int(alloc.sum())
+        if rest > 0:
+            frac = share * total - alloc
+            alloc[np.argsort(-frac)[:rest]] += 1
+        # Stage 2 (local): each sub-filter draws its allocation from its own
+        # weighted set; results are concatenated and redistributed evenly.
+        out = np.empty((total, d), dtype=self.states.dtype)
+        pos = 0
+        for f in range(F):
+            k = int(alloc[f])
+            if k == 0:
+                continue
+            idx = self.resampler.resample(w[f], k, self.rng)
+            out[pos : pos + k] = self.states[f, idx]
+            pos += k
+        perm = (self.rng.uniform((total,)).argsort())  # random redistribution
+        self.states = np.ascontiguousarray(out[perm].reshape(F, m, d))
+        self.log_weights = np.zeros((F, m), dtype=np.float64)

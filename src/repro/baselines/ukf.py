@@ -1,0 +1,83 @@
+"""Unscented Kalman filter (Julier & Uhlmann sigma points).
+
+Same interface as the EKF but propagates 2d+1 sigma points through the exact
+non-linear functions instead of linearizing — the strongest parametric
+baseline before one must reach for particle filters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.timing import PhaseTimer
+
+
+class UnscentedKalmanFilter:
+    """UKF with the standard (alpha, beta, kappa) scaled sigma-point set."""
+
+    def __init__(self, f, h, Q, R, x0_mean, x0_cov, alpha: float = 1e-1, beta: float = 2.0, kappa: float = 0.0):
+        self.f = f
+        self.h = h
+        self.Q = np.atleast_2d(np.asarray(Q, dtype=np.float64))
+        self.R = np.atleast_2d(np.asarray(R, dtype=np.float64))
+        self.x0_mean = np.asarray(x0_mean, dtype=np.float64)
+        self.x0_cov = np.atleast_2d(np.asarray(x0_cov, dtype=np.float64))
+        d = self.x0_mean.size
+        lam = alpha**2 * (d + kappa) - d
+        self._lam = lam
+        self._d = d
+        self.wm = np.full(2 * d + 1, 1.0 / (2 * (d + lam)))
+        self.wc = self.wm.copy()
+        self.wm[0] = lam / (d + lam)
+        self.wc[0] = lam / (d + lam) + (1 - alpha**2 + beta)
+        self.timer = PhaseTimer()
+        self.mean: np.ndarray | None = None
+        self.cov: np.ndarray | None = None
+        self.k = 0
+
+    def initialize(self) -> None:
+        self.mean = self.x0_mean.copy()
+        self.cov = self.x0_cov.copy()
+        self.k = 0
+
+    def _sigma_points(self, mean: np.ndarray, cov: np.ndarray) -> np.ndarray:
+        d = self._d
+        # Symmetrize + jitter for numerical robustness of the Cholesky.
+        cov = 0.5 * (cov + cov.T) + 1e-12 * np.eye(d)
+        L = np.linalg.cholesky((d + self._lam) * cov)
+        pts = np.empty((2 * d + 1, d))
+        pts[0] = mean
+        pts[1 : d + 1] = mean + L.T
+        pts[d + 1 :] = mean - L.T
+        return pts
+
+    def step(self, measurement: np.ndarray, control: np.ndarray | None = None) -> np.ndarray:
+        if self.mean is None:
+            self.initialize()
+        k = self.k
+        # Predict: propagate sigma points through f.
+        pts = self._sigma_points(self.mean, self.cov)
+        fpts = np.stack([np.asarray(self.f(p, control, k), dtype=np.float64) for p in pts])
+        mean = self.wm @ fpts
+        dx = fpts - mean
+        cov = (self.wc[:, None] * dx).T @ dx + self.Q
+        # Update: fresh sigma points through h.
+        pts = self._sigma_points(mean, cov)
+        hpts = np.stack([np.asarray(self.h(p), dtype=np.float64) for p in pts])
+        z_mean = self.wm @ hpts
+        dz = hpts - z_mean
+        dxs = pts - mean
+        S = (self.wc[:, None] * dz).T @ dz + self.R
+        Cxz = (self.wc[:, None] * dxs).T @ dz
+        K = Cxz @ np.linalg.inv(S)
+        self.mean = mean + K @ (np.asarray(measurement) - z_mean)
+        self.cov = cov - K @ S @ K.T
+        self.k += 1
+        return self.mean.copy()
+
+    @classmethod
+    def for_robot_arm(cls, model, **kwargs) -> "UnscentedKalmanFilter":
+        from repro.baselines.ekf import ExtendedKalmanFilter
+
+        ekf = ExtendedKalmanFilter.for_robot_arm(model)
+        return cls(f=ekf.f, h=ekf.h, Q=ekf.Q, R=ekf.R, x0_mean=ekf.x0_mean, x0_cov=ekf.x0_cov, **kwargs)

@@ -1,0 +1,61 @@
+"""Fig. 3: achieved particle-filter update rate vs total number of particles.
+
+Three kinds of series:
+
+- *simulated* Hz on every Table III platform (cost model; the paper's GPUs),
+- *measured* Hz of the vectorized NumPy backend on this host,
+- *simulated* Hz of the paper's sequential centralized C reference.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.bench.harness import arm_truth
+from repro.core import DistributedFilterConfig, DistributedParticleFilter
+from repro.device import PLATFORMS, filter_round_cost
+from repro.device.costmodel import sequential_round_time
+from repro.device.spec import get_platform
+from repro.models import RobotArmModel
+
+
+def _measured_hz(total: int, model: RobotArmModel, n_steps: int = 5) -> float:
+    """Wall-clock update rate of the vectorized backend at `total` particles."""
+    m = 64
+    n_filters = max(total // m, 1)
+    cfg = DistributedFilterConfig(n_particles=m, n_filters=n_filters, seed=0)
+    pf = DistributedParticleFilter(model, cfg)
+    truth = arm_truth(n_steps + 1, seed=7, model=model)
+    pf.initialize()
+    pf.step(truth.measurements[0], truth.controls[0])  # warm caches
+    start = time.perf_counter()
+    for k in range(1, n_steps + 1):
+        pf.step(truth.measurements[k], truth.controls[k])
+    return n_steps / (time.perf_counter() - start)
+
+
+def run_fig3(
+    totals: list[int] | None = None,
+    platforms: list[str] | None = None,
+    measure_host: bool = True,
+    state_dim: int = 9,
+) -> list[dict]:
+    """One row per total particle count, one column per platform (Hz)."""
+    totals = totals or [1 << k for k in range(10, 23, 2)]
+    platforms = platforms or list(PLATFORMS)
+    model = RobotArmModel()
+    rows = []
+    for total in totals:
+        row: dict = {"total_particles": total}
+        for p in platforms:
+            dev = get_platform(p)
+            m = 64 if dev.device_type == "cpu" else 512
+            n_filters = max(total // m, 1)
+            row[p] = filter_round_cost(dev, m, n_filters, state_dim).update_rate_hz
+        row["seq_centralized"] = 1.0 / sequential_round_time(get_platform("i7-2820qm"), total, state_dim)
+        if measure_host and total <= (1 << 16):
+            row["host_numpy_measured"] = _measured_hz(total, model)
+        rows.append(row)
+    return rows

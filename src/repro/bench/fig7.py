@@ -1,0 +1,35 @@
+"""Fig. 7: estimation error vs number of exchanged particles t in {0, 1, 2}.
+
+The paper's finding: exchanging even one particle is a large win; more than
+one is marginal ("we ran up to t = 8 to verify the trend").
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import sweep_error
+from repro.core import DistributedFilterConfig
+
+
+def run_fig7(
+    t_values: tuple[int, ...] = (0, 1, 2),
+    particles_per_filter: tuple[int, ...] = (8, 16, 64),
+    n_filters: tuple[int, ...] = (8, 16, 64),
+    n_runs: int = 4,
+    n_steps: int = 60,
+    topology: str = "ring",
+) -> list[dict]:
+    rows = []
+    for m in particles_per_filter:
+        for N in n_filters:
+            row: dict = {"particles_per_filter": m, "n_filters": N}
+            for t in t_values:
+                cfg = DistributedFilterConfig(
+                    n_particles=m,
+                    n_filters=N,
+                    topology=topology,
+                    n_exchange=t,
+                    estimator="weighted_mean",
+                )
+                row[f"t={t}"] = sweep_error(cfg, n_runs=n_runs, n_steps=n_steps)
+            rows.append(row)
+    return rows

@@ -1,0 +1,68 @@
+"""Full evaluation report generator: every table and figure as Markdown.
+
+``generate_report()`` reruns the complete benchmark harness (at the given
+scale) and renders one self-contained Markdown document — the machine-made
+counterpart of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.bench.fig3 import run_fig3
+from repro.bench.fig4 import measured_breakdown, run_fig4a, run_fig4b, run_fig4c
+from repro.bench.fig5 import run_fig5_centralized, run_fig5_subfilter
+from repro.bench.fig6 import run_fig6
+from repro.bench.fig7 import run_fig7
+from repro.bench.fig8 import run_fig8
+from repro.bench.fig9 import run_fig9
+from repro.bench.harness import format_table
+from repro.bench.tables import table2_rows, table3_rows
+
+
+def _md_table(rows: list[dict]) -> str:
+    if not rows:
+        return "(no rows)"
+    cols = list(dict.fromkeys(k for r in rows for k in r))
+
+    def cell(r, c):
+        v = r.get(c)
+        if v is None:
+            return "—"
+        return f"{v:.4g}" if isinstance(v, float) else str(v)
+
+    lines = ["| " + " | ".join(cols) + " |", "|" + "---|" * len(cols)]
+    lines += ["| " + " | ".join(cell(r, c) for c in cols) + " |" for r in rows]
+    return "\n".join(lines)
+
+
+def generate_report(quick: bool = True) -> str:
+    """Render the full evaluation as Markdown.
+
+    ``quick=True`` uses the laptop-scale sweep defaults; ``quick=False``
+    doubles the statistical effort (runs) of the accuracy sweeps.
+    """
+    n_runs = 3 if quick else 8
+    parts: list[str] = ["# Regenerated evaluation report\n"]
+
+    parts.append("## Table II — default parameters\n\n" + _md_table(table2_rows()))
+    parts.append("\n## Table III — platforms\n\n" + _md_table(table3_rows()))
+    parts.append("\n## Fig 3 — update rate vs total particles (Hz)\n\n" + _md_table(run_fig3(measure_host=quick)))
+    parts.append("\n## Fig 4a — breakdown vs particles per sub-filter\n\n" + _md_table(run_fig4a()))
+    parts.append("\n## Fig 4b — breakdown vs number of sub-filters\n\n" + _md_table(run_fig4b()))
+    parts.append("\n## Fig 4c — breakdown vs state dimensions\n\n" + _md_table(run_fig4c()))
+    host = measured_breakdown()
+    parts.append("\nHost (measured) phase fractions: " + ", ".join(f"{k}={v:.3f}" for k, v in host.items()))
+    parts.append("\n## Fig 5 — resampling: centralized\n\n" + _md_table(run_fig5_centralized()))
+    parts.append("\n## Fig 5 — resampling: sub-filter (m=512)\n\n" + _md_table(run_fig5_subfilter()))
+    parts.append("\n## Fig 6 — error by exchange scheme\n\n" + _md_table(run_fig6(n_runs=n_runs)))
+    parts.append("\n## Fig 7 — error by particles per exchange\n\n" + _md_table(run_fig7(n_runs=n_runs)))
+    fig8 = run_fig8()
+    parts.append(
+        "\n## Fig 8 — lemniscate convergence\n\n"
+        f"- high-particle filter: converged at step {fig8['high_converged_at']}, "
+        f"final error {fig8['high_errors'][-20:].mean():.3f} m\n"
+        f"- low-particle filter: converged at "
+        f"{'step ' + str(fig8['low_converged_at']) if fig8['low_converged_at'] is not None else 'never'}, "
+        f"final error {fig8['low_errors'][-20:].mean():.3f} m"
+    )
+    parts.append("\n## Fig 9 — distributed vs centralized error\n\n" + _md_table(run_fig9(n_runs=n_runs)))
+    return "\n".join(parts) + "\n"

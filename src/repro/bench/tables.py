@@ -1,0 +1,47 @@
+"""Tables I-III as data: the parameter sets and the platform sheet."""
+
+from __future__ import annotations
+
+from repro.core import DEFAULT_CPU_CONFIG, DEFAULT_GPU_CONFIG
+from repro.device import PLATFORMS
+from repro.models import RobotArmParams
+
+
+def table2_rows() -> list[dict]:
+    """Table II: default filter and model parameters with noise terms."""
+    arm = RobotArmParams()
+    gpu, cpu = DEFAULT_GPU_CONFIG, DEFAULT_CPU_CONFIG
+    return [
+        {"parameter": "particles per sub-filter (GPU)", "value": gpu.n_particles},
+        {"parameter": "particles per sub-filter (CPU)", "value": cpu.n_particles},
+        {"parameter": "number of sub-filters", "value": gpu.n_filters},
+        {"parameter": "exchange scheme", "value": gpu.topology},
+        {"parameter": "particles per exchange", "value": gpu.n_exchange},
+        {"parameter": "number of joints", "value": arm.n_joints},
+        {"parameter": "state dimension (#joints + 4)", "value": arm.n_joints + 4},
+        {"parameter": "arm length (meter)", "value": arm.arm_length},
+        {"parameter": "sigma theta (process, rad)", "value": arm.sigma_theta},
+        {"parameter": "sigma theta-hat (sensor, rad)", "value": arm.sigma_theta_meas},
+        {"parameter": "sigma camera (m)", "value": arm.sigma_camera},
+        {"parameter": "sigma x/y (m)", "value": arm.sigma_xy},
+        {"parameter": "sigma vx/vy (m/s)", "value": arm.sigma_v},
+    ]
+
+
+def table3_rows() -> list[dict]:
+    """Table III: the hardware platform sheet."""
+    return [
+        {
+            "key": key,
+            "name": dev.name,
+            "type": dev.device_type,
+            "cores_SMs_CUs": dev.n_sm,
+            "clock_GHz": dev.core_clock_ghz,
+            "SP_GFLOPs": dev.sp_gflops,
+            "mem_bw_GBs": dev.mem_bandwidth_gbs,
+            "local_mem_KB": dev.local_mem_kb,
+            "TDP_W": dev.tdp_watt,
+            "released": dev.released,
+        }
+        for key, dev in PLATFORMS.items()
+    ]

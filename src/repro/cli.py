@@ -1,0 +1,147 @@
+"""Command-line interface: ``esthera <command>``.
+
+Commands
+--------
+- ``track``   — run the robotic-arm tracking demo with a chosen configuration.
+- ``bench``   — regenerate one figure/table of the paper (fig3..fig9, tables).
+- ``report``  — regenerate the full evaluation as a Markdown report.
+- ``platforms`` — list the simulated Table III platforms.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_track(args) -> int:
+    from repro.bench.harness import arm_truth, format_table
+    from repro.core import DistributedFilterConfig, DistributedParticleFilter, run_filter
+    from repro.models import RobotArmModel, RobotArmParams
+
+    model = RobotArmModel(RobotArmParams(n_joints=args.joints))
+    cfg = DistributedFilterConfig(
+        n_particles=args.particles,
+        n_filters=args.filters,
+        topology=args.topology,
+        n_exchange=args.exchange,
+        estimator=args.estimator,
+        seed=args.seed,
+    )
+    truth = arm_truth(args.steps, seed=args.seed + 1000, model=model)
+    run = run_filter(DistributedParticleFilter(model, cfg), model, truth)
+    print(format_table([
+        {
+            "total_particles": cfg.total_particles,
+            "topology": args.topology,
+            "error_m": run.mean_error(warmup=min(args.steps // 3, 30)),
+            "host_hz": run.update_rate_hz,
+        }
+    ]))
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.bench import (
+        format_table,
+        run_fig3,
+        run_fig4a,
+        run_fig4b,
+        run_fig4c,
+        run_fig5_centralized,
+        run_fig5_subfilter,
+        run_fig6,
+        run_fig7,
+        run_fig8,
+        run_fig9,
+        table2_rows,
+        table3_rows,
+    )
+
+    target = args.figure
+    if target == "fig3":
+        print(format_table(run_fig3()))
+    elif target == "fig4":
+        for label, rows in (("4a", run_fig4a()), ("4b", run_fig4b()), ("4c", run_fig4c())):
+            print(f"== Fig {label} ==")
+            print(format_table(rows))
+    elif target == "fig5":
+        print("== centralized =="); print(format_table(run_fig5_centralized()))
+        print("== sub-filter =="); print(format_table(run_fig5_subfilter()))
+    elif target == "fig6":
+        print(format_table(run_fig6()))
+    elif target == "fig7":
+        print(format_table(run_fig7()))
+    elif target == "fig8":
+        r = run_fig8()
+        print(f"high converged at {r['high_converged_at']}, final {r['high_errors'][-20:].mean():.3f} m")
+        print(f"low converged at {r['low_converged_at']}, final {r['low_errors'][-20:].mean():.3f} m")
+    elif target == "fig9":
+        print(format_table(run_fig9()))
+    elif target == "tables":
+        print("== Table II =="); print(format_table(table2_rows()))
+        print("== Table III =="); print(format_table(table3_rows()))
+    else:  # pragma: no cover - argparse restricts choices
+        print(f"unknown target {target}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.bench.report import generate_report
+
+    text = generate_report(quick=not args.full)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_platforms(args) -> int:
+    from repro.bench import format_table, table3_rows
+    from repro.device.scaling import EMBEDDED_PLATFORMS
+
+    print(format_table(table3_rows()))
+    print("\nembedded extensions:", ", ".join(EMBEDDED_PLATFORMS))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(prog="esthera", description=__doc__)
+    sub = p.add_subparsers(dest="command", required=True)
+
+    t = sub.add_parser("track", help="run the robotic-arm tracking demo")
+    t.add_argument("--particles", type=int, default=64, help="particles per sub-filter (m)")
+    t.add_argument("--filters", type=int, default=64, help="number of sub-filters (N)")
+    t.add_argument("--topology", default="ring", choices=["ring", "torus", "all-to-all", "none"])
+    t.add_argument("--exchange", type=int, default=1, help="particles per exchange (t)")
+    t.add_argument("--estimator", default="weighted_mean", choices=["weighted_mean", "max_weight"])
+    t.add_argument("--joints", type=int, default=5)
+    t.add_argument("--steps", type=int, default=100)
+    t.add_argument("--seed", type=int, default=0)
+    t.set_defaults(func=_cmd_track)
+
+    b = sub.add_parser("bench", help="regenerate one figure/table")
+    b.add_argument("figure", choices=["fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "tables"])
+    b.set_defaults(func=_cmd_bench)
+
+    r = sub.add_parser("report", help="regenerate the full evaluation report")
+    r.add_argument("--output", "-o", default=None, help="write Markdown to this file")
+    r.add_argument("--full", action="store_true", help="higher statistical effort")
+    r.set_defaults(func=_cmd_report)
+
+    pl = sub.add_parser("platforms", help="list simulated platforms")
+    pl.set_defaults(func=_cmd_platforms)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

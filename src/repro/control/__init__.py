@@ -1,0 +1,15 @@
+"""Closed-loop estimation and control.
+
+The paper's companion work ([30], IEEE TCST 2013) uses the distributed
+particle filter inside a closed control loop on a real robotic arm. This
+package provides the simulation counterpart: a controller computes joint
+commands from the *filter's estimate* (not the true state), the plant
+advances under those commands, and estimation quality now feeds back into
+plant behaviour — the real-time setting that motivates the paper's focus on
+high, deterministic update rates.
+"""
+
+from repro.control.controllers import PointingController, pointing_error
+from repro.control.closed_loop import ClosedLoopResult, run_closed_loop
+
+__all__ = ["PointingController", "pointing_error", "ClosedLoopResult", "run_closed_loop"]

@@ -1,0 +1,52 @@
+"""Controllers that steer the arm from the state *estimate*."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.robot_arm import RobotArmModel
+
+
+def _desired_angles(model: RobotArmModel, obj_xy: np.ndarray) -> np.ndarray:
+    """A simple pointing posture: the base yaws toward the object's azimuth,
+    the pitch joints hold a shallow downward sweep so the camera looks along
+    the arm toward the plane."""
+    K = model.n_joints
+    des = np.zeros(K)
+    des[0] = np.arctan2(obj_xy[1], obj_xy[0])
+    if K > 1:
+        # Spread a mild total pitch over the remaining joints.
+        des[1:] = -0.15 / (K - 1)
+    return des
+
+
+class PointingController:
+    """Proportional controller on joint angles toward the pointing posture.
+
+    ``u = clip(Kp * wrap(theta_des - theta_hat), +-u_max)`` — the command is
+    a joint *velocity* (the model integrates ``h_s * u``), computed entirely
+    from the estimate.
+    """
+
+    def __init__(self, model: RobotArmModel, kp: float = 2.0, u_max: float = 1.5):
+        if kp <= 0 or u_max <= 0:
+            raise ValueError("kp and u_max must be positive")
+        self.model = model
+        self.kp = float(kp)
+        self.u_max = float(u_max)
+
+    def command(self, estimate: np.ndarray) -> np.ndarray:
+        est = np.asarray(estimate, dtype=np.float64)
+        theta_hat = self.model.angles(est)
+        obj_hat = self.model.object_position(est)
+        err = _desired_angles(self.model, obj_hat) - theta_hat
+        err = np.arctan2(np.sin(err), np.cos(err))  # wrap to (-pi, pi]
+        return np.clip(self.kp * err, -self.u_max, self.u_max)
+
+
+def pointing_error(model: RobotArmModel, true_state: np.ndarray) -> float:
+    """How far the object sits off the camera's optical axis [m] — the
+    closed-loop quality metric (0 = perfectly centred in view)."""
+    z = model.measurement_mean(np.asarray(true_state, dtype=np.float64))
+    cam = z[..., -2:]
+    return float(np.linalg.norm(cam))

@@ -1,0 +1,49 @@
+"""Core particle filters: the paper's distributed algorithm and the
+centralized reference, plus configuration, estimators and the run driver."""
+
+from repro.core.parameters import (
+    CentralizedFilterConfig,
+    DEFAULT_CPU_CONFIG,
+    DEFAULT_GPU_CONFIG,
+    DistributedFilterConfig,
+)
+from repro.core.centralized import CentralizedParticleFilter
+from repro.core.distributed import DistributedParticleFilter
+from repro.core.estimator import (
+    global_estimate,
+    local_estimates,
+    max_weight_estimate,
+    weighted_mean_estimate,
+)
+from repro.core.runner import FilterRun, average_error, run_filter
+from repro.core.tuning import expected_update_rate, recommend_config
+from repro.core.diagnostics import (
+    DiversityTracker,
+    cross_filter_overlap,
+    run_with_diagnostics,
+    unique_particle_fraction,
+    weight_statistics,
+)
+
+__all__ = [
+    "CentralizedFilterConfig",
+    "CentralizedParticleFilter",
+    "DistributedFilterConfig",
+    "DistributedParticleFilter",
+    "DEFAULT_CPU_CONFIG",
+    "DEFAULT_GPU_CONFIG",
+    "FilterRun",
+    "average_error",
+    "run_filter",
+    "global_estimate",
+    "local_estimates",
+    "max_weight_estimate",
+    "weighted_mean_estimate",
+    "recommend_config",
+    "expected_update_rate",
+    "DiversityTracker",
+    "cross_filter_overlap",
+    "run_with_diagnostics",
+    "unique_particle_fraction",
+    "weight_statistics",
+]

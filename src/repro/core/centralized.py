@@ -1,0 +1,101 @@
+"""Centralized particle filter (Algorithm 1) — the reference implementation.
+
+One flat particle population: sample from the transition, weight against the
+measurement, estimate, resample. This is the paper's sequential C reference,
+used both for correctness validation of the distributed filter and as the
+accuracy baseline in Fig. 9.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.estimator import global_estimate
+from repro.core.parameters import CentralizedFilterConfig
+from repro.core.registry import make_policy, make_resampler
+from repro.metrics.timing import PhaseTimer, TimingRNG
+from repro.models.base import StateSpaceModel
+from repro.prng.streams import make_rng
+
+
+def _logsumexp(x: np.ndarray) -> float:
+    m = x.max()
+    if not np.isfinite(m):
+        return float(m)
+    return float(m + np.log(np.exp(x - m).sum()))
+
+
+class CentralizedParticleFilter:
+    """Algorithm 1: particle filter with resampling over one population.
+
+    Parameters
+    ----------
+    model:
+        the dynamical system.
+    config:
+        filter parameters; see :class:`CentralizedFilterConfig`.
+    """
+
+    def __init__(self, model: StateSpaceModel, config: CentralizedFilterConfig | None = None):
+        self.model = model
+        self.config = config or CentralizedFilterConfig()
+        self.timer = PhaseTimer()
+        self.rng = TimingRNG(make_rng(self.config.rng, self.config.seed), self.timer)
+        self.resampler = make_resampler(self.config.resampler)
+        self.policy = make_policy(self.config.resample_policy, self.config.resample_arg)
+        self.dtype = np.dtype(self.config.dtype)
+        self.k = 0
+        self.states: np.ndarray | None = None
+        self.log_weights: np.ndarray | None = None
+        #: accumulated log marginal likelihood log p(z_{1:k}) (up to the
+        #: model's likelihood normalization constants) — the quantity
+        #: econometrics applications (paper ref. [3]) run PFs to obtain.
+        self.log_evidence = 0.0
+
+    # -- lifecycle ----------------------------------------------------------
+    def initialize(self) -> None:
+        """Draw the initial population from the model prior."""
+        n = self.config.n_particles
+        self.states = self.model.initial_particles(n, self.rng, dtype=self.dtype)
+        self.log_weights = np.zeros(n, dtype=np.float64)
+        self.k = 0
+        self.log_evidence = 0.0
+
+    def step(self, measurement: np.ndarray, control: np.ndarray | None = None) -> np.ndarray:
+        """One predict/update/resample round; returns the state estimate."""
+        if self.states is None:
+            self.initialize()
+        with self.timer.phase("sampling"):
+            self.states = self.model.transition(self.states, control, self.k, self.rng)
+            loglik = self.model.log_likelihood(self.states, measurement, self.k)
+            prev = self.log_weights
+            self.log_weights = prev + loglik.astype(np.float64)
+            # Evidence increment: log p(z_k | z_{1:k-1}) ~= the weighted mean
+            # likelihood, computed as a difference of log-sum-exps.
+            self.log_evidence += float(
+                _logsumexp(self.log_weights) - _logsumexp(prev)
+            )
+
+        with self.timer.phase("estimate"):
+            estimate = global_estimate(self.states, self.log_weights, self.config.estimator)
+
+        shifted = np.exp(self.log_weights - self.log_weights.max())
+        if bool(self.policy.should_resample(shifted[None, :], self.rng)[0]):
+            with self.timer.phase("resample"):
+                idx = self.resampler.resample(shifted, self.config.n_particles, self.rng)
+                self.states = np.ascontiguousarray(self.states[idx])
+                self.log_weights = np.zeros(self.config.n_particles, dtype=np.float64)
+
+        self.k += 1
+        return estimate
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def n_particles(self) -> int:
+        return self.config.n_particles
+
+    def effective_sample_size(self) -> float:
+        from repro.resampling import effective_sample_size
+
+        w = np.exp(self.log_weights - self.log_weights.max())
+        return float(effective_sample_size(w))

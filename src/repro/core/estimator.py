@@ -1,0 +1,65 @@
+"""Global-estimate reduction operators.
+
+Delivering a single estimate from the weighted population is a two-round
+reduction in the paper: first locally per sub-filter, then globally over the
+local results. The reduction operator is application-specific; the paper
+"selects the particle with the highest global weight", and we also provide
+the weighted mean (the usual MMSE estimate).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def max_weight_estimate(states: np.ndarray, log_weights: np.ndarray) -> np.ndarray:
+    """The single particle with the highest weight in the whole population.
+
+    ``states`` is ``(..., m, d)`` and ``log_weights`` ``(..., m)``; the
+    reduction flattens all leading axes, which is exactly the local-then-
+    global max reduction (max is associative).
+    """
+    states = np.asarray(states)
+    lw = np.asarray(log_weights)
+    flat_states = states.reshape(-1, states.shape[-1])
+    idx = int(np.argmax(lw.reshape(-1)))
+    return flat_states[idx].astype(np.float64)
+
+
+def weighted_mean_estimate(states: np.ndarray, log_weights: np.ndarray) -> np.ndarray:
+    """Self-normalized importance-sampling mean over the whole population."""
+    states = np.asarray(states, dtype=np.float64)
+    lw = np.asarray(log_weights, dtype=np.float64).reshape(-1)
+    flat = states.reshape(-1, states.shape[-1])
+    peak = lw.max()
+    if not np.isfinite(peak):
+        return flat.mean(axis=0)
+    w = np.exp(lw - peak)
+    total = w.sum()
+    if not np.isfinite(total) or total <= 0:
+        return flat.mean(axis=0)
+    return (w @ flat) / total
+
+
+def local_estimates(states: np.ndarray, log_weights: np.ndarray, kind: str = "max_weight") -> np.ndarray:
+    """Per-sub-filter estimates: ``states`` (F, m, d) -> (F, d)."""
+    states = np.asarray(states)
+    lw = np.asarray(log_weights)
+    if kind == "max_weight":
+        idx = np.argmax(lw, axis=1)
+        return np.take_along_axis(states, idx[:, None, None], axis=1)[:, 0, :].astype(np.float64)
+    if kind == "weighted_mean":
+        shifted = lw - lw.max(axis=1, keepdims=True)
+        w = np.exp(shifted)
+        w /= w.sum(axis=1, keepdims=True)
+        return np.einsum("fm,fmd->fd", w, states).astype(np.float64)
+    raise ValueError(f"unknown estimator kind {kind!r}")
+
+
+def global_estimate(states: np.ndarray, log_weights: np.ndarray, kind: str = "max_weight") -> np.ndarray:
+    """Population-wide estimate by name."""
+    if kind == "max_weight":
+        return max_weight_estimate(states, log_weights)
+    if kind == "weighted_mean":
+        return weighted_mean_estimate(states, log_weights)
+    raise ValueError(f"unknown estimator kind {kind!r}")

@@ -1,0 +1,72 @@
+"""FRIM: finite-redraw importance-maximizing sampling (Chao et al. [19]).
+
+The CUDA particle filter of related work [19] rejects drawn particles and
+redraws until a particle satisfies a minimum weight, with the number of
+redraws bounded — "which is critical for real-time systems". The effect is a
+better-placed population per round, reducing the total number of particles
+required.
+
+Our vectorized form: draw once, fix a per-sub-filter likelihood threshold at
+the q-quantile of that first draw, then perform up to ``redraws`` additional
+full draws, keeping each particle's best attempt (only particles still below
+the threshold are eligible to be replaced). The redraw bound makes the cost
+data-independent: exactly ``redraws + 1`` sampling kernels per round, worst
+case.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import StateSpaceModel
+from repro.prng.streams import FilterRNG
+from repro.utils.validation import check_positive_int
+
+
+def frim_sample(
+    model: StateSpaceModel,
+    prev_states: np.ndarray,
+    measurement: np.ndarray,
+    control: np.ndarray | None,
+    k: int,
+    rng: FilterRNG,
+    redraws: int,
+    quantile: float = 0.5,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample the next states with bounded importance-maximizing redraws.
+
+    Parameters
+    ----------
+    prev_states:
+        ``(..., m, d)`` particle states at time k-1.
+    redraws:
+        maximum additional draws per round (0 = plain sampling).
+    quantile:
+        particles whose log-likelihood falls below this quantile of the
+        first draw are redrawn.
+
+    Returns
+    -------
+    ``(states, log_likelihoods)`` of the kept draws.
+    """
+    check_positive_int(redraws + 1, "redraws + 1")
+    if not 0.0 < quantile < 1.0:
+        raise ValueError(f"quantile must be in (0, 1), got {quantile}")
+    states = model.transition(prev_states, control, k, rng)
+    ll = model.log_likelihood(states, measurement, k).astype(np.float64)
+    if redraws == 0:
+        return states, ll
+    # Threshold fixed from the first draw: per sub-filter (row) quantile.
+    thresh = np.quantile(ll, quantile, axis=-1, keepdims=True)
+    best_states = states
+    best_ll = ll
+    for _ in range(redraws):
+        below = best_ll < thresh
+        if not below.any():
+            break
+        cand = model.transition(prev_states, control, k, rng)
+        cand_ll = model.log_likelihood(cand, measurement, k).astype(np.float64)
+        improve = below & (cand_ll > best_ll)
+        best_states = np.where(improve[..., None], cand, best_states)
+        best_ll = np.where(improve, cand_ll, best_ll)
+    return best_states, best_ll

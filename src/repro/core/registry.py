@@ -1,0 +1,47 @@
+"""Name-to-object factories shared by filter constructors."""
+
+from __future__ import annotations
+
+from repro.resampling import (
+    AlwaysResample,
+    ESSThresholdPolicy,
+    MultinomialResampler,
+    RandomFrequencyPolicy,
+    ResidualResampler,
+    Resampler,
+    RouletteWheelResampler,
+    StratifiedResampler,
+    SystematicResampler,
+    VoseAliasResampler,
+)
+
+_RESAMPLERS = {
+    "rws": RouletteWheelResampler,
+    "roulette": RouletteWheelResampler,
+    "vose": VoseAliasResampler,
+    "alias": VoseAliasResampler,
+    "systematic": SystematicResampler,
+    "stratified": StratifiedResampler,
+    "multinomial": MultinomialResampler,
+    "residual": ResidualResampler,
+}
+
+
+def make_resampler(name: str | Resampler) -> Resampler:
+    if isinstance(name, Resampler):
+        return name
+    try:
+        return _RESAMPLERS[name.lower()]()
+    except KeyError:
+        raise ValueError(f"unknown resampler {name!r}; choose from {sorted(set(_RESAMPLERS))}") from None
+
+
+def make_policy(name: str, arg: float):
+    key = name.lower()
+    if key == "always":
+        return AlwaysResample()
+    if key == "ess":
+        return ESSThresholdPolicy(ratio=arg)
+    if key == "frequency":
+        return RandomFrequencyPolicy(frequency=arg)
+    raise ValueError(f"unknown resample policy {name!r}")

@@ -1,0 +1,83 @@
+"""Configuration rules of thumb, codified.
+
+Sections VII-E and IX distil the paper's sweeps into guidance:
+
+- "in small filtering setups, limited communication and a low connectivity
+  network provide the best results. High particle settings tend to perform
+  better with a more connected network and increased communication."
+- "it is important to use a design that effectively combines more (and not
+  larger) sub-filters."
+- Sub-filter size is platform-bound: ~512 per GPU work group, ~64 per CPU
+  core (Table II).
+- "accuracy can improve a lot by exchanging even one particle per pair."
+
+:func:`recommend_config` turns a particle budget + platform into a
+:class:`~repro.core.parameters.DistributedFilterConfig` following those rules.
+"""
+
+from __future__ import annotations
+
+from repro.core.parameters import DistributedFilterConfig
+from repro.device.spec import DeviceSpec, get_platform
+from repro.utils.arrays import next_power_of_two
+from repro.utils.validation import check_positive_int
+
+#: Network size below which the ring's diversity preservation wins; above it
+#: the torus's faster propagation wins (the Fig. 6 crossover region).
+_TORUS_THRESHOLD = 256
+
+
+def recommend_config(
+    total_particles: int,
+    platform: str | DeviceSpec = "gtx-580",
+    **overrides,
+) -> DistributedFilterConfig:
+    """A good distributed-filter configuration for a particle budget.
+
+    Parameters
+    ----------
+    total_particles:
+        the overall particle budget (m * N); rounded up to a power of two.
+    platform:
+        Table III platform name or a :class:`DeviceSpec`; decides the
+        sub-filter size class (GPU work group vs CPU core).
+    overrides:
+        any :class:`DistributedFilterConfig` field to force.
+
+    The paper's rules applied: platform-sized sub-filters, scale the *count*
+    of sub-filters with the budget, ring below ~256 sub-filters and 2D torus
+    above, always exchange one particle per neighbour pair, resample every
+    round with RWS.
+    """
+    check_positive_int(total_particles, "total_particles")
+    dev = platform if isinstance(platform, DeviceSpec) else get_platform(platform)
+    total = next_power_of_two(total_particles)
+    m_max = 512 if dev.device_type == "gpu" else 64
+    # More (not larger) sub-filters: cap m, but keep at least 4 sub-filters
+    # so the network exists, and at least 4 particles per sub-filter so each
+    # local filter is a filter at all.
+    m = min(m_max, max(total // 4, 4))
+    n_filters = max(total // m, 1)
+    topology = "torus" if n_filters >= _TORUS_THRESHOLD else "ring"
+    cfg = DistributedFilterConfig(
+        n_particles=m,
+        n_filters=n_filters,
+        topology=topology,
+        n_exchange=1,
+        resampler="rws",
+        resample_policy="always",
+    )
+    return cfg.with_(**overrides) if overrides else cfg
+
+
+def expected_update_rate(cfg: DistributedFilterConfig, platform: str | DeviceSpec, state_dim: int = 9) -> float:
+    """Predicted update rate [Hz] of a configuration on a platform."""
+    from repro.device.costmodel import filter_round_cost
+
+    dev = platform if isinstance(platform, DeviceSpec) else get_platform(platform)
+    scheme = cfg.topology if isinstance(cfg.topology, str) else "ring"
+    return filter_round_cost(
+        dev, cfg.n_particles, cfg.n_filters, state_dim,
+        n_exchange=cfg.n_exchange, scheme=scheme,
+        resampler=cfg.resampler if cfg.resampler in ("rws", "vose") else "rws",
+    ).update_rate_hz

@@ -1,0 +1,60 @@
+"""Simulated many-core device substrate.
+
+The paper measures on CUDA/OpenCL GPUs and multi-core CPUs (Table III). This
+package stands in for that hardware:
+
+- :mod:`repro.device.spec` — device parameter sheets for every Table III
+  platform (SMs/CUs, clocks, SP GFLOP/s, memory bandwidth, local memory,
+  TDP).
+- :mod:`repro.device.memory` — global/local memory models that count
+  coalesced transactions and local-memory bank conflicts the way the
+  hardware's memory controllers do.
+- :mod:`repro.device.simt` — a lock-step work-group interpreter: kernels are
+  written against lane-vector primitives with explicit barriers, and the
+  interpreter records divergence, barrier counts, bank conflicts and global
+  transactions.
+- :mod:`repro.device.costmodel` — an analytic time model turning kernel
+  workloads (flops, bytes, sync points, serial fractions) into per-kernel
+  times on a named platform; this regenerates the paper's Fig. 3/4/5
+  performance shapes.
+"""
+
+from repro.device.spec import DeviceSpec, PLATFORMS, get_platform
+from repro.device.memory import GlobalMemory, LocalMemory, coalesced_transactions
+from repro.device.simt import WorkGroup, SimtStats
+from repro.device.kernel import Kernel, launch_kernel
+from repro.device.costmodel import (
+    CostModel,
+    KernelWorkload,
+    FilterRoundCost,
+    filter_round_cost,
+    filter_round_cost_with_strategy,
+)
+from repro.device.scaling import EMBEDDED_PLATFORMS, ClusterSpec, cluster_round_cost, cluster_speedup
+
+# NOTE: repro.device.pipeline is intentionally NOT imported here - it depends
+# on repro.kernels, which itself imports this package (the kernels are written
+# against the SIMT primitives). Import it as a submodule:
+#   from repro.device.pipeline import SimtDistributedFilter
+
+__all__ = [
+    "DeviceSpec",
+    "PLATFORMS",
+    "get_platform",
+    "GlobalMemory",
+    "LocalMemory",
+    "coalesced_transactions",
+    "WorkGroup",
+    "SimtStats",
+    "Kernel",
+    "launch_kernel",
+    "CostModel",
+    "KernelWorkload",
+    "FilterRoundCost",
+    "filter_round_cost",
+    "filter_round_cost_with_strategy",
+    "EMBEDDED_PLATFORMS",
+    "ClusterSpec",
+    "cluster_round_cost",
+    "cluster_speedup",
+]

@@ -1,0 +1,405 @@
+"""Analytic cost model: kernel workloads -> seconds on a Table III platform.
+
+The model prices a kernel the way one reasons about GPU performance by hand:
+
+- compute-bound time = flops / attained FLOP rate,
+- memory-bound time = bytes / attained bandwidth, derated by the coalescing
+  quality of the access pattern,
+- local-memory time = lane-ops / local-op rate,
+- serialized work (atomic worklists, the tail of Vose's table build) runs one
+  lane per group,
+- barriers and kernel launches add fixed latencies,
+- a launch that cannot fill the device (few groups / small groups) only
+  reaches a proportional fraction of every throughput term.
+
+Compute/local work overlaps global traffic (`max`), serial work and
+synchronization do not (`+`). These are exactly the quantities the paper's
+Section VI optimizations manipulate (AoS layout, non-contiguous reads over
+writes, bank-conflict-free scans), so scaling m, N or the state dimension
+reproduces the shapes of Figs. 3-5.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.device.spec import DeviceSpec
+
+_BARRIER_CYCLES = 40.0
+
+
+@dataclass(frozen=True)
+class KernelWorkload:
+    """Device-wide work of one kernel launch."""
+
+    name: str
+    n_groups: int
+    group_size: int
+    flops: float = 0.0
+    bytes_read: float = 0.0
+    bytes_written: float = 0.0
+    read_coalescing: float = 1.0  # fraction of peak bandwidth for the reads
+    write_coalescing: float = 1.0
+    local_ops: float = 0.0  # parallel lane-ops in local memory
+    serial_ops: float = 0.0  # per-group serialized ops (run on one lane)
+    syncs_per_group: int = 0
+    launches: int = 1
+
+
+@dataclass
+class FilterRoundCost:
+    """Per-kernel seconds for one filtering round on one platform."""
+
+    device: DeviceSpec
+    seconds: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.seconds.values())
+
+    @property
+    def update_rate_hz(self) -> float:
+        return 1.0 / self.total_seconds if self.total_seconds > 0 else float("inf")
+
+    def fractions(self) -> dict[str, float]:
+        total = self.total_seconds
+        return {k: v / total for k, v in self.seconds.items()} if total > 0 else {}
+
+
+class CostModel:
+    """Prices :class:`KernelWorkload` objects on one :class:`DeviceSpec`."""
+
+    def __init__(self, device: DeviceSpec):
+        self.device = device
+
+    # -- primitive -----------------------------------------------------------
+    def utilization(self, n_groups: int, group_size: int) -> float:
+        """Fraction of peak throughput a launch of this shape can reach.
+
+        The device needs ~4 warps in flight per SM to hide latency; fewer
+        threads scale the attainable rate down linearly.
+        """
+        d = self.device
+        threads = n_groups * group_size
+        needed = d.n_sm * d.warp_size * 4
+        return min(1.0, threads / needed)
+
+    def kernel_time(self, w: KernelWorkload, rng_kernel: bool = False) -> float:
+        d = self.device
+        util = self.utilization(w.n_groups, w.group_size)
+        compute_rate = d.sp_gflops * 1e9 * d.compute_efficiency * util
+        if rng_kernel:
+            compute_rate *= d.rng_efficiency
+        bw = d.mem_bandwidth_gbs * 1e9 * d.mem_efficiency * util
+        local_rate = d.local_ops_per_second * util
+
+        compute_t = w.flops / compute_rate if w.flops else 0.0
+        local_t = w.local_ops / local_rate if w.local_ops else 0.0
+        mem_t = 0.0
+        if w.bytes_read:
+            mem_t += w.bytes_read / (bw * max(w.read_coalescing, 1e-3))
+        if w.bytes_written:
+            mem_t += w.bytes_written / (bw * max(w.write_coalescing, 1e-3))
+
+        # Serialized per-group work: one lane per resident group makes progress.
+        serial_t = 0.0
+        if w.serial_ops:
+            resident = min(w.n_groups, d.peak_concurrent_groups)
+            serial_t = w.serial_ops / (resident * d.core_clock_ghz * 1e9)
+
+        # Barriers: every group pays them; groups beyond residency queue in waves.
+        sync_t = 0.0
+        if w.syncs_per_group:
+            waves = math.ceil(w.n_groups / d.peak_concurrent_groups)
+            sync_t = w.syncs_per_group * waves * _BARRIER_CYCLES / (d.core_clock_ghz * 1e9)
+
+        launch_t = w.launches * d.launch_overhead_us * 1e-6
+        return (max(compute_t + local_t, mem_t) + serial_t + sync_t + launch_t) * d.runtime_overhead
+
+
+# ---------------------------------------------------------------------------
+# Filter-round workload builder
+# ---------------------------------------------------------------------------
+
+_RNG_FLOPS_PER_VALUE = 30.0  # MTGP state update + tempering + Box-Muller share
+
+
+def model_flops_per_particle(state_dim: int) -> float:
+    """Sampling + weighting flops for the robotic-arm model at a given state
+    dimension: per-joint sincos + 3x3 rotation composition dominate, plus the
+    per-measurement-dimension Gaussian weight terms."""
+    n_joints = max(state_dim - 4, 1)
+    return 250.0 * n_joints + 80.0
+
+
+def scattered_aos_efficiency(struct_bytes: float, segment_bytes: float = 128.0) -> float:
+    """Bandwidth efficiency of randomly scattered Array-of-Structures reads.
+
+    Each gathered particle pulls whole cache segments; the useful fraction is
+    ``struct_bytes / (ceil(struct_bytes/segment) * segment)``. Small structs
+    waste most of each segment (the reason the paper packs elements into
+    larger aligned structures); large structs approach full bandwidth.
+    """
+    if struct_bytes <= 0:
+        return 1.0
+    segments = math.ceil(struct_bytes / segment_bytes)
+    return struct_bytes / (segments * segment_bytes)
+
+
+def filter_round_cost(
+    device: DeviceSpec,
+    n_particles: int,
+    n_filters: int,
+    state_dim: int,
+    n_exchange: int = 1,
+    scheme: str = "ring",
+    resampler: str = "rws",
+    dtype_bytes: int = 4,
+) -> FilterRoundCost:
+    """Per-kernel cost of one distributed-filter round (the paper's six
+    kernels) for the robotic-arm model."""
+    m, N, d, B = n_particles, n_filters, state_dim, dtype_bytes
+    P = m * N
+    meas_dim = d - 2  # robot arm: K angle sensors + 2 camera coords
+    log2m = max(math.log2(m), 1.0)
+    stages = log2m * (log2m + 1) / 2.0
+    deg = {"ring": 2, "torus": 4, "all-to-all": 1, "none": 0}.get(scheme, 2)
+    t = n_exchange
+    cm = CostModel(device)
+    out = FilterRoundCost(device=device)
+
+    # 1) PRNG kernel: d normals per particle, written to global memory.
+    rand = KernelWorkload(
+        name="rand",
+        n_groups=N,
+        group_size=m,
+        flops=P * d * _RNG_FLOPS_PER_VALUE,
+        bytes_written=P * d * B,
+    )
+    out.seconds["rand"] = cm.kernel_time(rand, rng_kernel=True)
+
+    # 2) Sampling + importance weighting (AoS state in global memory).
+    sampling = KernelWorkload(
+        name="sampling",
+        n_groups=N,
+        group_size=m,
+        flops=P * model_flops_per_particle(d),
+        bytes_read=P * (d + d) * B + N * meas_dim * B,
+        bytes_written=P * (d + 1) * B,
+    )
+    out.seconds["sampling"] = cm.kernel_time(sampling)
+
+    # 3) Local bitonic sort of (weight, index) in local memory, then apply the
+    #    permutation to the state vectors: non-contiguous reads, contiguous
+    #    writes (Section VI-C).
+    aos_eff = scattered_aos_efficiency(d * B)
+    sort = KernelWorkload(
+        name="sort",
+        n_groups=N,
+        group_size=m,
+        local_ops=N * (m / 2) * stages * 3.0,
+        syncs_per_group=int(stages),
+        bytes_read=P * B + P * d * B,  # weights + scattered AoS state reads
+        read_coalescing=aos_eff,
+        bytes_written=P * d * B + P * B,
+        write_coalescing=1.0,
+    )
+    out.seconds["sort"] = cm.kernel_time(sort)
+
+    # 4) Global estimate: rows are sorted, only the final reduction rounds run.
+    estimate = KernelWorkload(
+        name="estimate",
+        n_groups=max(N // 256, 1),
+        group_size=256,
+        flops=N * (d + 1) * 2.0,
+        bytes_read=N * (d + 1) * B,
+        bytes_written=(d + 1) * B,
+        syncs_per_group=8,
+    )
+    out.seconds["estimate"] = cm.kernel_time(estimate)
+
+    # 5) Particle exchange through cached global memory.
+    if t == 0 or scheme == "none":
+        out.seconds["exchange"] = 0.0
+    elif scheme == "all-to-all":
+        # Two phases: all supply to the pool, a top-t selection, all read back.
+        exchange = KernelWorkload(
+            name="exchange",
+            n_groups=N,
+            group_size=max(t, 1),
+            bytes_read=N * t * (d + 1) * B * 2,  # pool scan + broadcast read-back
+            read_coalescing=0.5,
+            bytes_written=N * t * (d + 1) * B + N * t * (d + 1) * B,
+            write_coalescing=0.5,
+            serial_ops=N * t * math.log2(max(N * t, 2)) * 2.0,  # pool top-t selection
+            launches=2,
+        )
+        out.seconds["exchange"] = cm.kernel_time(exchange)
+    else:
+        exchange = KernelWorkload(
+            name="exchange",
+            n_groups=N,
+            group_size=max(deg * t, 1),
+            bytes_read=N * deg * t * (d + 1) * B,
+            read_coalescing=0.4,  # neighbour gathers are scattered
+            bytes_written=N * deg * t * (d + 1) * B,
+            write_coalescing=0.6,
+        )
+        out.seconds["exchange"] = cm.kernel_time(exchange)
+
+    # 6) Local resampling over m + deg*t pooled particles.
+    pool = m + deg * t
+    reorder_read = P * d * B  # gather surviving states: scattered reads
+    reorder_write = P * d * B
+    if resampler == "rws":
+        resample = KernelWorkload(
+            name="resample",
+            n_groups=N,
+            group_size=m,
+            local_ops=N * (4.0 * pool + m * math.log2(max(pool, 2)) * 2.0),
+            syncs_per_group=int(2 * log2m + 2),
+            bytes_read=P * B + reorder_read,
+            read_coalescing=aos_eff,
+            bytes_written=reorder_write,
+        )
+    elif resampler == "vose":
+        # Table build: normalize + worklist pairing. Concurrency collapses
+        # toward the end, so a fraction of the pairing is serialized per group.
+        resample = KernelWorkload(
+            name="resample",
+            n_groups=N,
+            group_size=m,
+            local_ops=N * (10.0 * pool + 4.0 * m),
+            serial_ops=N * pool * 1.5,  # the "drops steeply towards one" tail
+            syncs_per_group=int(4 * log2m + 8),
+            bytes_read=P * B + reorder_read,
+            read_coalescing=aos_eff,
+            bytes_written=reorder_write,
+        )
+    else:
+        raise ValueError(f"unknown resampler {resampler!r} for cost model")
+    out.seconds["resample"] = cm.kernel_time(resample)
+    return out
+
+
+def centralized_resample_time(device: DeviceSpec, n: int, resampler: str) -> float:
+    """Sequential (one core, vectorized-C) resampling time — Fig. 5's
+     'C (centr.)' lines. RWS pays a log(n) binary search per sample; Vose
+    pays O(1) per sample after an O(n) table build."""
+    rate = device.core_clock_ghz * 1e9 * 1.5  # scalar ILP ~1.5 ops/cycle
+    if resampler == "rws":
+        ops = n * 4.0 + n * math.log2(max(n, 2)) * 3.0 + n * 8.0  # scan + search + reorder
+    elif resampler == "vose":
+        ops = n * 12.0 + n * 5.0 + n * 8.0  # table build + O(1) draws + reorder
+    else:
+        raise ValueError(f"unknown resampler {resampler!r}")
+    return ops / rate
+
+
+def sequential_round_time(device: DeviceSpec, n_particles: int, state_dim: int) -> float:
+    """One full centralized round on a single core (the paper's C reference,
+    with SIMD only in the PRNG/Box-Muller as stated in Section VII-B)."""
+    n, d = n_particles, state_dim
+    # -O3 compiled C with SIMD PRNG/Box-Muller: ~6 useful ops/cycle on one core.
+    rate = device.core_clock_ghz * 1e9 * 6.0
+    rng_ops = n * d * _RNG_FLOPS_PER_VALUE / 4.0  # SIMD-vectorized PRNG
+    model_ops = n * model_flops_per_particle(d) * 1.2  # scalar model code
+    estimate_ops = n * (d + 2.0)
+    return (rng_ops + model_ops + estimate_ops) / rate + centralized_resample_time(device, n, "vose")
+
+
+# ---------------------------------------------------------------------------
+# Host<->device transfers and data-layout variants (Section VI discussions)
+# ---------------------------------------------------------------------------
+
+
+def host_transfer_time(device: DeviceSpec, n_bytes: float) -> float:
+    """One host<->device copy of *n_bytes* over the PCIe-class link.
+
+    Unified-memory platforms (the CPUs — they *are* the host) transfer for
+    free: the paper contrasts exactly this against discrete GPUs, whose "I/O
+    channel between host and device memory is often a bottleneck".
+    """
+    if device.host_link_gbs is None:
+        return 0.0
+    return device.host_link_latency_us * 1e-6 + n_bytes / (device.host_link_gbs * 1e9)
+
+
+def per_round_io_time(device: DeviceSpec, state_dim: int, dtype_bytes: int = 4) -> float:
+    """The paper's strategy: only measurement data down + estimate up."""
+    meas_bytes = (state_dim - 2) * dtype_bytes  # robot arm measurement vector
+    est_bytes = state_dim * dtype_bytes
+    return host_transfer_time(device, meas_bytes) + host_transfer_time(device, est_bytes)
+
+
+def host_resampling_round_overhead(
+    device: DeviceSpec,
+    total_particles: int,
+    state_dim: int,
+    resample_period: int = 1,
+    dtype_bytes: int = 4,
+    host_clock_ghz: float = 3.0,
+) -> float:
+    """Amortized per-round cost of the related-work [2] strategy: resample on
+    the *host* CPU — weights cross to the host, survivor descriptions cross
+    back, and the resample itself runs sequentially.
+
+    ``resample_period`` = resample every k rounds ("fast only if resampling
+    is not needed very often"). Returns seconds per round, amortized.
+    """
+    if resample_period < 1:
+        raise ValueError(f"resample_period must be >= 1, got {resample_period}")
+    P = total_particles
+    weights_down = host_transfer_time(device, P * dtype_bytes)
+    survivors_up = host_transfer_time(device, P * 4)  # one index per survivor
+    host_rate = host_clock_ghz * 1e9 * 1.5
+    host_resample = (P * 4.0 + P * math.log2(max(P, 2)) * 3.0) / host_rate
+    device_reorder = 0.0
+    if device.host_link_gbs is not None:
+        # Applying the survivor permutation on the device afterwards.
+        bw = device.mem_bandwidth_gbs * 1e9 * device.mem_efficiency
+        device_reorder = (P * state_dim * dtype_bytes) * (1.0 / (bw * scattered_aos_efficiency(state_dim * dtype_bytes)) + 1.0 / bw)
+    return (weights_down + survivors_up + host_resample + device_reorder) / resample_period
+
+
+def filter_round_cost_with_strategy(
+    device: DeviceSpec,
+    n_particles: int,
+    n_filters: int,
+    state_dim: int,
+    layout: str = "aos",
+    resampling_location: str = "device",
+    resample_period: int = 1,
+    **kwargs,
+) -> FilterRoundCost:
+    """Round cost including data-layout and resampling-placement choices.
+
+    ``layout='soa'`` models Structure-of-Arrays particle storage: the
+    scattered permutation/reorder gathers touch one 4-byte element per
+    segment instead of a whole particle struct, which is why the paper
+    stores particles in AoS format once the struct exceeds a few bytes.
+    ``resampling_location='host'`` replaces on-device resampling with the
+    related-work transfer-to-host strategy, amortized over
+    ``resample_period`` rounds.
+    """
+    if layout not in ("aos", "soa"):
+        raise ValueError(f"layout must be 'aos' or 'soa', got {layout!r}")
+    if resampling_location not in ("device", "host"):
+        raise ValueError(f"resampling_location must be 'device' or 'host', got {resampling_location!r}")
+    dtype_bytes = kwargs.get("dtype_bytes", 4)
+    cost = filter_round_cost(device, n_particles, n_filters, state_dim, **kwargs)
+    cost.seconds["io"] = per_round_io_time(device, state_dim, dtype_bytes)
+    if layout == "soa":
+        # Scattered gathers now achieve element-granularity efficiency; scale
+        # the sort/resample reorder-dominated kernels by the efficiency ratio.
+        aos_eff = scattered_aos_efficiency(state_dim * dtype_bytes)
+        soa_eff = scattered_aos_efficiency(dtype_bytes)
+        penalty = aos_eff / soa_eff
+        for kernel in ("sort", "resample"):
+            cost.seconds[kernel] *= penalty
+    if resampling_location == "host":
+        cost.seconds["resample"] = host_resampling_round_overhead(
+            device, n_particles * n_filters, state_dim, resample_period, dtype_bytes
+        )
+    return cost

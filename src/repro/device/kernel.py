@@ -1,0 +1,75 @@
+"""Kernel abstraction: launch a work-item program over a grid of work groups.
+
+A kernel body is a callable ``body(wg, global_mem, group_id, **args)``
+operating on one :class:`~repro.device.simt.WorkGroup`. ``launch_kernel``
+runs every group (sequentially — the simulator models cost, the host CPU
+provides the arithmetic) and aggregates the per-group statistics, which can
+then be priced by :class:`~repro.device.costmodel.CostModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.device.memory import GlobalMemory
+from repro.device.simt import SimtStats, WorkGroup
+from repro.utils.validation import check_positive_int
+
+
+@dataclass
+class Kernel:
+    """A named device kernel."""
+
+    name: str
+    body: Callable
+
+
+@dataclass
+class LaunchResult:
+    """Aggregated execution record of one kernel launch."""
+
+    n_groups: int
+    group_size: int
+    stats: SimtStats
+    global_read_transactions: int
+    global_write_transactions: int
+    global_bytes_read: int
+    global_bytes_written: int
+
+
+def launch_kernel(
+    kernel: Kernel,
+    n_groups: int,
+    group_size: int,
+    global_arrays: dict[str, np.ndarray],
+    warp_size: int = 32,
+    n_banks: int = 32,
+    **args,
+) -> tuple[dict[str, np.ndarray], LaunchResult]:
+    """Execute *kernel* over ``n_groups`` work groups of ``group_size``.
+
+    ``global_arrays`` maps names to host arrays; each is wrapped in a
+    transaction-counting :class:`GlobalMemory`. Returns the (mutated) arrays
+    and the aggregated launch statistics.
+    """
+    check_positive_int(n_groups, "n_groups")
+    check_positive_int(group_size, "group_size")
+    mems = {k: GlobalMemory(v, warp_size=warp_size) for k, v in global_arrays.items()}
+    total = SimtStats()
+    for g in range(n_groups):
+        wg = WorkGroup(group_size, group_id=g, n_banks=n_banks, warp_size=warp_size)
+        kernel.body(wg, mems, g, **args)
+        total.merge(wg.finalize())
+    result = LaunchResult(
+        n_groups=n_groups,
+        group_size=group_size,
+        stats=total,
+        global_read_transactions=sum(m.read_transactions for m in mems.values()),
+        global_write_transactions=sum(m.write_transactions for m in mems.values()),
+        global_bytes_read=sum(m.bytes_read for m in mems.values()),
+        global_bytes_written=sum(m.bytes_written for m in mems.values()),
+    )
+    return {k: m.data for k, m in mems.items()}, result

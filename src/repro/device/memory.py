@@ -1,0 +1,119 @@
+"""Memory models: global-memory coalescing and local-memory bank conflicts.
+
+GPGPU global memory delivers peak bandwidth only when the threads of a warp
+access addresses that fall into few 128-byte segments (coalescing); local
+(shared) memory is banked, and lanes hitting the same bank with different
+addresses serialize. These two effects drive most of the paper's kernel
+design choices (AoS layout, non-contiguous *reads* over writes, bank-conflict
+avoiding scan), so the simulator counts both.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SEGMENT_BYTES = 128  # coalescing granularity
+
+
+def coalesced_transactions(indices: np.ndarray, itemsize: int, segment_bytes: int = SEGMENT_BYTES) -> int:
+    """Number of memory transactions a warp needs for the given element
+    indices: one per distinct ``segment_bytes`` segment touched."""
+    if np.size(indices) == 0:
+        return 0
+    addr = np.asarray(indices, dtype=np.int64) * itemsize
+    return int(np.unique(addr // segment_bytes).size)
+
+
+def bank_conflict_factor(indices: np.ndarray, n_banks: int = 32, itemsize: int = 4) -> int:
+    """Serialization factor of one local-memory access by a warp.
+
+    Each 4-byte word lives in bank ``(addr/4) % n_banks``. Lanes hitting the
+    same bank at *different* word addresses serialize; same-word broadcast is
+    free. Returns the max per-bank count of distinct words (1 = conflict-free).
+    """
+    if np.size(indices) == 0:
+        return 1
+    words = (np.asarray(indices, dtype=np.int64) * itemsize) // 4
+    banks = words % n_banks
+    worst = 1
+    for b in np.unique(banks):
+        worst = max(worst, int(np.unique(words[banks == b]).size))
+    return worst
+
+
+class GlobalMemory:
+    """A flat global array that counts warp-level transactions.
+
+    Reads/writes take explicit element indices per lane (SIMT scatter/
+    gather); the counter model assumes one warp per access call, which is how
+    the work-group interpreter invokes it.
+    """
+
+    def __init__(self, data: np.ndarray, warp_size: int = 32):
+        self.data = np.asarray(data)
+        self.warp_size = int(warp_size)
+        self.read_transactions = 0
+        self.write_transactions = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def _count(self, indices: np.ndarray) -> int:
+        total = 0
+        idx = np.asarray(indices).reshape(-1)
+        for w in range(0, idx.size, self.warp_size):
+            total += coalesced_transactions(idx[w : w + self.warp_size], self.data.itemsize)
+        return total
+
+    def read(self, indices: np.ndarray) -> np.ndarray:
+        idx = np.asarray(indices)
+        self.read_transactions += self._count(idx)
+        self.bytes_read += idx.size * self.data.itemsize
+        return self.data[idx]
+
+    def write(self, indices: np.ndarray, values: np.ndarray) -> None:
+        idx = np.asarray(indices)
+        self.write_transactions += self._count(idx)
+        self.bytes_written += idx.size * self.data.itemsize
+        self.data[idx] = values
+
+
+class LocalMemory:
+    """Per-work-group scratchpad that counts bank-conflict serialization.
+
+    ``gather``/``scatter`` model one warp-wide access; plain ``[]`` access is
+    provided for setup code that is not part of the modelled kernel.
+    """
+
+    def __init__(self, shape, dtype=np.float64, n_banks: int = 32):
+        self.data = np.zeros(shape, dtype=dtype)
+        self.n_banks = int(n_banks)
+        self.access_cycles = 0
+        self.conflicted_accesses = 0
+        self.accesses = 0
+
+    def _bill(self, indices: np.ndarray) -> None:
+        factor = bank_conflict_factor(indices, self.n_banks, itemsize=max(self.data.itemsize, 4))
+        self.access_cycles += factor
+        self.accesses += 1
+        if factor > 1:
+            self.conflicted_accesses += 1
+
+    def gather(self, indices: np.ndarray) -> np.ndarray:
+        idx = np.asarray(indices)
+        self._bill(idx)
+        return self.data[idx]
+
+    def scatter(self, indices: np.ndarray, values: np.ndarray) -> None:
+        idx = np.asarray(indices)
+        self._bill(idx)
+        self.data[idx] = values
+
+    def __getitem__(self, key):
+        return self.data[key]
+
+    def __setitem__(self, key, value):
+        self.data[key] = value
+
+    @property
+    def conflict_rate(self) -> float:
+        return self.conflicted_accesses / self.accesses if self.accesses else 0.0

@@ -1,0 +1,261 @@
+"""A full distributed-filter round executed as SIMT kernels.
+
+The paper stresses that *all* filter operations run on the CUDA/OpenCL
+device: "Reducing data transfers to only measurement data and estimates is
+essential". This module demonstrates the same property on the simulated
+device: every step of :class:`SimtDistributedFilter` is a sequence of
+work-group kernel launches over transaction-counted global memory —
+
+  rand -> sampling+weight -> local sort -> estimate -> exchange -> resample
+
+— with the host touching only the measurement (in) and the estimate (out).
+It runs a scalar (1-D state) model so the whole state fits the kernel lane
+model; the vectorized filters in :mod:`repro.core` remain the production
+path. Its value is validation (the kernels compose into a correct filter)
+and instrumentation (per-kernel transaction/barrier/divergence counts that
+ground the analytic cost model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.device.kernel import Kernel, LaunchResult, launch_kernel
+from repro.device.simt import WorkGroup
+from repro.kernels.bitonic import bitonic_sort_workgroup
+from repro.kernels.resample_kernels import rws_workgroup
+from repro.prng.philox import Philox4x32
+from repro.utils.arrays import next_power_of_two
+from repro.utils.validation import check_power_of_two, check_positive_int
+
+
+@dataclass
+class ScalarDeviceModel:
+    """A 1-D auto-regressive model expressed as lane operations.
+
+    x' = a x + sigma_q eta,   z = x + sigma_r eps  (weights = exp(loglik)).
+    """
+
+    a: float = 0.9
+    sigma_q: float = 0.2
+    sigma_r: float = 0.1
+    prior_sigma: float = 1.0
+
+    def transition_lanes(self, x: np.ndarray, noise: np.ndarray) -> np.ndarray:
+        return self.a * x + self.sigma_q * noise
+
+    def weight_lanes(self, x: np.ndarray, z: float) -> np.ndarray:
+        d = (x - z) / self.sigma_r
+        return np.exp(-0.5 * d * d)
+
+
+@dataclass
+class StepStats:
+    """Aggregated device activity of one filtering step."""
+
+    launches: dict[str, LaunchResult] = field(default_factory=dict)
+
+    @property
+    def total_global_bytes(self) -> int:
+        return sum(l.global_bytes_read + l.global_bytes_written for l in self.launches.values())
+
+    @property
+    def total_barriers(self) -> int:
+        return sum(l.stats.barriers for l in self.launches.values())
+
+
+class SimtDistributedFilter:
+    """Distributed particle filter whose every kernel runs on the SIMT
+    simulator (ring topology, t=1, RWS resampling)."""
+
+    def __init__(self, model: ScalarDeviceModel, n_particles: int, n_filters: int, seed: int = 0):
+        self.model = model
+        self.m = check_power_of_two(n_particles, "n_particles")
+        self.F = check_positive_int(n_filters, "n_filters")
+        self.philox = Philox4x32(key=seed)
+        self.seed = seed
+        self.k = 0
+        self._counter = 0
+        self.states = np.zeros(self.F * self.m, dtype=np.float64)
+        self.weights = np.zeros(self.F * self.m, dtype=np.float64)
+        self.last_stats: StepStats | None = None
+        # Pool region: m own + 2 received (ring, t=1), padded to a power of 2.
+        self.pool = next_power_of_two(self.m + 2)
+
+    # -- host-side randomness feed (counter-based, like cuRAND device API) ---
+    def _normals(self, n: int) -> np.ndarray:
+        n_ctr = (n + 1) // 2
+        counters = np.arange(self._counter, self._counter + n_ctr, dtype=np.uint64)
+        self._counter += n_ctr
+        words = self.philox.generate(counters)
+        u = (words[:, :2].astype(np.float64) + 0.5) / 4294967296.0
+        r = np.sqrt(-2.0 * np.log(u[:, 0]))
+        theta = 2.0 * np.pi * u[:, 1]
+        return np.concatenate([r * np.cos(theta), r * np.sin(theta)])[:n]
+
+    def _uniforms(self, n: int) -> np.ndarray:
+        n_ctr = (n + 3) // 4
+        counters = np.arange(self._counter, self._counter + n_ctr, dtype=np.uint64)
+        self._counter += n_ctr
+        return (self.philox.generate(counters).reshape(-1)[:n].astype(np.float64)) / 4294967296.0
+
+    # -- lifecycle ----------------------------------------------------------
+    def initialize(self) -> None:
+        self.states = self.model.prior_sigma * self._normals(self.F * self.m)
+        self.weights = np.full(self.F * self.m, 1.0)
+        self.k = 0
+
+    def step(self, measurement: float) -> float:
+        """One fully-on-device round; returns the max-weight estimate."""
+        F, m = self.F, self.m
+        stats = StepStats()
+        noise = self._normals(F * m)
+        rand_u = self._uniforms(F * m)  # resampling uniforms, pre-staged
+
+        # ---- kernel 1+2: (rand feed is counter-based) sampling + weighting
+        model = self.model
+        z = float(measurement)
+
+        def sampling_body(wg: WorkGroup, mems, gid):
+            idx = gid * m + wg.lane
+            x = mems["states"].read(idx)
+            eta = mems["noise"].read(idx)
+            x = model.transition_lanes(x, eta)
+            w = model.weight_lanes(x, z)
+            wg.op(6)
+            mems["states"].write(idx, x)
+            mems["weights"].write(idx, w)
+
+        arrays, res = launch_kernel(
+            Kernel("sampling", sampling_body), F, m,
+            {"states": self.states, "weights": self.weights, "noise": noise},
+        )
+        self.states, self.weights = arrays["states"], arrays["weights"]
+        stats.launches["sampling"] = res
+
+        # ---- kernel 3: local bitonic sort (weights desc) + apply permutation
+        def sort_body(wg: WorkGroup, mems, gid):
+            idx = gid * m + wg.lane
+            keys = wg.local_array(m)
+            vals = wg.local_array(m, dtype=np.int64)
+            keys.scatter(wg.lane, mems["weights"].read(idx))
+            vals.scatter(wg.lane, wg.lane)
+            wg.barrier()
+            bitonic_sort_workgroup(wg, keys, vals, descending=True)
+            # Non-contiguous reads, contiguous writes (Section VI-C).
+            perm = vals.gather(wg.lane)
+            mems["states_out"].write(idx, mems["states"].read(gid * m + perm))
+            mems["weights_out"].write(idx, keys.gather(wg.lane))
+
+        arrays, res = launch_kernel(
+            Kernel("sort", sort_body), F, m,
+            {
+                "states": self.states,
+                "weights": self.weights,
+                "states_out": np.empty_like(self.states),
+                "weights_out": np.empty_like(self.weights),
+            },
+        )
+        self.states, self.weights = arrays["states_out"], arrays["weights_out"]
+        stats.launches["sort"] = res
+
+        # ---- kernel 4: global estimate (rows sorted: best of each group)
+        gsize = next_power_of_two(F)
+        estimate_out = np.zeros(2)
+
+        def estimate_body(wg: WorkGroup, mems, gid):
+            valid = wg.lane < F
+            src = np.minimum(wg.lane, F - 1) * m  # column 0 of each group
+            w = np.where(valid, mems["weights"].read(src), -1.0)
+            x = mems["states"].read(src)
+            best = wg.local_array(gsize)
+            best_x = wg.local_array(gsize)
+            best.scatter(wg.lane, w)
+            best_x.scatter(wg.lane, x)
+            wg.barrier()
+            stride = gsize // 2
+            while stride >= 1:
+                act = wg.lane < stride
+                lanes = wg.lane[act]
+                a, b = best.gather(lanes), best.gather(lanes + stride)
+                xa, xb = best_x.gather(lanes), best_x.gather(lanes + stride)
+                take_b = b > a
+                best.scatter(lanes, np.where(take_b, b, a))
+                best_x.scatter(lanes, np.where(take_b, xb, xa))
+                wg.op()
+                wg.barrier()
+                stride //= 2
+            mems["estimate"].write(np.array([0]), np.array([best_x[0]]))
+            mems["estimate"].write(np.array([1]), np.array([best[0]]))
+
+        arrays, res = launch_kernel(
+            Kernel("estimate", estimate_body), 1, gsize,
+            {"states": self.states, "weights": self.weights, "estimate": estimate_out},
+        )
+        estimate = float(arrays["estimate"][0])
+        stats.launches["estimate"] = res
+
+        # ---- kernel 5: ring exchange into the pool region (t = 1)
+        P = self.pool
+        pool_states = np.zeros(F * P)
+        pool_weights = np.zeros(F * P)
+
+        def exchange_body(wg: WorkGroup, mems, gid):
+            idx = gid * m + wg.lane
+            # Copy own particles into the pool slot.
+            mems["pool_states"].write(gid * P + wg.lane, mems["states"].read(idx))
+            mems["pool_weights"].write(gid * P + wg.lane, mems["weights"].read(idx))
+            wg.barrier()
+            # Two lanes fetch the neighbours' best particle (column 0).
+            left, right = (gid - 1) % F, (gid + 1) % F
+            lane0, lane1 = wg.lane == 0, wg.lane == 1
+            for cond, nb, slot in ((lane0, left, m), (lane1, right, m + 1)):
+                if F > 1 and cond.any():
+                    src = np.full(int(cond.sum()), nb * m)
+                    mems["pool_states"].write(np.full(src.size, gid * P + slot), mems["states"].read(src))
+                    mems["pool_weights"].write(np.full(src.size, gid * P + slot), mems["weights"].read(src))
+            wg.barrier()
+
+        arrays, res = launch_kernel(
+            Kernel("exchange", exchange_body), F, m,
+            {
+                "states": self.states,
+                "weights": self.weights,
+                "pool_states": pool_states,
+                "pool_weights": pool_weights,
+            },
+        )
+        pool_states, pool_weights = arrays["pool_states"], arrays["pool_weights"]
+        stats.launches["exchange"] = res
+
+        # ---- kernel 6: local RWS resampling from the pool
+        def resample_body(wg: WorkGroup, mems, gid):
+            w = mems["pool_weights"].read(gid * P + wg.lane)
+            u = mems["uniforms"].read(gid * P + np.minimum(wg.lane, m - 1))
+            idx = rws_workgroup(wg, w, u)
+            out_lane = wg.lane < m
+            lanes = wg.lane[out_lane]
+            src = gid * P + idx[out_lane]
+            mems["states_out"].write(gid * m + lanes, mems["pool_states"].read(src))
+
+        uniforms = np.zeros(F * P)
+        for g in range(F):
+            uniforms[g * P : g * P + m] = self._uniforms(m)
+        arrays, res = launch_kernel(
+            Kernel("resample", resample_body), F, P,
+            {
+                "pool_states": pool_states,
+                "pool_weights": pool_weights,
+                "uniforms": uniforms,
+                "states_out": np.empty(F * m),
+            },
+        )
+        self.states = arrays["states_out"]
+        self.weights = np.full(F * m, 1.0)
+        stats.launches["resample"] = res
+
+        self.last_stats = stats
+        self.k += 1
+        return estimate

@@ -1,0 +1,155 @@
+"""Platform-scale extensions: embedded devices and multi-node clusters.
+
+Section IX names two future scaling directions: "down to real-time
+applications on embedded systems (with GPGPU cores), or up to ... clusters.
+Each platform scale direction will present new challenges to performance
+portability." This module implements both as cost-model extensions:
+
+- embedded platform sheets (2012-era mobile SoC class) added to the registry,
+- :class:`ClusterSpec` + :func:`cluster_round_cost`: the sub-filter network
+  partitioned into contiguous blocks across nodes, with the exchange edges
+  cut by the partition crossing the interconnect and the global estimate
+  reduced by a log-depth allreduce.
+
+The distributed algorithm's locality is what makes this work: a ring
+partition cuts exactly two edges per node regardless of network size, so the
+inter-node traffic per round is *constant* while the work per node shrinks —
+near-linear scaling. All-to-All, by contrast, must pool globally every round.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.device.costmodel import FilterRoundCost, filter_round_cost
+from repro.device.spec import DeviceSpec
+from repro.utils.validation import check_positive_int
+
+#: Embedded-class platforms (the "scale down" direction).
+EMBEDDED_PLATFORMS: dict[str, DeviceSpec] = {
+    "embedded-soc-gpu": DeviceSpec(
+        name="Embedded SoC GPGPU (Tegra-class, 2012)",
+        device_type="gpu",
+        n_sm=2,
+        core_clock_ghz=0.52,
+        sp_gflops=50.0,
+        mem_bandwidth_gbs=6.4,
+        local_mem_kb=16.0,
+        main_mem_gb=1.0,
+        tdp_watt=5.0,
+        released="2012",
+        warp_size=32,
+        max_groups_per_sm=4,
+        launch_overhead_us=20.0,
+        host_link_gbs=None,  # unified memory on the SoC
+    ),
+    "embedded-arm-cpu": DeviceSpec(
+        name="Embedded quad ARM Cortex-A9",
+        device_type="cpu",
+        n_sm=4,
+        core_clock_ghz=1.3,
+        sp_gflops=10.4,
+        mem_bandwidth_gbs=4.3,
+        local_mem_kb=32.0,
+        main_mem_gb=1.0,
+        tdp_watt=2.5,
+        released="2012",
+        warp_size=2,  # NEON, 2-wide effective SP
+        max_groups_per_sm=1,
+        launch_overhead_us=2.0,
+        rng_efficiency=0.4,
+        host_link_gbs=None,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster of many-core nodes (the "scale up" direction)."""
+
+    node: DeviceSpec
+    n_nodes: int
+    interconnect_gbs: float = 4.0  # 2012-era QDR InfiniBand ~4 GB/s
+    interconnect_latency_us: float = 2.0
+
+    def __post_init__(self):
+        check_positive_int(self.n_nodes, "n_nodes")
+        if self.interconnect_gbs <= 0:
+            raise ValueError("interconnect_gbs must be positive")
+
+
+def _cut_edges_per_node(scheme: str, n_filters_per_node: int, n_nodes: int) -> float:
+    """Exchange edges crossing a contiguous block partition, per node."""
+    if n_nodes == 1:
+        return 0.0
+    if scheme in ("none",):
+        return 0.0
+    if scheme == "ring":
+        return 2.0  # each block has two boundary neighbours
+    if scheme == "torus":
+        # Row-block partition of a near-square torus: the cut is two grid
+        # rows per node boundary ~ 2 * sqrt(total filters).
+        total = n_filters_per_node * n_nodes
+        return 2.0 * math.sqrt(total)
+    if scheme == "all-to-all":
+        # The pool is global: every node's contributions go everywhere.
+        return float(n_filters_per_node * (n_nodes - 1))
+    raise ValueError(f"unknown scheme {scheme!r}")
+
+
+def cluster_round_cost(
+    cluster: ClusterSpec,
+    n_particles: int,
+    n_filters: int,
+    state_dim: int,
+    n_exchange: int = 1,
+    scheme: str = "ring",
+    resampler: str = "rws",
+    dtype_bytes: int = 4,
+) -> FilterRoundCost:
+    """Per-round cost of the distributed filter spread over a cluster.
+
+    ``n_filters`` is the *global* sub-filter count, split evenly over nodes;
+    nodes advance in parallel, so the round time is one node's device time
+    plus the inter-node exchange and the estimate allreduce.
+    """
+    if n_filters % cluster.n_nodes:
+        raise ValueError(f"n_filters ({n_filters}) must divide evenly over {cluster.n_nodes} nodes")
+    per_node = n_filters // cluster.n_nodes
+    cost = filter_round_cost(
+        cluster.node, n_particles, per_node, state_dim,
+        n_exchange=n_exchange, scheme=scheme, resampler=resampler, dtype_bytes=dtype_bytes,
+    )
+    # Inter-node particle exchange over the cut edges.
+    t = n_exchange
+    bw = cluster.interconnect_gbs * 1e9
+    lat = cluster.interconnect_latency_us * 1e-6
+    if t > 0 and cluster.n_nodes > 1 and scheme != "none":
+        cut = _cut_edges_per_node(scheme, per_node, cluster.n_nodes)
+        msg_bytes = cut * t * (state_dim + 1) * dtype_bytes
+        n_peers = 2 if scheme in ("ring", "torus") else cluster.n_nodes - 1
+        cost.seconds["network"] = n_peers * lat + msg_bytes / bw
+    else:
+        cost.seconds["network"] = 0.0
+    # Global estimate allreduce: log-depth tree over the nodes.
+    if cluster.n_nodes > 1:
+        rounds = math.ceil(math.log2(cluster.n_nodes))
+        cost.seconds["network"] += rounds * (lat + (state_dim + 1) * dtype_bytes / bw)
+    return cost
+
+
+def cluster_speedup(
+    cluster: ClusterSpec,
+    n_particles: int,
+    n_filters: int,
+    state_dim: int,
+    **kwargs,
+) -> float:
+    """Speedup of the cluster over one node for the same global problem."""
+    single = ClusterSpec(node=cluster.node, n_nodes=1,
+                         interconnect_gbs=cluster.interconnect_gbs,
+                         interconnect_latency_us=cluster.interconnect_latency_us)
+    t1 = cluster_round_cost(single, n_particles, n_filters, state_dim, **kwargs).total_seconds
+    tn = cluster_round_cost(cluster, n_particles, n_filters, state_dim, **kwargs).total_seconds
+    return t1 / tn

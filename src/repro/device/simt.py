@@ -1,0 +1,124 @@
+"""Lock-step SIMT work-group interpreter.
+
+Device kernels in :mod:`repro.kernels` are written against this API: every
+value is a *lane vector* (one element per thread of the work group), control
+flow uses :meth:`WorkGroup.select` (predication — how SIMT hardware actually
+executes divergent branches), and cross-lane communication goes through
+:class:`~repro.device.memory.LocalMemory` with explicit :meth:`barrier`
+calls. The interpreter executes the same data movement a GPU work group
+would, while recording the costs that matter on real hardware: barrier
+counts, divergent predications and bank-conflict serialization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.device.memory import GlobalMemory, LocalMemory
+from repro.utils.validation import check_positive_int
+
+
+@dataclass
+class SimtStats:
+    """Instrumentation collected while a work group executes."""
+
+    barriers: int = 0
+    divergent_selects: int = 0
+    uniform_selects: int = 0
+    lane_ops: int = 0
+    local_access_cycles: int = 0
+    local_conflicted: int = 0
+    atomic_ops: int = 0
+
+    def merge(self, other: "SimtStats") -> None:
+        self.barriers += other.barriers
+        self.divergent_selects += other.divergent_selects
+        self.uniform_selects += other.uniform_selects
+        self.lane_ops += other.lane_ops
+        self.local_access_cycles += other.local_access_cycles
+        self.local_conflicted += other.local_conflicted
+        self.atomic_ops += other.atomic_ops
+
+
+class WorkGroup:
+    """One work group of ``size`` lock-step threads.
+
+    Parameters
+    ----------
+    size:
+        number of threads (the paper uses 512-1024 per group — one particle
+        per thread, one sub-filter per group).
+    group_id:
+        this group's index within the launch grid.
+    n_banks:
+        local-memory banks (32 on the paper's NVIDIA parts).
+    """
+
+    def __init__(self, size: int, group_id: int = 0, n_banks: int = 32, warp_size: int = 32):
+        self.size = check_positive_int(size, "size")
+        self.group_id = int(group_id)
+        self.n_banks = int(n_banks)
+        self.warp_size = int(warp_size)
+        self.lane = np.arange(size)
+        self.stats = SimtStats()
+        self._locals: list[LocalMemory] = []
+
+    # -- memory ------------------------------------------------------------
+    def local_array(self, shape, dtype=np.float64) -> LocalMemory:
+        mem = LocalMemory(shape, dtype=dtype, n_banks=self.n_banks)
+        self._locals.append(mem)
+        return mem
+
+    def barrier(self) -> None:
+        """Work-group barrier; folds local-memory billing into the stats."""
+        self.stats.barriers += 1
+        self._collect_local()
+
+    def _collect_local(self) -> None:
+        for mem in self._locals:
+            self.stats.local_access_cycles += mem.access_cycles
+            self.stats.local_conflicted += mem.conflicted_accesses
+            mem.access_cycles = 0
+            mem.conflicted_accesses = 0
+
+    # -- lane-level compute ----------------------------------------------------
+    def op(self, n: int = 1) -> None:
+        """Bill *n* lane-ops across the whole group (arith done in NumPy)."""
+        self.stats.lane_ops += n * self.size
+
+    def select(self, cond: np.ndarray, if_true: np.ndarray, if_false: np.ndarray) -> np.ndarray:
+        """Predicated selection — the SIMT execution of an if/else.
+
+        Divergence (some lanes true, some false) costs both paths on real
+        hardware; we record whether this select diverged.
+        """
+        cond = np.asarray(cond, dtype=bool)
+        if cond.all() or (~cond).all():
+            self.stats.uniform_selects += 1
+        else:
+            self.stats.divergent_selects += 1
+        self.op()
+        return np.where(cond, if_true, if_false)
+
+    def atomic_add_scalar(self, mem: LocalMemory, index: int, cond: np.ndarray) -> np.ndarray:
+        """Atomic fetch-and-add of 1 at mem[index] for every lane with cond.
+
+        Returns each participating lane's ticket (the pre-increment value it
+        observed); non-participating lanes get -1. Atomics on the same
+        address serialize, so the cost is the number of participants.
+        """
+        cond = np.asarray(cond, dtype=bool)
+        n = int(cond.sum())
+        self.stats.atomic_ops += n
+        base = int(mem.data[index])
+        tickets = np.full(self.size, -1, dtype=np.int64)
+        tickets[cond] = base + np.arange(n)
+        mem.data[index] = base + n
+        return tickets
+
+    # -- convenience ------------------------------------------------------------
+    def finalize(self) -> SimtStats:
+        self._collect_local()
+        return self.stats

@@ -1,0 +1,47 @@
+"""Data-parallel kernels.
+
+Each kernel exists in two forms:
+
+- a **batched NumPy** form operating on ``(n_filters, m)`` arrays — the
+  execution path the filters actually use (functionally identical to the
+  paper's one-work-group-per-sub-filter device kernels), and
+- a **work-group (SIMT)** form written against
+  :class:`repro.device.simt.WorkGroup` with explicit barriers and local
+  memory — executable on the device simulator, which verifies the kernels
+  are correct lock-step parallel programs and measures their divergence,
+  barrier and bank-conflict behaviour.
+"""
+
+from repro.kernels.bitonic import (
+    bitonic_argsort_batch,
+    bitonic_network,
+    bitonic_sort_workgroup,
+)
+from repro.kernels.scan import (
+    blelloch_scan_workgroup,
+    exclusive_scan_batch,
+    inclusive_scan_batch,
+)
+from repro.kernels.reduce import argmax_reduce_batch, tree_reduce_workgroup
+from repro.kernels.exchange import route_pairwise, route_pooled
+from repro.kernels.resample_kernels import (
+    alias_build_workgroup,
+    alias_sample_workgroup,
+    rws_workgroup,
+)
+
+__all__ = [
+    "bitonic_network",
+    "bitonic_argsort_batch",
+    "bitonic_sort_workgroup",
+    "exclusive_scan_batch",
+    "inclusive_scan_batch",
+    "blelloch_scan_workgroup",
+    "tree_reduce_workgroup",
+    "argmax_reduce_batch",
+    "rws_workgroup",
+    "route_pairwise",
+    "route_pooled",
+    "alias_sample_workgroup",
+    "alias_build_workgroup",
+]

@@ -1,0 +1,94 @@
+"""Bitonic sort: a fixed O(n log^2 n) comparison network.
+
+The paper sorts each sub-filter's weights with a bitonic sort because its
+comparison sequence is data-independent — ideal for lock-step SIMT execution.
+Particle data is too large for local memory, so only (weight, index) pairs
+are sorted locally and the permutation is applied to global memory afterwards
+(non-contiguous reads preferred over non-contiguous writes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.device.simt import WorkGroup
+from repro.device.memory import LocalMemory
+from repro.utils.arrays import is_power_of_two
+from repro.utils.validation import check_power_of_two
+
+
+def bitonic_network(n: int) -> list[tuple[int, int]]:
+    """The (k, j) stage sequence of the bitonic network for *n* elements."""
+    check_power_of_two(n, "n")
+    stages = []
+    k = 2
+    while k <= n:
+        j = k // 2
+        while j >= 1:
+            stages.append((k, j))
+            j //= 2
+        k *= 2
+    return stages
+
+
+def bitonic_argsort_batch(keys: np.ndarray, descending: bool = False) -> np.ndarray:
+    """Row-wise argsort via the bitonic network, vectorized over rows.
+
+    ``keys`` is (F, m) with m a power of two. Returns (F, m) permutation
+    indices such that ``take_along_axis(keys, perm, 1)`` is sorted. This is
+    the batch-equivalent of launching one sorting work group per sub-filter.
+    """
+    keys = np.atleast_2d(np.asarray(keys))
+    F, m = keys.shape
+    if not is_power_of_two(m):
+        raise ValueError(f"row length must be a power of two, got {m}")
+    work = -keys.copy() if descending else keys.copy()
+    idx = np.broadcast_to(np.arange(m), (F, m)).copy()
+    lane = np.arange(m)
+    for k, j in bitonic_network(m):
+        partner = lane ^ j
+        lo = lane < partner  # each pair handled once, from its low lane
+        up = (lane & k) == 0  # ascending block?
+        a, b = lane[lo], partner[lo]
+        keep_dir = up[lo]
+        va, vb = work[:, a], work[:, b]
+        swap = np.where(keep_dir, va > vb, va < vb)
+        wa = np.where(swap, vb, va)
+        wb = np.where(swap, va, vb)
+        ia = np.where(swap, idx[:, b], idx[:, a])
+        ib = np.where(swap, idx[:, a], idx[:, b])
+        work[:, a], work[:, b] = wa, wb
+        idx[:, a], idx[:, b] = ia, ib
+    return idx
+
+
+def bitonic_sort_workgroup(wg: WorkGroup, keys: LocalMemory, values: LocalMemory | None = None, descending: bool = False) -> None:
+    """In-place bitonic sort of a local-memory array by one work group.
+
+    One lane per element; every network stage is a lock-step compare-exchange
+    followed by a barrier, exactly the shape of the paper's sorting kernel.
+    ``values`` (e.g. the particle index array) is permuted along with the keys.
+    """
+    n = keys.data.shape[0]
+    if n != wg.size:
+        raise ValueError(f"work group size {wg.size} must equal array length {n}")
+    lane = wg.lane
+    for k, j in bitonic_network(n):
+        partner = lane ^ j
+        mine = keys.gather(lane)
+        theirs = keys.gather(partner)
+        up = (lane & k) == 0
+        if descending:
+            up = ~up
+        # Lane keeps min if it is the low lane of an ascending pair (or the
+        # high lane of a descending one); predicated select, no branches.
+        is_low = lane < partner
+        want_min = is_low == up
+        keep = wg.select(want_min, np.minimum(mine, theirs), np.maximum(mine, theirs))
+        swapped = keep != mine
+        if values is not None:
+            v_mine = values.gather(lane)
+            v_theirs = values.gather(partner)
+            values.scatter(lane, wg.select(swapped, v_theirs, v_mine))
+        keys.scatter(lane, keep)
+        wg.barrier()

@@ -1,0 +1,83 @@
+"""Particle-exchange routing kernels (batched forms).
+
+Given each sub-filter's outgoing contribution (its best-t particles), these
+functions compute what every sub-filter *receives*:
+
+- :func:`route_pairwise` — Ring/Torus/graph topologies: gather each
+  neighbour's contribution via the dense neighbour table (a batched gather,
+  which is exactly the device kernel's shape).
+- :func:`route_pooled` — All-to-All: all contributions enter one global
+  pool; every sub-filter reads back the same top-t of the pool.
+
+Both are used by :class:`~repro.core.distributed.DistributedParticleFilter`
+and by the multiprocessing master (the routing is identical whether the
+blocks live in one address space or many).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_NEG_INF = -np.inf
+
+
+def route_pairwise(
+    send_states: np.ndarray,
+    send_logw: np.ndarray,
+    table: np.ndarray,
+    mask: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Receive buffers for pairwise exchange.
+
+    Parameters
+    ----------
+    send_states / send_logw:
+        ``(F, t, d)`` / ``(F, t)`` — each sub-filter's outgoing particles.
+    table / mask:
+        ``(F, D)`` neighbour table padded with -1 and its validity mask.
+
+    Returns
+    -------
+    ``(recv_states (F, D*t, d), recv_logw (F, D*t))`` with padded slots
+    carrying ``-inf`` weight so they can never be resampled.
+    """
+    send_states = np.asarray(send_states)
+    send_logw = np.asarray(send_logw)
+    table = np.asarray(table)
+    mask = np.asarray(mask, dtype=bool)
+    if send_states.ndim != 3 or send_logw.shape != send_states.shape[:2]:
+        raise ValueError("send_states must be (F, t, d) with matching send_logw (F, t)")
+    if table.shape != mask.shape or table.shape[0] != send_states.shape[0]:
+        raise ValueError("table/mask must be (F, D)")
+    F, t, d = send_states.shape
+    D = table.shape[1]
+    src = np.maximum(table, 0)
+    recv_states = send_states[src]  # (F, D, t, d)
+    recv_logw = np.where(mask[:, :, None], send_logw[src], _NEG_INF)  # (F, D, t)
+    return recv_states.reshape(F, D * t, d), recv_logw.reshape(F, D * t)
+
+
+def route_pooled(
+    send_states: np.ndarray,
+    send_logw: np.ndarray,
+    t: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Receive buffers for All-to-All pooled exchange.
+
+    All contributions are pooled; every sub-filter receives copies of the
+    pool's *t* globally best particles — the "same particles fed into all
+    sub-filters" behaviour that collapses diversity.
+    """
+    send_states = np.asarray(send_states)
+    send_logw = np.asarray(send_logw)
+    if send_states.ndim != 3 or send_logw.shape != send_states.shape[:2]:
+        raise ValueError("send_states must be (F, t', d) with matching send_logw")
+    if t < 1:
+        raise ValueError(f"t must be >= 1, got {t}")
+    F, tp, d = send_states.shape
+    flat_states = send_states.reshape(F * tp, d)
+    flat_logw = send_logw.reshape(F * tp)
+    top = np.argsort(-flat_logw, kind="stable")[:t]
+    recv_states = np.broadcast_to(flat_states[top], (F, top.size, d))
+    recv_logw = np.broadcast_to(flat_logw[top], (F, top.size))
+    return recv_states, recv_logw

@@ -1,0 +1,43 @@
+"""Parallel reductions: the global-estimate kernel's core primitive."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.device.memory import LocalMemory
+from repro.device.simt import WorkGroup
+from repro.utils.validation import check_power_of_two
+
+
+def tree_reduce_workgroup(wg: WorkGroup, values: LocalMemory, op: str = "max") -> float:
+    """Log-depth tree reduction of a local array by one work group.
+
+    ``op`` is ``"max"`` or ``"sum"``. Result lands at index 0 (and is
+    returned). The sequentially-addressed form keeps active lanes contiguous
+    so late stages stay divergence-light within warps.
+    """
+    n = values.data.shape[0]
+    check_power_of_two(n, "len(values)")
+    if n != wg.size:
+        raise ValueError("one lane per element required")
+    stride = n // 2
+    while stride >= 1:
+        active = wg.lane < stride
+        lanes = wg.lane[active]
+        a = values.gather(lanes)
+        b = values.gather(lanes + stride)
+        if op == "max":
+            values.scatter(lanes, np.maximum(a, b))
+        elif op == "sum":
+            values.scatter(lanes, a + b)
+        else:
+            raise ValueError(f"unknown reduction op {op!r}")
+        wg.op()
+        wg.barrier()
+        stride //= 2
+    return float(values[0])
+
+
+def argmax_reduce_batch(keys: np.ndarray) -> np.ndarray:
+    """Row-wise argmax — the batched form of the max-weight local estimate."""
+    return np.argmax(np.atleast_2d(keys), axis=1)

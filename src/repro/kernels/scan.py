@@ -1,0 +1,99 @@
+"""Parallel prefix sum (Blelloch scan).
+
+RWS initialization needs cumulative weight sums; the paper uses the
+bank-conflict-avoiding scan of Harris et al. (GPU Gems 3, ch. 39). The
+work-group form implements the up-sweep/down-sweep tree with optional
+bank-conflict-avoiding index padding so the simulator can demonstrate the
+serialization the padding removes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.device.memory import LocalMemory
+from repro.device.simt import WorkGroup
+from repro.utils.validation import check_power_of_two
+
+_LOG_NUM_BANKS = 5  # 32 banks
+
+
+def conflict_free_offset(i: np.ndarray | int, avoid: bool = True):
+    """The classic padding: shift index i by i >> log2(n_banks)."""
+    return (i >> _LOG_NUM_BANKS) if avoid else (i * 0 if isinstance(i, np.ndarray) else 0)
+
+
+def inclusive_scan_batch(x: np.ndarray) -> np.ndarray:
+    """Row-wise inclusive prefix sums (the batched functional equivalent)."""
+    return np.cumsum(np.atleast_2d(x), axis=1)
+
+
+def exclusive_scan_batch(x: np.ndarray) -> np.ndarray:
+    """Row-wise exclusive prefix sums."""
+    x = np.atleast_2d(x)
+    out = np.zeros_like(x)
+    np.cumsum(x[:, :-1], axis=1, out=out[:, 1:])
+    return out
+
+
+def blelloch_scan_workgroup(wg: WorkGroup, data: np.ndarray, avoid_conflicts: bool = True) -> np.ndarray:
+    """Exclusive scan of ``data`` (length = 2 * group size) by one work group.
+
+    Returns the scanned array. With ``avoid_conflicts=False`` the local
+    memory indices hit the same banks at tree depth >= log2(banks), which the
+    simulator's conflict counter makes visible (the motivating measurement
+    for the padded layout).
+    """
+    data = np.asarray(data, dtype=np.float64)
+    n = data.size
+    check_power_of_two(n, "len(data)")
+    if n != 2 * wg.size:
+        raise ValueError(f"scan of {n} elements needs a work group of {n // 2} threads")
+    mem = wg.local_array(n + (conflict_free_offset(n - 1, True) + 1 if avoid_conflicts else 0))
+    ai_all = 2 * wg.lane
+    bi_all = 2 * wg.lane + 1
+    mem.scatter(ai_all + conflict_free_offset(ai_all, avoid_conflicts), data[ai_all])
+    mem.scatter(bi_all + conflict_free_offset(bi_all, avoid_conflicts), data[bi_all])
+    wg.barrier()
+
+    # Up-sweep: build the reduction tree in place.
+    offset = 1
+    d = n >> 1
+    while d > 0:
+        active = wg.lane < d
+        lanes = wg.lane[active]
+        ai = offset * (2 * lanes + 1) - 1
+        bi = offset * (2 * lanes + 2) - 1
+        ai = ai + conflict_free_offset(ai, avoid_conflicts)
+        bi = bi + conflict_free_offset(bi, avoid_conflicts)
+        mem.scatter(bi, mem.gather(bi) + mem.gather(ai))
+        wg.op()
+        wg.barrier()
+        offset <<= 1
+        d >>= 1
+
+    # Clear the root, then down-sweep distributing partial sums.
+    last = n - 1 + conflict_free_offset(n - 1, avoid_conflicts)
+    mem[last] = 0.0
+    d = 1
+    while d < n:
+        offset >>= 1
+        wg.barrier()
+        active = wg.lane < d
+        lanes = wg.lane[active]
+        ai = offset * (2 * lanes + 1) - 1
+        bi = offset * (2 * lanes + 2) - 1
+        ai = ai + conflict_free_offset(ai, avoid_conflicts)
+        bi = bi + conflict_free_offset(bi, avoid_conflicts)
+        t = mem.gather(ai)
+        b_val = mem.gather(bi)
+        mem.scatter(ai, b_val)
+        mem.scatter(bi, b_val + t)
+        wg.op(2)
+        d <<= 1
+    wg.barrier()
+
+    out = np.empty(n, dtype=np.float64)
+    out[ai_all] = mem.gather(ai_all + conflict_free_offset(ai_all, avoid_conflicts))
+    out[bi_all] = mem.gather(bi_all + conflict_free_offset(bi_all, avoid_conflicts))
+    return out

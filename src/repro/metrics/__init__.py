@@ -1,0 +1,6 @@
+"""Timing and estimation-error metrics."""
+
+from repro.metrics.timing import PhaseTimer, TimingRNG
+from repro.metrics.error import rmse, time_averaged_error, convergence_step
+
+__all__ = ["PhaseTimer", "TimingRNG", "rmse", "time_averaged_error", "convergence_step"]

@@ -1,0 +1,34 @@
+"""Estimation-error metrics used by the accuracy experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rmse(estimates: np.ndarray, truths: np.ndarray, axis: int = 0) -> np.ndarray:
+    """Root-mean-square of per-step Euclidean errors along *axis*."""
+    e = np.asarray(estimates, dtype=np.float64) - np.asarray(truths, dtype=np.float64)
+    return np.sqrt(np.mean(np.sum(e * e, axis=-1), axis=axis))
+
+
+def time_averaged_error(errors: np.ndarray, warmup: int = 0) -> float:
+    """Mean of per-step scalar errors, skipping the first *warmup* steps
+    (the convergence transient that the paper's averages also exclude)."""
+    errors = np.asarray(errors, dtype=np.float64)
+    if warmup >= errors.shape[0]:
+        raise ValueError(f"warmup {warmup} >= number of steps {errors.shape[0]}")
+    return float(errors[warmup:].mean())
+
+
+def convergence_step(errors: np.ndarray, threshold: float, hold: int = 5) -> int | None:
+    """First step after which the error stays below *threshold* for *hold*
+    consecutive steps; ``None`` if the filter never converges (the paper's
+    Fig. 8 low-particle trace)."""
+    errors = np.asarray(errors, dtype=np.float64)
+    below = errors < threshold
+    run = 0
+    for k, ok in enumerate(below):
+        run = run + 1 if ok else 0
+        if run >= hold:
+            return k - hold + 1
+    return None

@@ -1,0 +1,76 @@
+"""Per-kernel phase timing.
+
+The paper's Fig. 4 breaks a filtering round into six kernels (rand, sampling,
+local sort, global estimate, exchange, resampling). :class:`PhaseTimer`
+accumulates wall-clock seconds per phase; :class:`TimingRNG` attributes the
+time spent generating random numbers to the ``rand`` phase even though the
+draws happen inside model code, mirroring the paper's separate PRNG kernel.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+
+import numpy as np
+
+from repro.prng.streams import FilterRNG
+
+#: Canonical kernel order used by the paper's breakdown plots.
+KERNELS = ("rand", "sampling", "sort", "estimate", "exchange", "resample")
+
+
+class PhaseTimer:
+    """Accumulates seconds per named phase; nestable via re-entrant phases."""
+
+    def __init__(self):
+        self.seconds: dict[str, float] = defaultdict(float)
+        self._active: list[tuple[str, float]] = []
+
+    @contextmanager
+    def phase(self, name: str):
+        start = time.perf_counter()
+        self._active.append((name, start))
+        try:
+            yield
+        finally:
+            self._active.pop()
+            elapsed = time.perf_counter() - start
+            self.seconds[name] += elapsed
+            # Time spent inside a nested phase (e.g. rand inside sampling) is
+            # subtracted from the enclosing phase by crediting it negatively.
+            if self._active:
+                self.seconds[self._active[-1][0]] -= elapsed
+
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+    def fractions(self) -> dict[str, float]:
+        """Phase shares of the total (the paper's stacked-area quantity)."""
+        total = self.total()
+        if total <= 0:
+            return {k: 0.0 for k in self.seconds}
+        return {k: v / total for k, v in self.seconds.items()}
+
+    def reset(self) -> None:
+        self.seconds.clear()
+
+
+class TimingRNG(FilterRNG):
+    """Wraps another RNG, billing generation time to the ``rand`` phase."""
+
+    def __init__(self, inner: FilterRNG, timer: PhaseTimer):
+        self.inner = inner
+        self.timer = timer
+
+    def uniform(self, shape, dtype=np.float64) -> np.ndarray:
+        with self.timer.phase("rand"):
+            return self.inner.uniform(shape, dtype)
+
+    def normal(self, shape, dtype=np.float64) -> np.ndarray:
+        with self.timer.phase("rand"):
+            return self.inner.normal(shape, dtype)
+
+    def spawn(self, stream: int) -> "TimingRNG":
+        return TimingRNG(self.inner.spawn(stream), self.timer)

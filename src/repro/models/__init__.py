@@ -1,0 +1,45 @@
+"""Dynamical system models.
+
+The paper's evaluation model is an N-joint robotic arm with a camera at the
+end-effector tracking an object moving on a fixed x-y plane
+(:class:`~repro.models.robot_arm.RobotArmModel`). The framework separates
+generic particle filtering from model-specific routines, so additional
+estimation problems plug in through :class:`~repro.models.base.StateSpaceModel`:
+a linear-Gaussian model (for exact Kalman-filter validation), the univariate
+nonlinear growth model (UNGM, the classic PF benchmark), and bearings-only
+tracking (a four-state problem like the paper's "small estimation problems").
+"""
+
+from repro.models.base import StateSpaceModel, GroundTruth
+from repro.models.kinematics import forward_kinematics, rot_y, rot_z
+from repro.models.robot_arm import RobotArmModel, RobotArmParams, simulate_arm_tracking
+from repro.models.trajectories import lemniscate, circle, straight_line, random_waypoints
+from repro.models.linear_gaussian import LinearGaussianModel
+from repro.models.ungm import UNGMModel
+from repro.models.bearings_only import BearingsOnlyModel
+from repro.models.stochastic_volatility import StochasticVolatilityModel
+from repro.models.clutter_tracking import ClutterTrackingModel
+from repro.models.map_matching import MapMatchingModel, grid_road_network, random_route
+
+__all__ = [
+    "StateSpaceModel",
+    "GroundTruth",
+    "forward_kinematics",
+    "rot_y",
+    "rot_z",
+    "RobotArmModel",
+    "RobotArmParams",
+    "simulate_arm_tracking",
+    "lemniscate",
+    "circle",
+    "straight_line",
+    "random_waypoints",
+    "LinearGaussianModel",
+    "UNGMModel",
+    "BearingsOnlyModel",
+    "StochasticVolatilityModel",
+    "ClutterTrackingModel",
+    "MapMatchingModel",
+    "grid_road_network",
+    "random_route",
+]

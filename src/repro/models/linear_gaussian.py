@@ -1,0 +1,73 @@
+"""Linear-Gaussian state-space model: x' = A x + B u + w, z = C x + v.
+
+The one model class with a closed-form optimal filter (the Kalman filter in
+:mod:`repro.baselines.kalman`), used to validate that every particle filter
+variant converges to the exact posterior.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import StateSpaceModel
+from repro.prng.streams import FilterRNG
+
+
+class LinearGaussianModel(StateSpaceModel):
+    def __init__(
+        self,
+        A: np.ndarray,
+        C: np.ndarray,
+        Q: np.ndarray,
+        R: np.ndarray,
+        B: np.ndarray | None = None,
+        x0_mean: np.ndarray | None = None,
+        x0_cov: np.ndarray | None = None,
+    ):
+        self.A = np.atleast_2d(np.asarray(A, dtype=np.float64))
+        self.C = np.atleast_2d(np.asarray(C, dtype=np.float64))
+        self.Q = np.atleast_2d(np.asarray(Q, dtype=np.float64))
+        self.R = np.atleast_2d(np.asarray(R, dtype=np.float64))
+        d = self.A.shape[0]
+        if self.A.shape != (d, d):
+            raise ValueError("A must be square")
+        if self.C.shape[1] != d:
+            raise ValueError("C column count must match state dim")
+        if self.Q.shape != (d, d):
+            raise ValueError("Q must be (d, d)")
+        m = self.C.shape[0]
+        if self.R.shape != (m, m):
+            raise ValueError("R must be (m, m)")
+        self.B = None if B is None else np.atleast_2d(np.asarray(B, dtype=np.float64))
+        self.state_dim = d
+        self.measurement_dim = m
+        self.control_dim = 0 if self.B is None else self.B.shape[1]
+        self.x0_mean = np.zeros(d) if x0_mean is None else np.asarray(x0_mean, dtype=np.float64)
+        self.x0_cov = np.eye(d) if x0_cov is None else np.atleast_2d(np.asarray(x0_cov, dtype=np.float64))
+        # Cholesky factors for sampling; computed once.
+        self._Lq = np.linalg.cholesky(self.Q)
+        self._Lr = np.linalg.cholesky(self.R)
+        self._L0 = np.linalg.cholesky(self.x0_cov)
+        self._Rinv = np.linalg.inv(self.R)
+
+    def initial_particles(self, n: int, rng: FilterRNG, dtype=np.float64) -> np.ndarray:
+        z = rng.normal((n, self.state_dim), dtype=np.float64)
+        return (self.x0_mean[None, :] + z @ self._L0.T).astype(dtype, copy=False)
+
+    def transition(self, states: np.ndarray, control: np.ndarray | None, k: int, rng: FilterRNG) -> np.ndarray:
+        states = np.asarray(states)
+        noise = rng.normal(states.shape[:-1] + (self.state_dim,), dtype=np.float64)
+        out = states @ self.A.T + noise @ self._Lq.T
+        if control is not None and self.B is not None:
+            out = out + np.asarray(control) @ self.B.T
+        return out.astype(states.dtype, copy=False)
+
+    def log_likelihood(self, states: np.ndarray, measurement: np.ndarray, k: int) -> np.ndarray:
+        dz = np.asarray(states) @ self.C.T - np.asarray(measurement)
+        return -0.5 * np.einsum("...i,ij,...j->...", dz, self._Rinv, dz)
+
+    def initial_state(self, rng: FilterRNG) -> np.ndarray:
+        return self.x0_mean + self._L0 @ rng.normal((self.state_dim,))
+
+    def observe(self, state: np.ndarray, k: int, rng: FilterRNG) -> np.ndarray:
+        return np.asarray(state) @ self.C.T + self._Lr @ rng.normal((self.measurement_dim,))

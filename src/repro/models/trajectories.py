@@ -1,0 +1,86 @@
+"""Object trajectories for the tracking experiments.
+
+Fig. 8 of the paper uses a lemniscate (figure-eight) ground-truth path "that
+starts by heading up from the right side". All generators return positions
+and finite-difference velocities sampled at the filter period ``h_s``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+
+def _with_velocities(pos: np.ndarray, h_s: float) -> tuple[np.ndarray, np.ndarray]:
+    vel = np.gradient(pos, h_s, axis=0)
+    return pos, vel
+
+
+def lemniscate(
+    n_steps: int,
+    h_s: float = 0.1,
+    scale: float = 1.0,
+    period: float = 20.0,
+    center: tuple[float, float] = (0.0, 0.0),
+    phase: float = 0.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Lemniscate of Bernoulli; returns ``(positions (T,2), velocities (T,2))``.
+
+    With the default phase the path starts at the right-hand crossing point
+    heading upward, matching the paper's Fig. 8 description.
+    """
+    check_positive_int(n_steps, "n_steps")
+    t = phase + 2.0 * np.pi * np.arange(n_steps) * h_s / period
+    denom = 1.0 + np.sin(t) ** 2
+    x = center[0] + scale * np.cos(t) / denom
+    y = center[1] + scale * np.sin(t) * np.cos(t) / denom
+    return _with_velocities(np.stack([x, y], axis=1), h_s)
+
+
+def circle(
+    n_steps: int,
+    h_s: float = 0.1,
+    radius: float = 1.0,
+    period: float = 20.0,
+    center: tuple[float, float] = (0.0, 0.0),
+) -> tuple[np.ndarray, np.ndarray]:
+    """Circular path; constant speed ``2*pi*radius/period``."""
+    check_positive_int(n_steps, "n_steps")
+    t = 2.0 * np.pi * np.arange(n_steps) * h_s / period
+    pos = np.stack([center[0] + radius * np.cos(t), center[1] + radius * np.sin(t)], axis=1)
+    return _with_velocities(pos, h_s)
+
+
+def straight_line(
+    n_steps: int,
+    h_s: float = 0.1,
+    start: tuple[float, float] = (0.0, 0.0),
+    velocity: tuple[float, float] = (0.1, 0.05),
+) -> tuple[np.ndarray, np.ndarray]:
+    """Constant-velocity straight path (the double integrator's sweet spot)."""
+    check_positive_int(n_steps, "n_steps")
+    t = np.arange(n_steps)[:, None] * h_s
+    pos = np.asarray(start)[None, :] + t * np.asarray(velocity)[None, :]
+    vel = np.broadcast_to(np.asarray(velocity, dtype=np.float64), pos.shape).copy()
+    return pos, vel
+
+
+def random_waypoints(
+    n_steps: int,
+    h_s: float = 0.1,
+    n_waypoints: int = 5,
+    extent: float = 1.0,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Piecewise-linear path through random waypoints in a box; a stress
+    trajectory with velocity discontinuities the model noise must absorb."""
+    check_positive_int(n_steps, "n_steps")
+    check_positive_int(n_waypoints, "n_waypoints")
+    rng = np.random.default_rng(seed)
+    wps = rng.uniform(-extent, extent, size=(n_waypoints + 1, 2))
+    seg = np.linspace(0, n_waypoints, n_steps)
+    idx = np.minimum(seg.astype(int), n_waypoints - 1)
+    frac = (seg - idx)[:, None]
+    pos = wps[idx] * (1 - frac) + wps[idx + 1] * frac
+    return _with_velocities(pos, h_s)

@@ -1,0 +1,45 @@
+"""Pseudo-random number generation substrate.
+
+The paper relies on MTGP (a Mersenne-Twister variant for GPUs) to provide many
+uncorrelated random streams, one per work group (= sub-filter), plus a
+Box-Muller transform for normal variates. This package provides from-scratch
+implementations of:
+
+- :class:`~repro.prng.mt19937.MT19937` - the exact Mersenne Twister (period
+  2^19937-1), vectorized block generation, verified against the reference
+  outputs of the original Matsumoto & Nishimura implementation.
+- :class:`~repro.prng.xorshift.XorShift128Plus` - small-state per-lane
+  generator in the style of per-thread GPU generators.
+- :class:`~repro.prng.philox.Philox4x32` - counter-based generator in the
+  style of cuRAND's Philox; each (key, counter) pair is an independent value,
+  so per-sub-filter streams are trivially uncorrelated.
+- :func:`~repro.prng.boxmuller.box_muller` - uniform -> standard-normal
+  transform used by the paper's RNG kernel.
+- :class:`~repro.prng.mtgp.MTGPStreams` - a bank of per-group MT19937
+  generators, the structural analogue of MTGP's per-work-group streams.
+- :class:`~repro.prng.streams.StreamManager` / RNG front-ends used by the
+  filters.
+"""
+
+from repro.prng.mt19937 import MT19937
+from repro.prng.xorshift import XorShift128Plus, splitmix64
+from repro.prng.philox import Philox4x32
+from repro.prng.boxmuller import box_muller, box_muller_pairs
+from repro.prng.mtgp import MTGPStreams
+from repro.prng.streams import StreamManager, FilterRNG, PhiloxRNG, NumpyRNG, XorShiftRNG, make_rng
+
+__all__ = [
+    "MT19937",
+    "XorShift128Plus",
+    "splitmix64",
+    "Philox4x32",
+    "box_muller",
+    "box_muller_pairs",
+    "MTGPStreams",
+    "StreamManager",
+    "FilterRNG",
+    "PhiloxRNG",
+    "NumpyRNG",
+    "XorShiftRNG",
+    "make_rng",
+]

@@ -1,0 +1,138 @@
+"""RNG front-ends used by the filters, plus per-sub-filter stream management.
+
+Every filter in :mod:`repro.core` draws randomness through the small
+:class:`FilterRNG` interface so the generator is swappable: the from-scratch
+Philox/xorshift/MTGP generators reproduce the paper's device-side RNG
+structure, while :class:`NumpyRNG` offers a fast vendor-library path (the
+moral equivalent of linking cuRAND).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+import numpy as np
+
+from repro.prng.boxmuller import box_muller
+from repro.prng.philox import Philox4x32
+from repro.prng.xorshift import XorShift128Plus
+from repro.utils.validation import check_positive_int
+
+
+class FilterRNG(abc.ABC):
+    """Interface for the randomness consumed by a particle filter."""
+
+    @abc.abstractmethod
+    def uniform(self, shape, dtype=np.float64) -> np.ndarray:
+        """Array of the given shape, uniform on [0, 1)."""
+
+    def normal(self, shape, dtype=np.float64) -> np.ndarray:
+        """Array of the given shape, standard normal (Box-Muller default)."""
+        n = int(np.prod(shape)) if np.ndim(shape) else int(shape)
+        if n == 0:
+            return np.empty(shape, dtype=dtype)
+        u = self.uniform((n,), dtype=np.float64)
+        return box_muller(u).reshape(shape).astype(dtype, copy=False)
+
+    @abc.abstractmethod
+    def spawn(self, stream: int) -> "FilterRNG":
+        """An independent generator for sub-stream *stream*."""
+
+
+class PhiloxRNG(FilterRNG):
+    """Counter-based RNG: stateless bijection + a running counter."""
+
+    def __init__(self, seed: int, stream: int = 0):
+        self._philox = Philox4x32(key=seed)
+        self._seed = int(seed)
+        self._stream = int(stream)
+        self._counter = 0
+
+    def uniform(self, shape, dtype=np.float64) -> np.ndarray:
+        n = int(np.prod(shape)) if np.ndim(shape) else int(shape)
+        if n == 0:
+            return np.empty(shape, dtype=dtype)
+        out = self._philox.uniform(self._counter, n, stream=self._stream, dtype=np.float64)
+        self._counter += (n + 3) // 4
+        return out.reshape(shape).astype(dtype, copy=False)
+
+    def spawn(self, stream: int) -> "PhiloxRNG":
+        # Streams are separated in the key lanes, so any (seed, stream) pair
+        # indexes a disjoint random function.
+        return PhiloxRNG(self._seed, stream=self._stream * 0x10001 + stream + 1)
+
+
+class XorShiftRNG(FilterRNG):
+    """Per-lane xorshift128+ bank; mirrors per-thread GPU generators."""
+
+    def __init__(self, seed: int, n_lanes: int = 4096, stream: int = 0):
+        self._seed = int(seed)
+        self._n_lanes = check_positive_int(n_lanes, "n_lanes")
+        self._stream = int(stream)
+        self._bank = XorShift128Plus(seed ^ (stream * 0x9E3779B97F4A7C15 & 0xFFFFFFFFFFFFFFFF), n_lanes)
+
+    def uniform(self, shape, dtype=np.float64) -> np.ndarray:
+        n = int(np.prod(shape)) if np.ndim(shape) else int(shape)
+        if n == 0:
+            return np.empty(shape, dtype=dtype)
+        steps = math.ceil(n / self._n_lanes)
+        vals = self._bank.uniform(steps, dtype=np.float64).reshape(-1)[:n]
+        return vals.reshape(shape).astype(dtype, copy=False)
+
+    def spawn(self, stream: int) -> "XorShiftRNG":
+        return XorShiftRNG(self._seed, self._n_lanes, stream=self._stream * 0x10001 + stream + 1)
+
+
+class NumpyRNG(FilterRNG):
+    """Vendor-library path: NumPy's PCG64 ``Generator``."""
+
+    def __init__(self, seed: int, stream: int = 0):
+        self._seed = int(seed)
+        self._stream = int(stream)
+        self._gen = np.random.default_rng(np.random.SeedSequence(entropy=seed, spawn_key=(stream,)))
+
+    def uniform(self, shape, dtype=np.float64) -> np.ndarray:
+        return self._gen.random(size=shape).astype(dtype, copy=False)
+
+    def normal(self, shape, dtype=np.float64) -> np.ndarray:
+        return self._gen.standard_normal(size=shape).astype(dtype, copy=False)
+
+    def spawn(self, stream: int) -> "NumpyRNG":
+        return NumpyRNG(self._seed, stream=self._stream * 0x10001 + stream + 1)
+
+
+_RNG_KINDS = {"philox": PhiloxRNG, "xorshift": XorShiftRNG, "numpy": NumpyRNG}
+
+
+def make_rng(kind: str = "numpy", seed: int = 0, **kwargs) -> FilterRNG:
+    """Factory for :class:`FilterRNG` instances by name."""
+    try:
+        cls = _RNG_KINDS[kind]
+    except KeyError:
+        raise ValueError(f"unknown rng kind {kind!r}; choose from {sorted(_RNG_KINDS)}") from None
+    return cls(seed, **kwargs)
+
+
+class StreamManager:
+    """Allocates one independent RNG stream per sub-filter.
+
+    This is the structural analogue of MTGP's per-work-group parameter sets:
+    sub-filter ``i`` always receives stream ``i`` of the master seed, so runs
+    are reproducible and streams never collide regardless of how many filters
+    participate.
+    """
+
+    def __init__(self, seed: int, n_streams: int, kind: str = "philox"):
+        self.seed = int(seed)
+        self.n_streams = check_positive_int(n_streams, "n_streams")
+        self.kind = kind
+        self._root = make_rng(kind, seed)
+
+    def stream(self, i: int) -> FilterRNG:
+        if not 0 <= i < self.n_streams:
+            raise IndexError(f"stream index {i} out of range [0, {self.n_streams})")
+        return self._root.spawn(i)
+
+    def all_streams(self) -> list[FilterRNG]:
+        return [self.stream(i) for i in range(self.n_streams)]

@@ -1,0 +1,66 @@
+"""xorshift128+ with many parallel lanes, plus the SplitMix64 seeder.
+
+On GPUs, per-thread generators need tiny state; xorshift128+ (Vigna, 2014)
+uses two 64-bit words and a handful of shifts/xors. We keep one lane per
+"thread" and step all lanes with vectorized NumPy ops, mirroring how a SIMT
+device advances one generator per lane in lockstep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+_MASK64 = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def splitmix64(seed: int, n: int) -> np.ndarray:
+    """Generate *n* well-mixed 64-bit values from a single integer seed.
+
+    SplitMix64 is the recommended seeder for xorshift-family generators: it
+    guarantees distinct, decorrelated lane states even for adjacent seeds.
+    """
+    n = check_positive_int(n, "n")
+    x = (np.uint64(seed & 0xFFFFFFFFFFFFFFFF) + np.arange(1, n + 1, dtype=np.uint64) * np.uint64(0x9E3779B97F4A7C15))
+    z = x
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    z = z ^ (z >> np.uint64(31))
+    return z
+
+
+class XorShift128Plus:
+    """A bank of *n_lanes* independent xorshift128+ generators.
+
+    Each call to :meth:`next_uint64` advances every lane by one step and
+    returns one 64-bit output per lane.
+    """
+
+    def __init__(self, seed: int, n_lanes: int):
+        self.n_lanes = check_positive_int(n_lanes, "n_lanes")
+        s = splitmix64(seed, 2 * n_lanes)
+        self.s0 = s[:n_lanes].copy()
+        self.s1 = s[n_lanes:].copy()
+        # A zero (s0, s1) pair would be a fixed point; SplitMix64 cannot
+        # produce two consecutive zeros, but guard anyway.
+        dead = (self.s0 == 0) & (self.s1 == 0)
+        self.s1[dead] = np.uint64(1)
+
+    def next_uint64(self) -> np.ndarray:
+        s1 = self.s0
+        s0 = self.s1
+        result = (s0 + s1) & _MASK64
+        s1 = s1 ^ (s1 << np.uint64(23))
+        self.s0 = s0
+        self.s1 = (s1 ^ s0 ^ (s1 >> np.uint64(18)) ^ (s0 >> np.uint64(5))) & _MASK64
+        return result
+
+    def uniform(self, n_steps: int = 1, dtype=np.float64) -> np.ndarray:
+        """Shape ``(n_steps, n_lanes)`` uniforms on [0, 1)."""
+        n_steps = check_positive_int(n_steps, "n_steps")
+        out = np.empty((n_steps, self.n_lanes), dtype=np.float64)
+        for i in range(n_steps):
+            # Use the top 53 bits for a full-precision double in [0, 1).
+            out[i] = (self.next_uint64() >> np.uint64(11)).astype(np.float64) * (1.0 / 9007199254740992.0)
+        return out.astype(dtype, copy=False)

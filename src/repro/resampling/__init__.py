@@ -1,0 +1,56 @@
+"""Resampling algorithms and policies.
+
+The paper compares two algorithms for sampling-with-replacement from the
+discrete weight distribution:
+
+- **Roulette Wheel Selection (RWS)**: Theta(n) prefix-sum initialization,
+  Theta(log n) binary-search generation per sample
+  (:class:`~repro.resampling.rws.RouletteWheelResampler`).
+- **Vose's alias method**: Theta(n) initialization, Theta(1) generation
+  (:class:`~repro.resampling.vose.VoseAliasResampler`), including the
+  parallel bulk/paired table construction the paper implements on GPUs (where
+  "concurrency usually drops steeply towards one").
+
+We additionally provide multinomial, systematic, stratified and residual
+resamplers (standard particle-filtering alternatives), effective-sample-size
+computation, and the resample-when policies discussed in Section IV (always,
+ESS threshold, random fixed frequency).
+"""
+
+from repro.resampling.base import Resampler, resample_counts
+from repro.resampling.multinomial import MultinomialResampler
+from repro.resampling.rws import RouletteWheelResampler, rws_indices, rws_indices_batch
+from repro.resampling.vose import (
+    VoseAliasResampler,
+    alias_sample,
+    build_alias_table,
+    build_alias_table_parallel,
+)
+from repro.resampling.systematic import SystematicResampler, StratifiedResampler
+from repro.resampling.residual import ResidualResampler
+from repro.resampling.ess import (
+    AlwaysResample,
+    ESSThresholdPolicy,
+    RandomFrequencyPolicy,
+    effective_sample_size,
+)
+
+__all__ = [
+    "Resampler",
+    "resample_counts",
+    "MultinomialResampler",
+    "RouletteWheelResampler",
+    "rws_indices",
+    "rws_indices_batch",
+    "VoseAliasResampler",
+    "build_alias_table",
+    "build_alias_table_parallel",
+    "alias_sample",
+    "SystematicResampler",
+    "StratifiedResampler",
+    "ResidualResampler",
+    "effective_sample_size",
+    "AlwaysResample",
+    "ESSThresholdPolicy",
+    "RandomFrequencyPolicy",
+]

@@ -1,0 +1,27 @@
+"""Plain multinomial resampling (i.i.d. draws from the weight distribution)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.prng.streams import FilterRNG
+from repro.resampling.base import Resampler
+from repro.utils.arrays import normalize_weights
+
+
+class MultinomialResampler(Resampler):
+    """Baseline multinomial resampler via inverse-CDF on sorted uniforms.
+
+    Statistically identical to RWS (both draw i.i.d. ancestors); kept separate
+    because it sorts its uniforms first, which converts the binary search into
+    a single merge pass - the standard sequential-machine optimization.
+    """
+
+    name = "multinomial"
+
+    def resample(self, weights: np.ndarray, n_out: int, rng: FilterRNG) -> np.ndarray:
+        w = self._validate(weights, n_out)
+        c = np.cumsum(normalize_weights(w))
+        c[-1] = 1.0  # guard against fp shortfall
+        u = np.sort(rng.uniform((n_out,)))
+        return np.searchsorted(c, u, side="right").astype(np.int64)

@@ -1,0 +1,35 @@
+"""Residual resampling: deterministic integer parts + multinomial remainder."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.prng.streams import FilterRNG
+from repro.resampling.base import Resampler
+from repro.resampling.rws import rws_indices
+from repro.utils.arrays import normalize_weights
+
+
+class ResidualResampler(Resampler):
+    """Each index i is kept ``floor(n w_i)`` times; the remainder is drawn
+    multinomially from the residual weights. Lower variance than multinomial
+    at the same cost order."""
+
+    name = "residual"
+
+    def resample(self, weights: np.ndarray, n_out: int, rng: FilterRNG) -> np.ndarray:
+        w = normalize_weights(self._validate(weights, n_out))
+        expected = n_out * w
+        base = np.floor(expected).astype(np.int64)
+        n_det = int(base.sum())
+        out = np.repeat(np.arange(w.size, dtype=np.int64), base)
+        n_rand = n_out - n_det
+        if n_rand > 0:
+            residual = expected - base
+            total = residual.sum()
+            if total <= 0:  # all weights were exact multiples of 1/n_out
+                extra = rws_indices(w, rng.uniform((n_rand,)))
+            else:
+                extra = rws_indices(residual / total, rng.uniform((n_rand,)))
+            out = np.concatenate([out, extra])
+        return out

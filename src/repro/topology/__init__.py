@@ -1,0 +1,25 @@
+"""Particle-exchange topologies (Fig. 1 of the paper).
+
+Sub-filters form a network; each round every sub-filter sends its best ``t``
+particles to each neighbour. The paper considers All-to-All, Ring and 2D
+Torus and finds that lower connectivity preserves diversity (All-to-All is
+worst, Ring wins for small networks, Torus for large ones). Arbitrary graphs
+are supported through :class:`~repro.topology.custom.GraphTopology` for
+ablations.
+"""
+
+from repro.topology.base import ExchangeTopology
+from repro.topology.ring import RingTopology
+from repro.topology.torus import Torus2DTopology
+from repro.topology.alltoall import AllToAllTopology
+from repro.topology.custom import GraphTopology
+from repro.topology.base import make_topology
+
+__all__ = [
+    "ExchangeTopology",
+    "RingTopology",
+    "Torus2DTopology",
+    "AllToAllTopology",
+    "GraphTopology",
+    "make_topology",
+]

@@ -1,0 +1,22 @@
+"""All-to-All exchange (Fig. 1a): a shared particle pool.
+
+Every sub-filter supplies its best ``t`` particles to a global pool, then all
+sub-filters read back the same ``t`` best particles of the pool. This is the
+natural scheme for globally shared memory — and the paper's headline negative
+result: feeding identical particles to every sub-filter collapses diversity
+and yields the *worst* estimates.
+"""
+
+from __future__ import annotations
+
+from repro.topology.base import ExchangeTopology
+
+
+class AllToAllTopology(ExchangeTopology):
+    name = "all-to-all"
+    pooled = True
+
+    def neighbors(self, i: int) -> list[int]:
+        if not 0 <= i < self.n_filters:
+            raise IndexError(f"filter index {i} out of range")
+        return [j for j in range(self.n_filters) if j != i]

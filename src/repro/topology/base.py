@@ -1,0 +1,88 @@
+"""Topology interface and factory."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+import networkx as nx
+
+from repro.utils.validation import check_positive_int
+
+
+class ExchangeTopology(abc.ABC):
+    """A set of neighbour relations between ``n_filters`` sub-filters.
+
+    ``neighbor_table()`` is the device-friendly representation: a dense
+    ``(n_filters, max_degree)`` int array padded with ``-1`` so that exchange
+    kernels are branch-free gathers.
+    """
+
+    name: str = "base"
+    #: All-to-All uses pooled exchange semantics instead of pairwise sends.
+    pooled: bool = False
+
+    def __init__(self, n_filters: int):
+        self.n_filters = check_positive_int(n_filters, "n_filters")
+
+    @abc.abstractmethod
+    def neighbors(self, i: int) -> list[int]:
+        """Sorted neighbour ids of sub-filter *i* (excluding *i* itself)."""
+
+    @property
+    def max_degree(self) -> int:
+        return max((len(self.neighbors(i)) for i in range(self.n_filters)), default=0)
+
+    def neighbor_table(self) -> np.ndarray:
+        """Dense ``(n_filters, max_degree)`` table padded with -1."""
+        deg = self.max_degree
+        table = np.full((self.n_filters, deg), -1, dtype=np.int64)
+        for i in range(self.n_filters):
+            nb = self.neighbors(i)
+            table[i, : len(nb)] = nb
+        return table
+
+    def as_networkx(self) -> nx.Graph:
+        g = nx.Graph()
+        g.add_nodes_from(range(self.n_filters))
+        for i in range(self.n_filters):
+            g.add_edges_from((i, j) for j in self.neighbors(i))
+        return g
+
+    def validate(self) -> None:
+        """Check symmetry and self-loop freedom of the neighbour relation."""
+        for i in range(self.n_filters):
+            nb = self.neighbors(i)
+            if i in nb:
+                raise ValueError(f"filter {i} lists itself as neighbour")
+            if len(set(nb)) != len(nb):
+                raise ValueError(f"filter {i} has duplicate neighbours")
+            for j in nb:
+                if not 0 <= j < self.n_filters:
+                    raise ValueError(f"filter {i} has out-of-range neighbour {j}")
+                if i not in self.neighbors(j):
+                    raise ValueError(f"edge {i}->{j} is not symmetric")
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n_filters={self.n_filters})"
+
+
+def make_topology(name: str, n_filters: int, **kwargs) -> ExchangeTopology:
+    """Factory: ``'ring' | 'torus' | 'all-to-all' | 'none'`` by name."""
+    from repro.topology.alltoall import AllToAllTopology
+    from repro.topology.custom import GraphTopology
+    from repro.topology.ring import RingTopology
+    from repro.topology.torus import Torus2DTopology
+
+    key = name.lower().replace("_", "-")
+    if key == "ring":
+        return RingTopology(n_filters, **kwargs)
+    if key in ("torus", "2d-torus", "torus2d"):
+        return Torus2DTopology(n_filters, **kwargs)
+    if key in ("all-to-all", "alltoall"):
+        return AllToAllTopology(n_filters, **kwargs)
+    if key in ("none", "isolated"):
+        import networkx as nx
+
+        return GraphTopology(nx.empty_graph(n_filters), name="none")
+    raise ValueError(f"unknown topology {name!r}; choose ring, torus, all-to-all or none")

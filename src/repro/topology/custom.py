@@ -1,0 +1,42 @@
+"""Arbitrary exchange graphs via networkx, for topology ablations."""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.topology.base import ExchangeTopology
+
+
+class GraphTopology(ExchangeTopology):
+    """Wrap any undirected networkx graph with nodes ``0..n-1``.
+
+    Enables ablations beyond the paper's three schemes (random regular
+    graphs, hypercubes, expanders, ...).
+    """
+
+    def __init__(self, graph: nx.Graph, name: str = "graph"):
+        nodes = sorted(graph.nodes)
+        if nodes != list(range(len(nodes))):
+            raise ValueError("graph nodes must be exactly 0..n-1")
+        if any(graph.has_edge(i, i) for i in nodes):
+            raise ValueError("self-loops are not allowed")
+        super().__init__(len(nodes))
+        self.graph = graph
+        self.name = name
+
+    def neighbors(self, i: int) -> list[int]:
+        if not 0 <= i < self.n_filters:
+            raise IndexError(f"filter index {i} out of range")
+        return sorted(self.graph.neighbors(i))
+
+    @classmethod
+    def random_regular(cls, degree: int, n_filters: int, seed: int = 0) -> "GraphTopology":
+        """A random *degree*-regular graph — connectivity between ring (2)
+        and torus (4) for the exchange-scheme ablation."""
+        g = nx.random_regular_graph(degree, n_filters, seed=seed)
+        return cls(nx.convert_node_labels_to_integers(g), name=f"regular-{degree}")
+
+    @classmethod
+    def hypercube(cls, dim: int) -> "GraphTopology":
+        g = nx.hypercube_graph(dim)
+        return cls(nx.convert_node_labels_to_integers(g), name=f"hypercube-{dim}")

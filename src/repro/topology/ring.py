@@ -1,0 +1,25 @@
+"""Bidirectional ring topology (Fig. 1b)."""
+
+from __future__ import annotations
+
+from repro.topology.base import ExchangeTopology
+
+
+class RingTopology(ExchangeTopology):
+    """Each sub-filter exchanges with its two ring neighbours.
+
+    The paper finds the ring is the best scheme for *small* networks: minimal
+    connectivity preserves particle diversity.
+    """
+
+    name = "ring"
+
+    def neighbors(self, i: int) -> list[int]:
+        if not 0 <= i < self.n_filters:
+            raise IndexError(f"filter index {i} out of range")
+        n = self.n_filters
+        if n == 1:
+            return []
+        if n == 2:
+            return [(i + 1) % 2]
+        return sorted({(i - 1) % n, (i + 1) % n})

@@ -1,0 +1,57 @@
+"""2D torus topology (Fig. 1c)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.topology.base import ExchangeTopology
+
+
+def _near_square_factors(n: int) -> tuple[int, int]:
+    """Factor n = rows * cols with rows <= cols as close to square as possible."""
+    r = int(math.isqrt(n))
+    while r > 1 and n % r:
+        r -= 1
+    return r, n // r
+
+
+class Torus2DTopology(ExchangeTopology):
+    """Sub-filters on a ``rows x cols`` grid with wrap-around links.
+
+    Degree 4 (up/down/left/right). The paper finds the extra connectivity
+    wins for *large* networks, where it propagates likely particles faster.
+
+    Parameters
+    ----------
+    rows, cols:
+        optional explicit grid shape; by default the most-square
+        factorization of ``n_filters`` is used. A prime ``n_filters``
+        degenerates to a 1 x n grid (a ring with doubled links collapsed).
+    """
+
+    name = "torus"
+
+    def __init__(self, n_filters: int, rows: int | None = None, cols: int | None = None):
+        super().__init__(n_filters)
+        if rows is None and cols is None:
+            rows, cols = _near_square_factors(n_filters)
+        elif rows is None:
+            rows = n_filters // cols
+        elif cols is None:
+            cols = n_filters // rows
+        if rows * cols != n_filters:
+            raise ValueError(f"rows*cols must equal n_filters: {rows}*{cols} != {n_filters}")
+        self.rows, self.cols = int(rows), int(cols)
+
+    def neighbors(self, i: int) -> list[int]:
+        if not 0 <= i < self.n_filters:
+            raise IndexError(f"filter index {i} out of range")
+        r, c = divmod(i, self.cols)
+        cand = {
+            ((r - 1) % self.rows) * self.cols + c,
+            ((r + 1) % self.rows) * self.cols + c,
+            r * self.cols + (c - 1) % self.cols,
+            r * self.cols + (c + 1) % self.cols,
+        }
+        cand.discard(i)  # collapses duplicated wrap links on 1- or 2-wide grids
+        return sorted(cand)

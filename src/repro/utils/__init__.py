@@ -1,0 +1,19 @@
+"""Shared helpers: argument validation and small array utilities."""
+
+from repro.utils.validation import (
+    check_dtype,
+    check_positive_int,
+    check_power_of_two,
+    check_probability_vector,
+)
+from repro.utils.arrays import is_power_of_two, next_power_of_two, normalize_weights
+
+__all__ = [
+    "check_dtype",
+    "check_positive_int",
+    "check_power_of_two",
+    "check_probability_vector",
+    "is_power_of_two",
+    "next_power_of_two",
+    "normalize_weights",
+]

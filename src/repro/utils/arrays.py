@@ -1,0 +1,33 @@
+"""Small array utilities used throughout the library."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def is_power_of_two(n: int) -> bool:
+    """True if *n* is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def next_power_of_two(n: int) -> int:
+    """Smallest power of two >= *n* (n must be positive)."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    return 1 << (int(n) - 1).bit_length()
+
+
+def normalize_weights(w: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Normalize weights along *axis* to sum to one.
+
+    Degenerate rows (all-zero or non-finite total) fall back to uniform
+    weights, which is the conventional particle-filter rescue for a particle
+    set whose likelihoods all underflowed.
+    """
+    w = np.asarray(w, dtype=np.float64)
+    total = w.sum(axis=axis, keepdims=True)
+    bad = ~np.isfinite(total) | (total <= 0)
+    n = w.shape[axis]
+    with np.errstate(invalid="ignore", divide="ignore"):
+        out = np.where(bad, 1.0 / n, w / np.where(bad, 1.0, total))
+    return out

@@ -1,0 +1,51 @@
+"""Argument validation helpers.
+
+All public entry points of the library validate their inputs eagerly so that
+configuration errors surface at construction time rather than deep inside a
+vectorized kernel where the resulting shape error would be cryptic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Return *value* if it is a positive integer, else raise ``ValueError``."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_power_of_two(value: int, name: str) -> int:
+    """Return *value* if it is a positive power of two, else raise."""
+    value = check_positive_int(value, name)
+    if value & (value - 1) != 0:
+        raise ValueError(f"{name} must be a power of two, got {value}")
+    return value
+
+
+def check_dtype(dtype) -> np.dtype:
+    """Coerce *dtype* to a floating point NumPy dtype (float32 or float64)."""
+    dt = np.dtype(dtype)
+    if dt not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise ValueError(f"dtype must be float32 or float64, got {dt}")
+    return dt
+
+
+def check_probability_vector(w: np.ndarray, name: str = "weights") -> np.ndarray:
+    """Validate that *w* is a 1-D non-negative vector with positive mass."""
+    w = np.asarray(w, dtype=np.float64)
+    if w.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {w.shape}")
+    if w.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    if not np.all(np.isfinite(w)):
+        raise ValueError(f"{name} must be finite")
+    if np.any(w < 0):
+        raise ValueError(f"{name} must be non-negative")
+    if w.sum() <= 0:
+        raise ValueError(f"{name} must have positive total mass")
+    return w

@@ -1,0 +1,94 @@
+"""Tests for the sequential reference and device-simulated backends."""
+
+import numpy as np
+import pytest
+
+from repro.backends import DeviceSimulatedFilter, SequentialDistributedParticleFilter
+from repro.core import DistributedFilterConfig, DistributedParticleFilter, run_filter
+from repro.models import LinearGaussianModel
+from repro.prng import make_rng
+
+
+def lg_model():
+    return LinearGaussianModel(A=[[0.9]], C=[[1.0]], Q=[[0.04]], R=[[0.01]])
+
+
+def cfg(**kw):
+    base = dict(n_particles=16, n_filters=8, estimator="weighted_mean", seed=3)
+    base.update(kw)
+    return DistributedFilterConfig(**base)
+
+
+class TestSequentialReference:
+    def test_tracks_linear_system(self):
+        model = lg_model()
+        truth = model.simulate(25, make_rng("numpy", seed=0))
+        ref = SequentialDistributedParticleFilter(model, cfg())
+        run = run_filter(ref, model, truth)
+        assert run.mean_error(warmup=8) < 0.3
+
+    @pytest.mark.parametrize("topology", ["ring", "all-to-all", "none"])
+    def test_topologies(self, topology):
+        model = lg_model()
+        truth = model.simulate(15, make_rng("numpy", seed=1))
+        ref = SequentialDistributedParticleFilter(model, cfg(topology=topology))
+        assert np.isfinite(run_filter(ref, model, truth).errors).all()
+
+    def test_statistically_matches_vectorized(self):
+        # The oracle check of Section VIII-A: reference and optimized
+        # implementations must deliver the same estimation accuracy.
+        model = lg_model()
+        ref_errs, vec_errs = [], []
+        for r in range(4):
+            truth = model.simulate(30, make_rng("numpy", seed=100 + r))
+            ref = SequentialDistributedParticleFilter(model, cfg(seed=r))
+            vec = DistributedParticleFilter(model, cfg(seed=r))
+            ref_errs.append(run_filter(ref, model, truth).mean_error(warmup=10))
+            vec_errs.append(run_filter(vec, model, truth).mean_error(warmup=10))
+        assert abs(np.mean(ref_errs) - np.mean(vec_errs)) < 0.06
+
+    def test_exchange_improves_over_isolated(self):
+        model = lg_model()
+        errs = {}
+        for topo, t in (("ring", 2), ("none", 0)):
+            acc = 0.0
+            for r in range(3):
+                truth = model.simulate(25, make_rng("numpy", seed=50 + r))
+                ref = SequentialDistributedParticleFilter(model, cfg(n_particles=8, topology=topo, n_exchange=t, seed=r))
+                acc += run_filter(ref, model, truth).mean_error(warmup=8)
+            errs[topo] = acc / 3
+        assert errs["ring"] <= errs["none"] * 1.2
+
+
+class TestDeviceSimulatedBackend:
+    def test_estimates_match_inner_filter(self):
+        model = lg_model()
+        truth = model.simulate(10, make_rng("numpy", seed=2))
+        inner_a = DistributedParticleFilter(model, cfg())
+        inner_b = DistributedParticleFilter(model, cfg())
+        sim = DeviceSimulatedFilter(inner_b, "gtx-580")
+        a = run_filter(inner_a, model, truth).estimates
+        b = run_filter(sim, model, truth).estimates
+        np.testing.assert_array_equal(a, b)
+
+    def test_simulated_time_accumulates(self):
+        model = lg_model()
+        sim = DeviceSimulatedFilter(DistributedParticleFilter(model, cfg()), "gtx-580")
+        sim.initialize()
+        sim.step(np.array([0.0]))
+        sim.step(np.array([0.0]))
+        assert sim.simulated_seconds == pytest.approx(2 * sim.round_cost.total_seconds)
+        assert sim.simulated_update_rate_hz > 0
+        assert abs(sum(sim.simulated_breakdown().values()) - 1.0) < 1e-9
+
+    def test_platform_object_accepted(self):
+        from repro.device import get_platform
+
+        model = lg_model()
+        sim = DeviceSimulatedFilter(DistributedParticleFilter(model, cfg()), get_platform("hd-7970"))
+        assert sim.device.name.endswith("7970")
+
+    def test_unknown_platform_rejected(self):
+        model = lg_model()
+        with pytest.raises(ValueError):
+            DeviceSimulatedFilter(DistributedParticleFilter(model, cfg()), "gtx-9999")

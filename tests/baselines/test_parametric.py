@@ -1,0 +1,124 @@
+"""Tests for Kalman, EKF, UKF and Gaussian-PF baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ExtendedKalmanFilter,
+    GaussianParticleFilter,
+    KalmanFilter,
+    UnscentedKalmanFilter,
+    numerical_jacobian,
+)
+from repro.core import CentralizedFilterConfig, CentralizedParticleFilter, run_filter
+from repro.models import LinearGaussianModel, RobotArmModel, lemniscate, simulate_arm_tracking
+from repro.prng import make_rng
+
+
+def lg_model():
+    return LinearGaussianModel(
+        A=[[1.0, 0.1], [0.0, 0.95]],
+        C=[[1.0, 0.0]],
+        Q=np.diag([0.001, 0.01]),
+        R=[[0.01]],
+        x0_mean=[0.0, 0.5],
+        x0_cov=np.eye(2) * 0.2,
+    )
+
+
+def test_kalman_tracks_linear_system():
+    model = lg_model()
+    truth = model.simulate(80, make_rng("numpy", seed=0))
+    run = run_filter(KalmanFilter(model), model, truth)
+    assert run.mean_error(warmup=10) < 0.2
+
+
+def test_kalman_is_optimal_vs_particle_filter():
+    # PF error must approach (and not beat meaningfully) the KF's.
+    model = lg_model()
+    truth = model.simulate(80, make_rng("numpy", seed=1))
+    kf_err = run_filter(KalmanFilter(model), model, truth).mean_error(warmup=10)
+    pf = CentralizedParticleFilter(
+        model, CentralizedFilterConfig(n_particles=5000, estimator="weighted_mean", seed=2)
+    )
+    pf_err = run_filter(pf, model, truth).mean_error(warmup=10)
+    assert pf_err < 1.6 * kf_err + 0.02
+    assert kf_err < 1.2 * pf_err + 0.02
+
+
+def test_numerical_jacobian_on_linear_fn():
+    A = np.array([[1.0, 2.0], [3.0, 4.0]])
+    J = numerical_jacobian(lambda x: A @ x, np.array([0.3, -0.7]))
+    np.testing.assert_allclose(J, A, atol=1e-6)
+
+
+def test_numerical_jacobian_on_nonlinear_fn():
+    J = numerical_jacobian(lambda x: np.array([np.sin(x[0]) * x[1]]), np.array([0.5, 2.0]))
+    np.testing.assert_allclose(J, [[2.0 * np.cos(0.5), np.sin(0.5)]], atol=1e-6)
+
+
+def test_ekf_matches_kalman_on_linear_model():
+    model = lg_model()
+    truth = model.simulate(40, make_rng("numpy", seed=3))
+    ekf = ExtendedKalmanFilter(
+        f=lambda x, u, k: model.A @ x,
+        h=lambda x: model.C @ x,
+        Q=model.Q,
+        R=model.R,
+        x0_mean=model.x0_mean,
+        x0_cov=model.x0_cov,
+    )
+    kf_run = run_filter(KalmanFilter(model), model, truth)
+    ekf_run = run_filter(ekf, model, truth)
+    np.testing.assert_allclose(ekf_run.estimates, kf_run.estimates, atol=1e-4)
+
+
+def test_ukf_matches_kalman_on_linear_model():
+    model = lg_model()
+    truth = model.simulate(40, make_rng("numpy", seed=4))
+    ukf = UnscentedKalmanFilter(
+        f=lambda x, u, k: model.A @ x,
+        h=lambda x: model.C @ x,
+        Q=model.Q,
+        R=model.R,
+        x0_mean=model.x0_mean,
+        x0_cov=model.x0_cov,
+    )
+    kf_run = run_filter(KalmanFilter(model), model, truth)
+    ukf_run = run_filter(ukf, model, truth)
+    np.testing.assert_allclose(ukf_run.estimates, kf_run.estimates, atol=1e-3)
+
+
+@pytest.mark.parametrize("cls", [ExtendedKalmanFilter, UnscentedKalmanFilter])
+def test_parametric_filters_run_on_robot_arm(cls):
+    model = RobotArmModel()
+    pos, vel = lemniscate(40, h_s=model.params.h_s)
+    truth = simulate_arm_tracking(model, pos, vel, make_rng("numpy", seed=5))
+    flt = cls.for_robot_arm(model)
+    run = run_filter(flt, model, truth)
+    assert np.isfinite(run.errors).all()
+    # Angles are nearly linear-Gaussian, so these should at least not diverge.
+    assert run.mean_error(warmup=10) < 2.0
+
+
+def test_gaussian_pf_tracks_linear_system():
+    model = lg_model()
+    truth = model.simulate(60, make_rng("numpy", seed=6))
+    gpf = GaussianParticleFilter(model, n_particles=2000, seed=7)
+    run = run_filter(gpf, model, truth)
+    # Full-state error includes the indirectly observed velocity component.
+    assert run.mean_error(warmup=10) < 0.3
+
+
+def test_gaussian_pf_close_to_kalman_on_gaussian_problem():
+    # Related work [12]: GPF is "equally accurate for (near-)Gaussian problems".
+    model = lg_model()
+    truth = model.simulate(60, make_rng("numpy", seed=8))
+    kf_err = run_filter(KalmanFilter(model), model, truth).mean_error(warmup=10)
+    gpf_err = run_filter(GaussianParticleFilter(model, 4000, seed=9), model, truth).mean_error(warmup=10)
+    assert gpf_err < 1.6 * kf_err + 0.02
+
+
+def test_gaussian_pf_validation():
+    with pytest.raises((ValueError, TypeError)):
+        GaussianParticleFilter(lg_model(), n_particles=0)

@@ -1,0 +1,44 @@
+"""Tests for the benchmark harness utilities."""
+
+import numpy as np
+import pytest
+
+from repro.bench import format_table
+from repro.bench.harness import arm_truth, sweep_error
+from repro.core import DistributedFilterConfig
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_alignment_and_floats(self):
+        rows = [{"name": "a", "value": 1.23456}, {"name": "bb", "value": 10.0}]
+        out = format_table(rows)
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.235" in out  # 4 significant digits
+
+    def test_heterogeneous_keys(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3.0}]
+        out = format_table(rows)
+        assert "b" in out.splitlines()[0]
+        assert "-" in out.splitlines()[2]  # missing cell marker
+
+    def test_non_numeric_cells(self):
+        out = format_table([{"scheme": "ring", "n": 4}])
+        assert "ring" in out
+
+
+def test_arm_truth_deterministic():
+    a = arm_truth(10, seed=5)
+    b = arm_truth(10, seed=5)
+    np.testing.assert_array_equal(a.measurements, b.measurements)
+    assert a.n_steps == 10
+
+
+def test_sweep_error_returns_scalar():
+    cfg = DistributedFilterConfig(n_particles=8, n_filters=8, estimator="weighted_mean")
+    err = sweep_error(cfg, n_runs=1, n_steps=25, warmup=8)
+    assert isinstance(err, float)
+    assert 0 < err < 5

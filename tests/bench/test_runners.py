@@ -1,0 +1,79 @@
+"""API-stability tests for the per-figure bench runners (tiny parameters)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    run_fig3,
+    run_fig4a,
+    run_fig4b,
+    run_fig4c,
+    run_fig5_centralized,
+    run_fig5_subfilter,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    table2_rows,
+    table3_rows,
+)
+from repro.metrics.timing import KERNELS
+
+
+def test_fig3_rows_have_all_platforms():
+    rows = run_fig3(totals=[1024, 4096], measure_host=False)
+    assert len(rows) == 2
+    for r in rows:
+        for p in ("i7-2820qm", "gtx-580", "hd-7970", "seq_centralized"):
+            assert r[p] > 0
+
+
+def test_fig3_host_measurement_included_for_small_totals():
+    rows = run_fig3(totals=[1024], measure_host=True)
+    assert rows[0]["host_numpy_measured"] > 0
+
+
+@pytest.mark.parametrize("runner,label", [(run_fig4a, "particles_per_subfilter"), (run_fig4b, "n_subfilters"), (run_fig4c, "state_dim")])
+def test_fig4_rows_are_normalized_breakdowns(runner, label):
+    rows = runner()
+    for r in rows:
+        assert label in r
+        total = sum(r[k] for k in KERNELS)
+        assert total == pytest.approx(1.0, abs=1e-6)
+        assert r["total_ms"] > 0
+
+
+def test_fig5_runners_shapes():
+    central = run_fig5_centralized(sizes=[1024, 4096])
+    sub = run_fig5_subfilter(totals=[8192])
+    assert {r["n_particles"] for r in central} == {1024, 4096}
+    for r in central + sub:
+        for k in r:
+            if k.endswith("_ms"):
+                assert r[k] > 0
+
+
+def test_fig6_fig7_row_structure():
+    r6 = run_fig6(schemes=("ring",), particles_per_filter=(8,), n_filters=(4,), n_runs=1, n_steps=30)
+    assert r6 == [dict(particles_per_filter=8, n_filters=4, ring=pytest.approx(r6[0]["ring"]))]
+    r7 = run_fig7(t_values=(0, 1), particles_per_filter=(8,), n_filters=(4,), n_runs=1, n_steps=30)
+    assert set(r7[0]) == {"particles_per_filter", "n_filters", "t=0", "t=1"}
+
+
+def test_fig8_structure():
+    out = run_fig8(n_steps=40, high=(16, 16), low=(2, 2))
+    assert out["ground_truth"].shape == (40, 2)
+    assert out["high_trace"].shape == (40, 2)
+    assert out["low_errors"].shape == (40,)
+
+
+def test_fig9_skips_impossible_cells():
+    rows = run_fig9(totals=(64,), subfilter_sizes=(4, 64), n_runs=1, n_steps=30)
+    # total=64 with m=64 -> N=1 < 2 sub-filters: cell must be skipped.
+    assert "distributed_m=64" not in rows[0]
+    assert "distributed_m=4" in rows[0]
+
+
+def test_table_runners():
+    assert len(table2_rows()) == 13
+    assert len(table3_rows()) == 6

@@ -1,0 +1,99 @@
+"""Tests for the closed-loop control application."""
+
+import numpy as np
+import pytest
+
+from repro.control import ClosedLoopResult, PointingController, pointing_error, run_closed_loop
+from repro.core import DistributedFilterConfig, DistributedParticleFilter
+from repro.models import RobotArmModel, lemniscate
+from repro.prng import make_rng
+
+
+def make_filter(model, seed=2):
+    return DistributedParticleFilter(
+        model,
+        DistributedFilterConfig(n_particles=64, n_filters=32, estimator="weighted_mean", seed=seed),
+    )
+
+
+def lemni(model, n=120):
+    return lemniscate(n, h_s=model.params.h_s, center=(0.8, 0.0), scale=0.5)
+
+
+def test_controller_validation():
+    model = RobotArmModel()
+    with pytest.raises(ValueError):
+        PointingController(model, kp=0.0)
+    with pytest.raises(ValueError):
+        PointingController(model, u_max=-1.0)
+
+
+def test_command_shape_and_saturation():
+    model = RobotArmModel()
+    ctrl = PointingController(model, kp=100.0, u_max=1.5)
+    est = model.initial_mean()
+    est[0] = 2.0  # large base error -> saturated command
+    u = ctrl.command(est)
+    assert u.shape == (5,)
+    assert np.abs(u).max() <= 1.5 + 1e-12
+
+
+def test_command_is_zero_at_pointing_posture():
+    model = RobotArmModel()
+    ctrl = PointingController(model)
+    est = model.initial_mean()
+    # Object straight ahead on +x; set the pointing posture exactly.
+    est[0] = 0.0
+    est[1:5] = -0.15 / 4
+    est[5:7] = [0.8, 0.0]
+    u = ctrl.command(est)
+    np.testing.assert_allclose(u, 0.0, atol=1e-9)
+
+
+def test_pointing_error_zero_on_axis():
+    model = RobotArmModel()
+    state = model.initial_mean()
+    state[:5] = 0.0
+    state[5:7] = [2.0, 0.0]  # straight along the arm's optical axis
+    assert pointing_error(model, state) == pytest.approx(0.0, abs=1e-12)
+
+
+def test_closed_loop_shapes():
+    model = RobotArmModel()
+    pos, vel = lemni(model, n=30)
+    res = run_closed_loop(model, make_filter(model), pos, vel, make_rng("numpy", 7), PointingController(model))
+    assert isinstance(res, ClosedLoopResult)
+    assert res.n_steps == 30
+    assert res.controls.shape == (30, 5)
+    assert np.isfinite(res.pointing_errors).all()
+
+
+def test_closed_loop_beats_open_loop_pointing():
+    # The whole point of estimating in the loop: the camera keeps the object
+    # far closer to its optical axis than the open-loop sweep does.
+    model = RobotArmModel()
+    pos, vel = lemni(model)
+    closed = run_closed_loop(model, make_filter(model), pos, vel, make_rng("numpy", 7), PointingController(model))
+    open_ = run_closed_loop(model, make_filter(model), pos, vel, make_rng("numpy", 7), None)
+    assert closed.mean_pointing_error(warmup=30) < 0.6 * open_.mean_pointing_error(warmup=30)
+    # Estimation quality stays in the same class while the plant moves.
+    assert closed.mean_estimation_error(warmup=30) < 0.3
+
+
+def test_closed_loop_rejects_bad_trajectory():
+    model = RobotArmModel()
+    with pytest.raises(ValueError):
+        run_closed_loop(model, make_filter(model), np.zeros((5, 2)), np.zeros((4, 2)), make_rng("numpy", 0))
+
+
+def test_bad_estimates_degrade_control():
+    # Feed the controller a filter that barely works (4 particles total):
+    # closed-loop pointing should be clearly worse than with a real filter.
+    model = RobotArmModel()
+    pos, vel = lemni(model)
+    good = run_closed_loop(model, make_filter(model), pos, vel, make_rng("numpy", 7), PointingController(model))
+    tiny = DistributedParticleFilter(
+        model, DistributedFilterConfig(n_particles=2, n_filters=2, estimator="weighted_mean", seed=3)
+    )
+    bad = run_closed_loop(model, tiny, pos, vel, make_rng("numpy", 7), PointingController(model))
+    assert bad.mean_pointing_error(warmup=30) > good.mean_pointing_error(warmup=30)

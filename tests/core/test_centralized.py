@@ -1,0 +1,102 @@
+"""Tests for the centralized particle filter (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CentralizedFilterConfig, CentralizedParticleFilter, run_filter
+from repro.models import LinearGaussianModel, RobotArmModel, UNGMModel
+from repro.prng import make_rng
+
+
+def lg_model():
+    return LinearGaussianModel(
+        A=[[0.9]], C=[[1.0]], Q=[[0.04]], R=[[0.01]], x0_mean=[0.0], x0_cov=[[1.0]]
+    )
+
+
+def test_initialize_shapes():
+    pf = CentralizedParticleFilter(lg_model(), CentralizedFilterConfig(n_particles=128, seed=0))
+    pf.initialize()
+    assert pf.states.shape == (128, 1)
+    assert pf.log_weights.shape == (128,)
+    assert pf.k == 0
+
+
+def test_step_returns_estimate_and_advances():
+    pf = CentralizedParticleFilter(lg_model(), CentralizedFilterConfig(n_particles=256, seed=0))
+    est = pf.step(np.array([0.3]))
+    assert est.shape == (1,)
+    assert pf.k == 1
+
+
+def test_tracks_linear_gaussian():
+    model = lg_model()
+    truth = model.simulate(60, make_rng("numpy", seed=3))
+    pf = CentralizedParticleFilter(model, CentralizedFilterConfig(n_particles=2000, seed=1))
+    run = run_filter(pf, model, truth)
+    # Measurement noise sigma = 0.1; a working PF should track well within it.
+    assert run.mean_error(warmup=10) < 0.15
+
+
+@pytest.mark.parametrize("resampler", ["rws", "vose", "systematic", "multinomial", "residual", "stratified"])
+def test_all_resamplers_track(resampler):
+    model = lg_model()
+    truth = model.simulate(40, make_rng("numpy", seed=4))
+    pf = CentralizedParticleFilter(
+        model, CentralizedFilterConfig(n_particles=1000, resampler=resampler, seed=2)
+    )
+    assert run_filter(pf, model, truth).mean_error(warmup=10) < 0.2
+
+
+def test_resampling_resets_weights():
+    pf = CentralizedParticleFilter(lg_model(), CentralizedFilterConfig(n_particles=64, seed=0))
+    pf.step(np.array([0.0]))
+    assert np.all(pf.log_weights == 0.0)  # always-resample policy
+
+
+def test_ess_policy_skips_resampling_and_accumulates():
+    cfg = CentralizedFilterConfig(n_particles=64, resample_policy="ess", resample_arg=0.01, seed=0)
+    pf = CentralizedParticleFilter(lg_model(), cfg)
+    pf.step(np.array([0.0]))
+    # With a tiny ESS threshold, no resampling happens -> weights accumulate.
+    assert np.any(pf.log_weights != 0.0)
+    assert pf.effective_sample_size() > 1.0
+
+
+def test_ungm_handles_bimodal_posterior():
+    model = UNGMModel()
+    truth = model.simulate(50, make_rng("numpy", seed=5))
+    pf = CentralizedParticleFilter(model, CentralizedFilterConfig(n_particles=3000, seed=6))
+    run = run_filter(pf, model, truth)
+    # UNGM is hard; expect bounded but not tiny error.
+    assert np.isfinite(run.errors).all()
+    assert run.mean_error(warmup=10) < 10.0
+
+
+def test_kernel_timings_recorded():
+    model = RobotArmModel()
+    truth = model.simulate(5, make_rng("numpy", seed=7))
+    pf = CentralizedParticleFilter(model, CentralizedFilterConfig(n_particles=256, seed=0))
+    run = run_filter(pf, model, truth)
+    for kernel in ("rand", "sampling", "estimate", "resample"):
+        assert run.kernel_seconds.get(kernel, 0.0) > 0.0
+    assert run.update_rate_hz > 0
+
+
+def test_float32_pipeline():
+    model = lg_model()
+    pf = CentralizedParticleFilter(model, CentralizedFilterConfig(n_particles=128, dtype=np.float32, seed=0))
+    pf.initialize()
+    assert pf.states.dtype == np.float32
+    est = pf.step(np.array([0.1]))
+    assert np.isfinite(est).all()
+
+
+def test_reproducible_given_seed():
+    model = lg_model()
+    truth = model.simulate(10, make_rng("numpy", seed=8))
+    runs = []
+    for _ in range(2):
+        pf = CentralizedParticleFilter(model, CentralizedFilterConfig(n_particles=200, seed=9))
+        runs.append(run_filter(pf, model, truth).estimates)
+    np.testing.assert_array_equal(runs[0], runs[1])

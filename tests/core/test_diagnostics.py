@@ -1,0 +1,113 @@
+"""Tests for population-diversity diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DistributedFilterConfig,
+    DistributedParticleFilter,
+    DiversityTracker,
+    cross_filter_overlap,
+    run_with_diagnostics,
+    unique_particle_fraction,
+    weight_statistics,
+)
+from repro.models import LinearGaussianModel
+from repro.prng import make_rng
+
+
+def lg_model():
+    return LinearGaussianModel(A=[[0.9]], C=[[1.0]], Q=[[0.04]], R=[[0.01]])
+
+
+def test_unique_fraction_all_distinct():
+    states = np.arange(24.0).reshape(2, 4, 3)
+    assert unique_particle_fraction(states) == 1.0
+
+
+def test_unique_fraction_total_degeneracy():
+    states = np.ones((2, 8, 3))
+    assert unique_particle_fraction(states) == pytest.approx(1.0 / 16)
+
+
+def test_unique_fraction_half():
+    states = np.concatenate([np.zeros((4, 2)), np.arange(8.0).reshape(4, 2)])[None]
+    # 1 zero-particle + 4 distinct = 5 unique of 8
+    assert unique_particle_fraction(states) == pytest.approx(5 / 8)
+
+
+def test_cross_filter_overlap_disjoint():
+    states = np.arange(12.0).reshape(2, 3, 2)
+    assert cross_filter_overlap(states) == 0.0
+
+
+def test_cross_filter_overlap_identical():
+    row = np.arange(6.0).reshape(3, 2)
+    states = np.stack([row, row, row])
+    assert cross_filter_overlap(states) == 1.0
+
+
+def test_cross_filter_overlap_shape_validation():
+    with pytest.raises(ValueError):
+        cross_filter_overlap(np.zeros((4, 2)))
+
+
+def test_cross_filter_overlap_single_filter():
+    assert cross_filter_overlap(np.zeros((1, 4, 2))) == 0.0
+
+
+def test_weight_statistics_uniform():
+    stats = weight_statistics(np.zeros((2, 8)))
+    assert stats["ess_fraction"] == pytest.approx(1.0)
+    assert stats["max_weight_share"] == pytest.approx(1.0 / 16)
+
+
+def test_weight_statistics_degenerate():
+    lw = np.full(16, -1e9)
+    lw[3] = 0.0
+    stats = weight_statistics(lw)
+    assert stats["ess_fraction"] == pytest.approx(1.0 / 16)
+    assert stats["max_weight_share"] == pytest.approx(1.0)
+
+
+def test_all_to_all_collapses_global_diversity():
+    # The mechanism behind Fig. 6: All-to-All feeds the same best particles
+    # to every sub-filter, so the *global* unique-particle fraction drops
+    # below both ring exchange and isolated filters. A peaked likelihood
+    # (small R) amplifies the effect, as in a well-converged filter.
+    model = LinearGaussianModel(A=[[0.9]], C=[[1.0]], Q=[[0.04]], R=[[0.0004]])
+    truth = model.simulate(20, make_rng("numpy", seed=0))
+    uniq, overlap = {}, {}
+    for scheme in ("ring", "all-to-all", "none"):
+        cfg = DistributedFilterConfig(
+            n_particles=16, n_filters=32, topology=scheme, n_exchange=4,
+            estimator="weighted_mean", seed=1,
+        )
+        pf = DistributedParticleFilter(model, cfg)
+        _, tracker = run_with_diagnostics(pf, model, truth)
+        s = tracker.summary()
+        uniq[scheme] = s["mean_unique_fraction"]
+        overlap[scheme] = s["mean_overlap"]
+    assert uniq["all-to-all"] < uniq["ring"]
+    assert uniq["all-to-all"] < uniq["none"]
+    # Any exchanging scheme shares particles across filters; isolation never.
+    assert overlap["none"] == 0.0
+    assert overlap["ring"] > 0.1 and overlap["all-to-all"] > 0.1
+
+
+def test_run_with_diagnostics_shapes():
+    model = lg_model()
+    truth = model.simulate(8, make_rng("numpy", seed=2))
+    cfg = DistributedFilterConfig(n_particles=8, n_filters=4, estimator="weighted_mean", seed=0)
+    run, tracker = run_with_diagnostics(DistributedParticleFilter(model, cfg), model, truth)
+    assert run.n_steps == 8
+    assert len(tracker.unique_fraction) == 8
+    assert len(tracker.overlap) == 8
+    s = tracker.summary()
+    assert 0.0 <= s["mean_unique_fraction"] <= 1.0
+    assert 0.0 <= s["mean_overlap"] <= 1.0
+
+
+def test_tracker_empty_summary():
+    s = DiversityTracker().summary()
+    assert s["mean_unique_fraction"] == 1.0 and s["mean_overlap"] == 0.0

@@ -1,0 +1,200 @@
+"""Tests for the distributed particle filter (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CentralizedFilterConfig,
+    CentralizedParticleFilter,
+    DistributedFilterConfig,
+    DistributedParticleFilter,
+    run_filter,
+)
+from repro.models import LinearGaussianModel, RobotArmModel, lemniscate, simulate_arm_tracking
+from repro.prng import make_rng
+from repro.topology import RingTopology
+
+
+def lg_model():
+    return LinearGaussianModel(
+        A=[[0.9]], C=[[1.0]], Q=[[0.04]], R=[[0.01]], x0_mean=[0.0], x0_cov=[[1.0]]
+    )
+
+
+def small_cfg(**kw):
+    base = dict(n_particles=32, n_filters=16, seed=0, estimator="weighted_mean")
+    base.update(kw)
+    return DistributedFilterConfig(**base)
+
+
+def test_initialize_shapes():
+    pf = DistributedParticleFilter(lg_model(), small_cfg())
+    pf.initialize()
+    assert pf.states.shape == (16, 32, 1)
+    assert pf.log_weights.shape == (16, 32)
+
+
+def test_step_returns_estimate():
+    pf = DistributedParticleFilter(lg_model(), small_cfg())
+    est = pf.step(np.array([0.2]))
+    assert est.shape == (1,)
+    assert pf.k == 1
+
+
+@pytest.mark.parametrize("topology", ["ring", "torus", "all-to-all", "none"])
+def test_topologies_run_and_track(topology):
+    model = lg_model()
+    truth = model.simulate(40, make_rng("numpy", seed=1))
+    pf = DistributedParticleFilter(model, small_cfg(topology=topology))
+    run = run_filter(pf, model, truth)
+    assert run.mean_error(warmup=10) < 0.25
+
+
+def test_prebuilt_topology_object():
+    topo = RingTopology(16)
+    pf = DistributedParticleFilter(lg_model(), small_cfg(topology=topo))
+    assert pf.topology is topo
+
+
+def test_topology_size_mismatch():
+    with pytest.raises(ValueError):
+        DistributedParticleFilter(lg_model(), small_cfg(topology=RingTopology(8)))
+
+
+def test_resampling_resets_weights_rowwise():
+    pf = DistributedParticleFilter(lg_model(), small_cfg())
+    pf.step(np.array([0.0]))
+    assert np.all(pf.log_weights == 0.0)
+
+
+def test_exchange_zero_keeps_filters_isolated():
+    # With t=0 and distinct priors the sub-filter populations never mix:
+    # run two steps and check no particle crossed filters. We tag particles
+    # by giving each filter's prior a distinct offset through a custom model.
+    model = lg_model()
+    pf = DistributedParticleFilter(model, small_cfg(n_exchange=0, resample_policy="frequency", resample_arg=0.0))
+    pf.initialize()
+    tag = np.arange(16, dtype=float)[:, None, None] * 100.0
+    pf.states = pf.states + tag
+    pf.step(np.array([0.0]))
+    # No resampling, no exchange: row f's particles stay near its own tag
+    # evolved through the dynamics (A = 0.9), no cross-row jumps.
+    for f in range(16):
+        assert np.abs(pf.states[f] - 90.0 * f).max() < 20.0
+
+
+def test_exchange_propagates_good_particles():
+    # Plant an excellent particle in filter 0 and verify that after exchange +
+    # resampling its state spreads to neighbours.
+    model = lg_model()
+    pf = DistributedParticleFilter(
+        model, small_cfg(n_exchange=4, topology="ring", resampler="systematic")
+    )
+    pf.initialize()
+    pf.states[:] = 100.0  # everyone far from the measurement
+    pf.states[0, 0] = 0.0  # except one particle in filter 0
+    pf.step(np.array([0.0]))
+    # Neighbours of filter 0 (ring: 1 and 15) should now hold near-zero states.
+    for nb in (1, 15):
+        assert np.abs(pf.states[nb]).min() < 5.0
+    # A distant filter should still be far away after a single round.
+    assert np.abs(pf.states[8]).min() > 5.0
+
+
+def test_all_to_all_floods_best_particle_everywhere():
+    model = lg_model()
+    pf = DistributedParticleFilter(model, small_cfg(topology="all-to-all", n_exchange=2))
+    pf.initialize()
+    pf.states[:] = 100.0
+    pf.states[3, 7] = 0.0
+    pf.step(np.array([0.0]))
+    # Every sub-filter read back the same global best: all rows contain it.
+    assert all(np.abs(pf.states[f]).min() < 5.0 for f in range(16))
+
+
+@pytest.mark.parametrize("selection", ["sort", "max"])
+def test_selection_modes_track(selection):
+    model = lg_model()
+    truth = model.simulate(30, make_rng("numpy", seed=2))
+    pf = DistributedParticleFilter(model, small_cfg(selection=selection))
+    assert run_filter(pf, model, truth).mean_error(warmup=10) < 0.25
+
+
+def test_sort_orders_rows_descending():
+    pf = DistributedParticleFilter(lg_model(), small_cfg(resample_policy="frequency", resample_arg=0.0))
+    pf.step(np.array([0.0]))
+    lw = pf.log_weights
+    assert np.all(np.diff(lw, axis=1) <= 1e-12)
+
+
+@pytest.mark.parametrize("exchange_select", ["best", "sample"])
+def test_exchange_select_modes(exchange_select):
+    model = lg_model()
+    truth = model.simulate(20, make_rng("numpy", seed=3))
+    pf = DistributedParticleFilter(model, small_cfg(exchange_select=exchange_select))
+    assert np.isfinite(run_filter(pf, model, truth).errors).all()
+
+
+def test_single_filter_degenerates_to_centralized_shape():
+    model = lg_model()
+    pf = DistributedParticleFilter(model, small_cfg(n_filters=1, topology="ring"))
+    est = pf.step(np.array([0.1]))
+    assert np.isfinite(est).all()
+
+
+def test_kernel_timings_cover_all_phases():
+    model = RobotArmModel()
+    truth = model.simulate(4, make_rng("numpy", seed=4))
+    pf = DistributedParticleFilter(model, small_cfg(n_particles=64))
+    run = run_filter(pf, model, truth)
+    for kernel in ("rand", "sampling", "sort", "estimate", "exchange", "resample"):
+        assert kernel in run.kernel_seconds
+
+
+def test_float32_states_dtype_stable():
+    pf = DistributedParticleFilter(lg_model(), small_cfg(dtype=np.float32))
+    pf.step(np.array([0.0]))
+    assert pf.states.dtype == np.float32
+
+
+def test_reproducible_given_seed():
+    model = lg_model()
+    truth = model.simulate(8, make_rng("numpy", seed=5))
+    a = run_filter(DistributedParticleFilter(model, small_cfg(seed=7)), model, truth).estimates
+    b = run_filter(DistributedParticleFilter(model, small_cfg(seed=7)), model, truth).estimates
+    np.testing.assert_array_equal(a, b)
+
+
+def test_local_estimates_and_ess():
+    pf = DistributedParticleFilter(lg_model(), small_cfg())
+    pf.step(np.array([0.0]))
+    le = pf.local_estimates()
+    assert le.shape == (16, 1)
+    ess = pf.ess_per_filter()
+    assert ess.shape == (16,)
+    assert np.all(ess >= 1.0) and np.all(ess <= 32.0)
+
+
+def test_tracks_robot_arm_lemniscate():
+    model = RobotArmModel()
+    pos, vel = lemniscate(60, h_s=model.params.h_s)
+    truth = simulate_arm_tracking(model, pos, vel, make_rng("numpy", seed=6))
+    pf = DistributedParticleFilter(
+        model, DistributedFilterConfig(n_particles=64, n_filters=64, estimator="weighted_mean", seed=8)
+    )
+    run = run_filter(pf, model, truth)
+    assert run.mean_error(warmup=20) < 0.3
+
+
+def test_distributed_close_to_centralized_equal_totals():
+    # Fig. 9's claim at small scale: a well-configured distributed filter
+    # matches a centralized filter with the same total particle count.
+    model = lg_model()
+    truth = model.simulate(50, make_rng("numpy", seed=9))
+    dist = DistributedParticleFilter(model, small_cfg(n_particles=64, n_filters=16, seed=10))
+    cent = CentralizedParticleFilter(
+        model, CentralizedFilterConfig(n_particles=1024, estimator="weighted_mean", resampler="rws", seed=10)
+    )
+    e_dist = run_filter(dist, model, truth).mean_error(warmup=10)
+    e_cent = run_filter(cent, model, truth).mean_error(warmup=10)
+    assert e_dist < 2.0 * e_cent + 0.05

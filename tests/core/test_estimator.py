@@ -1,0 +1,72 @@
+"""Tests for the estimate reduction operators."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    global_estimate,
+    local_estimates,
+    max_weight_estimate,
+    weighted_mean_estimate,
+)
+
+
+def test_max_weight_picks_global_best():
+    states = np.arange(24, dtype=float).reshape(2, 4, 3)
+    lw = np.full((2, 4), -10.0)
+    lw[1, 2] = 0.0
+    np.testing.assert_array_equal(max_weight_estimate(states, lw), states[1, 2])
+
+
+def test_max_weight_is_reduction_associative():
+    # Flattened reduction must equal per-filter then global reduction.
+    rng = np.random.default_rng(0)
+    states = rng.normal(size=(5, 7, 2))
+    lw = rng.normal(size=(5, 7))
+    direct = max_weight_estimate(states, lw)
+    local = local_estimates(states, lw, "max_weight")
+    local_w = lw.max(axis=1)
+    two_round = local[np.argmax(local_w)]
+    np.testing.assert_array_equal(direct, two_round)
+
+
+def test_weighted_mean_uniform_weights():
+    states = np.array([[0.0, 0.0], [2.0, 4.0]])[None, :, :]
+    lw = np.zeros((1, 2))
+    np.testing.assert_allclose(weighted_mean_estimate(states, lw), [1.0, 2.0])
+
+
+def test_weighted_mean_extreme_logweights_stable():
+    states = np.array([[1.0], [5.0]])
+    lw = np.array([-2000.0, -1000.0])  # exp would underflow without shifting
+    np.testing.assert_allclose(weighted_mean_estimate(states, lw), [5.0])
+
+
+def test_weighted_mean_all_neg_inf_falls_back_to_mean():
+    states = np.array([[1.0], [3.0]])
+    lw = np.array([-np.inf, -np.inf])
+    np.testing.assert_allclose(weighted_mean_estimate(states, lw), [2.0])
+
+
+def test_local_estimates_shapes():
+    states = np.random.default_rng(1).normal(size=(6, 8, 3))
+    lw = np.random.default_rng(2).normal(size=(6, 8))
+    for kind in ("max_weight", "weighted_mean"):
+        out = local_estimates(states, lw, kind)
+        assert out.shape == (6, 3)
+
+
+def test_local_weighted_mean_matches_manual():
+    states = np.array([[[0.0], [10.0]]])
+    lw = np.log(np.array([[0.25, 0.75]]))
+    np.testing.assert_allclose(local_estimates(states, lw, "weighted_mean"), [[7.5]])
+
+
+def test_global_estimate_dispatch():
+    states = np.array([[[1.0], [2.0]]])
+    lw = np.array([[0.0, 1.0]])
+    np.testing.assert_array_equal(global_estimate(states, lw, "max_weight"), [2.0])
+    with pytest.raises(ValueError):
+        global_estimate(states, lw, "mode")
+    with pytest.raises(ValueError):
+        local_estimates(states, lw, "mode")

@@ -1,0 +1,81 @@
+"""Tests for FRIM (finite-redraw importance-maximizing) sampling."""
+
+import numpy as np
+import pytest
+
+from repro.core import DistributedFilterConfig, DistributedParticleFilter, run_filter
+from repro.core.frim import frim_sample
+from repro.models import LinearGaussianModel
+from repro.prng import make_rng
+
+
+def lg_model():
+    return LinearGaussianModel(A=[[0.9]], C=[[1.0]], Q=[[0.04]], R=[[0.01]])
+
+
+def test_zero_redraws_is_plain_sampling():
+    model = lg_model()
+    prev = np.zeros((4, 8, 1))
+    z = np.array([0.1])
+    s0, ll0 = frim_sample(model, prev, z, None, 0, make_rng("numpy", seed=1), redraws=0)
+    pf_rng = make_rng("numpy", seed=1)
+    s1 = model.transition(prev, None, 0, pf_rng)
+    np.testing.assert_array_equal(s0, s1)
+    assert ll0.shape == (4, 8)
+
+
+def test_redraws_never_decrease_likelihood():
+    model = lg_model()
+    prev = np.zeros((4, 32, 1))
+    z = np.array([0.3])
+    rng_a, rng_b = make_rng("numpy", seed=2), make_rng("numpy", seed=2)
+    _, ll_plain = frim_sample(model, prev, z, None, 0, rng_a, redraws=0)
+    _, ll_frim = frim_sample(model, prev, z, None, 0, rng_b, redraws=4)
+    # Same first draw; redraws only ever replace a particle with a better one.
+    assert (ll_frim >= ll_plain - 1e-12).all()
+    assert ll_frim.mean() > ll_plain.mean()
+
+
+def test_redraw_count_is_bounded():
+    # The redraw loop performs at most `redraws` extra transition calls:
+    # count them via a wrapping model.
+    model = lg_model()
+    calls = []
+    original = model.transition
+
+    def counting(states, control, k, rng):
+        calls.append(1)
+        return original(states, control, k, rng)
+
+    model.transition = counting
+    frim_sample(model, np.zeros((2, 16, 1)), np.array([5.0]), None, 0, make_rng("numpy", seed=3), redraws=3)
+    assert len(calls) <= 4  # 1 initial + at most 3 redraws
+
+
+def test_quantile_validation():
+    model = lg_model()
+    with pytest.raises(ValueError):
+        frim_sample(model, np.zeros((1, 4, 1)), np.array([0.0]), None, 0, make_rng("numpy", seed=0), redraws=1, quantile=0.0)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        DistributedFilterConfig(frim_redraws=-1)
+    with pytest.raises(ValueError):
+        DistributedFilterConfig(frim_quantile=1.0)
+
+
+def test_frim_filter_tracks_and_helps_small_populations():
+    model = lg_model()
+    base = dict(n_particles=8, n_filters=8, estimator="weighted_mean")
+    errs = {}
+    for label, redraws in (("plain", 0), ("frim", 3)):
+        acc = []
+        for r in range(5):
+            truth = model.simulate(40, make_rng("numpy", seed=300 + r))
+            cfg = DistributedFilterConfig(**base, frim_redraws=redraws, seed=r)
+            run = run_filter(DistributedParticleFilter(model, cfg), model, truth)
+            acc.append(run.mean_error(warmup=10))
+        errs[label] = float(np.mean(acc))
+    # FRIM should not hurt (it was proposed to reduce the particles needed).
+    assert errs["frim"] < errs["plain"] * 1.15 + 0.02

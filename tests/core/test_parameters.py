@@ -1,0 +1,70 @@
+"""Tests for filter configuration (Tables I and II)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CentralizedFilterConfig,
+    DEFAULT_CPU_CONFIG,
+    DEFAULT_GPU_CONFIG,
+    DistributedFilterConfig,
+)
+
+
+def test_table2_gpu_defaults():
+    cfg = DEFAULT_GPU_CONFIG
+    assert cfg.n_particles == 512
+    assert cfg.n_filters == 1024
+    assert cfg.topology == "ring"
+    assert cfg.n_exchange == 1
+    assert np.dtype(cfg.dtype) == np.float32  # single precision on device
+
+
+def test_table2_cpu_defaults():
+    assert DEFAULT_CPU_CONFIG.n_particles == 64
+    assert DEFAULT_CPU_CONFIG.n_filters == 1024
+
+
+def test_total_particles():
+    assert DistributedFilterConfig(n_particles=8, n_filters=4).total_particles == 32
+
+
+def test_with_creates_modified_copy():
+    base = DistributedFilterConfig(n_particles=8, n_filters=4)
+    mod = base.with_(n_filters=16)
+    assert mod.n_filters == 16 and base.n_filters == 4
+    assert mod.n_particles == 8
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(n_particles=0),
+        dict(n_filters=-1),
+        dict(n_exchange=-1),
+        dict(n_particles=4, n_exchange=5),
+        dict(estimator="median"),
+        dict(exchange_select="worst"),
+        dict(selection="heap"),
+        dict(resample_policy="sometimes"),
+        dict(dtype=np.int32),
+    ],
+)
+def test_distributed_validation(kwargs):
+    with pytest.raises((ValueError, TypeError)):
+        DistributedFilterConfig(**kwargs)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [dict(n_particles=0), dict(estimator="mode"), dict(resample_policy="never"), dict(dtype="int8")],
+)
+def test_centralized_validation(kwargs):
+    with pytest.raises((ValueError, TypeError)):
+        CentralizedFilterConfig(**kwargs)
+
+
+def test_configs_are_frozen():
+    cfg = DistributedFilterConfig()
+    with pytest.raises(Exception):
+        cfg.n_particles = 3

@@ -1,0 +1,91 @@
+"""Tests for the run driver and metrics plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.core import CentralizedFilterConfig, CentralizedParticleFilter, average_error, run_filter
+from repro.metrics import PhaseTimer, TimingRNG, convergence_step, rmse, time_averaged_error
+from repro.models import LinearGaussianModel
+from repro.prng import make_rng
+
+
+def lg_model():
+    return LinearGaussianModel(A=[[0.9]], C=[[1.0]], Q=[[0.04]], R=[[0.01]])
+
+
+def test_run_filter_shapes():
+    model = lg_model()
+    truth = model.simulate(12, make_rng("numpy", seed=0))
+    pf = CentralizedParticleFilter(model, CentralizedFilterConfig(n_particles=64, seed=0))
+    run = run_filter(pf, model, truth)
+    assert run.estimates.shape == (12, 1)
+    assert run.errors.shape == (12,)
+    assert run.n_steps == 12
+    assert run.wall_seconds > 0
+
+
+def test_average_error_over_runs():
+    model = lg_model()
+
+    def make_truth(r):
+        return model.simulate(20, make_rng("numpy", seed=100 + r))
+
+    def make_filter(r):
+        return CentralizedParticleFilter(model, CentralizedFilterConfig(n_particles=256, seed=r))
+
+    err = average_error(make_filter, make_truth, model, n_runs=3, warmup=5)
+    assert 0 < err < 0.5
+
+
+def test_time_averaged_error_warmup():
+    errors = np.array([10.0, 10.0, 1.0, 1.0])
+    assert time_averaged_error(errors, warmup=2) == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        time_averaged_error(errors, warmup=4)
+
+
+def test_rmse():
+    est = np.array([[0.0, 0.0], [1.0, 1.0]])
+    tru = np.array([[3.0, 4.0], [1.0, 1.0]])
+    assert rmse(est, tru) == pytest.approx(np.sqrt(25.0 / 2))
+
+
+def test_convergence_step():
+    errors = np.array([5.0, 4.0, 0.1, 0.1, 0.1, 0.1, 0.1])
+    assert convergence_step(errors, threshold=0.5, hold=3) == 2
+    assert convergence_step(np.full(10, 9.0), threshold=0.5) is None
+
+
+def test_phase_timer_nesting_attribution():
+    import time
+
+    timer = PhaseTimer()
+    with timer.phase("outer"):
+        time.sleep(0.01)
+        with timer.phase("inner"):
+            time.sleep(0.01)
+    assert timer.seconds["inner"] >= 0.009
+    # Inner time must NOT be double counted in outer.
+    assert timer.seconds["outer"] < timer.seconds["inner"] * 3
+    assert timer.total() >= 0.019
+    fr = timer.fractions()
+    assert abs(sum(fr.values()) - 1.0) < 1e-9
+    timer.reset()
+    assert timer.total() == 0.0
+
+
+def test_timing_rng_bills_rand_phase():
+    timer = PhaseTimer()
+    rng = TimingRNG(make_rng("numpy", seed=0), timer)
+    with timer.phase("sampling"):
+        rng.normal((200_000,))
+    assert timer.seconds["rand"] > 0
+    assert "sampling" in timer.seconds
+
+
+def test_timing_rng_spawn_keeps_timer():
+    timer = PhaseTimer()
+    rng = TimingRNG(make_rng("numpy", seed=0), timer)
+    child = rng.spawn(3)
+    child.uniform((10,))
+    assert timer.seconds["rand"] > 0

@@ -1,0 +1,80 @@
+"""Tests for the codified configuration rules of thumb."""
+
+import numpy as np
+import pytest
+
+from repro.core import DistributedFilterConfig, expected_update_rate, recommend_config
+from repro.device import get_platform
+
+
+def test_gpu_budget_uses_512_subfilters():
+    cfg = recommend_config(1 << 20, "gtx-580")
+    assert cfg.n_particles == 512
+    assert cfg.n_filters == 2048
+    assert cfg.total_particles == 1 << 20
+
+
+def test_cpu_budget_uses_64_per_core_class():
+    cfg = recommend_config(1 << 16, "2x-e5-2650")
+    assert cfg.n_particles == 64
+    assert cfg.n_filters == 1024
+
+
+def test_small_network_gets_ring_large_gets_torus():
+    small = recommend_config(8192, "gtx-580")  # 16 sub-filters
+    large = recommend_config(1 << 20, "gtx-580")  # 2048 sub-filters
+    assert small.topology == "ring"
+    assert large.topology == "torus"
+
+
+def test_always_one_exchange_and_rws():
+    cfg = recommend_config(4096)
+    assert cfg.n_exchange == 1
+    assert cfg.resampler == "rws"
+    assert cfg.resample_policy == "always"
+
+
+def test_tiny_budget_still_valid():
+    cfg = recommend_config(7)
+    assert isinstance(cfg, DistributedFilterConfig)
+    assert cfg.total_particles >= 7
+    assert cfg.n_particles >= 4
+
+
+def test_budget_rounded_to_power_of_two():
+    cfg = recommend_config(1000, "gtx-580")
+    assert cfg.total_particles == 1024
+
+
+def test_overrides_apply():
+    cfg = recommend_config(4096, "gtx-580", topology="all-to-all", seed=9)
+    assert cfg.topology == "all-to-all"
+    assert cfg.seed == 9
+
+
+def test_platform_object_accepted():
+    cfg = recommend_config(4096, get_platform("hd-7970"))
+    assert cfg.n_particles == 512
+
+
+def test_invalid_budget():
+    with pytest.raises((ValueError, TypeError)):
+        recommend_config(0)
+
+
+def test_expected_update_rate_is_consistent():
+    cfg = recommend_config(1 << 20, "gtx-580")
+    hz = expected_update_rate(cfg, "gtx-580")
+    assert 100 < hz < 1000  # the paper's headline band at 1M particles
+
+
+def test_recommended_beats_naive_all_to_all_in_accuracy():
+    # One end-to-end check that the rules help: the recommended scheme must
+    # not lose to the All-to-All anti-pattern at equal budget.
+    from repro.bench.harness import sweep_error
+
+    rec = recommend_config(512, "gtx-580", estimator="weighted_mean", n_exchange=1)
+    naive = rec.with_(topology="all-to-all")
+    e_rec = sweep_error(rec, n_runs=3, n_steps=50)
+    e_naive = sweep_error(naive, n_runs=3, n_steps=50)
+    assert e_rec < e_naive * 1.25 + 0.02

@@ -1,0 +1,88 @@
+"""Tests for the coalescing and bank-conflict memory models."""
+
+import numpy as np
+import pytest
+
+from repro.device import GlobalMemory, LocalMemory, coalesced_transactions
+from repro.device.memory import bank_conflict_factor
+
+
+class TestCoalescing:
+    def test_contiguous_floats_one_transaction(self):
+        # 32 consecutive float32s = 128 bytes = exactly one segment.
+        assert coalesced_transactions(np.arange(32), itemsize=4) == 1
+
+    def test_contiguous_doubles_two_transactions(self):
+        assert coalesced_transactions(np.arange(32), itemsize=8) == 2
+
+    def test_strided_access_explodes(self):
+        # Stride-32 float32 accesses: every lane its own segment.
+        assert coalesced_transactions(np.arange(32) * 32, itemsize=4) == 32
+
+    def test_broadcast_is_one_transaction(self):
+        assert coalesced_transactions(np.zeros(32, dtype=int), itemsize=4) == 1
+
+    def test_empty(self):
+        assert coalesced_transactions(np.array([]), itemsize=4) == 0
+
+
+class TestBankConflicts:
+    def test_unit_stride_no_conflict(self):
+        assert bank_conflict_factor(np.arange(32)) == 1
+
+    def test_stride_two_is_two_way(self):
+        assert bank_conflict_factor(np.arange(32) * 2) == 2
+
+    def test_stride_32_full_serialization(self):
+        assert bank_conflict_factor(np.arange(32) * 32) == 32
+
+    def test_same_word_broadcast_free(self):
+        assert bank_conflict_factor(np.zeros(32, dtype=int)) == 1
+
+    def test_odd_stride_conflict_free(self):
+        # The classic trick: padding to an odd stride removes conflicts.
+        assert bank_conflict_factor(np.arange(32) * 33) == 1
+
+
+class TestGlobalMemory:
+    def test_read_counts_and_values(self):
+        g = GlobalMemory(np.arange(100, dtype=np.float32))
+        out = g.read(np.arange(32))
+        np.testing.assert_array_equal(out, np.arange(32))
+        assert g.read_transactions == 1
+        assert g.bytes_read == 128
+
+    def test_scattered_read_costs_more(self):
+        base = np.arange(4096, dtype=np.float32)
+        contiguous = GlobalMemory(base.copy())
+        contiguous.read(np.arange(64))
+        scattered = GlobalMemory(base.copy())
+        scattered.read(np.arange(64) * 64)
+        assert scattered.read_transactions > contiguous.read_transactions
+
+    def test_write(self):
+        g = GlobalMemory(np.zeros(64, dtype=np.float32))
+        g.write(np.arange(32), np.ones(32, dtype=np.float32))
+        assert g.data[:32].sum() == 32
+        assert g.write_transactions == 1
+
+
+class TestLocalMemory:
+    def test_gather_scatter_roundtrip(self):
+        mem = LocalMemory(16)
+        mem.scatter(np.arange(16), np.arange(16.0))
+        np.testing.assert_array_equal(mem.gather(np.arange(16)), np.arange(16.0))
+        assert mem.conflicted_accesses == 0
+
+    def test_conflicts_recorded(self):
+        mem = LocalMemory(1024)
+        mem.gather(np.arange(32) * 32)  # 32-way conflict
+        assert mem.conflicted_accesses == 1
+        assert mem.access_cycles == 32
+        assert mem.conflict_rate == 1.0
+
+    def test_plain_indexing_not_billed(self):
+        mem = LocalMemory(8)
+        mem[3] = 5.0
+        assert mem[3] == 5.0
+        assert mem.accesses == 0

@@ -1,0 +1,75 @@
+"""Tests for the embedded/cluster scaling extensions (Section IX directions)."""
+
+import pytest
+
+from repro.device import get_platform
+from repro.device.costmodel import filter_round_cost
+from repro.device.scaling import (
+    EMBEDDED_PLATFORMS,
+    ClusterSpec,
+    cluster_round_cost,
+    cluster_speedup,
+)
+
+
+class TestEmbedded:
+    def test_registry(self):
+        assert "embedded-soc-gpu" in EMBEDDED_PLATFORMS
+        soc = EMBEDDED_PLATFORMS["embedded-soc-gpu"]
+        assert soc.tdp_watt <= 10.0
+        assert soc.host_link_gbs is None  # unified memory
+
+    def test_small_problem_realtime_large_problem_not(self):
+        # The paper's embedded direction: real-time for smaller systems.
+        soc = EMBEDDED_PLATFORMS["embedded-soc-gpu"]
+        small = filter_round_cost(soc, 128, 32, 6)  # ~4K particles, small state
+        big = filter_round_cost(soc, 512, 2048, 9)  # the 1M-particle setup
+        assert small.update_rate_hz > 100.0  # usable real-time rate
+        assert big.update_rate_hz < 30.0  # clearly not at 1M particles
+
+    def test_embedded_far_slower_than_desktop_gpu(self):
+        soc = EMBEDDED_PLATFORMS["embedded-soc-gpu"]
+        desktop = get_platform("gtx-580")
+        s = filter_round_cost(soc, 512, 256, 9).update_rate_hz
+        d = filter_round_cost(desktop, 512, 256, 9).update_rate_hz
+        assert d > 10 * s
+
+
+class TestCluster:
+    def cluster(self, n):
+        return ClusterSpec(node=get_platform("gtx-580"), n_nodes=n)
+
+    def test_single_node_has_no_network_cost(self):
+        c = cluster_round_cost(self.cluster(1), 512, 1024, 9)
+        assert c.seconds["network"] == 0.0
+
+    def test_ring_scales_near_linearly(self):
+        # Constant cut edges per node -> near-linear speedup at large N.
+        s4 = cluster_speedup(self.cluster(4), 512, 4096, 9, scheme="ring")
+        s8 = cluster_speedup(self.cluster(8), 512, 4096, 9, scheme="ring")
+        assert s4 > 3.0
+        assert s8 > 5.5
+        assert s8 > s4
+
+    def test_all_to_all_scales_worse_than_ring(self):
+        ring = cluster_speedup(self.cluster(8), 512, 4096, 9, scheme="all-to-all")
+        # All-to-All must pool globally; with 8 nodes its speedup trails ring's.
+        ring_s = cluster_speedup(self.cluster(8), 512, 4096, 9, scheme="ring")
+        assert ring < ring_s
+
+    def test_uneven_partition_rejected(self):
+        with pytest.raises(ValueError):
+            cluster_round_cost(self.cluster(3), 512, 1024, 9)
+
+    def test_spec_validation(self):
+        with pytest.raises((ValueError, TypeError)):
+            ClusterSpec(node=get_platform("gtx-580"), n_nodes=0)
+        with pytest.raises(ValueError):
+            ClusterSpec(node=get_platform("gtx-580"), n_nodes=2, interconnect_gbs=0.0)
+
+    def test_latency_hurts_small_problems(self):
+        slow = ClusterSpec(node=get_platform("gtx-580"), n_nodes=8, interconnect_latency_us=500.0)
+        fast = ClusterSpec(node=get_platform("gtx-580"), n_nodes=8, interconnect_latency_us=2.0)
+        s_slow = cluster_speedup(slow, 64, 256, 9, scheme="ring")
+        s_fast = cluster_speedup(fast, 64, 256, 9, scheme="ring")
+        assert s_slow < s_fast

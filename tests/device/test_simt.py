@@ -1,0 +1,72 @@
+"""Tests for the SIMT work-group interpreter and kernel launcher."""
+
+import numpy as np
+import pytest
+
+from repro.device import Kernel, WorkGroup, launch_kernel
+
+
+def test_lane_vector_and_barrier_counting():
+    wg = WorkGroup(32)
+    assert wg.lane.shape == (32,)
+    wg.barrier()
+    wg.barrier()
+    assert wg.stats.barriers == 2
+
+
+def test_select_divergence_tracking():
+    wg = WorkGroup(8)
+    out = wg.select(wg.lane < 4, wg.lane, -wg.lane)
+    np.testing.assert_array_equal(out, [0, 1, 2, 3, -4, -5, -6, -7])
+    assert wg.stats.divergent_selects == 1
+    wg.select(wg.lane >= 0, wg.lane, wg.lane)
+    assert wg.stats.uniform_selects == 1
+
+
+def test_local_array_conflicts_flow_into_stats():
+    wg = WorkGroup(32)
+    mem = wg.local_array(2048)
+    mem.gather(np.arange(32) * 32)
+    wg.barrier()
+    assert wg.stats.local_conflicted == 1
+    assert wg.stats.local_access_cycles == 32
+
+
+def test_atomic_add_scalar_tickets():
+    wg = WorkGroup(16)
+    counters = wg.local_array(1, dtype=np.int64)
+    cond = wg.lane % 2 == 0  # 8 participants
+    tickets = wg.atomic_add_scalar(counters, 0, cond)
+    assert counters[0] == 8
+    assert sorted(tickets[cond].tolist()) == list(range(8))
+    assert (tickets[~cond] == -1).all()
+    assert wg.stats.atomic_ops == 8
+
+
+def test_op_billing():
+    wg = WorkGroup(64)
+    wg.op(3)
+    assert wg.stats.lane_ops == 192
+
+
+def test_launch_kernel_runs_all_groups():
+    def body(wg, mems, gid):
+        data = mems["x"]
+        idx = gid * wg.size + wg.lane
+        vals = data.read(idx)
+        data.write(idx, vals + gid)
+        wg.barrier()
+
+    x = np.zeros(128, dtype=np.float32)
+    arrays, result = launch_kernel(Kernel("add_gid", body), n_groups=4, group_size=32, global_arrays={"x": x})
+    out = arrays["x"]
+    for g in range(4):
+        np.testing.assert_array_equal(out[g * 32 : (g + 1) * 32], g)
+    assert result.stats.barriers == 4
+    assert result.global_read_transactions == 4  # one coalesced read per group
+    assert result.global_bytes_read == 128 * 4
+
+
+def test_launch_kernel_validation():
+    with pytest.raises((ValueError, TypeError)):
+        launch_kernel(Kernel("nop", lambda wg, m, g: None), n_groups=0, group_size=32, global_arrays={})

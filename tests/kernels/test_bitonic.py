@@ -1,0 +1,99 @@
+"""Tests for the bitonic sorting network (batched and work-group forms)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.device import WorkGroup
+from repro.kernels import bitonic_argsort_batch, bitonic_network, bitonic_sort_workgroup
+
+
+def test_network_stage_count():
+    # log2(n) * (log2(n) + 1) / 2 stages.
+    assert len(bitonic_network(2)) == 1
+    assert len(bitonic_network(8)) == 6
+    assert len(bitonic_network(512)) == 45
+    with pytest.raises(ValueError):
+        bitonic_network(12)
+
+
+def test_argsort_batch_matches_numpy():
+    rng = np.random.default_rng(0)
+    keys = rng.normal(size=(20, 64))
+    perm = bitonic_argsort_batch(keys)
+    sorted_keys = np.take_along_axis(keys, perm, axis=1)
+    np.testing.assert_array_equal(sorted_keys, np.sort(keys, axis=1))
+
+
+def test_argsort_batch_descending():
+    rng = np.random.default_rng(1)
+    keys = rng.normal(size=(5, 32))
+    perm = bitonic_argsort_batch(keys, descending=True)
+    sorted_keys = np.take_along_axis(keys, perm, axis=1)
+    np.testing.assert_array_equal(sorted_keys, -np.sort(-keys, axis=1))
+
+
+def test_argsort_batch_is_permutation():
+    keys = np.random.default_rng(2).normal(size=(3, 128))
+    perm = bitonic_argsort_batch(keys)
+    for f in range(3):
+        assert sorted(perm[f].tolist()) == list(range(128))
+
+
+def test_argsort_rejects_non_power_of_two():
+    with pytest.raises(ValueError):
+        bitonic_argsort_batch(np.zeros((2, 10)))
+
+
+def test_argsort_with_duplicates():
+    keys = np.array([[3.0, 1.0, 3.0, 1.0, 2.0, 2.0, 0.0, 0.0]])
+    perm = bitonic_argsort_batch(keys)
+    np.testing.assert_array_equal(np.take_along_axis(keys, perm, 1)[0], sorted(keys[0]))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=1, max_value=6), st.integers(min_value=0, max_value=10_000))
+def test_argsort_property(log_m, seed):
+    m = 1 << log_m
+    keys = np.random.default_rng(seed).normal(size=(4, m))
+    perm = bitonic_argsort_batch(keys)
+    np.testing.assert_array_equal(np.take_along_axis(keys, perm, 1), np.sort(keys, axis=1))
+
+
+class TestWorkGroupSort:
+    def run_sort(self, values, descending=False, with_values=False):
+        n = len(values)
+        wg = WorkGroup(n)
+        keys = wg.local_array(n)
+        keys[:] = values
+        vals = None
+        if with_values:
+            vals = wg.local_array(n, dtype=np.int64)
+            vals[:] = np.arange(n)
+        bitonic_sort_workgroup(wg, keys, vals, descending=descending)
+        return wg, keys, vals
+
+    def test_sorts_ascending(self):
+        data = np.random.default_rng(3).normal(size=64)
+        wg, keys, _ = self.run_sort(data)
+        np.testing.assert_allclose(keys.data, np.sort(data))
+
+    def test_sorts_descending(self):
+        data = np.random.default_rng(4).normal(size=32)
+        _, keys, _ = self.run_sort(data, descending=True)
+        np.testing.assert_allclose(keys.data, -np.sort(-data))
+
+    def test_permutes_value_array(self):
+        data = np.random.default_rng(5).normal(size=32)
+        _, keys, vals = self.run_sort(data, with_values=True)
+        np.testing.assert_allclose(data[vals.data], keys.data)
+
+    def test_barrier_count_equals_stage_count(self):
+        wg, _, _ = self.run_sort(np.random.default_rng(6).normal(size=128))
+        assert wg.stats.barriers == len(bitonic_network(128))
+
+    def test_size_mismatch(self):
+        wg = WorkGroup(16)
+        keys = wg.local_array(32)
+        with pytest.raises(ValueError):
+            bitonic_sort_workgroup(wg, keys)

@@ -1,0 +1,90 @@
+"""Tests for the exchange-routing kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels import route_pairwise, route_pooled
+from repro.topology import RingTopology, Torus2DTopology
+
+
+def make_send(F, t, d, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(F, t, d)), rng.normal(size=(F, t))
+
+
+class TestPairwise:
+    def test_ring_routing(self):
+        topo = RingTopology(4)
+        send_states, send_logw = make_send(4, 1, 2)
+        recv_s, recv_w = route_pairwise(send_states, send_logw, topo.neighbor_table(), topo.neighbor_table() >= 0)
+        assert recv_s.shape == (4, 2, 2)  # degree 2, t=1
+        # Filter 0's neighbours are 1 and 3: it receives exactly their sends.
+        nb = topo.neighbors(0)
+        got = {tuple(np.round(x, 12)) for x in recv_s[0]}
+        want = {tuple(np.round(send_states[j, 0], 12)) for j in nb}
+        assert got == want
+
+    def test_padded_slots_get_neg_inf(self):
+        # A path-like table with unequal degrees: pad slots must be -inf.
+        table = np.array([[1, -1], [0, 2], [1, -1]])
+        mask = table >= 0
+        send_states, send_logw = make_send(3, 1, 1)
+        _, recv_w = route_pairwise(send_states, send_logw, table, mask)
+        assert recv_w[0, 1] == -np.inf
+        assert recv_w[2, 1] == -np.inf
+        assert np.isfinite(recv_w[1]).all()
+
+    def test_torus_degree_four(self):
+        topo = Torus2DTopology(16)
+        send_states, send_logw = make_send(16, 2, 3)
+        recv_s, recv_w = route_pairwise(send_states, send_logw, topo.neighbor_table(), topo.neighbor_table() >= 0)
+        assert recv_s.shape == (16, 8, 3)  # 4 neighbours x t=2
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            route_pairwise(np.zeros((4, 1, 2)), np.zeros((3, 1)), np.zeros((4, 2), int), np.ones((4, 2), bool))
+        with pytest.raises(ValueError):
+            route_pairwise(np.zeros((4, 1, 2)), np.zeros((4, 1)), np.zeros((3, 2), int), np.ones((3, 2), bool))
+
+
+class TestPooled:
+    def test_everyone_gets_global_best(self):
+        send_states, send_logw = make_send(6, 2, 1, seed=1)
+        send_logw[3, 1] = 100.0  # the global best
+        recv_s, recv_w = route_pooled(send_states, send_logw, t=1)
+        assert recv_s.shape == (6, 1, 1)
+        for f in range(6):
+            np.testing.assert_array_equal(recv_s[f, 0], send_states[3, 1])
+            assert recv_w[f, 0] == 100.0
+
+    def test_top_t_ordering(self):
+        send_states, send_logw = make_send(4, 3, 1, seed=2)
+        recv_s, recv_w = route_pooled(send_states, send_logw, t=4)
+        flat = np.sort(send_logw.reshape(-1))[::-1][:4]
+        np.testing.assert_array_equal(recv_w[0], flat)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            route_pooled(np.zeros((2, 1, 1)), np.zeros((2, 1)), t=0)
+        with pytest.raises(ValueError):
+            route_pooled(np.zeros((2, 1)), np.zeros((2, 1)), t=1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=16),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=0, max_value=1000),
+)
+def test_pairwise_is_permutation_of_sends_property(F, t, d, seed):
+    topo = RingTopology(F)
+    send_states, send_logw = make_send(F, t, d, seed=seed)
+    recv_s, recv_w = route_pairwise(send_states, send_logw, topo.neighbor_table(), topo.neighbor_table() >= 0)
+    # Every received finite-weight particle is one of the sent particles.
+    sent = {tuple(np.round(send_states[f, i], 10)) for f in range(F) for i in range(t)}
+    for f in range(F):
+        for j in range(recv_s.shape[1]):
+            if np.isfinite(recv_w[f, j]):
+                assert tuple(np.round(recv_s[f, j], 10)) in sent

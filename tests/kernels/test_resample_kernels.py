@@ -1,0 +1,114 @@
+"""Tests for the work-group RWS and alias resampling kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.device import WorkGroup
+from repro.kernels import alias_build_workgroup, alias_sample_workgroup, rws_workgroup
+
+
+def table_mass(prob, alias):
+    n = prob.size
+    mass = prob / n
+    np.add.at(mass, alias, (1.0 - prob) / n)
+    return mass
+
+
+class TestRWSKernel:
+    def test_matches_reference_inverse_cdf(self):
+        n = 64
+        rng = np.random.default_rng(0)
+        w = rng.random(n) + 1e-6
+        u = rng.random(n)
+        wg = WorkGroup(n)
+        idx = rws_workgroup(wg, w, u)
+        c = np.cumsum(w / w.sum())
+        expected = np.searchsorted(c, u, side="right")
+        np.testing.assert_array_equal(idx, np.minimum(expected, n - 1))
+
+    def test_point_mass(self):
+        n = 32
+        w = np.zeros(n)
+        w[17] = 1.0
+        wg = WorkGroup(n)
+        idx = rws_workgroup(wg, w, np.random.default_rng(1).random(n))
+        assert (idx == 17).all()
+
+    def test_bills_scan_barriers(self):
+        n = 64
+        wg = WorkGroup(n)
+        rws_workgroup(wg, np.ones(n), np.random.default_rng(2).random(n))
+        # Hillis-Steele scan: 2 barriers per step x log2(64) steps + setup.
+        assert wg.stats.barriers >= 12
+
+    def test_validation(self):
+        wg = WorkGroup(16)
+        with pytest.raises(ValueError):
+            rws_workgroup(wg, np.ones(8), np.ones(16))
+
+
+class TestAliasKernels:
+    def test_build_exact_table_uniform(self):
+        n = 32
+        wg = WorkGroup(n)
+        prob, alias, trace = alias_build_workgroup(wg, np.ones(n))
+        np.testing.assert_allclose(prob, 1.0)
+        assert trace.rounds == 0  # nothing small, nothing to pair
+
+    def test_build_exact_table_random(self):
+        n = 64
+        w = np.random.default_rng(3).random(n) + 1e-6
+        wg = WorkGroup(n)
+        prob, alias, trace = alias_build_workgroup(wg, w)
+        np.testing.assert_allclose(table_mass(prob, alias), w / w.sum(), atol=1e-9)
+        assert trace.rounds >= 1
+
+    def test_concurrency_drops_toward_one_for_skewed_weights(self):
+        # The paper's observation: with one dominant particle the pairing
+        # degenerates to a single pair per round.
+        n = 64
+        w = np.full(n, 1e-9)
+        w[5] = 1.0
+        wg = WorkGroup(n)
+        prob, alias, trace = alias_build_workgroup(wg, w)
+        np.testing.assert_allclose(table_mass(prob, alias), w / w.sum(), atol=1e-9)
+        assert trace.final_concurrency == 1
+        assert trace.rounds >= n // 2  # long serialized tail
+        assert wg.stats.atomic_ops > 0
+
+    def test_balanced_weights_finish_in_few_rounds(self):
+        n = 256
+        w = np.random.default_rng(4).random(n) + 0.5  # mild spread
+        wg = WorkGroup(n)
+        _, _, trace = alias_build_workgroup(wg, w)
+        assert trace.rounds <= 12
+
+    def test_validation(self):
+        wg = WorkGroup(8)
+        with pytest.raises(ValueError):
+            alias_build_workgroup(wg, np.ones(4))
+
+    def test_sample_kernel_distribution(self):
+        n = 8
+        w = np.arange(1.0, n + 1)
+        wg = WorkGroup(n)
+        prob, alias, _ = alias_build_workgroup(wg, w)
+        rng = np.random.default_rng(5)
+        counts = np.zeros(n)
+        for _ in range(2000):
+            wg2 = WorkGroup(n)
+            idx = alias_sample_workgroup(wg2, prob, alias, rng.random(n), rng.random(n))
+            counts += np.bincount(idx, minlength=n)
+        freq = counts / counts.sum()
+        np.testing.assert_allclose(freq, w / w.sum(), atol=0.01)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=2, max_value=128), st.integers(min_value=0, max_value=100_000))
+def test_alias_build_mass_conservation_property(n, seed):
+    w = np.random.default_rng(seed).random(n) + 1e-9
+    wg = WorkGroup(n)
+    prob, alias, _ = alias_build_workgroup(wg, w)
+    np.testing.assert_allclose(table_mass(prob, alias), w / w.sum(), atol=1e-9)
+    assert np.all(prob >= -1e-12) and np.all(prob <= 1 + 1e-12)

@@ -1,0 +1,102 @@
+"""Tests for the vehicle map-matching model (related work [2])."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core import DistributedFilterConfig, DistributedParticleFilter, run_filter
+from repro.models import MapMatchingModel, grid_road_network, random_route
+from repro.prng import make_rng
+
+
+def test_grid_network_structure():
+    g = grid_road_network(3, spacing=50.0)
+    assert g.number_of_nodes() == 9
+    assert g.number_of_edges() == 12
+    pos = nx.get_node_attributes(g, "pos")
+    xs = sorted({p[0] for p in pos.values()})
+    assert xs == [0.0, 50.0, 100.0]
+
+
+def test_random_route_is_connected_path():
+    g = grid_road_network(4)
+    route = random_route(g, 10, seed=1)
+    assert len(route) == 11
+    for a, b in zip(route, route[1:]):
+        assert g.has_edge(a, b)
+
+
+def test_model_validation():
+    with pytest.raises(ValueError):
+        MapMatchingModel(nx.empty_graph(3))
+    g = grid_road_network(2)
+    with pytest.raises(ValueError):
+        MapMatchingModel(g, sigma_road=0.0)
+    g2 = nx.path_graph(2)  # no pos attributes
+    with pytest.raises(ValueError):
+        MapMatchingModel(g2)
+
+
+class TestRoadDistance:
+    def setup_method(self):
+        self.m = MapMatchingModel(grid_road_network(2, spacing=100.0))
+
+    def test_on_road_is_zero(self):
+        assert self.m.road_distance(np.array([50.0, 0.0])) == pytest.approx(0.0)
+
+    def test_off_road_perpendicular(self):
+        # Center of the 100x100 block: 50 m from every surrounding road.
+        assert self.m.road_distance(np.array([50.0, 50.0])) == pytest.approx(50.0)
+
+    def test_beyond_segment_end_uses_endpoint(self):
+        d = self.m.road_distance(np.array([-30.0, -40.0]))
+        assert d == pytest.approx(50.0)  # distance to corner (0,0)
+
+    def test_batched_shapes(self):
+        pts = np.zeros((4, 7, 2))
+        assert self.m.road_distance(pts).shape == (4, 7)
+
+
+def test_likelihood_prefers_on_road_particles():
+    m = MapMatchingModel(grid_road_network(2, spacing=100.0), sigma_gps=30.0, sigma_road=5.0)
+    z = np.array([50.0, 20.0])
+    on_road = np.array([[50.0, 0.0, 0, 0]])  # 20 m from GPS but on a road
+    off_road = np.array([[50.0, 20.0, 0, 0]])  # exactly at GPS, 20 m off-road
+    ll_on = m.log_likelihood(on_road, z, 0)[0]
+    ll_off = m.log_likelihood(off_road, z, 0)[0]
+    assert ll_on > ll_off  # the road prior dominates at these scales
+
+
+def test_simulate_route_follows_roads():
+    g = grid_road_network(4, spacing=100.0)
+    m = MapMatchingModel(g)
+    route = random_route(g, 6, seed=3)
+    truth = m.simulate_route(route, speed=10.0, n_steps=50, rng=make_rng("numpy", 0))
+    assert truth.states.shape == (50, 4)
+    d = m.road_distance(truth.states[:, :2])
+    np.testing.assert_allclose(d, 0.0, atol=1e-6)  # the vehicle stays on roads
+    speeds = np.linalg.norm(truth.states[:-1, 2:], axis=1)
+    np.testing.assert_allclose(speeds, 10.0, atol=1e-6)
+
+
+def test_map_prior_snaps_estimate_to_road():
+    # The map-matching claim: with the road prior the cross-track error
+    # collapses; without it the estimate floats with the GPS noise.
+    g = grid_road_network(4, spacing=100.0)
+    route = random_route(g, 8, seed=2)
+    start = np.array(nx.get_node_attributes(g, "pos")[route[0]])
+    cross = {}
+    for label, sigma_road in (("map", 5.0), ("nomap", 1e6)):
+        m = MapMatchingModel(
+            g, sigma_gps=20.0, sigma_road=sigma_road,
+            x0_mean=np.array([start[0], start[1], 0.0, 0.0]),
+        )
+        truth = m.simulate_route(route, speed=10.0, n_steps=60, rng=make_rng("numpy", 0))
+        pf = DistributedParticleFilter(
+            m, DistributedFilterConfig(n_particles=64, n_filters=16, estimator="weighted_mean", seed=1)
+        )
+        run = run_filter(pf, m, truth)
+        cross[label] = float(np.mean([m.road_distance(e[:2]) for e in run.estimates[15:]]))
+        assert np.isfinite(run.errors).all()
+    assert cross["map"] < 0.5 * cross["nomap"]
+    assert cross["map"] < 8.0

@@ -1,0 +1,142 @@
+"""Tests for linear-Gaussian, UNGM and bearings-only models plus trajectories."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    BearingsOnlyModel,
+    GroundTruth,
+    LinearGaussianModel,
+    UNGMModel,
+    circle,
+    lemniscate,
+    random_waypoints,
+    straight_line,
+)
+from repro.prng import make_rng
+
+
+def simple_lg():
+    return LinearGaussianModel(
+        A=[[1.0, 0.1], [0.0, 1.0]],
+        C=[[1.0, 0.0]],
+        Q=np.diag([0.01, 0.01]),
+        R=[[0.04]],
+        x0_mean=[0.0, 1.0],
+        x0_cov=np.eye(2) * 0.5,
+    )
+
+
+class TestLinearGaussian:
+    def test_shapes(self):
+        m = simple_lg()
+        assert (m.state_dim, m.measurement_dim) == (2, 1)
+        pts = m.initial_particles(100, make_rng("numpy", seed=0))
+        assert pts.shape == (100, 2)
+
+    def test_transition_mean(self):
+        m = simple_lg()
+        x = np.tile([1.0, 2.0], (50_000, 1))
+        y = m.transition(x, None, 0, make_rng("numpy", seed=1))
+        np.testing.assert_allclose(y.mean(axis=0), [1.2, 2.0], atol=0.01)
+
+    def test_log_likelihood_quadratic(self):
+        m = simple_lg()
+        states = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+        ll = m.log_likelihood(states, np.array([0.0]), 0)
+        # -0.5 * x^2 / R
+        np.testing.assert_allclose(ll, [-0.0, -12.5, -50.0])
+
+    def test_simulate(self):
+        gt = simple_lg().simulate(20, make_rng("numpy", seed=2))
+        assert isinstance(gt, GroundTruth)
+        assert gt.states.shape == (20, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinearGaussianModel(A=[[1.0, 0.0]], C=[[1.0]], Q=[[1.0]], R=[[1.0]])
+
+
+class TestUNGM:
+    def test_known_drift(self):
+        m = UNGMModel(sigma_w=1e-9)
+        x = np.array([[1.0]])
+        y = m.transition(x, None, 0, make_rng("numpy", seed=0))
+        expected = 0.5 + 25.0 / 2.0 + 8.0 * np.cos(0.0)
+        np.testing.assert_allclose(y, [[expected]], atol=1e-6)
+
+    def test_likelihood_is_sign_symmetric(self):
+        m = UNGMModel()
+        z = np.array([1.25])
+        ll = m.log_likelihood(np.array([[5.0], [-5.0]]), z, 0)
+        assert ll[0] == pytest.approx(ll[1])
+
+    def test_simulate_finite(self):
+        gt = UNGMModel().simulate(100, make_rng("numpy", seed=1))
+        assert np.isfinite(gt.states).all()
+        assert np.abs(gt.states).max() < 60  # UNGM stays bounded in practice
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UNGMModel(sigma_w=0.0)
+
+
+class TestBearingsOnly:
+    def test_bearing_geometry(self):
+        m = BearingsOnlyModel(sensors=np.array([[0.0, 0.0]]))
+        state = np.array([1.0, 1.0, 0.0, 0.0])
+        z = m.observe(state, 0, make_rng("numpy", seed=0))
+        assert abs(z[0] - np.pi / 4) < 0.1
+
+    def test_angle_wrapping_in_likelihood(self):
+        m = BearingsOnlyModel(sensors=np.array([[0.0, 0.0]]), sigma_bearing=0.05)
+        # Target just above vs below the -x axis: bearings +-pi, residual must wrap.
+        state = np.array([[-1.0, 1e-6, 0, 0]])
+        z = np.array([-np.pi + 1e-6])
+        ll = m.log_likelihood(state, z, 0)
+        assert ll[0] > -1.0  # tiny wrapped residual, not (2 pi / sigma)^2
+
+    def test_error_metric_uses_position(self):
+        m = BearingsOnlyModel()
+        a = np.array([1.0, 2.0, 9.0, 9.0])
+        b = np.array([4.0, 6.0, 0.0, 0.0])
+        assert m.estimate_error(a, b) == pytest.approx(5.0)
+
+    def test_sensor_shape_validation(self):
+        with pytest.raises(ValueError):
+            BearingsOnlyModel(sensors=np.zeros((2, 3)))
+
+
+class TestTrajectories:
+    @pytest.mark.parametrize(
+        "gen", [lemniscate, circle, straight_line, lambda n, h_s: random_waypoints(n, h_s, seed=1)]
+    )
+    def test_shapes(self, gen):
+        pos, vel = gen(100, 0.1)
+        assert pos.shape == (100, 2) and vel.shape == (100, 2)
+        assert np.isfinite(pos).all() and np.isfinite(vel).all()
+
+    def test_lemniscate_starts_right_heading_up(self):
+        pos, vel = lemniscate(10, h_s=0.1, scale=1.0)
+        assert pos[0, 0] > 0.4  # right side
+        assert vel[0, 1] > 0  # heading up
+
+    def test_lemniscate_is_figure_eight(self):
+        pos, _ = lemniscate(400, h_s=0.1, period=20.0)
+        # Crosses the center: x takes both signs, y takes both signs.
+        assert pos[:, 0].min() < -0.5 and pos[:, 0].max() > 0.5
+        assert pos[:, 1].min() < -0.1 and pos[:, 1].max() > 0.1
+
+    def test_circle_radius(self):
+        pos, _ = circle(100, h_s=0.1, radius=2.0)
+        np.testing.assert_allclose(np.linalg.norm(pos, axis=1), 2.0, atol=1e-9)
+
+    def test_straight_line_constant_velocity(self):
+        pos, vel = straight_line(50, h_s=0.1, velocity=(0.3, -0.1))
+        np.testing.assert_allclose(vel, np.tile([0.3, -0.1], (50, 1)))
+        np.testing.assert_allclose(pos[10] - pos[0], [0.3, -0.1], atol=1e-12)
+
+
+def test_ground_truth_validation():
+    with pytest.raises(ValueError):
+        GroundTruth(states=np.zeros((5, 2)), measurements=np.zeros((4, 1)))

@@ -1,0 +1,128 @@
+"""Tests for the robotic-arm tracking model."""
+
+import numpy as np
+import pytest
+
+from repro.models import RobotArmModel, RobotArmParams, lemniscate, simulate_arm_tracking
+from repro.prng import make_rng
+
+
+def test_dimensions_follow_table2():
+    m = RobotArmModel()
+    assert m.n_joints == 5
+    assert m.state_dim == 9  # joints + 4, Table II
+    assert m.measurement_dim == 7
+    assert m.control_dim == 5
+
+
+@pytest.mark.parametrize("K", [1, 2, 8, 44])
+def test_dimension_scaling(K):
+    m = RobotArmModel(RobotArmParams(n_joints=K))
+    assert m.state_dim == K + 4
+    assert m.measurement_dim == K + 2
+
+
+def test_param_validation():
+    with pytest.raises(ValueError):
+        RobotArmParams(n_joints=0)
+    with pytest.raises(ValueError):
+        RobotArmParams(sigma_camera=-1.0)
+
+
+def test_initial_particles_shape_and_spread():
+    m = RobotArmModel()
+    pts = m.initial_particles(500, make_rng("numpy", seed=0))
+    assert pts.shape == (500, 9)
+    center = pts.mean(axis=0)
+    np.testing.assert_allclose(center, m.initial_mean(), atol=0.1)
+    assert pts.std(axis=0).min() > 0.05
+
+
+def test_transition_moves_mean_by_control():
+    m = RobotArmModel()
+    x = np.tile(m.initial_mean(), (20_000, 1))
+    u = np.full(5, 1.0)
+    y = m.transition(x, u, 0, make_rng("numpy", seed=1))
+    # Joint means advance by h_s * u = 0.1.
+    np.testing.assert_allclose(y[:, :5].mean(axis=0) - x[:, :5].mean(axis=0), 0.1, atol=0.01)
+
+
+def test_transition_double_integrator_object():
+    m = RobotArmModel()
+    x = np.tile(m.initial_mean(), (20_000, 1))
+    x[:, 7:9] = [0.5, -0.2]  # velocity
+    y = m.transition(x, None, 0, make_rng("numpy", seed=2))
+    np.testing.assert_allclose((y[:, 5:7] - x[:, 5:7]).mean(axis=0), [0.05, -0.02], atol=0.01)
+
+
+def test_transition_preserves_batch_shape_and_dtype():
+    m = RobotArmModel()
+    x = np.zeros((4, 8, 9), dtype=np.float32)
+    y = m.transition(x, m.control_at(0), 3, make_rng("numpy", seed=3))
+    assert y.shape == (4, 8, 9) and y.dtype == np.float32
+
+
+def test_log_likelihood_peaks_at_truth():
+    m = RobotArmModel()
+    rng = make_rng("numpy", seed=4)
+    truth = m.initial_mean() + 0.1
+    z = m.measurement_mean(truth)  # noise-free measurement
+    candidates = np.stack([truth, truth + 0.5, truth - 0.7])
+    ll = m.log_likelihood(candidates, z, 0)
+    assert ll.shape == (3,)
+    assert ll[0] == max(ll)
+    assert ll[0] == pytest.approx(0.0, abs=1e-9)
+
+
+def test_observe_adds_noise_with_right_scale():
+    m = RobotArmModel()
+    rng = make_rng("numpy", seed=5)
+    truth = m.initial_mean()
+    zs = np.stack([m.observe(truth, 0, rng) for _ in range(4000)])
+    resid = zs - m.measurement_mean(truth)
+    np.testing.assert_allclose(resid.std(axis=0), 0.1, atol=0.02)
+
+
+def test_control_is_deterministic_and_bounded():
+    m = RobotArmModel()
+    u1, u2 = m.control_at(7), m.control_at(7)
+    np.testing.assert_array_equal(u1, u2)
+    assert np.abs(u1).max() <= m.params.control_amplitude + 1e-12
+
+
+def test_estimate_error_uses_object_position():
+    m = RobotArmModel()
+    a = m.initial_mean()
+    b = a.copy()
+    b[:5] += 10.0  # joint error must not count
+    assert m.estimate_error(a, b) == 0.0
+    b = a.copy()
+    b[5] += 3.0
+    b[6] += 4.0
+    assert m.estimate_error(a, b) == pytest.approx(5.0)
+
+
+def test_simulate_arm_tracking_pins_object_to_path():
+    m = RobotArmModel()
+    pos, vel = lemniscate(50, h_s=m.params.h_s)
+    gt = simulate_arm_tracking(m, pos, vel, make_rng("numpy", seed=6))
+    assert gt.n_steps == 50
+    np.testing.assert_array_equal(gt.states[:, 5:7], pos)
+    np.testing.assert_array_equal(gt.states[:, 7:9], vel)
+    assert gt.measurements.shape == (50, 7)
+    assert gt.controls.shape == (50, 5)
+    # Joint sensors should track the true angles within a few sigma.
+    assert np.abs(gt.measurements[:, :5] - gt.states[:, :5]).max() < 0.6
+
+
+def test_simulate_arm_tracking_shape_validation():
+    m = RobotArmModel()
+    with pytest.raises(ValueError):
+        simulate_arm_tracking(m, np.zeros((10, 2)), np.zeros((9, 2)), make_rng("numpy", seed=0))
+
+
+def test_self_consistent_simulate():
+    m = RobotArmModel()
+    gt = m.simulate(30, make_rng("numpy", seed=7))
+    assert gt.states.shape == (30, 9)
+    assert np.isfinite(gt.states).all() and np.isfinite(gt.measurements).all()

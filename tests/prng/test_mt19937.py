@@ -1,0 +1,70 @@
+"""Bit-exactness and statistical tests for the from-scratch MT19937."""
+
+import numpy as np
+import pytest
+
+from repro.prng import MT19937
+
+# First outputs of MT19937 seeded with init_genrand(5489) — the C++ standard's
+# default-constructed std::mt19937 sequence.
+_SEED5489_FIRST = [
+    3499211612, 581869302, 3890346734, 3586334585, 545404204,
+    4161255391, 3922919429, 949333985, 2715962298, 1323567403,
+]
+
+# init_by_array({0x123, 0x234, 0x345, 0x456}); verified against a direct
+# transliteration of mt19937ar.c (the seed-5489 and C++-standard 10000th-value
+# tests above pin the same engine independently).
+_ARRAY_SEED_FIRST = [
+    1067595299, 955945823, 477289528, 4107218783, 4228976476,
+    3344332714, 3355579695, 227628506, 810200273, 2591290167,
+]
+
+
+def test_seed5489_reference_outputs():
+    gen = MT19937(5489)
+    out = gen.random_uint32(10)
+    assert out.tolist() == _SEED5489_FIRST
+
+
+def test_cxx_standard_10000th_value():
+    # The C++ standard (29.6.5) requires the 10000th output of a
+    # default-seeded mt19937 to be 4123659995.
+    gen = MT19937(5489)
+    out = gen.random_uint32(10000)
+    assert int(out[-1]) == 4123659995
+
+
+def test_init_by_array_reference_outputs():
+    gen = MT19937([0x123, 0x234, 0x345, 0x456])
+    out = gen.random_uint32(10)
+    assert out.tolist() == _ARRAY_SEED_FIRST
+
+
+def test_block_boundary_consistency():
+    # Drawing in odd-sized chunks must match one big draw (buffer refills are
+    # transparent).
+    a = MT19937(12345).random_uint32(2000)
+    gen = MT19937(12345)
+    parts = [gen.random_uint32(n) for n in (1, 7, 623, 624, 625, 120)]
+    b = np.concatenate(parts)
+    assert np.array_equal(a, b)
+
+
+def test_uniform_range_and_mean():
+    u = MT19937(7).random_uniform(100_000)
+    assert u.min() >= 0.0 and u.max() < 1.0
+    assert abs(u.mean() - 0.5) < 0.01
+    assert abs(u.var() - 1.0 / 12.0) < 0.005
+
+
+def test_different_seeds_differ():
+    a = MT19937(1).random_uint32(100)
+    b = MT19937(2).random_uint32(100)
+    assert not np.array_equal(a, b)
+
+
+@pytest.mark.parametrize("n", [0, -3])
+def test_invalid_draw_count_rejected(n):
+    with pytest.raises((ValueError, TypeError)):
+        MT19937(1).random_uint32(n)

@@ -1,0 +1,117 @@
+"""Exactness tests for Vose alias-table constructions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.prng import make_rng
+from repro.resampling import (
+    VoseAliasResampler,
+    alias_sample,
+    build_alias_table,
+    build_alias_table_parallel,
+)
+
+
+def table_mass(prob, alias):
+    """Implied probability of each index under the alias table."""
+    n = prob.size
+    mass = prob / n
+    np.add.at(mass, alias, (1.0 - prob) / n)
+    return mass
+
+
+def assert_exact_table(w, prob, alias):
+    n = w.size
+    assert prob.shape == (n,) and alias.shape == (n,)
+    assert np.all(prob >= -1e-12) and np.all(prob <= 1.0 + 1e-12)
+    assert np.all((alias >= 0) & (alias < n))
+    np.testing.assert_allclose(table_mass(prob, alias), w / w.sum(), atol=1e-9)
+
+
+@pytest.mark.parametrize("builder", [build_alias_table, build_alias_table_parallel])
+class TestAliasBuilders:
+    def test_uniform_weights(self, builder):
+        w = np.ones(16)
+        prob, alias = builder(w)
+        assert_exact_table(w, prob, alias)
+        np.testing.assert_allclose(prob, 1.0)
+
+    def test_random_weights(self, builder):
+        w = np.random.default_rng(0).random(257) + 1e-6
+        assert_exact_table(w, *builder(w))
+
+    def test_degenerate_one_heavy(self, builder):
+        # The paper's worst case for parallel construction: one particle
+        # holds nearly all the weight, concurrency drops toward one.
+        w = np.full(1024, 1e-9)
+        w[137] = 1.0
+        assert_exact_table(w, *builder(w))
+
+    def test_two_heavy_tail(self, builder):
+        w = np.full(512, 1e-6)
+        w[0], w[-1] = 0.5, 0.5
+        assert_exact_table(w, *builder(w))
+
+    def test_single_element(self, builder):
+        prob, alias = builder(np.array([3.0]))
+        assert prob[0] == 1.0 and alias[0] == 0
+
+    def test_rejects_bad_weights(self, builder):
+        with pytest.raises(ValueError):
+            builder(np.array([1.0, -0.5]))
+        with pytest.raises(ValueError):
+            builder(np.array([0.0, 0.0]))
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.lists(st.floats(min_value=1e-9, max_value=1e3, allow_nan=False), min_size=1, max_size=200)
+)
+def test_parallel_build_mass_conservation_property(ws):
+    w = np.asarray(ws)
+    prob, alias = build_alias_table_parallel(w)
+    assert_exact_table(w, prob, alias)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=1, max_value=100), st.integers(min_value=0, max_value=2**32 - 1))
+def test_parallel_matches_sequential_distribution(n, seed):
+    w = np.random.default_rng(seed).random(n) + 1e-9
+    seq_mass = table_mass(*build_alias_table(w))
+    par_mass = table_mass(*build_alias_table_parallel(w))
+    np.testing.assert_allclose(seq_mass, par_mass, atol=1e-9)
+
+
+def test_alias_sample_distribution():
+    w = np.array([0.1, 0.2, 0.3, 0.4])
+    prob, alias = build_alias_table(w)
+    rng = make_rng("numpy", seed=1)
+    u = rng.uniform((2, 200_000))
+    idx = alias_sample(prob, alias, u[0], u[1])
+    freq = np.bincount(idx, minlength=4) / idx.size
+    np.testing.assert_allclose(freq, w, atol=0.01)
+
+
+def test_alias_sample_rejects_2d_table():
+    with pytest.raises(ValueError):
+        alias_sample(np.ones((2, 2)), np.zeros((2, 2), dtype=int), np.zeros(2), np.zeros(2))
+
+
+@pytest.mark.parametrize("parallel", [False, True])
+def test_vose_resampler_distribution(parallel):
+    w = np.array([0.05, 0.15, 0.5, 0.3])
+    r = VoseAliasResampler(parallel_build=parallel)
+    idx = r.resample(w, 100_000, make_rng("numpy", seed=2))
+    freq = np.bincount(idx, minlength=4) / idx.size
+    np.testing.assert_allclose(freq, w, atol=0.01)
+
+
+def test_vose_batch_matches_rows():
+    w = np.random.default_rng(3).random((5, 32)) + 1e-6
+    r = VoseAliasResampler()
+    idx = r.resample_batch(w, 50_000, make_rng("numpy", seed=4))
+    assert idx.shape == (5, 50_000)
+    for f in range(5):
+        freq = np.bincount(idx[f], minlength=32) / idx.shape[1]
+        np.testing.assert_allclose(freq, w[f] / w[f].sum(), atol=0.02)

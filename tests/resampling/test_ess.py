@@ -1,0 +1,72 @@
+"""Tests for effective sample size and resampling policies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.prng import make_rng
+from repro.resampling import (
+    AlwaysResample,
+    ESSThresholdPolicy,
+    RandomFrequencyPolicy,
+    effective_sample_size,
+)
+
+
+def test_ess_uniform_equals_n():
+    assert effective_sample_size(np.ones(40)) == pytest.approx(40.0)
+
+
+def test_ess_point_mass_equals_one():
+    w = np.zeros(40)
+    w[3] = 5.0
+    assert effective_sample_size(w) == pytest.approx(1.0)
+
+
+def test_ess_batched_rows():
+    w = np.stack([np.ones(8), np.concatenate([np.ones(1), np.zeros(7)])])
+    ess = effective_sample_size(w, axis=1)
+    np.testing.assert_allclose(ess, [8.0, 1.0])
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.floats(min_value=1e-6, max_value=1e3), min_size=1, max_size=100))
+def test_ess_bounds_property(ws):
+    w = np.asarray(ws)
+    ess = effective_sample_size(w)
+    assert 1.0 - 1e-9 <= ess <= w.size + 1e-9
+
+
+def test_always_policy():
+    mask = AlwaysResample().should_resample(np.ones((5, 4)), make_rng("numpy", seed=0))
+    assert mask.all() and mask.shape == (5,)
+
+
+def test_ess_threshold_policy():
+    degenerate = np.concatenate([np.ones(1), np.zeros(15)])
+    w = np.stack([np.ones(16), degenerate])
+    mask = ESSThresholdPolicy(ratio=0.5).should_resample(w, make_rng("numpy", seed=0))
+    np.testing.assert_array_equal(mask, [False, True])
+
+
+def test_ess_threshold_validation():
+    with pytest.raises(ValueError):
+        ESSThresholdPolicy(ratio=0.0)
+    with pytest.raises(ValueError):
+        ESSThresholdPolicy(ratio=1.5)
+
+
+def test_random_frequency_policy_rates():
+    rng = make_rng("numpy", seed=1)
+    w = np.ones((10_000, 4))
+    mask = RandomFrequencyPolicy(frequency=0.3).should_resample(w, rng)
+    assert abs(mask.mean() - 0.3) < 0.02
+    assert RandomFrequencyPolicy(frequency=1.0).should_resample(w, rng).all()
+    assert not RandomFrequencyPolicy(frequency=0.0).should_resample(w, rng).any()
+
+
+def test_random_frequency_validation():
+    with pytest.raises(ValueError):
+        RandomFrequencyPolicy(frequency=-0.1)
+    with pytest.raises(ValueError):
+        RandomFrequencyPolicy(frequency=1.1)

@@ -1,0 +1,101 @@
+"""Tests for the command-line interface and config serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.parameters import (
+    CentralizedFilterConfig,
+    DistributedFilterConfig,
+    centralized_config_from_dict,
+    centralized_config_to_dict,
+    distributed_config_from_dict,
+    distributed_config_to_dict,
+)
+from repro.topology import RingTopology
+
+
+class TestConfigSerialization:
+    def test_distributed_roundtrip(self):
+        cfg = DistributedFilterConfig(n_particles=8, n_filters=4, topology="torus", n_exchange=2, dtype=np.float64)
+        d = distributed_config_to_dict(cfg)
+        json.dumps(d)  # must be JSON-clean
+        back = distributed_config_from_dict(d)
+        assert back == cfg.with_()  # frozen dataclass equality
+        assert np.dtype(back.dtype) == np.float64
+
+    def test_centralized_roundtrip(self):
+        cfg = CentralizedFilterConfig(n_particles=100, resampler="rws")
+        back = centralized_config_from_dict(json.loads(json.dumps(centralized_config_to_dict(cfg))))
+        assert back == cfg
+
+    def test_custom_topology_not_serializable(self):
+        cfg = DistributedFilterConfig(n_particles=8, n_filters=4, topology=RingTopology(4))
+        with pytest.raises(TypeError):
+            distributed_config_to_dict(cfg)
+
+
+class TestCLI:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_track_command(self, capsys):
+        rc = main(["track", "--particles", "8", "--filters", "8", "--steps", "20"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "error_m" in out and "host_hz" in out
+
+    def test_bench_tables(self, capsys):
+        rc = main(["bench", "tables"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out and "GTX 580" in out
+
+    def test_bench_fig4(self, capsys):
+        rc = main(["bench", "fig4"])
+        assert rc == 0
+        assert "Fig 4a" in capsys.readouterr().out
+
+    def test_platforms_command(self, capsys):
+        rc = main(["platforms"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "embedded" in out
+
+    def test_bench_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "fig99"])
+
+    def test_report_to_file(self, tmp_path, capsys, monkeypatch):
+        # Patch the heavy runners for a fast structural check of the report.
+        import repro.bench.report as report
+
+        monkeypatch.setattr(report, "run_fig3", lambda **kw: [{"total_particles": 1, "gtx-580": 1.0}])
+        monkeypatch.setattr(report, "run_fig4a", lambda: [{"particles_per_subfilter": 16, "sort": 0.2}])
+        monkeypatch.setattr(report, "run_fig4b", lambda: [{"n_subfilters": 16, "sort": 0.2}])
+        monkeypatch.setattr(report, "run_fig4c", lambda: [{"state_dim": 8, "sampling": 0.4}])
+        monkeypatch.setattr(report, "measured_breakdown", lambda: {"sampling": 1.0})
+        monkeypatch.setattr(report, "run_fig5_centralized", lambda: [{"n_particles": 4, "rws_measured_ms": 1.0}])
+        monkeypatch.setattr(report, "run_fig5_subfilter", lambda: [{"total_particles": 4, "rws_measured_ms": 1.0}])
+        monkeypatch.setattr(report, "run_fig6", lambda n_runs: [{"particles_per_filter": 8, "ring": 0.2}])
+        monkeypatch.setattr(report, "run_fig7", lambda n_runs: [{"particles_per_filter": 8, "t=1": 0.2}])
+        monkeypatch.setattr(
+            report,
+            "run_fig8",
+            lambda: {
+                "high_converged_at": 5,
+                "low_converged_at": None,
+                "high_errors": np.ones(30) * 0.1,
+                "low_errors": np.ones(30) * 9.9,
+            },
+        )
+        monkeypatch.setattr(report, "run_fig9", lambda n_runs: [{"total_particles": 256, "centralized": 0.2}])
+        out_file = tmp_path / "report.md"
+        rc = main(["report", "-o", str(out_file)])
+        assert rc == 0
+        text = out_file.read_text()
+        for heading in ("Fig 3", "Fig 4a", "Fig 5", "Fig 6", "Fig 7", "Fig 8", "Fig 9", "Table II", "Table III"):
+            assert heading in text

@@ -1,0 +1,44 @@
+"""Smoke tests: the runnable examples must actually run.
+
+Each example is executed in-process (runpy) with its ``main()`` patched-free
+small configuration where needed; only the faster examples are exercised to
+keep the suite quick — the long sweep study is covered by the benchmarks.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "platform_projection.py",
+    "simt_kernel_playground.py",
+    "bearings_only_tracking.py",
+    "custom_model_tutorial.py",
+]
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs(name, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [name])
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 50  # it printed its report
+
+
+def test_quickstart_reports_error_and_rate(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["quickstart.py"])
+    runpy.run_path(str(EXAMPLES / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "object-pos error" in out
+    assert "update rate" in out
+
+
+def test_all_examples_importable():
+    # Every example must at least parse and import (main() not called).
+    for f in sorted(EXAMPLES.glob("*.py")):
+        runpy.run_path(str(f), run_name="not_main")

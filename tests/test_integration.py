@@ -1,0 +1,165 @@
+"""Cross-module integration and property tests.
+
+These exercise the whole stack: random (valid) configurations must always
+produce a working filter; the distributed filter must agree with the exact
+Kalman posterior on the one model where that posterior is known; and the
+degeneracy problem must actually appear and be cured by resampling.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import KalmanFilter
+from repro.core import (
+    CentralizedFilterConfig,
+    CentralizedParticleFilter,
+    DistributedFilterConfig,
+    DistributedParticleFilter,
+    run_filter,
+)
+from repro.models import LinearGaussianModel
+from repro.prng import make_rng
+from repro.resampling import effective_sample_size
+
+
+def lg_model():
+    return LinearGaussianModel(
+        A=[[1.0, 0.1], [0.0, 0.9]],
+        C=[[1.0, 0.0]],
+        Q=np.diag([0.004, 0.01]),
+        R=[[0.01]],
+        x0_mean=[0.0, 0.3],
+        x0_cov=np.eye(2) * 0.3,
+    )
+
+
+config_strategy = st.builds(
+    DistributedFilterConfig,
+    n_particles=st.sampled_from([4, 8, 16, 32]),
+    n_filters=st.sampled_from([2, 4, 9, 16]),
+    topology=st.sampled_from(["ring", "torus", "all-to-all", "none"]),
+    n_exchange=st.integers(min_value=0, max_value=4),
+    resampler=st.sampled_from(["rws", "systematic", "stratified", "multinomial", "residual"]),
+    resample_policy=st.sampled_from(["always", "ess", "frequency"]),
+    resample_arg=st.floats(min_value=0.1, max_value=1.0),
+    estimator=st.sampled_from(["max_weight", "weighted_mean"]),
+    exchange_select=st.sampled_from(["best", "sample"]),
+    selection=st.sampled_from(["sort", "max"]),
+    frim_redraws=st.integers(min_value=0, max_value=2),
+    dtype=st.sampled_from([np.float32, np.float64]),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(cfg=config_strategy)
+def test_any_valid_config_filters_without_error(cfg):
+    """The whole configuration space must produce finite estimates and keep
+    the population invariants (shape, dtype, finite weights)."""
+    model = lg_model()
+    pf = DistributedParticleFilter(model, cfg)
+    z = np.array([0.25])
+    for k in range(3):
+        est = pf.step(z)
+    assert est.shape == (2,)
+    assert np.isfinite(est).all()
+    assert pf.states.shape == (cfg.n_filters, cfg.n_particles, 2)
+    assert pf.states.dtype == np.dtype(cfg.dtype)
+    assert np.isfinite(pf.states).all()
+    # Log-weights are finite (never NaN; -inf only for padded slots, which
+    # never persist in the population).
+    assert not np.isnan(pf.log_weights).any()
+
+
+def test_distributed_pf_matches_kalman_posterior_mean():
+    """On the linear-Gaussian model, the distributed PF's weighted-mean
+    estimate must track the exact Kalman mean closely — the strongest
+    correctness statement available."""
+    model = lg_model()
+    truth = model.simulate(60, make_rng("numpy", seed=0))
+    kf_run = run_filter(KalmanFilter(model), model, truth)
+    cfg = DistributedFilterConfig(
+        n_particles=128, n_filters=32, estimator="weighted_mean", dtype=np.float64, seed=1
+    )
+    pf_run = run_filter(DistributedParticleFilter(model, cfg), model, truth)
+    # Compare estimate trajectories directly (not just errors vs truth).
+    diff = np.linalg.norm(pf_run.estimates - kf_run.estimates, axis=1)
+    assert diff[10:].mean() < 0.08
+
+
+def test_centralized_pf_matches_kalman_posterior_mean():
+    model = lg_model()
+    truth = model.simulate(60, make_rng("numpy", seed=2))
+    kf_run = run_filter(KalmanFilter(model), model, truth)
+    pf = CentralizedParticleFilter(
+        model, CentralizedFilterConfig(n_particles=4000, estimator="weighted_mean", seed=3)
+    )
+    pf_run = run_filter(pf, model, truth)
+    diff = np.linalg.norm(pf_run.estimates - kf_run.estimates, axis=1)
+    assert diff[10:].mean() < 0.06
+
+
+def test_degeneracy_appears_without_resampling_and_is_cured_with_it():
+    """Section II-B: without resampling the weight variance only grows and a
+    single particle ends up holding the mass; resampling prevents it."""
+    model = lg_model()
+    truth = model.simulate(25, make_rng("numpy", seed=4))
+
+    never = CentralizedParticleFilter(
+        model,
+        CentralizedFilterConfig(n_particles=500, resample_policy="frequency", resample_arg=0.0, seed=5),
+    )
+    always = CentralizedParticleFilter(
+        model, CentralizedFilterConfig(n_particles=500, resampler="rws", seed=5)
+    )
+    run_filter(never, model, truth)
+    run_filter(always, model, truth)
+    assert never.effective_sample_size() < 25  # degenerate: ESS collapsed
+    assert always.effective_sample_size() > 100  # fresh weights after resample
+
+
+def test_variance_of_weights_increases_over_time_without_resampling():
+    model = lg_model()
+    truth = model.simulate(20, make_rng("numpy", seed=6))
+    pf = CentralizedParticleFilter(
+        model,
+        CentralizedFilterConfig(n_particles=400, resample_policy="frequency", resample_arg=0.0, seed=7),
+    )
+    pf.initialize()
+    ess_series = []
+    for k in range(truth.n_steps):
+        pf.step(truth.measurements[k])
+        ess_series.append(pf.effective_sample_size())
+    # ESS trend is downward (allowing local fluctuations): compare thirds.
+    first, last = np.mean(ess_series[:6]), np.mean(ess_series[-6:])
+    assert last < first
+
+
+def test_float32_and_float64_agree_on_estimates():
+    """Section VI: single precision does not change accuracy meaningfully."""
+    model = lg_model()
+    truth = model.simulate(40, make_rng("numpy", seed=8))
+    errs = {}
+    for dtype in (np.float32, np.float64):
+        cfg = DistributedFilterConfig(
+            n_particles=64, n_filters=16, estimator="weighted_mean", dtype=dtype, seed=9
+        )
+        errs[dtype] = run_filter(DistributedParticleFilter(model, cfg), model, truth).mean_error(warmup=10)
+    assert abs(errs[np.float32] - errs[np.float64]) < 0.05
+
+
+def test_long_run_stability():
+    """500 steps: no drift, no NaN leakage, bounded error throughout — the
+    real-time deployment property (a control loop runs indefinitely)."""
+    model = lg_model()
+    truth = model.simulate(500, make_rng("numpy", seed=20))
+    cfg = DistributedFilterConfig(
+        n_particles=32, n_filters=16, estimator="weighted_mean", seed=21
+    )
+    run = run_filter(DistributedParticleFilter(model, cfg), model, truth)
+    assert np.isfinite(run.errors).all()
+    # Error in the last fifth is no worse than shortly after convergence.
+    early = run.errors[50:150].mean()
+    late = run.errors[400:].mean()
+    assert late < 2.0 * early + 0.05

@@ -1,0 +1,78 @@
+"""Tests for the shared utility helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils import (
+    check_dtype,
+    check_positive_int,
+    check_power_of_two,
+    check_probability_vector,
+    is_power_of_two,
+    next_power_of_two,
+    normalize_weights,
+)
+
+
+class TestValidation:
+    def test_positive_int_accepts(self):
+        assert check_positive_int(5, "x") == 5
+        assert check_positive_int(np.int64(3), "x") == 3
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, "3", True])
+    def test_positive_int_rejects(self, bad):
+        with pytest.raises((ValueError, TypeError)):
+            check_positive_int(bad, "x")
+
+    def test_power_of_two(self):
+        assert check_power_of_two(8, "x") == 8
+        with pytest.raises(ValueError):
+            check_power_of_two(12, "x")
+
+    def test_dtype(self):
+        assert check_dtype("float32") == np.dtype(np.float32)
+        assert check_dtype(np.float64) == np.dtype(np.float64)
+        with pytest.raises(ValueError):
+            check_dtype(np.int32)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [np.zeros(0), np.zeros(3), -np.ones(3), np.array([np.nan, 1.0]), np.ones((2, 2))],
+    )
+    def test_probability_vector_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_probability_vector(bad)
+
+    def test_probability_vector_accepts_unnormalized(self):
+        w = check_probability_vector([1.0, 3.0])
+        np.testing.assert_array_equal(w, [1.0, 3.0])
+
+
+class TestArrays:
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1) and is_power_of_two(1024)
+        assert not is_power_of_two(0) and not is_power_of_two(12)
+
+    def test_next_power_of_two(self):
+        assert next_power_of_two(1) == 1
+        assert next_power_of_two(5) == 8
+        assert next_power_of_two(8) == 8
+        with pytest.raises(ValueError):
+            next_power_of_two(0)
+
+    def test_normalize_weights_rows(self):
+        w = normalize_weights(np.array([[1.0, 3.0], [0.0, 0.0]]), axis=1)
+        np.testing.assert_allclose(w[0], [0.25, 0.75])
+        np.testing.assert_allclose(w[1], [0.5, 0.5])  # degenerate row -> uniform
+
+    def test_normalize_weights_nan_total(self):
+        w = normalize_weights(np.array([np.inf, 1.0]))
+        np.testing.assert_allclose(w, [0.5, 0.5])
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=64))
+    def test_normalize_property(self, ws):
+        w = normalize_weights(np.asarray(ws))
+        assert w.shape == (len(ws),)
+        assert abs(w.sum() - 1.0) < 1e-9
+        assert (w >= 0).all()

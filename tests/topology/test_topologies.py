@@ -1,0 +1,141 @@
+"""Structural tests for all exchange topologies."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.topology import (
+    AllToAllTopology,
+    GraphTopology,
+    RingTopology,
+    Torus2DTopology,
+    make_topology,
+)
+
+
+@pytest.mark.parametrize(
+    "topo",
+    [
+        RingTopology(8),
+        RingTopology(2),
+        RingTopology(3),
+        Torus2DTopology(16),
+        Torus2DTopology(12, rows=3, cols=4),
+        Torus2DTopology(7),  # prime -> 1 x 7 grid
+        AllToAllTopology(6),
+        GraphTopology.random_regular(3, 16),
+        GraphTopology.hypercube(4),
+    ],
+    ids=lambda t: f"{t.name}-{t.n_filters}",
+)
+class TestTopologyContract:
+    def test_symmetric_no_self_loops(self, topo):
+        topo.validate()
+
+    def test_neighbor_table_shape(self, topo):
+        table = topo.neighbor_table()
+        assert table.shape == (topo.n_filters, topo.max_degree)
+        for i in range(topo.n_filters):
+            nb = [x for x in table[i] if x >= 0]
+            assert nb == topo.neighbors(i)
+
+    def test_networkx_roundtrip(self, topo):
+        g = topo.as_networkx()
+        assert g.number_of_nodes() == topo.n_filters
+        for i in range(topo.n_filters):
+            assert sorted(g.neighbors(i)) == topo.neighbors(i)
+
+    def test_out_of_range_index(self, topo):
+        with pytest.raises(IndexError):
+            topo.neighbors(topo.n_filters)
+
+
+def test_ring_degree_two():
+    topo = RingTopology(64)
+    assert all(len(topo.neighbors(i)) == 2 for i in range(64))
+    assert nx.is_connected(topo.as_networkx())
+
+
+def test_ring_single_filter_has_no_neighbors():
+    assert RingTopology(1).neighbors(0) == []
+
+
+def test_torus_degree_four_and_connected():
+    topo = Torus2DTopology(64)
+    assert topo.rows == 8 and topo.cols == 8
+    assert all(len(topo.neighbors(i)) == 4 for i in range(64))
+    assert nx.is_connected(topo.as_networkx())
+
+
+def test_torus_diameter_below_ring():
+    # The torus's extra connectivity must shorten worst-case propagation.
+    ring_d = nx.diameter(RingTopology(64).as_networkx())
+    torus_d = nx.diameter(Torus2DTopology(64).as_networkx())
+    assert torus_d < ring_d
+
+
+def test_torus_shape_validation():
+    with pytest.raises(ValueError):
+        Torus2DTopology(12, rows=5, cols=3)
+
+
+def test_alltoall_complete():
+    topo = AllToAllTopology(5)
+    assert topo.pooled
+    g = topo.as_networkx()
+    assert g.number_of_edges() == 10
+
+
+def test_graph_topology_rejects_bad_labels():
+    g = nx.Graph()
+    g.add_edge("a", "b")
+    with pytest.raises(ValueError):
+        GraphTopology(g)
+
+
+def test_graph_topology_rejects_self_loops():
+    g = nx.Graph()
+    g.add_nodes_from(range(3))
+    g.add_edge(1, 1)
+    with pytest.raises(ValueError):
+        GraphTopology(g)
+
+
+@pytest.mark.parametrize(
+    "name,cls",
+    [("ring", RingTopology), ("torus", Torus2DTopology), ("all-to-all", AllToAllTopology), ("2d-torus", Torus2DTopology)],
+)
+def test_factory(name, cls):
+    assert isinstance(make_topology(name, 16), cls)
+
+
+def test_factory_none_topology():
+    topo = make_topology("none", 4)
+    assert all(topo.neighbors(i) == [] for i in range(4))
+
+
+def test_factory_unknown():
+    with pytest.raises(ValueError):
+        make_topology("mobius", 4)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=128))
+def test_ring_structure_property(n):
+    topo = RingTopology(n)
+    topo.validate()
+    table = topo.neighbor_table()
+    assert table.shape[1] <= 2
+    if n >= 3:
+        assert nx.is_connected(topo.as_networkx())
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=128))
+def test_torus_structure_property(n):
+    topo = Torus2DTopology(n)
+    topo.validate()
+    assert topo.rows * topo.cols == n
+    if n >= 2:
+        assert nx.is_connected(topo.as_networkx())
