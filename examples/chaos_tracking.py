@@ -1,0 +1,70 @@
+"""Chaos tracking: RMSE vs. fraction of killed sub-filter blocks.
+
+Runs the robot-arm tracking problem on the multiprocess backend while a
+seeded :class:`~repro.resilience.FaultPlan` kills a growing number of
+worker blocks mid-run. The master detects each crash, heals the exchange
+topology around the dead sub-filters, and keeps estimating from the
+survivors — the point of the exercise is to *measure* the degraded-accuracy
+contract of ``docs/robustness.md``: error grows with the killed fraction
+instead of the run hanging or going NaN.
+
+Run:  PYTHONPATH=src python examples/chaos_tracking.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends import MultiprocessDistributedParticleFilter
+from repro.core import DistributedFilterConfig, run_filter
+from repro.models import RobotArmModel, RobotArmParams, lemniscate, simulate_arm_tracking
+from repro.prng import make_rng
+from repro.resilience import FaultPlan
+
+N_WORKERS = 8
+N_STEPS = 60
+WARMUP = 15
+KILL_STEP = 20  # all scheduled kills strike at this round
+
+
+def main() -> None:
+    model = RobotArmModel(RobotArmParams(n_joints=3))
+    pos, vel = lemniscate(N_STEPS, h_s=model.params.h_s)
+    truth = simulate_arm_tracking(model, pos, vel, make_rng("numpy", 42))
+    config = DistributedFilterConfig(
+        n_particles=32, n_filters=32, topology="ring",
+        estimator="weighted_mean", seed=7,
+    )
+
+    print(f"robot-arm tracking, {config.n_filters} sub-filters over "
+          f"{N_WORKERS} worker blocks, {N_STEPS} steps; kills strike at "
+          f"round {KILL_STEP}\n")
+    print(f"{'killed':>8} {'fraction':>9} {'RMSE [m]':>9} {'vs clean':>9}  diagnostics")
+
+    baseline = None
+    for n_kill in range(0, 4):
+        plan = FaultPlan(seed=0)
+        for w in range(n_kill):
+            plan.kill(worker=w, step=KILL_STEP)
+        pf = MultiprocessDistributedParticleFilter(
+            model, config, n_workers=N_WORKERS,
+            fault_plan=plan, on_failure="heal", recv_timeout=30.0,
+        )
+        with pf:
+            run = run_filter(pf, model, truth)
+            diag = pf.diagnostics()
+        rmse = run.mean_error(warmup=WARMUP)
+        assert np.isfinite(run.estimates).all(), "estimate went non-finite!"
+        if baseline is None:
+            baseline = rmse
+        ratio = rmse / baseline if baseline > 0 else float("inf")
+        info = (f"dead workers {diag['dead_workers']}" if diag["dead_workers"]
+                else "fault-free")
+        print(f"{n_kill:>8} {n_kill / N_WORKERS:>9.3f} {rmse:>9.4f} {ratio:>8.2f}x  {info}")
+
+    print("\nEvery run completed all steps with finite estimates; accuracy "
+          "degrades gracefully\nwith the killed fraction (docs/robustness.md).")
+
+
+if __name__ == "__main__":
+    main()

@@ -16,29 +16,69 @@ worker process, and each round runs as
 
 Exactly the mpi4py communication pattern (scatter/gather + point-to-point
 boundary exchange), built on ``multiprocessing`` pipes so it runs anywhere.
+
+Fault tolerance
+---------------
+Because the algorithm is local by construction, a failed worker block is
+survivable: the master detects it (deadline on every ``recv`` via
+``Connection.poll``, liveness checks on the process, remote tracebacks as
+structured ``("error", tb)`` replies), reroutes the exchange topology around
+the dead sub-filters with a :class:`~repro.resilience.TopologyHealer`, drops
+the dead block's partials from the estimate reduction, and — when
+``respawn_dead=True`` — respawns the block by cloning particles from the
+nearest surviving topological neighbours (the exchange primitive reused as
+a recovery primitive). ``on_failure="raise"`` instead surfaces a typed
+:class:`~repro.resilience.WorkerTimeoutError` /
+:class:`~repro.resilience.WorkerCrashedError`. A seeded
+:class:`~repro.resilience.FaultPlan` can inject crashes, hangs, poisoned
+weights and corrupted exchange particles for reproducible chaos testing.
+See ``docs/robustness.md`` for the failure model.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import traceback
 
 import numpy as np
 
-from repro.core.estimator import global_estimate
+from repro.core.estimator import max_weight_estimate, weighted_mean_estimate
 from repro.core.parameters import DistributedFilterConfig
 from repro.core.registry import make_policy, make_resampler
 from repro.kernels.exchange import route_pairwise, route_pooled
 from repro.metrics.timing import PhaseTimer
 from repro.models.base import StateSpaceModel
 from repro.prng.streams import make_rng
+from repro.resilience.errors import (
+    NoLiveWorkersError,
+    WorkerCrashedError,
+    WorkerFailure,
+    WorkerTimeoutError,
+)
+from repro.resilience.faults import (
+    FaultPlan,
+    apply_process_faults,
+    corrupt_send_states,
+    poison_log_weights,
+)
+from repro.resilience.healing import TopologyHealer
+from repro.resilience.monitor import ResilienceReport
 from repro.topology import ExchangeTopology, make_topology
-from repro.utils.validation import check_positive_int
+from repro.utils.arrays import rescue_degenerate_rows, sanitize_log_weights
+from repro.utils.validation import check_positive_int, check_timeout
 
 
+def _worker_loop(conn, model, config, block_lo, block_hi, worker_id,
+                 fault_plan=None, seed_tag=0):
+    """One worker process: owns sub-filters ``block_lo:block_hi``.
 
-def _worker_loop(conn, model, config, block_lo, block_hi, worker_id):
-    """One worker process: owns sub-filters ``block_lo:block_hi``."""
-    rng = make_rng(config.rng, config.seed).spawn(1000 + worker_id)
+    Any exception inside a message handler is reported back to the master
+    as a structured ``("error", traceback_str)`` reply instead of dying
+    silently (which would leave the master blocked on ``recv``). The
+    ``seed_tag`` distinguishes RNG streams across respawns of the same
+    block so a replacement worker never replays its predecessor's draws.
+    """
+    rng = make_rng(config.rng, config.seed).spawn(1000 + worker_id + 100_000 * seed_tag)
     resampler = make_resampler(config.resampler)
     policy = make_policy(config.resample_policy, config.resample_arg)
     dtype = np.dtype(config.dtype)
@@ -50,49 +90,76 @@ def _worker_loop(conn, model, config, block_lo, block_hi, worker_id):
         while True:
             msg = conn.recv()
             kind = msg[0]
-            if kind == "init":
-                flat = model.initial_particles(F * m, rng, dtype=dtype)
-                states = flat.reshape(F, m, model.state_dim)
-                logw = np.zeros((F, m))
-                conn.send(("ok",))
-            elif kind == "phase1":
-                _, z, u, k, t = msg
-                states = model.transition(states, u, k, rng)
-                logw = logw + model.log_likelihood(states, z, k).astype(np.float64)
-                order = np.argsort(-logw, axis=1, kind="stable")
-                logw = np.take_along_axis(logw, order, axis=1)
-                states = np.take_along_axis(states, order[:, :, None], axis=1)
-                send_states = states[:, : max(t, 1)].copy()
-                send_logw = logw[:, : max(t, 1)].copy()
-                # Local-estimate partials for a weighted-mean reduction.
-                shift = logw.max()
-                w = np.exp(logw - shift)
-                partial = (w.reshape(-1) @ states.reshape(-1, model.state_dim), w.sum(), shift)
-                conn.send((send_states, send_logw, states[:, 0].copy(), logw[:, 0].copy(), partial))
-            elif kind == "phase2":
-                _, recv_states, recv_logw = msg
-                if recv_states is not None and recv_states.shape[1] > 0:
-                    pooled_states = np.concatenate([states, recv_states.astype(states.dtype)], axis=1)
-                    pooled_logw = np.concatenate([logw, recv_logw], axis=1)
-                else:
-                    pooled_states, pooled_logw = states, logw
-                local_w = np.exp(logw - logw.max(axis=1, keepdims=True))
-                mask = policy.should_resample(local_w, rng)
-                if mask.any():
-                    w = np.exp(pooled_logw - pooled_logw.max(axis=1, keepdims=True))
-                    idx = resampler.resample_batch(w[mask], m, rng)
-                    states[mask] = np.take_along_axis(pooled_states[mask], idx[:, :, None], axis=1)
-                    logw[mask] = 0.0
-                conn.send(("ok",))
-            elif kind == "get_state":
-                conn.send((states, logw))
-            elif kind == "stop":
-                conn.send(("bye",))
-                return
-            else:  # pragma: no cover - protocol guard
-                raise RuntimeError(f"unknown message {kind!r}")
+            try:
+                if kind == "init":
+                    flat = model.initial_particles(F * m, rng, dtype=dtype)
+                    states = flat.reshape(F, m, model.state_dim)
+                    logw = np.zeros((F, m))
+                    conn.send(("ok",))
+                elif kind == "adopt":
+                    # Respawn path: start from particles cloned off a donor.
+                    _, new_states, new_logw = msg
+                    states = np.ascontiguousarray(new_states, dtype=dtype).reshape(F, m, model.state_dim)
+                    logw = np.asarray(new_logw, dtype=np.float64).reshape(F, m).copy()
+                    conn.send(("ok",))
+                elif kind == "phase1":
+                    _, z, u, k, t = msg
+                    apply_process_faults(fault_plan, worker_id, k)
+                    states = model.transition(states, u, k, rng)
+                    logw = logw + model.log_likelihood(states, z, k).astype(np.float64)
+                    poison_log_weights(fault_plan, worker_id, k, logw)
+                    # Local numerical self-healing: mask non-finite
+                    # weights/particles, restart fully-degenerate rows on
+                    # uniform weights (fresh neighbour particles arrive in
+                    # phase 2, completing the rejuvenation).
+                    stats = {"sanitized": sanitize_log_weights(logw, states),
+                             "rejuvenated": rescue_degenerate_rows(logw, states)}
+                    order = np.argsort(-logw, axis=1, kind="stable")
+                    logw = np.take_along_axis(logw, order, axis=1)
+                    states = np.take_along_axis(states, order[:, :, None], axis=1)
+                    send_states = states[:, : max(t, 1)].copy()
+                    send_logw = logw[:, : max(t, 1)].copy()
+                    corrupt_send_states(fault_plan, worker_id, k, send_states)
+                    # Local-estimate partials for a weighted-mean reduction.
+                    shift = logw.max()
+                    w = np.exp(logw - shift)
+                    partial = (w.reshape(-1) @ states.reshape(-1, model.state_dim), w.sum(), shift)
+                    conn.send((send_states, send_logw, states[:, 0].copy(),
+                               logw[:, 0].copy(), partial, stats))
+                elif kind == "phase2":
+                    _, recv_states, recv_logw = msg
+                    if recv_states is not None and recv_states.shape[1] > 0:
+                        recv_logw = np.asarray(recv_logw, dtype=np.float64).copy()
+                        # Corrupted incoming particles must never be selected.
+                        sanitize_log_weights(recv_logw, recv_states)
+                        pooled_states = np.concatenate([states, recv_states.astype(states.dtype)], axis=1)
+                        pooled_logw = np.concatenate([logw, recv_logw], axis=1)
+                    else:
+                        pooled_states, pooled_logw = states, logw
+                    local_w = np.exp(logw - logw.max(axis=1, keepdims=True))
+                    mask = policy.should_resample(local_w, rng)
+                    if mask.any():
+                        w = np.exp(pooled_logw - pooled_logw.max(axis=1, keepdims=True))
+                        idx = resampler.resample_batch(w[mask], m, rng)
+                        states[mask] = np.take_along_axis(pooled_states[mask], idx[:, :, None], axis=1)
+                        logw[mask] = 0.0
+                    conn.send(("ok",))
+                elif kind == "get_state":
+                    conn.send((states, logw))
+                elif kind == "stop":
+                    conn.send(("bye",))
+                    return
+                else:  # pragma: no cover - protocol guard
+                    raise RuntimeError(f"unknown message {kind!r}")
+            except Exception:  # noqa: BLE001 - forwarded to the master
+                conn.send(("error", traceback.format_exc()))
+    except (EOFError, BrokenPipeError, OSError, KeyboardInterrupt):  # pragma: no cover
+        pass
     finally:
-        conn.close()
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass
 
 
 class MultiprocessDistributedParticleFilter:
@@ -102,58 +169,132 @@ class MultiprocessDistributedParticleFilter:
     RNG stream layout), with genuinely distributed state: the master never
     holds the particle population, only boundary particles and estimates —
     the same data-movement contract as a cluster implementation.
+
+    Parameters
+    ----------
+    recv_timeout:
+        deadline [s] for every worker reply, enforced with
+        ``Connection.poll``; ``None`` waits forever (liveness is still
+        checked every second, so a *crashed* worker is always detected).
+    max_retries:
+        number of poll windows the deadline is split into (exponential
+        backoff); each expired window counts as a retry before the final
+        :class:`WorkerTimeoutError`.
+    on_failure:
+        ``"raise"`` — surface the typed failure to the caller;
+        ``"heal"`` — declare the block dead, reroute the exchange topology
+        around its sub-filters, drop its partials from the estimate
+        reduction, and keep filtering with the survivors.
+    respawn_dead:
+        with ``on_failure="heal"``, respawn dead blocks at the end of the
+        round from particles cloned off the nearest live topological
+        neighbours.
+    fault_plan:
+        optional :class:`~repro.resilience.FaultPlan` injected into every
+        worker for reproducible chaos testing.
+    heal_bridge:
+        bridge a dead sub-filter's neighbours into a cycle (keeps a ring a
+        ring); ``False`` just drops the dead node's edges.
     """
 
-    def __init__(self, model: StateSpaceModel, config: DistributedFilterConfig, n_workers: int = 2):
+    def __init__(self, model: StateSpaceModel, config: DistributedFilterConfig,
+                 n_workers: int = 2, *, recv_timeout: float | None = 30.0,
+                 max_retries: int = 3, on_failure: str = "raise",
+                 respawn_dead: bool = False, fault_plan: FaultPlan | None = None,
+                 heal_bridge: bool = True):
         check_positive_int(n_workers, "n_workers")
         if config.n_filters % n_workers:
             raise ValueError(f"n_filters ({config.n_filters}) must divide over {n_workers} workers")
+        if on_failure not in ("raise", "heal"):
+            raise ValueError(f"on_failure must be 'raise' or 'heal', got {on_failure!r}")
         self.model = model
         self.config = config
         self.n_workers = n_workers
+        self.recv_timeout = check_timeout(recv_timeout, "recv_timeout")
+        self.max_retries = check_positive_int(max_retries, "max_retries")
+        self.on_failure = on_failure
+        self.respawn_dead = bool(respawn_dead)
+        self.fault_plan = fault_plan
         if isinstance(config.topology, ExchangeTopology):
             self.topology = config.topology
         else:
             self.topology = make_topology(str(config.topology), config.n_filters)
         self._table = self.topology.neighbor_table()
         self._mask = self._table >= 0
+        self._healer = TopologyHealer(self.topology, bridge=heal_bridge)
+        self.report = ResilienceReport()
         self.timer = PhaseTimer()
         self.k = 0
-        self._procs: list[mp.Process] = []
-        self._conns = []
+        self._procs: list = []
+        self._conns: list = []
+        self._worker_alive: list[bool] = []
+        self._seed_tags = [0] * n_workers
         self._block = config.n_filters // n_workers
         self._started = False
         self.last_estimate: np.ndarray | None = None
 
     # -- process management -----------------------------------------------
-    def _start(self) -> None:
+    def _block_range(self, w: int) -> tuple[int, int]:
+        return w * self._block, (w + 1) * self._block
+
+    def _live_workers(self) -> list[int]:
+        return [w for w in range(self.n_workers) if self._worker_alive[w]]
+
+    def _spawn_worker(self, w: int) -> None:
         ctx = mp.get_context("fork")
+        parent, child = ctx.Pipe()
+        lo, hi = self._block_range(w)
+        p = ctx.Process(
+            target=_worker_loop,
+            args=(child, self.model, self.config, lo, hi, w,
+                  self.fault_plan, self._seed_tags[w]),
+            daemon=True,
+        )
+        p.start()
+        child.close()  # keep only the worker's copy; EOF then means "worker gone"
+        self._procs[w] = p
+        self._conns[w] = parent
+        self._worker_alive[w] = True
+
+    def _start(self) -> None:
+        self._procs = [None] * self.n_workers
+        self._conns = [None] * self.n_workers
+        self._worker_alive = [False] * self.n_workers
         for w in range(self.n_workers):
-            parent, child = ctx.Pipe()
-            p = ctx.Process(
-                target=_worker_loop,
-                args=(child, self.model, self.config, w * self._block, (w + 1) * self._block, w),
-                daemon=True,
-            )
-            p.start()
-            self._procs.append(p)
-            self._conns.append(parent)
+            self._spawn_worker(w)
         self._started = True
 
     def close(self) -> None:
-        """Stop the worker processes."""
+        """Stop the worker processes.
+
+        Robust against workers that already crashed or hung: the farewell
+        handshake is bounded by ``poll``, and any process still alive after
+        a short join is terminated — leaked workers never outlive the run.
+        """
         if not self._started:
             return
-        for c in self._conns:
+        for c, p in zip(self._conns, self._procs):
+            if c is None:
+                continue
             try:
-                c.send(("stop",))
-                c.recv()
+                if p is not None and p.is_alive():
+                    c.send(("stop",))
+                    if c.poll(1.0):
+                        c.recv()
+            except (BrokenPipeError, EOFError, OSError):
+                pass
+            try:
                 c.close()
-            except (BrokenPipeError, EOFError):  # pragma: no cover
+            except OSError:  # pragma: no cover
                 pass
         for p in self._procs:
-            p.join(timeout=5)
-        self._procs, self._conns = [], []
+            if p is None:
+                continue
+            p.join(timeout=2)
+            if p.is_alive():
+                p.terminate()
+                p.join(timeout=2)
+        self._procs, self._conns, self._worker_alive = [], [], []
         self._started = False
 
     def __enter__(self):
@@ -169,14 +310,125 @@ class MultiprocessDistributedParticleFilter:
         except Exception:
             pass
 
+    # -- guarded messaging -------------------------------------------------
+    def _send(self, w: int, msg) -> None:
+        try:
+            self._conns[w].send(msg)
+        except (BrokenPipeError, OSError) as e:
+            raise WorkerCrashedError(
+                f"worker {w} pipe failed on send: {e}", worker_id=w, step=self.k
+            ) from e
+
+    def _recv(self, w: int, what: str = "reply"):
+        """Receive with deadline, liveness checks and bounded backoff.
+
+        The deadline is split into ``max_retries`` exponentially growing
+        poll windows; between windows the worker process's liveness is
+        checked so a crash is reported as :class:`WorkerCrashedError`
+        immediately rather than after the full deadline. With
+        ``recv_timeout=None`` the poll loop runs forever in 1 s windows
+        (still crash-aware). A structured ``("error", tb)`` reply becomes a
+        :class:`WorkerCrashedError` carrying the remote traceback.
+        """
+        conn, proc = self._conns[w], self._procs[w]
+        if self.recv_timeout is None:
+            windows = None  # poll forever in 1 s slices
+        else:
+            n = self.max_retries
+            total = float(2 ** n - 1)
+            windows = [self.recv_timeout * (2 ** i) / total for i in range(n)]
+        attempt = 0
+        while True:
+            win = 1.0 if windows is None else windows[attempt]
+            try:
+                if conn.poll(win):
+                    msg = conn.recv()
+                    if isinstance(msg, tuple) and msg and isinstance(msg[0], str) and msg[0] == "error":
+                        raise WorkerCrashedError(
+                            f"worker {w} raised remotely during {what}:\n{msg[1]}",
+                            worker_id=w, step=self.k, remote_traceback=msg[1],
+                        )
+                    return msg
+            except (EOFError, OSError) as e:
+                raise WorkerCrashedError(
+                    f"worker {w} pipe failed during {what}: {e}", worker_id=w, step=self.k
+                ) from e
+            if proc is not None and not proc.is_alive():
+                raise WorkerCrashedError(
+                    f"worker {w} process exited (code {proc.exitcode}) during {what}",
+                    worker_id=w, step=self.k,
+                )
+            if windows is not None:
+                attempt += 1
+                if attempt >= len(windows):
+                    self.report.timeouts += 1
+                    raise WorkerTimeoutError(
+                        f"worker {w} did not reply within {self.recv_timeout}s during {what}",
+                        worker_id=w, step=self.k,
+                    )
+                self.report.retries += 1
+
+    # -- failure handling ----------------------------------------------------
+    def _handle_failure(self, w: int, exc: WorkerFailure) -> None:
+        """Record a failure, then heal or re-raise per ``on_failure``."""
+        if isinstance(exc, WorkerTimeoutError):
+            kind = "timeout"
+        elif getattr(exc, "remote_traceback", None) is not None:
+            kind = "error"
+        else:
+            kind = "crash"
+        lo, hi = self._block_range(w)
+        self.report.record_failure(self.k, w, kind, detail=str(exc).splitlines()[0],
+                                   filters=range(lo, hi))
+        if self.on_failure == "raise":
+            raise exc
+        self._declare_dead(w)
+
+    def _declare_dead(self, w: int) -> None:
+        """Terminate worker *w* and route the topology around its block."""
+        p = self._procs[w]
+        if p is not None and p.is_alive():
+            p.terminate()
+            p.join(timeout=2)
+        c = self._conns[w]
+        if c is not None:
+            try:
+                c.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._conns[w] = None
+        self._worker_alive[w] = False
+        lo, hi = self._block_range(w)
+        self._healer.mark_dead(range(lo, hi))
+
+    @property
+    def dead_workers(self) -> tuple[int, ...]:
+        """Currently-dead worker blocks (healed around, not yet respawned)."""
+        if not self._started:
+            return ()
+        return tuple(w for w in range(self.n_workers) if not self._worker_alive[w])
+
+    def diagnostics(self) -> dict:
+        """JSON-ready resilience snapshot: failures, heals, liveness."""
+        out = self.report.summary()
+        out["live_workers"] = list(self._live_workers()) if self._started else []
+        out["dead_filters"] = list(self._healer.dead)
+        return out
+
     # -- filter protocol ------------------------------------------------------
     def initialize(self) -> None:
         if not self._started:
             self._start()
-        for c in self._conns:
-            c.send(("init",))
-        for c in self._conns:
-            c.recv()
+        for w in self._live_workers():
+            try:
+                self._send(w, ("init",))
+            except WorkerFailure as e:
+                self._handle_failure(w, e)
+        for w in self._live_workers():
+            try:
+                self._recv(w, what="init")
+            except WorkerFailure as e:
+                self._handle_failure(w, e)
         self.k = 0
 
     def step(self, measurement: np.ndarray, control: np.ndarray | None = None) -> np.ndarray:
@@ -184,54 +436,161 @@ class MultiprocessDistributedParticleFilter:
             self.initialize()
         cfg = self.config
         t = cfg.n_exchange
-        # Phase 1: scatter the measurement, gather tops + estimate partials.
-        for c in self._conns:
-            c.send(("phase1", measurement, control, self.k, t))
-        replies = [c.recv() for c in self._conns]
-        send_states = np.concatenate([r[0] for r in replies])  # (F, t', d)
-        send_logw = np.concatenate([r[1] for r in replies])
-        best_states = np.concatenate([r[2] for r in replies])  # (F, d)
-        best_logw = np.concatenate([r[3] for r in replies])
+        if not self._live_workers():
+            raise NoLiveWorkersError("all worker blocks are dead", step=self.k)
 
-        # Global estimate reduction.
-        if cfg.estimator == "max_weight":
-            estimate = best_states[int(np.argmax(best_logw))].astype(np.float64)
-        else:
-            shifts = np.array([r[4][2] for r in replies])
-            g = shifts.max()
-            num = sum(r[4][0] * np.exp(r[4][2] - g) for r in replies)
-            den = sum(r[4][1] * np.exp(r[4][2] - g) for r in replies)
-            estimate = (num / den).astype(np.float64) if den > 0 else best_states.mean(axis=0)
+        # Phase 1: scatter the measurement, gather tops + estimate partials.
+        for w in self._live_workers():
+            try:
+                self._send(w, ("phase1", measurement, control, self.k, t))
+            except WorkerFailure as e:
+                self._handle_failure(w, e)
+        replies = {}
+        for w in self._live_workers():
+            try:
+                replies[w] = self._recv(w, what="phase1")
+            except WorkerFailure as e:
+                self._handle_failure(w, e)
+        live = [w for w in self._live_workers() if w in replies]
+        if not live:
+            raise NoLiveWorkersError("all worker blocks died during phase 1", step=self.k)
+
+        # Assemble full-population buffers; dead blocks hold -inf weight
+        # placeholders so shapes stay (F, ...) and nothing selects them.
+        F, d = cfg.n_filters, self.model.state_dim
+        tp = replies[live[0]][0].shape[1]
+        send_states = np.zeros((F, tp, d), dtype=replies[live[0]][0].dtype)
+        send_logw = np.full((F, tp), -np.inf)
+        best_states = np.zeros((F, d))
+        best_logw = np.full(F, -np.inf)
+        partials = []
+        for w in live:
+            lo, hi = self._block_range(w)
+            r = replies[w]
+            send_states[lo:hi], send_logw[lo:hi] = r[0], r[1]
+            best_states[lo:hi], best_logw[lo:hi] = r[2], r[3]
+            partials.append(r[4])
+            self.report.merge_worker_stats(r[5])
+
+        # Global estimate reduction over the live blocks only.
+        estimate = self._reduce_estimate(best_states, best_logw, partials)
         self.last_estimate = estimate
 
-        # Route exchanged particles along the global topology (same kernels
-        # the single-process filter uses).
-        if t > 0 and self._table.shape[1] > 0:
+        # Route exchanged particles along the (possibly healed) topology.
+        table, mask = self._healer.neighbor_table()
+        if t > 0 and table.shape[1] > 0:
             if self.topology.pooled:
+                # Pooled routing self-heals: dead blocks' -inf placeholders
+                # can never enter the global top-t.
                 recv_states, recv_logw = route_pooled(send_states[:, :t], send_logw[:, :t], t)
                 recv_states, recv_logw = recv_states.copy(), recv_logw.copy()
             else:
                 recv_states, recv_logw = route_pairwise(
-                    send_states[:, :t], send_logw[:, :t], self._table, self._mask
+                    send_states[:, :t], send_logw[:, :t], table, mask
                 )
         else:
             recv_states = recv_logw = None
 
         # Phase 2: deliver each block's incoming particles; workers resample.
-        for w, c in enumerate(self._conns):
-            lo, hi = w * self._block, (w + 1) * self._block
-            if recv_states is None:
-                c.send(("phase2", None, None))
-            else:
-                c.send(("phase2", recv_states[lo:hi], recv_logw[lo:hi]))
-        for c in self._conns:
-            c.recv()
+        for w in list(live):
+            lo, hi = self._block_range(w)
+            try:
+                if recv_states is None:
+                    self._send(w, ("phase2", None, None))
+                else:
+                    self._send(w, ("phase2", recv_states[lo:hi], recv_logw[lo:hi]))
+            except WorkerFailure as e:
+                live.remove(w)
+                self._handle_failure(w, e)
+        for w in list(live):
+            try:
+                self._recv(w, what="phase2")
+            except WorkerFailure as e:
+                self._handle_failure(w, e)
+
+        if self.respawn_dead and self.dead_workers:
+            self._respawn_dead_workers()
         self.k += 1
         return estimate
 
+    def _reduce_estimate(self, best_states: np.ndarray, best_logw: np.ndarray,
+                         partials: list) -> np.ndarray:
+        """Two-round reduction over live partials, NaN-safe by construction."""
+        if self.config.estimator == "max_weight":
+            return max_weight_estimate(best_states[:, None, :], best_logw[:, None])
+        finite = [p for p in partials
+                  if np.isfinite(p[2]) and np.isfinite(p[1]) and np.all(np.isfinite(p[0]))]
+        if finite:
+            g = max(p[2] for p in finite)
+            num = sum(p[0] * np.exp(p[2] - g) for p in finite)
+            den = sum(p[1] * np.exp(p[2] - g) for p in finite)
+            if den > 0 and np.all(np.isfinite(num)):
+                return (num / den).astype(np.float64)
+        # No usable partial survived: weighted mean over the per-filter
+        # best particles (itself guarded against NaN states/weights).
+        return weighted_mean_estimate(best_states[:, None, :], best_logw[:, None])
+
+    # -- recovery ---------------------------------------------------------------
+    def _respawn_dead_workers(self) -> None:
+        """Respawn dead blocks from particles cloned off live donors.
+
+        For each dead sub-filter the healer names the nearest live donor by
+        hop count on the original topology; the donor block's current
+        particles seed the replacement (uniform weights), the new process
+        adopts them, and the healed topology restitches the revived ids.
+        """
+        cfg = self.config
+        donor_map = self._healer.donor_map()
+        state_cache: dict[int, tuple] = {}
+        for w in sorted(self.dead_workers):
+            lo, hi = self._block_range(w)
+            new_states = np.empty((self._block, cfg.n_particles, self.model.state_dim),
+                                  dtype=np.dtype(cfg.dtype))
+            new_logw = np.zeros((self._block, cfg.n_particles))
+            ok = True
+            for f in range(lo, hi):
+                donor = donor_map.get(f)
+                owner = None if donor is None else donor // self._block
+                if owner is None or not self._worker_alive[owner]:
+                    ok = False
+                    break
+                if owner not in state_cache:
+                    try:
+                        self._send(owner, ("get_state",))
+                        state_cache[owner] = self._recv(owner, what="get_state")
+                    except WorkerFailure as e:
+                        self._handle_failure(owner, e)
+                        ok = False
+                        break
+                donor_states = state_cache[owner][0]
+                new_states[f - lo] = donor_states[donor - owner * self._block]
+            if not ok:
+                continue  # no live donor this round; try again next step
+            self._seed_tags[w] += 1
+            self._spawn_worker(w)
+            try:
+                self._send(w, ("adopt", new_states, new_logw))
+                self._recv(w, what="adopt")
+            except WorkerFailure as e:
+                self._handle_failure(w, e)
+                continue
+            self._healer.revive(range(lo, hi))
+            self.report.respawns += 1
+
     def gather_population(self) -> tuple[np.ndarray, np.ndarray]:
-        """Collect the full (states, log_weights) for inspection/tests."""
-        for c in self._conns:
-            c.send(("get_state",))
-        parts = [c.recv() for c in self._conns]
-        return np.concatenate([p[0] for p in parts]), np.concatenate([p[1] for p in parts])
+        """Collect the full (states, log_weights) for inspection/tests.
+
+        Dead blocks (healed mode) are returned as NaN so the caller can see
+        exactly which sub-filter slots are out of service.
+        """
+        cfg = self.config
+        states = np.full((cfg.n_filters, cfg.n_particles, self.model.state_dim),
+                         np.nan, dtype=np.dtype(cfg.dtype))
+        logw = np.full((cfg.n_filters, cfg.n_particles), np.nan)
+        for w in self._live_workers():
+            self._send(w, ("get_state",))
+        for w in self._live_workers():
+            lo, hi = self._block_range(w)
+            s, l = self._recv(w, what="get_state")
+            states[lo:hi], logw[lo:hi] = s, l
+        return states, logw

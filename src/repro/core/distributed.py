@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.core.estimator import global_estimate, local_estimates
 from repro.kernels.exchange import route_pairwise, route_pooled
+from repro.utils.arrays import degenerate_rows, sanitize_log_weights
 from repro.core.parameters import DistributedFilterConfig
 from repro.core.registry import make_policy, make_resampler
 from repro.metrics.timing import PhaseTimer, TimingRNG
@@ -64,6 +65,9 @@ class DistributedParticleFilter:
         self.states: np.ndarray | None = None  # (F, m, d)
         self.log_weights: np.ndarray | None = None  # (F, m)
         self.last_estimate: np.ndarray | None = None
+        #: numerical self-healing counters: particles masked for non-finite
+        #: weight/state, and sub-filters rejuvenated after total degeneracy.
+        self.heal_counters = {"sanitized": 0, "rejuvenated": 0}
 
     # -- lifecycle ----------------------------------------------------------
     def initialize(self) -> None:
@@ -96,6 +100,8 @@ class DistributedParticleFilter:
                 self.states = self.model.transition(self.states, control, self.k, self.rng)
                 loglik = self.model.log_likelihood(self.states, measurement, self.k)
             self.log_weights = self.log_weights + loglik.astype(np.float64)
+            if cfg.self_heal:
+                self._heal_population()
 
         # 2) Local sort by weight (descending), or the cheaper local max.
         with self.timer.phase("sort"):
@@ -121,6 +127,36 @@ class DistributedParticleFilter:
         return estimate
 
     # -- kernels --------------------------------------------------------------
+    def _heal_population(self) -> None:
+        """Numerical self-healing after weighting (docs/robustness.md).
+
+        NaN log-weights and particles whose state went non-finite are masked
+        to ``-inf`` (zero mass). A sub-filter left with *no* finite weight is
+        rejuvenated by cloning a live topological neighbour's particles and
+        restarting on uniform weights — the paper's exchange primitive
+        reused as a recovery primitive. Deterministic (no RNG draws), so a
+        healthy run is bit-identical with healing on or off.
+        """
+        n_bad = sanitize_log_weights(self.log_weights, self.states)
+        if n_bad:
+            self.heal_counters["sanitized"] += n_bad
+        dead = degenerate_rows(self.log_weights)
+        if not dead.any():
+            return
+        alive = ~dead
+        for f in np.flatnonzero(dead):
+            donors = self._table[f][self._mask[f]]
+            donors = donors[alive[donors]]
+            if donors.size:
+                self.states[f] = self.states[int(donors[0])]
+            elif alive.any():
+                self.states[f] = self.states[int(np.flatnonzero(alive)[0])]
+            # else: every sub-filter is degenerate — keep own states and
+            # restart all of them on uniform weights.
+            ok = np.isfinite(self.states[f]).all(axis=-1)
+            self.log_weights[f] = np.where(ok, 0.0, -np.inf) if ok.any() else 0.0
+            self.heal_counters["rejuvenated"] += 1
+
     def _top_t(self, t: int) -> tuple[np.ndarray, np.ndarray]:
         """Each sub-filter's t best (or weight-sampled) particles."""
         cfg = self.config

@@ -69,6 +69,12 @@ class DistributedFilterConfig:
     #: resample, jitter particles by K * range * n^(-1/d) per dimension to
     #: fight sample impoverishment. 0 disables (paper default).
     roughening: float = 0.0
+    #: numerical self-healing: each round, NaN weights and non-finite
+    #: particles are masked to -inf, and a sub-filter that lost *every*
+    #: finite weight is rejuvenated from a live topological neighbour
+    #: (see docs/robustness.md). Purely corrective — a healthy run takes
+    #: the exact same path with or without it.
+    self_heal: bool = True
     dtype: object = np.float32
     rng: str = "numpy"
     seed: int = 0

@@ -23,7 +23,7 @@ from repro.kernels.scan import (
     inclusive_scan_batch,
 )
 from repro.kernels.reduce import argmax_reduce_batch, tree_reduce_workgroup
-from repro.kernels.exchange import route_pairwise, route_pooled
+from repro.kernels.exchange import mask_dead_sources, route_pairwise, route_pooled
 from repro.kernels.resample_kernels import (
     alias_build_workgroup,
     alias_sample_workgroup,
@@ -40,6 +40,7 @@ __all__ = [
     "tree_reduce_workgroup",
     "argmax_reduce_batch",
     "rws_workgroup",
+    "mask_dead_sources",
     "route_pairwise",
     "route_pooled",
     "alias_sample_workgroup",

@@ -57,6 +57,27 @@ def route_pairwise(
     return recv_states.reshape(F, D * t, d), recv_logw.reshape(F, D * t)
 
 
+def mask_dead_sources(table: np.ndarray, mask: np.ndarray, alive: np.ndarray) -> np.ndarray:
+    """Shrink a neighbour-table validity mask to live endpoints only.
+
+    ``alive`` is a boolean liveness vector ``(F,)``. A table slot stays
+    valid only when both the receiving sub-filter and the slot's source are
+    alive — dead sub-filters neither deliver particles nor consume any.
+    This is the cheap per-round guard (a pair of gathers, same shape as the
+    routing kernels); full rerouting with bridged connectivity is the
+    :class:`repro.resilience.TopologyHealer`'s job.
+    """
+    table = np.asarray(table)
+    mask = np.asarray(mask, dtype=bool)
+    alive = np.asarray(alive, dtype=bool)
+    if table.shape != mask.shape:
+        raise ValueError("table/mask must share shape (F, D)")
+    if alive.shape != (table.shape[0],):
+        raise ValueError(f"alive must be (F,) = ({table.shape[0]},), got {alive.shape}")
+    src = np.maximum(table, 0)
+    return mask & alive[src] & alive[:, None]
+
+
 def route_pooled(
     send_states: np.ndarray,
     send_logw: np.ndarray,

@@ -1,0 +1,57 @@
+"""Fault tolerance for the distributed particle filter.
+
+The paper's algorithm is *local by construction*: every operation except
+the neighbour exchange and the estimate reduction is confined to one
+sub-filter. This package turns that structural property into an actual
+runtime guarantee — losing a sub-filter block degrades accuracy instead of
+halting the system:
+
+- :mod:`repro.resilience.faults` — a seeded, replayable fault-injection
+  layer (:class:`FaultPlan`): kill/hang/delay workers, poison weights with
+  NaN/-inf, corrupt exchanged particles.
+- :mod:`repro.resilience.healing` — :class:`TopologyHealer` reroutes the
+  exchange graph around dead sub-filters and names donor neighbours for
+  respawned blocks.
+- :mod:`repro.resilience.monitor` — :class:`ResilienceReport` accounts for
+  every failure, retry, rescue and respawn.
+- :mod:`repro.resilience.errors` — the typed failure taxonomy
+  (:class:`WorkerTimeoutError`, :class:`WorkerCrashedError`, ...).
+
+See ``docs/robustness.md`` for the failure model and the degraded-accuracy
+contract, and ``examples/chaos_tracking.py`` for an end-to-end chaos run.
+"""
+
+from repro.resilience.errors import (
+    NoLiveWorkersError,
+    WorkerCrashedError,
+    WorkerFailure,
+    WorkerTimeoutError,
+)
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    KILL_EXIT_CODE,
+    Fault,
+    FaultPlan,
+    apply_process_faults,
+    corrupt_send_states,
+    poison_log_weights,
+)
+from repro.resilience.healing import TopologyHealer
+from repro.resilience.monitor import ResilienceReport, WorkerFailureEvent
+
+__all__ = [
+    "FAULT_KINDS",
+    "KILL_EXIT_CODE",
+    "Fault",
+    "FaultPlan",
+    "NoLiveWorkersError",
+    "ResilienceReport",
+    "TopologyHealer",
+    "WorkerCrashedError",
+    "WorkerFailure",
+    "WorkerFailureEvent",
+    "WorkerTimeoutError",
+    "apply_process_faults",
+    "corrupt_send_states",
+    "poison_log_weights",
+]

@@ -1,0 +1,57 @@
+"""Typed failures raised by the fault-tolerant distributed backend.
+
+The failure taxonomy mirrors what a cluster deployment has to distinguish:
+
+- a worker that *stopped answering* but whose process is still alive
+  (:class:`WorkerTimeoutError` — a hang, a livelock, a long GC pause),
+- a worker whose *process died* or whose pipe broke
+  (:class:`WorkerCrashedError` — also covers a structured ``("error", tb)``
+  reply carrying the remote traceback),
+- the terminal state where *no* worker block survives
+  (:class:`NoLiveWorkersError` — nothing left to estimate from).
+
+All three derive from :class:`WorkerFailure`, so callers that only care
+about "this step lost a worker" can catch the base class.
+"""
+
+from __future__ import annotations
+
+
+class WorkerFailure(RuntimeError):
+    """Base class: a worker block failed during a filtering round.
+
+    Attributes
+    ----------
+    worker_id:
+        index of the failed worker block (``-1`` if not attributable).
+    step:
+        filtering round ``k`` during which the failure was detected.
+    """
+
+    def __init__(self, message: str, worker_id: int = -1, step: int = -1):
+        super().__init__(message)
+        self.worker_id = int(worker_id)
+        self.step = int(step)
+
+
+class WorkerTimeoutError(WorkerFailure):
+    """A worker did not reply within the configured deadline but its
+    process is still alive — the hung-worker case."""
+
+
+class WorkerCrashedError(WorkerFailure):
+    """A worker process died, its pipe broke, or it reported a remote
+    exception via a structured ``("error", traceback)`` reply.
+
+    ``remote_traceback`` carries the worker-side traceback text when one
+    was received, else ``None``.
+    """
+
+    def __init__(self, message: str, worker_id: int = -1, step: int = -1,
+                 remote_traceback: str | None = None):
+        super().__init__(message, worker_id, step)
+        self.remote_traceback = remote_traceback
+
+
+class NoLiveWorkersError(WorkerFailure):
+    """Every worker block is dead; the filter cannot produce estimates."""

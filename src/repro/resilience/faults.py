@@ -1,0 +1,237 @@
+"""Deterministic fault injection for chaos-testing the distributed filter.
+
+A :class:`FaultPlan` is a reproducible schedule of faults keyed by
+``(worker, step)``. Because the plan is data (not callbacks), it pickles
+cleanly into worker processes and serializes into experiment records, so a
+chaos run that exposed a bug can be replayed bit-for-bit.
+
+Supported fault kinds
+---------------------
+``kill``
+    the worker process exits immediately (no reply is ever sent) — the
+    crashed-block case.
+``hang``
+    the worker sleeps for ``duration`` seconds before proceeding; with a
+    duration beyond the master's deadline this exercises the timeout path.
+``delay``
+    like ``hang`` but intended to stay *under* the deadline — exercises the
+    retry/backoff path without losing the worker.
+``poison_nan`` / ``poison_neginf``
+    a seeded fraction of the worker's sub-filter weight rows is overwritten
+    with ``NaN`` / ``-inf`` after weighting — the numerical-degeneracy case.
+``corrupt_exchange``
+    a seeded fraction of the particles the worker *sends* to its neighbours
+    is replaced with ``NaN`` — corruption on the wire.
+
+The randomness used to pick poisoned rows / corrupted particles is derived
+from ``(plan.seed, fault kind, worker, step)``, never from global state, so
+injection is reproducible regardless of scheduling.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+#: exit code used by an injected ``kill`` so tests can recognise it.
+KILL_EXIT_CODE = 137
+
+FAULT_KINDS = ("kill", "hang", "delay", "poison_nan", "poison_neginf", "corrupt_exchange")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled fault: *kind* hits *worker* at filtering round *step*."""
+
+    kind: str
+    worker: int
+    step: int
+    #: sleep length for ``hang`` / ``delay`` faults [s].
+    duration: float = 0.0
+    #: fraction of rows/particles affected by poison/corrupt faults.
+    fraction: float = 1.0
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; choose one of {FAULT_KINDS}")
+        if self.worker < 0:
+            raise ValueError(f"worker must be >= 0, got {self.worker}")
+        if self.step < 0:
+            raise ValueError(f"step must be >= 0, got {self.step}")
+        if self.duration < 0:
+            raise ValueError(f"duration must be >= 0, got {self.duration}")
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {self.fraction}")
+
+
+class FaultPlan:
+    """A seeded, reproducible schedule of worker faults.
+
+    Build one fluently::
+
+        plan = (FaultPlan(seed=7)
+                .kill(worker=1, step=10)
+                .hang(worker=2, step=4, duration=60.0)
+                .poison_weights(worker=0, step=3, value="nan"))
+
+    or draw a random plan with :meth:`FaultPlan.random`. Plans are
+    picklable and round-trip through :meth:`to_dicts` / :meth:`from_dicts`.
+    """
+
+    def __init__(self, seed: int = 0, faults: tuple[Fault, ...] = ()):
+        self.seed = int(seed)
+        self._faults: list[Fault] = []
+        self._index: dict[tuple[int, int], list[Fault]] = {}
+        for f in faults:
+            self.add(f)
+
+    # -- construction -------------------------------------------------------
+    def add(self, fault: Fault) -> "FaultPlan":
+        if not isinstance(fault, Fault):
+            raise TypeError(f"expected a Fault, got {type(fault).__name__}")
+        self._faults.append(fault)
+        self._index.setdefault((fault.worker, fault.step), []).append(fault)
+        return self
+
+    def kill(self, worker: int, step: int) -> "FaultPlan":
+        return self.add(Fault("kill", worker, step))
+
+    def hang(self, worker: int, step: int, duration: float = 3600.0) -> "FaultPlan":
+        return self.add(Fault("hang", worker, step, duration=duration))
+
+    def delay(self, worker: int, step: int, duration: float = 0.05) -> "FaultPlan":
+        return self.add(Fault("delay", worker, step, duration=duration))
+
+    def poison_weights(self, worker: int, step: int, value: str = "nan",
+                       fraction: float = 1.0) -> "FaultPlan":
+        kind = {"nan": "poison_nan", "-inf": "poison_neginf", "neginf": "poison_neginf"}.get(value)
+        if kind is None:
+            raise ValueError(f"value must be 'nan' or '-inf', got {value!r}")
+        return self.add(Fault(kind, worker, step, fraction=fraction))
+
+    def corrupt_exchange(self, worker: int, step: int, fraction: float = 1.0) -> "FaultPlan":
+        return self.add(Fault("corrupt_exchange", worker, step, fraction=fraction))
+
+    @classmethod
+    def random(cls, seed: int, n_workers: int, n_steps: int, *,
+               p_kill: float = 0.0, p_hang: float = 0.0, p_delay: float = 0.0,
+               p_poison: float = 0.0, p_corrupt: float = 0.0,
+               max_kills: int | None = None,
+               hang_duration: float = 3600.0, delay_duration: float = 0.05) -> "FaultPlan":
+        """Draw a random plan: each (worker, step) cell independently suffers
+        each fault kind with the given probability. ``max_kills`` caps the
+        number of killed workers so a chaos run keeps a quorum alive."""
+        rng = np.random.default_rng(seed)
+        plan = cls(seed=seed)
+        kills = 0
+        for step in range(n_steps):
+            for worker in range(n_workers):
+                if p_kill and rng.random() < p_kill:
+                    if max_kills is None or kills < max_kills:
+                        plan.kill(worker, step)
+                        kills += 1
+                if p_hang and rng.random() < p_hang:
+                    plan.hang(worker, step, duration=hang_duration)
+                if p_delay and rng.random() < p_delay:
+                    plan.delay(worker, step, duration=delay_duration)
+                if p_poison and rng.random() < p_poison:
+                    plan.poison_weights(worker, step, value="nan")
+                if p_corrupt and rng.random() < p_corrupt:
+                    plan.corrupt_exchange(worker, step, fraction=0.5)
+        return plan
+
+    # -- queries -------------------------------------------------------------
+    def faults_for(self, worker: int, step: int) -> tuple[Fault, ...]:
+        """All faults scheduled for *worker* at round *step* (insertion order)."""
+        return tuple(self._index.get((int(worker), int(step)), ()))
+
+    def rng_for(self, fault: Fault) -> np.random.Generator:
+        """Deterministic generator for a fault's internal randomness."""
+        kind_id = FAULT_KINDS.index(fault.kind)
+        return np.random.default_rng([self.seed, kind_id, fault.worker, fault.step])
+
+    @property
+    def faults(self) -> tuple[Fault, ...]:
+        return tuple(self._faults)
+
+    def __len__(self) -> int:
+        return len(self._faults)
+
+    def __iter__(self):
+        return iter(self._faults)
+
+    def __repr__(self) -> str:
+        return f"FaultPlan(seed={self.seed}, n_faults={len(self._faults)})"
+
+    # -- serialization -------------------------------------------------------
+    def to_dicts(self) -> dict:
+        """JSON-ready record of the plan."""
+        return {"seed": self.seed, "faults": [asdict(f) for f in self._faults]}
+
+    @classmethod
+    def from_dicts(cls, d: dict) -> "FaultPlan":
+        return cls(seed=d.get("seed", 0), faults=tuple(Fault(**f) for f in d.get("faults", ())))
+
+
+# ---------------------------------------------------------------------------
+# Worker-side application helpers
+# ---------------------------------------------------------------------------
+
+
+def apply_process_faults(plan: FaultPlan | None, worker: int, step: int) -> None:
+    """Apply ``kill`` / ``hang`` / ``delay`` faults before a worker computes.
+
+    ``kill`` exits the process with :data:`KILL_EXIT_CODE` without replying
+    (the master sees a dead process / broken pipe, exactly like a real
+    crash). ``hang``/``delay`` sleep for their duration, then proceed.
+    """
+    if plan is None:
+        return
+    for f in plan.faults_for(worker, step):
+        if f.kind == "kill":
+            os._exit(KILL_EXIT_CODE)
+        elif f.kind in ("hang", "delay"):
+            time.sleep(f.duration)
+
+
+def poison_log_weights(plan: FaultPlan | None, worker: int, step: int,
+                       log_weights: np.ndarray) -> int:
+    """Apply weight-poisoning faults in place; returns rows poisoned.
+
+    ``log_weights`` is the worker's ``(F_local, m)`` block; a seeded
+    fraction of its rows is overwritten with NaN or ``-inf``.
+    """
+    if plan is None:
+        return 0
+    poisoned = 0
+    for f in plan.faults_for(worker, step):
+        if f.kind not in ("poison_nan", "poison_neginf"):
+            continue
+        n_rows = log_weights.shape[0]
+        n_hit = max(1, int(round(f.fraction * n_rows)))
+        rows = plan.rng_for(f).choice(n_rows, size=min(n_hit, n_rows), replace=False)
+        log_weights[rows] = np.nan if f.kind == "poison_nan" else -np.inf
+        poisoned += len(rows)
+    return poisoned
+
+
+def corrupt_send_states(plan: FaultPlan | None, worker: int, step: int,
+                        send_states: np.ndarray) -> int:
+    """Apply ``corrupt_exchange`` faults in place on the outgoing particle
+    buffer ``(F_local, t, d)``; returns particles corrupted."""
+    if plan is None:
+        return 0
+    corrupted = 0
+    for f in plan.faults_for(worker, step):
+        if f.kind != "corrupt_exchange":
+            continue
+        flat = send_states.reshape(-1, send_states.shape[-1])
+        n = flat.shape[0]
+        n_hit = max(1, int(round(f.fraction * n)))
+        rows = plan.rng_for(f).choice(n, size=min(n_hit, n), replace=False)
+        flat[rows] = np.nan
+        corrupted += len(rows)
+    return corrupted

@@ -1,0 +1,151 @@
+"""Topology healing: reroute the exchange network around dead sub-filters.
+
+The paper's filter is *local by construction* — the only global couplings
+are the neighbour exchange and the estimate reduction — so losing a block
+of sub-filters does not invalidate the survivors' state. What must change
+is the routing: dead sub-filters have to disappear from every neighbour
+table (nobody waits on their particles) and, to keep the exchange graph
+connected, their former neighbours are bridged together (a ring with a
+dead node contracts back into a smaller ring).
+
+:class:`TopologyHealer` maintains that view incrementally: mark blocks
+dead as failures are detected, read back the healed ``(table, mask)`` pair
+that the routing kernels consume, and — when a block is respawned — ask
+for donors: for each dead slot, the nearest *live* sub-filter by hop count
+on the original graph, whose particles seed the replacement (the paper's
+exchange primitive reused as a recovery primitive).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.topology.base import ExchangeTopology
+
+
+class TopologyHealer:
+    """Tracks dead sub-filters and serves the rerouted exchange topology.
+
+    Parameters
+    ----------
+    topology:
+        the original (fault-free) exchange topology.
+    bridge:
+        stitch a dead node's neighbours into a cycle so connectivity is
+        preserved (see :meth:`ExchangeTopology.healed_view`). ``False``
+        simply drops the dead node's edges.
+    """
+
+    def __init__(self, topology: ExchangeTopology, bridge: bool = True):
+        self.topology = topology
+        self.bridge = bool(bridge)
+        self.n_filters = topology.n_filters
+        self._dead: set[int] = set()
+        self._healed = topology
+        self._table = topology.neighbor_table()
+        self._mask = self._table >= 0
+
+    # -- state ----------------------------------------------------------------
+    @property
+    def dead(self) -> tuple[int, ...]:
+        """Sorted ids of currently-dead sub-filters."""
+        return tuple(sorted(self._dead))
+
+    @property
+    def n_dead(self) -> int:
+        return len(self._dead)
+
+    @property
+    def alive(self) -> np.ndarray:
+        """Boolean liveness vector, shape ``(n_filters,)``."""
+        out = np.ones(self.n_filters, dtype=bool)
+        if self._dead:
+            out[list(self._dead)] = False
+        return out
+
+    def is_alive(self, i: int) -> bool:
+        return i not in self._dead
+
+    # -- transitions ------------------------------------------------------------
+    def mark_dead(self, ids) -> list[int]:
+        """Declare sub-filters dead; returns the ids that were newly dead."""
+        newly = [int(i) for i in np.atleast_1d(np.asarray(ids, dtype=np.int64))
+                 if int(i) not in self._dead]
+        for i in newly:
+            if not 0 <= i < self.n_filters:
+                raise ValueError(f"sub-filter id {i} out of range")
+        if newly:
+            self._dead.update(newly)
+            self._rebuild()
+        return newly
+
+    def revive(self, ids) -> list[int]:
+        """Bring respawned sub-filters back into the exchange network."""
+        back = [int(i) for i in np.atleast_1d(np.asarray(ids, dtype=np.int64))
+                if int(i) in self._dead]
+        if back:
+            self._dead.difference_update(back)
+            self._rebuild()
+        return back
+
+    def _rebuild(self) -> None:
+        if self._dead:
+            self._healed = self.topology.healed_view(self._dead, bridge=self.bridge)
+        else:
+            self._healed = self.topology
+        self._table = self._healed.neighbor_table()
+        self._mask = self._table >= 0
+
+    # -- views -------------------------------------------------------------------
+    def neighbor_table(self) -> tuple[np.ndarray, np.ndarray]:
+        """The healed dense ``(table, mask)`` pair for the routing kernels.
+
+        Dead rows are fully masked (they neither send nor receive) and no
+        live row references a dead id.
+        """
+        return self._table, self._mask
+
+    def healed_topology(self) -> ExchangeTopology:
+        """The healed topology object (original object when nothing is dead)."""
+        return self._healed
+
+    def donor_map(self, ids=None) -> dict[int, int | None]:
+        """Nearest live donor for each dead sub-filter.
+
+        Breadth-first search on the *original* graph from each dead node;
+        the first live node reached donates its particles when the slot is
+        respawned. ``None`` when no live node is reachable (or none exists).
+        Ties at equal hop count resolve to the smallest id, so the mapping
+        is deterministic.
+        """
+        targets = self.dead if ids is None else tuple(int(i) for i in ids)
+        out: dict[int, int | None] = {}
+        for d in targets:
+            out[d] = self._nearest_live(d)
+        return out
+
+    def _nearest_live(self, start: int) -> int | None:
+        if not self._dead:
+            return None
+        seen = {start}
+        queue = deque([start])
+        while queue:
+            frontier = sorted(v for u in list(queue) for v in self.topology.neighbors(u)
+                              if v not in seen)
+            queue.clear()
+            for v in frontier:
+                if v in seen:
+                    continue
+                if v not in self._dead:
+                    return v
+                seen.add(v)
+                queue.append(v)
+        # Disconnected from every live node: fall back to the smallest live id.
+        alive = [i for i in range(self.n_filters) if i not in self._dead]
+        return alive[0] if alive else None
+
+    def __repr__(self) -> str:
+        return (f"TopologyHealer({self.topology!r}, bridge={self.bridge}, "
+                f"n_dead={self.n_dead})")

@@ -1,0 +1,81 @@
+"""Resilience diagnostics: what failed, when, and what the system did.
+
+Every fault-tolerant run accumulates a :class:`ResilienceReport` so that a
+degraded result is *attributable*: which worker blocks died at which round
+and why, how many recv retries / timeouts occurred, how many particles were
+neutralized for non-finite weights or states, and how many sub-filters were
+rejuvenated from neighbours or respawned. ``summary()`` returns a JSON-ready
+record for experiment logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class WorkerFailureEvent:
+    """One detected worker-block failure."""
+
+    step: int
+    worker_id: int
+    kind: str  # "timeout" | "crash" | "error"
+    detail: str = ""
+    #: sub-filter ids the failed block owned.
+    filters: tuple[int, ...] = ()
+
+
+@dataclass
+class ResilienceReport:
+    """Mutable accumulator of fault-tolerance events for one run."""
+
+    failures: list[WorkerFailureEvent] = field(default_factory=list)
+    #: recv attempts that had to wait past one poll window (transient slowness).
+    retries: int = 0
+    #: recv deadlines that fully expired.
+    timeouts: int = 0
+    #: particles whose weight was forced to -inf (NaN weight / non-finite state).
+    sanitized_particles: int = 0
+    #: sub-filter rows rescued after losing every finite weight.
+    rejuvenated_filters: int = 0
+    #: worker blocks respawned from neighbour donors.
+    respawns: int = 0
+
+    def record_failure(self, step: int, worker_id: int, kind: str,
+                       detail: str = "", filters=()) -> WorkerFailureEvent:
+        event = WorkerFailureEvent(step=int(step), worker_id=int(worker_id),
+                                   kind=str(kind), detail=str(detail),
+                                   filters=tuple(int(f) for f in filters))
+        self.failures.append(event)
+        return event
+
+    @property
+    def dead_workers(self) -> tuple[int, ...]:
+        """Worker ids with at least one recorded failure (sorted, unique)."""
+        return tuple(sorted({e.worker_id for e in self.failures}))
+
+    @property
+    def n_failures(self) -> int:
+        return len(self.failures)
+
+    def merge_worker_stats(self, stats: dict) -> None:
+        """Fold a worker's per-round self-healing counters into the report."""
+        self.sanitized_particles += int(stats.get("sanitized", 0))
+        self.rejuvenated_filters += int(stats.get("rejuvenated", 0))
+
+    def summary(self) -> dict:
+        """JSON-ready snapshot."""
+        return {
+            "n_failures": self.n_failures,
+            "dead_workers": list(self.dead_workers),
+            "failures": [
+                {"step": e.step, "worker_id": e.worker_id, "kind": e.kind,
+                 "detail": e.detail, "filters": list(e.filters)}
+                for e in self.failures
+            ],
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "sanitized_particles": self.sanitized_particles,
+            "rejuvenated_filters": self.rejuvenated_filters,
+            "respawns": self.respawns,
+        }

@@ -66,6 +66,39 @@ class ExchangeTopology(abc.ABC):
     def __repr__(self) -> str:
         return f"{type(self).__name__}(n_filters={self.n_filters})"
 
+    def healed_view(self, dead, bridge: bool = True) -> "ExchangeTopology":
+        """The topology with the *dead* sub-filters routed around.
+
+        Dead nodes stay in the graph (indices are stable — they name
+        sub-filter slots) but lose all edges, so exchange kernels never
+        read from or deliver to them. With ``bridge=True`` each removed
+        node's neighbours are stitched into a cycle, preserving
+        connectivity: a ring with a dead node heals back into a ring, a
+        torus keeps its wrap-around paths. Dead nodes are processed in
+        ascending order, and a node's bridge edges are visible when a
+        later dead node is removed, so runs of adjacent failures still
+        heal through (the chain contracts instead of splitting the graph).
+        """
+        from repro.topology.custom import GraphTopology
+
+        dead = sorted({int(d) for d in dead})
+        for d in dead:
+            if not 0 <= d < self.n_filters:
+                raise ValueError(f"dead id {d} out of range for {self.n_filters} filters")
+        g = self.as_networkx()
+        for d in dead:
+            nbrs = sorted(g.neighbors(d))
+            g.remove_edges_from([(d, v) for v in nbrs])
+            if bridge and len(nbrs) >= 2:
+                if len(nbrs) == 2:
+                    g.add_edge(nbrs[0], nbrs[1])
+                else:
+                    g.add_edges_from(
+                        (nbrs[i], nbrs[(i + 1) % len(nbrs)]) for i in range(len(nbrs))
+                    )
+        name = getattr(self, "name", "graph")
+        return GraphTopology(g, name=f"{name}-healed" if dead else name)
+
 
 def make_topology(name: str, n_filters: int, **kwargs) -> ExchangeTopology:
     """Factory: ``'ring' | 'torus' | 'all-to-all' | 'none'`` by name."""

@@ -5,15 +5,27 @@ from repro.utils.validation import (
     check_positive_int,
     check_power_of_two,
     check_probability_vector,
+    check_timeout,
 )
-from repro.utils.arrays import is_power_of_two, next_power_of_two, normalize_weights
+from repro.utils.arrays import (
+    degenerate_rows,
+    is_power_of_two,
+    next_power_of_two,
+    normalize_weights,
+    rescue_degenerate_rows,
+    sanitize_log_weights,
+)
 
 __all__ = [
     "check_dtype",
     "check_positive_int",
     "check_power_of_two",
     "check_probability_vector",
+    "check_timeout",
+    "degenerate_rows",
     "is_power_of_two",
     "next_power_of_two",
     "normalize_weights",
+    "rescue_degenerate_rows",
+    "sanitize_log_weights",
 ]

@@ -35,6 +35,18 @@ def check_dtype(dtype) -> np.dtype:
     return dt
 
 
+def check_timeout(value, name: str) -> float | None:
+    """Validate a deadline: ``None`` (wait forever) or a positive number of
+    seconds. Used by the fault-tolerant backend's recv deadlines."""
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float, np.integer, np.floating)):
+        raise TypeError(f"{name} must be a number or None, got {type(value).__name__}")
+    if not np.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be positive and finite (or None), got {value}")
+    return float(value)
+
+
 def check_probability_vector(w: np.ndarray, name: str = "weights") -> np.ndarray:
     """Validate that *w* is a 1-D non-negative vector with positive mass."""
     w = np.asarray(w, dtype=np.float64)

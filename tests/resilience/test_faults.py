@@ -1,0 +1,99 @@
+"""The fault-injection plan: deterministic, seeded, serializable."""
+
+import numpy as np
+import pytest
+
+from repro.resilience import FAULT_KINDS, Fault, FaultPlan, corrupt_send_states, poison_log_weights
+
+
+def test_fault_validation():
+    with pytest.raises(ValueError):
+        Fault("explode", 0, 0)
+    with pytest.raises(ValueError):
+        Fault("kill", -1, 0)
+    with pytest.raises(ValueError):
+        Fault("kill", 0, -1)
+    with pytest.raises(ValueError):
+        Fault("hang", 0, 0, duration=-1.0)
+    with pytest.raises(ValueError):
+        Fault("poison_nan", 0, 0, fraction=0.0)
+    with pytest.raises(ValueError):
+        Fault("poison_nan", 0, 0, fraction=1.5)
+
+
+def test_builder_and_lookup():
+    plan = (FaultPlan(seed=7)
+            .kill(worker=1, step=10)
+            .hang(worker=2, step=4, duration=60.0)
+            .delay(worker=0, step=4, duration=0.01)
+            .poison_weights(worker=0, step=3, value="nan")
+            .poison_weights(worker=0, step=3, value="-inf")
+            .corrupt_exchange(worker=1, step=5, fraction=0.5))
+    assert len(plan) == 6
+    assert plan.faults_for(1, 10)[0].kind == "kill"
+    assert plan.faults_for(2, 4)[0].duration == 60.0
+    kinds = [f.kind for f in plan.faults_for(0, 3)]
+    assert kinds == ["poison_nan", "poison_neginf"]
+    assert plan.faults_for(5, 5) == ()
+
+
+def test_invalid_poison_value():
+    with pytest.raises(ValueError):
+        FaultPlan().poison_weights(0, 0, value="inf")
+
+
+def test_serialization_roundtrip():
+    plan = FaultPlan(seed=3).kill(0, 1).corrupt_exchange(1, 2, fraction=0.25)
+    clone = FaultPlan.from_dicts(plan.to_dicts())
+    assert clone.seed == 3
+    assert clone.faults == plan.faults
+
+
+def test_random_plan_is_reproducible_and_caps_kills():
+    a = FaultPlan.random(9, n_workers=4, n_steps=50, p_kill=0.2, p_poison=0.1, max_kills=2)
+    b = FaultPlan.random(9, n_workers=4, n_steps=50, p_kill=0.2, p_poison=0.1, max_kills=2)
+    assert a.faults == b.faults
+    assert sum(f.kind == "kill" for f in a) <= 2
+    c = FaultPlan.random(10, n_workers=4, n_steps=50, p_kill=0.2, p_poison=0.1, max_kills=2)
+    assert c.faults != a.faults
+
+
+def test_poison_log_weights_deterministic():
+    plan = FaultPlan(seed=5).poison_weights(worker=0, step=2, value="nan", fraction=0.5)
+    lw1 = np.zeros((8, 4))
+    lw2 = np.zeros((8, 4))
+    n1 = poison_log_weights(plan, 0, 2, lw1)
+    n2 = poison_log_weights(plan, 0, 2, lw2)
+    assert n1 == n2 == 4
+    np.testing.assert_array_equal(np.isnan(lw1), np.isnan(lw2))
+    # other (worker, step) cells untouched
+    lw3 = np.zeros((8, 4))
+    assert poison_log_weights(plan, 1, 2, lw3) == 0
+    assert not np.isnan(lw3).any()
+
+
+def test_poison_neginf():
+    plan = FaultPlan(seed=5).poison_weights(worker=0, step=0, value="-inf", fraction=1.0)
+    lw = np.zeros((4, 3))
+    poison_log_weights(plan, 0, 0, lw)
+    assert np.isneginf(lw).all()
+
+
+def test_corrupt_send_states():
+    plan = FaultPlan(seed=1).corrupt_exchange(worker=0, step=0, fraction=1.0)
+    states = np.ones((4, 2, 3))
+    n = corrupt_send_states(plan, 0, 0, states)
+    assert n == 8
+    assert np.isnan(states).all()
+
+
+def test_none_plan_is_noop():
+    lw = np.zeros((2, 2))
+    assert poison_log_weights(None, 0, 0, lw) == 0
+    assert corrupt_send_states(None, 0, 0, np.ones((1, 1, 1))) == 0
+
+
+def test_fault_kinds_frozen():
+    assert set(FAULT_KINDS) == {
+        "kill", "hang", "delay", "poison_nan", "poison_neginf", "corrupt_exchange"
+    }

@@ -1,0 +1,121 @@
+"""Topology healing: rerouting, bridging, donors, revival."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.exchange import mask_dead_sources
+from repro.resilience import TopologyHealer
+from repro.topology import make_topology
+
+
+def test_ring_heals_back_into_a_ring():
+    h = TopologyHealer(make_topology("ring", 8))
+    h.mark_dead([3])
+    table, mask = h.neighbor_table()
+    # dead row fully masked
+    assert not mask[3].any()
+    # 2 and 4 (the dead node's neighbours) are now each other's neighbours
+    assert 4 in table[2][mask[2]]
+    assert 2 in table[4][mask[4]]
+    # no live row references the dead id
+    assert (table[mask] != 3).all()
+    # the healed topology is still a valid symmetric graph
+    h.healed_topology().validate()
+
+
+def test_adjacent_deaths_bridge_through():
+    h = TopologyHealer(make_topology("ring", 8))
+    h.mark_dead([2, 3, 4])
+    table, mask = h.neighbor_table()
+    # survivors 1 and 5 bridge across the dead run; ring stays connected
+    assert 5 in table[1][mask[1]]
+    assert 1 in table[5][mask[5]]
+    import networkx as nx
+    g = h.healed_topology().as_networkx()
+    live = [i for i in range(8) if i not in (2, 3, 4)]
+    assert nx.is_connected(g.subgraph(live))
+
+
+def test_no_bridge_mode_drops_edges_only():
+    h = TopologyHealer(make_topology("ring", 8), bridge=False)
+    h.mark_dead([3])
+    table, mask = h.neighbor_table()
+    assert not mask[3].any()
+    assert 4 not in table[2][mask[2]]
+
+
+def test_mark_dead_is_incremental_and_idempotent():
+    h = TopologyHealer(make_topology("ring", 8))
+    assert h.mark_dead([1]) == [1]
+    assert h.mark_dead([1]) == []  # already dead
+    assert h.mark_dead([2, 5]) == [2, 5]
+    assert h.dead == (1, 2, 5)
+    assert h.n_dead == 3
+    assert not h.is_alive(5) and h.is_alive(0)
+
+
+def test_mark_dead_out_of_range():
+    h = TopologyHealer(make_topology("ring", 4))
+    with pytest.raises(ValueError):
+        h.mark_dead([4])
+
+
+def test_revive_restores_original_edges():
+    topo = make_topology("ring", 8)
+    h = TopologyHealer(topo)
+    orig_table = topo.neighbor_table().copy()
+    h.mark_dead([3, 6])
+    h.revive([3])
+    table, mask = h.neighbor_table()
+    assert 3 in table[2][mask[2]] and 3 in table[4][mask[4]]
+    h.revive([6])
+    np.testing.assert_array_equal(h.neighbor_table()[0], orig_table)
+    assert h.n_dead == 0
+
+
+def test_donor_map_prefers_nearest_live_neighbour():
+    h = TopologyHealer(make_topology("ring", 8))
+    h.mark_dead([3])
+    assert h.donor_map() == {3: 2}  # both 2 and 4 are one hop; smallest id wins
+    h.mark_dead([2])
+    donors = h.donor_map()
+    assert donors[2] == 1
+    assert donors[3] in (1, 4)  # nearest live around the dead run
+
+
+def test_donor_map_on_torus():
+    h = TopologyHealer(make_topology("torus", 16))
+    h.mark_dead([5])
+    donor = h.donor_map()[5]
+    assert donor in h.topology.neighbors(5)
+
+
+def test_alive_vector():
+    h = TopologyHealer(make_topology("ring", 4))
+    h.mark_dead([1])
+    np.testing.assert_array_equal(h.alive, [True, False, True, True])
+
+
+def test_healed_view_validation():
+    topo = make_topology("ring", 4)
+    with pytest.raises(ValueError):
+        topo.healed_view([7])
+
+
+def test_mask_dead_sources_kernel():
+    topo = make_topology("ring", 6)
+    table = topo.neighbor_table()
+    mask = table >= 0
+    alive = np.array([True, True, False, True, True, True])
+    out = mask_dead_sources(table, mask, alive)
+    # receiver 2 is dead: row fully masked
+    assert not out[2].any()
+    # slots sourcing from 2 are masked for its neighbours
+    assert not out[1][table[1] == 2].any()
+    assert not out[3][table[3] == 2].any()
+    # unrelated edges untouched
+    assert out[0].all()
+    with pytest.raises(ValueError):
+        mask_dead_sources(table, mask, alive[:-1])
+    with pytest.raises(ValueError):
+        mask_dead_sources(table, mask[:, :1], alive)

@@ -1,0 +1,304 @@
+"""Chaos tests: the multiprocess backend under injected faults.
+
+These exercise the acceptance contract of the resilience subsystem:
+
+- a killed worker block degrades accuracy gracefully (bounded RMSE blowup)
+  instead of hanging the master,
+- a hung worker trips the recv deadline and surfaces a typed
+  ``WorkerTimeoutError`` (or is healed around),
+- NaN-poisoned weights never reach the global estimate,
+- a worker-side exception arrives as a structured remote traceback,
+- ``close()`` never hangs, whatever state the workers died in.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.backends import MultiprocessDistributedParticleFilter
+from repro.core import DistributedFilterConfig, run_filter
+from repro.models import LinearGaussianModel, RobotArmModel, RobotArmParams, lemniscate, simulate_arm_tracking
+from repro.prng import make_rng
+from repro.resilience import (
+    FaultPlan,
+    NoLiveWorkersError,
+    WorkerCrashedError,
+    WorkerTimeoutError,
+)
+
+
+def lg_model():
+    return LinearGaussianModel(A=[[0.9]], C=[[1.0]], Q=[[0.04]], R=[[0.01]])
+
+
+def cfg(**kw):
+    base = dict(n_particles=16, n_filters=8, estimator="weighted_mean", seed=3)
+    base.update(kw)
+    return DistributedFilterConfig(**base)
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        MultiprocessDistributedParticleFilter(lg_model(), cfg(), on_failure="panic")
+    with pytest.raises(ValueError):
+        MultiprocessDistributedParticleFilter(lg_model(), cfg(), recv_timeout=-1.0)
+    with pytest.raises((ValueError, TypeError)):
+        MultiprocessDistributedParticleFilter(lg_model(), cfg(), max_retries=0)
+
+
+def test_killed_worker_on_robot_arm_stays_within_3x_rmse():
+    # Acceptance: seeded FaultPlan kills 1 of 4 workers mid-run on the
+    # robot-arm model; all steps complete, the dead block is reported, and
+    # RMSE stays within 3x of the fault-free run on the same seed.
+    model = RobotArmModel(RobotArmParams(n_joints=3))
+    pos, vel = lemniscate(30, h_s=model.params.h_s)
+    truth = simulate_arm_tracking(model, pos, vel, make_rng("numpy", 42))
+    config = cfg(n_particles=32, n_filters=8, seed=11)
+
+    with MultiprocessDistributedParticleFilter(model, config, n_workers=4,
+                                               recv_timeout=30.0) as pf:
+        clean = run_filter(pf, model, truth)
+
+    plan = FaultPlan(seed=0).kill(worker=1, step=12)
+    with MultiprocessDistributedParticleFilter(model, config, n_workers=4,
+                                               fault_plan=plan, on_failure="heal",
+                                               recv_timeout=30.0) as pf:
+        chaos = run_filter(pf, model, truth)
+        diag = pf.diagnostics()
+
+    assert chaos.n_steps == truth.n_steps  # completed every step, no hang
+    assert np.isfinite(chaos.estimates).all()
+    assert diag["dead_workers"] == [1]
+    assert diag["failures"][0]["kind"] == "crash"
+    assert diag["dead_filters"] == [2, 3]  # worker 1's block
+    assert chaos.mean_error(warmup=10) <= 3.0 * max(clean.mean_error(warmup=10), 1e-9)
+
+
+def test_killed_worker_heals_topology_and_keeps_tracking():
+    model = lg_model()
+    truth = model.simulate(25, make_rng("numpy", seed=1))
+    plan = FaultPlan(seed=0).kill(worker=1, step=8)
+    with MultiprocessDistributedParticleFilter(model, cfg(), n_workers=4,
+                                               fault_plan=plan, on_failure="heal",
+                                               recv_timeout=10.0) as pf:
+        run = run_filter(pf, model, truth)
+        states, logw = pf.gather_population()
+        diag = pf.diagnostics()
+    assert np.isfinite(run.estimates).all()
+    assert run.mean_error(warmup=10) < 0.5
+    # dead block's slots are NaN, survivors finite
+    assert np.isnan(states[2:4]).all()
+    assert np.isfinite(states[[0, 1, 4, 5, 6, 7]]).all()
+    assert diag["live_workers"] == [0, 2, 3]
+
+
+def test_killed_worker_raise_mode_surfaces_typed_error():
+    model = lg_model()
+    plan = FaultPlan(seed=0).kill(worker=0, step=2)
+    pf = MultiprocessDistributedParticleFilter(model, cfg(), n_workers=2,
+                                               fault_plan=plan, on_failure="raise",
+                                               recv_timeout=10.0)
+    try:
+        with pytest.raises(WorkerCrashedError) as exc_info:
+            for k in range(5):
+                pf.step(np.array([0.1]))
+        assert exc_info.value.worker_id == 0
+        assert exc_info.value.step == 2
+    finally:
+        pf.close()
+
+
+def test_hung_worker_times_out_within_deadline_not_forever():
+    # Acceptance: an injected sleep > deadline triggers the timeout path —
+    # a typed WorkerTimeoutError, not an indefinite block.
+    model = lg_model()
+    plan = FaultPlan(seed=0).hang(worker=0, step=1, duration=120.0)
+    pf = MultiprocessDistributedParticleFilter(model, cfg(), n_workers=2,
+                                               fault_plan=plan, on_failure="raise",
+                                               recv_timeout=1.5)
+    try:
+        pf.step(np.array([0.1]))
+        start = time.perf_counter()
+        with pytest.raises(WorkerTimeoutError) as exc_info:
+            pf.step(np.array([0.1]))
+        elapsed = time.perf_counter() - start
+        assert elapsed < 10.0  # bounded by deadline + slack, nowhere near 120 s
+        assert exc_info.value.worker_id == 0
+        assert pf.report.timeouts == 1
+    finally:
+        start = time.perf_counter()
+        pf.close()  # must not wait for the 120 s sleeper
+        assert time.perf_counter() - start < 15.0
+
+
+def test_hung_worker_healed_around():
+    model = lg_model()
+    truth = model.simulate(20, make_rng("numpy", seed=2))
+    plan = FaultPlan(seed=0).hang(worker=0, step=2, duration=120.0)
+    with MultiprocessDistributedParticleFilter(model, cfg(), n_workers=4,
+                                               fault_plan=plan, on_failure="heal",
+                                               recv_timeout=1.5) as pf:
+        run = run_filter(pf, model, truth)
+        diag = pf.diagnostics()
+    assert np.isfinite(run.estimates).all()
+    assert diag["failures"][0]["kind"] == "timeout"
+    assert diag["dead_workers"] == [0]
+
+
+def test_delay_below_deadline_is_survived_without_failure():
+    model = lg_model()
+    truth = model.simulate(10, make_rng("numpy", seed=3))
+    plan = FaultPlan(seed=0).delay(worker=0, step=2, duration=0.3)
+    with MultiprocessDistributedParticleFilter(model, cfg(), n_workers=2,
+                                               fault_plan=plan, on_failure="raise",
+                                               recv_timeout=10.0) as pf:
+        run = run_filter(pf, model, truth)
+        assert pf.report.n_failures == 0
+    assert np.isfinite(run.estimates).all()
+
+
+def test_nan_poisoned_weights_never_reach_global_estimate():
+    # Acceptance: NaN-poisoned weights in one sub-filter block must leave
+    # the global estimate finite every single round.
+    model = lg_model()
+    truth = model.simulate(20, make_rng("numpy", seed=4))
+    plan = FaultPlan(seed=0)
+    for k in range(3, 12):
+        plan.poison_weights(worker=0, step=k, value="nan")
+    with MultiprocessDistributedParticleFilter(model, cfg(), n_workers=2,
+                                               fault_plan=plan, on_failure="heal",
+                                               recv_timeout=10.0) as pf:
+        for k in range(truth.n_steps):
+            est = pf.step(truth.measurements[k])
+            assert np.isfinite(est).all(), f"non-finite estimate at round {k}"
+        diag = pf.diagnostics()
+    assert diag["rejuvenated_filters"] > 0
+    assert diag["dead_workers"] == []  # poisoning is healed, not fatal
+
+
+def test_neginf_poison_and_max_weight_estimator():
+    model = lg_model()
+    plan = FaultPlan(seed=0).poison_weights(worker=1, step=2, value="-inf")
+    with MultiprocessDistributedParticleFilter(model, cfg(estimator="max_weight"),
+                                               n_workers=2, fault_plan=plan,
+                                               on_failure="heal", recv_timeout=10.0) as pf:
+        for k in range(6):
+            est = pf.step(np.array([0.1]))
+            assert np.isfinite(est).all()
+
+
+def test_corrupted_exchange_particles_are_quarantined():
+    model = lg_model()
+    plan = FaultPlan(seed=0).corrupt_exchange(worker=0, step=3, fraction=1.0)
+    with MultiprocessDistributedParticleFilter(model, cfg(n_exchange=4), n_workers=2,
+                                               fault_plan=plan, on_failure="heal",
+                                               recv_timeout=10.0) as pf:
+        for k in range(8):
+            est = pf.step(np.array([0.1]))
+            assert np.isfinite(est).all()
+        states, logw = pf.gather_population()
+    # corrupt particles were never resampled into any population
+    assert np.isfinite(states).all()
+
+
+def test_worker_exception_reported_as_remote_traceback():
+    class BoomModel(LinearGaussianModel):
+        def log_likelihood(self, states, measurement, k):
+            if k == 2:
+                raise RuntimeError("boom at k=2")
+            return super().log_likelihood(states, measurement, k)
+
+    model = BoomModel(A=[[0.9]], C=[[1.0]], Q=[[0.04]], R=[[0.01]])
+    pf = MultiprocessDistributedParticleFilter(model, cfg(), n_workers=2,
+                                               recv_timeout=10.0)
+    try:
+        with pytest.raises(WorkerCrashedError) as exc_info:
+            for k in range(5):
+                pf.step(np.array([0.1]))
+        assert "boom at k=2" in (exc_info.value.remote_traceback or "")
+    finally:
+        pf.close()
+
+
+def test_simultaneous_worker_exceptions_exhaust_quorum():
+    # A model bug fires in *every* worker at the same round: heal mode
+    # declares them all dead and the step fails loudly with
+    # NoLiveWorkersError — never a silent hang.
+    class BoomModel(LinearGaussianModel):
+        def log_likelihood(self, states, measurement, k):
+            if k == 2:
+                raise RuntimeError("boom everywhere")
+            return super().log_likelihood(states, measurement, k)
+
+    model = BoomModel(A=[[0.9]], C=[[1.0]], Q=[[0.04]], R=[[0.01]])
+    pf = MultiprocessDistributedParticleFilter(model, cfg(), n_workers=4,
+                                               on_failure="heal", recv_timeout=10.0)
+    try:
+        with pytest.raises(NoLiveWorkersError):
+            for k in range(5):
+                pf.step(np.array([0.1]))
+        diag = pf.diagnostics()
+        assert diag["n_failures"] == 4
+        assert all(f["kind"] == "error" for f in diag["failures"])
+    finally:
+        pf.close()
+
+
+def test_all_workers_dead_raises_no_live_workers():
+    model = lg_model()
+    plan = FaultPlan(seed=0).kill(worker=0, step=1).kill(worker=1, step=1)
+    pf = MultiprocessDistributedParticleFilter(model, cfg(), n_workers=2,
+                                               fault_plan=plan, on_failure="heal",
+                                               recv_timeout=10.0)
+    try:
+        pf.step(np.array([0.1]))
+        with pytest.raises(NoLiveWorkersError):
+            for k in range(3):
+                pf.step(np.array([0.1]))
+    finally:
+        pf.close()
+
+
+def test_respawn_rebuilds_block_from_donors():
+    model = lg_model()
+    truth = model.simulate(25, make_rng("numpy", seed=5))
+    plan = FaultPlan(seed=0).kill(worker=1, step=6)
+    with MultiprocessDistributedParticleFilter(model, cfg(), n_workers=4,
+                                               fault_plan=plan, on_failure="heal",
+                                               respawn_dead=True, recv_timeout=10.0) as pf:
+        run = run_filter(pf, model, truth)
+        diag = pf.diagnostics()
+        states, logw = pf.gather_population()
+    assert diag["respawns"] == 1
+    assert diag["dead_filters"] == []  # revived and restitched
+    assert np.isfinite(states).all()  # full population restored
+    assert np.isfinite(run.estimates).all()
+    assert run.mean_error(warmup=10) < 0.5
+
+
+def test_close_after_crash_does_not_hang_and_is_idempotent():
+    model = lg_model()
+    plan = FaultPlan(seed=0).kill(worker=0, step=1)
+    pf = MultiprocessDistributedParticleFilter(model, cfg(), n_workers=2,
+                                               fault_plan=plan, on_failure="heal",
+                                               recv_timeout=5.0)
+    for k in range(3):
+        pf.step(np.array([0.1]))
+    start = time.perf_counter()
+    pf.close()
+    pf.close()
+    assert time.perf_counter() - start < 10.0
+    assert pf.dead_workers == ()
+
+
+def test_random_chaos_plan_survives():
+    model = lg_model()
+    truth = model.simulate(20, make_rng("numpy", seed=6))
+    plan = FaultPlan.random(seed=13, n_workers=4, n_steps=20,
+                            p_kill=0.01, p_poison=0.05, p_corrupt=0.05, max_kills=1)
+    with MultiprocessDistributedParticleFilter(model, cfg(), n_workers=4,
+                                               fault_plan=plan, on_failure="heal",
+                                               recv_timeout=10.0) as pf:
+        run = run_filter(pf, model, truth)
+    assert np.isfinite(run.estimates).all()

@@ -1,0 +1,210 @@
+"""Numerical self-healing: degenerate-weight guards and rejuvenation.
+
+Covers the satellite requirement: the existing degenerate-weight guards
+(``repro/utils/arrays.py`` and ``repro/core/estimator.py``) must survive
+all-NaN weights, all ``-inf`` log-weights and single-particle sub-filters
+without producing NaN estimates — plus the new sanitize/rescue helpers and
+the core filter's neighbour rejuvenation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DistributedFilterConfig,
+    DistributedParticleFilter,
+    local_estimates,
+    max_weight_estimate,
+    weighted_mean_estimate,
+)
+from repro.models import LinearGaussianModel
+from repro.utils import (
+    degenerate_rows,
+    normalize_weights,
+    rescue_degenerate_rows,
+    sanitize_log_weights,
+)
+
+
+def lg_model():
+    return LinearGaussianModel(A=[[0.9]], C=[[1.0]], Q=[[0.04]], R=[[0.01]])
+
+
+# -- existing guard: normalize_weights -----------------------------------------
+
+def test_normalize_weights_all_nan_row_falls_back_to_uniform():
+    w = np.array([[np.nan, np.nan, np.nan], [1.0, 1.0, 2.0]])
+    out = normalize_weights(w)
+    np.testing.assert_allclose(out[0], 1.0 / 3)
+    np.testing.assert_allclose(out[1], [0.25, 0.25, 0.5])
+
+
+def test_normalize_weights_all_zero_and_inf_total():
+    out = normalize_weights(np.zeros((1, 4)))
+    np.testing.assert_allclose(out, 0.25)
+    out = normalize_weights(np.array([[np.inf, 1.0]]))
+    np.testing.assert_allclose(out, 0.5)
+
+
+def test_normalize_weights_single_particle():
+    np.testing.assert_allclose(normalize_weights(np.array([[5.0]])), 1.0)
+    np.testing.assert_allclose(normalize_weights(np.array([[0.0]])), 1.0)
+
+
+# -- existing guard: estimators -------------------------------------------------
+
+def test_max_weight_all_nan_weights_stays_finite():
+    states = np.random.default_rng(0).normal(size=(3, 4, 2))
+    lw = np.full((3, 4), np.nan)
+    est = max_weight_estimate(states, lw)
+    assert np.isfinite(est).all()
+
+
+def test_max_weight_skips_nan_slot():
+    states = np.arange(8, dtype=float).reshape(1, 4, 2)
+    lw = np.array([[np.nan, -1.0, -5.0, np.nan]])
+    np.testing.assert_array_equal(max_weight_estimate(states, lw), states[0, 1])
+
+
+def test_max_weight_skips_nonfinite_states():
+    states = np.ones((1, 3, 2))
+    states[0, 0] = np.nan
+    lw = np.array([[100.0, 0.0, -1.0]])  # best weight sits on a corrupt particle
+    np.testing.assert_array_equal(max_weight_estimate(states, lw), states[0, 1])
+
+
+def test_weighted_mean_all_neginf_weights_stays_finite():
+    states = np.random.default_rng(1).normal(size=(2, 5, 3))
+    lw = np.full((2, 5), -np.inf)
+    est = weighted_mean_estimate(states, lw)
+    assert np.isfinite(est).all()
+    np.testing.assert_allclose(est, states.reshape(-1, 3).mean(axis=0))
+
+
+def test_weighted_mean_zero_weight_nan_state_does_not_poison():
+    states = np.array([[[1.0], [np.nan]]])
+    lw = np.array([[0.0, -np.inf]])
+    np.testing.assert_allclose(weighted_mean_estimate(states, lw), [1.0])
+
+
+def test_weighted_mean_single_particle_subfilters():
+    states = np.array([[[2.0]], [[4.0]]])  # (F=2, m=1, d=1)
+    lw = np.zeros((2, 1))
+    np.testing.assert_allclose(weighted_mean_estimate(states, lw), [3.0])
+    est = weighted_mean_estimate(states, np.full((2, 1), -np.inf))
+    assert np.isfinite(est).all()
+
+
+def test_estimators_total_corruption_returns_zeros_not_nan():
+    states = np.full((1, 3, 2), np.nan)
+    lw = np.full((1, 3), np.nan)
+    np.testing.assert_array_equal(max_weight_estimate(states, lw), np.zeros(2))
+    np.testing.assert_array_equal(weighted_mean_estimate(states, lw), np.zeros(2))
+
+
+def test_local_estimates_degenerate_rows_finite():
+    states = np.random.default_rng(2).normal(size=(3, 4, 2))
+    lw = np.zeros((3, 4))
+    lw[1] = -np.inf
+    lw[2] = np.nan
+    for kind in ("max_weight", "weighted_mean"):
+        assert np.isfinite(local_estimates(states, lw, kind)).all()
+
+
+# -- new helpers -----------------------------------------------------------------
+
+def test_sanitize_log_weights_masks_nan_and_corrupt_states():
+    lw = np.array([[0.0, np.nan, -1.0]])
+    states = np.ones((1, 3, 2))
+    states[0, 2, 1] = np.inf
+    n = sanitize_log_weights(lw, states)
+    assert n == 2
+    np.testing.assert_array_equal(lw, [[0.0, -np.inf, -np.inf]])
+    # idempotent
+    assert sanitize_log_weights(lw, states) == 0
+
+
+def test_degenerate_rows_mask():
+    lw = np.array([[0.0, -np.inf], [-np.inf, -np.inf], [np.nan, np.nan]])
+    sanitize_log_weights(lw)
+    np.testing.assert_array_equal(degenerate_rows(lw), [False, True, True])
+
+
+def test_rescue_degenerate_rows_uniform_reset():
+    lw = np.array([[-np.inf, -np.inf], [0.0, -1.0]])
+    assert rescue_degenerate_rows(lw) == 1
+    np.testing.assert_array_equal(lw[0], [0.0, 0.0])
+    np.testing.assert_array_equal(lw[1], [0.0, -1.0])
+
+
+def test_rescue_degenerate_rows_respects_corrupt_states():
+    lw = np.full((1, 3), -np.inf)
+    states = np.ones((1, 3, 1))
+    states[0, 1] = np.nan
+    assert rescue_degenerate_rows(lw, states) == 1
+    np.testing.assert_array_equal(lw[0], [0.0, -np.inf, 0.0])
+
+
+def test_rescue_totally_corrupt_row_still_uniform():
+    lw = np.full((1, 2), -np.inf)
+    states = np.full((1, 2, 1), np.nan)
+    assert rescue_degenerate_rows(lw, states) == 1
+    np.testing.assert_array_equal(lw[0], [0.0, 0.0])
+
+
+# -- core filter self-healing ------------------------------------------------------
+
+def test_filter_heals_nan_poisoned_subfilter_from_neighbour():
+    pf = DistributedParticleFilter(
+        lg_model(),
+        DistributedFilterConfig(n_particles=16, n_filters=8, estimator="weighted_mean", seed=0),
+    )
+    pf.initialize()
+    pf.step(np.array([0.1]))
+    pf.log_weights[3] = np.nan  # poison one sub-filter
+    est = pf.step(np.array([0.2]))
+    assert np.isfinite(est).all()
+    assert np.isfinite(pf.states).all()
+    assert pf.heal_counters["rejuvenated"] >= 1
+    # and the filter keeps tracking afterwards
+    for _ in range(5):
+        est = pf.step(np.array([0.2]))
+    assert np.isfinite(est).all()
+
+
+def test_filter_heals_corrupt_particle_states():
+    pf = DistributedParticleFilter(
+        lg_model(),
+        DistributedFilterConfig(n_particles=16, n_filters=8, estimator="max_weight", seed=1),
+    )
+    pf.initialize()
+    pf.step(np.array([0.0]))
+    pf.states[2, :4] = np.nan  # corrupt some particles
+    est = pf.step(np.array([0.1]))
+    assert np.isfinite(est).all()
+    assert np.isfinite(pf.states).all()  # resampling never selected the corrupt ones
+    assert pf.heal_counters["sanitized"] >= 4
+
+
+def test_self_heal_off_is_bit_identical_on_healthy_run():
+    model = lg_model()
+    def run(self_heal):
+        pf = DistributedParticleFilter(
+            model,
+            DistributedFilterConfig(n_particles=16, n_filters=8, seed=7, self_heal=self_heal),
+        )
+        return np.stack([pf.step(np.array([0.1])) for _ in range(5)])
+    np.testing.assert_array_equal(run(True), run(False))
+
+
+def test_single_particle_subfilters_survive_poison():
+    pf = DistributedParticleFilter(
+        lg_model(),
+        DistributedFilterConfig(n_particles=1, n_filters=8, n_exchange=1,
+                                estimator="weighted_mean", seed=2),
+    )
+    pf.initialize()
+    pf.log_weights[:] = np.nan
+    est = pf.step(np.array([0.1]))
+    assert np.isfinite(est).all()
+    assert np.isfinite(pf.states).all()
