@@ -9,9 +9,7 @@
 - best-t vs weight-sampled exchange selection (Algorithm 2, line 11).
 """
 
-import numpy as np
 
-from repro.bench import format_table
 from repro.bench.harness import sweep_error
 from repro.core import DistributedFilterConfig
 from repro.topology import GraphTopology

@@ -4,7 +4,6 @@ FRIM's pitch is that importance-maximizing redraws reduce the number of
 particles needed; its cost is a bounded number of extra sampling kernels.
 """
 
-import numpy as np
 
 from repro.bench import format_table
 from repro.bench.harness import sweep_error

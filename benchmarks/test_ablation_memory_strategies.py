@@ -5,7 +5,6 @@
 - the diversity mechanism behind Fig. 6 (All-to-All overlap), measured.
 """
 
-import numpy as np
 
 from repro.bench import format_table
 from repro.core import (

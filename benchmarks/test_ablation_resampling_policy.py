@@ -2,7 +2,6 @@
 frequency. The paper: "although it might be beneficial for low particle
 settings, frequent resampling generally yields better results"."""
 
-import numpy as np
 
 from repro.bench import format_table
 from repro.bench.harness import sweep_error

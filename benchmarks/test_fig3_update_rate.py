@@ -5,7 +5,6 @@ quantity) and regenerates the full cross-platform table from the cost model,
 validating the paper's ordering claims.
 """
 
-import numpy as np
 import pytest
 
 from repro.bench import format_table, run_fig3

@@ -1,6 +1,5 @@
 """Fig. 6: estimation error across exchange schemes and network sizes."""
 
-import numpy as np
 
 from repro.bench import format_table, run_fig6
 

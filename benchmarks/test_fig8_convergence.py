@@ -1,7 +1,6 @@
 """Fig. 8: lemniscate ground truth; high-particle filter converges, the
 low-particle filter does not."""
 
-import numpy as np
 
 from repro.bench import run_fig8
 

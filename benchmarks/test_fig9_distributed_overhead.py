@@ -1,6 +1,5 @@
 """Fig. 9: distributed vs centralized estimation error at equal totals."""
 
-import numpy as np
 
 from repro.bench import format_table, run_fig9
 

@@ -1,17 +1,23 @@
 """Execution backends.
 
+Every backend executes the same Algorithm 2 round — the shared
+:class:`~repro.engine.pipeline.StepPipeline` over the canonical stage set —
+and differs only in *where* and *how* the stages run:
+
 - :class:`~repro.backends.sequential.SequentialDistributedParticleFilter` —
-  a deliberately loop-based, unoptimized reference implementation of
-  Algorithm 2 (the paper's Section VIII-A "sequential reference
+  the pipeline over deliberately loop-based, unoptimized stage
+  implementations (the paper's Section VIII-A "sequential reference
   implementations ... much easier to implement as intended"), used to
   validate the vectorized filter.
 - :class:`~repro.backends.device_backend.DeviceSimulatedFilter` — wraps any
-  distributed filter, computing the numbers with vectorized NumPy while
-  accounting *simulated* per-kernel time on a named Table III platform via
-  the cost model. This is the stand-in for running on the paper's GPUs.
+  distributed filter, computing the numbers with vectorized NumPy while a
+  :class:`~repro.backends.device_backend.DeviceCostHook` accounts *simulated*
+  per-kernel time on a named Table III platform via the cost model. This is
+  the stand-in for running on the paper's GPUs.
 - :class:`~repro.backends.multiprocess.MultiprocessDistributedParticleFilter`
-  — genuinely distributed execution across OS processes with message-passing
-  boundary exchange (the cluster/mpi4py-shaped deployment of the algorithm).
+  — genuinely distributed execution across OS processes: workers run the
+  local-only stage subset, the exchange stage is routed through the master's
+  message-passing boundary (the cluster/mpi4py-shaped deployment).
 """
 
 from repro.backends.sequential import SequentialDistributedParticleFilter

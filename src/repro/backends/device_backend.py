@@ -6,6 +6,14 @@ the per-round device time on the chosen Table III platform is accounted by
 :func:`repro.device.costmodel.filter_round_cost`. This is the substitution
 for the paper's CUDA/OpenCL runs: estimation *accuracy* is real, estimation
 *rate* is modelled.
+
+The accounting is a :class:`DeviceCostHook` attached to the wrapped filter's
+:class:`~repro.engine.pipeline.StepPipeline`: each stage-end event charges
+that kernel's modelled seconds under the canonical stage name (the ``rand``
+kernel — the paper's separate PRNG pass — is folded into the ``sampling``
+stage, where the draws actually happen). Charging per stage rather than per
+round means a partial round, an extra observer, or a future stage added to
+the pipeline is priced automatically.
 """
 
 from __future__ import annotations
@@ -15,6 +23,41 @@ import numpy as np
 from repro.core.distributed import DistributedParticleFilter
 from repro.device.costmodel import FilterRoundCost, filter_round_cost
 from repro.device.spec import DeviceSpec, get_platform
+from repro.engine import StageHook
+
+
+class DeviceCostHook(StageHook):
+    """Charges the cost model's per-kernel seconds as pipeline stages end.
+
+    ``cost`` is read through a callable so the owning filter can recompute
+    it lazily when the wrapped filter's configuration changes.
+    """
+
+    def __init__(self, cost_provider):
+        self._cost_provider = cost_provider
+        self.simulated_seconds = 0.0
+        self.simulated_kernel_seconds: dict[str, float] = {}
+
+    def reset(self) -> None:
+        self.simulated_seconds = 0.0
+        self.simulated_kernel_seconds = {}
+
+    def _charge(self, kernel: str, cost: FilterRoundCost) -> None:
+        sec = cost.seconds.get(kernel)
+        if sec is None:
+            return
+        self.simulated_seconds += sec
+        self.simulated_kernel_seconds[kernel] = (
+            self.simulated_kernel_seconds.get(kernel, 0.0) + sec
+        )
+
+    def on_stage_end(self, name: str, state, elapsed: float) -> None:
+        cost = self._cost_provider()
+        self._charge(name, cost)
+        if name == "sampling":
+            # The paper's PRNG pass is a separate kernel; its draws happen
+            # inside the sampling stage, so it is billed alongside it.
+            self._charge("rand", cost)
 
 
 class DeviceSimulatedFilter:
@@ -23,20 +66,18 @@ class DeviceSimulatedFilter:
     def __init__(self, inner: DistributedParticleFilter, platform: str | DeviceSpec):
         self.inner = inner
         self.device = platform if isinstance(platform, DeviceSpec) else get_platform(platform)
-        cfg = inner.config
-        scheme = inner.topology.name if hasattr(inner.topology, "name") else "ring"
-        self._round_cost: FilterRoundCost = filter_round_cost(
-            self.device,
-            n_particles=cfg.n_particles,
-            n_filters=cfg.n_filters,
-            state_dim=inner.model.state_dim,
-            n_exchange=cfg.n_exchange,
-            scheme=scheme,
-            resampler=cfg.resampler if cfg.resampler in ("rws", "vose") else "rws",
-            dtype_bytes=np.dtype(cfg.dtype).itemsize,
+        self._cost_key = None
+        self._round_cost: FilterRoundCost | None = None
+        self._hook = DeviceCostHook(lambda: self.round_cost)
+        inner.pipeline.add_hook(self._hook)
+
+    def _current_cost_key(self) -> tuple:
+        cfg = self.inner.config
+        scheme = getattr(self.inner.topology, "name", "ring")
+        return (
+            cfg.n_particles, cfg.n_filters, self.inner.model.state_dim,
+            cfg.n_exchange, scheme, cfg.resampler, np.dtype(cfg.dtype).itemsize,
         )
-        self.simulated_seconds = 0.0
-        self.simulated_kernel_seconds: dict[str, float] = {k: 0.0 for k in self._round_cost.seconds}
 
     # -- filter protocol ------------------------------------------------------
     @property
@@ -45,24 +86,45 @@ class DeviceSimulatedFilter:
 
     def initialize(self) -> None:
         self.inner.initialize()
-        self.simulated_seconds = 0.0
-        self.simulated_kernel_seconds = {k: 0.0 for k in self._round_cost.seconds}
+        self._hook.reset()
 
     def step(self, measurement: np.ndarray, control: np.ndarray | None = None) -> np.ndarray:
-        est = self.inner.step(measurement, control)
-        self.simulated_seconds += self._round_cost.total_seconds
-        for k, v in self._round_cost.seconds.items():
-            self.simulated_kernel_seconds[k] += v
-        return est
+        return self.inner.step(measurement, control)
 
     # -- simulated performance ---------------------------------------------------
     @property
+    def simulated_seconds(self) -> float:
+        return self._hook.simulated_seconds
+
+    @property
+    def simulated_kernel_seconds(self) -> dict[str, float]:
+        return self._hook.simulated_kernel_seconds
+
+    @property
     def round_cost(self) -> FilterRoundCost:
+        """The per-round kernel cost, recomputed if the wrapped filter's
+        configuration changed since the last query."""
+        key = self._current_cost_key()
+        if self._round_cost is None or key != self._cost_key:
+            m, f, d, t, scheme, resampler, itemsize = key
+            self._round_cost = filter_round_cost(
+                self.device,
+                n_particles=m,
+                n_filters=f,
+                state_dim=d,
+                n_exchange=t,
+                scheme=scheme,
+                resampler=resampler if resampler in ("rws", "vose") else "rws",
+                dtype_bytes=itemsize,
+            )
+            self._cost_key = key
         return self._round_cost
 
     @property
     def simulated_update_rate_hz(self) -> float:
-        return 1.0 / self._round_cost.total_seconds
+        # Guarded division: a degenerate cost model (all-zero seconds)
+        # reports an infinite rate instead of raising ZeroDivisionError.
+        return self.round_cost.update_rate_hz
 
     def simulated_breakdown(self) -> dict[str, float]:
-        return self._round_cost.fractions()
+        return self.round_cost.fractions()

@@ -45,8 +45,10 @@ import numpy as np
 from repro.core.estimator import max_weight_estimate, weighted_mean_estimate
 from repro.core.parameters import DistributedFilterConfig
 from repro.core.registry import make_policy, make_resampler
+from repro.engine import ExecutionContext, FilterState, StepPipeline, TimerHook
+from repro.engine.vector_stages import LocalHealStage, ResampleStage, SampleWeightStage, SortStage
 from repro.kernels.exchange import route_pairwise, route_pooled
-from repro.metrics.timing import PhaseTimer
+from repro.metrics.timing import PhaseTimer, TimingRNG
 from repro.models.base import StateSpaceModel
 from repro.prng.streams import make_rng
 from repro.resilience.errors import (
@@ -55,16 +57,11 @@ from repro.resilience.errors import (
     WorkerFailure,
     WorkerTimeoutError,
 )
-from repro.resilience.faults import (
-    FaultPlan,
-    apply_process_faults,
-    corrupt_send_states,
-    poison_log_weights,
-)
+from repro.resilience.faults import FaultInjectionHook, FaultPlan, corrupt_send_states
 from repro.resilience.healing import TopologyHealer
-from repro.resilience.monitor import ResilienceReport
-from repro.topology import ExchangeTopology, make_topology
-from repro.utils.arrays import rescue_degenerate_rows, sanitize_log_weights
+from repro.resilience.monitor import HealMonitorHook, ResilienceReport
+from repro.topology import resolve_topology
+from repro.utils.arrays import sanitize_log_weights
 from repro.utils.validation import check_positive_int, check_timeout
 
 
@@ -72,20 +69,41 @@ def _worker_loop(conn, model, config, block_lo, block_hi, worker_id,
                  fault_plan=None, seed_tag=0):
     """One worker process: owns sub-filters ``block_lo:block_hi``.
 
+    The round's kernels are not implemented here: the worker builds the
+    shared engine stages over its local block and runs the *local-only*
+    subset of Algorithm 2 — ``sampling -> heal -> sort`` on a phase-1
+    message, ``resample`` on a phase-2 message — while the exchange stage is
+    routed through the master's message-passing boundary. Fault injection
+    and self-healing accounting attach as stage hooks; a timer hook records
+    per-stage seconds under the canonical stage names, shipped back with the
+    phase-2 reply.
+
     Any exception inside a message handler is reported back to the master
     as a structured ``("error", traceback_str)`` reply instead of dying
     silently (which would leave the master blocked on ``recv``). The
     ``seed_tag`` distinguishes RNG streams across respawns of the same
     block so a replacement worker never replays its predecessor's draws.
     """
-    rng = make_rng(config.rng, config.seed).spawn(1000 + worker_id + 100_000 * seed_tag)
-    resampler = make_resampler(config.resampler)
-    policy = make_policy(config.resample_policy, config.resample_arg)
+    timer = PhaseTimer()
+    rng = TimingRNG(
+        make_rng(config.rng, config.seed).spawn(1000 + worker_id + 100_000 * seed_tag), timer
+    )
     dtype = np.dtype(config.dtype)
     F = block_hi - block_lo
     m = config.n_particles
-    states = None
-    logw = None
+    state = FilterState()
+    ctx = ExecutionContext(
+        model=model, config=config, rng=rng,
+        resampler=make_resampler(config.resampler),
+        policy=make_policy(config.resample_policy, config.resample_arg),
+        dtype=dtype,
+    )
+    heal_hook = HealMonitorHook()
+    hooks = [FaultInjectionHook(fault_plan, worker_id), heal_hook, TimerHook(timer)]
+    local_pipeline = StepPipeline(
+        [SampleWeightStage(), LocalHealStage(), SortStage(force=True)], hooks=hooks
+    )
+    resample_pipeline = StepPipeline([ResampleStage()], hooks=hooks)
     try:
         while True:
             msg = conn.recv()
@@ -93,30 +111,22 @@ def _worker_loop(conn, model, config, block_lo, block_hi, worker_id,
             try:
                 if kind == "init":
                     flat = model.initial_particles(F * m, rng, dtype=dtype)
-                    states = flat.reshape(F, m, model.state_dim)
-                    logw = np.zeros((F, m))
+                    state.reset(flat.reshape(F, m, model.state_dim), np.zeros((F, m)))
                     conn.send(("ok",))
                 elif kind == "adopt":
                     # Respawn path: start from particles cloned off a donor.
                     _, new_states, new_logw = msg
-                    states = np.ascontiguousarray(new_states, dtype=dtype).reshape(F, m, model.state_dim)
-                    logw = np.asarray(new_logw, dtype=np.float64).reshape(F, m).copy()
+                    state.reset(
+                        np.ascontiguousarray(new_states, dtype=dtype).reshape(F, m, model.state_dim),
+                        np.asarray(new_logw, dtype=np.float64).reshape(F, m).copy(),
+                    )
                     conn.send(("ok",))
                 elif kind == "phase1":
                     _, z, u, k, t = msg
-                    apply_process_faults(fault_plan, worker_id, k)
-                    states = model.transition(states, u, k, rng)
-                    logw = logw + model.log_likelihood(states, z, k).astype(np.float64)
-                    poison_log_weights(fault_plan, worker_id, k, logw)
-                    # Local numerical self-healing: mask non-finite
-                    # weights/particles, restart fully-degenerate rows on
-                    # uniform weights (fresh neighbour particles arrive in
-                    # phase 2, completing the rejuvenation).
-                    stats = {"sanitized": sanitize_log_weights(logw, states),
-                             "rejuvenated": rescue_degenerate_rows(logw, states)}
-                    order = np.argsort(-logw, axis=1, kind="stable")
-                    logw = np.take_along_axis(logw, order, axis=1)
-                    states = np.take_along_axis(states, order[:, :, None], axis=1)
+                    state.measurement, state.control, state.k = z, u, k
+                    timer.reset()
+                    local_pipeline.run_stages(ctx, state)
+                    states, logw = state.states, state.log_weights
                     send_states = states[:, : max(t, 1)].copy()
                     send_logw = logw[:, : max(t, 1)].copy()
                     corrupt_send_states(fault_plan, worker_id, k, send_states)
@@ -125,27 +135,23 @@ def _worker_loop(conn, model, config, block_lo, block_hi, worker_id,
                     w = np.exp(logw - shift)
                     partial = (w.reshape(-1) @ states.reshape(-1, model.state_dim), w.sum(), shift)
                     conn.send((send_states, send_logw, states[:, 0].copy(),
-                               logw[:, 0].copy(), partial, stats))
+                               logw[:, 0].copy(), partial, dict(heal_hook.last_round)))
                 elif kind == "phase2":
                     _, recv_states, recv_logw = msg
                     if recv_states is not None and recv_states.shape[1] > 0:
                         recv_logw = np.asarray(recv_logw, dtype=np.float64).copy()
                         # Corrupted incoming particles must never be selected.
                         sanitize_log_weights(recv_logw, recv_states)
-                        pooled_states = np.concatenate([states, recv_states.astype(states.dtype)], axis=1)
-                        pooled_logw = np.concatenate([logw, recv_logw], axis=1)
+                        state.pooled_states = np.concatenate(
+                            [state.states, recv_states.astype(state.states.dtype)], axis=1
+                        )
+                        state.pooled_logw = np.concatenate([state.log_weights, recv_logw], axis=1)
                     else:
-                        pooled_states, pooled_logw = states, logw
-                    local_w = np.exp(logw - logw.max(axis=1, keepdims=True))
-                    mask = policy.should_resample(local_w, rng)
-                    if mask.any():
-                        w = np.exp(pooled_logw - pooled_logw.max(axis=1, keepdims=True))
-                        idx = resampler.resample_batch(w[mask], m, rng)
-                        states[mask] = np.take_along_axis(pooled_states[mask], idx[:, :, None], axis=1)
-                        logw[mask] = 0.0
-                    conn.send(("ok",))
+                        state.pooled_states, state.pooled_logw = state.states, state.log_weights
+                    resample_pipeline.run_stages(ctx, state)
+                    conn.send(("ok", dict(timer.seconds)))
                 elif kind == "get_state":
-                    conn.send((states, logw))
+                    conn.send((state.states, state.log_weights))
                 elif kind == "stop":
                     conn.send(("bye",))
                     return
@@ -215,10 +221,7 @@ class MultiprocessDistributedParticleFilter:
         self.on_failure = on_failure
         self.respawn_dead = bool(respawn_dead)
         self.fault_plan = fault_plan
-        if isinstance(config.topology, ExchangeTopology):
-            self.topology = config.topology
-        else:
-            self.topology = make_topology(str(config.topology), config.n_filters)
+        self.topology = resolve_topology(config.topology, config.n_filters)
         self._table = self.topology.neighbor_table()
         self._mask = self._table >= 0
         self._healer = TopologyHealer(self.topology, bridge=heal_bridge)
@@ -473,23 +476,25 @@ class MultiprocessDistributedParticleFilter:
             self.report.merge_worker_stats(r[5])
 
         # Global estimate reduction over the live blocks only.
-        estimate = self._reduce_estimate(best_states, best_logw, partials)
+        with self.timer.phase("estimate"):
+            estimate = self._reduce_estimate(best_states, best_logw, partials)
         self.last_estimate = estimate
 
         # Route exchanged particles along the (possibly healed) topology.
-        table, mask = self._healer.neighbor_table()
-        if t > 0 and table.shape[1] > 0:
-            if self.topology.pooled:
-                # Pooled routing self-heals: dead blocks' -inf placeholders
-                # can never enter the global top-t.
-                recv_states, recv_logw = route_pooled(send_states[:, :t], send_logw[:, :t], t)
-                recv_states, recv_logw = recv_states.copy(), recv_logw.copy()
+        with self.timer.phase("exchange"):
+            table, mask = self._healer.neighbor_table()
+            if t > 0 and table.shape[1] > 0:
+                if self.topology.pooled:
+                    # Pooled routing self-heals: dead blocks' -inf placeholders
+                    # can never enter the global top-t.
+                    recv_states, recv_logw = route_pooled(send_states[:, :t], send_logw[:, :t], t)
+                    recv_states, recv_logw = recv_states.copy(), recv_logw.copy()
+                else:
+                    recv_states, recv_logw = route_pairwise(
+                        send_states[:, :t], send_logw[:, :t], table, mask
+                    )
             else:
-                recv_states, recv_logw = route_pairwise(
-                    send_states[:, :t], send_logw[:, :t], table, mask
-                )
-        else:
-            recv_states = recv_logw = None
+                recv_states = recv_logw = None
 
         # Phase 2: deliver each block's incoming particles; workers resample.
         for w in list(live):
@@ -502,11 +507,20 @@ class MultiprocessDistributedParticleFilter:
             except WorkerFailure as e:
                 live.remove(w)
                 self._handle_failure(w, e)
+        stage_seconds: dict[str, float] = {}
         for w in list(live):
             try:
-                self._recv(w, what="phase2")
+                reply = self._recv(w, what="phase2")
             except WorkerFailure as e:
                 self._handle_failure(w, e)
+                continue
+            if len(reply) > 1 and isinstance(reply[1], dict):
+                for name, sec in reply[1].items():
+                    stage_seconds[name] = max(stage_seconds.get(name, 0.0), sec)
+        # Workers run concurrently: the critical path per stage is the
+        # slowest block, so fold the per-stage *max* into the master's timer.
+        for name, sec in stage_seconds.items():
+            self.timer.seconds[name] = self.timer.seconds.get(name, 0.0) + sec
 
         if self.respawn_dead and self.dead_workers:
             self._respawn_dead_workers()

@@ -5,19 +5,27 @@ Algorithm 2's pseudocode — no batching, no clever indexing. It is orders of
 magnitude slower than the vectorized filter and exists purely as the
 correctness oracle (the paper similarly validated its CUDA/OpenCL kernels
 against sequential reference implementations).
+
+The oracle runs the *same* :class:`~repro.engine.pipeline.StepPipeline` as
+the vectorized filter, with the loop-based stage implementations from
+:mod:`repro.engine.loop_stages` — so it reports the same canonical per-stage
+timings through the timer hook (previously its ``kernel_seconds`` came back
+empty) and honours the full configuration surface (``roughening``,
+``frim_redraws``, ``exchange_select="sample"``) instead of silently
+diverging from the vectorized filter.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.estimator import global_estimate
 from repro.core.parameters import DistributedFilterConfig
 from repro.core.registry import make_policy, make_resampler
+from repro.engine import ExecutionContext, FilterState, TimerHook, build_loop_pipeline
 from repro.metrics.timing import PhaseTimer, TimingRNG
 from repro.models.base import StateSpaceModel
 from repro.prng.streams import make_rng
-from repro.topology import ExchangeTopology, make_topology
+from repro.topology import resolve_topology
 
 
 class SequentialDistributedParticleFilter:
@@ -27,76 +35,62 @@ class SequentialDistributedParticleFilter:
         self.model = model
         self.config = config or DistributedFilterConfig(n_particles=16, n_filters=4)
         cfg = self.config
-        if isinstance(cfg.topology, ExchangeTopology):
-            self.topology = cfg.topology
-        else:
-            self.topology = make_topology(str(cfg.topology), cfg.n_filters)
+        self.topology = resolve_topology(cfg.topology, cfg.n_filters)
         self.timer = PhaseTimer()
         self.rng = TimingRNG(make_rng(cfg.rng, cfg.seed), self.timer)
         self.resampler = make_resampler(cfg.resampler)
         self.policy = make_policy(cfg.resample_policy, cfg.resample_arg)
-        self.k = 0
-        self.filters: list[dict] | None = None  # per-sub-filter state dicts
+        self.dtype = np.dtype(cfg.dtype)
+        self._state = FilterState()
+        self._ctx = ExecutionContext(
+            model=model, config=cfg, rng=self.rng, resampler=self.resampler,
+            policy=self.policy, dtype=self.dtype, topology=self.topology,
+            table=self.topology.neighbor_table(),
+            mask=self.topology.neighbor_table() >= 0,
+        )
+        self.pipeline = build_loop_pipeline(hooks=[TimerHook(self.timer)])
 
+    # -- state delegation ------------------------------------------------------
+    @property
+    def states(self) -> np.ndarray | None:
+        return self._state.states
+
+    @property
+    def log_weights(self) -> np.ndarray | None:
+        return self._state.log_weights
+
+    @property
+    def k(self) -> int:
+        return self._state.k
+
+    @property
+    def last_estimate(self) -> np.ndarray | None:
+        return self._state.last_estimate
+
+    @property
+    def heal_counters(self) -> dict[str, int]:
+        return self._state.heal_counters
+
+    @property
+    def filters(self) -> list[dict] | None:
+        """Per-sub-filter view of the population (legacy inspection shape)."""
+        if self._state.states is None:
+            return None
+        return [
+            {"states": self._state.states[f], "logw": self._state.log_weights[f]}
+            for f in range(self.config.n_filters)
+        ]
+
+    # -- lifecycle ----------------------------------------------------------
     def initialize(self) -> None:
         cfg = self.config
-        self.filters = []
-        for f in range(cfg.n_filters):
-            states = self.model.initial_particles(cfg.n_particles, self.rng, dtype=np.dtype(cfg.dtype))
-            self.filters.append({"states": states, "logw": np.zeros(cfg.n_particles)})
-        self.k = 0
+        states = np.stack([
+            self.model.initial_particles(cfg.n_particles, self.rng, dtype=self.dtype)
+            for _ in range(cfg.n_filters)
+        ])
+        self._state.reset(states, np.zeros((cfg.n_filters, cfg.n_particles)))
 
     def step(self, measurement: np.ndarray, control: np.ndarray | None = None) -> np.ndarray:
-        if self.filters is None:
+        if self._state.states is None:
             self.initialize()
-        cfg = self.config
-
-        # Sample and weight, one particle at a time (Algorithm 2 lines 3-7).
-        for sub in self.filters:
-            for i in range(cfg.n_particles):
-                sub["states"][i] = self.model.transition(sub["states"][i], control, self.k, self.rng)
-                sub["logw"][i] += float(self.model.log_likelihood(sub["states"][i][None, :], measurement, self.k)[0])
-
-        # Sort each sub-filter by weight, descending (line 8).
-        for sub in self.filters:
-            order = np.argsort(-sub["logw"], kind="stable")
-            sub["states"] = sub["states"][order]
-            sub["logw"] = sub["logw"][order]
-
-        # Global estimate (line 9).
-        all_states = np.stack([sub["states"] for sub in self.filters])
-        all_logw = np.stack([sub["logw"] for sub in self.filters])
-        estimate = global_estimate(all_states, all_logw, cfg.estimator)
-
-        # Exchange with neighbours (lines 10-14): collect everyone's top-t
-        # against the pre-exchange state, then append to the recipients.
-        t = cfg.n_exchange
-        incoming: list[list[tuple[np.ndarray, float]]] = [[] for _ in self.filters]
-        if t > 0:
-            if self.topology.pooled:
-                contributions = []
-                for sub in self.filters:
-                    contributions += [(sub["states"][i].copy(), sub["logw"][i]) for i in range(t)]
-                contributions.sort(key=lambda p: -p[1])
-                best = contributions[:t]
-                for f in range(cfg.n_filters):
-                    incoming[f] += [(s.copy(), w) for s, w in best]
-            else:
-                for f, sub in enumerate(self.filters):
-                    for q in self.topology.neighbors(f):
-                        incoming[q] += [(sub["states"][i].copy(), sub["logw"][i]) for i in range(t)]
-
-        # Local resampling from the pooled set (lines 15-19).
-        for f, sub in enumerate(self.filters):
-            w_local = np.exp(sub["logw"] - sub["logw"].max())
-            if not bool(self.policy.should_resample(w_local[None, :], self.rng)[0]):
-                continue
-            pool_states = list(sub["states"]) + [s for s, _ in incoming[f]]
-            pool_logw = np.concatenate([sub["logw"], np.array([w for _, w in incoming[f]])]) if incoming[f] else sub["logw"]
-            w = np.exp(pool_logw - pool_logw.max())
-            idx = self.resampler.resample(w, cfg.n_particles, self.rng)
-            sub["states"] = np.stack([pool_states[i] for i in idx]).astype(sub["states"].dtype)
-            sub["logw"] = np.zeros(cfg.n_particles)
-
-        self.k += 1
-        return estimate
+        return self.pipeline.run(self._ctx, self._state, measurement, control)

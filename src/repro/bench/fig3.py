@@ -11,8 +11,6 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
-
 from repro.bench.harness import arm_truth
 from repro.core import DistributedFilterConfig, DistributedParticleFilter
 from repro.device import PLATFORMS, filter_round_cost

@@ -7,8 +7,6 @@ one does not — the paper's first correctness-validation technique.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core import DistributedFilterConfig, DistributedParticleFilter, run_filter
 from repro.metrics.error import convergence_step
 from repro.models import RobotArmModel, lemniscate, simulate_arm_tracking

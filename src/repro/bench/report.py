@@ -14,7 +14,6 @@ from repro.bench.fig6 import run_fig6
 from repro.bench.fig7 import run_fig7
 from repro.bench.fig8 import run_fig8
 from repro.bench.fig9 import run_fig9
-from repro.bench.harness import format_table
 from repro.bench.tables import table2_rows, table3_rows
 
 

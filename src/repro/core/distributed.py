@@ -8,26 +8,29 @@ operations are local to a sub-filter except the neighbour exchange and the
 final estimate reduction, which is what makes the design scale with core
 count instead of core size.
 
-The implementation is batched: every kernel operates on the full
-``(n_filters, m, state_dim)`` population in vectorized NumPy, the same shape
-as the paper's one-work-group-per-sub-filter device kernels.
+This class is a thin façade: the round itself is the shared
+:class:`~repro.engine.pipeline.StepPipeline` over the vectorized stage
+implementations in :mod:`repro.engine.vector_stages` — every kernel operates
+on the full ``(n_filters, m, state_dim)`` population in batched NumPy, the
+same shape as the paper's one-work-group-per-sub-filter device kernels.
+Timing attaches as a :class:`~repro.engine.hooks.TimerHook` rather than
+inline code; further observers (device cost accounting, resilience
+monitoring) hook into ``self.pipeline`` the same way.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.estimator import global_estimate, local_estimates
-from repro.kernels.exchange import route_pairwise, route_pooled
-from repro.utils.arrays import degenerate_rows, sanitize_log_weights
+from repro.core.estimator import local_estimates
 from repro.core.parameters import DistributedFilterConfig
 from repro.core.registry import make_policy, make_resampler
+from repro.engine import ExecutionContext, FilterState, TimerHook, build_vector_pipeline
+from repro.engine import vector_stages
 from repro.metrics.timing import PhaseTimer, TimingRNG
 from repro.models.base import StateSpaceModel
 from repro.prng.streams import make_rng
-from repro.topology import ExchangeTopology, make_topology
-
-_NEG_INF = -np.inf
+from repro.topology import resolve_topology
 
 
 class DistributedParticleFilter:
@@ -46,14 +49,7 @@ class DistributedParticleFilter:
         self.model = model
         self.config = config or DistributedFilterConfig()
         cfg = self.config
-        if isinstance(cfg.topology, ExchangeTopology):
-            if cfg.topology.n_filters != cfg.n_filters:
-                raise ValueError(
-                    f"topology has {cfg.topology.n_filters} filters, config says {cfg.n_filters}"
-                )
-            self.topology = cfg.topology
-        else:
-            self.topology = make_topology(str(cfg.topology), cfg.n_filters)
+        self.topology = resolve_topology(cfg.topology, cfg.n_filters)
         self._table = self.topology.neighbor_table()
         self._mask = self._table >= 0
         self.timer = PhaseTimer()
@@ -61,163 +57,89 @@ class DistributedParticleFilter:
         self.resampler = make_resampler(cfg.resampler)
         self.policy = make_policy(cfg.resample_policy, cfg.resample_arg)
         self.dtype = np.dtype(cfg.dtype)
-        self.k = 0
-        self.states: np.ndarray | None = None  # (F, m, d)
-        self.log_weights: np.ndarray | None = None  # (F, m)
-        self.last_estimate: np.ndarray | None = None
-        #: numerical self-healing counters: particles masked for non-finite
-        #: weight/state, and sub-filters rejuvenated after total degeneracy.
-        self.heal_counters = {"sanitized": 0, "rejuvenated": 0}
+        self._state = FilterState()
+        self._ctx = ExecutionContext(
+            model=model, config=cfg, rng=self.rng, resampler=self.resampler,
+            policy=self.policy, dtype=self.dtype, topology=self.topology,
+            table=self._table, mask=self._mask, owner=self,
+        )
+        self.pipeline = build_vector_pipeline(hooks=[TimerHook(self.timer)])
+
+    # -- state delegation ------------------------------------------------------
+    # The population lives in the engine's FilterState; these properties keep
+    # the long-standing public attribute surface (and the related-work
+    # subclasses that assign to it) working unchanged.
+    @property
+    def states(self) -> np.ndarray | None:  # (F, m, d)
+        return self._state.states
+
+    @states.setter
+    def states(self, value) -> None:
+        self._state.states = value
+
+    @property
+    def log_weights(self) -> np.ndarray | None:  # (F, m)
+        return self._state.log_weights
+
+    @log_weights.setter
+    def log_weights(self, value) -> None:
+        self._state.log_weights = value
+
+    @property
+    def k(self) -> int:
+        return self._state.k
+
+    @k.setter
+    def k(self, value: int) -> None:
+        self._state.k = value
+
+    @property
+    def last_estimate(self) -> np.ndarray | None:
+        return self._state.last_estimate
+
+    @last_estimate.setter
+    def last_estimate(self, value) -> None:
+        self._state.last_estimate = value
+
+    @property
+    def heal_counters(self) -> dict[str, int]:
+        """Numerical self-healing counters: particles masked for non-finite
+        weight/state, and sub-filters rejuvenated after total degeneracy."""
+        return self._state.heal_counters
 
     # -- lifecycle ----------------------------------------------------------
     def initialize(self) -> None:
         """Draw every sub-filter's population from the model prior."""
         cfg = self.config
         flat = self.model.initial_particles(cfg.total_particles, self.rng, dtype=self.dtype)
-        self.states = np.ascontiguousarray(flat.reshape(cfg.n_filters, cfg.n_particles, self.model.state_dim))
-        self.log_weights = np.zeros((cfg.n_filters, cfg.n_particles), dtype=np.float64)
-        self.k = 0
+        self._state.reset(
+            np.ascontiguousarray(flat.reshape(cfg.n_filters, cfg.n_particles, self.model.state_dim)),
+            np.zeros((cfg.n_filters, cfg.n_particles), dtype=np.float64),
+        )
 
     def step(self, measurement: np.ndarray, control: np.ndarray | None = None) -> np.ndarray:
         """One distributed filtering round; returns the global estimate."""
-        if self.states is None:
+        if self._state.states is None:
             self.initialize()
-        cfg = self.config
-
-        # 1) Sampling + importance weighting (one fused kernel in the paper).
-        #    With frim_redraws > 0 the FRIM strategy of related work [19]
-        #    keeps each particle's best of a bounded number of draws.
-        with self.timer.phase("sampling"):
-            if cfg.frim_redraws > 0:
-                from repro.core.frim import frim_sample
-
-                self.states, loglik = frim_sample(
-                    self.model, self.states, measurement, control, self.k, self.rng,
-                    redraws=cfg.frim_redraws, quantile=cfg.frim_quantile,
-                )
-                self.states = self.states.astype(self.dtype, copy=False)
-            else:
-                self.states = self.model.transition(self.states, control, self.k, self.rng)
-                loglik = self.model.log_likelihood(self.states, measurement, self.k)
-            self.log_weights = self.log_weights + loglik.astype(np.float64)
-            if cfg.self_heal:
-                self._heal_population()
-
-        # 2) Local sort by weight (descending), or the cheaper local max.
-        with self.timer.phase("sort"):
-            if cfg.selection == "sort":
-                order = np.argsort(-self.log_weights, axis=1, kind="stable")
-                self.log_weights = np.take_along_axis(self.log_weights, order, axis=1)
-                self.states = np.take_along_axis(self.states, order[:, :, None], axis=1)
-
-        # 3) Global estimate: local reduction then global reduction.
-        with self.timer.phase("estimate"):
-            estimate = global_estimate(self.states, self.log_weights, cfg.estimator)
-            self.last_estimate = estimate
-
-        # 4) Neighbour exchange -> per-sub-filter pooled candidate sets.
-        with self.timer.phase("exchange"):
-            pooled_states, pooled_logw = self._exchange()
-
-        # 5) Local resampling from the pooled weighted set.
-        with self.timer.phase("resample"):
-            self._resample(pooled_states, pooled_logw)
-
-        self.k += 1
-        return estimate
+        return self.pipeline.run(self._ctx, self._state, measurement, control)
 
     # -- kernels --------------------------------------------------------------
+    # Default bodies live in repro.engine.vector_stages; these thin methods
+    # are the override points the related-work variants
+    # (repro.baselines.distributed_variants) subclass.
     def _heal_population(self) -> None:
-        """Numerical self-healing after weighting (docs/robustness.md).
-
-        NaN log-weights and particles whose state went non-finite are masked
-        to ``-inf`` (zero mass). A sub-filter left with *no* finite weight is
-        rejuvenated by cloning a live topological neighbour's particles and
-        restarting on uniform weights — the paper's exchange primitive
-        reused as a recovery primitive. Deterministic (no RNG draws), so a
-        healthy run is bit-identical with healing on or off.
-        """
-        n_bad = sanitize_log_weights(self.log_weights, self.states)
-        if n_bad:
-            self.heal_counters["sanitized"] += n_bad
-        dead = degenerate_rows(self.log_weights)
-        if not dead.any():
-            return
-        alive = ~dead
-        for f in np.flatnonzero(dead):
-            donors = self._table[f][self._mask[f]]
-            donors = donors[alive[donors]]
-            if donors.size:
-                self.states[f] = self.states[int(donors[0])]
-            elif alive.any():
-                self.states[f] = self.states[int(np.flatnonzero(alive)[0])]
-            # else: every sub-filter is degenerate — keep own states and
-            # restart all of them on uniform weights.
-            ok = np.isfinite(self.states[f]).all(axis=-1)
-            self.log_weights[f] = np.where(ok, 0.0, -np.inf) if ok.any() else 0.0
-            self.heal_counters["rejuvenated"] += 1
+        vector_stages.heal_population(self._ctx, self._state)
 
     def _top_t(self, t: int) -> tuple[np.ndarray, np.ndarray]:
-        """Each sub-filter's t best (or weight-sampled) particles."""
-        cfg = self.config
-        if cfg.exchange_select == "sample":
-            w = np.exp(self.log_weights - self.log_weights.max(axis=1, keepdims=True))
-            sel = self.resampler.resample_batch(w, t, self.rng)  # (F, t)
-        elif cfg.selection == "sort":
-            # Rows are already sorted descending.
-            F = cfg.n_filters
-            sel = np.broadcast_to(np.arange(t), (F, t))
-        else:
-            # Local-max selection: argpartition the t best, then order them.
-            part = np.argpartition(-self.log_weights, min(t, cfg.n_particles - 1), axis=1)[:, :t]
-            part_w = np.take_along_axis(self.log_weights, part, axis=1)
-            inner = np.argsort(-part_w, axis=1)
-            sel = np.take_along_axis(part, inner, axis=1)
-        send_states = np.take_along_axis(self.states, sel[:, :, None], axis=1)
-        send_logw = np.take_along_axis(self.log_weights, sel, axis=1)
-        return send_states, send_logw
+        return vector_stages.top_t(self._ctx, self._state, t)
 
     def _exchange(self) -> tuple[np.ndarray, np.ndarray]:
-        """Pool each sub-filter's particles with its neighbours' contributions."""
-        cfg = self.config
-        t = cfg.n_exchange
-        if t == 0 or self._table.shape[1] == 0:
-            return self.states, self.log_weights
-        send_states, send_logw = self._top_t(t)
-
-        if self.topology.pooled:
-            # All-to-All: a global pool; everyone reads back the same t best.
-            recv_states, recv_logw = route_pooled(send_states, send_logw, t)
-        else:
-            # Pairwise: gather each neighbour's sent particles.
-            recv_states, recv_logw = route_pairwise(send_states, send_logw, self._table, self._mask)
-
-        pooled_states = np.concatenate([self.states, recv_states.astype(self.states.dtype, copy=False)], axis=1)
-        pooled_logw = np.concatenate([self.log_weights, recv_logw], axis=1)
-        return pooled_states, pooled_logw
+        return vector_stages.exchange_pool(self._ctx, self._state)
 
     def _resample(self, pooled_states: np.ndarray, pooled_logw: np.ndarray) -> None:
-        """Resample each flagged sub-filter down to m particles."""
-        cfg = self.config
-        row_max = pooled_logw.max(axis=1, keepdims=True)
-        w = np.exp(pooled_logw - row_max)  # padded -inf entries become 0
-        local_w = np.exp(self.log_weights - self.log_weights.max(axis=1, keepdims=True))
-        mask = self.policy.should_resample(local_w, self.rng)
-        if not mask.any():
-            return
-        idx = self.resampler.resample_batch(w[mask], cfg.n_particles, self.rng)  # (F', m)
-        new_states = np.take_along_axis(pooled_states[mask], idx[:, :, None], axis=1)
-        if cfg.roughening > 0.0:
-            # Gordon/Salmond/Smith roughening: per-dimension jitter scaled by
-            # the population's sample range and n^(-1/d) — restores diversity
-            # lost to resampling duplicates (sample impoverishment).
-            d = self.model.state_dim
-            span = (self.states.reshape(-1, d).max(axis=0) - self.states.reshape(-1, d).min(axis=0)).astype(np.float64)
-            scale = cfg.roughening * span * cfg.total_particles ** (-1.0 / d)
-            jitter = self.rng.normal(new_states.shape, dtype=np.float64) * scale
-            new_states = new_states + jitter.astype(new_states.dtype)
-        self.states[mask] = new_states
-        self.log_weights[mask] = 0.0
+        self._state.pooled_states = pooled_states
+        self._state.pooled_logw = pooled_logw
+        vector_stages.resample(self._ctx, self._state)
 
     # -- introspection ---------------------------------------------------------
     @property

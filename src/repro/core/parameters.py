@@ -9,7 +9,7 @@ arm model defaults carried by :class:`repro.models.RobotArmParams`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 import numpy as np
 

@@ -12,11 +12,11 @@ counts, divergent predications and bank-conflict serialization.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.device.memory import GlobalMemory, LocalMemory
+from repro.device.memory import LocalMemory
 from repro.utils.validation import check_positive_int
 
 

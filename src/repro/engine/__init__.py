@@ -1,0 +1,40 @@
+"""The stage-pipeline engine: Algorithm 2 expressed once, executed everywhere.
+
+The paper maps the same kernel sequence (sample -> weight -> heal -> sort ->
+estimate -> exchange -> resample) onto GPGPU work-groups and CPU cores;
+this package is that idea as a library layer:
+
+- :class:`FilterState` — the mutable population + per-round scratch,
+- :class:`Stage` / :data:`STAGE_NAMES` — the protocol and canonical names,
+- :class:`StepPipeline` — the ordered stage list with observer hooks,
+- :class:`StageHook` / :class:`TimerHook` — timing, device cost accounting
+  and resilience monitoring attach here instead of living inline,
+- :mod:`~repro.engine.vector_stages` — the batched-NumPy kernel bodies,
+- :mod:`~repro.engine.loop_stages` — the per-particle oracle bodies.
+
+Backends are thin façades: the vectorized filter runs the full vector
+pipeline, the sequential oracle runs the loop pipeline, multiprocess
+workers run the local-only stage subset with exchange routed through the
+message-passing boundary, and the device-simulated filter attaches a cost
+hook to whichever pipeline it wraps.
+"""
+
+from repro.engine.hooks import RecordingHook, StageHook, TimerHook
+from repro.engine.pipeline import StepPipeline
+from repro.engine.stage import STAGE_NAMES, ExecutionContext, Stage
+from repro.engine.state import FilterState
+from repro.engine.loop_stages import build_loop_pipeline
+from repro.engine.vector_stages import build_vector_pipeline
+
+__all__ = [
+    "ExecutionContext",
+    "FilterState",
+    "RecordingHook",
+    "STAGE_NAMES",
+    "Stage",
+    "StageHook",
+    "StepPipeline",
+    "TimerHook",
+    "build_loop_pipeline",
+    "build_vector_pipeline",
+]

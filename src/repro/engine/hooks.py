@@ -1,0 +1,68 @@
+"""Per-stage observer hooks.
+
+A :class:`StageHook` watches a :class:`~repro.engine.pipeline.StepPipeline`
+run without being part of the computation: timing, device cost accounting
+and resilience monitoring all attach here instead of living inline in the
+backends. Hooks receive the stage name, the live :class:`FilterState` (use
+its snapshot accessors; do not mutate) and the measured elapsed seconds.
+"""
+
+from __future__ import annotations
+
+from repro.engine.state import FilterState
+from repro.metrics.timing import PhaseTimer
+
+
+class StageHook:
+    """Base observer; all callbacks are optional no-ops."""
+
+    def on_step_start(self, state: FilterState) -> None:
+        pass
+
+    def on_stage_start(self, name: str, state: FilterState) -> None:
+        pass
+
+    def on_stage_end(self, name: str, state: FilterState, elapsed: float) -> None:
+        pass
+
+    def on_step_end(self, state: FilterState) -> None:
+        pass
+
+
+class TimerHook(StageHook):
+    """Feeds stage durations into a :class:`PhaseTimer`.
+
+    The phase is opened on stage start and closed on stage end through the
+    timer's own stack so that nested phases — ``rand`` opened by
+    :class:`~repro.metrics.timing.TimingRNG` inside model code — are still
+    subtracted from the enclosing stage, exactly as the paper's separate
+    PRNG kernel demands.
+    """
+
+    def __init__(self, timer: PhaseTimer | None = None):
+        self.timer = timer if timer is not None else PhaseTimer()
+
+    def on_stage_start(self, name: str, state: FilterState) -> None:
+        self.timer.start(name)
+
+    def on_stage_end(self, name: str, state: FilterState, elapsed: float) -> None:
+        self.timer.stop()
+
+
+class RecordingHook(StageHook):
+    """Records the observed event sequence; used by tests and debugging."""
+
+    def __init__(self):
+        self.events: list[tuple] = []
+
+    def on_step_start(self, state: FilterState) -> None:
+        self.events.append(("step_start", state.k))
+
+    def on_stage_start(self, name: str, state: FilterState) -> None:
+        self.events.append(("start", name))
+
+    def on_stage_end(self, name: str, state: FilterState, elapsed: float) -> None:
+        self.events.append(("end", name, elapsed))
+
+    def on_step_end(self, state: FilterState) -> None:
+        self.events.append(("step_end", state.k))

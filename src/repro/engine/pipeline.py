@@ -1,0 +1,73 @@
+"""The step pipeline: Algorithm 2 expressed once, executed by every backend.
+
+:class:`StepPipeline` runs an ordered list of :class:`~repro.engine.stage.Stage`
+objects over a :class:`~repro.engine.state.FilterState`, firing
+:class:`~repro.engine.hooks.StageHook` callbacks around every stage. The
+vectorized filter runs the full six-stage round; multiprocess workers run
+the local-only subset (sampling/heal/sort, then resample) with the exchange
+routed through the master's message-passing boundary via
+:meth:`run_stages`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.engine.hooks import StageHook
+from repro.engine.stage import Stage
+from repro.engine.state import FilterState
+
+
+class StepPipeline:
+    """Ordered stage list + observer hooks for one filtering round."""
+
+    def __init__(self, stages: Sequence[Stage], hooks: Iterable[StageHook] = ()):
+        self.stages = list(stages)
+        self.hooks = list(hooks)
+
+    @property
+    def stage_names(self) -> tuple[str, ...]:
+        return tuple(s.name for s in self.stages)
+
+    def add_hook(self, hook: StageHook) -> StageHook:
+        """Attach *hook*; returns it for chaining."""
+        self.hooks.append(hook)
+        return hook
+
+    def remove_hook(self, hook: StageHook) -> None:
+        self.hooks.remove(hook)
+
+    # -- execution -------------------------------------------------------------
+    def run_stages(self, ctx, state: FilterState) -> None:
+        """Execute the stage list once (no step bookkeeping).
+
+        This is the partial-round entry point: multiprocess workers call it
+        for their local stage subset while the master owns the step counter
+        and the exchange routing.
+        """
+        hooks = self.hooks
+        for stage in self.stages:
+            name = stage.name
+            for h in hooks:
+                h.on_stage_start(name, state)
+            begin = time.perf_counter()
+            stage.run(ctx, state)
+            elapsed = time.perf_counter() - begin
+            for h in hooks:
+                h.on_stage_end(name, state, elapsed)
+
+    def run(self, ctx, state: FilterState, measurement: np.ndarray,
+            control: np.ndarray | None = None) -> np.ndarray:
+        """One full filtering round; returns the global estimate."""
+        state.measurement = measurement
+        state.control = control
+        for h in self.hooks:
+            h.on_step_start(state)
+        self.run_stages(ctx, state)
+        for h in self.hooks:
+            h.on_step_end(state)
+        state.k += 1
+        return state.estimate

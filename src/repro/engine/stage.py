@@ -1,0 +1,69 @@
+"""The stage protocol: Algorithm 2 as an ordered list of named kernels.
+
+One filtering round is the fixed kernel sequence
+
+    sampling -> heal -> sort -> estimate -> exchange -> resample
+
+(the paper's Section V kernel pipeline plus the numerical self-healing pass
+added in docs/robustness.md). A :class:`Stage` is one element of that
+sequence; every backend — vectorized, loop-based oracle, multiprocess
+workers, device-simulated — supplies stage *implementations* but shares the
+stage *names*, so per-stage timings, device cost accounting and resilience
+monitoring are comparable across backends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.engine.state import FilterState
+
+#: Canonical stage names, in execution order. Hooks key their per-stage
+#: accounting by these names; the device cost model's kernel names are a
+#: subset (``heal`` is free on-device, ``rand`` is folded into ``sampling``).
+STAGE_NAMES = ("sampling", "heal", "sort", "estimate", "exchange", "resample")
+
+
+@runtime_checkable
+class Stage(Protocol):
+    """One kernel of the filtering round.
+
+    ``run`` mutates *state* in place; anything a stage must pass to a later
+    stage travels through the :class:`FilterState` scratch slots.
+    """
+
+    name: str
+
+    def run(self, ctx: "ExecutionContext", state: FilterState) -> None: ...
+
+
+@dataclass
+class ExecutionContext:
+    """Everything a stage needs besides the mutable state.
+
+    The context is built once by the owning filter and shared by all its
+    stages: the model, the configuration, the RNG stream, the resampler and
+    resampling policy, and the routing tables of the exchange topology.
+
+    ``owner`` is the filter object driving the pipeline, when there is one.
+    Vectorized stages dispatch through the owner's legacy kernel methods
+    (``_heal_population``/``_exchange``/``_resample``) when present so that
+    subclasses overriding those methods — the related-work variants in
+    :mod:`repro.baselines.distributed_variants` — keep working unchanged.
+    Contexts without an owner (multiprocess workers) run the canonical
+    kernel bodies directly.
+    """
+
+    model: object
+    config: object
+    rng: object
+    resampler: object
+    policy: object
+    dtype: np.dtype
+    topology: object = None
+    table: np.ndarray | None = None
+    mask: np.ndarray | None = None
+    owner: object = None

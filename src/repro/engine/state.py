@@ -1,0 +1,109 @@
+"""The filtering state shared by every execution backend.
+
+:class:`FilterState` is the single mutable container Algorithm 2's stages
+operate on: the particle population, the step counter, the numerical
+self-healing counters, and the per-round scratch slots (measurement, pooled
+candidate sets, estimate) that stages hand to one another. Hooks observe it
+through read-only snapshot accessors rather than reaching into backends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def _fresh_heal_counters() -> dict[str, int]:
+    return {"sanitized": 0, "rejuvenated": 0}
+
+
+@dataclass
+class FilterState:
+    """Mutable state of one distributed-filter population.
+
+    Attributes
+    ----------
+    states:
+        ``(n_filters, m, state_dim)`` particle states (``None`` before
+        :meth:`reset` / the owning filter's ``initialize``).
+    log_weights:
+        ``(n_filters, m)`` float64 log importance weights.
+    k:
+        the current time step (number of completed rounds).
+    heal_counters:
+        cumulative numerical self-healing counters (``sanitized`` particles,
+        ``rejuvenated`` sub-filters).
+    last_estimate:
+        the most recent global estimate.
+
+    The remaining fields are per-round scratch written and read by stages:
+    ``measurement``/``control`` (set by the pipeline before the first stage),
+    ``estimate`` (written by the estimate stage), ``pooled_states``/
+    ``pooled_logw`` (written by the exchange stage, consumed by resampling).
+    For the loop-based oracle the pooled slots hold per-sub-filter Python
+    lists instead of batched arrays — stages of one backend family agree on
+    the representation, the container does not care.
+    """
+
+    states: np.ndarray | None = None
+    log_weights: np.ndarray | None = None
+    k: int = 0
+    heal_counters: dict[str, int] = field(default_factory=_fresh_heal_counters)
+    last_estimate: np.ndarray | None = None
+
+    # -- per-round scratch, owned by the stages --------------------------------
+    measurement: np.ndarray | None = None
+    control: np.ndarray | None = None
+    estimate: np.ndarray | None = None
+    pooled_states: object = None
+    pooled_logw: object = None
+
+    def reset(self, states: np.ndarray, log_weights: np.ndarray) -> None:
+        """Install a fresh population and clear counters/scratch."""
+        self.states = states
+        self.log_weights = log_weights
+        self.k = 0
+        self.heal_counters = _fresh_heal_counters()
+        self.last_estimate = None
+        self.clear_round()
+
+    def clear_round(self) -> None:
+        """Drop per-round scratch (pooled sets, measurement, estimate)."""
+        self.measurement = None
+        self.control = None
+        self.estimate = None
+        self.pooled_states = None
+        self.pooled_logw = None
+
+    # -- snapshot accessors for hooks -----------------------------------------
+    @property
+    def initialized(self) -> bool:
+        return self.states is not None
+
+    @property
+    def n_filters(self) -> int:
+        if self.states is None:
+            return 0
+        return self.states.shape[0]
+
+    @property
+    def n_particles(self) -> int:
+        if self.states is None:
+            return 0
+        return self.states.shape[1]
+
+    def population(self) -> tuple[np.ndarray, np.ndarray]:
+        """The live ``(states, log_weights)`` arrays (views, not copies)."""
+        return self.states, self.log_weights
+
+    def snapshot(self) -> "FilterState":
+        """A deep copy safe to retain across stages (for hooks/debugging)."""
+        out = FilterState(
+            states=None if self.states is None else self.states.copy(),
+            log_weights=None if self.log_weights is None else self.log_weights.copy(),
+            k=self.k,
+            heal_counters=dict(self.heal_counters),
+            last_estimate=None if self.last_estimate is None else np.array(self.last_estimate),
+        )
+        return out

@@ -1,0 +1,278 @@
+"""Vectorized (batched-NumPy) implementations of the Algorithm 2 stages.
+
+These are the canonical kernel bodies: every operation runs on the full
+``(n_filters, m, state_dim)`` population at once, the same shape as the
+paper's one-work-group-per-sub-filter device kernels. The stage classes
+dispatch through ``ctx.owner``'s legacy kernel methods when the owner
+provides them, which keeps the related-work subclasses
+(:mod:`repro.baselines.distributed_variants`) overriding ``_exchange`` /
+``_resample`` / ``_heal_population`` working unchanged; contexts without an
+owner (multiprocess workers) run the module-level kernel functions directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.estimator import global_estimate
+from repro.engine.stage import ExecutionContext
+from repro.engine.state import FilterState
+from repro.kernels.exchange import route_pairwise, route_pooled
+from repro.utils.arrays import (
+    degenerate_rows,
+    rescue_degenerate_rows,
+    sanitize_log_weights,
+)
+
+# ---------------------------------------------------------------------------
+# Kernel bodies
+# ---------------------------------------------------------------------------
+
+
+def sample_weight(ctx: ExecutionContext, state: FilterState) -> None:
+    """Sampling + importance weighting (one fused kernel in the paper).
+
+    With ``frim_redraws > 0`` the FRIM strategy of related work [19] keeps
+    each particle's best of a bounded number of draws.
+    """
+    cfg = ctx.config
+    if cfg.frim_redraws > 0:
+        from repro.core.frim import frim_sample
+
+        state.states, loglik = frim_sample(
+            ctx.model, state.states, state.measurement, state.control, state.k, ctx.rng,
+            redraws=cfg.frim_redraws, quantile=cfg.frim_quantile,
+        )
+        state.states = state.states.astype(ctx.dtype, copy=False)
+    else:
+        state.states = ctx.model.transition(state.states, state.control, state.k, ctx.rng)
+        loglik = ctx.model.log_likelihood(state.states, state.measurement, state.k)
+    state.log_weights = state.log_weights + loglik.astype(np.float64)
+
+
+def heal_population(ctx: ExecutionContext, state: FilterState) -> None:
+    """Numerical self-healing after weighting (docs/robustness.md).
+
+    NaN log-weights and particles whose state went non-finite are masked to
+    ``-inf`` (zero mass). A sub-filter left with *no* finite weight is
+    rejuvenated by cloning a live topological neighbour's particles and
+    restarting on uniform weights — the paper's exchange primitive reused as
+    a recovery primitive. Deterministic (no RNG draws), so a healthy run is
+    bit-identical with healing on or off.
+    """
+    n_bad = sanitize_log_weights(state.log_weights, state.states)
+    if n_bad:
+        state.heal_counters["sanitized"] += n_bad
+    dead = degenerate_rows(state.log_weights)
+    if not dead.any():
+        return
+    alive = ~dead
+    table, mask = ctx.table, ctx.mask
+    for f in np.flatnonzero(dead):
+        donors = table[f][mask[f]]
+        donors = donors[alive[donors]]
+        if donors.size:
+            state.states[f] = state.states[int(donors[0])]
+        elif alive.any():
+            state.states[f] = state.states[int(np.flatnonzero(alive)[0])]
+        # else: every sub-filter is degenerate — keep own states and
+        # restart all of them on uniform weights.
+        ok = np.isfinite(state.states[f]).all(axis=-1)
+        state.log_weights[f] = np.where(ok, 0.0, -np.inf) if ok.any() else 0.0
+        state.heal_counters["rejuvenated"] += 1
+
+
+def heal_local(ctx: ExecutionContext, state: FilterState) -> None:
+    """Topology-free self-healing for a worker's local block.
+
+    Without neighbour access, fully-degenerate rows restart on uniform
+    weights; fresh neighbour particles arrive through the exchange boundary,
+    completing the rejuvenation.
+    """
+    state.heal_counters["sanitized"] += sanitize_log_weights(state.log_weights, state.states)
+    state.heal_counters["rejuvenated"] += rescue_degenerate_rows(state.log_weights, state.states)
+
+
+def sort_by_weight(ctx: ExecutionContext, state: FilterState) -> None:
+    """Local sort by weight, descending (the paper's bitonic sort kernel)."""
+    order = np.argsort(-state.log_weights, axis=1, kind="stable")
+    state.log_weights = np.take_along_axis(state.log_weights, order, axis=1)
+    state.states = np.take_along_axis(state.states, order[:, :, None], axis=1)
+
+
+def estimate(ctx: ExecutionContext, state: FilterState) -> None:
+    """Global estimate: local reduction then global reduction."""
+    state.estimate = global_estimate(state.states, state.log_weights, ctx.config.estimator)
+    state.last_estimate = state.estimate
+
+
+def top_t(ctx: ExecutionContext, state: FilterState, t: int) -> tuple[np.ndarray, np.ndarray]:
+    """Each sub-filter's t best (or weight-sampled) particles."""
+    cfg = ctx.config
+    if cfg.exchange_select == "sample":
+        w = np.exp(state.log_weights - state.log_weights.max(axis=1, keepdims=True))
+        sel = ctx.resampler.resample_batch(w, t, ctx.rng)  # (F, t)
+    elif cfg.selection == "sort":
+        # Rows are already sorted descending.
+        F = cfg.n_filters
+        sel = np.broadcast_to(np.arange(t), (F, t))
+    else:
+        # Local-max selection: argpartition the t best, then order them.
+        part = np.argpartition(-state.log_weights, min(t, cfg.n_particles - 1), axis=1)[:, :t]
+        part_w = np.take_along_axis(state.log_weights, part, axis=1)
+        inner = np.argsort(-part_w, axis=1)
+        sel = np.take_along_axis(part, inner, axis=1)
+    send_states = np.take_along_axis(state.states, sel[:, :, None], axis=1)
+    send_logw = np.take_along_axis(state.log_weights, sel, axis=1)
+    return send_states, send_logw
+
+
+def exchange_pool(ctx: ExecutionContext, state: FilterState) -> tuple[np.ndarray, np.ndarray]:
+    """Pool each sub-filter's particles with its neighbours' contributions."""
+    cfg = ctx.config
+    t = cfg.n_exchange
+    if t == 0 or ctx.table.shape[1] == 0:
+        return state.states, state.log_weights
+    send_states, send_logw = top_t(ctx, state, t)
+
+    if ctx.topology.pooled:
+        # All-to-All: a global pool; everyone reads back the same t best.
+        recv_states, recv_logw = route_pooled(send_states, send_logw, t)
+    else:
+        # Pairwise: gather each neighbour's sent particles.
+        recv_states, recv_logw = route_pairwise(send_states, send_logw, ctx.table, ctx.mask)
+
+    pooled_states = np.concatenate(
+        [state.states, recv_states.astype(state.states.dtype, copy=False)], axis=1
+    )
+    pooled_logw = np.concatenate([state.log_weights, recv_logw], axis=1)
+    return pooled_states, pooled_logw
+
+
+def resample(ctx: ExecutionContext, state: FilterState) -> None:
+    """Resample each flagged sub-filter down to m particles from its pool."""
+    cfg = ctx.config
+    pooled_states, pooled_logw = state.pooled_states, state.pooled_logw
+    row_max = pooled_logw.max(axis=1, keepdims=True)
+    w = np.exp(pooled_logw - row_max)  # padded -inf entries become 0
+    local_w = np.exp(state.log_weights - state.log_weights.max(axis=1, keepdims=True))
+    mask = ctx.policy.should_resample(local_w, ctx.rng)
+    if not mask.any():
+        return
+    m = state.log_weights.shape[1]
+    idx = ctx.resampler.resample_batch(w[mask], m, ctx.rng)  # (F', m)
+    new_states = np.take_along_axis(pooled_states[mask], idx[:, :, None], axis=1)
+    if cfg.roughening > 0.0:
+        # Gordon/Salmond/Smith roughening: per-dimension jitter scaled by
+        # the population's sample range and n^(-1/d) — restores diversity
+        # lost to resampling duplicates (sample impoverishment).
+        d = ctx.model.state_dim
+        span = (
+            state.states.reshape(-1, d).max(axis=0) - state.states.reshape(-1, d).min(axis=0)
+        ).astype(np.float64)
+        scale = cfg.roughening * span * cfg.total_particles ** (-1.0 / d)
+        jitter = ctx.rng.normal(new_states.shape, dtype=np.float64) * scale
+        new_states = new_states + jitter.astype(new_states.dtype)
+    state.states[mask] = new_states
+    state.log_weights[mask] = 0.0
+
+
+# ---------------------------------------------------------------------------
+# Stage classes
+# ---------------------------------------------------------------------------
+
+
+class SampleWeightStage:
+    """Propagate every particle through the model and weight it."""
+
+    name = "sampling"
+
+    def run(self, ctx: ExecutionContext, state: FilterState) -> None:
+        sample_weight(ctx, state)
+
+
+class HealStage:
+    """Neighbour-aware self-healing; skipped when ``config.self_heal`` is off."""
+
+    name = "heal"
+
+    def run(self, ctx: ExecutionContext, state: FilterState) -> None:
+        if not ctx.config.self_heal:
+            return
+        owner = ctx.owner
+        if owner is not None:
+            owner._heal_population()
+        else:
+            heal_population(ctx, state)
+
+
+class LocalHealStage:
+    """Topology-free self-healing for worker blocks (always on)."""
+
+    name = "heal"
+
+    def run(self, ctx: ExecutionContext, state: FilterState) -> None:
+        heal_local(ctx, state)
+
+
+class SortStage:
+    """Local sort by weight; a no-op under ``selection='max'`` unless forced.
+
+    Multiprocess workers force the sort: their top-t boundary extraction is a
+    plain slice of the sorted rows.
+    """
+
+    name = "sort"
+
+    def __init__(self, force: bool = False):
+        self.force = force
+
+    def run(self, ctx: ExecutionContext, state: FilterState) -> None:
+        if self.force or ctx.config.selection == "sort":
+            sort_by_weight(ctx, state)
+
+
+class EstimateStage:
+    """Reduce the population to the global estimate."""
+
+    name = "estimate"
+
+    def run(self, ctx: ExecutionContext, state: FilterState) -> None:
+        estimate(ctx, state)
+
+
+class ExchangeStage:
+    """Neighbour exchange -> per-sub-filter pooled candidate sets."""
+
+    name = "exchange"
+
+    def run(self, ctx: ExecutionContext, state: FilterState) -> None:
+        owner = ctx.owner
+        if owner is not None:
+            state.pooled_states, state.pooled_logw = owner._exchange()
+        else:
+            state.pooled_states, state.pooled_logw = exchange_pool(ctx, state)
+
+
+class ResampleStage:
+    """Local resampling from the pooled weighted set."""
+
+    name = "resample"
+
+    def run(self, ctx: ExecutionContext, state: FilterState) -> None:
+        owner = ctx.owner
+        if owner is not None:
+            owner._resample(state.pooled_states, state.pooled_logw)
+        else:
+            resample(ctx, state)
+
+
+def build_vector_pipeline(hooks=()) -> "StepPipeline":
+    """The full vectorized round as an ordered stage list."""
+    from repro.engine.pipeline import StepPipeline
+
+    return StepPipeline(
+        [SampleWeightStage(), HealStage(), SortStage(), EstimateStage(),
+         ExchangeStage(), ResampleStage()],
+        hooks=hooks,
+    )

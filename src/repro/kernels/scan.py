@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.device.memory import LocalMemory
 from repro.device.simt import WorkGroup
 from repro.utils.validation import check_power_of_two
 

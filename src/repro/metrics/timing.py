@@ -22,26 +22,40 @@ KERNELS = ("rand", "sampling", "sort", "estimate", "exchange", "resample")
 
 
 class PhaseTimer:
-    """Accumulates seconds per named phase; nestable via re-entrant phases."""
+    """Accumulates seconds per named phase; nestable via re-entrant phases.
+
+    Phases can be driven either through the :meth:`phase` context manager or
+    through the explicit :meth:`start`/:meth:`stop` pair — the latter is what
+    the engine's :class:`~repro.engine.hooks.TimerHook` uses to open a phase
+    in ``on_stage_start`` and close it in ``on_stage_end``.
+    """
 
     def __init__(self):
         self.seconds: dict[str, float] = defaultdict(float)
         self._active: list[tuple[str, float]] = []
 
+    def start(self, name: str) -> None:
+        """Open phase *name*; must be balanced by a :meth:`stop`."""
+        self._active.append((name, time.perf_counter()))
+
+    def stop(self) -> float:
+        """Close the innermost open phase and return its elapsed seconds."""
+        name, begin = self._active.pop()
+        elapsed = time.perf_counter() - begin
+        self.seconds[name] += elapsed
+        # Time spent inside a nested phase (e.g. rand inside sampling) is
+        # subtracted from the enclosing phase by crediting it negatively.
+        if self._active:
+            self.seconds[self._active[-1][0]] -= elapsed
+        return elapsed
+
     @contextmanager
     def phase(self, name: str):
-        start = time.perf_counter()
-        self._active.append((name, start))
+        self.start(name)
         try:
             yield
         finally:
-            self._active.pop()
-            elapsed = time.perf_counter() - start
-            self.seconds[name] += elapsed
-            # Time spent inside a nested phase (e.g. rand inside sampling) is
-            # subtracted from the enclosing phase by crediting it negatively.
-            if self._active:
-                self.seconds[self._active[-1][0]] -= elapsed
+            self.stop()
 
     def total(self) -> float:
         return sum(self.seconds.values())

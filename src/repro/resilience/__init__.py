@@ -31,19 +31,22 @@ from repro.resilience.faults import (
     FAULT_KINDS,
     KILL_EXIT_CODE,
     Fault,
+    FaultInjectionHook,
     FaultPlan,
     apply_process_faults,
     corrupt_send_states,
     poison_log_weights,
 )
 from repro.resilience.healing import TopologyHealer
-from repro.resilience.monitor import ResilienceReport, WorkerFailureEvent
+from repro.resilience.monitor import HealMonitorHook, ResilienceReport, WorkerFailureEvent
 
 __all__ = [
     "FAULT_KINDS",
     "KILL_EXIT_CODE",
     "Fault",
+    "FaultInjectionHook",
     "FaultPlan",
+    "HealMonitorHook",
     "NoLiveWorkersError",
     "ResilienceReport",
     "TopologyHealer",

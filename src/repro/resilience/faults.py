@@ -235,3 +235,42 @@ def corrupt_send_states(plan: FaultPlan | None, worker: int, step: int,
         flat[rows] = np.nan
         corrupted += len(rows)
     return corrupted
+
+
+# ---------------------------------------------------------------------------
+# Stage-pipeline integration
+# ---------------------------------------------------------------------------
+
+
+class FaultInjectionHook:
+    """Injects a :class:`FaultPlan` into a worker's stage pipeline.
+
+    Process faults (kill/hang/delay) fire as the sampling stage starts —
+    the worker has received its round message but not yet computed, the same
+    point the inline injection used. Weight poisoning lands right after the
+    sampling stage writes the log-weights, *before* the heal stage gets a
+    chance to neutralize it, which is exactly the adversarial ordering the
+    chaos suite exercises. Exchange corruption stays at the message boundary
+    (it corrupts the serialized send buffer, not pipeline state).
+
+    Implements the :class:`repro.engine.StageHook` interface without
+    inheriting so that :mod:`repro.resilience` stays importable standalone.
+    """
+
+    def __init__(self, plan: FaultPlan | None, worker_id: int):
+        self.plan = plan
+        self.worker_id = worker_id
+
+    def on_step_start(self, state) -> None:
+        pass
+
+    def on_stage_start(self, name: str, state) -> None:
+        if name == "sampling":
+            apply_process_faults(self.plan, self.worker_id, state.k)
+
+    def on_stage_end(self, name: str, state, elapsed: float) -> None:
+        if name == "sampling":
+            poison_log_weights(self.plan, self.worker_id, state.k, state.log_weights)
+
+    def on_step_end(self, state) -> None:
+        pass

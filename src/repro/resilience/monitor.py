@@ -79,3 +79,40 @@ class ResilienceReport:
             "rejuvenated_filters": self.rejuvenated_filters,
             "respawns": self.respawns,
         }
+
+
+class HealMonitorHook:
+    """Watches the heal stage and keeps per-round self-healing deltas.
+
+    Attached to a pipeline, it snapshots ``state.heal_counters`` when the
+    heal stage starts and publishes the round's delta in :attr:`last_round`
+    (plus cumulative :attr:`totals`). Multiprocess workers ship
+    ``last_round`` back to the master, which folds it into the run's
+    :class:`ResilienceReport` via :meth:`ResilienceReport.merge_worker_stats`
+    — resilience monitoring as an observer instead of inline bookkeeping.
+    """
+
+    def __init__(self):
+        self.last_round: dict[str, int] = {}
+        self.totals: dict[str, int] = {}
+        self._before: dict[str, int] = {}
+
+    def on_step_start(self, state) -> None:
+        pass
+
+    def on_stage_start(self, name: str, state) -> None:
+        if name == "heal":
+            self._before = dict(state.heal_counters)
+
+    def on_stage_end(self, name: str, state, elapsed: float) -> None:
+        if name != "heal":
+            return
+        self.last_round = {
+            key: int(value) - int(self._before.get(key, 0))
+            for key, value in state.heal_counters.items()
+        }
+        for key, value in self.last_round.items():
+            self.totals[key] = self.totals.get(key, 0) + value
+
+    def on_step_end(self, state) -> None:
+        pass

@@ -15,6 +15,20 @@ from repro.topology.alltoall import AllToAllTopology
 from repro.topology.custom import GraphTopology
 from repro.topology.base import make_topology
 
+
+def resolve_topology(spec, n_filters: int) -> ExchangeTopology:
+    """Accept a topology name or a pre-built topology, validated against
+    *n_filters*. The single entry point every backend uses, so a size
+    mismatch fails identically everywhere."""
+    if isinstance(spec, ExchangeTopology):
+        if spec.n_filters != n_filters:
+            raise ValueError(
+                f"topology has {spec.n_filters} filters, config says {n_filters}"
+            )
+        return spec
+    return make_topology(str(spec), n_filters)
+
+
 __all__ = [
     "ExchangeTopology",
     "RingTopology",
@@ -22,4 +36,5 @@ __all__ = [
     "AllToAllTopology",
     "GraphTopology",
     "make_topology",
+    "resolve_topology",
 ]

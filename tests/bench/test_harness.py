@@ -1,7 +1,6 @@
 """Tests for the benchmark harness utilities."""
 
 import numpy as np
-import pytest
 
 from repro.bench import format_table
 from repro.bench.harness import arm_truth, sweep_error

@@ -1,6 +1,5 @@
 """API-stability tests for the per-figure bench runners (tiny parameters)."""
 
-import numpy as np
 import pytest
 
 from repro.bench import (

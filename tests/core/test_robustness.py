@@ -1,7 +1,6 @@
 """Numerical robustness: the filter must survive pathological weights."""
 
 import numpy as np
-import pytest
 
 from repro.core import (
     CentralizedFilterConfig,
@@ -11,8 +10,6 @@ from repro.core import (
 )
 from repro.models import LinearGaussianModel
 from repro.models.base import StateSpaceModel
-from repro.prng import make_rng
-from repro.prng.streams import FilterRNG
 
 
 class HostileModel(StateSpaceModel):

@@ -1,6 +1,5 @@
 """Tests for the codified configuration rules of thumb."""
 
-import numpy as np
 import pytest
 
 from repro.core import DistributedFilterConfig, expected_update_rate, recommend_config

@@ -1,6 +1,5 @@
 """Tests that the cost model reproduces the paper's performance shapes."""
 
-import numpy as np
 import pytest
 
 from repro.device import PLATFORMS, CostModel, KernelWorkload, filter_round_cost, get_platform

@@ -1,7 +1,6 @@
 """Tests for the coalescing and bank-conflict memory models."""
 
 import numpy as np
-import pytest
 
 from repro.device import GlobalMemory, LocalMemory, coalesced_transactions
 from repro.device.memory import bank_conflict_factor

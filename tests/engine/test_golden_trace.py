@@ -1,0 +1,78 @@
+"""Bit-exactness guard for the stage-pipeline refactor.
+
+The hex traces below were dumped from the pre-refactor
+``DistributedParticleFilter`` (inline kernel bodies, no engine). The façade
+over :class:`~repro.engine.pipeline.StepPipeline` must reproduce them to the
+last bit — same RNG call order, same floating-point operation order — for
+every topology and for the full configuration surface (FRIM redraws,
+roughening, sampled exchange selection, ESS-gated resampling).
+"""
+
+import numpy as np
+
+from repro.core import DistributedFilterConfig, DistributedParticleFilter
+from repro.models import LinearGaussianModel
+from repro.prng import make_rng
+
+N_STEPS = 12
+
+CASES = {
+    "ring": dict(n_particles=16, n_filters=8, topology="ring",
+                 estimator="weighted_mean", seed=7),
+    "torus": dict(n_particles=16, n_filters=16, topology="torus",
+                  estimator="weighted_mean", seed=7),
+    "all-to-all": dict(n_particles=16, n_filters=8, topology="all-to-all",
+                       estimator="max_weight", seed=7),
+    "fancy": dict(
+        n_particles=16, n_filters=8, topology="ring", estimator="weighted_mean",
+        seed=11, n_exchange=2, exchange_select="sample", roughening=0.05,
+        frim_redraws=2, resample_policy="ess", resample_arg=0.8, dtype=np.float64,
+    ),
+}
+
+# float64 estimate sequences, 12 steps each, as raw little-endian bytes.
+GOLDEN = {
+    "ring": (
+        "a21ed885e557d73f49c70886d69ee03ffb76d5bb31c8d73f0d129e09562ce13f"
+        "95787f63dd4ee53ff99e37435514c73fbf14dbd23c50cf3fdd023c9864c6d03f"
+        "75b636e5ac07d63f151cfa0ca8e9e43f9fa1d7b8c764da3f3524614a87e97abf"
+    ),
+    "torus": (
+        "421a04984893d73fba53489827dbe03f0edca932393cd83fdeee4c13f399e03f"
+        "b65ed71a0f36e53fcd6d389bb2bac53fd1df2c193bf8ce3f996fb51161a1d03f"
+        "faade1e483bcd53f71f8c99e9dd0e33f4e2089b17539db3f03bb454b0b77a63f"
+    ),
+    "all-to-all": (
+        "000000a0f1f7d93f000000c00784e23f00000000ad71d63f00000060dfdee23f"
+        "000000403478e63f000000a033b0c03f00000060c3ffcf3f000000a01c36d13f"
+        "0000008062d3d73f000000604bffe53f000000801754d83f000000c0f8fba4bf"
+    ),
+    "fancy": (
+        "f37533a91915d93fdac452c634e5e03fe5c8897ff798d73f548216ac7f0de13f"
+        "7ac1f05e4e13e53fcb6a39a83ccfc73fb296010a6d24cf3f976e3c600b16d13f"
+        "564bf42a7a46d73f9815fa294c0be43f4434f679c918da3f497b925dffb583bf"
+    ),
+}
+
+
+def _trace(case_kwargs) -> str:
+    model = LinearGaussianModel(A=[[0.9]], C=[[1.0]], Q=[[0.04]], R=[[0.01]])
+    truth = model.simulate(N_STEPS, make_rng("numpy", seed=99))
+    pf = DistributedParticleFilter(model, DistributedFilterConfig(**case_kwargs))
+    pf.initialize()
+    ests = np.stack([pf.step(truth.measurements[k]) for k in range(N_STEPS)])
+    return ests.astype(np.float64).tobytes().hex()
+
+
+class TestGoldenTraces:
+    def test_ring(self):
+        assert _trace(CASES["ring"]) == GOLDEN["ring"]
+
+    def test_torus(self):
+        assert _trace(CASES["torus"]) == GOLDEN["torus"]
+
+    def test_all_to_all(self):
+        assert _trace(CASES["all-to-all"]) == GOLDEN["all-to-all"]
+
+    def test_full_config_surface(self):
+        assert _trace(CASES["fancy"]) == GOLDEN["fancy"]

@@ -8,7 +8,6 @@ the core filter's neighbour rejuvenation.
 """
 
 import numpy as np
-import pytest
 
 from repro.core import (
     DistributedFilterConfig,

@@ -7,7 +7,6 @@ degeneracy problem must actually appear and be cured by resampling.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.baselines import KalmanFilter
@@ -20,7 +19,6 @@ from repro.core import (
 )
 from repro.models import LinearGaussianModel
 from repro.prng import make_rng
-from repro.resampling import effective_sample_size
 
 
 def lg_model():

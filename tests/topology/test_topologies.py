@@ -1,7 +1,6 @@
 """Structural tests for all exchange topologies."""
 
 import networkx as nx
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
