@@ -114,7 +114,7 @@ class DeviceSimulatedFilter:
                 state_dim=d,
                 n_exchange=t,
                 scheme=scheme,
-                resampler=resampler if resampler in ("rws", "vose") else "rws",
+                resampler=resampler if resampler in ("rws", "vose", "metropolis") else "rws",
                 dtype_bytes=itemsize,
             )
             self._cost_key = key

@@ -38,6 +38,7 @@ See ``docs/robustness.md`` for the failure model.
 from __future__ import annotations
 
 import multiprocessing as mp
+import time
 import traceback
 
 import numpy as np
@@ -45,9 +46,15 @@ import numpy as np
 from repro.core.estimator import max_weight_estimate, weighted_mean_estimate
 from repro.core.parameters import DistributedFilterConfig
 from repro.core.registry import make_policy, make_resampler
-from repro.engine import ExecutionContext, FilterState, StepPipeline, TimerHook
+from repro.engine import (
+    ExecutionContext,
+    FilterState,
+    KernelTimingHook,
+    StepPipeline,
+    TimerHook,
+)
 from repro.engine.vector_stages import LocalHealStage, ResampleStage, SampleWeightStage, SortStage
-from repro.kernels.exchange import route_pairwise, route_pooled
+from repro.kernels.registry import default_registry
 from repro.metrics.timing import PhaseTimer, TimingRNG
 from repro.models.base import StateSpaceModel
 from repro.prng.streams import make_rng
@@ -99,7 +106,8 @@ def _worker_loop(conn, model, config, block_lo, block_hi, worker_id,
         dtype=dtype,
     )
     heal_hook = HealMonitorHook()
-    hooks = [FaultInjectionHook(fault_plan, worker_id), heal_hook, TimerHook(timer)]
+    kernel_hook = KernelTimingHook()
+    hooks = [FaultInjectionHook(fault_plan, worker_id), heal_hook, TimerHook(timer), kernel_hook]
     local_pipeline = StepPipeline(
         [SampleWeightStage(), LocalHealStage(), SortStage(force=True)], hooks=hooks
     )
@@ -149,7 +157,10 @@ def _worker_loop(conn, model, config, block_lo, block_hi, worker_id,
                     else:
                         state.pooled_states, state.pooled_logw = state.states, state.log_weights
                     resample_pipeline.run_stages(ctx, state)
-                    conn.send(("ok", dict(timer.seconds)))
+                    kernel_seconds = dict(kernel_hook.kernel_seconds)
+                    kernel_hook.kernel_seconds.clear()
+                    kernel_hook.kernel_calls.clear()
+                    conn.send(("ok", dict(timer.seconds), kernel_seconds))
                 elif kind == "get_state":
                     conn.send((state.states, state.log_weights))
                 elif kind == "stop":
@@ -227,6 +238,7 @@ class MultiprocessDistributedParticleFilter:
         self._healer = TopologyHealer(self.topology, bridge=heal_bridge)
         self.report = ResilienceReport()
         self.timer = PhaseTimer()
+        self.kernel_seconds: dict[str, float] = {}
         self.k = 0
         self._procs: list = []
         self._conns: list = []
@@ -487,11 +499,13 @@ class MultiprocessDistributedParticleFilter:
                 if self.topology.pooled:
                     # Pooled routing self-heals: dead blocks' -inf placeholders
                     # can never enter the global top-t.
-                    recv_states, recv_logw = route_pooled(send_states[:, :t], send_logw[:, :t], t)
+                    recv_states, recv_logw = self._route(
+                        "route_pooled", send_states[:, :t], send_logw[:, :t], t
+                    )
                     recv_states, recv_logw = recv_states.copy(), recv_logw.copy()
                 else:
-                    recv_states, recv_logw = route_pairwise(
-                        send_states[:, :t], send_logw[:, :t], table, mask
+                    recv_states, recv_logw = self._route(
+                        "route_pairwise", send_states[:, :t], send_logw[:, :t], table, mask
                     )
             else:
                 recv_states = recv_logw = None
@@ -508,6 +522,7 @@ class MultiprocessDistributedParticleFilter:
                 live.remove(w)
                 self._handle_failure(w, e)
         stage_seconds: dict[str, float] = {}
+        round_kernel_seconds: dict[str, float] = {}
         for w in list(live):
             try:
                 reply = self._recv(w, what="phase2")
@@ -517,15 +532,29 @@ class MultiprocessDistributedParticleFilter:
             if len(reply) > 1 and isinstance(reply[1], dict):
                 for name, sec in reply[1].items():
                     stage_seconds[name] = max(stage_seconds.get(name, 0.0), sec)
+            if len(reply) > 2 and isinstance(reply[2], dict):
+                for name, sec in reply[2].items():
+                    round_kernel_seconds[name] = max(round_kernel_seconds.get(name, 0.0), sec)
         # Workers run concurrently: the critical path per stage is the
-        # slowest block, so fold the per-stage *max* into the master's timer.
+        # slowest block, so fold the per-stage *max* into the master's timer
+        # (and likewise for the per-kernel breakdown).
         for name, sec in stage_seconds.items():
             self.timer.seconds[name] = self.timer.seconds.get(name, 0.0) + sec
+        for name, sec in round_kernel_seconds.items():
+            self.kernel_seconds[name] = self.kernel_seconds.get(name, 0.0) + sec
 
         if self.respawn_dead and self.dead_workers:
             self._respawn_dead_workers()
         self.k += 1
         return estimate
+
+    def _route(self, kernel: str, *args):
+        """Dispatch an exchange-routing kernel through the registry, timed."""
+        start = time.perf_counter()
+        out = default_registry().batch(kernel)(*args)
+        elapsed = time.perf_counter() - start
+        self.kernel_seconds[kernel] = self.kernel_seconds.get(kernel, 0.0) + elapsed
+        return out
 
     def _reduce_estimate(self, best_states: np.ndarray, best_logw: np.ndarray,
                          partials: list) -> np.ndarray:

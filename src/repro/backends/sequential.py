@@ -21,7 +21,13 @@ import numpy as np
 
 from repro.core.parameters import DistributedFilterConfig
 from repro.core.registry import make_policy, make_resampler
-from repro.engine import ExecutionContext, FilterState, TimerHook, build_loop_pipeline
+from repro.engine import (
+    ExecutionContext,
+    FilterState,
+    KernelTimingHook,
+    TimerHook,
+    build_loop_pipeline,
+)
 from repro.metrics.timing import PhaseTimer, TimingRNG
 from repro.models.base import StateSpaceModel
 from repro.prng.streams import make_rng
@@ -48,7 +54,8 @@ class SequentialDistributedParticleFilter:
             table=self.topology.neighbor_table(),
             mask=self.topology.neighbor_table() >= 0,
         )
-        self.pipeline = build_loop_pipeline(hooks=[TimerHook(self.timer)])
+        self.kernel_hook = KernelTimingHook()
+        self.pipeline = build_loop_pipeline(hooks=[TimerHook(self.timer), self.kernel_hook])
 
     # -- state delegation ------------------------------------------------------
     @property
@@ -70,6 +77,11 @@ class SequentialDistributedParticleFilter:
     @property
     def heal_counters(self) -> dict[str, int]:
         return self._state.heal_counters
+
+    @property
+    def kernel_seconds(self) -> dict[str, float]:
+        """Cumulative wall time of registered kernels dispatched this run."""
+        return self.kernel_hook.kernel_seconds
 
     @property
     def filters(self) -> list[dict] | None:

@@ -6,6 +6,7 @@ Commands
 - ``bench``   — regenerate one figure/table of the paper (fig3..fig9, tables).
 - ``report``  — regenerate the full evaluation as a Markdown report.
 - ``platforms`` — list the simulated Table III platforms.
+- ``kernels`` — list registered kernels with predicted costs on a platform.
 """
 
 from __future__ import annotations
@@ -109,6 +110,39 @@ def _cmd_platforms(args) -> int:
     return 0
 
 
+def _cmd_kernels(args) -> int:
+    from repro.bench.harness import format_table
+    from repro.device.costmodel import CostModel
+    from repro.device.spec import get_platform
+    from repro.kernels.registry import CostParams, default_registry
+
+    spec = get_platform(args.platform)
+    cm = CostModel(spec)
+    reg = default_registry()
+    params = CostParams(m=args.particles, state_dim=args.state_dim, n_groups=args.filters)
+    rows = []
+    for name in reg.names():
+        kdef = reg.get(name)
+        wl = kdef.workload(params)
+        forms = "+".join(
+            f for f, impl in (("batch", kdef.batch), ("wg", kdef.workgroup)) if impl is not None
+        ) or "cost-only"
+        rows.append({
+            "kernel": name,
+            "forms": forms,
+            "kflops": wl.flops / 1e3,
+            "kB_rd": wl.bytes_read / 1e3,
+            "kB_wr": wl.bytes_written / 1e3,
+            "syncs": wl.syncs_per_group,
+            "launches": wl.launches,
+            "us": cm.kernel_def_time(kdef, params) * 1e6,
+        })
+    print(f"{len(rows)} registered kernels on {spec.name} "
+          f"(m={args.particles}, N={args.filters}, d={args.state_dim}):")
+    print(format_table(rows))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(prog="esthera", description=__doc__)
     sub = p.add_subparsers(dest="command", required=True)
@@ -135,6 +169,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     pl = sub.add_parser("platforms", help="list simulated platforms")
     pl.set_defaults(func=_cmd_platforms)
+
+    k = sub.add_parser("kernels", help="list registered kernels and predicted costs")
+    k.add_argument("--platform", default="gtx-580", help="device spec name (see `platforms`)")
+    k.add_argument("--particles", type=int, default=512, help="particles per sub-filter (m)")
+    k.add_argument("--filters", type=int, default=64, help="number of sub-filters (N)")
+    k.add_argument("--state-dim", type=int, default=9, help="state dimension")
+    k.set_defaults(func=_cmd_kernels)
     return p
 
 

@@ -25,7 +25,13 @@ import numpy as np
 from repro.core.estimator import local_estimates
 from repro.core.parameters import DistributedFilterConfig
 from repro.core.registry import make_policy, make_resampler
-from repro.engine import ExecutionContext, FilterState, TimerHook, build_vector_pipeline
+from repro.engine import (
+    ExecutionContext,
+    FilterState,
+    KernelTimingHook,
+    TimerHook,
+    build_vector_pipeline,
+)
 from repro.engine import vector_stages
 from repro.metrics.timing import PhaseTimer, TimingRNG
 from repro.models.base import StateSpaceModel
@@ -63,7 +69,8 @@ class DistributedParticleFilter:
             policy=self.policy, dtype=self.dtype, topology=self.topology,
             table=self._table, mask=self._mask, owner=self,
         )
-        self.pipeline = build_vector_pipeline(hooks=[TimerHook(self.timer)])
+        self.kernel_hook = KernelTimingHook()
+        self.pipeline = build_vector_pipeline(hooks=[TimerHook(self.timer), self.kernel_hook])
 
     # -- state delegation ------------------------------------------------------
     # The population lives in the engine's FilterState; these properties keep
@@ -149,6 +156,11 @@ class DistributedParticleFilter:
     @property
     def total_particles(self) -> int:
         return self.config.total_particles
+
+    @property
+    def kernel_seconds(self) -> dict[str, float]:
+        """Cumulative wall time of registered kernels dispatched this run."""
+        return self.kernel_hook.kernel_seconds
 
     def local_estimates(self) -> np.ndarray:
         """Per-sub-filter estimates, shape ``(n_filters, state_dim)``."""

@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.resampling import (
     AlwaysResample,
     ESSThresholdPolicy,
+    MetropolisResampler,
     MultinomialResampler,
     RandomFrequencyPolicy,
     ResidualResampler,
@@ -24,6 +25,7 @@ _RESAMPLERS = {
     "stratified": StratifiedResampler,
     "multinomial": MultinomialResampler,
     "residual": ResidualResampler,
+    "metropolis": MetropolisResampler,
 }
 
 

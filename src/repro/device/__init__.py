@@ -22,7 +22,7 @@ package stands in for that hardware:
 from repro.device.spec import DeviceSpec, PLATFORMS, get_platform
 from repro.device.memory import GlobalMemory, LocalMemory, coalesced_transactions
 from repro.device.simt import WorkGroup, SimtStats
-from repro.device.kernel import Kernel, launch_kernel
+from repro.device.kernel import Kernel, ValidationReport, launch_kernel, validate
 from repro.device.costmodel import (
     CostModel,
     KernelWorkload,
@@ -48,6 +48,8 @@ __all__ = [
     "SimtStats",
     "Kernel",
     "launch_kernel",
+    "validate",
+    "ValidationReport",
     "CostModel",
     "KernelWorkload",
     "FilterRoundCost",

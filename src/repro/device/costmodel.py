@@ -22,7 +22,7 @@ reproduces the shapes of Figs. 3-5.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.device.spec import DeviceSpec
 
@@ -117,12 +117,22 @@ class CostModel:
         launch_t = w.launches * d.launch_overhead_us * 1e-6
         return (max(compute_t + local_t, mem_t) + serial_t + sync_t + launch_t) * d.runtime_overhead
 
+    def kernel_def_time(self, kdef, params) -> float:
+        """Price a registered kernel at the given :class:`CostParams` shape.
+
+        *kdef* is a :class:`repro.kernels.registry.KernelDef`; its declared
+        ``CostSig`` supplies both the workload and the RNG-efficiency flag,
+        so the registry is the single source of per-kernel formulas.
+        """
+        return self.kernel_time(kdef.workload(params), rng_kernel=kdef.cost.rng_kernel)
+
 
 # ---------------------------------------------------------------------------
 # Filter-round workload builder
 # ---------------------------------------------------------------------------
 
-_RNG_FLOPS_PER_VALUE = 30.0  # MTGP state update + tempering + Box-Muller share
+RNG_FLOPS_PER_VALUE = 30.0  # MTGP state update + tempering + Box-Muller share
+_RNG_FLOPS_PER_VALUE = RNG_FLOPS_PER_VALUE  # backwards-compatible alias
 
 
 def model_flops_per_particle(state_dim: int) -> float:
@@ -158,128 +168,60 @@ def filter_round_cost(
     dtype_bytes: int = 4,
 ) -> FilterRoundCost:
     """Per-kernel cost of one distributed-filter round (the paper's six
-    kernels) for the robotic-arm model."""
+    kernels) for the robotic-arm model.
+
+    Every stage workload is derived from the matching kernel's registered
+    ``CostSig`` (see :mod:`repro.kernels.registry`) evaluated at this round's
+    shape — the formulas live with the kernels, not here.
+    """
+    from repro.kernels.registry import CostParams, default_registry
+
     m, N, d, B = n_particles, n_filters, state_dim, dtype_bytes
-    P = m * N
-    meas_dim = d - 2  # robot arm: K angle sensors + 2 camera coords
-    log2m = max(math.log2(m), 1.0)
-    stages = log2m * (log2m + 1) / 2.0
     deg = {"ring": 2, "torus": 4, "all-to-all": 1, "none": 0}.get(scheme, 2)
     t = n_exchange
+    reg = default_registry()
     cm = CostModel(device)
     out = FilterRoundCost(device=device)
+    base = CostParams(m=m, state_dim=d, n_groups=N, dtype_bytes=B)
 
     # 1) PRNG kernel: d normals per particle, written to global memory.
-    rand = KernelWorkload(
-        name="rand",
-        n_groups=N,
-        group_size=m,
-        flops=P * d * _RNG_FLOPS_PER_VALUE,
-        bytes_written=P * d * B,
-    )
-    out.seconds["rand"] = cm.kernel_time(rand, rng_kernel=True)
+    out.seconds["rand"] = cm.kernel_def_time(reg.get("rand"), base)
 
     # 2) Sampling + importance weighting (AoS state in global memory).
-    sampling = KernelWorkload(
-        name="sampling",
-        n_groups=N,
-        group_size=m,
-        flops=P * model_flops_per_particle(d),
-        bytes_read=P * (d + d) * B + N * meas_dim * B,
-        bytes_written=P * (d + 1) * B,
-    )
-    out.seconds["sampling"] = cm.kernel_time(sampling)
+    out.seconds["sampling"] = cm.kernel_def_time(reg.get("sampling"), base)
 
     # 3) Local bitonic sort of (weight, index) in local memory, then apply the
     #    permutation to the state vectors: non-contiguous reads, contiguous
     #    writes (Section VI-C).
-    aos_eff = scattered_aos_efficiency(d * B)
-    sort = KernelWorkload(
-        name="sort",
-        n_groups=N,
-        group_size=m,
-        local_ops=N * (m / 2) * stages * 3.0,
-        syncs_per_group=int(stages),
-        bytes_read=P * B + P * d * B,  # weights + scattered AoS state reads
-        read_coalescing=aos_eff,
-        bytes_written=P * d * B + P * B,
-        write_coalescing=1.0,
-    )
-    out.seconds["sort"] = cm.kernel_time(sort)
+    out.seconds["sort"] = cm.kernel_def_time(reg.get("sort"), base)
 
     # 4) Global estimate: rows are sorted, only the final reduction rounds run.
-    estimate = KernelWorkload(
-        name="estimate",
+    est_params = CostParams(
+        m=m,
+        state_dim=d,
         n_groups=max(N // 256, 1),
         group_size=256,
-        flops=N * (d + 1) * 2.0,
-        bytes_read=N * (d + 1) * B,
-        bytes_written=(d + 1) * B,
-        syncs_per_group=8,
+        n_filters=N,
+        dtype_bytes=B,
     )
-    out.seconds["estimate"] = cm.kernel_time(estimate)
+    out.seconds["estimate"] = cm.kernel_def_time(reg.get("estimate"), est_params)
 
     # 5) Particle exchange through cached global memory.
     if t == 0 or scheme == "none":
         out.seconds["exchange"] = 0.0
     elif scheme == "all-to-all":
         # Two phases: all supply to the pool, a top-t selection, all read back.
-        exchange = KernelWorkload(
-            name="exchange",
-            n_groups=N,
-            group_size=max(t, 1),
-            bytes_read=N * t * (d + 1) * B * 2,  # pool scan + broadcast read-back
-            read_coalescing=0.5,
-            bytes_written=N * t * (d + 1) * B + N * t * (d + 1) * B,
-            write_coalescing=0.5,
-            serial_ops=N * t * math.log2(max(N * t, 2)) * 2.0,  # pool top-t selection
-            launches=2,
-        )
-        out.seconds["exchange"] = cm.kernel_time(exchange)
+        exch = replace(base, group_size=max(t, 1), n_exchange=t, degree=deg)
+        out.seconds["exchange"] = cm.kernel_def_time(reg.get("route_pooled"), exch)
     else:
-        exchange = KernelWorkload(
-            name="exchange",
-            n_groups=N,
-            group_size=max(deg * t, 1),
-            bytes_read=N * deg * t * (d + 1) * B,
-            read_coalescing=0.4,  # neighbour gathers are scattered
-            bytes_written=N * deg * t * (d + 1) * B,
-            write_coalescing=0.6,
-        )
-        out.seconds["exchange"] = cm.kernel_time(exchange)
+        exch = replace(base, group_size=max(deg * t, 1), n_exchange=t, degree=deg)
+        out.seconds["exchange"] = cm.kernel_def_time(reg.get("route_pairwise"), exch)
 
     # 6) Local resampling over m + deg*t pooled particles.
-    pool = m + deg * t
-    reorder_read = P * d * B  # gather surviving states: scattered reads
-    reorder_write = P * d * B
-    if resampler == "rws":
-        resample = KernelWorkload(
-            name="resample",
-            n_groups=N,
-            group_size=m,
-            local_ops=N * (4.0 * pool + m * math.log2(max(pool, 2)) * 2.0),
-            syncs_per_group=int(2 * log2m + 2),
-            bytes_read=P * B + reorder_read,
-            read_coalescing=aos_eff,
-            bytes_written=reorder_write,
-        )
-    elif resampler == "vose":
-        # Table build: normalize + worklist pairing. Concurrency collapses
-        # toward the end, so a fraction of the pairing is serialized per group.
-        resample = KernelWorkload(
-            name="resample",
-            n_groups=N,
-            group_size=m,
-            local_ops=N * (10.0 * pool + 4.0 * m),
-            serial_ops=N * pool * 1.5,  # the "drops steeply towards one" tail
-            syncs_per_group=int(4 * log2m + 8),
-            bytes_read=P * B + reorder_read,
-            read_coalescing=aos_eff,
-            bytes_written=reorder_write,
-        )
-    else:
+    if resampler not in ("rws", "vose", "metropolis"):
         raise ValueError(f"unknown resampler {resampler!r} for cost model")
-    out.seconds["resample"] = cm.kernel_time(resample)
+    res_params = replace(base, pool=m + deg * t, n_exchange=t, degree=deg)
+    out.seconds["resample"] = cm.kernel_def_time(reg.get(resampler), res_params)
     return out
 
 

@@ -5,11 +5,17 @@ operating on one :class:`~repro.device.simt.WorkGroup`. ``launch_kernel``
 runs every group (sequentially — the simulator models cost, the host CPU
 provides the arithmetic) and aggregates the per-group statistics, which can
 then be priced by :class:`~repro.device.costmodel.CostModel`.
+
+:func:`validate` is the differential harness over a registered
+:class:`~repro.kernels.registry.KernelDef`: it runs the work-group form on a
+:class:`WorkGroup`, checks bit-parity against the batch form, and
+cross-checks the measured :class:`SimtStats` against the kernel's declared
+``CostSig`` prediction.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
@@ -73,3 +79,108 @@ def launch_kernel(
         global_bytes_written=sum(m.bytes_written for m in mems.values()),
     )
     return {k: m.data for k, m in mems.items()}, result
+
+
+# ---------------------------------------------------------------------------
+# Differential validation of registered kernels
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of one :func:`validate` run over a registered kernel."""
+
+    kernel: str
+    n: int
+    group_size: int
+    parity_ok: bool
+    barriers_ok: bool
+    work_ok: bool
+    measured: SimtStats | None = None
+    predicted_barriers: int = 0
+    predicted_work: float = 0.0
+    messages: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.parity_ok and self.barriers_ok and self.work_ok
+
+    def raise_if_failed(self) -> "ValidationReport":
+        if not self.ok:
+            raise AssertionError(f"kernel {self.kernel!r} validation failed: " + "; ".join(self.messages))
+        return self
+
+
+def measured_group_work(stats: SimtStats) -> float:
+    """The simulator's per-group work total comparable to a ``CostSig``:
+    lane-ops plus local-memory access cycles plus serialized atomics."""
+    return float(stats.lane_ops + stats.local_access_cycles + stats.atomic_ops)
+
+
+def validate(kernel_def, n: int = 128, seed: int = 0) -> ValidationReport:
+    """Differentially validate one registered kernel at problem size *n*.
+
+    Runs the batch and work-group forms on identical inputs drawn from a
+    seeded generator, applies the kernel's own ``compare`` (bit-parity by
+    default), and cross-checks the measured :class:`SimtStats` against the
+    declared ``CostSig``:
+
+    - barriers: ``|measured - predicted| <= max(2, 0.25 * predicted)``
+      (skipped when the kernel marks its barrier count data-dependent),
+    - work: measured lane-ops + local cycles + atomics within a factor of
+      ``kernel_def.work_tolerance`` of the predicted per-group
+      ``local_ops + flops``.
+
+    Nothing is raised — the report collects every failure; tests assert
+    ``report.ok``.
+    """
+    if not kernel_def.validatable:
+        raise ValueError(f"kernel {kernel_def.name!r} does not carry the validation protocol")
+    rng = np.random.default_rng(seed)
+    inputs = kernel_def.make_inputs(rng, n)
+    params = kernel_def.make_params(n)
+    workload = kernel_def.workload(params)
+
+    expected = kernel_def.run_batch(inputs)
+    wg = WorkGroup(params.group_size_)
+    got = kernel_def.run_workgroup(wg, inputs)
+    stats = wg.finalize()
+
+    report = ValidationReport(
+        kernel=kernel_def.name,
+        n=n,
+        group_size=params.group_size_,
+        parity_ok=True,
+        barriers_ok=True,
+        work_ok=True,
+        measured=stats,
+    )
+    try:
+        kernel_def.compare(expected, got, inputs)
+    except AssertionError as exc:
+        report.parity_ok = False
+        report.messages.append(f"parity: {exc}")
+
+    report.predicted_barriers = workload.syncs_per_group
+    if kernel_def.check_barriers:
+        tol = max(2.0, 0.25 * workload.syncs_per_group)
+        if abs(stats.barriers - workload.syncs_per_group) > tol:
+            report.barriers_ok = False
+            report.messages.append(
+                f"barriers: measured {stats.barriers}, predicted {workload.syncs_per_group} (tol {tol:g})"
+            )
+
+    # Per-group work: the CostSig terms are device-wide, the harness runs one
+    # group, so divide by n_groups.
+    predicted = (workload.local_ops + workload.flops) / max(workload.n_groups, 1)
+    report.predicted_work = predicted
+    if predicted > 0:
+        measured = measured_group_work(stats)
+        tol = kernel_def.work_tolerance
+        if not (predicted / tol <= measured <= predicted * tol):
+            report.work_ok = False
+            report.messages.append(
+                f"work: measured {measured:g} outside [{predicted / tol:g}, {predicted * tol:g}] "
+                f"(predicted {predicted:g}, tolerance x{tol:g})"
+            )
+    return report

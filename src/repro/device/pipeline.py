@@ -24,8 +24,7 @@ import numpy as np
 
 from repro.device.kernel import Kernel, LaunchResult, launch_kernel
 from repro.device.simt import WorkGroup
-from repro.kernels.bitonic import bitonic_sort_workgroup
-from repro.kernels.resample_kernels import rws_workgroup
+from repro.kernels.registry import default_registry
 from repro.prng.philox import Philox4x32
 from repro.utils.arrays import next_power_of_two
 from repro.utils.validation import check_power_of_two, check_positive_int
@@ -143,7 +142,7 @@ class SimtDistributedFilter:
             keys.scatter(wg.lane, mems["weights"].read(idx))
             vals.scatter(wg.lane, wg.lane)
             wg.barrier()
-            bitonic_sort_workgroup(wg, keys, vals, descending=True)
+            default_registry().workgroup("sort")(wg, keys, vals, descending=True)
             # Non-contiguous reads, contiguous writes (Section VI-C).
             perm = vals.gather(wg.lane)
             mems["states_out"].write(idx, mems["states"].read(gid * m + perm))
@@ -234,7 +233,7 @@ class SimtDistributedFilter:
         def resample_body(wg: WorkGroup, mems, gid):
             w = mems["pool_weights"].read(gid * P + wg.lane)
             u = mems["uniforms"].read(gid * P + np.minimum(wg.lane, m - 1))
-            idx = rws_workgroup(wg, w, u)
+            idx = default_registry().workgroup("rws")(wg, w, u)
             out_lane = wg.lane < m
             lanes = wg.lane[out_lane]
             src = gid * P + idx[out_lane]

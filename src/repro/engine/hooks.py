@@ -49,6 +49,36 @@ class TimerHook(StageHook):
         self.timer.stop()
 
 
+class KernelTimingHook(StageHook):
+    """Aggregates per-kernel wall time across backends.
+
+    :meth:`~repro.engine.stage.ExecutionContext.invoke_kernel` appends
+    ``(kernel_name, elapsed)`` events to ``state.kernel_events``; this hook
+    drains them at every stage end, so ``kernel_seconds``/``kernel_calls``
+    accumulate uniformly whether the pipeline is vectorized, loop-based or a
+    multiprocess worker's.
+    """
+
+    def __init__(self):
+        self.kernel_seconds: dict[str, float] = {}
+        self.kernel_calls: dict[str, int] = {}
+
+    def _drain(self, state: FilterState) -> None:
+        events = getattr(state, "kernel_events", None)
+        if not events:
+            return
+        for name, elapsed in events:
+            self.kernel_seconds[name] = self.kernel_seconds.get(name, 0.0) + elapsed
+            self.kernel_calls[name] = self.kernel_calls.get(name, 0) + 1
+        events.clear()
+
+    def on_stage_end(self, name: str, state: FilterState, elapsed: float) -> None:
+        self._drain(state)
+
+    def on_step_end(self, state: FilterState) -> None:
+        self._drain(state)
+
+
 class RecordingHook(StageHook):
     """Records the observed event sequence; used by tests and debugging."""
 

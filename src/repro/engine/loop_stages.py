@@ -110,7 +110,9 @@ class LoopSortStage:
 
     def run(self, ctx: ExecutionContext, state: FilterState) -> None:
         for f in range(ctx.config.n_filters):
-            order = np.argsort(-state.log_weights[f], kind="stable")
+            # One row at a time through the registered sort kernel — the
+            # same stable descending argsort the vectorized stage uses.
+            order = ctx.invoke_kernel(state, "sort", state.log_weights[f][None, :])[0]
             state.states[f] = state.states[f][order]
             state.log_weights[f] = state.log_weights[f][order]
 

@@ -14,6 +14,7 @@ monitoring are comparable across backends.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
 
@@ -67,3 +68,27 @@ class ExecutionContext:
     table: np.ndarray | None = None
     mask: np.ndarray | None = None
     owner: object = None
+    registry: object = None
+
+    def kernel_registry(self):
+        """The kernel registry stages dispatch through (lazily defaulted)."""
+        if self.registry is None:
+            from repro.kernels.registry import default_registry
+
+            self.registry = default_registry()
+        return self.registry
+
+    def invoke_kernel(self, state: FilterState, name: str, *args, **kwargs):
+        """Run a registered batch kernel and record ``(name, elapsed)``.
+
+        Pure routing — the returned value is exactly what the registered
+        implementation returns — plus a timing event appended to
+        ``state.kernel_events``, which a
+        :class:`~repro.engine.hooks.KernelTimingHook` drains into per-kernel
+        seconds on every backend uniformly.
+        """
+        impl = self.kernel_registry().batch(name)
+        start = time.perf_counter()
+        out = impl(*args, **kwargs)
+        state.kernel_events.append((name, time.perf_counter() - start))
+        return out

@@ -58,6 +58,10 @@ class FilterState:
     estimate: np.ndarray | None = None
     pooled_states: object = None
     pooled_logw: object = None
+    #: ``(kernel_name, elapsed_seconds)`` events appended by
+    #: :meth:`~repro.engine.stage.ExecutionContext.invoke_kernel`; drained by
+    #: :class:`~repro.engine.hooks.KernelTimingHook` at every stage end.
+    kernel_events: list = field(default_factory=list)
 
     def reset(self, states: np.ndarray, log_weights: np.ndarray) -> None:
         """Install a fresh population and clear counters/scratch."""
@@ -75,6 +79,7 @@ class FilterState:
         self.estimate = None
         self.pooled_states = None
         self.pooled_logw = None
+        self.kernel_events = []
 
     # -- snapshot accessors for hooks -----------------------------------------
     @property

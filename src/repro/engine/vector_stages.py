@@ -17,7 +17,6 @@ import numpy as np
 from repro.core.estimator import global_estimate
 from repro.engine.stage import ExecutionContext
 from repro.engine.state import FilterState
-from repro.kernels.exchange import route_pairwise, route_pooled
 from repro.utils.arrays import (
     degenerate_rows,
     rescue_degenerate_rows,
@@ -94,8 +93,13 @@ def heal_local(ctx: ExecutionContext, state: FilterState) -> None:
 
 
 def sort_by_weight(ctx: ExecutionContext, state: FilterState) -> None:
-    """Local sort by weight, descending (the paper's bitonic sort kernel)."""
-    order = np.argsort(-state.log_weights, axis=1, kind="stable")
+    """Local sort by weight, descending (the paper's bitonic sort kernel).
+
+    Dispatched through the kernel registry; the registered batch form is the
+    stable descending argsort, so the permutation — and the golden traces —
+    are bit-identical to a direct ``np.argsort`` call.
+    """
+    order = ctx.invoke_kernel(state, "sort", state.log_weights)
     state.log_weights = np.take_along_axis(state.log_weights, order, axis=1)
     state.states = np.take_along_axis(state.states, order[:, :, None], axis=1)
 
@@ -137,10 +141,14 @@ def exchange_pool(ctx: ExecutionContext, state: FilterState) -> tuple[np.ndarray
 
     if ctx.topology.pooled:
         # All-to-All: a global pool; everyone reads back the same t best.
-        recv_states, recv_logw = route_pooled(send_states, send_logw, t)
+        recv_states, recv_logw = ctx.invoke_kernel(
+            state, "route_pooled", send_states, send_logw, t
+        )
     else:
         # Pairwise: gather each neighbour's sent particles.
-        recv_states, recv_logw = route_pairwise(send_states, send_logw, ctx.table, ctx.mask)
+        recv_states, recv_logw = ctx.invoke_kernel(
+            state, "route_pairwise", send_states, send_logw, ctx.table, ctx.mask
+        )
 
     pooled_states = np.concatenate(
         [state.states, recv_states.astype(state.states.dtype, copy=False)], axis=1

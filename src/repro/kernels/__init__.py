@@ -10,6 +10,11 @@ Each kernel exists in two forms:
   memory — executable on the device simulator, which verifies the kernels
   are correct lock-step parallel programs and measures their divergence,
   barrier and bank-conflict behaviour.
+
+Both forms — together with the analytic cost signature the device cost model
+prices — are bound into one :class:`~repro.kernels.registry.KernelDef` per
+kernel in :mod:`repro.kernels.registry`; the engine, the SIMT validator and
+the cost model all dispatch through :func:`~repro.kernels.registry.default_registry`.
 """
 
 from repro.kernels.bitonic import (
@@ -22,8 +27,22 @@ from repro.kernels.scan import (
     exclusive_scan_batch,
     inclusive_scan_batch,
 )
-from repro.kernels.reduce import argmax_reduce_batch, tree_reduce_workgroup
+from repro.kernels.metropolis import (
+    default_metropolis_steps,
+    metropolis_resample_batch,
+    metropolis_workgroup,
+)
+from repro.kernels.reduce import argmax_reduce_batch, max_reduce_batch, tree_reduce_workgroup
 from repro.kernels.exchange import mask_dead_sources, route_pairwise, route_pooled
+from repro.kernels.registry import (
+    CostParams,
+    CostSig,
+    KernelDef,
+    KernelRegistry,
+    default_registry,
+    register_default_kernels,
+    weight_argsort_batch,
+)
 from repro.kernels.resample_kernels import (
     alias_build_workgroup,
     alias_sample_workgroup,
@@ -39,10 +58,21 @@ __all__ = [
     "blelloch_scan_workgroup",
     "tree_reduce_workgroup",
     "argmax_reduce_batch",
+    "max_reduce_batch",
     "rws_workgroup",
     "mask_dead_sources",
     "route_pairwise",
     "route_pooled",
     "alias_sample_workgroup",
     "alias_build_workgroup",
+    "default_metropolis_steps",
+    "metropolis_resample_batch",
+    "metropolis_workgroup",
+    "CostParams",
+    "CostSig",
+    "KernelDef",
+    "KernelRegistry",
+    "default_registry",
+    "register_default_kernels",
+    "weight_argsort_batch",
 ]

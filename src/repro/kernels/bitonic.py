@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.device.simt import WorkGroup
 from repro.device.memory import LocalMemory
-from repro.utils.arrays import is_power_of_two
+from repro.utils.arrays import is_power_of_two, next_power_of_two
 from repro.utils.validation import check_power_of_two
 
 
@@ -34,18 +34,27 @@ def bitonic_network(n: int) -> list[tuple[int, int]]:
 def bitonic_argsort_batch(keys: np.ndarray, descending: bool = False) -> np.ndarray:
     """Row-wise argsort via the bitonic network, vectorized over rows.
 
-    ``keys`` is (F, m) with m a power of two. Returns (F, m) permutation
-    indices such that ``take_along_axis(keys, perm, 1)`` is sorted. This is
-    the batch-equivalent of launching one sorting work group per sub-filter.
+    ``keys`` is (F, m). Returns (F, m) permutation indices such that
+    ``take_along_axis(keys, perm, 1)`` is sorted. This is the
+    batch-equivalent of launching one sorting work group per sub-filter.
+
+    A non-power-of-two row length is handled by padding internally with
+    ``+inf`` sentinel keys (after the descending negation, so the pad always
+    sorts to the tail of the network) and dropping the sentinel slots from
+    the returned permutation — the sort itself still runs the fixed
+    power-of-two comparison network.
     """
     keys = np.atleast_2d(np.asarray(keys))
     F, m = keys.shape
-    if not is_power_of_two(m):
-        raise ValueError(f"row length must be a power of two, got {m}")
+    n = m if is_power_of_two(m) else next_power_of_two(m)
     work = -keys.copy() if descending else keys.copy()
-    idx = np.broadcast_to(np.arange(m), (F, m)).copy()
-    lane = np.arange(m)
-    for k, j in bitonic_network(m):
+    if n != m:
+        if not np.issubdtype(work.dtype, np.floating):
+            work = work.astype(np.float64)  # the sentinel needs an inf
+        work = np.concatenate([work, np.full((F, n - m), np.inf, dtype=work.dtype)], axis=1)
+    idx = np.broadcast_to(np.arange(n), (F, n)).copy()
+    lane = np.arange(n)
+    for k, j in bitonic_network(n):
         partner = lane ^ j
         lo = lane < partner  # each pair handled once, from its low lane
         up = (lane & k) == 0  # ascending block?
@@ -59,6 +68,12 @@ def bitonic_argsort_batch(keys: np.ndarray, descending: bool = False) -> np.ndar
         ib = np.where(swap, idx[:, a], idx[:, b])
         work[:, a], work[:, b] = wa, wb
         idx[:, a], idx[:, b] = ia, ib
+    if n != m:
+        # Drop the sentinel slots; each row keeps exactly m real entries, in
+        # sorted order (ties between real +/-inf keys and sentinels are
+        # harmless — equal keys are interchangeable, and the filter keeps
+        # only real indices).
+        idx = idx[idx < m].reshape(F, m)
     return idx
 
 
@@ -68,10 +83,27 @@ def bitonic_sort_workgroup(wg: WorkGroup, keys: LocalMemory, values: LocalMemory
     One lane per element; every network stage is a lock-step compare-exchange
     followed by a barrier, exactly the shape of the paper's sorting kernel.
     ``values`` (e.g. the particle index array) is permuted along with the keys.
+
+    Mirroring the batched form, a non-power-of-two array is sorted by staging
+    it into a power-of-two local scratch padded with sentinel keys that sort
+    to the tail (``+inf`` ascending, ``-inf`` descending); the work group must
+    then have ``next_power_of_two(len(keys))`` lanes. The padded path assumes
+    finite keys — a real ``+/-inf`` key could tie with a sentinel and be
+    displaced into the pad region.
     """
     n = keys.data.shape[0]
-    if n != wg.size:
-        raise ValueError(f"work group size {wg.size} must equal array length {n}")
+    n2 = n if is_power_of_two(n) else next_power_of_two(n)
+    if n2 != wg.size:
+        need = f"{n2} (padded from {n})" if n2 != n else str(n)
+        raise ValueError(f"work group size {wg.size} must equal array length {need}")
+    if n2 != n:
+        _bitonic_sort_padded(wg, keys, values, descending, n)
+        return
+    _bitonic_sort_core(wg, keys, values, descending)
+
+
+def _bitonic_sort_core(wg: WorkGroup, keys: LocalMemory, values: LocalMemory | None, descending: bool) -> None:
+    n = keys.data.shape[0]
     lane = wg.lane
     for k, j in bitonic_network(n):
         partner = lane ^ j
@@ -92,3 +124,26 @@ def bitonic_sort_workgroup(wg: WorkGroup, keys: LocalMemory, values: LocalMemory
             values.scatter(lane, wg.select(swapped, v_theirs, v_mine))
         keys.scatter(lane, keep)
         wg.barrier()
+
+
+def _bitonic_sort_padded(wg: WorkGroup, keys: LocalMemory, values: LocalMemory | None, descending: bool, n: int) -> None:
+    """Sort a non-power-of-two array by staging into padded local scratch."""
+    n2 = wg.size
+    lane = wg.lane
+    real = lane < n
+    sentinel = -np.inf if descending else np.inf
+    src = np.minimum(lane, n - 1)  # clamp so pad lanes gather in-bounds
+    kpad = wg.local_array(n2)
+    kpad.scatter(lane, wg.select(real, keys.gather(src), np.full(n2, sentinel)))
+    vpad = None
+    if values is not None:
+        vpad = wg.local_array(n2, dtype=values.data.dtype)
+        vpad.scatter(lane, wg.select(real, values.gather(src), np.zeros(n2, dtype=values.data.dtype)))
+    wg.barrier()
+    _bitonic_sort_core(wg, kpad, vpad, descending)
+    # Sentinels sorted to the tail; the first n slots are the real result.
+    live = lane[:n]
+    keys.scatter(live, kpad.gather(live))
+    if values is not None:
+        values.scatter(live, vpad.gather(live))
+    wg.barrier()

@@ -41,3 +41,8 @@ def tree_reduce_workgroup(wg: WorkGroup, values: LocalMemory, op: str = "max") -
 def argmax_reduce_batch(keys: np.ndarray) -> np.ndarray:
     """Row-wise argmax — the batched form of the max-weight local estimate."""
     return np.argmax(np.atleast_2d(keys), axis=1)
+
+
+def max_reduce_batch(values: np.ndarray) -> np.ndarray:
+    """Row-wise max — the batched form of :func:`tree_reduce_workgroup`."""
+    return np.max(np.atleast_2d(np.asarray(values, dtype=np.float64)), axis=1)

@@ -11,13 +11,16 @@ discrete weight distribution:
   parallel bulk/paired table construction the paper implements on GPUs (where
   "concurrency usually drops steeply towards one").
 
-We additionally provide multinomial, systematic, stratified and residual
+We additionally provide Murray's scan-free **Metropolis** resampler
+(:class:`~repro.resampling.metropolis.MetropolisResampler`, approximate but
+collective-free), plus multinomial, systematic, stratified and residual
 resamplers (standard particle-filtering alternatives), effective-sample-size
 computation, and the resample-when policies discussed in Section IV (always,
 ESS threshold, random fixed frequency).
 """
 
 from repro.resampling.base import Resampler, resample_counts
+from repro.resampling.metropolis import MetropolisResampler
 from repro.resampling.multinomial import MultinomialResampler
 from repro.resampling.rws import RouletteWheelResampler, rws_indices, rws_indices_batch
 from repro.resampling.vose import (
@@ -38,6 +41,7 @@ from repro.resampling.ess import (
 __all__ = [
     "Resampler",
     "resample_counts",
+    "MetropolisResampler",
     "MultinomialResampler",
     "RouletteWheelResampler",
     "rws_indices",

@@ -40,9 +40,27 @@ def test_argsort_batch_is_permutation():
         assert sorted(perm[f].tolist()) == list(range(128))
 
 
-def test_argsort_rejects_non_power_of_two():
-    with pytest.raises(ValueError):
-        bitonic_argsort_batch(np.zeros((2, 10)))
+class TestNonPowerOfTwoPadding:
+    """Non-power-of-two rows are padded internally with a +inf sentinel."""
+
+    @pytest.mark.parametrize("m", [1, 3, 5, 10, 33, 100])
+    def test_argsort_ascending(self, m):
+        keys = np.random.default_rng(7).normal(size=(4, m))
+        perm = bitonic_argsort_batch(keys)
+        np.testing.assert_array_equal(np.take_along_axis(keys, perm, 1), np.sort(keys, axis=1))
+        for f in range(4):
+            assert sorted(perm[f].tolist()) == list(range(m))
+
+    @pytest.mark.parametrize("m", [3, 12, 100])
+    def test_argsort_descending(self, m):
+        keys = np.random.default_rng(8).normal(size=(3, m))
+        perm = bitonic_argsort_batch(keys, descending=True)
+        np.testing.assert_array_equal(np.take_along_axis(keys, perm, 1), -np.sort(-keys, axis=1))
+
+    def test_argsort_integer_keys(self):
+        keys = np.random.default_rng(9).integers(0, 50, size=(2, 11))
+        perm = bitonic_argsort_batch(keys)
+        np.testing.assert_array_equal(np.take_along_axis(keys, perm, 1), np.sort(keys, axis=1))
 
 
 def test_argsort_with_duplicates():
@@ -52,9 +70,8 @@ def test_argsort_with_duplicates():
 
 
 @settings(max_examples=40, deadline=None)
-@given(st.integers(min_value=1, max_value=6), st.integers(min_value=0, max_value=10_000))
-def test_argsort_property(log_m, seed):
-    m = 1 << log_m
+@given(st.integers(min_value=1, max_value=64), st.integers(min_value=0, max_value=10_000))
+def test_argsort_property(m, seed):
     keys = np.random.default_rng(seed).normal(size=(4, m))
     perm = bitonic_argsort_batch(keys)
     np.testing.assert_array_equal(np.take_along_axis(keys, perm, 1), np.sort(keys, axis=1))
@@ -96,4 +113,32 @@ class TestWorkGroupSort:
         wg = WorkGroup(16)
         keys = wg.local_array(32)
         with pytest.raises(ValueError):
+            bitonic_sort_workgroup(wg, keys)
+
+    @pytest.mark.parametrize("n", [3, 5, 12, 20])
+    def test_padded_non_power_of_two(self, n):
+        from repro.utils.arrays import next_power_of_two
+
+        data = np.random.default_rng(n).normal(size=n)
+        wg = WorkGroup(next_power_of_two(n))
+        keys = wg.local_array(n)
+        keys[:] = data
+        vals = wg.local_array(n, dtype=np.int64)
+        vals[:] = np.arange(n)
+        bitonic_sort_workgroup(wg, keys, vals)
+        np.testing.assert_allclose(keys.data, np.sort(data))
+        np.testing.assert_allclose(data[vals.data], keys.data)
+
+    def test_padded_descending_matches_batch(self):
+        data = np.random.default_rng(10).normal(size=12)
+        wg = WorkGroup(16)
+        keys = wg.local_array(12)
+        keys[:] = data
+        bitonic_sort_workgroup(wg, keys, descending=True)
+        np.testing.assert_array_equal(keys.data, -np.sort(-data))
+
+    def test_padded_requires_padded_group_size(self):
+        wg = WorkGroup(16)
+        keys = wg.local_array(5)  # needs an 8-lane group, not 16
+        with pytest.raises(ValueError, match="padded from 5"):
             bitonic_sort_workgroup(wg, keys)

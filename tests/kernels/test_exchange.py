@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.kernels import route_pairwise, route_pooled
+from repro.kernels import mask_dead_sources, route_pairwise, route_pooled
 from repro.topology import RingTopology, Torus2DTopology
 
 
@@ -69,6 +69,59 @@ class TestPooled:
             route_pooled(np.zeros((2, 1, 1)), np.zeros((2, 1)), t=0)
         with pytest.raises(ValueError):
             route_pooled(np.zeros((2, 1)), np.zeros((2, 1)), t=1)
+
+    def test_single_subfilter_pool(self):
+        # F=1 degenerates to each filter receiving its own best-t back.
+        send_states, send_logw = make_send(1, 3, 2, seed=3)
+        recv_s, recv_w = route_pooled(send_states, send_logw, t=2)
+        order = np.argsort(-send_logw[0], kind="stable")[:2]
+        np.testing.assert_array_equal(recv_w[0], send_logw[0, order])
+        np.testing.assert_array_equal(recv_s[0], send_states[0, order])
+
+    def test_single_live_contribution(self):
+        # All but one contribution is -inf (dead): the pool's top-t is the
+        # lone live particle followed by -inf padding, never garbage state.
+        send_states, send_logw = make_send(4, 2, 1, seed=4)
+        send_logw[:] = -np.inf
+        send_logw[2, 0] = 1.5
+        recv_s, recv_w = route_pooled(send_states, send_logw, t=3)
+        for f in range(4):
+            assert recv_w[f, 0] == 1.5
+            np.testing.assert_array_equal(recv_s[f, 0], send_states[2, 0])
+            assert np.all(recv_w[f, 1:] == -np.inf)
+
+
+class TestMaskDeadSources:
+    def test_fully_dead_neighbourhood(self):
+        topo = RingTopology(4)
+        table = topo.neighbor_table()
+        mask = table >= 0
+        out = mask_dead_sources(table, mask, np.zeros(4, dtype=bool))
+        assert out.shape == mask.shape
+        assert not out.any()
+
+    def test_dead_receiver_consumes_nothing(self):
+        topo = RingTopology(4)
+        table = topo.neighbor_table()
+        alive = np.array([True, False, True, True])
+        out = mask_dead_sources(table, table >= 0, alive)
+        assert not out[1].any()  # dead receiver: every slot invalid
+        # Live receivers keep only live sources.
+        for f in (0, 2, 3):
+            for slot, src in enumerate(table[f]):
+                assert out[f, slot] == (src >= 0 and alive[src])
+
+    def test_all_alive_is_identity(self):
+        table = np.array([[1, -1], [0, 2], [1, -1]])
+        mask = table >= 0
+        np.testing.assert_array_equal(mask_dead_sources(table, mask, np.ones(3, bool)), mask)
+
+    def test_shape_mismatches(self):
+        table = np.array([[1, -1], [0, 2], [1, -1]])
+        with pytest.raises(ValueError):
+            mask_dead_sources(table, (table >= 0)[:, :1], np.ones(3, bool))
+        with pytest.raises(ValueError):
+            mask_dead_sources(table, table >= 0, np.ones(4, bool))
 
 
 @settings(max_examples=30, deadline=None)

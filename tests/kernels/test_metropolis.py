@@ -1,0 +1,150 @@
+"""Tests for the Metropolis resampler (Murray 2012): parity, bias, and
+integration with the resampler registry."""
+
+import numpy as np
+import pytest
+
+from repro.core.registry import make_resampler
+from repro.device import WorkGroup
+from repro.kernels import (
+    default_metropolis_steps,
+    metropolis_resample_batch,
+    metropolis_workgroup,
+)
+from repro.prng.streams import make_rng
+from repro.resampling import MetropolisResampler, resample_counts
+
+
+def draw_inputs(F, m, B, k, seed=0):
+    rng = np.random.default_rng(seed)
+    w = rng.uniform(0.1, 1.0, size=(F, m))
+    return w, rng.random((F, B, k)), rng.random((F, B, k))
+
+
+class TestBatchKernel:
+    def test_indices_in_range(self):
+        w, up, ua = draw_inputs(4, 32, 20, 32)
+        idx = metropolis_resample_batch(w, up, ua)
+        assert idx.shape == (4, 32)
+        assert idx.min() >= 0 and idx.max() < 32
+
+    def test_zero_steps_returns_start_points(self):
+        w, _, _ = draw_inputs(2, 8, 1, 8)
+        idx = metropolis_resample_batch(w, np.empty((2, 0, 8)), np.empty((2, 0, 8)))
+        np.testing.assert_array_equal(idx, np.broadcast_to(np.arange(8), (2, 8)))
+
+    def test_point_mass_dominates(self):
+        # One particle holds essentially all the weight: with enough steps
+        # nearly every chain must settle on it.
+        w = np.full((1, 64), 1e-9)
+        w[0, 5] = 1.0
+        rng = np.random.default_rng(1)
+        B = 200
+        idx = metropolis_resample_batch(w, rng.random((1, B, 64)), rng.random((1, B, 64)))
+        assert (idx == 5).mean() > 0.95
+
+    def test_shape_validation(self):
+        w, up, ua = draw_inputs(2, 8, 4, 8)
+        with pytest.raises(ValueError):
+            metropolis_resample_batch(w, up, ua[:1])
+
+    def test_ancestor_distribution_tracks_weights(self):
+        # Empirical ancestor frequencies approach the normalized weights.
+        m, k = 16, 16
+        w = np.linspace(1.0, 4.0, m)[None, :]
+        rng = np.random.default_rng(2)
+        B = default_metropolis_steps(m)
+        counts = np.zeros(m)
+        trials = 400
+        for _ in range(trials):
+            idx = metropolis_resample_batch(w, rng.random((1, B, k)), rng.random((1, B, k)))
+            counts += resample_counts(idx[0], m)
+        freq = counts / counts.sum()
+        target = (w[0] / w[0].sum())
+        assert np.abs(freq - target).max() < 0.02
+
+    def test_bias_shrinks_with_chain_length(self):
+        # Longer chains move the empirical distribution closer to the target.
+        m, k, trials = 8, 64, 300
+        w = np.geomspace(1.0, 8.0, m)[None, :]
+        target = w[0] / w[0].sum()
+        rng = np.random.default_rng(3)
+
+        def tv_distance(B):
+            counts = np.zeros(m)
+            for _ in range(trials):
+                idx = metropolis_resample_batch(w, rng.random((1, B, k)), rng.random((1, B, k)))
+                counts += resample_counts(idx[0], m)
+            freq = counts / counts.sum()
+            return 0.5 * np.abs(freq - target).sum()
+
+        assert tv_distance(40) < tv_distance(1)
+
+
+class TestWorkGroupParity:
+    @pytest.mark.parametrize("n", [16, 64])
+    def test_bitwise_parity_with_batch(self, n):
+        w, up, ua = draw_inputs(1, n, default_metropolis_steps(n), n, seed=4)
+        expected = metropolis_resample_batch(w, up, ua)[0]
+        wg = WorkGroup(n)
+        got = metropolis_workgroup(wg, w[0], up[0], ua[0])
+        np.testing.assert_array_equal(got, expected)
+        # One barrier to stage the weights; the chains are barrier-free.
+        assert wg.stats.barriers == 1
+
+    def test_input_validation(self):
+        wg = WorkGroup(8)
+        with pytest.raises(ValueError):
+            metropolis_workgroup(wg, np.ones(4), np.zeros((2, 8)), np.zeros((2, 8)))
+        with pytest.raises(ValueError):
+            metropolis_workgroup(wg, np.ones(8), np.zeros((2, 8)), np.zeros((3, 8)))
+
+
+class TestResamplerClass:
+    def test_registry_constructs_it(self):
+        r = make_resampler("metropolis")
+        assert isinstance(r, MetropolisResampler)
+        assert r.name == "metropolis"
+
+    def test_default_steps_heuristic(self):
+        assert default_metropolis_steps(1024) == 4 * 10 + 8
+        assert MetropolisResampler()._steps(1024) == default_metropolis_steps(1024)
+        assert MetropolisResampler(steps=5)._steps(1024) == 5
+
+    def test_rejects_bad_steps(self):
+        with pytest.raises(ValueError):
+            MetropolisResampler(steps=0)
+
+    def test_resample_single_row(self):
+        r = MetropolisResampler()
+        idx = r.resample(np.full(32, 1 / 32), 16, make_rng("numpy", 0))
+        assert idx.shape == (16,)
+        assert idx.min() >= 0 and idx.max() < 32
+
+    def test_resample_batch_shape_and_range(self):
+        r = MetropolisResampler()
+        w = np.random.default_rng(5).uniform(0.1, 1.0, size=(6, 32))
+        idx = r.resample_batch(w, 32, make_rng("numpy", 1))
+        assert idx.shape == (6, 32)
+        assert idx.min() >= 0 and idx.max() < 32
+
+    def test_deterministic_under_seed(self):
+        r = MetropolisResampler()
+        w = np.random.default_rng(6).uniform(0.1, 1.0, size=(3, 16))
+        a = r.resample_batch(w, 16, make_rng("numpy", 7))
+        b = r.resample_batch(w, 16, make_rng("numpy", 7))
+        np.testing.assert_array_equal(a, b)
+
+    def test_filter_runs_with_metropolis(self):
+        from repro.core import DistributedFilterConfig, DistributedParticleFilter
+        from repro.models import RobotArmModel, RobotArmParams
+
+        model = RobotArmModel(RobotArmParams(n_joints=2))
+        cfg = DistributedFilterConfig(n_particles=16, n_filters=4,
+                                      resampler="metropolis", seed=11)
+        f = DistributedParticleFilter(model, cfg)
+        rng = np.random.default_rng(12)
+        for _ in range(5):
+            est = f.step(rng.normal(size=model.measurement_dim))
+        assert np.isfinite(est).all()
+        assert np.isfinite(f.log_weights).all()

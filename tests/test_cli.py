@@ -65,6 +65,18 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "embedded" in out
 
+    def test_kernels_command(self, capsys):
+        rc = main(["kernels", "--platform", "hd-7970", "--particles", "256"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "registered kernels" in out and "HD 7970" in out
+        for name in ("sort", "rws", "metropolis", "route_pooled"):
+            assert name in out
+
+    def test_kernels_rejects_unknown_platform(self):
+        with pytest.raises(ValueError, match="unknown platform"):
+            main(["kernels", "--platform", "not-a-device"])
+
     def test_bench_rejects_unknown_figure(self):
         with pytest.raises(SystemExit):
             main(["bench", "fig99"])
