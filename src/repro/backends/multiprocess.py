@@ -17,22 +17,41 @@ worker process, and each round runs as
 Exactly the mpi4py communication pattern (scatter/gather + point-to-point
 boundary exchange), built on ``multiprocessing`` pipes so it runs anywhere.
 
+Data plane
+----------
+How the payloads move is delegated to a :mod:`~repro.backends.transport`
+(``transport="pipe"`` pickles everything over the pipes; ``transport="shm"``
+keeps the per-round payloads in preallocated double-buffered shared-memory
+slabs and ships only tiny headers). Independently of the transport, the
+master's gather is a poll-driven event loop over all live workers
+(:func:`multiprocessing.connection.wait`): replies are consumed in arrival
+order, and for pairwise topologies a block's phase-2 routing is dispatched
+as soon as the blocks it routes *from* have reported — overlapping the
+master's exchange routing with still-running workers. The routing table is
+frozen at round start so results are bit-identical regardless of arrival
+order (a block that dies mid-round keeps its ``-inf`` placeholders for the
+current round — harmless at the resampler — and is healed out of the table
+from the next round on).
+
 Fault tolerance
 ---------------
 Because the algorithm is local by construction, a failed worker block is
-survivable: the master detects it (deadline on every ``recv`` via
-``Connection.poll``, liveness checks on the process, remote tracebacks as
+survivable: the master detects it (deadline on every reply via the event
+loop's poll windows, liveness checks on the process, remote tracebacks as
 structured ``("error", tb)`` replies), reroutes the exchange topology around
 the dead sub-filters with a :class:`~repro.resilience.TopologyHealer`, drops
 the dead block's partials from the estimate reduction, and — when
 ``respawn_dead=True`` — respawns the block by cloning particles from the
 nearest surviving topological neighbours (the exchange primitive reused as
-a recovery primitive). ``on_failure="raise"`` instead surfaces a typed
-:class:`~repro.resilience.WorkerTimeoutError` /
+a recovery primitive), with fresh transport slabs. A dead worker's shared
+segments are reclaimed (closed *and* unlinked) immediately and counted in
+``ResilienceReport.segments_reclaimed``. ``on_failure="raise"`` instead
+surfaces a typed :class:`~repro.resilience.WorkerTimeoutError` /
 :class:`~repro.resilience.WorkerCrashedError`. A seeded
 :class:`~repro.resilience.FaultPlan` can inject crashes, hangs, poisoned
 weights and corrupted exchange particles for reproducible chaos testing.
-See ``docs/robustness.md`` for the failure model.
+See ``docs/robustness.md`` for the failure model and
+``docs/architecture.md`` ("Data plane") for the transport protocol.
 """
 
 from __future__ import annotations
@@ -40,9 +59,11 @@ from __future__ import annotations
 import multiprocessing as mp
 import time
 import traceback
+from multiprocessing.connection import wait as _wait_for_connections
 
 import numpy as np
 
+from repro.backends.transport import SlabLayout, make_transport
 from repro.core.estimator import max_weight_estimate, weighted_mean_estimate
 from repro.core.parameters import DistributedFilterConfig
 from repro.core.registry import make_policy, make_resampler
@@ -72,7 +93,7 @@ from repro.utils.arrays import sanitize_log_weights
 from repro.utils.validation import check_positive_int, check_timeout
 
 
-def _worker_loop(conn, model, config, block_lo, block_hi, worker_id,
+def _worker_loop(chan, model, config, block_lo, block_hi, worker_id,
                  fault_plan=None, seed_tag=0):
     """One worker process: owns sub-filters ``block_lo:block_hi``.
 
@@ -83,7 +104,9 @@ def _worker_loop(conn, model, config, block_lo, block_hi, worker_id,
     routed through the master's message-passing boundary. Fault injection
     and self-healing accounting attach as stage hooks; a timer hook records
     per-stage seconds under the canonical stage names, shipped back with the
-    phase-2 reply.
+    phase-2 reply. All payload movement goes through the worker *channel*
+    (:mod:`repro.backends.transport`), which presents the same logical
+    messages whether the bytes travelled by pipe pickle or shared slab.
 
     Any exception inside a message handler is reported back to the master
     as a structured ``("error", traceback_str)`` reply instead of dying
@@ -114,13 +137,13 @@ def _worker_loop(conn, model, config, block_lo, block_hi, worker_id,
     resample_pipeline = StepPipeline([ResampleStage()], hooks=hooks)
     try:
         while True:
-            msg = conn.recv()
+            msg = chan.recv()
             kind = msg[0]
             try:
                 if kind == "init":
                     flat = model.initial_particles(F * m, rng, dtype=dtype)
                     state.reset(flat.reshape(F, m, model.state_dim), np.zeros((F, m)))
-                    conn.send(("ok",))
+                    chan.send(("ok",))
                 elif kind == "adopt":
                     # Respawn path: start from particles cloned off a donor.
                     _, new_states, new_logw = msg
@@ -128,22 +151,30 @@ def _worker_loop(conn, model, config, block_lo, block_hi, worker_id,
                         np.ascontiguousarray(new_states, dtype=dtype).reshape(F, m, model.state_dim),
                         np.asarray(new_logw, dtype=np.float64).reshape(F, m).copy(),
                     )
-                    conn.send(("ok",))
+                    chan.send(("ok",))
                 elif kind == "phase1":
                     _, z, u, k, t = msg
                     state.measurement, state.control, state.k = z, u, k
                     timer.reset()
                     local_pipeline.run_stages(ctx, state)
                     states, logw = state.states, state.log_weights
-                    send_states = states[:, : max(t, 1)].copy()
-                    send_logw = logw[:, : max(t, 1)].copy()
-                    corrupt_send_states(fault_plan, worker_id, k, send_states)
+                    tp = max(t, 1)
+                    if fault_plan is None:
+                        # The channel copies on send; no private copy needed.
+                        send_states = states[:, :tp]
+                    else:
+                        # Corruption must hit only the *sent* copy, never the
+                        # worker's own particles.
+                        send_states = states[:, :tp].copy()
+                        corrupt_send_states(fault_plan, worker_id, k, send_states)
                     # Local-estimate partials for a weighted-mean reduction.
                     shift = logw.max()
-                    w = np.exp(logw - shift)
+                    w = state.scratch("partial.w", logw.shape, np.float64)
+                    np.subtract(logw, shift, out=w)
+                    np.exp(w, out=w)
                     partial = (w.reshape(-1) @ states.reshape(-1, model.state_dim), w.sum(), shift)
-                    conn.send((send_states, send_logw, states[:, 0].copy(),
-                               logw[:, 0].copy(), partial, dict(heal_hook.last_round)))
+                    chan.reply_phase1(k, send_states, logw[:, :tp], states[:, 0],
+                                      logw[:, 0], partial, dict(heal_hook.last_round))
                 elif kind == "phase2":
                     _, recv_states, recv_logw = msg
                     if recv_states is not None and recv_states.shape[1] > 0:
@@ -160,23 +191,20 @@ def _worker_loop(conn, model, config, block_lo, block_hi, worker_id,
                     kernel_seconds = dict(kernel_hook.kernel_seconds)
                     kernel_hook.kernel_seconds.clear()
                     kernel_hook.kernel_calls.clear()
-                    conn.send(("ok", dict(timer.seconds), kernel_seconds))
+                    chan.reply_phase2(dict(timer.seconds), kernel_seconds)
                 elif kind == "get_state":
-                    conn.send((state.states, state.log_weights))
+                    chan.send((state.states, state.log_weights))
                 elif kind == "stop":
-                    conn.send(("bye",))
+                    chan.send(("bye",))
                     return
                 else:  # pragma: no cover - protocol guard
                     raise RuntimeError(f"unknown message {kind!r}")
             except Exception:  # noqa: BLE001 - forwarded to the master
-                conn.send(("error", traceback.format_exc()))
+                chan.send(("error", traceback.format_exc()))
     except (EOFError, BrokenPipeError, OSError, KeyboardInterrupt):  # pragma: no cover
         pass
     finally:
-        try:
-            conn.close()
-        except OSError:  # pragma: no cover
-            pass
+        chan.close()
 
 
 class MultiprocessDistributedParticleFilter:
@@ -189,9 +217,15 @@ class MultiprocessDistributedParticleFilter:
 
     Parameters
     ----------
+    transport:
+        the data plane moving per-round payloads between master and workers:
+        ``"pipe"`` (pickle over pipes, the reference) or ``"shm"``
+        (preallocated double-buffered shared-memory slabs; pipes carry only
+        control headers). Filtering results are bit-identical across
+        transports.
     recv_timeout:
-        deadline [s] for every worker reply, enforced with
-        ``Connection.poll``; ``None`` waits forever (liveness is still
+        deadline [s] for every worker reply, enforced with poll windows in
+        the gather event loop; ``None`` waits forever (liveness is still
         checked every second, so a *crashed* worker is always detected).
     max_retries:
         number of poll windows the deadline is split into (exponential
@@ -205,7 +239,7 @@ class MultiprocessDistributedParticleFilter:
     respawn_dead:
         with ``on_failure="heal"``, respawn dead blocks at the end of the
         round from particles cloned off the nearest live topological
-        neighbours.
+        neighbours (with fresh transport slabs).
     fault_plan:
         optional :class:`~repro.resilience.FaultPlan` injected into every
         worker for reproducible chaos testing.
@@ -215,7 +249,8 @@ class MultiprocessDistributedParticleFilter:
     """
 
     def __init__(self, model: StateSpaceModel, config: DistributedFilterConfig,
-                 n_workers: int = 2, *, recv_timeout: float | None = 30.0,
+                 n_workers: int = 2, *, transport: str = "pipe",
+                 recv_timeout: float | None = 30.0,
                  max_retries: int = 3, on_failure: str = "raise",
                  respawn_dead: bool = False, fault_plan: FaultPlan | None = None,
                  heal_bridge: bool = True):
@@ -227,6 +262,7 @@ class MultiprocessDistributedParticleFilter:
         self.model = model
         self.config = config
         self.n_workers = n_workers
+        self.transport = make_transport(transport)
         self.recv_timeout = check_timeout(recv_timeout, "recv_timeout")
         self.max_retries = check_positive_int(max_retries, "max_retries")
         self.on_failure = on_failure
@@ -241,12 +277,28 @@ class MultiprocessDistributedParticleFilter:
         self.kernel_seconds: dict[str, float] = {}
         self.k = 0
         self._procs: list = []
-        self._conns: list = []
+        self._chans: list = []
         self._worker_alive: list[bool] = []
         self._seed_tags = [0] * n_workers
         self._block = config.n_filters // n_workers
         self._started = False
+        self._scratch_pool: dict[str, np.ndarray] = {}
         self.last_estimate: np.ndarray | None = None
+        # Slab capacities for the shared-memory transport, sized exactly to
+        # the unhealed topology so the routed width fills the slab slot
+        # end-to-end (a full-width slice is contiguous, letting the master
+        # gather straight into the slab). A healed topology whose table grows
+        # wider (torus bridging) transparently falls back to the inline pipe
+        # path for the affected rounds, so this is a fast path, not a limit.
+        t_cap = max(config.n_exchange, 1)
+        recv_cap = t_cap if self.topology.pooled else self._table.shape[1] * t_cap
+        self._layout = SlabLayout(
+            n_block=self._block, n_particles=config.n_particles,
+            state_dim=model.state_dim, t_cap=t_cap, recv_cap=max(recv_cap, 1),
+            meas_cap=max(int(getattr(model, "measurement_dim", 1)), 1),
+            ctrl_cap=max(int(getattr(model, "control_dim", 0)), 1),
+            dtype=config.dtype,
+        )
 
     # -- process management -----------------------------------------------
     def _block_range(self, w: int) -> tuple[int, int]:
@@ -257,50 +309,47 @@ class MultiprocessDistributedParticleFilter:
 
     def _spawn_worker(self, w: int) -> None:
         ctx = mp.get_context("fork")
-        parent, child = ctx.Pipe()
+        master_chan, worker_chan = self.transport.channel_pair(ctx, self._layout)
         lo, hi = self._block_range(w)
         p = ctx.Process(
             target=_worker_loop,
-            args=(child, self.model, self.config, lo, hi, w,
+            args=(worker_chan, self.model, self.config, lo, hi, w,
                   self.fault_plan, self._seed_tags[w]),
             daemon=True,
         )
         p.start()
-        child.close()  # keep only the worker's copy; EOF then means "worker gone"
+        master_chan.after_start()  # drop the worker-side ends: EOF = worker gone
         self._procs[w] = p
-        self._conns[w] = parent
+        self._chans[w] = master_chan
         self._worker_alive[w] = True
 
     def _start(self) -> None:
         self._procs = [None] * self.n_workers
-        self._conns = [None] * self.n_workers
+        self._chans = [None] * self.n_workers
         self._worker_alive = [False] * self.n_workers
         for w in range(self.n_workers):
             self._spawn_worker(w)
         self._started = True
 
     def close(self) -> None:
-        """Stop the worker processes.
+        """Stop the worker processes and release transport resources.
 
         Robust against workers that already crashed or hung: the farewell
         handshake is bounded by ``poll``, and any process still alive after
-        a short join is terminated — leaked workers never outlive the run.
+        a short join is terminated — leaked workers (and leaked shared
+        segments) never outlive the run.
         """
         if not self._started:
             return
-        for c, p in zip(self._conns, self._procs):
-            if c is None:
+        for chan, p in zip(self._chans, self._procs):
+            if chan is None:
                 continue
             try:
                 if p is not None and p.is_alive():
-                    c.send(("stop",))
-                    if c.poll(1.0):
-                        c.recv()
+                    chan.request(("stop",))
+                    if chan.conn.poll(1.0):
+                        chan.conn.recv()
             except (BrokenPipeError, EOFError, OSError):
-                pass
-            try:
-                c.close()
-            except OSError:  # pragma: no cover
                 pass
         for p in self._procs:
             if p is None:
@@ -309,7 +358,12 @@ class MultiprocessDistributedParticleFilter:
             if p.is_alive():
                 p.terminate()
                 p.join(timeout=2)
-        self._procs, self._conns, self._worker_alive = [], [], []
+        # Unlink shared segments only after the workers are gone so a live
+        # worker never loses its mapping mid-write.
+        for chan in self._chans:
+            if chan is not None:
+                chan.close()
+        self._procs, self._chans, self._worker_alive = [], [], []
         self._started = False
 
     def __enter__(self):
@@ -328,60 +382,113 @@ class MultiprocessDistributedParticleFilter:
     # -- guarded messaging -------------------------------------------------
     def _send(self, w: int, msg) -> None:
         try:
-            self._conns[w].send(msg)
+            self._chans[w].request(msg)
         except (BrokenPipeError, OSError) as e:
             raise WorkerCrashedError(
                 f"worker {w} pipe failed on send: {e}", worker_id=w, step=self.k
             ) from e
 
     def _recv(self, w: int, what: str = "reply"):
-        """Receive with deadline, liveness checks and bounded backoff.
+        """Receive one reply from one worker (control-plane paths).
 
-        The deadline is split into ``max_retries`` exponentially growing
-        poll windows; between windows the worker process's liveness is
-        checked so a crash is reported as :class:`WorkerCrashedError`
-        immediately rather than after the full deadline. With
-        ``recv_timeout=None`` the poll loop runs forever in 1 s windows
-        (still crash-aware). A structured ``("error", tb)`` reply becomes a
-        :class:`WorkerCrashedError` carrying the remote traceback.
+        Same deadline/liveness/backoff semantics as :meth:`_gather`, for
+        the serial handshakes (init, adopt, get_state).
         """
-        conn, proc = self._conns[w], self._procs[w]
+        out = self._gather([w], what=what, handle_failures=False)
+        return out[w]
+
+    def _gather(self, workers, what: str, handler=None, handle_failures=True):
+        """Poll-driven gather: consume replies from *workers* in arrival order.
+
+        The reference implementation received replies in worker order, so a
+        slow worker 0 head-of-line-blocked the master even when workers 1..n
+        had long replied. Here a single :func:`multiprocessing.connection.wait`
+        loop drains whichever connections are ready (ties broken by worker id
+        for determinism) and invokes *handler(w, msg)* on each arrival —
+        which is what lets the master overlap exchange routing with
+        still-running workers.
+
+        Deadline accounting is preserved per worker: ``recv_timeout`` is
+        split into ``max_retries`` exponentially growing poll windows
+        (``None`` polls forever in 1 s windows); each expired window bumps
+        ``report.retries``, the last one bumps ``report.timeouts`` and
+        raises/heals a :class:`WorkerTimeoutError`. A readable connection
+        that EOFs, a dead process, or a structured ``("error", tb)`` reply
+        becomes a :class:`WorkerCrashedError`. With ``handle_failures`` the
+        failure is routed through :meth:`_handle_failure` (which re-raises
+        under ``on_failure="raise"``); otherwise it propagates to the caller.
+
+        Returns ``{worker_id: reply}`` for the workers that replied.
+        """
         if self.recv_timeout is None:
             windows = None  # poll forever in 1 s slices
         else:
             n = self.max_retries
             total = float(2 ** n - 1)
             windows = [self.recv_timeout * (2 ** i) / total for i in range(n)]
-        attempt = 0
-        while True:
-            win = 1.0 if windows is None else windows[attempt]
-            try:
-                if conn.poll(win):
-                    msg = conn.recv()
-                    if isinstance(msg, tuple) and msg and isinstance(msg[0], str) and msg[0] == "error":
-                        raise WorkerCrashedError(
+        now = time.perf_counter()
+        first = 1.0 if windows is None else windows[0]
+        deadline = {w: now + first for w in workers}
+        attempt = dict.fromkeys(workers, 0)
+        pending = set(workers)
+        results: dict[int, object] = {}
+
+        def fail(w: int, exc: WorkerFailure) -> None:
+            pending.discard(w)
+            if handle_failures:
+                self._handle_failure(w, exc)
+            else:
+                raise exc
+
+        while pending:
+            conn_of = {self._chans[w].conn: w for w in pending}
+            timeout = max(0.0, min(deadline[w] for w in pending) - time.perf_counter())
+            ready = _wait_for_connections(list(conn_of), timeout)
+            if ready:
+                for conn in sorted(ready, key=conn_of.__getitem__):
+                    w = conn_of[conn]
+                    try:
+                        msg = conn.recv()
+                    except (EOFError, OSError) as e:
+                        fail(w, WorkerCrashedError(
+                            f"worker {w} pipe failed during {what}: {e}",
+                            worker_id=w, step=self.k))
+                        continue
+                    if isinstance(msg, tuple) and msg and isinstance(msg[0], str) \
+                            and msg[0] == "error":
+                        fail(w, WorkerCrashedError(
                             f"worker {w} raised remotely during {what}:\n{msg[1]}",
-                            worker_id=w, step=self.k, remote_traceback=msg[1],
-                        )
-                    return msg
-            except (EOFError, OSError) as e:
-                raise WorkerCrashedError(
-                    f"worker {w} pipe failed during {what}: {e}", worker_id=w, step=self.k
-                ) from e
-            if proc is not None and not proc.is_alive():
-                raise WorkerCrashedError(
-                    f"worker {w} process exited (code {proc.exitcode}) during {what}",
-                    worker_id=w, step=self.k,
-                )
-            if windows is not None:
-                attempt += 1
-                if attempt >= len(windows):
+                            worker_id=w, step=self.k, remote_traceback=msg[1]))
+                        continue
+                    pending.discard(w)
+                    results[w] = msg
+                    if handler is not None:
+                        handler(w, msg)
+                continue
+            # No connection became ready: expire the due poll windows.
+            now = time.perf_counter()
+            for w in sorted(pending):
+                if deadline[w] > now:
+                    continue
+                proc = self._procs[w]
+                if proc is not None and not proc.is_alive():
+                    fail(w, WorkerCrashedError(
+                        f"worker {w} process exited (code {proc.exitcode}) during {what}",
+                        worker_id=w, step=self.k))
+                    continue
+                if windows is None:
+                    deadline[w] = now + 1.0
+                    continue
+                attempt[w] += 1
+                if attempt[w] >= len(windows):
                     self.report.timeouts += 1
-                    raise WorkerTimeoutError(
+                    fail(w, WorkerTimeoutError(
                         f"worker {w} did not reply within {self.recv_timeout}s during {what}",
-                        worker_id=w, step=self.k,
-                    )
-                self.report.retries += 1
+                        worker_id=w, step=self.k))
+                else:
+                    self.report.retries += 1
+                    deadline[w] = now + windows[attempt[w]]
+        return results
 
     # -- failure handling ----------------------------------------------------
     def _handle_failure(self, w: int, exc: WorkerFailure) -> None:
@@ -400,18 +507,18 @@ class MultiprocessDistributedParticleFilter:
         self._declare_dead(w)
 
     def _declare_dead(self, w: int) -> None:
-        """Terminate worker *w* and route the topology around its block."""
+        """Terminate worker *w*, reclaim its slabs, heal around its block."""
         p = self._procs[w]
         if p is not None and p.is_alive():
             p.terminate()
             p.join(timeout=2)
-        c = self._conns[w]
-        if c is not None:
-            try:
-                c.close()
-            except OSError:  # pragma: no cover
-                pass
-        self._conns[w] = None
+        chan = self._chans[w]
+        if chan is not None:
+            # The dead worker can never run its own close: the master closes
+            # AND unlinks its shared segments here so nothing leaks (and the
+            # resource_tracker stays clean).
+            self.report.segments_reclaimed += chan.close()
+        self._chans[w] = None
         self._worker_alive[w] = False
         lo, hi = self._block_range(w)
         self._healer.mark_dead(range(lo, hi))
@@ -439,12 +546,16 @@ class MultiprocessDistributedParticleFilter:
                 self._send(w, ("init",))
             except WorkerFailure as e:
                 self._handle_failure(w, e)
-        for w in self._live_workers():
-            try:
-                self._recv(w, what="init")
-            except WorkerFailure as e:
-                self._handle_failure(w, e)
+        self._gather(self._live_workers(), what="init")
         self.k = 0
+
+    def _scratch(self, key: str, shape: tuple, dtype) -> np.ndarray:
+        """A reusable master-side buffer (allocation-free steady state)."""
+        arr = self._scratch_pool.get(key)
+        if arr is None or arr.shape != shape or arr.dtype != np.dtype(dtype):
+            arr = np.empty(shape, dtype=np.dtype(dtype))
+            self._scratch_pool[key] = arr
+        return arr
 
     def step(self, measurement: np.ndarray, control: np.ndarray | None = None) -> np.ndarray:
         if not self._started:
@@ -454,87 +565,132 @@ class MultiprocessDistributedParticleFilter:
         if not self._live_workers():
             raise NoLiveWorkersError("all worker blocks are dead", step=self.k)
 
-        # Phase 1: scatter the measurement, gather tops + estimate partials.
+        # Assembly buffers for the full population boundary; dead blocks hold
+        # -inf weight placeholders so shapes stay (F, ...) and nothing
+        # selects them. Reused across rounds.
+        F, d = cfg.n_filters, self.model.state_dim
+        tp = max(t, 1)
+        send_states = self._scratch("send_states", (F, tp, d), cfg.dtype)
+        send_logw = self._scratch("send_logw", (F, tp), np.float64)
+        best_states = self._scratch("best_states", (F, d), np.float64)
+        best_logw = self._scratch("best_logw", (F,), np.float64)
+        send_states[...] = 0.0
+        best_states[...] = 0.0
+        send_logw.fill(-np.inf)
+        best_logw.fill(-np.inf)
+
+        # The routing table is FROZEN at round start: every block of this
+        # round is routed with the same table no matter when its reply
+        # arrives, so the overlap below cannot perturb results. A block that
+        # dies mid-round simply leaves its -inf placeholders in the send
+        # buffers (never resampled); the healer reroutes from the next round.
+        table, mask = self._healer.neighbor_table()
+        exchange_on = t > 0 and table.shape[1] > 0
+        pooled = self.topology.pooled
+
+        # Source-block dependencies for eager (overlapped) phase-2 dispatch:
+        # block w can be routed once every block its table rows read from has
+        # reported. Pooled topologies need the global pool -> gather barrier.
+        deps: dict[int, set[int]] | None
+        if not exchange_on:
+            deps = {w: set() for w in range(self.n_workers)}
+        elif pooled:
+            deps = None
+        else:
+            deps = {}
+            for w in range(self.n_workers):
+                lo, hi = self._block_range(w)
+                src = table[lo:hi][mask[lo:hi]]
+                deps[w] = set((src // self._block).tolist())
+
+        arrived: set[int] = set()
+        dispatched: set[int] = set()
+        p2_sent: list[int] = []
+        partials: dict[int, tuple] = {}
+        pooled_route: tuple[np.ndarray, np.ndarray] | None = None
+
+        def dispatch_phase2(w: int) -> None:
+            """Route block w's incoming particles and send its phase-2 message."""
+            dispatched.add(w)
+            try:
+                if not exchange_on:
+                    self._chans[w].send_phase2(self.k, None, None)
+                elif pooled:
+                    lo, hi = self._block_range(w)
+                    self._chans[w].send_phase2(
+                        self.k, pooled_route[0][lo:hi], pooled_route[1][lo:hi])
+                else:
+                    self._route_block(w, t, send_states, send_logw, table, mask)
+                p2_sent.append(w)
+            except (BrokenPipeError, OSError) as e:
+                self._handle_failure(w, WorkerCrashedError(
+                    f"worker {w} pipe failed on phase2 send: {e}",
+                    worker_id=w, step=self.k))
+
+        def on_phase1(w: int, msg) -> None:
+            r = self._chans[w].decode_phase1(msg, t)
+            lo, hi = self._block_range(w)
+            send_states[lo:hi] = r[0]
+            send_logw[lo:hi] = r[1]
+            best_states[lo:hi] = r[2]
+            best_logw[lo:hi] = r[3]
+            partials[w] = r[4]
+            self.report.merge_worker_stats(r[5])
+            arrived.add(w)
+            if deps is None:
+                return
+            # Overlap: route any arrived block whose sources have all arrived
+            # while the remaining workers are still computing.
+            for w2 in sorted(arrived - dispatched):
+                if self._worker_alive[w2] and deps[w2] <= arrived:
+                    dispatch_phase2(w2)
+
+        # Phase 1: scatter the measurement to every live worker up front...
         for w in self._live_workers():
             try:
-                self._send(w, ("phase1", measurement, control, self.k, t))
-            except WorkerFailure as e:
-                self._handle_failure(w, e)
-        replies = {}
-        for w in self._live_workers():
-            try:
-                replies[w] = self._recv(w, what="phase1")
-            except WorkerFailure as e:
-                self._handle_failure(w, e)
-        live = [w for w in self._live_workers() if w in replies]
-        if not live:
+                self._chans[w].send_phase1(measurement, control, self.k, t)
+            except (BrokenPipeError, OSError) as e:
+                self._handle_failure(w, WorkerCrashedError(
+                    f"worker {w} pipe failed on phase1 send: {e}",
+                    worker_id=w, step=self.k))
+        # ...then gather tops + estimate partials in arrival order.
+        self._gather(self._live_workers(), what="phase1", handler=on_phase1)
+        if not partials:
             raise NoLiveWorkersError("all worker blocks died during phase 1", step=self.k)
 
-        # Assemble full-population buffers; dead blocks hold -inf weight
-        # placeholders so shapes stay (F, ...) and nothing selects them.
-        F, d = cfg.n_filters, self.model.state_dim
-        tp = replies[live[0]][0].shape[1]
-        send_states = np.zeros((F, tp, d), dtype=replies[live[0]][0].dtype)
-        send_logw = np.full((F, tp), -np.inf)
-        best_states = np.zeros((F, d))
-        best_logw = np.full(F, -np.inf)
-        partials = []
-        for w in live:
-            lo, hi = self._block_range(w)
-            r = replies[w]
-            send_states[lo:hi], send_logw[lo:hi] = r[0], r[1]
-            best_states[lo:hi], best_logw[lo:hi] = r[2], r[3]
-            partials.append(r[4])
-            self.report.merge_worker_stats(r[5])
-
-        # Global estimate reduction over the live blocks only.
+        # Global estimate reduction over the live blocks only (sorted worker
+        # order: the float sum must not depend on arrival order).
         with self.timer.phase("estimate"):
-            estimate = self._reduce_estimate(best_states, best_logw, partials)
+            estimate = self._reduce_estimate(
+                best_states, best_logw, [partials[w] for w in sorted(partials)])
         self.last_estimate = estimate
 
-        # Route exchanged particles along the (possibly healed) topology.
-        with self.timer.phase("exchange"):
-            table, mask = self._healer.neighbor_table()
-            if t > 0 and table.shape[1] > 0:
-                if self.topology.pooled:
-                    # Pooled routing self-heals: dead blocks' -inf placeholders
-                    # can never enter the global top-t.
-                    recv_states, recv_logw = self._route(
-                        "route_pooled", send_states[:, :t], send_logw[:, :t], t
-                    )
-                    recv_states, recv_logw = recv_states.copy(), recv_logw.copy()
-                else:
-                    recv_states, recv_logw = self._route(
-                        "route_pairwise", send_states[:, :t], send_logw[:, :t], table, mask
-                    )
-            else:
-                recv_states = recv_logw = None
+        # Route + dispatch whatever the overlap could not cover: pooled
+        # topologies (global barrier) and blocks with late/dead sources.
+        rest = [w for w in sorted(arrived - dispatched) if self._worker_alive[w]]
+        if rest and exchange_on and pooled and pooled_route is None:
+            # Pooled routing self-heals: dead blocks' -inf placeholders can
+            # never enter the global top-t.
+            pooled_route = self._route(
+                "route_pooled", send_states[:, :t], send_logw[:, :t], t)
+        for w in rest:
+            dispatch_phase2(w)
 
-        # Phase 2: deliver each block's incoming particles; workers resample.
-        for w in list(live):
-            lo, hi = self._block_range(w)
-            try:
-                if recv_states is None:
-                    self._send(w, ("phase2", None, None))
-                else:
-                    self._send(w, ("phase2", recv_states[lo:hi], recv_logw[lo:hi]))
-            except WorkerFailure as e:
-                live.remove(w)
-                self._handle_failure(w, e)
+        # Phase 2 gather: per-stage / per-kernel worker timings.
         stage_seconds: dict[str, float] = {}
         round_kernel_seconds: dict[str, float] = {}
-        for w in list(live):
-            try:
-                reply = self._recv(w, what="phase2")
-            except WorkerFailure as e:
-                self._handle_failure(w, e)
-                continue
-            if len(reply) > 1 and isinstance(reply[1], dict):
-                for name, sec in reply[1].items():
+
+        def on_phase2(w: int, msg) -> None:
+            stages, kernels = self._chans[w].decode_phase2(msg)
+            if isinstance(stages, dict):
+                for name, sec in stages.items():
                     stage_seconds[name] = max(stage_seconds.get(name, 0.0), sec)
-            if len(reply) > 2 and isinstance(reply[2], dict):
-                for name, sec in reply[2].items():
+            if isinstance(kernels, dict):
+                for name, sec in kernels.items():
                     round_kernel_seconds[name] = max(round_kernel_seconds.get(name, 0.0), sec)
+
+        self._gather([w for w in p2_sent if self._worker_alive[w]],
+                     what="phase2", handler=on_phase2)
         # Workers run concurrently: the critical path per stage is the
         # slowest block, so fold the per-stage *max* into the master's timer
         # (and likewise for the per-kernel breakdown).
@@ -548,12 +704,58 @@ class MultiprocessDistributedParticleFilter:
         self.k += 1
         return estimate
 
+    def _route_block(self, w: int, t: int, send_states, send_logw, table, mask) -> None:
+        """Pairwise-route one block's rows, preferably straight into its slab.
+
+        Equivalent to slicing ``route_pairwise(...)[lo:hi]`` but gathers only
+        this block's rows — and when the transport exposes shared phase-2
+        buffers, the gather writes directly into the worker's recv slab
+        (zero-copy: no intermediate array, no pickle).
+        """
+        lo, hi = self._block_range(w)
+        rows = table[lo:hi]
+        rmask = mask[lo:hi]
+        B, D = rows.shape
+        d = send_states.shape[2]
+        width = D * t
+        start = time.perf_counter()
+        chan = self._chans[w]
+        bufs = chan.phase2_buffers(self.k, width)
+        # The gather needs C-contiguous destinations (np.take's out=); slab
+        # slices narrower than the preallocated capacity are strided, so
+        # those stage through master scratch and finish with one memcpy into
+        # the slab — still no pickle on the payload.
+        direct = (bufs is not None
+                  and bufs[0].flags.c_contiguous and bufs[1].flags.c_contiguous)
+        if direct:
+            out_s, out_w = bufs
+        else:
+            out_s = self._scratch(f"recv_states.{w}", (B, width, d), send_states.dtype)
+            out_w = self._scratch(f"recv_logw.{w}", (B, width), np.float64)
+        src = np.maximum(rows, 0)
+        np.take(send_states[:, :t], src, axis=0, out=out_s.reshape(B, D, t, d))
+        np.take(send_logw[:, :t], src, axis=0, out=out_w.reshape(B, D, t))
+        out_w.reshape(B, D, t)[~rmask] = -np.inf
+        elapsed = time.perf_counter() - start
+        self.kernel_seconds["route_pairwise"] = (
+            self.kernel_seconds.get("route_pairwise", 0.0) + elapsed)
+        self.timer.seconds["exchange"] = self.timer.seconds.get("exchange", 0.0) + elapsed
+        if direct:
+            chan.send_phase2_ready(self.k, width)
+        elif bufs is not None:
+            bufs[0][...] = out_s
+            bufs[1][...] = out_w
+            chan.send_phase2_ready(self.k, width)
+        else:
+            chan.send_phase2(self.k, out_s, out_w)
+
     def _route(self, kernel: str, *args):
         """Dispatch an exchange-routing kernel through the registry, timed."""
         start = time.perf_counter()
         out = default_registry().batch(kernel)(*args)
         elapsed = time.perf_counter() - start
         self.kernel_seconds[kernel] = self.kernel_seconds.get(kernel, 0.0) + elapsed
+        self.timer.seconds["exchange"] = self.timer.seconds.get("exchange", 0.0) + elapsed
         return out
 
     def _reduce_estimate(self, best_states: np.ndarray, best_logw: np.ndarray,
@@ -579,8 +781,9 @@ class MultiprocessDistributedParticleFilter:
 
         For each dead sub-filter the healer names the nearest live donor by
         hop count on the original topology; the donor block's current
-        particles seed the replacement (uniform weights), the new process
-        adopts them, and the healed topology restitches the revived ids.
+        particles seed the replacement (uniform weights), the new process —
+        with freshly allocated transport slabs — adopts them, and the healed
+        topology restitches the revived ids.
         """
         cfg = self.config
         donor_map = self._healer.donor_map()

@@ -1,0 +1,479 @@
+"""The multiprocess backend's data plane: pipe vs shared-memory transports.
+
+Every filtering round moves the same four payloads between the master and a
+worker block: the scattered measurement/control, the gathered top-t send
+buffers + per-block estimate partials, and the routed incoming particles for
+the local resample. :class:`PipeTransport` moves all of them as pickles over
+``multiprocessing`` pipes — simple, but every round pays serialization and
+pipe-buffer copies proportional to the payload. :class:`SharedMemoryTransport`
+keeps the payloads in preallocated, double-buffered
+:class:`multiprocessing.shared_memory.SharedMemory` slabs that the worker
+inherits over ``fork``; the pipes then carry only tiny control headers
+(round counter, exchange width, slab sequence number), so the per-round
+byte traffic through the kernel is O(1) instead of O(payload).
+
+Protocol
+--------
+Each channel pair owns one shared segment holding **two** copies of a
+:class:`SlabLayout` (one per round parity ``k % 2``). Round ``k`` writes only
+buffer ``k & 1``; the master never reuses a buffer until the worker has
+acknowledged the next header for it, which the strict phase1 → phase2 → k+1
+lockstep of the backend guarantees. Headers are:
+
+- master → worker  ``("phase1", k, t, seq, z_spec, u_spec)``
+- worker → master  ``("p1", k, seq, heal_stats)``  (payload in the slab)
+- master → worker  ``("phase2s", k, width)``        (payload in the slab)
+
+Payloads that do not fit their slab (an oversized measurement, or a healed
+topology whose routed width exceeds the preallocated capacity) transparently
+fall back to the inline pickle form of the pipe transport, so correctness
+never depends on the capacity estimate. Rare control messages (``init``,
+``adopt``, ``get_state``, ``stop``) and structured ``("error", traceback)``
+replies always travel inline on the pipe.
+
+Failure / reclaim semantics
+---------------------------
+The *master* channel owns the segment: :meth:`ShmMasterChannel.reclaim`
+closes and **unlinks** it (unlinking also unregisters it from the
+``resource_tracker``, so no leak warnings are emitted even when the worker
+was killed mid-round and never ran its own ``close``). ``close``/``reclaim``
+are idempotent and guard against ``BufferError`` from still-exported NumPy
+views — the unlink always happens. Workers only ever ``close`` their
+inherited mapping, never unlink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+_ALIGN = 64  # slab field alignment [bytes]; keeps rows cache-line friendly
+
+
+def _align(n: int) -> int:
+    return (n + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+@dataclass(frozen=True)
+class SlabField:
+    """One named array inside a slab buffer."""
+
+    name: str
+    offset: int  # byte offset from the buffer base
+    shape: tuple[int, ...]
+    dtype: np.dtype
+
+
+class SlabLayout:
+    """Byte layout of everything one worker block moves per round.
+
+    Parameters
+    ----------
+    n_block:
+        sub-filters owned by the worker (``B``).
+    n_particles / state_dim:
+        per-sub-filter particle count ``m`` and state dimension ``d``.
+    t_cap:
+        top-t send capacity per sub-filter (``max(n_exchange, 1)``).
+    recv_cap:
+        incoming-particle capacity per sub-filter. Sized with healing slack
+        for pairwise topologies; routed widths beyond it fall back to the
+        inline pipe path.
+    meas_cap / ctrl_cap:
+        float64 element capacity of the scatter slots.
+    dtype:
+        the particle-state dtype (log-weights are always float64).
+    """
+
+    def __init__(self, n_block: int, n_particles: int, state_dim: int,
+                 t_cap: int, recv_cap: int, meas_cap: int, ctrl_cap: int,
+                 dtype) -> None:
+        self.n_block = int(n_block)
+        self.n_particles = int(n_particles)
+        self.state_dim = int(state_dim)
+        self.t_cap = int(t_cap)
+        self.recv_cap = int(recv_cap)
+        self.meas_cap = int(meas_cap)
+        self.ctrl_cap = int(ctrl_cap)
+        self.dtype = np.dtype(dtype)
+        B, d, f64 = self.n_block, self.state_dim, np.dtype(np.float64)
+        specs = [
+            # gather (worker → master)
+            ("send_states", (B, self.t_cap, d), self.dtype),
+            ("send_logw", (B, self.t_cap), f64),
+            ("best_states", (B, d), self.dtype),
+            ("best_logw", (B,), f64),
+            ("partial", (d + 2,), f64),
+            # routed exchange (master → worker)
+            ("recv_states", (B, self.recv_cap, d), self.dtype),
+            ("recv_logw", (B, self.recv_cap), f64),
+            # scatter (master → worker)
+            ("meas", (self.meas_cap,), f64),
+            ("ctrl", (self.ctrl_cap,), f64),
+        ]
+        self.fields: dict[str, SlabField] = {}
+        offset = 0
+        for name, shape, dt in specs:
+            self.fields[name] = SlabField(name, offset, shape, dt)
+            offset += _align(int(np.prod(shape)) * dt.itemsize)
+        #: bytes of ONE buffer; a segment holds two (double buffering).
+        self.nbytes = max(offset, _ALIGN)
+
+    @property
+    def segment_nbytes(self) -> int:
+        """Total segment size: two buffers, one per round parity."""
+        return 2 * self.nbytes
+
+    def views(self, buf, parity: int) -> dict[str, np.ndarray]:
+        """NumPy views of every field of buffer ``parity`` over *buf*."""
+        base = int(parity) * self.nbytes
+        return {
+            f.name: np.ndarray(f.shape, dtype=f.dtype, buffer=buf,
+                               offset=base + f.offset)
+            for f in self.fields.values()
+        }
+
+
+# ---------------------------------------------------------------------------
+# Pipe transport: the classic pickle-everything data plane.
+# ---------------------------------------------------------------------------
+
+
+class PipeMasterChannel:
+    """Master end of a pipe-only channel: every payload is pickled."""
+
+    n_segments = 0
+
+    def __init__(self, parent, child):
+        self.conn = parent
+        self._child = child
+
+    def after_start(self) -> None:
+        """Drop the worker-side pipe end so EOF means "worker gone"."""
+        self._child.close()
+
+    # -- control-plane passthrough ------------------------------------------
+    def request(self, msg) -> None:
+        self.conn.send(msg)
+
+    # -- phase 1 -------------------------------------------------------------
+    def send_phase1(self, z, u, k: int, t: int) -> None:
+        self.conn.send(("phase1", z, u, k, t))
+
+    def decode_phase1(self, msg, t: int):
+        """The 6-tuple ``(send_states, send_logw, best_states, best_logw,
+        partial, heal_stats)`` — already inline for the pipe transport."""
+        return msg
+
+    # -- phase 2 -------------------------------------------------------------
+    def phase2_buffers(self, k: int, width: int):
+        """Writable routing destination, or ``None`` (pipe: route to scratch)."""
+        return None
+
+    def send_phase2_ready(self, k: int, width: int) -> None:  # pragma: no cover
+        raise RuntimeError("pipe transport has no shared phase-2 buffers")
+
+    def send_phase2(self, k: int, states, logw) -> None:
+        if states is None:
+            self.conn.send(("phase2", None, None))
+        else:
+            self.conn.send(("phase2", np.ascontiguousarray(states),
+                            np.ascontiguousarray(logw)))
+
+    def decode_phase2(self, msg) -> tuple[dict, dict]:
+        return msg[1], msg[2]
+
+    # -- lifecycle -----------------------------------------------------------
+    def reclaim(self) -> int:
+        """Release transport resources; number of shared segments unlinked."""
+        return 0
+
+    def close(self) -> int:
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        return self.reclaim()
+
+
+class PipeWorkerChannel:
+    """Worker end of a pipe-only channel."""
+
+    def __init__(self, conn):
+        self.conn = conn
+
+    def recv(self):
+        return self.conn.recv()
+
+    def send(self, obj) -> None:
+        self.conn.send(obj)
+
+    def reply_phase1(self, k: int, send_states, send_logw, best_states,
+                     best_logw, partial, heal_stats) -> None:
+        self.conn.send((send_states, np.ascontiguousarray(send_logw),
+                        best_states.copy(), best_logw.copy(), partial,
+                        heal_stats))
+
+    def reply_phase2(self, stage_seconds: dict, kernel_seconds: dict) -> None:
+        self.conn.send(("ok", stage_seconds, kernel_seconds))
+
+    def close(self) -> None:
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+class PipeTransport:
+    """Pickle-over-pipe data plane (the reference transport)."""
+
+    name = "pipe"
+
+    def channel_pair(self, ctx, layout: SlabLayout):
+        parent, child = ctx.Pipe()
+        return PipeMasterChannel(parent, child), PipeWorkerChannel(child)
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory transport: slabs carry the data, pipes carry headers.
+# ---------------------------------------------------------------------------
+
+
+def _pack_scatter(slot: np.ndarray, arr):
+    """Stage a scatter array into a float64 slab slot.
+
+    Returns the spec shipped in the header: ``None`` (no array),
+    ``("shm", shape)`` (payload in the slot) or ``("inline", arr)`` when the
+    array does not fit or is not float64-exact (non-float64 dtypes keep their
+    exact bit pattern only on the inline path).
+    """
+    if arr is None:
+        return None
+    a = np.asarray(arr)
+    if a.dtype != np.float64 or a.size > slot.size:
+        return ("inline", arr)
+    slot[: a.size] = a.reshape(-1)
+    return ("shm", a.shape)
+
+
+def _unpack_scatter(slot: np.ndarray, spec):
+    if spec is None:
+        return None
+    kind, payload = spec
+    if kind == "inline":
+        return payload
+    size = int(np.prod(payload)) if payload else 1
+    return slot[:size].reshape(payload).copy()
+
+
+class ShmMasterChannel:
+    """Master end of a shared-memory channel.
+
+    Owns the shared segment (created *before* fork so the worker inherits
+    the mapping — no name-based re-attach, hence no ``resource_tracker``
+    double registration) and the double-buffered views into it.
+    """
+
+    def __init__(self, ctx, layout: SlabLayout):
+        parent, child = ctx.Pipe()
+        self.conn = parent
+        self._child = child
+        self.layout = layout
+        self._seg: shared_memory.SharedMemory | None = shared_memory.SharedMemory(
+            create=True, size=layout.segment_nbytes
+        )
+        self._views = (layout.views(self._seg.buf, 0), layout.views(self._seg.buf, 1))
+        self._seq = 0
+        #: the worker-side channel, built pre-fork so the child inherits the
+        #: segment object (and its views) directly through ``fork``.
+        self.worker = ShmWorkerChannel(child, self._seg, self._views, layout)
+
+    @property
+    def n_segments(self) -> int:
+        return 1 if self._seg is not None else 0
+
+    def after_start(self) -> None:
+        self._child.close()
+
+    def request(self, msg) -> None:
+        self.conn.send(msg)
+
+    # -- phase 1 -------------------------------------------------------------
+    def send_phase1(self, z, u, k: int, t: int) -> None:
+        self._seq += 1
+        v = self._views[k & 1]
+        z_spec = _pack_scatter(v["meas"], z)
+        u_spec = _pack_scatter(v["ctrl"], u)
+        self.conn.send(("phase1", k, t, self._seq, z_spec, u_spec))
+
+    def decode_phase1(self, msg, t: int):
+        if not (isinstance(msg, tuple) and msg and msg[0] == "p1"):
+            raise RuntimeError(f"shm protocol: expected p1 ack, got {msg!r}")
+        _, k, seq, heal_stats = msg
+        if seq != self._seq:
+            raise RuntimeError(
+                f"shm protocol: stale slab ack (seq {seq} != {self._seq})")
+        v = self._views[k & 1]
+        d = self.layout.state_dim
+        partial = (v["partial"][:d].copy(), float(v["partial"][d]),
+                   float(v["partial"][d + 1]))
+        return (v["send_states"], v["send_logw"], v["best_states"],
+                v["best_logw"], partial, heal_stats)
+
+    # -- phase 2 -------------------------------------------------------------
+    def phase2_buffers(self, k: int, width: int):
+        """Zero-copy routing destination when *width* fits the slab."""
+        if width > self.layout.recv_cap:
+            return None
+        v = self._views[k & 1]
+        return v["recv_states"][:, :width], v["recv_logw"][:, :width]
+
+    def send_phase2_ready(self, k: int, width: int) -> None:
+        self.conn.send(("phase2s", k, width))
+
+    def send_phase2(self, k: int, states, logw) -> None:
+        if states is None:
+            self.conn.send(("phase2s", k, 0))
+            return
+        bufs = self.phase2_buffers(k, states.shape[1])
+        if bufs is None:
+            # Healed topology grew past the preallocated capacity: fall back
+            # to the inline pipe form for this round.
+            self.conn.send(("phase2", np.ascontiguousarray(states),
+                            np.ascontiguousarray(logw)))
+            return
+        bufs[0][...] = states
+        bufs[1][...] = logw
+        self.send_phase2_ready(k, states.shape[1])
+
+    def decode_phase2(self, msg) -> tuple[dict, dict]:
+        return msg[1], msg[2]
+
+    # -- lifecycle -----------------------------------------------------------
+    def reclaim(self) -> int:
+        """Close and unlink the shared segment (idempotent).
+
+        Unlink always runs — it is what unregisters the segment from the
+        ``resource_tracker`` — even if ``close`` hits a ``BufferError`` from
+        a still-exported view.
+        """
+        if self._seg is None:
+            return 0
+        self._views = ()
+        try:
+            self._seg.close()
+        except BufferError:  # pragma: no cover - view still exported
+            pass
+        try:
+            self._seg.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+        self._seg = None
+        return 1
+
+    def close(self) -> int:
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        return self.reclaim()
+
+
+class ShmWorkerChannel:
+    """Worker end of a shared-memory channel.
+
+    Translates slab headers into the same logical messages the pipe worker
+    receives, so the worker loop is transport-agnostic.
+    """
+
+    def __init__(self, conn, seg, views, layout: SlabLayout):
+        self.conn = conn
+        self._seg = seg
+        self._views = views
+        self.layout = layout
+        self._seq = 0
+
+    def recv(self):
+        msg = self.conn.recv()
+        kind = msg[0] if isinstance(msg, tuple) and msg else None
+        if kind == "phase1":
+            _, k, t, seq, z_spec, u_spec = msg
+            self._seq = seq
+            v = self._views[k & 1]
+            return ("phase1", _unpack_scatter(v["meas"], z_spec),
+                    _unpack_scatter(v["ctrl"], u_spec), k, t)
+        if kind == "phase2s":
+            _, k, width = msg
+            if width == 0:
+                return ("phase2", None, None)
+            v = self._views[k & 1]
+            return ("phase2", v["recv_states"][:, :width],
+                    v["recv_logw"][:, :width])
+        return msg
+
+    def send(self, obj) -> None:
+        self.conn.send(obj)
+
+    def reply_phase1(self, k: int, send_states, send_logw, best_states,
+                     best_logw, partial, heal_stats) -> None:
+        v = self._views[k & 1]
+        v["send_states"][...] = send_states
+        v["send_logw"][...] = send_logw
+        v["best_states"][...] = best_states
+        v["best_logw"][...] = best_logw
+        d = self.layout.state_dim
+        v["partial"][:d] = partial[0]
+        v["partial"][d] = partial[1]
+        v["partial"][d + 1] = partial[2]
+        self.conn.send(("p1", k, self._seq, heal_stats))
+
+    def reply_phase2(self, stage_seconds: dict, kernel_seconds: dict) -> None:
+        self.conn.send(("ok", stage_seconds, kernel_seconds))
+
+    def close(self) -> None:
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        # The worker only drops its inherited mapping; the master owns the
+        # segment's lifetime (and the unlink).
+        self._views = ()
+        if self._seg is not None:
+            try:
+                self._seg.close()
+            except BufferError:  # pragma: no cover
+                pass
+            self._seg = None
+
+
+class SharedMemoryTransport:
+    """Zero-copy data plane over ``multiprocessing.shared_memory`` slabs."""
+
+    name = "shm"
+
+    def channel_pair(self, ctx, layout: SlabLayout):
+        master = ShmMasterChannel(ctx, layout)
+        return master, master.worker
+
+
+_TRANSPORTS = {
+    "pipe": PipeTransport,
+    "shm": SharedMemoryTransport,
+    "shared_memory": SharedMemoryTransport,
+}
+
+
+def make_transport(spec):
+    """Resolve a transport spec: a name, a class, or an instance."""
+    if isinstance(spec, str):
+        try:
+            return _TRANSPORTS[spec]()
+        except KeyError:
+            raise ValueError(
+                f"unknown transport {spec!r}; expected one of {sorted(_TRANSPORTS)}"
+            ) from None
+    if isinstance(spec, type):
+        return spec()
+    return spec

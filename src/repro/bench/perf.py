@@ -1,0 +1,190 @@
+"""Backend/transport throughput benchmark: vectorized vs pipe vs shm.
+
+Times the distributed filter's steady-state step rate across an
+``(n_filters, m, n_workers)`` grid on a payload-heavy model, for the
+vectorized in-process backend and the multiprocess backend on both
+transports (``pipe`` and ``shm``). Every multiprocess pair also runs a
+bit-parity check — the two transports must produce *identical* estimate
+trajectories — so a speedup can never come from computing something else.
+
+The benchmark model (:class:`PayloadBenchModel`) is built to expose the data
+plane rather than the ALU: a high-dimensional AR(1) contraction whose process
+noise is low-rank (one driven coordinate) and whose measurement touches a
+single coordinate. Per-particle compute is O(1) noise draws + an elementwise
+scale, while boundary traffic per exchange round is O(t * state_dim) — so
+transport cost is a first-order term instead of rounding error. The grids use
+``t = m`` (full-mirror exchange), the worst-case traffic pattern of the
+paper's Algorithm 2.
+
+Results are written as ``BENCH_multiprocess.json`` at the repo root by
+``esthera bench multiprocess`` (see the CI ``bench-smoke`` job), making the
+perf trajectory trackable PR-over-PR.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+
+import numpy as np
+
+from repro.core import DistributedFilterConfig, DistributedParticleFilter
+from repro.models.base import StateSpaceModel
+from repro.prng import make_rng
+
+#: named (n_filters, m, n_workers) grids. The largest "default" config is the
+#: acceptance config: n_filters >= 256, m >= 64, >= 4 workers.
+GRIDS: dict[str, list[tuple[int, int, int]]] = {
+    "smoke": [(16, 16, 2), (64, 32, 2)],
+    "default": [(64, 32, 2), (128, 64, 4), (256, 64, 4)],
+    "full": [(64, 32, 2), (128, 64, 4), (256, 64, 4), (256, 128, 4), (512, 64, 8)],
+}
+
+#: state dimension of the benchmark model — payload-heavy on purpose: the
+#: boundary traffic per round scales with t * d.
+STATE_DIM = 64
+
+
+class PayloadBenchModel(StateSpaceModel):
+    """High-dimensional AR(1) contraction with low-rank process noise.
+
+    Transition: ``x_k = a * x_{k-1}`` elementwise, plus Gaussian noise on
+    coordinate 0 only (one draw per particle, not per dimension).
+    Measurement: coordinate 0 plus Gaussian noise. The state vector is
+    ``state_dim`` wide, so exchanged particles are large while the
+    per-particle flop count stays tiny — a transport benchmark, not an ALU
+    benchmark.
+    """
+
+    def __init__(self, d: int = STATE_DIM, a: float = 0.95,
+                 sigma: float = 0.2, r: float = 0.1):
+        self.state_dim = int(d)
+        self.measurement_dim = 1
+        self.control_dim = 0
+        self.a, self.sigma, self.r = float(a), float(sigma), float(r)
+
+    def initial_particles(self, n, rng, dtype=np.float64):
+        return rng.normal((n, self.state_dim)).astype(dtype, copy=False)
+
+    def transition(self, states, control, k, rng):
+        out = (self.a * states).astype(states.dtype, copy=False)
+        noise = rng.normal(states.shape[:-1])
+        out[..., 0] += (self.sigma * noise).astype(states.dtype, copy=False)
+        return out
+
+    def log_likelihood(self, states, measurement, k):
+        dz = np.asarray(states)[..., 0] - np.asarray(measurement).reshape(-1)[0]
+        return -0.5 * (dz / self.r) ** 2
+
+    def initial_state(self, rng):
+        return rng.normal((self.state_dim,))
+
+    def observe(self, state, k, rng):
+        return state[:1] + self.r * rng.normal((1,))
+
+
+def _bench_model(d: int = STATE_DIM) -> PayloadBenchModel:
+    return PayloadBenchModel(d)
+
+
+def _bench_config(n_filters: int, m: int) -> DistributedFilterConfig:
+    # t = m: every sub-filter mirrors its full population to its neighbours,
+    # the maximum-traffic exchange of Algorithm 2.
+    return DistributedFilterConfig(
+        n_particles=m, n_filters=n_filters, topology="ring",
+        n_exchange=m, estimator="weighted_mean", seed=42,
+        dtype=np.float32,
+    )
+
+
+def _measurements(model: StateSpaceModel, steps: int) -> np.ndarray:
+    truth = model.simulate(steps, make_rng("numpy", seed=7))
+    return np.asarray(truth.measurements, dtype=np.float64)
+
+
+def _time_filter(pf, meas: np.ndarray, warmup: int) -> tuple[float, np.ndarray]:
+    """Steady-state seconds/step and the post-warmup estimate trajectory."""
+    ests = []
+    for k in range(warmup):
+        pf.step(meas[k])
+    start = time.perf_counter()
+    for k in range(warmup, meas.shape[0]):
+        ests.append(pf.step(meas[k]))
+    elapsed = time.perf_counter() - start
+    return elapsed / max(meas.shape[0] - warmup, 1), np.asarray(ests)
+
+
+def run_multiprocess_bench(grid: str | list = "default", *, steps: int = 30,
+                           warmup: int = 3, backends=("vectorized", "pipe", "shm"),
+                           state_dim: int = STATE_DIM) -> dict:
+    """Run the transport benchmark; returns the JSON-ready report dict.
+
+    ``grid`` is a named grid (``smoke``/``default``/``full``) or an explicit
+    list of ``(n_filters, m, n_workers)`` tuples. Multiprocess rows include
+    ``identical_estimates`` — the pipe-vs-shm bit-parity verdict for that
+    config (always required to be ``True``).
+    """
+    from repro.backends import MultiprocessDistributedParticleFilter
+
+    configs = GRIDS[grid] if isinstance(grid, str) else [tuple(c) for c in grid]
+    model = _bench_model(state_dim)
+    rows = []
+    for n_filters, m, n_workers in configs:
+        cfg = _bench_config(n_filters, m)
+        meas = _measurements(model, steps)
+        row = {
+            "n_filters": n_filters, "m": m, "n_workers": n_workers,
+            "total_particles": n_filters * m,
+        }
+        trajectories = {}
+        for backend in backends:
+            if backend == "vectorized":
+                pf = DistributedParticleFilter(model, cfg)
+                pf.initialize()
+                sec, ests = _time_filter(pf, meas, warmup)
+            else:
+                with MultiprocessDistributedParticleFilter(
+                    model, cfg, n_workers=n_workers, transport=backend
+                ) as pf:
+                    sec, ests = _time_filter(pf, meas, warmup)
+            trajectories[backend] = ests
+            row[f"{backend}_steps_per_s"] = 1.0 / sec
+            row[f"{backend}_particles_per_s"] = n_filters * m / sec
+        if "pipe" in trajectories and "shm" in trajectories:
+            row["identical_estimates"] = bool(
+                np.array_equal(trajectories["pipe"], trajectories["shm"])
+            )
+            row["shm_speedup_vs_pipe"] = (
+                row["shm_steps_per_s"] / row["pipe_steps_per_s"]
+            )
+        rows.append(row)
+
+    largest = rows[-1] if rows else {}
+    report = {
+        "benchmark": "multiprocess-transport",
+        "grid": grid if isinstance(grid, str) else "custom",
+        "steps": steps,
+        "warmup": warmup,
+        "state_dim": state_dim,
+        "n_exchange": "m (full mirror)",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "rows": rows,
+        "summary": {
+            "largest_config": {k: largest.get(k) for k in ("n_filters", "m", "n_workers")},
+            "shm_speedup_vs_pipe": largest.get("shm_speedup_vs_pipe"),
+            "identical_estimates": all(
+                r.get("identical_estimates", True) for r in rows
+            ),
+        },
+    }
+    return report
+
+
+def write_report(report: dict, path: str = "BENCH_multiprocess.json") -> str:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=1)
+        fh.write("\n")
+    return path

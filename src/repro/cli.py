@@ -3,7 +3,8 @@
 Commands
 --------
 - ``track``   — run the robotic-arm tracking demo with a chosen configuration.
-- ``bench``   — regenerate one figure/table of the paper (fig3..fig9, tables).
+- ``bench``   — regenerate one figure/table of the paper (fig3..fig9, tables),
+  or run the multiprocess transport benchmark (``bench multiprocess``).
 - ``report``  — regenerate the full evaluation as a Markdown report.
 - ``platforms`` — list the simulated Table III platforms.
 - ``kernels`` — list registered kernels with predicted costs on a platform.
@@ -60,6 +61,8 @@ def _cmd_bench(args) -> int:
     )
 
     target = args.figure
+    if target == "multiprocess":
+        return _cmd_bench_multiprocess(args)
     if target == "fig3":
         print(format_table(run_fig3()))
     elif target == "fig4":
@@ -85,6 +88,36 @@ def _cmd_bench(args) -> int:
     else:  # pragma: no cover - argparse restricts choices
         print(f"unknown target {target}", file=sys.stderr)
         return 2
+    return 0
+
+
+def _cmd_bench_multiprocess(args) -> int:
+    from repro.bench.perf import run_multiprocess_bench, write_report
+
+    report = run_multiprocess_bench(grid=args.grid, steps=args.steps, warmup=args.warmup)
+    for row in report["rows"]:
+        cols = [f"F={row['n_filters']:>4} m={row['m']:>4} w={row['n_workers']}"]
+        for backend in ("vectorized", "pipe", "shm"):
+            key = f"{backend}_steps_per_s"
+            if key in row:
+                cols.append(f"{backend} {row[key]:8.1f} st/s")
+        if "shm_speedup_vs_pipe" in row:
+            cols.append(f"shm/pipe {row['shm_speedup_vs_pipe']:.2f}x "
+                        f"parity={'ok' if row['identical_estimates'] else 'MISMATCH'}")
+        print("  ".join(cols))
+    if not report["summary"]["identical_estimates"]:
+        print("FAIL: pipe and shm transports disagreed on the estimates", file=sys.stderr)
+        return 1
+    if args.output:
+        write_report(report, args.output)
+        print(f"wrote {args.output}")
+    if args.assert_speedup is not None:
+        speedup = report["summary"]["shm_speedup_vs_pipe"] or 0.0
+        if speedup < args.assert_speedup:
+            print(f"FAIL: shm speedup {speedup:.2f}x < required "
+                  f"{args.assert_speedup:.2f}x on the largest config", file=sys.stderr)
+            return 1
+        print(f"shm speedup {speedup:.2f}x >= {args.assert_speedup:.2f}x")
     return 0
 
 
@@ -158,8 +191,18 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--seed", type=int, default=0)
     t.set_defaults(func=_cmd_track)
 
-    b = sub.add_parser("bench", help="regenerate one figure/table")
-    b.add_argument("figure", choices=["fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "tables"])
+    b = sub.add_parser("bench", help="regenerate one figure/table, or run the transport benchmark")
+    b.add_argument("figure", choices=["fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+                                      "fig9", "tables", "multiprocess"])
+    b.add_argument("--grid", default="default", choices=["smoke", "default", "full"],
+                   help="(multiprocess) benchmark grid size")
+    b.add_argument("--steps", type=int, default=30, help="(multiprocess) timed steps per config")
+    b.add_argument("--warmup", type=int, default=3, help="(multiprocess) untimed warmup steps")
+    b.add_argument("--output", "-o", default=None,
+                   help="(multiprocess) write the JSON report here")
+    b.add_argument("--assert-speedup", type=float, default=None,
+                   help="(multiprocess) fail unless shm/pipe speedup on the largest "
+                        "config reaches this factor")
     b.set_defaults(func=_cmd_bench)
 
     r = sub.add_parser("report", help="regenerate the full evaluation report")

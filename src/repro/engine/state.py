@@ -62,6 +62,9 @@ class FilterState:
     #: :meth:`~repro.engine.stage.ExecutionContext.invoke_kernel`; drained by
     #: :class:`~repro.engine.hooks.KernelTimingHook` at every stage end.
     kernel_events: list = field(default_factory=list)
+    #: keyed pool of reusable work buffers (see :meth:`scratch`); survives
+    #: across rounds so the steady-state hot path is allocation-free.
+    _scratch: dict = field(default_factory=dict, repr=False)
 
     def reset(self, states: np.ndarray, log_weights: np.ndarray) -> None:
         """Install a fresh population and clear counters/scratch."""
@@ -70,7 +73,33 @@ class FilterState:
         self.k = 0
         self.heal_counters = _fresh_heal_counters()
         self.last_estimate = None
+        self._scratch = {}
         self.clear_round()
+
+    # -- reusable work buffers --------------------------------------------------
+    def scratch(self, key: str, shape: tuple, dtype) -> np.ndarray:
+        """A reusable uninitialised buffer of the given shape/dtype.
+
+        The buffer persists under *key* across rounds, so stages that call
+        this every step allocate only on the first round (or when the shape
+        changes). Contents are garbage — callers must overwrite fully.
+        """
+        dtype = np.dtype(dtype)
+        arr = self._scratch.get(key)
+        if arr is None or arr.shape != tuple(shape) or arr.dtype != dtype:
+            arr = np.empty(shape, dtype=dtype)
+            self._scratch[key] = arr
+        return arr
+
+    def recycle(self, key: str, arr: np.ndarray) -> None:
+        """Donate *arr* as the next buffer served for *key* (ping-pong reuse).
+
+        Used after an out-of-place gather: the freshly filled scratch buffer
+        becomes the live array and the *old* live array is recycled here, so
+        the next round's :meth:`scratch` never hands back a buffer aliasing
+        its own input.
+        """
+        self._scratch[key] = arr
 
     def clear_round(self) -> None:
         """Drop per-round scratch (pooled sets, measurement, estimate)."""

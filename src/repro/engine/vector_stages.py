@@ -46,7 +46,7 @@ def sample_weight(ctx: ExecutionContext, state: FilterState) -> None:
     else:
         state.states = ctx.model.transition(state.states, state.control, state.k, ctx.rng)
         loglik = ctx.model.log_likelihood(state.states, state.measurement, state.k)
-    state.log_weights = state.log_weights + loglik.astype(np.float64)
+    np.add(state.log_weights, loglik, out=state.log_weights)
 
 
 def heal_population(ctx: ExecutionContext, state: FilterState) -> None:
@@ -100,8 +100,24 @@ def sort_by_weight(ctx: ExecutionContext, state: FilterState) -> None:
     are bit-identical to a direct ``np.argsort`` call.
     """
     order = ctx.invoke_kernel(state, "sort", state.log_weights)
-    state.log_weights = np.take_along_axis(state.log_weights, order, axis=1)
-    state.states = np.take_along_axis(state.states, order[:, :, None], axis=1)
+    F, m = state.log_weights.shape
+    d = state.states.shape[-1]
+    # Gather through flat indices into recycled scratch: same permutation as
+    # take_along_axis (bit-identical), but zero allocations in steady state.
+    flat = state.scratch("sort.flat", (F, m), np.intp)
+    np.add(order, np.arange(F, dtype=np.intp).reshape(F, 1) * m, out=flat, casting="unsafe")
+    new_logw = state.scratch("sort.logw", (F, m), state.log_weights.dtype)
+    np.take(state.log_weights.reshape(-1), flat, out=new_logw)
+    new_states = state.scratch("sort.states", (F, m, d), state.states.dtype)
+    np.take(
+        np.ascontiguousarray(state.states).reshape(F * m, d), flat, axis=0, out=new_states
+    )
+    # Ping-pong: the old live arrays become next round's scratch, so the
+    # gather above never reads and writes the same buffer.
+    state.recycle("sort.logw", state.log_weights)
+    state.recycle("sort.states", state.states)
+    state.log_weights = new_logw
+    state.states = new_states
 
 
 def estimate(ctx: ExecutionContext, state: FilterState) -> None:
@@ -139,21 +155,32 @@ def exchange_pool(ctx: ExecutionContext, state: FilterState) -> tuple[np.ndarray
         return state.states, state.log_weights
     send_states, send_logw = top_t(ctx, state, t)
 
+    F, m = state.log_weights.shape
+    d = state.states.shape[-1]
     if ctx.topology.pooled:
         # All-to-All: a global pool; everyone reads back the same t best.
         recv_states, recv_logw = ctx.invoke_kernel(
             state, "route_pooled", send_states, send_logw, t
         )
     else:
-        # Pairwise: gather each neighbour's sent particles.
+        # Pairwise: gather each neighbour's sent particles straight into
+        # recycled scratch (the kernel honours ``out=``).
+        width = ctx.table.shape[1] * t
         recv_states, recv_logw = ctx.invoke_kernel(
-            state, "route_pairwise", send_states, send_logw, ctx.table, ctx.mask
+            state, "route_pairwise", send_states, send_logw, ctx.table, ctx.mask,
+            out_states=state.scratch("exch.recv_states", (F, width, d), send_states.dtype),
+            out_logw=state.scratch("exch.recv_logw", (F, width), np.float64),
         )
 
-    pooled_states = np.concatenate(
-        [state.states, recv_states.astype(state.states.dtype, copy=False)], axis=1
-    )
-    pooled_logw = np.concatenate([state.log_weights, recv_logw], axis=1)
+    # Pool = [own | received], assembled in reusable buffers instead of a
+    # fresh np.concatenate pair every round.
+    width = recv_logw.shape[1]
+    pooled_states = state.scratch("exch.pooled_states", (F, m + width, d), state.states.dtype)
+    pooled_states[:, :m] = state.states
+    pooled_states[:, m:] = recv_states
+    pooled_logw = state.scratch("exch.pooled_logw", (F, m + width), np.float64)
+    pooled_logw[:, :m] = state.log_weights
+    pooled_logw[:, m:] = recv_logw
     return pooled_states, pooled_logw
 
 
@@ -162,25 +189,59 @@ def resample(ctx: ExecutionContext, state: FilterState) -> None:
     cfg = ctx.config
     pooled_states, pooled_logw = state.pooled_states, state.pooled_logw
     row_max = pooled_logw.max(axis=1, keepdims=True)
-    w = np.exp(pooled_logw - row_max)  # padded -inf entries become 0
-    local_w = np.exp(state.log_weights - state.log_weights.max(axis=1, keepdims=True))
+    w = state.scratch("res.w", pooled_logw.shape, np.float64)
+    np.subtract(pooled_logw, row_max, out=w)
+    np.exp(w, out=w)  # padded -inf entries become 0
+    local_w = state.scratch("res.local_w", state.log_weights.shape, np.float64)
+    np.subtract(
+        state.log_weights, state.log_weights.max(axis=1, keepdims=True), out=local_w
+    )
+    np.exp(local_w, out=local_w)
     mask = ctx.policy.should_resample(local_w, ctx.rng)
     if not mask.any():
         return
-    m = state.log_weights.shape[1]
-    idx = ctx.resampler.resample_batch(w[mask], m, ctx.rng)  # (F', m)
-    new_states = np.take_along_axis(pooled_states[mask], idx[:, :, None], axis=1)
-    if cfg.roughening > 0.0:
+    F, m = state.log_weights.shape
+    d = state.states.shape[-1]
+
+    def roughen(new_states: np.ndarray) -> np.ndarray:
         # Gordon/Salmond/Smith roughening: per-dimension jitter scaled by
         # the population's sample range and n^(-1/d) — restores diversity
         # lost to resampling duplicates (sample impoverishment).
-        d = ctx.model.state_dim
         span = (
             state.states.reshape(-1, d).max(axis=0) - state.states.reshape(-1, d).min(axis=0)
         ).astype(np.float64)
         scale = cfg.roughening * span * cfg.total_particles ** (-1.0 / d)
         jitter = ctx.rng.normal(new_states.shape, dtype=np.float64) * scale
-        new_states = new_states + jitter.astype(new_states.dtype)
+        np.add(new_states, jitter.astype(new_states.dtype, copy=False), out=new_states)
+        return new_states
+
+    if mask.all():
+        # Fast path (the "always" policy): every row resamples, so gather
+        # through flat indices into recycled scratch — no fancy-index copies
+        # of the pooled set and no per-round allocations.
+        idx = ctx.resampler.resample_batch(w, m, ctx.rng)  # (F, m)
+        pool_m = pooled_logw.shape[1]
+        flat = state.scratch("res.flat", (F, m), np.intp)
+        np.add(
+            idx, np.arange(F, dtype=np.intp).reshape(F, 1) * pool_m, out=flat,
+            casting="unsafe",
+        )
+        new_states = state.scratch("res.states", (F, m, d), state.states.dtype)
+        np.take(
+            np.ascontiguousarray(pooled_states).reshape(F * pool_m, d), flat, axis=0,
+            out=new_states,
+        )
+        if cfg.roughening > 0.0:
+            new_states = roughen(new_states)
+        state.recycle("res.states", state.states)
+        state.states = new_states
+        state.log_weights.fill(0.0)
+        return
+
+    idx = ctx.resampler.resample_batch(w[mask], m, ctx.rng)  # (F', m)
+    new_states = np.take_along_axis(pooled_states[mask], idx[:, :, None], axis=1)
+    if cfg.roughening > 0.0:
+        new_states = roughen(new_states)
     state.states[mask] = new_states
     state.log_weights[mask] = 0.0
 

@@ -586,6 +586,31 @@ def register_default_kernels(reg: KernelRegistry) -> KernelRegistry:
             batch=route_pooled,
         )
     )
+    reg.register(
+        KernelDef(
+            name="route_pooled_topk",
+            description="pooled exchange, partition-based top-t selection",
+            cost=CostSig(
+                bytes_read=lambda p: (
+                    p.n_groups * p.n_exchange * (p.state_dim + 1) * p.dtype_bytes * 2
+                ),
+                read_coalescing=lambda p: 0.5,
+                bytes_written=lambda p: (
+                    2 * p.n_groups * p.n_exchange * (p.state_dim + 1) * p.dtype_bytes
+                ),
+                write_coalescing=lambda p: 0.5,
+                # Threshold partition is linear in the pool; only the t
+                # survivors pay the log factor (vs the full n log n sort of
+                # plain route_pooled).
+                serial_ops=lambda p: (
+                    p.n_groups * p.n_exchange
+                    + p.n_exchange * math.log2(max(p.n_exchange, 2)) * 2.0
+                ),
+                launches=2,
+            ),
+            batch=route_pooled,
+        )
+    )
 
     # 8) Resampling kernels over the pooled candidate set.
     _resample_bytes = {

@@ -40,6 +40,10 @@ class ResilienceReport:
     rejuvenated_filters: int = 0
     #: worker blocks respawned from neighbour donors.
     respawns: int = 0
+    #: shared-memory segments reclaimed (closed + unlinked) on the failure
+    #: path — i.e. slabs of workers that died mid-run; normal shutdown
+    #: reclaims are not counted.
+    segments_reclaimed: int = 0
 
     def record_failure(self, step: int, worker_id: int, kind: str,
                        detail: str = "", filters=()) -> WorkerFailureEvent:
@@ -78,6 +82,7 @@ class ResilienceReport:
             "sanitized_particles": self.sanitized_particles,
             "rejuvenated_filters": self.rejuvenated_filters,
             "respawns": self.respawns,
+            "segments_reclaimed": self.segments_reclaimed,
         }
 
 

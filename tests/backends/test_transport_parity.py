@@ -1,0 +1,112 @@
+"""Golden-trace parity: the shm transport must be bit-identical to pipe.
+
+The shared-memory data plane is a pure transport optimization — same numbers,
+fewer copies. These tests pin that contract: identical estimate trajectories,
+identical gathered populations, and (under a seeded FaultPlan with a mid-run
+kill + respawn) identical resilience diagnostics up to ``segments_reclaimed``,
+which is transport-specific by design. A subprocess regression guards against
+``resource_tracker`` leak warnings when workers die holding slab mappings.
+"""
+
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+
+from repro.backends import MultiprocessDistributedParticleFilter
+from repro.core import DistributedFilterConfig
+from repro.models import LinearGaussianModel
+from repro.prng import make_rng
+from repro.resilience import FaultPlan
+
+
+def lg_model():
+    return LinearGaussianModel(A=[[0.9]], C=[[1.0]], Q=[[0.04]], R=[[0.01]])
+
+
+def cfg(**kw):
+    base = dict(n_particles=16, n_filters=8, estimator="weighted_mean",
+                seed=3, n_exchange=2)
+    base.update(kw)
+    return DistributedFilterConfig(**base)
+
+
+def run_transport(transport, config, meas, n_workers=4, **kw):
+    with MultiprocessDistributedParticleFilter(
+        lg_model(), config, n_workers=n_workers, transport=transport, **kw
+    ) as pf:
+        ests = np.array([pf.step(z) for z in meas])
+        states, logw = pf.gather_population()
+        diag = pf.diagnostics()
+    return ests, states, logw, diag
+
+
+class TestTransportParity:
+    def test_ring_bit_identical(self):
+        truth = lg_model().simulate(15, make_rng("numpy", seed=1))
+        pipe = run_transport("pipe", cfg(), truth.measurements)
+        shm = run_transport("shm", cfg(), truth.measurements)
+        np.testing.assert_array_equal(pipe[0], shm[0])
+        np.testing.assert_array_equal(pipe[1], shm[1])
+        np.testing.assert_array_equal(pipe[2], shm[2])
+
+    def test_all_to_all_pooled_bit_identical(self):
+        truth = lg_model().simulate(12, make_rng("numpy", seed=2))
+        config = cfg(topology="all-to-all")
+        pipe = run_transport("pipe", config, truth.measurements, n_workers=2)
+        shm = run_transport("shm", config, truth.measurements, n_workers=2)
+        np.testing.assert_array_equal(pipe[0], shm[0])
+        np.testing.assert_array_equal(pipe[1], shm[1])
+
+    def test_chaos_kill_and_respawn_bit_identical(self):
+        # A worker dies mid-run holding its slab, the topology heals around
+        # it, and the block respawns with fresh slabs: the two transports
+        # must still agree bit-for-bit, and the only diagnostic allowed to
+        # differ is segments_reclaimed (a transport-level counter).
+        truth = lg_model().simulate(20, make_rng("numpy", seed=5))
+        plan = FaultPlan(seed=0).kill(worker=1, step=6)
+        kw = dict(fault_plan=plan, on_failure="heal", respawn_dead=True,
+                  recv_timeout=15.0)
+        pipe = run_transport("pipe", cfg(), truth.measurements, **kw)
+        shm = run_transport("shm", cfg(), truth.measurements, **kw)
+        np.testing.assert_array_equal(pipe[0], shm[0])
+        np.testing.assert_array_equal(pipe[1], shm[1])
+        np.testing.assert_array_equal(pipe[2], shm[2])
+
+        pipe_diag, shm_diag = dict(pipe[3]), dict(shm[3])
+        assert pipe_diag.pop("segments_reclaimed") == 0
+        assert shm_diag.pop("segments_reclaimed") >= 1  # killed worker's slab
+        assert pipe_diag == shm_diag
+        assert shm_diag["respawns"] >= 1
+
+    def test_no_resource_tracker_leak_warnings(self):
+        # Killed workers never run their close(); the master's unlink must
+        # still deregister every segment, so interpreter shutdown emits no
+        # "leaked shared_memory objects" resource_tracker warning.
+        script = textwrap.dedent("""
+            import numpy as np
+            from repro.backends import MultiprocessDistributedParticleFilter
+            from repro.core import DistributedFilterConfig
+            from repro.models import LinearGaussianModel
+            from repro.resilience import FaultPlan
+
+            model = LinearGaussianModel(A=[[0.9]], C=[[1.0]], Q=[[0.04]], R=[[0.01]])
+            config = DistributedFilterConfig(n_particles=16, n_filters=8,
+                                             estimator="weighted_mean", seed=3,
+                                             n_exchange=2)
+            plan = FaultPlan(seed=0).kill(worker=1, step=2)
+            with MultiprocessDistributedParticleFilter(
+                model, config, n_workers=4, transport="shm", fault_plan=plan,
+                on_failure="heal", recv_timeout=15.0,
+            ) as pf:
+                for k in range(5):
+                    pf.step(np.array([0.1]))
+                assert pf.diagnostics()["segments_reclaimed"] >= 1
+            print("done")
+        """)
+        proc = subprocess.run([sys.executable, "-c", script], capture_output=True,
+                              text=True, timeout=120)
+        assert proc.returncode == 0, proc.stderr
+        assert "done" in proc.stdout
+        assert "leaked" not in proc.stderr, proc.stderr

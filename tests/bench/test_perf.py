@@ -1,0 +1,65 @@
+"""Tests for the transport throughput benchmark harness."""
+
+import json
+
+import numpy as np
+
+from repro.bench.perf import (
+    GRIDS,
+    PayloadBenchModel,
+    run_multiprocess_bench,
+    write_report,
+)
+from repro.prng import make_rng
+
+TINY = [(8, 8, 2)]
+
+
+def test_grids_cover_the_acceptance_config():
+    for name in ("default", "full"):
+        n_filters, m, n_workers = GRIDS[name][-1]
+        assert n_filters >= 256 and m >= 64 and n_workers >= 4
+
+
+def test_payload_model_shapes_and_determinism():
+    model = PayloadBenchModel(d=16)
+    rng = make_rng("numpy", seed=0)
+    parts = model.initial_particles(12, rng, dtype=np.float32)
+    assert parts.shape == (12, 16) and parts.dtype == np.float32
+    nxt = model.transition(parts, None, 0, make_rng("numpy", seed=1))
+    again = model.transition(parts, None, 0, make_rng("numpy", seed=1))
+    np.testing.assert_array_equal(nxt, again)
+    assert nxt.dtype == np.float32
+    # Only coordinate 0 is stochastic; the rest is a pure contraction.
+    np.testing.assert_array_equal(nxt[:, 1:], (0.95 * parts[:, 1:]).astype(np.float32))
+    ll = model.log_likelihood(parts.reshape(3, 4, 16), np.array([0.1]), 0)
+    assert ll.shape == (3, 4)
+    truth = model.simulate(5, make_rng("numpy", seed=2))
+    assert truth.measurements.shape == (5, 1)
+
+
+def test_report_structure_and_parity_on_tiny_grid(tmp_path):
+    report = run_multiprocess_bench(TINY, steps=4, warmup=1, state_dim=4)
+    assert report["grid"] == "custom"
+    assert len(report["rows"]) == 1
+    row = report["rows"][0]
+    for backend in ("vectorized", "pipe", "shm"):
+        assert row[f"{backend}_steps_per_s"] > 0
+        assert row[f"{backend}_particles_per_s"] > 0
+    assert row["identical_estimates"] is True
+    assert row["shm_speedup_vs_pipe"] > 0
+    assert report["summary"]["identical_estimates"] is True
+    assert report["summary"]["largest_config"]["n_filters"] == 8
+
+    path = write_report(report, str(tmp_path / "bench.json"))
+    with open(path) as fh:
+        assert json.load(fh)["benchmark"] == "multiprocess-transport"
+
+
+def test_backend_subset_skips_parity():
+    report = run_multiprocess_bench(TINY, steps=3, warmup=1,
+                                    backends=("vectorized",), state_dim=4)
+    row = report["rows"][0]
+    assert "identical_estimates" not in row
+    assert report["summary"]["identical_estimates"] is True  # vacuous
+    assert report["summary"]["shm_speedup_vs_pipe"] is None

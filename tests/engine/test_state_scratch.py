@@ -1,0 +1,51 @@
+"""Tests for FilterState's reusable scratch-buffer pool."""
+
+import numpy as np
+
+from repro.engine.state import FilterState
+
+
+def make_state():
+    s = FilterState()
+    s.reset(np.zeros((2, 4, 3)), np.zeros((2, 4)))
+    return s
+
+
+class TestScratch:
+    def test_same_key_reuses_buffer(self):
+        s = make_state()
+        a = s.scratch("k", (3, 5), np.float64)
+        b = s.scratch("k", (3, 5), np.float64)
+        assert a is b
+
+    def test_shape_or_dtype_change_reallocates(self):
+        s = make_state()
+        a = s.scratch("k", (3, 5), np.float64)
+        b = s.scratch("k", (3, 6), np.float64)
+        assert b.shape == (3, 6) and a is not b
+        c = s.scratch("k", (3, 6), np.float32)
+        assert c.dtype == np.float32 and c is not b
+
+    def test_keys_are_independent(self):
+        s = make_state()
+        assert s.scratch("a", (2,), np.float64) is not s.scratch("b", (2,), np.float64)
+
+    def test_recycle_ping_pong_never_aliases(self):
+        # The pattern used by sort/resample: gather into scratch, swap the
+        # scratch in as live, recycle the old live array. The next scratch()
+        # must return the donated buffer, never the now-live one.
+        s = make_state()
+        live = s.states
+        buf = s.scratch("sorted", live.shape, live.dtype)
+        assert buf is not live
+        s.states = buf
+        s.recycle("sorted", live)
+        nxt = s.scratch("sorted", live.shape, live.dtype)
+        assert nxt is live
+        assert nxt is not s.states
+
+    def test_reset_clears_the_pool(self):
+        s = make_state()
+        a = s.scratch("k", (4,), np.float64)
+        s.reset(np.zeros((2, 4, 3)), np.zeros((2, 4)))
+        assert s.scratch("k", (4,), np.float64) is not a

@@ -141,3 +141,83 @@ def test_pairwise_is_permutation_of_sends_property(F, t, d, seed):
         for j in range(recv_s.shape[1]):
             if np.isfinite(recv_w[f, j]):
                 assert tuple(np.round(recv_s[f, j], 10)) in sent
+
+
+class TestPooledTopT:
+    """pooled_top_t_indices must match the stable full argsort bit-for-bit."""
+
+    def reference(self, flat, t):
+        return np.argsort(-flat, kind="stable")[: min(t, flat.size)]
+
+    def check(self, flat, t):
+        from repro.kernels.exchange import pooled_top_t_indices
+        np.testing.assert_array_equal(pooled_top_t_indices(flat, t), self.reference(flat, t))
+
+    def test_random_values(self):
+        rng = np.random.default_rng(0)
+        for t in (1, 3, 7, 50, 100):
+            self.check(rng.normal(size=400), t)
+
+    def test_heavy_ties(self):
+        flat = np.repeat([3.0, 1.0, 2.0], 50)
+        for t in (1, 10, 49, 51, 150):
+            self.check(flat, t)
+
+    def test_neg_inf_blocks(self):
+        flat = np.full(200, -np.inf)
+        flat[17] = 1.0
+        flat[42] = 0.5
+        for t in (1, 2, 3, 20):
+            self.check(flat, t)
+
+    def test_nan_values(self):
+        rng = np.random.default_rng(1)
+        flat = rng.normal(size=300)
+        flat[::7] = np.nan
+        for t in (1, 5, 30, 250):
+            self.check(flat, t)
+
+    def test_t_equals_and_exceeds_n(self):
+        rng = np.random.default_rng(2)
+        flat = rng.normal(size=64)
+        self.check(flat, 64)
+        self.check(flat, 200)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=1, max_value=200), st.integers(min_value=1, max_value=64),
+           st.integers(min_value=0, max_value=10_000))
+    def test_matches_argsort_property(self, n, t, seed):
+        rng = np.random.default_rng(seed)
+        flat = rng.normal(size=n)
+        flat[rng.random(n) < 0.1] = -np.inf
+        self.check(flat, t)
+
+
+class TestRoutePairwiseOut:
+    def test_out_matches_allocating_form(self):
+        topo = RingTopology(6)
+        table, mask = topo.neighbor_table(), topo.neighbor_table() >= 0
+        send_states, send_logw = make_send(6, 2, 3, seed=9)
+        ref_s, ref_w = route_pairwise(send_states, send_logw, table, mask)
+        out_s = np.empty_like(ref_s)
+        out_w = np.empty_like(ref_w)
+        got_s, got_w = route_pairwise(send_states, send_logw, table, mask,
+                                      out_states=out_s, out_logw=out_w)
+        assert got_s is out_s and got_w is out_w
+        np.testing.assert_array_equal(out_s, ref_s)
+        np.testing.assert_array_equal(out_w, ref_w)
+
+    def test_out_validation(self):
+        topo = RingTopology(4)
+        table, mask = topo.neighbor_table(), topo.neighbor_table() >= 0
+        send_states, send_logw = make_send(4, 1, 2)
+        good_s = np.empty((4, 2, 2))
+        good_w = np.empty((4, 2))
+        with pytest.raises(ValueError):  # only one out buffer
+            route_pairwise(send_states, send_logw, table, mask, out_states=good_s)
+        with pytest.raises(ValueError):  # wrong shape
+            route_pairwise(send_states, send_logw, table, mask,
+                           out_states=np.empty((4, 3, 2)), out_logw=good_w)
+        with pytest.raises(ValueError):  # non-contiguous
+            route_pairwise(send_states, send_logw, table, mask,
+                           out_states=np.empty((4, 2, 4))[:, :, ::2], out_logw=good_w)

@@ -111,3 +111,49 @@ class TestCLI:
         text = out_file.read_text()
         for heading in ("Fig 3", "Fig 4a", "Fig 5", "Fig 6", "Fig 7", "Fig 8", "Fig 9", "Table II", "Table III"):
             assert heading in text
+
+
+class TestBenchMultiprocessCLI:
+    @staticmethod
+    def fake_report(speedup=2.0, parity=True):
+        return {
+            "benchmark": "multiprocess-transport", "grid": "smoke",
+            "rows": [{
+                "n_filters": 16, "m": 16, "n_workers": 2, "total_particles": 256,
+                "vectorized_steps_per_s": 100.0, "pipe_steps_per_s": 10.0,
+                "shm_steps_per_s": 10.0 * speedup,
+                "identical_estimates": parity, "shm_speedup_vs_pipe": speedup,
+            }],
+            "summary": {
+                "largest_config": {"n_filters": 16, "m": 16, "n_workers": 2},
+                "shm_speedup_vs_pipe": speedup, "identical_estimates": parity,
+            },
+        }
+
+    def patch(self, monkeypatch, **kw):
+        import repro.bench.perf as perf
+
+        monkeypatch.setattr(perf, "run_multiprocess_bench",
+                            lambda **kwargs: self.fake_report(**kw))
+
+    def test_writes_report_and_asserts_speedup(self, tmp_path, capsys, monkeypatch):
+        self.patch(monkeypatch, speedup=1.8)
+        out_path = tmp_path / "bench.json"
+        rc = main(["bench", "multiprocess", "--grid", "smoke",
+                   "-o", str(out_path), "--assert-speedup", "1.5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "shm/pipe 1.80x" in out and "parity=ok" in out
+        assert json.loads(out_path.read_text())["summary"]["shm_speedup_vs_pipe"] == 1.8
+
+    def test_fails_below_required_speedup(self, capsys, monkeypatch):
+        self.patch(monkeypatch, speedup=1.1)
+        rc = main(["bench", "multiprocess", "--assert-speedup", "1.5"])
+        assert rc == 1
+        assert "FAIL" in capsys.readouterr().err
+
+    def test_fails_on_parity_mismatch(self, capsys, monkeypatch):
+        self.patch(monkeypatch, parity=False)
+        rc = main(["bench", "multiprocess"])
+        assert rc == 1
+        assert "disagreed" in capsys.readouterr().err
