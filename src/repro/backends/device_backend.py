@@ -33,8 +33,9 @@ class DeviceCostHook(StageHook):
     it lazily when the wrapped filter's configuration changes.
     """
 
-    def __init__(self, cost_provider):
+    def __init__(self, cost_provider, tracer=None):
         self._cost_provider = cost_provider
+        self.tracer = tracer
         self.simulated_seconds = 0.0
         self.simulated_kernel_seconds: dict[str, float] = {}
 
@@ -50,6 +51,10 @@ class DeviceCostHook(StageHook):
         self.simulated_kernel_seconds[kernel] = (
             self.simulated_kernel_seconds.get(kernel, 0.0) + sec
         )
+        if self.tracer is not None:
+            # Modelled device time is a counter, not a span: it has no wall-
+            # clock extent on the host timeline.
+            self.tracer.count(f"device.{kernel}.seconds", sec)
 
     def on_stage_end(self, name: str, state, elapsed: float) -> None:
         cost = self._cost_provider()
@@ -68,7 +73,8 @@ class DeviceSimulatedFilter:
         self.device = platform if isinstance(platform, DeviceSpec) else get_platform(platform)
         self._cost_key = None
         self._round_cost: FilterRoundCost | None = None
-        self._hook = DeviceCostHook(lambda: self.round_cost)
+        self._hook = DeviceCostHook(lambda: self.round_cost,
+                                    tracer=getattr(inner, "tracer", None))
         inner.pipeline.add_hook(self._hook)
 
     def _current_cost_key(self) -> tuple:

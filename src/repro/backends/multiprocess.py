@@ -75,7 +75,7 @@ from repro.engine import (
     TimerHook,
 )
 from repro.engine.vector_stages import LocalHealStage, ResampleStage, SampleWeightStage, SortStage
-from repro.kernels.registry import default_registry
+from repro.kernels.registry import CostParams, default_registry
 from repro.metrics.timing import PhaseTimer, TimingRNG
 from repro.models.base import StateSpaceModel
 from repro.prng.streams import make_rng
@@ -88,6 +88,7 @@ from repro.resilience.errors import (
 from repro.resilience.faults import FaultInjectionHook, FaultPlan, corrupt_send_states
 from repro.resilience.healing import TopologyHealer
 from repro.resilience.monitor import HealMonitorHook, ResilienceReport
+from repro.telemetry.tracer import Tracer, spans_from_wire, spans_to_wire
 from repro.topology import resolve_topology
 from repro.utils.arrays import sanitize_log_weights
 from repro.utils.validation import check_positive_int, check_timeout
@@ -128,13 +129,20 @@ def _worker_loop(chan, model, config, block_lo, block_hi, worker_id,
         policy=make_policy(config.resample_policy, config.resample_arg),
         dtype=dtype,
     )
-    heal_hook = HealMonitorHook()
-    kernel_hook = KernelTimingHook()
-    hooks = [FaultInjectionHook(fault_plan, worker_id), heal_hook, TimerHook(timer), kernel_hook]
+    tracer = Tracer()
+    heal_hook = HealMonitorHook(tracer=tracer)
+    kernel_hook = KernelTimingHook(
+        tracer=tracer,
+        cost_params=CostParams(m=m, state_dim=model.state_dim, n_groups=F,
+                               dtype_bytes=dtype.itemsize, n_exchange=config.n_exchange),
+    )
+    hooks = [FaultInjectionHook(fault_plan, worker_id, tracer=tracer),
+             heal_hook, TimerHook(timer, tracer=tracer), kernel_hook]
     local_pipeline = StepPipeline(
         [SampleWeightStage(), LocalHealStage(), SortStage(force=True)], hooks=hooks
     )
     resample_pipeline = StepPipeline([ResampleStage()], hooks=hooks)
+    reported_errors = 0
     try:
         while True:
             msg = chan.recv()
@@ -153,7 +161,8 @@ def _worker_loop(chan, model, config, block_lo, block_hi, worker_id,
                     )
                     chan.send(("ok",))
                 elif kind == "phase1":
-                    _, z, u, k, t = msg
+                    _, z, u, k, t, trace = msg
+                    tracer.enabled = bool(trace)
                     state.measurement, state.control, state.k = z, u, k
                     timer.reset()
                     local_pipeline.run_stages(ctx, state)
@@ -191,7 +200,23 @@ def _worker_loop(chan, model, config, block_lo, block_hi, worker_id,
                     kernel_seconds = dict(kernel_hook.kernel_seconds)
                     kernel_hook.kernel_seconds.clear()
                     kernel_hook.kernel_calls.clear()
-                    chan.reply_phase2(dict(timer.seconds), kernel_seconds)
+                    # Telemetry piggybacks on the phase-2 reply: this round's
+                    # spans (empty unless the master requested tracing in the
+                    # phase-1 header), counter deltas, suppressed hook-error
+                    # count, and this process's clock *now* — the master uses
+                    # receipt time minus this clock to align the timelines.
+                    spans, counters = tracer.drain()
+                    errors = (local_pipeline.telemetry_errors
+                              + resample_pipeline.telemetry_errors)
+                    telemetry = {
+                        "pid": tracer.pid,
+                        "clock": tracer.clock(),
+                        "spans": spans_to_wire(spans),
+                        "counters": counters,
+                        "errors": errors - reported_errors,
+                    }
+                    reported_errors = errors
+                    chan.reply_phase2(dict(timer.seconds), kernel_seconds, telemetry)
                 elif kind == "get_state":
                     chan.send((state.states, state.log_weights))
                 elif kind == "stop":
@@ -275,6 +300,17 @@ class MultiprocessDistributedParticleFilter:
         self.report = ResilienceReport()
         self.timer = PhaseTimer()
         self.kernel_seconds: dict[str, float] = {}
+        #: master-side telemetry collector; worker spans are merged into it
+        #: clock-aligned at phase-2 receipt. Disabled (near-zero cost) until
+        #: an exporter is attached or ``tracer.enabled`` is set.
+        self.tracer = Tracer()
+        self.tracer.labels[self.tracer.pid] = "master"
+        #: hook/exporter exceptions suppressed across master AND workers.
+        self.telemetry_errors = 0
+        #: payload sends that left the shm slab for the inline pipe path
+        #: (oversized arrays, healed-wider phase-2 widths). Always 0 for the
+        #: pipe transport, whose inline form is the native path.
+        self.transport_fallbacks = 0
         self.k = 0
         self._procs: list = []
         self._chans: list = []
@@ -557,6 +593,11 @@ class MultiprocessDistributedParticleFilter:
             self._scratch_pool[key] = arr
         return arr
 
+    def _count_fallbacks(self, n: int) -> None:
+        if n:
+            self.transport_fallbacks += n
+            self.tracer.count("transport_fallbacks", n)
+
     def step(self, measurement: np.ndarray, control: np.ndarray | None = None) -> np.ndarray:
         if not self._started:
             self.initialize()
@@ -564,6 +605,12 @@ class MultiprocessDistributedParticleFilter:
         t = cfg.n_exchange
         if not self._live_workers():
             raise NoLiveWorkersError("all worker blocks are dead", step=self.k)
+        # Snapshot the tracing flag once per round: workers are told in the
+        # phase-1 header whether to record spans, so master and workers agree
+        # for the whole round even if the caller flips the tracer mid-step.
+        tracing = self.tracer.enabled
+        step_k = self.k
+        step_t0 = self.tracer.clock() if tracing else 0.0
 
         # Assembly buffers for the full population boundary; dead blocks hold
         # -inf weight placeholders so shapes stay (F, ...) and nothing
@@ -614,11 +661,13 @@ class MultiprocessDistributedParticleFilter:
             dispatched.add(w)
             try:
                 if not exchange_on:
-                    self._chans[w].send_phase2(self.k, None, None)
+                    if self._chans[w].send_phase2(self.k, None, None):
+                        self._count_fallbacks(1)
                 elif pooled:
                     lo, hi = self._block_range(w)
-                    self._chans[w].send_phase2(
-                        self.k, pooled_route[0][lo:hi], pooled_route[1][lo:hi])
+                    if self._chans[w].send_phase2(
+                            self.k, pooled_route[0][lo:hi], pooled_route[1][lo:hi]):
+                        self._count_fallbacks(1)
                 else:
                     self._route_block(w, t, send_states, send_logw, table, mask)
                 p2_sent.append(w)
@@ -648,7 +697,8 @@ class MultiprocessDistributedParticleFilter:
         # Phase 1: scatter the measurement to every live worker up front...
         for w in self._live_workers():
             try:
-                self._chans[w].send_phase1(measurement, control, self.k, t)
+                self._count_fallbacks(
+                    self._chans[w].send_phase1(measurement, control, self.k, t, tracing))
             except (BrokenPipeError, OSError) as e:
                 self._handle_failure(w, WorkerCrashedError(
                     f"worker {w} pipe failed on phase1 send: {e}",
@@ -660,9 +710,13 @@ class MultiprocessDistributedParticleFilter:
 
         # Global estimate reduction over the live blocks only (sorted worker
         # order: the float sum must not depend on arrival order).
+        est_t0 = self.tracer.clock() if tracing else 0.0
         with self.timer.phase("estimate"):
             estimate = self._reduce_estimate(
                 best_states, best_logw, [partials[w] for w in sorted(partials)])
+        if tracing:
+            self.tracer.add("estimate", "stage", est_t0, self.tracer.clock(),
+                            attrs={"kernel": "reduce_estimate"})
         self.last_estimate = estimate
 
         # Route + dispatch whatever the overlap could not cover: pooled
@@ -681,13 +735,16 @@ class MultiprocessDistributedParticleFilter:
         round_kernel_seconds: dict[str, float] = {}
 
         def on_phase2(w: int, msg) -> None:
-            stages, kernels = self._chans[w].decode_phase2(msg)
+            recv_clock = self.tracer.clock()
+            stages, kernels, telem = self._chans[w].decode_phase2(msg)
             if isinstance(stages, dict):
                 for name, sec in stages.items():
                     stage_seconds[name] = max(stage_seconds.get(name, 0.0), sec)
             if isinstance(kernels, dict):
                 for name, sec in kernels.items():
                     round_kernel_seconds[name] = max(round_kernel_seconds.get(name, 0.0), sec)
+            if isinstance(telem, dict):
+                self._merge_worker_telemetry(w, telem, recv_clock)
 
         self._gather([w for w in p2_sent if self._worker_alive[w]],
                      what="phase2", handler=on_phase2)
@@ -701,8 +758,33 @@ class MultiprocessDistributedParticleFilter:
 
         if self.respawn_dead and self.dead_workers:
             self._respawn_dead_workers()
+        if tracing:
+            # Recorded with explicit endpoints rather than begin/end so a
+            # mid-step failure can never leave the span stack unbalanced.
+            self.tracer.add(f"step {step_k}", "step", step_t0, self.tracer.clock(),
+                            attrs={"k": step_k})
         self.k += 1
         return estimate
+
+    def _merge_worker_telemetry(self, w: int, telem: dict, recv_clock: float) -> None:
+        """Fold one worker's phase-2 telemetry into the master tracer.
+
+        Clock alignment: the worker stamped its own ``perf_counter`` reading
+        into the reply immediately before sending; ``recv_clock - clock`` is
+        therefore (master-worker clock skew + transport latency), an upper
+        bound that places worker spans at most one reply-delivery late on the
+        merged timeline.
+        """
+        errors = int(telem.get("errors") or 0)
+        if errors:
+            self.telemetry_errors += errors
+            self.tracer.count("telemetry_errors", errors)
+        for name, value in (telem.get("counters") or {}).items():
+            self.tracer.count(name, value)
+        rows = telem.get("spans") or ()
+        if rows:
+            offset = recv_clock - float(telem["clock"])
+            self.tracer.merge(spans_from_wire(rows, offset), label=f"worker-{w}")
 
     def _route_block(self, w: int, t: int, send_states, send_logw, table, mask) -> None:
         """Pairwise-route one block's rows, preferably straight into its slab.
@@ -740,6 +822,10 @@ class MultiprocessDistributedParticleFilter:
         self.kernel_seconds["route_pairwise"] = (
             self.kernel_seconds.get("route_pairwise", 0.0) + elapsed)
         self.timer.seconds["exchange"] = self.timer.seconds.get("exchange", 0.0) + elapsed
+        if self.tracer.enabled:
+            self.tracer.add("exchange", "stage", start, start + elapsed,
+                            attrs={"kernel": "route_pairwise", "block": w,
+                                   "width": width, "direct": direct})
         if direct:
             chan.send_phase2_ready(self.k, width)
         elif bufs is not None:
@@ -747,7 +833,8 @@ class MultiprocessDistributedParticleFilter:
             bufs[1][...] = out_w
             chan.send_phase2_ready(self.k, width)
         else:
-            chan.send_phase2(self.k, out_s, out_w)
+            if chan.send_phase2(self.k, out_s, out_w):
+                self._count_fallbacks(1)
 
     def _route(self, kernel: str, *args):
         """Dispatch an exchange-routing kernel through the registry, timed."""
@@ -756,6 +843,9 @@ class MultiprocessDistributedParticleFilter:
         elapsed = time.perf_counter() - start
         self.kernel_seconds[kernel] = self.kernel_seconds.get(kernel, 0.0) + elapsed
         self.timer.seconds["exchange"] = self.timer.seconds.get("exchange", 0.0) + elapsed
+        if self.tracer.enabled:
+            self.tracer.add("exchange", "stage", start, start + elapsed,
+                            attrs={"kernel": kernel})
         return out
 
     def _reduce_estimate(self, best_states: np.ndarray, best_logw: np.ndarray,

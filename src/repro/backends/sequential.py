@@ -31,6 +31,7 @@ from repro.engine import (
 from repro.metrics.timing import PhaseTimer, TimingRNG
 from repro.models.base import StateSpaceModel
 from repro.prng.streams import make_rng
+from repro.telemetry import Tracer
 from repro.topology import resolve_topology
 
 
@@ -54,8 +55,10 @@ class SequentialDistributedParticleFilter:
             table=self.topology.neighbor_table(),
             mask=self.topology.neighbor_table() >= 0,
         )
-        self.kernel_hook = KernelTimingHook()
-        self.pipeline = build_loop_pipeline(hooks=[TimerHook(self.timer), self.kernel_hook])
+        self.tracer = Tracer()
+        self.kernel_hook = KernelTimingHook(tracer=self.tracer)
+        self.pipeline = build_loop_pipeline(
+            hooks=[TimerHook(self.timer, tracer=self.tracer), self.kernel_hook])
 
     # -- state delegation ------------------------------------------------------
     @property
@@ -82,6 +85,11 @@ class SequentialDistributedParticleFilter:
     def kernel_seconds(self) -> dict[str, float]:
         """Cumulative wall time of registered kernels dispatched this run."""
         return self.kernel_hook.kernel_seconds
+
+    @property
+    def telemetry_errors(self) -> int:
+        """Hook/exporter callbacks that raised and were isolated."""
+        return self.pipeline.telemetry_errors
 
     @property
     def filters(self) -> list[dict] | None:

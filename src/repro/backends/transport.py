@@ -20,14 +20,21 @@ buffer ``k & 1``; the master never reuses a buffer until the worker has
 acknowledged the next header for it, which the strict phase1 → phase2 → k+1
 lockstep of the backend guarantees. Headers are:
 
-- master → worker  ``("phase1", k, t, seq, z_spec, u_spec)``
+- master → worker  ``("phase1", k, t, seq, z_spec, u_spec, trace)``
 - worker → master  ``("p1", k, seq, heal_stats)``  (payload in the slab)
 - master → worker  ``("phase2s", k, width)``        (payload in the slab)
+
+``trace`` is the per-round telemetry context: when the master's tracer is
+enabled the flag rides the phase-1 header (both transports), the worker
+records stage/kernel spans for the round, and ships them — with its clock
+reading for offset alignment — in the phase-2 reply.
 
 Payloads that do not fit their slab (an oversized measurement, or a healed
 topology whose routed width exceeds the preallocated capacity) transparently
 fall back to the inline pickle form of the pipe transport, so correctness
-never depends on the capacity estimate. Rare control messages (``init``,
+never depends on the capacity estimate. Every such fallback is counted on
+the master channel (``fallbacks``) and surfaces as the backend's
+``transport_fallbacks`` telemetry counter. Rare control messages (``init``,
 ``adopt``, ``get_state``, ``stop``) and structured ``("error", traceback)``
 replies always travel inline on the pipe.
 
@@ -145,6 +152,9 @@ class PipeMasterChannel:
     """Master end of a pipe-only channel: every payload is pickled."""
 
     n_segments = 0
+    #: inline-fallback count; always 0 for the pipe transport, whose inline
+    #: form *is* the normal path rather than a degraded one.
+    fallbacks = 0
 
     def __init__(self, parent, child):
         self.conn = parent
@@ -159,8 +169,10 @@ class PipeMasterChannel:
         self.conn.send(msg)
 
     # -- phase 1 -------------------------------------------------------------
-    def send_phase1(self, z, u, k: int, t: int) -> None:
-        self.conn.send(("phase1", z, u, k, t))
+    def send_phase1(self, z, u, k: int, t: int, trace: bool = False) -> int:
+        """Scatter the round inputs; returns the inline-fallback count (0)."""
+        self.conn.send(("phase1", z, u, k, t, bool(trace)))
+        return 0
 
     def decode_phase1(self, msg, t: int):
         """The 6-tuple ``(send_states, send_logw, best_states, best_logw,
@@ -175,15 +187,19 @@ class PipeMasterChannel:
     def send_phase2_ready(self, k: int, width: int) -> None:  # pragma: no cover
         raise RuntimeError("pipe transport has no shared phase-2 buffers")
 
-    def send_phase2(self, k: int, states, logw) -> None:
+    def send_phase2(self, k: int, states, logw) -> bool:
+        """Deliver the routed particles; returns True iff this send had to
+        fall back from a shared slab to the inline pickle form (never, for
+        the pipe transport)."""
         if states is None:
             self.conn.send(("phase2", None, None))
         else:
             self.conn.send(("phase2", np.ascontiguousarray(states),
                             np.ascontiguousarray(logw)))
+        return False
 
-    def decode_phase2(self, msg) -> tuple[dict, dict]:
-        return msg[1], msg[2]
+    def decode_phase2(self, msg) -> tuple[dict, dict, dict | None]:
+        return msg[1], msg[2], msg[3] if len(msg) > 3 else None
 
     # -- lifecycle -----------------------------------------------------------
     def reclaim(self) -> int:
@@ -216,8 +232,9 @@ class PipeWorkerChannel:
                         best_states.copy(), best_logw.copy(), partial,
                         heal_stats))
 
-    def reply_phase2(self, stage_seconds: dict, kernel_seconds: dict) -> None:
-        self.conn.send(("ok", stage_seconds, kernel_seconds))
+    def reply_phase2(self, stage_seconds: dict, kernel_seconds: dict,
+                     telemetry: dict | None = None) -> None:
+        self.conn.send(("ok", stage_seconds, kernel_seconds, telemetry))
 
     def close(self) -> None:
         try:
@@ -286,6 +303,9 @@ class ShmMasterChannel:
         )
         self._views = (layout.views(self._seg.buf, 0), layout.views(self._seg.buf, 1))
         self._seq = 0
+        #: payload sends that had to leave the slab for the inline pipe path
+        #: (oversized scatter arrays, healed-wider phase-2 widths).
+        self.fallbacks = 0
         #: the worker-side channel, built pre-fork so the child inherits the
         #: segment object (and its views) directly through ``fork``.
         self.worker = ShmWorkerChannel(child, self._seg, self._views, layout)
@@ -301,12 +321,17 @@ class ShmMasterChannel:
         self.conn.send(msg)
 
     # -- phase 1 -------------------------------------------------------------
-    def send_phase1(self, z, u, k: int, t: int) -> None:
+    def send_phase1(self, z, u, k: int, t: int, trace: bool = False) -> int:
+        """Scatter the round inputs; returns how many arrays fell back inline."""
         self._seq += 1
         v = self._views[k & 1]
         z_spec = _pack_scatter(v["meas"], z)
         u_spec = _pack_scatter(v["ctrl"], u)
-        self.conn.send(("phase1", k, t, self._seq, z_spec, u_spec))
+        fell_back = sum(1 for spec in (z_spec, u_spec)
+                        if spec is not None and spec[0] == "inline")
+        self.fallbacks += fell_back
+        self.conn.send(("phase1", k, t, self._seq, z_spec, u_spec, bool(trace)))
+        return fell_back
 
     def decode_phase1(self, msg, t: int):
         if not (isinstance(msg, tuple) and msg and msg[0] == "p1"):
@@ -333,23 +358,26 @@ class ShmMasterChannel:
     def send_phase2_ready(self, k: int, width: int) -> None:
         self.conn.send(("phase2s", k, width))
 
-    def send_phase2(self, k: int, states, logw) -> None:
+    def send_phase2(self, k: int, states, logw) -> bool:
+        """Deliver the routed particles; True iff the slab was bypassed."""
         if states is None:
             self.conn.send(("phase2s", k, 0))
-            return
+            return False
         bufs = self.phase2_buffers(k, states.shape[1])
         if bufs is None:
             # Healed topology grew past the preallocated capacity: fall back
             # to the inline pipe form for this round.
+            self.fallbacks += 1
             self.conn.send(("phase2", np.ascontiguousarray(states),
                             np.ascontiguousarray(logw)))
-            return
+            return True
         bufs[0][...] = states
         bufs[1][...] = logw
         self.send_phase2_ready(k, states.shape[1])
+        return False
 
-    def decode_phase2(self, msg) -> tuple[dict, dict]:
-        return msg[1], msg[2]
+    def decode_phase2(self, msg) -> tuple[dict, dict, dict | None]:
+        return msg[1], msg[2], msg[3] if len(msg) > 3 else None
 
     # -- lifecycle -----------------------------------------------------------
     def reclaim(self) -> int:
@@ -399,11 +427,11 @@ class ShmWorkerChannel:
         msg = self.conn.recv()
         kind = msg[0] if isinstance(msg, tuple) and msg else None
         if kind == "phase1":
-            _, k, t, seq, z_spec, u_spec = msg
+            _, k, t, seq, z_spec, u_spec, trace = msg
             self._seq = seq
             v = self._views[k & 1]
             return ("phase1", _unpack_scatter(v["meas"], z_spec),
-                    _unpack_scatter(v["ctrl"], u_spec), k, t)
+                    _unpack_scatter(v["ctrl"], u_spec), k, t, trace)
         if kind == "phase2s":
             _, k, width = msg
             if width == 0:
@@ -429,8 +457,9 @@ class ShmWorkerChannel:
         v["partial"][d + 1] = partial[2]
         self.conn.send(("p1", k, self._seq, heal_stats))
 
-    def reply_phase2(self, stage_seconds: dict, kernel_seconds: dict) -> None:
-        self.conn.send(("ok", stage_seconds, kernel_seconds))
+    def reply_phase2(self, stage_seconds: dict, kernel_seconds: dict,
+                     telemetry: dict | None = None) -> None:
+        self.conn.send(("ok", stage_seconds, kernel_seconds, telemetry))
 
     def close(self) -> None:
         try:

@@ -32,6 +32,7 @@ import numpy as np
 from repro.core import DistributedFilterConfig, DistributedParticleFilter
 from repro.models.base import StateSpaceModel
 from repro.prng import make_rng
+from repro.telemetry import Tracer, run_metadata, write_chrome_trace
 
 #: named (n_filters, m, n_workers) grids. The largest "default" config is the
 #: acceptance config: n_filters >= 256, m >= 64, >= 4 workers.
@@ -117,16 +118,26 @@ def _time_filter(pf, meas: np.ndarray, warmup: int) -> tuple[float, np.ndarray]:
 
 def run_multiprocess_bench(grid: str | list = "default", *, steps: int = 30,
                            warmup: int = 3, backends=("vectorized", "pipe", "shm"),
-                           state_dim: int = STATE_DIM) -> dict:
+                           state_dim: int = STATE_DIM,
+                           trace_path: str | None = None) -> dict:
     """Run the transport benchmark; returns the JSON-ready report dict.
 
     ``grid`` is a named grid (``smoke``/``default``/``full``) or an explicit
     list of ``(n_filters, m, n_workers)`` tuples. Multiprocess rows include
     ``identical_estimates`` — the pipe-vs-shm bit-parity verdict for that
     config (always required to be ``True``).
+
+    With ``trace_path``, every timed run is wrapped in a run-level span and
+    the multiprocess backends record full step/stage/kernel spans (master +
+    workers, clock-aligned); the merged timeline is written as a
+    Chrome/Perfetto ``trace_event`` file. Tracing adds per-stage bookkeeping
+    to the timed region, so rates from a traced run are not comparable to an
+    untraced report.
     """
     from repro.backends import MultiprocessDistributedParticleFilter
 
+    tracer = Tracer(enabled=trace_path is not None)
+    tracer.labels[tracer.pid] = "bench"
     configs = GRIDS[grid] if isinstance(grid, str) else [tuple(c) for c in grid]
     model = _bench_model(state_dim)
     rows = []
@@ -139,15 +150,28 @@ def run_multiprocess_bench(grid: str | list = "default", *, steps: int = 30,
         }
         trajectories = {}
         for backend in backends:
+            run_t0 = tracer.clock()
             if backend == "vectorized":
                 pf = DistributedParticleFilter(model, cfg)
+                pf.tracer.enabled = tracer.enabled
                 pf.initialize()
                 sec, ests = _time_filter(pf, meas, warmup)
+                tracer.merge(pf.tracer.drain()[0])
             else:
                 with MultiprocessDistributedParticleFilter(
                     model, cfg, n_workers=n_workers, transport=backend
                 ) as pf:
+                    pf.tracer.enabled = tracer.enabled
                     sec, ests = _time_filter(pf, meas, warmup)
+                    spans, _ = pf.tracer.drain()
+                    tracer.merge(spans)
+                    for pid, label in pf.tracer.labels.items():
+                        tracer.labels.setdefault(pid, f"{backend}:{label}")
+            tracer.add(f"bench {backend} F={n_filters} m={m}", "run",
+                       run_t0, tracer.clock(),
+                       attrs={"backend": backend, "n_filters": n_filters,
+                              "m": m, "n_workers": n_workers,
+                              "steps_per_s": 1.0 / sec})
             trajectories[backend] = ests
             row[f"{backend}_steps_per_s"] = 1.0 / sec
             row[f"{backend}_particles_per_s"] = n_filters * m / sec
@@ -160,6 +184,10 @@ def run_multiprocess_bench(grid: str | list = "default", *, steps: int = 30,
             )
         rows.append(row)
 
+    if trace_path is not None:
+        write_chrome_trace(trace_path, tracer.spans, tracer.counters,
+                           labels=tracer.labels)
+
     largest = rows[-1] if rows else {}
     report = {
         "benchmark": "multiprocess-transport",
@@ -171,6 +199,9 @@ def run_multiprocess_bench(grid: str | list = "default", *, steps: int = 30,
         "python": platform.python_version(),
         "numpy": np.__version__,
         "machine": platform.machine(),
+        # Full provenance record (git SHA, platform, CPU count...): a perf
+        # number without its environment is not comparable PR-over-PR.
+        "metadata": run_metadata(),
         "rows": rows,
         "summary": {
             "largest_config": {k: largest.get(k) for k in ("n_filters", "m", "n_workers")},
@@ -181,6 +212,43 @@ def run_multiprocess_bench(grid: str | list = "default", *, steps: int = 30,
         },
     }
     return report
+
+
+def measure_telemetry_overhead(*, n_filters: int = 64, m: int = 32,
+                               steps: int = 30, warmup: int = 3,
+                               repeats: int = 3,
+                               state_dim: int = STATE_DIM) -> dict:
+    """Step cost of carrying a *disabled* tracer through the vectorized hooks.
+
+    Compares the default construction (every hook holds the filter's tracer,
+    recording off) against the same pipeline with telemetry detached from
+    each hook (``hook.tracer = None`` — exactly the pre-telemetry hook
+    path). Both sides take the min over *repeats* timed runs, so the
+    reported ``overhead_fraction`` is a noise-resistant upper-bound estimate
+    of what the telemetry plumbing costs when nobody is tracing.
+    """
+    model = _bench_model(state_dim)
+    cfg = _bench_config(n_filters, m)
+    meas = _measurements(model, steps)
+
+    def once(detached: bool) -> float:
+        pf = DistributedParticleFilter(model, cfg)
+        if detached:
+            for hook in pf.pipeline.hooks:
+                if hasattr(hook, "tracer"):
+                    hook.tracer = None
+        pf.initialize()
+        sec, _ = _time_filter(pf, meas, warmup)
+        return sec
+
+    baseline = min(once(True) for _ in range(repeats))
+    instrumented = min(once(False) for _ in range(repeats))
+    return {
+        "n_filters": n_filters, "m": m, "steps": steps, "repeats": repeats,
+        "baseline_s_per_step": baseline,
+        "instrumented_s_per_step": instrumented,
+        "overhead_fraction": instrumented / baseline - 1.0,
+    }
 
 
 def write_report(report: dict, path: str = "BENCH_multiprocess.json") -> str:

@@ -8,6 +8,9 @@ Commands
 - ``report``  — regenerate the full evaluation as a Markdown report.
 - ``platforms`` — list the simulated Table III platforms.
 - ``kernels`` — list registered kernels with predicted costs on a platform.
+- ``trace``   — run a short traced filtering run and write the merged
+  step/stage/kernel timeline as a Chrome/Perfetto ``trace_event`` file
+  (open in ``ui.perfetto.dev``; see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -92,9 +95,26 @@ def _cmd_bench(args) -> int:
 
 
 def _cmd_bench_multiprocess(args) -> int:
-    from repro.bench.perf import run_multiprocess_bench, write_report
+    from repro.bench.perf import (
+        measure_telemetry_overhead,
+        run_multiprocess_bench,
+        write_report,
+    )
 
-    report = run_multiprocess_bench(grid=args.grid, steps=args.steps, warmup=args.warmup)
+    report = run_multiprocess_bench(grid=args.grid, steps=args.steps,
+                                    warmup=args.warmup, trace_path=args.trace)
+    if args.trace:
+        print(f"wrote {args.trace}")
+    if args.assert_overhead is not None:
+        overhead = measure_telemetry_overhead(steps=args.steps, warmup=args.warmup)
+        report["telemetry_overhead"] = overhead
+        frac = overhead["overhead_fraction"]
+        if frac > args.assert_overhead:
+            print(f"FAIL: disabled-telemetry step overhead {frac * 100:.1f}% > "
+                  f"allowed {args.assert_overhead * 100:.1f}%", file=sys.stderr)
+            return 1
+        print(f"disabled-telemetry overhead {frac * 100:+.1f}% "
+              f"<= {args.assert_overhead * 100:.1f}%")
     for row in report["rows"]:
         cols = [f"F={row['n_filters']:>4} m={row['m']:>4} w={row['n_workers']}"]
         for backend in ("vectorized", "pipe", "shm"):
@@ -118,6 +138,51 @@ def _cmd_bench_multiprocess(args) -> int:
                   f"{args.assert_speedup:.2f}x on the largest config", file=sys.stderr)
             return 1
         print(f"shm speedup {speedup:.2f}x >= {args.assert_speedup:.2f}x")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    import numpy as np
+
+    from repro.core import DistributedFilterConfig, DistributedParticleFilter
+    from repro.models import LinearGaussianModel
+    from repro.prng import make_rng
+    from repro.telemetry import run_metadata, summary_table, write_chrome_trace
+
+    model = LinearGaussianModel(A=[[0.9]], C=[[1.0]], Q=[[0.04]], R=[[0.01]])
+    cfg = DistributedFilterConfig(
+        n_particles=args.particles, n_filters=args.filters, topology="ring",
+        n_exchange=args.exchange, estimator="weighted_mean", seed=args.seed,
+    )
+    truth = model.simulate(args.steps, make_rng("numpy", seed=args.seed + 1))
+    meas = np.asarray(truth.measurements, dtype=np.float64)
+    if args.backend == "vectorized":
+        pf = DistributedParticleFilter(model, cfg)
+        pf.tracer.enabled = True
+        pf.initialize()
+        run_t0 = pf.tracer.clock()
+        for k in range(meas.shape[0]):
+            pf.step(meas[k])
+        tracer = pf.tracer
+    else:
+        from repro.backends import MultiprocessDistributedParticleFilter
+
+        with MultiprocessDistributedParticleFilter(
+            model, cfg, n_workers=args.workers, transport=args.backend
+        ) as pf:
+            pf.tracer.enabled = True
+            run_t0 = pf.tracer.clock()
+            for k in range(meas.shape[0]):
+                pf.step(meas[k])
+            tracer = pf.tracer
+    tracer.add(f"{args.backend} run", "run", run_t0, tracer.clock(),
+               attrs={"backend": args.backend, "steps": args.steps,
+                      **run_metadata()})
+    write_chrome_trace(args.output, tracer.spans, tracer.counters,
+                       labels=tracer.labels)
+    print(summary_table(tracer.spans, tracer.counters))
+    print(f"wrote {args.output} ({len(tracer.spans)} spans) — "
+          "open in ui.perfetto.dev or chrome://tracing")
     return 0
 
 
@@ -203,7 +268,24 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--assert-speedup", type=float, default=None,
                    help="(multiprocess) fail unless shm/pipe speedup on the largest "
                         "config reaches this factor")
+    b.add_argument("--trace", default=None, metavar="FILE",
+                   help="(multiprocess) also record the merged step/stage/kernel "
+                        "timeline and write it as a Chrome trace_event file")
+    b.add_argument("--assert-overhead", type=float, default=None, metavar="FRACTION",
+                   help="(multiprocess) fail if the disabled-telemetry hook overhead "
+                        "on the vectorized backend exceeds this fraction (e.g. 0.05)")
     b.set_defaults(func=_cmd_bench)
+
+    tr = sub.add_parser("trace", help="write a merged Chrome/Perfetto trace of a short run")
+    tr.add_argument("output", help="trace_event JSON output path (open in ui.perfetto.dev)")
+    tr.add_argument("--backend", default="shm", choices=["vectorized", "pipe", "shm"])
+    tr.add_argument("--particles", type=int, default=64, help="particles per sub-filter (m)")
+    tr.add_argument("--filters", type=int, default=16, help="number of sub-filters (N)")
+    tr.add_argument("--exchange", type=int, default=2, help="particles per exchange (t)")
+    tr.add_argument("--workers", type=int, default=2, help="worker processes (multiprocess)")
+    tr.add_argument("--steps", type=int, default=5)
+    tr.add_argument("--seed", type=int, default=0)
+    tr.set_defaults(func=_cmd_trace)
 
     r = sub.add_parser("report", help="regenerate the full evaluation report")
     r.add_argument("--output", "-o", default=None, help="write Markdown to this file")

@@ -36,6 +36,7 @@ from repro.engine import vector_stages
 from repro.metrics.timing import PhaseTimer, TimingRNG
 from repro.models.base import StateSpaceModel
 from repro.prng.streams import make_rng
+from repro.telemetry import Tracer
 from repro.topology import resolve_topology
 
 
@@ -69,8 +70,28 @@ class DistributedParticleFilter:
             policy=self.policy, dtype=self.dtype, topology=self.topology,
             table=self._table, mask=self._mask, owner=self,
         )
-        self.kernel_hook = KernelTimingHook()
-        self.pipeline = build_vector_pipeline(hooks=[TimerHook(self.timer), self.kernel_hook])
+        # Telemetry: span recording is off until an exporter is attached (or
+        # ``tracer.enabled`` is set); the hooks below then emit step/stage/
+        # kernel spans without touching the legacy timer/kernel_seconds path.
+        self.tracer = Tracer()
+        self.kernel_hook = KernelTimingHook(
+            tracer=self.tracer, cost_params=self._cost_params)
+        self.pipeline = build_vector_pipeline(
+            hooks=[TimerHook(self.timer, tracer=self.tracer), self.kernel_hook])
+
+    def _cost_params(self):
+        """The shape the kernel cost signatures are evaluated at (span attrs)."""
+        from repro.kernels.registry import CostParams
+
+        cfg = self.config
+        return CostParams(m=cfg.n_particles, state_dim=self.model.state_dim,
+                          n_groups=cfg.n_filters, dtype_bytes=self.dtype.itemsize,
+                          n_exchange=cfg.n_exchange)
+
+    @property
+    def telemetry_errors(self) -> int:
+        """Hook/exporter callbacks that raised and were isolated."""
+        return self.pipeline.telemetry_errors
 
     # -- state delegation ------------------------------------------------------
     # The population lives in the engine's FilterState; these properties keep

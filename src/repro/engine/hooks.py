@@ -5,6 +5,15 @@ run without being part of the computation: timing, device cost accounting
 and resilience monitoring all attach here instead of living inline in the
 backends. Hooks receive the stage name, the live :class:`FilterState` (use
 its snapshot accessors; do not mutate) and the measured elapsed seconds.
+
+Since the telemetry refactor, the built-in hooks are thin adapters onto the
+:mod:`repro.telemetry` spine: each one keeps its legacy accumulator — the
+:class:`PhaseTimer`, the ``kernel_seconds``/``kernel_calls`` dicts — exactly
+as before (those accessors are part of the golden-trace contract), and
+*additionally* emits spans and counters into an attached
+:class:`~repro.telemetry.Tracer`. With no tracer (or a disabled one) the
+emission short-circuits to a single attribute check, so the hook path costs
+what it did before the spine existed.
 """
 
 from __future__ import annotations
@@ -14,7 +23,12 @@ from repro.metrics.timing import PhaseTimer
 
 
 class StageHook:
-    """Base observer; all callbacks are optional no-ops."""
+    """Base observer; all callbacks are optional no-ops.
+
+    A raising hook never aborts or corrupts the filter step: the pipeline
+    isolates every callback, counts failures in its ``telemetry_errors``
+    counter and warns once per site (see :meth:`StepPipeline.fire`).
+    """
 
     def on_step_start(self, state: FilterState) -> None:
         pass
@@ -30,46 +44,93 @@ class StageHook:
 
 
 class TimerHook(StageHook):
-    """Feeds stage durations into a :class:`PhaseTimer`.
+    """Feeds stage durations into a :class:`PhaseTimer`, and spans into a tracer.
 
     The phase is opened on stage start and closed on stage end through the
     timer's own stack so that nested phases — ``rand`` opened by
     :class:`~repro.metrics.timing.TimingRNG` inside model code — are still
     subtracted from the enclosing stage, exactly as the paper's separate
-    PRNG kernel demands.
+    PRNG kernel demands. When a :class:`~repro.telemetry.Tracer` is attached
+    and enabled, the same start/stop pair also opens/closes a ``stage`` span
+    (and the full step gets a ``step`` span), making this hook the timeline
+    adapter for every pipeline-driven backend. The :class:`PhaseTimer`
+    remains the legacy accessor: its ``seconds``/``fractions()`` values are
+    byte-for-byte what they were before the telemetry spine existed.
     """
 
-    def __init__(self, timer: PhaseTimer | None = None):
+    def __init__(self, timer: PhaseTimer | None = None, tracer=None):
         self.timer = timer if timer is not None else PhaseTimer()
+        self.tracer = tracer
+
+    def on_step_start(self, state: FilterState) -> None:
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.begin(f"step {state.k}", "step", k=state.k)
 
     def on_stage_start(self, name: str, state: FilterState) -> None:
         self.timer.start(name)
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.begin(name, "stage")
 
     def on_stage_end(self, name: str, state: FilterState, elapsed: float) -> None:
         self.timer.stop()
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.end()
+
+    def on_step_end(self, state: FilterState) -> None:
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.end()
 
 
 class KernelTimingHook(StageHook):
     """Aggregates per-kernel wall time across backends.
 
     :meth:`~repro.engine.stage.ExecutionContext.invoke_kernel` appends
-    ``(kernel_name, elapsed)`` events to ``state.kernel_events``; this hook
-    drains them at every stage end, so ``kernel_seconds``/``kernel_calls``
-    accumulate uniformly whether the pipeline is vectorized, loop-based or a
-    multiprocess worker's.
+    ``(kernel_name, elapsed, start)`` events to ``state.kernel_events``; this
+    hook drains them at every stage end, so ``kernel_seconds``/
+    ``kernel_calls`` accumulate uniformly whether the pipeline is vectorized,
+    loop-based or a multiprocess worker's. With a tracer attached and
+    enabled, every drained event additionally becomes a ``kernel`` span with
+    its real timestamps — annotated with the registered cost signature's
+    flops/bytes when ``cost_params`` (a
+    :class:`~repro.kernels.registry.CostParams` or a zero-arg callable
+    returning one) is provided.
     """
 
-    def __init__(self):
+    def __init__(self, tracer=None, cost_params=None):
         self.kernel_seconds: dict[str, float] = {}
         self.kernel_calls: dict[str, int] = {}
+        self.tracer = tracer
+        self.cost_params = cost_params
+        self._attr_cache: dict[str, dict | None] = {}
+
+    def _cost_attrs(self, name: str) -> dict | None:
+        if self.cost_params is None:
+            return None
+        if name not in self._attr_cache:
+            from repro.kernels.registry import kernel_cost_attrs
+
+            params = self.cost_params() if callable(self.cost_params) else self.cost_params
+            self._attr_cache[name] = kernel_cost_attrs(name, params)
+        return self._attr_cache[name]
 
     def _drain(self, state: FilterState) -> None:
         events = getattr(state, "kernel_events", None)
         if not events:
             return
-        for name, elapsed in events:
+        tracer = self.tracer
+        tracing = tracer is not None and tracer.enabled
+        for event in events:
+            name, elapsed = event[0], event[1]
             self.kernel_seconds[name] = self.kernel_seconds.get(name, 0.0) + elapsed
             self.kernel_calls[name] = self.kernel_calls.get(name, 0) + 1
+            if tracing and len(event) > 2:
+                start = event[2]
+                tracer.add(name, "kernel", start, start + elapsed,
+                           attrs=self._cost_attrs(name))
         events.clear()
 
     def on_stage_end(self, name: str, state: FilterState, elapsed: float) -> None:

@@ -7,6 +7,13 @@ vectorized filter runs the full six-stage round; multiprocess workers run
 the local-only subset (sampling/heal/sort, then resample) with the exchange
 routed through the master's message-passing boundary via
 :meth:`run_stages`.
+
+Hook error isolation: observers must never break the computation they
+observe. Every hook callback is individually guarded — a raising hook (or a
+raising telemetry exporter downstream of one) leaves the stage sequence, the
+other hooks, and the filtering output untouched; the failure is counted in
+:attr:`StepPipeline.telemetry_errors` and warned once per
+``HookClass.method`` site.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ import numpy as np
 from repro.engine.hooks import StageHook
 from repro.engine.stage import Stage
 from repro.engine.state import FilterState
+from repro.telemetry.tracer import warn_hook_error_once
 
 
 class StepPipeline:
@@ -27,6 +35,9 @@ class StepPipeline:
     def __init__(self, stages: Sequence[Stage], hooks: Iterable[StageHook] = ()):
         self.stages = list(stages)
         self.hooks = list(hooks)
+        #: hook callbacks that raised and were suppressed (observers must
+        #: never abort the filter step they observe).
+        self.telemetry_errors = 0
 
     @property
     def stage_names(self) -> tuple[str, ...]:
@@ -40,6 +51,16 @@ class StepPipeline:
     def remove_hook(self, hook: StageHook) -> None:
         self.hooks.remove(hook)
 
+    # -- hook dispatch ---------------------------------------------------------
+    def fire(self, method: str, *args) -> None:
+        """Invoke ``hook.<method>(*args)`` on every hook, isolating failures."""
+        for h in self.hooks:
+            try:
+                getattr(h, method)(*args)
+            except Exception:
+                self.telemetry_errors += 1
+                warn_hook_error_once(f"{type(h).__name__}.{method}")
+
     # -- execution -------------------------------------------------------------
     def run_stages(self, ctx, state: FilterState) -> None:
         """Execute the stage list once (no step bookkeeping).
@@ -48,26 +69,22 @@ class StepPipeline:
         for their local stage subset while the master owns the step counter
         and the exchange routing.
         """
-        hooks = self.hooks
+        fire = self.fire
         for stage in self.stages:
             name = stage.name
-            for h in hooks:
-                h.on_stage_start(name, state)
+            fire("on_stage_start", name, state)
             begin = time.perf_counter()
             stage.run(ctx, state)
             elapsed = time.perf_counter() - begin
-            for h in hooks:
-                h.on_stage_end(name, state, elapsed)
+            fire("on_stage_end", name, state, elapsed)
 
     def run(self, ctx, state: FilterState, measurement: np.ndarray,
             control: np.ndarray | None = None) -> np.ndarray:
         """One full filtering round; returns the global estimate."""
         state.measurement = measurement
         state.control = control
-        for h in self.hooks:
-            h.on_step_start(state)
+        self.fire("on_step_start", state)
         self.run_stages(ctx, state)
-        for h in self.hooks:
-            h.on_step_end(state)
+        self.fire("on_step_end", state)
         state.k += 1
         return state.estimate

@@ -79,16 +79,17 @@ class ExecutionContext:
         return self.registry
 
     def invoke_kernel(self, state: FilterState, name: str, *args, **kwargs):
-        """Run a registered batch kernel and record ``(name, elapsed)``.
+        """Run a registered batch kernel and record ``(name, elapsed, start)``.
 
         Pure routing — the returned value is exactly what the registered
         implementation returns — plus a timing event appended to
         ``state.kernel_events``, which a
         :class:`~repro.engine.hooks.KernelTimingHook` drains into per-kernel
-        seconds on every backend uniformly.
+        seconds (and, when tracing, kernel spans with real timestamps) on
+        every backend uniformly.
         """
         impl = self.kernel_registry().batch(name)
         start = time.perf_counter()
         out = impl(*args, **kwargs)
-        state.kernel_events.append((name, time.perf_counter() - start))
+        state.kernel_events.append((name, time.perf_counter() - start, start))
         return out

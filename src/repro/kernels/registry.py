@@ -63,6 +63,7 @@ __all__ = [
     "KernelDef",
     "KernelRegistry",
     "default_registry",
+    "kernel_cost_attrs",
     "register_default_kernels",
     "weight_argsort_batch",
 ]
@@ -749,3 +750,28 @@ def default_registry() -> KernelRegistry:
     if _DEFAULT is None:
         _DEFAULT = register_default_kernels(KernelRegistry())
     return _DEFAULT
+
+
+def kernel_cost_attrs(name: str, params: CostParams,
+                      registry: KernelRegistry | None = None) -> dict | None:
+    """Span attributes for one dispatch of kernel *name* at shape *params*.
+
+    The telemetry spine attaches the registered :class:`CostSig`'s analytic
+    flops / bytes to every ``kernel`` span it records, so a trace carries
+    arithmetic-intensity context next to the measured wall time. Returns
+    ``None`` for unregistered kernels (spans stay attribute-free rather than
+    failing the dispatch that produced them).
+    """
+    reg = registry if registry is not None else default_registry()
+    if name not in reg:
+        return None
+    try:
+        wl = reg.workload(name, params)
+    except Exception:  # pragma: no cover - a cost sig must never break tracing
+        return None
+    return {
+        "flops": wl.flops,
+        "bytes_read": wl.bytes_read,
+        "bytes_written": wl.bytes_written,
+        "launches": wl.launches,
+    }

@@ -61,10 +61,15 @@ class PhaseTimer:
         return sum(self.seconds.values())
 
     def fractions(self) -> dict[str, float]:
-        """Phase shares of the total (the paper's stacked-area quantity)."""
+        """Phase shares of the total (the paper's stacked-area quantity).
+
+        A timer with zero total elapsed — fresh, reset, or from a zero-step
+        run — has no meaningful shares: the result is an empty dict, never
+        NaN and never a division error.
+        """
         total = self.total()
         if total <= 0:
-            return {k: 0.0 for k in self.seconds}
+            return {}
         return {k: v / total for k, v in self.seconds.items()}
 
     def reset(self) -> None:

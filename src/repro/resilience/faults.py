@@ -257,20 +257,29 @@ class FaultInjectionHook:
     inheriting so that :mod:`repro.resilience` stays importable standalone.
     """
 
-    def __init__(self, plan: FaultPlan | None, worker_id: int):
+    def __init__(self, plan: FaultPlan | None, worker_id: int, tracer=None):
         self.plan = plan
         self.worker_id = worker_id
+        self.tracer = tracer
+
+    def _count(self, name: str, value: int) -> None:
+        if value and self.tracer is not None:
+            self.tracer.count(name, value)
 
     def on_step_start(self, state) -> None:
         pass
 
     def on_stage_start(self, name: str, state) -> None:
         if name == "sampling":
+            if self.plan is not None and self.tracer is not None:
+                self._count("faults.injected",
+                            len(self.plan.faults_for(self.worker_id, state.k)))
             apply_process_faults(self.plan, self.worker_id, state.k)
 
     def on_stage_end(self, name: str, state, elapsed: float) -> None:
         if name == "sampling":
-            poison_log_weights(self.plan, self.worker_id, state.k, state.log_weights)
+            self._count("faults.poisoned_rows", poison_log_weights(
+                self.plan, self.worker_id, state.k, state.log_weights))
 
     def on_step_end(self, state) -> None:
         pass

@@ -97,10 +97,11 @@ class HealMonitorHook:
     — resilience monitoring as an observer instead of inline bookkeeping.
     """
 
-    def __init__(self):
+    def __init__(self, tracer=None):
         self.last_round: dict[str, int] = {}
         self.totals: dict[str, int] = {}
         self._before: dict[str, int] = {}
+        self.tracer = tracer
 
     def on_step_start(self, state) -> None:
         pass
@@ -118,6 +119,8 @@ class HealMonitorHook:
         }
         for key, value in self.last_round.items():
             self.totals[key] = self.totals.get(key, 0) + value
+            if value and self.tracer is not None:
+                self.tracer.count(f"heal.{key}", value)
 
     def on_step_end(self, state) -> None:
         pass

@@ -1,0 +1,57 @@
+"""Structured telemetry: one observability spine for every backend.
+
+The paper's headline results are performance *breakdowns* — which kernel
+dominates as m, N, and the state dimension scale. This package is the
+single layer all of the repo's diagnostics feed: hierarchical spans
+(run → step → stage → kernel) with attached counters and attributes,
+collected by a process-local :class:`Tracer` and rendered by exporters
+(JSONL event log, Chrome/Perfetto ``trace_event`` JSON, plain-text summary
+tables). The engine's stage hooks, the device cost model, the resilience
+monitor and the multiprocess backend all emit here; see
+``docs/observability.md`` for the span model and per-backend merge
+semantics.
+"""
+
+from repro.telemetry.exporters import (
+    TRACE_EVENT_REQUIRED_KEYS,
+    ChromeTraceExporter,
+    JsonlExporter,
+    SummaryExporter,
+    breakdown,
+    chrome_trace,
+    jsonl_events,
+    summary_table,
+    validate_trace_events,
+    write_chrome_trace,
+)
+from repro.telemetry.tracer import (
+    SPAN_KINDS,
+    Span,
+    Tracer,
+    reset_hook_error_warnings,
+    run_metadata,
+    spans_from_wire,
+    spans_to_wire,
+    warn_hook_error_once,
+)
+
+__all__ = [
+    "SPAN_KINDS",
+    "TRACE_EVENT_REQUIRED_KEYS",
+    "ChromeTraceExporter",
+    "JsonlExporter",
+    "Span",
+    "SummaryExporter",
+    "Tracer",
+    "breakdown",
+    "chrome_trace",
+    "jsonl_events",
+    "reset_hook_error_warnings",
+    "run_metadata",
+    "spans_from_wire",
+    "spans_to_wire",
+    "summary_table",
+    "validate_trace_events",
+    "warn_hook_error_once",
+    "write_chrome_trace",
+]

@@ -1,0 +1,187 @@
+"""Telemetry exporters: JSONL event log, Chrome trace, text summary.
+
+All exporters consume the same inputs — a list of finished
+:class:`~repro.telemetry.tracer.Span` objects plus the counter dict — and
+are pure encoders: they never mutate the tracer. Each class also works as a
+``Tracer.attach`` sink via its ``export(spans, counters, labels=...)``
+method; the module-level functions are the direct forms.
+
+Chrome ``trace_event`` format
+-----------------------------
+:func:`chrome_trace` emits the JSON object format (``{"traceEvents":
+[...]}``) using complete events (``"ph": "X"``) with microsecond ``ts`` /
+``dur``, one process track per producing process (master + each worker),
+process-name metadata events, and a trailing instant event carrying the
+counter totals. ``chrome://tracing`` and https://ui.perfetto.dev open the
+file directly. Every event carries the required keys ``ph``/``ts``/``pid``/
+``tid``/``name``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.telemetry.tracer import Span
+
+#: keys every emitted trace event must carry (validated by the CLI smoke test).
+TRACE_EVENT_REQUIRED_KEYS = ("ph", "ts", "pid", "tid", "name")
+
+
+def _clean_attrs(attrs: dict | None) -> dict:
+    if not attrs:
+        return {}
+    out = {}
+    for k, v in attrs.items():
+        try:
+            json.dumps(v)
+            out[str(k)] = v
+        except (TypeError, ValueError):
+            out[str(k)] = repr(v)
+    return out
+
+
+def chrome_trace(spans: list[Span], counters: dict | None = None,
+                 labels: dict | None = None) -> dict:
+    """The ``trace_event`` JSON object for *spans* (timestamps re-based to 0)."""
+    events: list[dict] = []
+    base = min((s.start for s in spans), default=0.0)
+    for pid, label in sorted((labels or {}).items()):
+        events.append({
+            "ph": "M", "ts": 0, "pid": pid, "tid": 0,
+            "name": "process_name", "args": {"name": str(label)},
+        })
+    last = 0.0
+    for s in spans:
+        if s.end is None:
+            continue
+        events.append({
+            "ph": "X",
+            "ts": (s.start - base) * 1e6,
+            "dur": max(s.end - s.start, 0.0) * 1e6,
+            "pid": s.pid,
+            "tid": s.tid,
+            "name": s.name,
+            "cat": s.kind,
+            "args": _clean_attrs(s.attrs),
+        })
+        last = max(last, (s.end - base) * 1e6)
+    if counters:
+        pid = spans[0].pid if spans else 0
+        events.append({
+            "ph": "i", "ts": last, "pid": pid, "tid": 0, "s": "g",
+            "name": "counters", "cat": "counter",
+            "args": {k: counters[k] for k in sorted(counters)},
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str, spans: list[Span], counters: dict | None = None,
+                       labels: dict | None = None) -> dict:
+    """Write :func:`chrome_trace` output to *path*; returns the object."""
+    obj = chrome_trace(spans, counters, labels)
+    with open(path, "w") as fh:
+        json.dump(obj, fh)
+        fh.write("\n")
+    return obj
+
+
+def validate_trace_events(obj: dict) -> list[dict]:
+    """Check *obj* against the ``trace_event`` schema subset we guarantee.
+
+    Returns the event list; raises ``ValueError`` naming the first offence.
+    Used by the CLI smoke test and the CI trace-artifact step.
+    """
+    if not isinstance(obj, dict) or "traceEvents" not in obj:
+        raise ValueError("trace must be a JSON object with a 'traceEvents' list")
+    events = obj["traceEvents"]
+    if not isinstance(events, list) or not events:
+        raise ValueError("'traceEvents' must be a non-empty list")
+    for i, ev in enumerate(events):
+        for key in TRACE_EVENT_REQUIRED_KEYS:
+            if key not in ev:
+                raise ValueError(f"traceEvents[{i}] is missing required key {key!r}: {ev}")
+        if ev["ph"] == "X" and "dur" not in ev:
+            raise ValueError(f"traceEvents[{i}] is a complete event without 'dur'")
+    return events
+
+
+class ChromeTraceExporter:
+    """``Tracer.attach`` sink writing a Chrome/Perfetto trace on flush."""
+
+    def __init__(self, path: str):
+        self.path = path
+
+    def export(self, spans, counters, labels=None) -> None:
+        write_chrome_trace(self.path, spans, counters, labels)
+
+
+def jsonl_events(spans: list[Span], counters: dict | None = None) -> list[dict]:
+    """One JSON-ready record per span, plus one per counter total."""
+    rows = [
+        {"type": "span", "name": s.name, "kind": s.kind, "start": s.start,
+         "end": s.end, "pid": s.pid, "tid": s.tid,
+         "attrs": _clean_attrs(s.attrs)}
+        for s in spans
+        if s.end is not None
+    ]
+    for name in sorted(counters or {}):
+        rows.append({"type": "counter", "name": name, "value": counters[name]})
+    return rows
+
+
+class JsonlExporter:
+    """``Tracer.attach`` sink appending one JSON object per line on flush."""
+
+    def __init__(self, path: str):
+        self.path = path
+
+    def export(self, spans, counters, labels=None) -> None:
+        with open(self.path, "a") as fh:
+            for row in jsonl_events(spans, counters):
+                fh.write(json.dumps(row))
+                fh.write("\n")
+
+
+def breakdown(spans: list[Span], kind: str = "stage") -> dict[str, float]:
+    """Total seconds per span name over spans of *kind*."""
+    out: dict[str, float] = {}
+    for s in spans:
+        if s.kind == kind and s.end is not None:
+            out[s.name] = out.get(s.name, 0.0) + (s.end - s.start)
+    return out
+
+
+def summary_table(spans: list[Span], counters: dict | None = None) -> str:
+    """Plain-text per-stage/per-kernel breakdown (the paper's Fig. 5-8 shape).
+
+    Stage rows show seconds and the share of total stage time — the same
+    quantity as ``PhaseTimer.fractions()`` — followed by the per-kernel
+    totals and the counter totals.
+    """
+    lines: list[str] = []
+    for kind, title in (("stage", "per-stage breakdown"), ("kernel", "per-kernel breakdown")):
+        agg = breakdown(spans, kind)
+        if not agg:
+            continue
+        total = sum(agg.values())
+        lines.append(f"{title} (total {total * 1e3:.3f} ms):")
+        for name, sec in sorted(agg.items(), key=lambda kv: -kv[1]):
+            frac = sec / total if total > 0 else 0.0
+            lines.append(f"  {name:<16} {sec * 1e3:10.3f} ms  {frac:6.1%}")
+    if counters:
+        lines.append("counters:")
+        for name in sorted(counters):
+            lines.append(f"  {name:<28} {counters[name]:g}")
+    return "\n".join(lines) if lines else "(no spans recorded)"
+
+
+class SummaryExporter:
+    """``Tracer.attach`` sink printing the text summary on flush."""
+
+    def __init__(self, stream=None):
+        self.stream = stream
+
+    def export(self, spans, counters, labels=None) -> None:
+        import sys
+
+        print(summary_table(spans, counters), file=self.stream or sys.stdout)

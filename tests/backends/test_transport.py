@@ -103,8 +103,9 @@ class TestShmChannelRoundtrip:
         try:
             z = np.array([0.5, -1.0, 2.0])
             master.send_phase1(z, None, k=0, t=lay.t_cap)
-            kind, z2, u2, k, t = worker.recv()
+            kind, z2, u2, k, t, trace = worker.recv()
             assert kind == "phase1" and k == 0 and t == lay.t_cap
+            assert trace is False
             np.testing.assert_array_equal(z2, z)
             assert u2 is None
 
@@ -126,8 +127,9 @@ class TestShmChannelRoundtrip:
         try:
             big = np.arange(5, dtype=np.float64)   # > meas_cap
             f32 = np.array([1.0], dtype=np.float32)  # non-f64 keeps exact bits inline
-            master.send_phase1(big, f32, k=0, t=1)
-            _, z2, u2, _, _ = worker.recv()
+            fell_back = master.send_phase1(big, f32, k=0, t=1)
+            assert fell_back == 2 and master.fallbacks == 2
+            _, z2, u2, _, _, _ = worker.recv()
             np.testing.assert_array_equal(z2, big)
             assert u2.dtype == np.float32
             np.testing.assert_array_equal(u2, f32)

@@ -1,0 +1,108 @@
+"""Tests for the telemetry exporters: Chrome trace, JSONL, summary table."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    TRACE_EVENT_REQUIRED_KEYS,
+    ChromeTraceExporter,
+    JsonlExporter,
+    Span,
+    breakdown,
+    chrome_trace,
+    jsonl_events,
+    summary_table,
+    validate_trace_events,
+    write_chrome_trace,
+)
+
+
+def sample_spans():
+    return [
+        Span("step 0", "step", 10.0, 10.5, pid=1, tid=0),
+        Span("sampling", "stage", 10.0, 10.2, pid=1, tid=0),
+        Span("sort", "kernel", 10.05, 10.1, pid=1, tid=0,
+             attrs={"flops": 640, "obj": object()}),
+        Span("resample", "stage", 10.3, 10.5, pid=2, tid=0),
+    ]
+
+
+class TestChromeTrace:
+    def test_schema_and_required_keys(self):
+        obj = chrome_trace(sample_spans(), {"heal.sanitized": 3},
+                           labels={1: "master", 2: "worker-0"})
+        events = validate_trace_events(obj)
+        assert obj["displayTimeUnit"] == "ms"
+        for ev in events:
+            for key in TRACE_EVENT_REQUIRED_KEYS:
+                assert key in ev
+        phases = {ev["ph"] for ev in events}
+        assert phases == {"M", "X", "i"}
+        json.dumps(obj)  # attrs must be JSON-clean (the object() is repr'd)
+
+    def test_timestamps_rebased_to_zero_in_us(self):
+        events = chrome_trace(sample_spans())["traceEvents"]
+        xs = [ev for ev in events if ev["ph"] == "X"]
+        assert min(ev["ts"] for ev in xs) == 0.0
+        first = next(ev for ev in xs if ev["name"] == "step 0")
+        assert first["dur"] == pytest.approx(0.5e6)
+
+    def test_process_labels_become_metadata_events(self):
+        events = chrome_trace(sample_spans(), labels={2: "worker-0"})["traceEvents"]
+        meta = [ev for ev in events if ev["ph"] == "M"]
+        assert meta == [{"ph": "M", "ts": 0, "pid": 2, "tid": 0,
+                         "name": "process_name", "args": {"name": "worker-0"}}]
+
+    def test_validate_rejects_bad_objects(self):
+        with pytest.raises(ValueError, match="traceEvents"):
+            validate_trace_events({"events": []})
+        with pytest.raises(ValueError, match="non-empty"):
+            validate_trace_events({"traceEvents": []})
+        with pytest.raises(ValueError, match="missing required key"):
+            validate_trace_events({"traceEvents": [{"ph": "X", "ts": 0}]})
+        with pytest.raises(ValueError, match="'dur'"):
+            validate_trace_events({"traceEvents": [
+                {"ph": "X", "ts": 0, "pid": 1, "tid": 0, "name": "a"}]})
+
+    def test_write_and_exporter_class(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        write_chrome_trace(path, sample_spans(), {"c": 1})
+        validate_trace_events(json.load(open(path)))
+        ChromeTraceExporter(path).export(sample_spans(), {"c": 2}, labels={1: "m"})
+        validate_trace_events(json.load(open(path)))
+
+
+class TestJsonl:
+    def test_rows_cover_spans_and_counters(self):
+        rows = jsonl_events(sample_spans(), {"faults.injected": 2})
+        kinds = [r["type"] for r in rows]
+        assert kinds.count("span") == 4 and kinds.count("counter") == 1
+        assert rows[-1] == {"type": "counter", "name": "faults.injected",
+                            "value": 2}
+
+    def test_exporter_appends_lines(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        exp = JsonlExporter(path)
+        exp.export(sample_spans()[:2], {})
+        exp.export(sample_spans()[2:], {"c": 1})
+        lines = [json.loads(line) for line in open(path)]
+        assert len(lines) == 5  # 2 + 2 spans + 1 counter, appended
+
+
+class TestSummary:
+    def test_breakdown_sums_by_kind(self):
+        agg = breakdown(sample_spans(), "stage")
+        assert agg["sampling"] == pytest.approx(0.2)
+        assert agg["resample"] == pytest.approx(0.2)
+        assert "sort" not in agg  # kernel, not stage
+
+    def test_table_has_fractions_and_counters(self):
+        text = summary_table(sample_spans(), {"transport_fallbacks": 4})
+        assert "per-stage breakdown" in text
+        assert "per-kernel breakdown" in text
+        assert "sampling" in text and "50.0%" in text
+        assert "transport_fallbacks" in text and "4" in text
+
+    def test_empty_spans(self):
+        assert summary_table([], {}) == "(no spans recorded)"

@@ -157,3 +157,35 @@ class TestBenchMultiprocessCLI:
         rc = main(["bench", "multiprocess"])
         assert rc == 1
         assert "disagreed" in capsys.readouterr().err
+
+
+class TestTraceCLI:
+    def test_trace_writes_valid_trace_event_json(self, tmp_path, capsys):
+        # The CLI smoke contract: the output opens in Perfetto, i.e. every
+        # event carries ph/ts/pid/tid/name (and X events carry dur).
+        from repro.telemetry import validate_trace_events
+
+        out_path = tmp_path / "trace.json"
+        rc = main(["trace", str(out_path), "--backend", "vectorized",
+                   "--filters", "4", "--particles", "16", "--steps", "3"])
+        assert rc == 0
+        events = validate_trace_events(json.loads(out_path.read_text()))
+        assert any(ev.get("cat") == "step" for ev in events)
+        assert any(ev.get("cat") == "kernel" for ev in events)
+        out = capsys.readouterr().out
+        assert "per-stage breakdown" in out and "wrote" in out
+
+    def test_trace_multiprocess_merges_workers(self, tmp_path):
+        from repro.telemetry import validate_trace_events
+
+        out_path = tmp_path / "trace.json"
+        rc = main(["trace", str(out_path), "--backend", "shm",
+                   "--filters", "4", "--particles", "16",
+                   "--workers", "2", "--steps", "2"])
+        assert rc == 0
+        events = validate_trace_events(json.loads(out_path.read_text()))
+        names = {ev["args"]["name"] for ev in events if ev["ph"] == "M"}
+        assert {"master", "worker-0", "worker-1"} <= names
+        # run-level span stamped with provenance metadata
+        run_ev = next(ev for ev in events if ev.get("cat") == "run")
+        assert "python" in run_ev["args"]
