@@ -50,6 +50,23 @@ surfaces a typed :class:`~repro.resilience.WorkerTimeoutError` /
 :class:`~repro.resilience.WorkerCrashedError`. A seeded
 :class:`~repro.resilience.FaultPlan` can inject crashes, hangs, poisoned
 weights and corrupted exchange particles for reproducible chaos testing.
+
+Durability
+----------
+All master↔worker waiting (gathers, handshakes, the farewell on ``close``)
+runs on the shared :class:`~repro.resilience.retry.RetryPolicy` primitives.
+With a :class:`~repro.resilience.supervisor.Supervisor` attached, workers
+additionally publish out-of-band heartbeats at every stage boundary (shm: a
+dedicated slab field; pipe: tiny beat messages), so a worker killed or hung
+*inside* a long compute phase is detected by the failure detector before
+the gather deadline — escalating retry → heal → respawn →
+checkpoint-and-abort. :meth:`MultiprocessDistributedParticleFilter.save_checkpoint`
+/ ``load_checkpoint`` write and restore atomic, versioned snapshots
+(population, per-worker RNG states, healed topology, resilience counters)
+with a golden-trace guarantee: resuming at a step boundary is bit-identical
+to the uninterrupted run, including runs whose topology healed or respawned
+mid-flight.
+
 See ``docs/robustness.md`` for the failure model and
 ``docs/architecture.md`` ("Data plane") for the transport protocol.
 """
@@ -65,7 +82,7 @@ import numpy as np
 
 from repro.backends.transport import SlabLayout, make_transport
 from repro.core.estimator import max_weight_estimate, weighted_mean_estimate
-from repro.core.parameters import DistributedFilterConfig
+from repro.core.parameters import DistributedFilterConfig, distributed_config_to_dict
 from repro.core.registry import make_policy, make_resampler
 from repro.engine import (
     ExecutionContext,
@@ -79,23 +96,32 @@ from repro.kernels.registry import CostParams, default_registry
 from repro.metrics.timing import PhaseTimer, TimingRNG
 from repro.models.base import StateSpaceModel
 from repro.prng.streams import make_rng
+from repro.resilience.checkpoint import (
+    corrupt_checkpoint_file,
+    read_checkpoint,
+    write_checkpoint,
+)
 from repro.resilience.errors import (
+    CheckpointError,
     NoLiveWorkersError,
     WorkerCrashedError,
     WorkerFailure,
+    WorkerHeartbeatError,
     WorkerTimeoutError,
 )
 from repro.resilience.faults import FaultInjectionHook, FaultPlan, corrupt_send_states
 from repro.resilience.healing import TopologyHealer
 from repro.resilience.monitor import HealMonitorHook, ResilienceReport
+from repro.resilience.retry import RetryPolicy
+from repro.resilience.supervisor import HeartbeatHook, Supervisor
 from repro.telemetry.tracer import Tracer, spans_from_wire, spans_to_wire
 from repro.topology import resolve_topology
 from repro.utils.arrays import sanitize_log_weights
-from repro.utils.validation import check_positive_int, check_timeout
+from repro.utils.validation import check_positive_int
 
 
 def _worker_loop(chan, model, config, block_lo, block_hi, worker_id,
-                 fault_plan=None, seed_tag=0):
+                 fault_plan=None, seed_tag=0, heartbeat=False):
     """One worker process: owns sub-filters ``block_lo:block_hi``.
 
     The round's kernels are not implemented here: the worker builds the
@@ -114,6 +140,14 @@ def _worker_loop(chan, model, config, block_lo, block_hi, worker_id,
     silently (which would leave the master blocked on ``recv``). The
     ``seed_tag`` distinguishes RNG streams across respawns of the same
     block so a replacement worker never replays its predecessor's draws.
+
+    With ``heartbeat=True`` a :class:`HeartbeatHook` leads the hook list,
+    publishing liveness at every stage boundary *from the compute thread* —
+    deliberately not from a side thread, so a hang (injected or real) stops
+    the beats exactly like a crash does. ``snapshot``/``restore`` messages
+    serve the checkpoint layer: the reply/restore payload carries the
+    block's population, the RNG's full internal state, and the self-healing
+    counters — everything that determines the block's future draws.
     """
     timer = PhaseTimer()
     rng = TimingRNG(
@@ -138,6 +172,11 @@ def _worker_loop(chan, model, config, block_lo, block_hi, worker_id,
     )
     hooks = [FaultInjectionHook(fault_plan, worker_id, tracer=tracer),
              heal_hook, TimerHook(timer, tracer=tracer), kernel_hook]
+    if heartbeat:
+        # First in the list: the stage-entry beat lands before fault
+        # injection can kill/hang the stage, mirroring a real worker that
+        # was demonstrably alive when the stage began.
+        hooks.insert(0, HeartbeatHook(chan, fault_plan, worker_id))
     local_pipeline = StepPipeline(
         [SampleWeightStage(), LocalHealStage(), SortStage(force=True)], hooks=hooks
     )
@@ -146,6 +185,8 @@ def _worker_loop(chan, model, config, block_lo, block_hi, worker_id,
     try:
         while True:
             msg = chan.recv()
+            if heartbeat:
+                chan.beat(0)
             kind = msg[0]
             try:
                 if kind == "init":
@@ -219,6 +260,25 @@ def _worker_loop(chan, model, config, block_lo, block_hi, worker_id,
                     chan.reply_phase2(dict(timer.seconds), kernel_seconds, telemetry)
                 elif kind == "get_state":
                     chan.send((state.states, state.log_weights))
+                elif kind == "snapshot":
+                    # Checkpoint capture: population + the exact RNG state +
+                    # healing counters. Tagged so a gather that had to abort
+                    # a round can tell snapshots from stale round replies.
+                    chan.send(("snap", state.states, state.log_weights,
+                               rng.state_dict(),
+                               {k: int(v) for k, v in state.heal_counters.items()}))
+                elif kind == "restore":
+                    _, new_states, new_logw, k, rng_state, heal_counters = msg
+                    state.reset(
+                        np.ascontiguousarray(new_states, dtype=dtype).reshape(
+                            F, m, model.state_dim),
+                        np.asarray(new_logw, dtype=np.float64).reshape(F, m).copy(),
+                    )
+                    state.k = int(k)
+                    state.heal_counters = {key: int(v)
+                                           for key, v in heal_counters.items()}
+                    rng.load_state_dict(rng_state)
+                    chan.send(("ok",))
                 elif kind == "stop":
                     chan.send(("bye",))
                     return
@@ -271,6 +331,14 @@ class MultiprocessDistributedParticleFilter:
     heal_bridge:
         bridge a dead sub-filter's neighbours into a cycle (keeps a ring a
         ring); ``False`` just drops the dead node's edges.
+    supervisor:
+        optional :class:`~repro.resilience.supervisor.Supervisor`. When set,
+        workers publish stage-boundary heartbeats and the gather loop runs
+        the supervisor's failure detector while it waits, so a kill/hang
+        *during* a compute phase is detected before the gather deadline
+        (as a :class:`WorkerHeartbeatError`). When ``None`` (default) no
+        heartbeat work happens anywhere — neither in the workers nor in the
+        gather loop — keeping the undisturbed hot path unchanged.
     """
 
     def __init__(self, model: StateSpaceModel, config: DistributedFilterConfig,
@@ -278,7 +346,7 @@ class MultiprocessDistributedParticleFilter:
                  recv_timeout: float | None = 30.0,
                  max_retries: int = 3, on_failure: str = "raise",
                  respawn_dead: bool = False, fault_plan: FaultPlan | None = None,
-                 heal_bridge: bool = True):
+                 heal_bridge: bool = True, supervisor: Supervisor | None = None):
         check_positive_int(n_workers, "n_workers")
         if config.n_filters % n_workers:
             raise ValueError(f"n_filters ({config.n_filters}) must divide over {n_workers} workers")
@@ -288,15 +356,20 @@ class MultiprocessDistributedParticleFilter:
         self.config = config
         self.n_workers = n_workers
         self.transport = make_transport(transport)
-        self.recv_timeout = check_timeout(recv_timeout, "recv_timeout")
-        self.max_retries = check_positive_int(max_retries, "max_retries")
+        #: the waiting discipline shared by every master↔worker path.
+        self.retry = RetryPolicy(timeout=recv_timeout, max_retries=max_retries)
+        self.recv_timeout = self.retry.timeout
+        self.max_retries = self.retry.max_retries
+        self._close_retry = RetryPolicy(timeout=1.0, max_retries=1)
+        self.supervisor = supervisor
         self.on_failure = on_failure
         self.respawn_dead = bool(respawn_dead)
         self.fault_plan = fault_plan
         self.topology = resolve_topology(config.topology, config.n_filters)
         self._table = self.topology.neighbor_table()
         self._mask = self._table >= 0
-        self._healer = TopologyHealer(self.topology, bridge=heal_bridge)
+        self.heal_bridge = bool(heal_bridge)
+        self._healer = TopologyHealer(self.topology, bridge=self.heal_bridge)
         self.report = ResilienceReport()
         self.timer = PhaseTimer()
         self.kernel_seconds: dict[str, float] = {}
@@ -350,7 +423,8 @@ class MultiprocessDistributedParticleFilter:
         p = ctx.Process(
             target=_worker_loop,
             args=(worker_chan, self.model, self.config, lo, hi, w,
-                  self.fault_plan, self._seed_tags[w]),
+                  self.fault_plan, self._seed_tags[w],
+                  self.supervisor is not None),
             daemon=True,
         )
         p.start()
@@ -383,8 +457,18 @@ class MultiprocessDistributedParticleFilter:
             try:
                 if p is not None and p.is_alive():
                     chan.request(("stop",))
-                    if chan.conn.poll(1.0):
-                        chan.conn.recv()
+                    # Same bounded-wait discipline as the gathers; drains any
+                    # heartbeat messages queued ahead of the farewell.
+                    dl = self._close_retry.deadline(time.perf_counter())
+                    while True:
+                        if not chan.conn.poll(dl.remaining(time.perf_counter())):
+                            if dl.expire(time.perf_counter()) != "retry":
+                                break
+                            continue
+                        msg = chan.conn.recv()
+                        if not (isinstance(msg, tuple) and msg
+                                and isinstance(msg[0], str) and msg[0] == "beat"):
+                            break
             except (BrokenPipeError, EOFError, OSError):
                 pass
         for p in self._procs:
@@ -428,12 +512,13 @@ class MultiprocessDistributedParticleFilter:
         """Receive one reply from one worker (control-plane paths).
 
         Same deadline/liveness/backoff semantics as :meth:`_gather`, for
-        the serial handshakes (init, adopt, get_state).
+        the serial handshakes (init, adopt, get_state, restore).
         """
         out = self._gather([w], what=what, handle_failures=False)
         return out[w]
 
-    def _gather(self, workers, what: str, handler=None, handle_failures=True):
+    def _gather(self, workers, what: str, handler=None, handle_failures=True,
+                accept=None):
         """Poll-driven gather: consume replies from *workers* in arrival order.
 
         The reference implementation received replies in worker order, so a
@@ -444,30 +529,38 @@ class MultiprocessDistributedParticleFilter:
         which is what lets the master overlap exchange routing with
         still-running workers.
 
-        Deadline accounting is preserved per worker: ``recv_timeout`` is
-        split into ``max_retries`` exponentially growing poll windows
-        (``None`` polls forever in 1 s windows); each expired window bumps
-        ``report.retries``, the last one bumps ``report.timeouts`` and
-        raises/heals a :class:`WorkerTimeoutError`. A readable connection
-        that EOFs, a dead process, or a structured ``("error", tb)`` reply
-        becomes a :class:`WorkerCrashedError`. With ``handle_failures`` the
-        failure is routed through :meth:`_handle_failure` (which re-raises
-        under ``on_failure="raise"``); otherwise it propagates to the caller.
+        Waiting runs on the shared :class:`RetryPolicy` deadlines: each
+        worker gets ``recv_timeout`` split into ``max_retries``
+        exponentially growing poll windows (``None`` polls forever in 1 s
+        windows); each expired window bumps ``report.retries``, the last one
+        bumps ``report.timeouts`` and raises/heals a
+        :class:`WorkerTimeoutError`. A readable connection that EOFs, a
+        dead process, or a structured ``("error", tb)`` reply becomes a
+        :class:`WorkerCrashedError`. With a supervisor attached, the loop
+        additionally samples every pending worker's heartbeat counter at
+        the supervisor's check interval; a worker whose beats stall for
+        ``max_missed`` consecutive windows fails *mid-window* with a
+        :class:`WorkerHeartbeatError` (or ``WorkerCrashedError`` if the
+        process is found dead) — before the gather deadline fires.
+
+        With ``handle_failures`` a failure is routed through
+        :meth:`_handle_failure` (which re-raises under
+        ``on_failure="raise"``); otherwise it propagates to the caller.
+        ``accept`` optionally filters replies: messages it rejects (stale
+        round replies drained during checkpoint-on-abort) are discarded and
+        the wait continues. ``("beat", ...)`` messages are absorbed into
+        the channel's heartbeat counter and never complete a wait.
 
         Returns ``{worker_id: reply}`` for the workers that replied.
         """
-        if self.recv_timeout is None:
-            windows = None  # poll forever in 1 s slices
-        else:
-            n = self.max_retries
-            total = float(2 ** n - 1)
-            windows = [self.recv_timeout * (2 ** i) / total for i in range(n)]
         now = time.perf_counter()
-        first = 1.0 if windows is None else windows[0]
-        deadline = {w: now + first for w in workers}
-        attempt = dict.fromkeys(workers, 0)
+        deadlines = {w: self.retry.deadline(now) for w in workers}
         pending = set(workers)
         results: dict[int, object] = {}
+        sup = self.supervisor
+        if sup is not None:
+            for w in workers:
+                sup.begin_wait(w, self._chans[w].heartbeat(), now)
 
         def fail(w: int, exc: WorkerFailure) -> None:
             pending.discard(w)
@@ -478,58 +571,89 @@ class MultiprocessDistributedParticleFilter:
 
         while pending:
             conn_of = {self._chans[w].conn: w for w in pending}
-            timeout = max(0.0, min(deadline[w] for w in pending) - time.perf_counter())
+            now = time.perf_counter()
+            timeout = min(deadlines[w].remaining(now) for w in pending)
+            if sup is not None:
+                timeout = min(timeout, sup.check_interval)
             ready = _wait_for_connections(list(conn_of), timeout)
-            if ready:
-                for conn in sorted(ready, key=conn_of.__getitem__):
-                    w = conn_of[conn]
-                    try:
-                        msg = conn.recv()
-                    except (EOFError, OSError) as e:
-                        fail(w, WorkerCrashedError(
-                            f"worker {w} pipe failed during {what}: {e}",
-                            worker_id=w, step=self.k))
-                        continue
-                    if isinstance(msg, tuple) and msg and isinstance(msg[0], str) \
-                            and msg[0] == "error":
-                        fail(w, WorkerCrashedError(
-                            f"worker {w} raised remotely during {what}:\n{msg[1]}",
-                            worker_id=w, step=self.k, remote_traceback=msg[1]))
-                        continue
-                    pending.discard(w)
-                    results[w] = msg
-                    if handler is not None:
-                        handler(w, msg)
-                continue
-            # No connection became ready: expire the due poll windows.
+            for conn in sorted(ready, key=conn_of.__getitem__):
+                w = conn_of[conn]
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError) as e:
+                    fail(w, WorkerCrashedError(
+                        f"worker {w} pipe failed during {what}: {e}",
+                        worker_id=w, step=self.k))
+                    continue
+                if isinstance(msg, tuple) and msg and isinstance(msg[0], str) \
+                        and msg[0] == "beat":
+                    self._chans[w].note_beat(msg)
+                    continue
+                if isinstance(msg, tuple) and msg and isinstance(msg[0], str) \
+                        and msg[0] == "error":
+                    fail(w, WorkerCrashedError(
+                        f"worker {w} raised remotely during {what}:\n{msg[1]}",
+                        worker_id=w, step=self.k, remote_traceback=msg[1]))
+                    continue
+                if accept is not None and not accept(msg):
+                    continue  # stale reply from an interrupted round
+                if sup is not None:
+                    sup.note_reply(w, time.perf_counter())
+                pending.discard(w)
+                results[w] = msg
+                if handler is not None:
+                    handler(w, msg)
+            # Bookkeeping runs every iteration (not only on an empty poll):
+            # on the pipe transport, beats from healthy workers keep waking
+            # the wait, and the stalled worker must still be noticed.
             now = time.perf_counter()
             for w in sorted(pending):
-                if deadline[w] > now:
-                    continue
                 proc = self._procs[w]
+                if sup is not None:
+                    verdict = sup.observe(w, self._chans[w].heartbeat(), now, self.k)
+                    if verdict != "ok":
+                        self.report.heartbeat_misses += 1
+                        self.tracer.count("heartbeat.miss")
+                    if verdict == "dead":
+                        self.report.heartbeat_failures += 1
+                        self.tracer.count("heartbeat.dead")
+                        if proc is not None and not proc.is_alive():
+                            fail(w, WorkerCrashedError(
+                                f"worker {w} process exited (code {proc.exitcode}) "
+                                f"during {what} (heartbeat lost)",
+                                worker_id=w, step=self.k))
+                        else:
+                            fail(w, WorkerHeartbeatError(
+                                f"worker {w} stopped heartbeating during {what} "
+                                f"({sup.max_missed} windows of "
+                                f"{sup.beat_timeout:g}s missed)",
+                                worker_id=w, step=self.k))
+                        continue
+                if not deadlines[w].due(now):
+                    continue
                 if proc is not None and not proc.is_alive():
                     fail(w, WorkerCrashedError(
                         f"worker {w} process exited (code {proc.exitcode}) during {what}",
                         worker_id=w, step=self.k))
                     continue
-                if windows is None:
-                    deadline[w] = now + 1.0
-                    continue
-                attempt[w] += 1
-                if attempt[w] >= len(windows):
+                expiry = deadlines[w].expire(now)
+                if expiry == "timeout":
                     self.report.timeouts += 1
+                    self.tracer.count("retry.timeout")
                     fail(w, WorkerTimeoutError(
                         f"worker {w} did not reply within {self.recv_timeout}s during {what}",
                         worker_id=w, step=self.k))
-                else:
+                elif expiry == "retry":
                     self.report.retries += 1
-                    deadline[w] = now + windows[attempt[w]]
+                    self.tracer.count("retry.window_expired")
         return results
 
     # -- failure handling ----------------------------------------------------
     def _handle_failure(self, w: int, exc: WorkerFailure) -> None:
-        """Record a failure, then heal or re-raise per ``on_failure``."""
-        if isinstance(exc, WorkerTimeoutError):
+        """Record a failure, then heal or checkpoint-and-raise per ``on_failure``."""
+        if isinstance(exc, WorkerHeartbeatError):
+            kind = "heartbeat"
+        elif isinstance(exc, WorkerTimeoutError):
             kind = "timeout"
         elif getattr(exc, "remote_traceback", None) is not None:
             kind = "error"
@@ -539,11 +663,45 @@ class MultiprocessDistributedParticleFilter:
         self.report.record_failure(self.k, w, kind, detail=str(exc).splitlines()[0],
                                    filters=range(lo, hi))
         if self.on_failure == "raise":
+            sup = self.supervisor
+            if sup is not None and sup.checkpoint_on_abort:
+                self._checkpoint_and_abort(w)
             raise exc
+        self.report.record_escalation("heal")
+        self.tracer.count("escalation.heal")
+        if self.supervisor is not None:
+            self.supervisor.escalate("heal", w, self.k, detail=kind)
         self._declare_dead(w)
 
-    def _declare_dead(self, w: int) -> None:
-        """Terminate worker *w*, reclaim its slabs, heal around its block."""
+    def _checkpoint_and_abort(self, w: int) -> None:
+        """Final ladder rung: retire the failed worker, save the survivors.
+
+        Best-effort by design — the *original* failure is the one the caller
+        must see, so a checkpoint that cannot be taken (no live workers, a
+        second failure mid-save) is swallowed after being counted. The saved
+        checkpoint is marked ``boundary: False``: survivors were interrupted
+        mid-round, so resuming replays the aborted step (deterministically,
+        but not bit-identical to a run that never aborted).
+        """
+        sup = self.supervisor
+        self._declare_dead(w)
+        sup.escalate("abort", w, self.k,
+                     detail=f"checkpoint to {sup.checkpoint_on_abort}")
+        self.report.record_escalation("abort")
+        self.tracer.count("escalation.abort")
+        try:
+            self.save_checkpoint(sup.checkpoint_on_abort, boundary=False)
+        except Exception:
+            self.tracer.count("checkpoint.abort_save_failed")
+
+    def _declare_dead(self, w: int, count_reclaim: bool = True) -> None:
+        """Terminate worker *w*, reclaim its slabs, heal around its block.
+
+        ``count_reclaim=False`` is the checkpoint-restore path: blocks that
+        were already dead at save time are retired again in the fresh
+        process tree, but their reclaims were counted before the save — the
+        restored report must not count them twice.
+        """
         p = self._procs[w]
         if p is not None and p.is_alive():
             p.terminate()
@@ -553,7 +711,9 @@ class MultiprocessDistributedParticleFilter:
             # The dead worker can never run its own close: the master closes
             # AND unlinks its shared segments here so nothing leaks (and the
             # resource_tracker stays clean).
-            self.report.segments_reclaimed += chan.close()
+            reclaimed = chan.close()
+            if count_reclaim:
+                self.report.segments_reclaimed += reclaimed
         self._chans[w] = None
         self._worker_alive[w] = False
         lo, hi = self._block_range(w)
@@ -912,6 +1072,176 @@ class MultiprocessDistributedParticleFilter:
                 continue
             self._healer.revive(range(lo, hi))
             self.report.respawns += 1
+            self.report.record_escalation("respawn")
+            self.tracer.count("escalation.respawn")
+            if self.supervisor is not None:
+                self.supervisor.escalate("respawn", w, self.k,
+                                         detail=f"seed_tag={self._seed_tags[w]}")
+
+    # -- checkpoint / restore ---------------------------------------------------
+    def _collect_snapshots(self, strict: bool = True) -> dict[int, tuple]:
+        """``{worker: (states, logw, rng_state, heal_counters)}`` from live blocks.
+
+        Snapshot replies are tagged ``("snap", ...)`` and gathered with an
+        accept filter, so stale replies of an aborted round queued ahead of
+        them are drained and discarded rather than misparsed. ``strict``
+        propagates a failing worker (golden step-boundary checkpoints must
+        be complete); non-strict skips it (checkpoint-on-abort saves
+        whatever survives).
+        """
+        def is_snap(msg):
+            return (isinstance(msg, tuple) and msg
+                    and isinstance(msg[0], str) and msg[0] == "snap")
+
+        snaps: dict[int, tuple] = {}
+        for w in self._live_workers():
+            try:
+                self._send(w, ("snapshot",))
+                out = self._gather([w], what="snapshot", handle_failures=False,
+                                   accept=is_snap)
+                snaps[w] = out[w][1:]
+            except WorkerFailure:
+                if strict:
+                    raise
+        return snaps
+
+    def save_checkpoint(self, path: str, *, boundary: bool = True) -> dict | None:
+        """Atomically write a resumable snapshot of the whole run to *path*.
+
+        Captures the full population (NaN for dead blocks), every live
+        worker's exact RNG state, the respawn lineage (``seed_tags``), the
+        healed-topology dead set, and the resilience report — everything
+        :meth:`load_checkpoint` needs to make the resumed run bit-identical
+        to one that was never interrupted. Returns the manifest written
+        (``None`` if a ``ckpt_partial_write`` fault interrupted the write;
+        the previous checkpoint at *path* then survives untouched).
+
+        ``boundary=False`` marks a mid-round save (checkpoint-on-abort):
+        still deterministic to resume, but not golden-trace.
+        """
+        if not self._started:
+            raise CheckpointError("cannot checkpoint before the filter started")
+        cfg = self.config
+        snaps = self._collect_snapshots(strict=boundary)
+        if not snaps:
+            raise CheckpointError("no live worker could be snapshotted")
+        F, m, d = cfg.n_filters, cfg.n_particles, self.model.state_dim
+        states = np.full((F, m, d), np.nan, dtype=np.dtype(cfg.dtype))
+        logw = np.full((F, m), np.nan)
+        alive = np.zeros(self.n_workers, dtype=bool)
+        worker_rng: dict[str, dict] = {}
+        worker_heal: dict[str, dict] = {}
+        for w, (s, lw, rng_state, heal) in snaps.items():
+            lo, hi = self._block_range(w)
+            states[lo:hi] = s
+            logw[lo:hi] = lw
+            alive[w] = True
+            worker_rng[str(w)] = rng_state
+            worker_heal[str(w)] = heal
+        arrays = {"states": states, "log_weights": logw, "alive": alive}
+        if self.last_estimate is not None:
+            arrays["last_estimate"] = np.asarray(self.last_estimate, dtype=np.float64)
+        meta = {
+            "backend": "multiprocess",
+            "boundary": bool(boundary),
+            "k": int(self.k),
+            "n_workers": int(self.n_workers),
+            "transport": self.transport.name,
+            "config": distributed_config_to_dict(cfg),
+            "seed_tags": [int(t) for t in self._seed_tags],
+            "dead_filters": sorted(int(f) for f in self._healer.dead),
+            "worker_rng": worker_rng,
+            "worker_heal_counters": worker_heal,
+            "report": self.report.summary(),
+            "supervisor": None if self.supervisor is None
+                          else self.supervisor.summary(),
+        }
+        interrupt = False
+        damage = []
+        if self.fault_plan is not None:
+            for f in self.fault_plan.checkpoint_faults_for(self.k):
+                if f.kind == "ckpt_partial_write":
+                    interrupt = True
+                else:
+                    damage.append(f)
+        manifest = write_checkpoint(path, arrays, meta, interrupt_write=interrupt)
+        if manifest is None:
+            self.tracer.count("checkpoint.interrupted")
+            return None
+        self.report.checkpoints_saved += 1
+        self.tracer.count("checkpoint.saved")
+        for f in damage:
+            mode = "corrupt" if f.kind == "ckpt_corrupt" else "truncate"
+            corrupt_checkpoint_file(path, self.fault_plan.rng_for(f),
+                                    mode=mode, fraction=f.fraction)
+            self.tracer.count(f"checkpoint.fault.{mode}")
+        return manifest
+
+    def load_checkpoint(self, path: str) -> dict:
+        """Restore a :meth:`save_checkpoint` snapshot into this filter.
+
+        Spawns the process tree if needed, pushes each live block's
+        population + RNG state into its worker, retires blocks that were
+        dead at save time (healing the topology around them, without
+        re-counting their segment reclaims), and restores the step counter,
+        respawn lineage, and resilience report. After this returns, the
+        next :meth:`step` produces output bit-identical to the run the
+        checkpoint was taken from.
+        """
+        arrays, manifest = read_checkpoint(path)
+        meta = manifest["meta"]
+        if meta.get("backend") != "multiprocess":
+            raise CheckpointError(
+                f"checkpoint was written by backend {meta.get('backend')!r}, "
+                f"not 'multiprocess'")
+        if int(meta.get("n_workers", -1)) != self.n_workers:
+            raise CheckpointError(
+                f"checkpoint has {meta.get('n_workers')} workers, this filter "
+                f"has {self.n_workers}")
+        if meta.get("config") != distributed_config_to_dict(self.config):
+            raise CheckpointError(
+                "checkpoint configuration does not match this filter's "
+                "configuration")
+        if not self._started:
+            self._start()
+        self._seed_tags = [int(t) for t in meta["seed_tags"]]
+        # The healed-topology view is rebuilt from the checkpoint, not
+        # merged: any dead set this instance accumulated before the load is
+        # superseded by the saved run's.
+        self._healer = TopologyHealer(self.topology, bridge=self.heal_bridge)
+        alive = np.asarray(arrays["alive"]).astype(bool)
+        states, logw = arrays["states"], arrays["log_weights"]
+        k = int(meta["k"])
+        live = []
+        for w in range(self.n_workers):
+            if not alive[w]:
+                # Dead at save time: retire it here too. The spawned-with-
+                # stale-tag worker is harmless — it never computed.
+                if self._worker_alive[w]:
+                    self._declare_dead(w, count_reclaim=False)
+                else:
+                    lo, hi = self._block_range(w)
+                    self._healer.mark_dead(range(lo, hi))
+                continue
+            if not self._worker_alive[w]:
+                # Alive in the checkpoint but dead here (loading into a
+                # degraded instance): give the block a fresh process; the
+                # restore below installs its exact saved state.
+                self._spawn_worker(w)
+            lo, hi = self._block_range(w)
+            self._send(w, ("restore", np.ascontiguousarray(states[lo:hi]),
+                           np.ascontiguousarray(logw[lo:hi]), k,
+                           meta["worker_rng"][str(w)],
+                           meta.get("worker_heal_counters", {}).get(str(w), {})))
+            live.append(w)
+        self._gather(live, what="restore")
+        self.k = k
+        self.last_estimate = (None if "last_estimate" not in arrays
+                              else np.asarray(arrays["last_estimate"]))
+        self.report = ResilienceReport.from_summary(meta.get("report") or {})
+        self.report.checkpoints_restored += 1
+        self.tracer.count("checkpoint.restored")
+        return manifest
 
     def gather_population(self) -> tuple[np.ndarray, np.ndarray]:
         """Collect the full (states, log_weights) for inspection/tests.

@@ -130,8 +130,20 @@ class SlabLayout:
 
     @property
     def segment_nbytes(self) -> int:
-        """Total segment size: two buffers, one per round parity."""
-        return 2 * self.nbytes
+        """Total segment size: two buffers plus the heartbeat tail."""
+        return 2 * self.nbytes + _ALIGN
+
+    def heartbeat_view(self, buf) -> np.ndarray:
+        """The out-of-band liveness slots appended after both buffers.
+
+        Two int64 words: ``[0]`` the worker's monotonic beat counter,
+        ``[1]`` the phase code of the latest beat. The region sits outside
+        the double-buffered payload area, so heartbeat publication never
+        races the round's data exchange — the master may read it at any
+        time, including mid-phase.
+        """
+        return np.ndarray((2,), dtype=np.int64, buffer=buf,
+                          offset=2 * self.nbytes)
 
     def views(self, buf, parity: int) -> dict[str, np.ndarray]:
         """NumPy views of every field of buffer ``parity`` over *buf*."""
@@ -159,10 +171,20 @@ class PipeMasterChannel:
     def __init__(self, parent, child):
         self.conn = parent
         self._child = child
+        self._beat_count = 0
 
     def after_start(self) -> None:
         """Drop the worker-side pipe end so EOF means "worker gone"."""
         self._child.close()
+
+    # -- heartbeats -----------------------------------------------------------
+    def note_beat(self, msg) -> None:
+        """Absorb an out-of-band ``("beat", count, code)`` pipe message."""
+        self._beat_count = max(self._beat_count, int(msg[1]))
+
+    def heartbeat(self) -> int:
+        """Latest liveness counter observed from the worker."""
+        return self._beat_count
 
     # -- control-plane passthrough ------------------------------------------
     def request(self, msg) -> None:
@@ -219,6 +241,21 @@ class PipeWorkerChannel:
 
     def __init__(self, conn):
         self.conn = conn
+        self._beats = 0
+
+    def beat(self, code: int = 0) -> None:
+        """Publish liveness: one tiny ``("beat", count, code)`` message.
+
+        Beats also wake the master's ``connection.wait`` immediately, so on
+        the pipe transport heartbeat *arrival* is event-driven even though
+        miss detection is clocked by the supervisor's check interval.
+        Failures are swallowed — a dying pipe must not mask the real fault.
+        """
+        self._beats += 1
+        try:
+            self.conn.send(("beat", self._beats, int(code)))
+        except (OSError, ValueError, BrokenPipeError):  # pragma: no cover
+            pass
 
     def recv(self):
         return self.conn.recv()
@@ -302,6 +339,8 @@ class ShmMasterChannel:
             create=True, size=layout.segment_nbytes
         )
         self._views = (layout.views(self._seg.buf, 0), layout.views(self._seg.buf, 1))
+        self._hb = layout.heartbeat_view(self._seg.buf)
+        self._hb[:] = 0
         self._seq = 0
         #: payload sends that had to leave the slab for the inline pipe path
         #: (oversized scatter arrays, healed-wider phase-2 widths).
@@ -379,6 +418,16 @@ class ShmMasterChannel:
     def decode_phase2(self, msg) -> tuple[dict, dict, dict | None]:
         return msg[1], msg[2], msg[3] if len(msg) > 3 else None
 
+    # -- heartbeats -----------------------------------------------------------
+    def note_beat(self, msg) -> None:
+        """No-op: shm beats live in the slab tail, never on the pipe."""
+
+    def heartbeat(self) -> int:
+        """Read the worker's liveness counter straight from shared memory."""
+        if self._hb is None:
+            return -1
+        return int(self._hb[0])
+
     # -- lifecycle -----------------------------------------------------------
     def reclaim(self) -> int:
         """Close and unlink the shared segment (idempotent).
@@ -390,6 +439,7 @@ class ShmMasterChannel:
         if self._seg is None:
             return 0
         self._views = ()
+        self._hb = None
         try:
             self._seg.close()
         except BufferError:  # pragma: no cover - view still exported
@@ -422,6 +472,21 @@ class ShmWorkerChannel:
         self._views = views
         self.layout = layout
         self._seq = 0
+        self._hb = layout.heartbeat_view(seg.buf)
+        self._beats = 0
+
+    def beat(self, code: int = 0) -> None:
+        """Publish liveness into the slab tail — truly out-of-band.
+
+        An aligned int64 store the master can read at any instant without
+        any pipe traffic; the code slot is written *before* the counter so a
+        reader that sees the new count also sees its phase code.
+        """
+        if self._hb is None:  # pragma: no cover - beat after close
+            return
+        self._beats += 1
+        self._hb[1] = int(code)
+        self._hb[0] = self._beats
 
     def recv(self):
         msg = self.conn.recv()
@@ -469,6 +534,7 @@ class ShmWorkerChannel:
         # The worker only drops its inherited mapping; the master owns the
         # segment's lifetime (and the unlink).
         self._views = ()
+        self._hb = None
         if self._seg is not None:
             try:
                 self._seg.close()

@@ -11,6 +11,12 @@ Commands
 - ``trace``   — run a short traced filtering run and write the merged
   step/stage/kernel timeline as a Chrome/Perfetto ``trace_event`` file
   (open in ``ui.perfetto.dev``; see ``docs/observability.md``).
+- ``run``     — run a linear-Gaussian smoke filter; ``--checkpoint`` saves a
+  resumable snapshot, ``--resume`` continues one bit-identically
+  (see ``docs/robustness.md``).
+- ``chaos``   — soak the multiprocess backend under a seeded random
+  ``FaultPlan`` with heartbeat supervision; print/export the
+  ``ResilienceReport`` and supervisor event log.
 """
 
 from __future__ import annotations
@@ -186,6 +192,102 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _smoke_setup(args):
+    """Shared model/config/measurements for the ``run`` and ``chaos`` commands."""
+    import numpy as np
+
+    from repro.core import DistributedFilterConfig
+    from repro.models import LinearGaussianModel
+    from repro.prng import make_rng
+
+    model = LinearGaussianModel(A=[[0.9]], C=[[1.0]], Q=[[0.04]], R=[[0.01]])
+    cfg = DistributedFilterConfig(
+        n_particles=args.particles, n_filters=args.filters, topology="ring",
+        n_exchange=1, estimator="weighted_mean", seed=args.seed,
+    )
+    truth = model.simulate(args.steps, make_rng("numpy", seed=args.seed + 1))
+    meas = np.asarray(truth.measurements, dtype=np.float64)
+    return model, cfg, meas
+
+
+def _cmd_run(args) -> int:
+    import numpy as np
+
+    from repro.core import DistributedParticleFilter
+
+    model, cfg, meas = _smoke_setup(args)
+
+    def drive(pf):
+        if args.resume:
+            manifest = pf.load_checkpoint(args.resume)
+            print(f"resumed {args.resume} at step {manifest['meta']['k']} "
+                  f"(schema v{manifest['schema_version']})")
+        start = pf.k
+        for k in range(start, meas.shape[0]):
+            est = pf.step(meas[k])
+        if args.checkpoint:
+            pf.save_checkpoint(args.checkpoint)
+            print(f"wrote checkpoint {args.checkpoint} at step {pf.k}")
+        print(f"ran steps {start}..{pf.k - 1}, final estimate "
+              f"{np.asarray(est).ravel()[0]:+.6f}")
+        return 0
+
+    if args.backend == "vectorized":
+        return drive(DistributedParticleFilter(model, cfg))
+    from repro.backends import MultiprocessDistributedParticleFilter
+
+    with MultiprocessDistributedParticleFilter(
+            model, cfg, n_workers=args.workers, transport=args.backend) as pf:
+        return drive(pf)
+
+
+def _cmd_chaos(args) -> int:
+    import json
+
+    from repro.backends import MultiprocessDistributedParticleFilter
+    from repro.resilience import FaultPlan, Supervisor
+
+    model, cfg, meas = _smoke_setup(args)
+    plan = FaultPlan.random(
+        args.seed, n_workers=args.workers, n_steps=args.steps,
+        p_kill=args.p_kill, p_hang=args.p_hang, p_poison=args.p_poison,
+        max_kills=args.max_kills, hang_duration=3600.0,
+    )
+    sup = None if args.no_supervisor else Supervisor(
+        beat_timeout=args.beat_timeout,
+        checkpoint_on_abort=args.abort_checkpoint,
+    )
+    print(f"fault plan (seed={args.seed}): "
+          + (", ".join(f"{f.kind}@w{f.worker}/k{f.step}" for f in plan) or "clean"))
+    with MultiprocessDistributedParticleFilter(
+            model, cfg, n_workers=args.workers, transport=args.transport,
+            fault_plan=plan, on_failure="heal", respawn_dead=args.respawn,
+            recv_timeout=args.recv_timeout, supervisor=sup) as pf:
+        for k in range(meas.shape[0]):
+            pf.step(meas[k])
+        report = pf.report.summary()
+        diag = pf.diagnostics()
+    events = sup.event_log() if sup else []
+    print(f"  {'n_failures':>20}: {report['n_failures']}")
+    for key in ("retries", "timeouts", "heartbeat_misses", "heartbeat_failures",
+                "respawns", "checkpoints_saved", "escalations"):
+        print(f"  {key:>20}: {report[key]}")
+    print(f"  {'dead_workers':>20}: {diag['dead_workers']}")
+    for ev in events:
+        print(f"  [k={ev['step']:>3}] w{ev['worker_id']} "
+              f"{ev['kind']}: {ev['detail']}")
+    if args.output:
+        payload = {"seed": args.seed, "transport": args.transport,
+                   "steps": args.steps, "plan": plan.to_dicts(),
+                   "report": report, "dead_workers": diag["dead_workers"],
+                   "supervisor": sup.summary() if sup else None,
+                   "events": events}
+        with open(args.output, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.output}")
+    return 0
+
+
 def _cmd_report(args) -> int:
     from repro.bench.report import generate_report
 
@@ -286,6 +388,45 @@ def build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--steps", type=int, default=5)
     tr.add_argument("--seed", type=int, default=0)
     tr.set_defaults(func=_cmd_trace)
+
+    rn = sub.add_parser("run", help="linear-Gaussian smoke run with checkpoint/resume")
+    rn.add_argument("--backend", default="vectorized", choices=["vectorized", "pipe", "shm"])
+    rn.add_argument("--particles", type=int, default=32, help="particles per sub-filter (m)")
+    rn.add_argument("--filters", type=int, default=8, help="number of sub-filters (N)")
+    rn.add_argument("--workers", type=int, default=2, help="worker processes (multiprocess)")
+    rn.add_argument("--steps", type=int, default=20, help="total steps of the trajectory")
+    rn.add_argument("--seed", type=int, default=0)
+    rn.add_argument("--checkpoint", default=None, metavar="FILE",
+                    help="save a resumable snapshot after the last step")
+    rn.add_argument("--resume", default=None, metavar="FILE",
+                    help="restore this checkpoint and continue the same "
+                         "trajectory bit-identically")
+    rn.set_defaults(func=_cmd_run)
+
+    c = sub.add_parser("chaos", help="seeded FaultPlan soak with heartbeat supervision")
+    c.add_argument("--transport", default="pipe", choices=["pipe", "shm"])
+    c.add_argument("--workers", type=int, default=2)
+    c.add_argument("--particles", type=int, default=16, help="particles per sub-filter (m)")
+    c.add_argument("--filters", type=int, default=8, help="number of sub-filters (N)")
+    c.add_argument("--steps", type=int, default=12)
+    c.add_argument("--seed", type=int, default=0, help="seeds both the run and the fault plan")
+    c.add_argument("--p-kill", type=float, default=0.05, help="per-(worker,step) SIGKILL probability")
+    c.add_argument("--p-hang", type=float, default=0.0, help="per-(worker,step) hang probability")
+    c.add_argument("--p-poison", type=float, default=0.05, help="per-(worker,step) NaN-weights probability")
+    c.add_argument("--max-kills", type=int, default=1, help="cap on killed workers (keeps a quorum)")
+    c.add_argument("--respawn", action="store_true",
+                   help="respawn dead blocks instead of leaving the topology healed")
+    c.add_argument("--no-supervisor", action="store_true",
+                   help="disable heartbeat supervision (deadline-only detection)")
+    c.add_argument("--beat-timeout", type=float, default=0.25,
+                   help="supervisor heartbeat deadline in seconds")
+    c.add_argument("--recv-timeout", type=float, default=30.0,
+                   help="master gather deadline in seconds")
+    c.add_argument("--abort-checkpoint", default=None, metavar="FILE",
+                   help="write a last-ditch checkpoint here if escalation aborts the run")
+    c.add_argument("--output", "-o", default=None, metavar="FILE",
+                   help="export the report, fault plan, and event log as JSON")
+    c.set_defaults(func=_cmd_chaos)
 
     r = sub.add_parser("report", help="regenerate the full evaluation report")
     r.add_argument("--output", "-o", default=None, help="write Markdown to this file")

@@ -169,6 +169,21 @@ class DistributedParticleFilter:
         self._state.pooled_logw = pooled_logw
         vector_stages.resample(self._ctx, self._state)
 
+    # -- checkpoint / restore ---------------------------------------------------
+    def save_checkpoint(self, path: str) -> dict:
+        """Atomically write a snapshot resumable bit-identically; see
+        :mod:`repro.resilience.checkpoint` for the format and guarantees."""
+        from repro.resilience.checkpoint import save_filter_checkpoint
+
+        return save_filter_checkpoint(self, path, backend="vectorized")
+
+    def load_checkpoint(self, path: str) -> dict:
+        """Restore a :meth:`save_checkpoint` snapshot (population + RNG +
+        step counter); the next :meth:`step` continues the original trace."""
+        from repro.resilience.checkpoint import load_filter_checkpoint
+
+        return load_filter_checkpoint(self, path, backend="vectorized")
+
     # -- introspection ---------------------------------------------------------
     @property
     def n_filters(self) -> int:

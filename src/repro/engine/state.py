@@ -131,6 +131,31 @@ class FilterState:
         """The live ``(states, log_weights)`` arrays (views, not copies)."""
         return self.states, self.log_weights
 
+    # -- checkpoint serialization ----------------------------------------------
+    def to_checkpoint(self) -> tuple[dict, dict]:
+        """``(arrays, meta)`` capturing the durable filtering state.
+
+        Per-round scratch (measurement, pooled sets, kernel events, buffer
+        pool) is deliberately excluded: checkpoints are taken at step
+        boundaries, where scratch is dead by contract.
+        """
+        if self.states is None:
+            raise ValueError("cannot checkpoint an uninitialized FilterState")
+        arrays = {"states": self.states, "log_weights": self.log_weights}
+        if self.last_estimate is not None:
+            arrays["last_estimate"] = np.asarray(self.last_estimate)
+        meta = {"k": int(self.k), "heal_counters": dict(self.heal_counters)}
+        return arrays, meta
+
+    def restore_checkpoint(self, arrays: dict, meta: dict) -> None:
+        """Install a checkpointed population; inverse of :meth:`to_checkpoint`."""
+        self.reset(np.ascontiguousarray(arrays["states"]),
+                   np.ascontiguousarray(arrays["log_weights"]))
+        self.k = int(meta["k"])
+        self.heal_counters = {k: int(v) for k, v in meta["heal_counters"].items()}
+        if "last_estimate" in arrays:
+            self.last_estimate = np.asarray(arrays["last_estimate"])
+
     def snapshot(self) -> "FilterState":
         """A deep copy safe to retain across stages (for hooks/debugging)."""
         out = FilterState(

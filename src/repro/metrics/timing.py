@@ -93,3 +93,9 @@ class TimingRNG(FilterRNG):
 
     def spawn(self, stream: int) -> "TimingRNG":
         return TimingRNG(self.inner.spawn(stream), self.timer)
+
+    def state_dict(self) -> dict:
+        return self.inner.state_dict()
+
+    def load_state_dict(self, d: dict) -> None:
+        self.inner.load_state_dict(d)

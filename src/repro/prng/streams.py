@@ -39,6 +39,29 @@ class FilterRNG(abc.ABC):
     def spawn(self, stream: int) -> "FilterRNG":
         """An independent generator for sub-stream *stream*."""
 
+    # -- checkpointing -------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of the generator's internal state.
+
+        Restoring it with :meth:`load_state_dict` makes every subsequent
+        draw bit-identical to a generator that was never interrupted —
+        the contract the checkpoint/resume layer relies on.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support state capture")
+
+    def load_state_dict(self, d: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support state restore")
+
+    def _check_state_kind(self, d: dict, kind: str) -> None:
+        got = d.get("kind")
+        if got != kind:
+            raise ValueError(
+                f"RNG state kind mismatch: checkpoint has {got!r}, "
+                f"this generator is {kind!r}")
+
 
 class PhiloxRNG(FilterRNG):
     """Counter-based RNG: stateless bijection + a running counter."""
@@ -62,6 +85,20 @@ class PhiloxRNG(FilterRNG):
         # indexes a disjoint random function.
         return PhiloxRNG(self._seed, stream=self._stream * 0x10001 + stream + 1)
 
+    def state_dict(self) -> dict:
+        # The bijection is stateless: (seed, stream, counter) is the state.
+        return {"kind": "philox", "seed": self._seed, "stream": self._stream,
+                "counter": self._counter}
+
+    def load_state_dict(self, d: dict) -> None:
+        self._check_state_kind(d, "philox")
+        seed = int(d["seed"])
+        if seed != self._seed:
+            self._seed = seed
+            self._philox = Philox4x32(key=seed)
+        self._stream = int(d["stream"])
+        self._counter = int(d["counter"])
+
 
 class XorShiftRNG(FilterRNG):
     """Per-lane xorshift128+ bank; mirrors per-thread GPU generators."""
@@ -83,6 +120,23 @@ class XorShiftRNG(FilterRNG):
     def spawn(self, stream: int) -> "XorShiftRNG":
         return XorShiftRNG(self._seed, self._n_lanes, stream=self._stream * 0x10001 + stream + 1)
 
+    def state_dict(self) -> dict:
+        return {"kind": "xorshift", "seed": self._seed,
+                "n_lanes": self._n_lanes, "stream": self._stream,
+                "s0": self._bank.s0.tolist(), "s1": self._bank.s1.tolist()}
+
+    def load_state_dict(self, d: dict) -> None:
+        self._check_state_kind(d, "xorshift")
+        n_lanes = int(d["n_lanes"])
+        if n_lanes != self._n_lanes:
+            raise ValueError(
+                f"xorshift lane count mismatch: checkpoint has {n_lanes}, "
+                f"this generator has {self._n_lanes}")
+        self._seed = int(d["seed"])
+        self._stream = int(d["stream"])
+        self._bank.s0 = np.asarray(d["s0"], dtype=np.uint64)
+        self._bank.s1 = np.asarray(d["s1"], dtype=np.uint64)
+
 
 class NumpyRNG(FilterRNG):
     """Vendor-library path: NumPy's PCG64 ``Generator``."""
@@ -100,6 +154,17 @@ class NumpyRNG(FilterRNG):
 
     def spawn(self, stream: int) -> "NumpyRNG":
         return NumpyRNG(self._seed, stream=self._stream * 0x10001 + stream + 1)
+
+    def state_dict(self) -> dict:
+        # bit_generator.state is a nested dict of (big) ints — JSON-clean.
+        return {"kind": "numpy", "seed": self._seed, "stream": self._stream,
+                "bit_generator": self._gen.bit_generator.state}
+
+    def load_state_dict(self, d: dict) -> None:
+        self._check_state_kind(d, "numpy")
+        self._seed = int(d["seed"])
+        self._stream = int(d["stream"])
+        self._gen.bit_generator.state = d["bit_generator"]
 
 
 _RNG_KINDS = {"philox": PhiloxRNG, "xorshift": XorShiftRNG, "numpy": NumpyRNG}

@@ -13,21 +13,41 @@ halting the system:
   exchange graph around dead sub-filters and names donor neighbours for
   respawned blocks.
 - :mod:`repro.resilience.monitor` — :class:`ResilienceReport` accounts for
-  every failure, retry, rescue and respawn.
+  every failure, retry, heartbeat miss, rescue, respawn and checkpoint.
+- :mod:`repro.resilience.retry` — the shared :class:`RetryPolicy` /
+  :class:`Deadline` / :class:`Backoff` waiting discipline every
+  master↔worker path runs on.
+- :mod:`repro.resilience.supervisor` — :class:`Supervisor` (heartbeat
+  failure detector + escalation event log) and the worker-side
+  :class:`HeartbeatHook` liveness publisher.
+- :mod:`repro.resilience.checkpoint` — atomic, versioned run snapshots
+  with bit-identical resume (npz arrays + embedded JSON manifest).
 - :mod:`repro.resilience.errors` — the typed failure taxonomy
-  (:class:`WorkerTimeoutError`, :class:`WorkerCrashedError`, ...).
+  (:class:`WorkerTimeoutError`, :class:`WorkerCrashedError`,
+  :class:`WorkerHeartbeatError`, :class:`CheckpointError`, ...).
 
 See ``docs/robustness.md`` for the failure model and the degraded-accuracy
 contract, and ``examples/chaos_tracking.py`` for an end-to-end chaos run.
 """
 
+from repro.resilience.checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
+    corrupt_checkpoint_file,
+    read_checkpoint,
+    read_manifest,
+    write_checkpoint,
+)
 from repro.resilience.errors import (
+    CheckpointCorruptError,
+    CheckpointError,
     NoLiveWorkersError,
     WorkerCrashedError,
     WorkerFailure,
+    WorkerHeartbeatError,
     WorkerTimeoutError,
 )
 from repro.resilience.faults import (
+    CHECKPOINT_FAULT_KINDS,
     FAULT_KINDS,
     KILL_EXIT_CODE,
     Fault,
@@ -39,22 +59,39 @@ from repro.resilience.faults import (
 )
 from repro.resilience.healing import TopologyHealer
 from repro.resilience.monitor import HealMonitorHook, ResilienceReport, WorkerFailureEvent
+from repro.resilience.retry import Backoff, Deadline, RetryPolicy
+from repro.resilience.supervisor import HeartbeatHook, Supervisor, SupervisorEvent
 
 __all__ = [
+    "CHECKPOINT_FAULT_KINDS",
+    "CHECKPOINT_SCHEMA_VERSION",
+    "Backoff",
+    "CheckpointCorruptError",
+    "CheckpointError",
+    "Deadline",
     "FAULT_KINDS",
-    "KILL_EXIT_CODE",
     "Fault",
     "FaultInjectionHook",
     "FaultPlan",
     "HealMonitorHook",
+    "HeartbeatHook",
+    "KILL_EXIT_CODE",
     "NoLiveWorkersError",
     "ResilienceReport",
+    "RetryPolicy",
+    "Supervisor",
+    "SupervisorEvent",
     "TopologyHealer",
     "WorkerCrashedError",
     "WorkerFailure",
     "WorkerFailureEvent",
+    "WorkerHeartbeatError",
     "WorkerTimeoutError",
     "apply_process_faults",
+    "corrupt_checkpoint_file",
     "corrupt_send_states",
     "poison_log_weights",
+    "read_checkpoint",
+    "read_manifest",
+    "write_checkpoint",
 ]

@@ -39,6 +39,12 @@ class WorkerTimeoutError(WorkerFailure):
     process is still alive — the hung-worker case."""
 
 
+class WorkerHeartbeatError(WorkerTimeoutError):
+    """A worker stopped publishing liveness heartbeats mid-round and the
+    supervisor's failure detector declared it dead — detected *during* a
+    long compute phase, before the gather deadline would have fired."""
+
+
 class WorkerCrashedError(WorkerFailure):
     """A worker process died, its pipe broke, or it reported a remote
     exception via a structured ``("error", traceback)`` reply.
@@ -55,3 +61,14 @@ class WorkerCrashedError(WorkerFailure):
 
 class NoLiveWorkersError(WorkerFailure):
     """Every worker block is dead; the filter cannot produce estimates."""
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint could not be written, read, or applied (missing file,
+    schema mismatch, incompatible configuration)."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """A checkpoint file failed integrity verification — truncated zip,
+    CRC failure, missing manifest, or content-hash mismatch. The previous
+    checkpoint (if any) is unaffected: writes are atomic renames."""

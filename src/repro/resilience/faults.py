@@ -22,6 +22,16 @@ Supported fault kinds
 ``corrupt_exchange``
     a seeded fraction of the particles the worker *sends* to its neighbours
     is replaced with ``NaN`` — corruption on the wire.
+``slow_heartbeat``
+    the worker computes normally but stops publishing liveness heartbeats
+    for the round — the healthy-but-silent case that exercises the
+    supervisor's failure detector against a worker that would have replied.
+``ckpt_corrupt`` / ``ckpt_truncate`` / ``ckpt_partial_write``
+    *master-side* durability faults applied to the checkpoint written at
+    that step: seeded byte flips in the array payload, truncation of the
+    written file, or a simulated SIGKILL between staging and the atomic
+    rename (the previous checkpoint must survive). These exercise the
+    integrity and atomicity contracts of :mod:`repro.resilience.checkpoint`.
 
 The randomness used to pick poisoned rows / corrupted particles is derived
 from ``(plan.seed, fault kind, worker, step)``, never from global state, so
@@ -39,7 +49,13 @@ import numpy as np
 #: exit code used by an injected ``kill`` so tests can recognise it.
 KILL_EXIT_CODE = 137
 
-FAULT_KINDS = ("kill", "hang", "delay", "poison_nan", "poison_neginf", "corrupt_exchange")
+FAULT_KINDS = ("kill", "hang", "delay", "poison_nan", "poison_neginf",
+               "corrupt_exchange", "slow_heartbeat",
+               "ckpt_corrupt", "ckpt_truncate", "ckpt_partial_write")
+
+#: fault kinds applied by the *master* to the checkpoint it writes, rather
+#: than injected into a worker process.
+CHECKPOINT_FAULT_KINDS = ("ckpt_corrupt", "ckpt_truncate", "ckpt_partial_write")
 
 
 @dataclass(frozen=True)
@@ -115,6 +131,23 @@ class FaultPlan:
     def corrupt_exchange(self, worker: int, step: int, fraction: float = 1.0) -> "FaultPlan":
         return self.add(Fault("corrupt_exchange", worker, step, fraction=fraction))
 
+    def slow_heartbeat(self, worker: int, step: int) -> "FaultPlan":
+        """Mute *worker*'s liveness beats for the round (compute unaffected)."""
+        return self.add(Fault("slow_heartbeat", worker, step))
+
+    def corrupt_checkpoint(self, step: int, fraction: float = 0.01) -> "FaultPlan":
+        """Flip a seeded fraction of bytes in the checkpoint written at *step*."""
+        return self.add(Fault("ckpt_corrupt", 0, step, fraction=fraction))
+
+    def truncate_checkpoint(self, step: int) -> "FaultPlan":
+        """Truncate the checkpoint written at *step* (torn tail)."""
+        return self.add(Fault("ckpt_truncate", 0, step))
+
+    def interrupt_checkpoint(self, step: int) -> "FaultPlan":
+        """SIGKILL the writer mid-checkpoint at *step*: staging file torn,
+        atomic rename never happens, previous checkpoint must survive."""
+        return self.add(Fault("ckpt_partial_write", 0, step))
+
     @classmethod
     def random(cls, seed: int, n_workers: int, n_steps: int, *,
                p_kill: float = 0.0, p_hang: float = 0.0, p_delay: float = 0.0,
@@ -147,6 +180,11 @@ class FaultPlan:
     def faults_for(self, worker: int, step: int) -> tuple[Fault, ...]:
         """All faults scheduled for *worker* at round *step* (insertion order)."""
         return tuple(self._index.get((int(worker), int(step)), ()))
+
+    def checkpoint_faults_for(self, step: int) -> tuple[Fault, ...]:
+        """Master-side checkpoint faults scheduled at *step* (any worker key)."""
+        return tuple(f for f in self._faults
+                     if f.kind in CHECKPOINT_FAULT_KINDS and f.step == int(step))
 
     def rng_for(self, fault: Fault) -> np.random.Generator:
         """Deterministic generator for a fault's internal randomness."""

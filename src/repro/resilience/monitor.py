@@ -44,6 +44,17 @@ class ResilienceReport:
     #: path — i.e. slabs of workers that died mid-run; normal shutdown
     #: reclaims are not counted.
     segments_reclaimed: int = 0
+    #: heartbeat windows that expired without liveness progress (transient).
+    heartbeat_misses: int = 0
+    #: workers declared dead by the heartbeat failure detector.
+    heartbeat_failures: int = 0
+    #: checkpoints written (including checkpoint-on-abort saves).
+    checkpoints_saved: int = 0
+    #: checkpoints loaded into this run.
+    checkpoints_restored: int = 0
+    #: escalation-ladder rungs taken, keyed ``retry``/``heal``/``respawn``/
+    #: ``abort`` — how far recovery had to climb, not just that it happened.
+    escalations: dict[str, int] = field(default_factory=dict)
 
     def record_failure(self, step: int, worker_id: int, kind: str,
                        detail: str = "", filters=()) -> WorkerFailureEvent:
@@ -67,6 +78,10 @@ class ResilienceReport:
         self.sanitized_particles += int(stats.get("sanitized", 0))
         self.rejuvenated_filters += int(stats.get("rejuvenated", 0))
 
+    def record_escalation(self, rung: str) -> None:
+        """Count one climb of the escalation ladder (``heal``, ``respawn``, ...)."""
+        self.escalations[rung] = self.escalations.get(rung, 0) + 1
+
     def summary(self) -> dict:
         """JSON-ready snapshot."""
         return {
@@ -83,7 +98,34 @@ class ResilienceReport:
             "rejuvenated_filters": self.rejuvenated_filters,
             "respawns": self.respawns,
             "segments_reclaimed": self.segments_reclaimed,
+            "heartbeat_misses": self.heartbeat_misses,
+            "heartbeat_failures": self.heartbeat_failures,
+            "checkpoints_saved": self.checkpoints_saved,
+            "checkpoints_restored": self.checkpoints_restored,
+            "escalations": dict(self.escalations),
         }
+
+    @classmethod
+    def from_summary(cls, record: dict) -> "ResilienceReport":
+        """Rebuild a report from a :meth:`summary` record (checkpoint restore).
+
+        Tolerates records written by older builds: counters absent from the
+        record default to zero, so a report survives schema growth.
+        """
+        report = cls()
+        for row in record.get("failures", ()):
+            report.record_failure(row.get("step", 0), row.get("worker_id", 0),
+                                  row.get("kind", "crash"),
+                                  detail=row.get("detail", ""),
+                                  filters=row.get("filters", ()))
+        for name in ("retries", "timeouts", "sanitized_particles",
+                     "rejuvenated_filters", "respawns", "segments_reclaimed",
+                     "heartbeat_misses", "heartbeat_failures",
+                     "checkpoints_saved", "checkpoints_restored"):
+            setattr(report, name, int(record.get(name, 0)))
+        report.escalations = {str(k): int(v)
+                              for k, v in (record.get("escalations") or {}).items()}
+        return report
 
 
 class HealMonitorHook:

@@ -1,0 +1,224 @@
+"""Heartbeat supervision: detect dead/hung workers *during* compute phases.
+
+The gather deadline alone notices a failed worker only when its reply is
+due — for a long sampling phase that can be seconds after the worker
+actually died. Heartbeat supervision closes that gap: workers publish a
+monotonic liveness counter out-of-band at every stage boundary (a dedicated
+shared-memory slab field for ``transport="shm"``, lightweight ``("beat", n,
+code)`` messages on the pipe otherwise), and the master's
+:class:`Supervisor` runs a configurable failure detector over those
+counters while it waits — declaring a worker dead after
+``max_missed`` consecutive ``beat_timeout`` windows without progress,
+typically long before the gather deadline would fire.
+
+Detection drives the escalation ladder (each rung recorded in the
+supervisor's event log and the run's
+:class:`~repro.resilience.monitor.ResilienceReport`):
+
+1. **retry** — the gather's backoff windows absorb transient slowness;
+2. **heal**  — a worker declared dead is healed out of the topology
+   (``on_failure="heal"``);
+3. **respawn** — with ``respawn_dead=True`` the block is re-provisioned
+   from donor neighbours at the end of the round;
+4. **checkpoint-and-abort** — under ``on_failure="raise"`` (or when no
+   live worker remains) a supervisor configured with
+   ``checkpoint_on_abort`` saves the survivors' state before the typed
+   failure propagates, so the run is resumable rather than lost.
+
+The detector is deliberately beat-driven, not process-driven: a SIGKILLed
+worker and a hung worker both stop beating, so both are caught mid-phase;
+the backend then classifies the failure (crash vs. heartbeat timeout) by
+checking process liveness at declaration time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive_int, check_timeout
+
+#: heartbeat phase codes published alongside the counter (debug aid).
+BEAT_CODES = {"recv": 0, "stage_start": 1, "stage_end": 2, "reply": 3}
+
+
+@dataclass(frozen=True)
+class SupervisorEvent:
+    """One supervision decision: a miss, a declaration, an escalation."""
+
+    step: int
+    worker_id: int
+    #: ``beat_miss`` | ``declared_dead`` | ``escalate_heal`` |
+    #: ``escalate_respawn`` | ``checkpoint_abort`` | ``recovered``
+    kind: str
+    detail: str = ""
+
+
+@dataclass
+class _WorkerView:
+    """The detector's per-worker memory between checks."""
+
+    count: int = -1
+    since: float = 0.0
+    missed: int = 0
+
+
+class Supervisor:
+    """Failure detector + escalation log over worker heartbeats.
+
+    Parameters
+    ----------
+    beat_timeout:
+        seconds without heartbeat progress that count as one *miss*.
+        Workers beat at every stage boundary, so this bounds the longest
+        healthy silent stretch — size it to the slowest expected stage.
+    max_missed:
+        consecutive misses before a worker is declared dead. Detection
+        latency is therefore ~``beat_timeout * max_missed`` seconds.
+    checkpoint_on_abort:
+        optional path: when a failure is about to propagate out of the
+        backend (``on_failure="raise"``), the survivors' state is
+        checkpointed here first so the run can be resumed.
+    """
+
+    def __init__(self, beat_timeout: float = 0.5, max_missed: int = 3,
+                 checkpoint_on_abort: str | None = None):
+        timeout = check_timeout(beat_timeout, "beat_timeout")
+        if timeout is None:
+            raise ValueError("beat_timeout must be a finite number of seconds")
+        self.beat_timeout = timeout
+        self.max_missed = check_positive_int(max_missed, "max_missed")
+        self.checkpoint_on_abort = checkpoint_on_abort
+        self.events: list[SupervisorEvent] = []
+        self._views: dict[int, _WorkerView] = {}
+
+    # -- detector cadence ------------------------------------------------------
+    @property
+    def check_interval(self) -> float:
+        """How often the gather loop should sample heartbeats [s]."""
+        return self.beat_timeout / 2.0
+
+    def begin_wait(self, worker: int, count: int, now: float) -> None:
+        """(Re)arm the detector for one worker at the start of a wait.
+
+        Resets the miss count and anchors the progress clock *now*, so idle
+        time between rounds is never mistaken for a hang.
+        """
+        self._views[worker] = _WorkerView(count=int(count), since=now)
+
+    def observe(self, worker: int, count: int, now: float, step: int) -> str:
+        """Feed one heartbeat sample; returns ``"ok"``, ``"miss"`` or ``"dead"``.
+
+        ``count`` is the worker's current monotonic beat counter. Progress
+        (a changed counter) clears the miss streak; ``beat_timeout`` seconds
+        without progress scores one miss; ``max_missed`` consecutive misses
+        is a death declaration (recorded, with the streak, in the event
+        log). Callers must :meth:`begin_wait` each worker before observing.
+        """
+        view = self._views.setdefault(worker, _WorkerView(count=int(count), since=now))
+        if int(count) != view.count:
+            if view.missed:
+                self.events.append(SupervisorEvent(
+                    step, worker, "recovered",
+                    f"heartbeat resumed after {view.missed} missed windows"))
+            view.count = int(count)
+            view.since = now
+            view.missed = 0
+            return "ok"
+        if now - view.since < self.beat_timeout:
+            return "ok"
+        view.missed += 1
+        view.since = now
+        self.events.append(SupervisorEvent(
+            step, worker, "beat_miss",
+            f"no heartbeat progress for {self.beat_timeout:g}s "
+            f"(miss {view.missed}/{self.max_missed})"))
+        if view.missed >= self.max_missed:
+            self.events.append(SupervisorEvent(
+                step, worker, "declared_dead",
+                f"{view.missed} consecutive heartbeat misses"))
+            return "dead"
+        return "miss"
+
+    def note_reply(self, worker: int, now: float) -> None:
+        """A full reply arrived — the strongest possible progress signal."""
+        view = self._views.get(worker)
+        if view is not None:
+            view.since = now
+            view.missed = 0
+
+    # -- escalation ladder -----------------------------------------------------
+    def escalate(self, kind: str, worker: int, step: int, detail: str = "") -> None:
+        """Record one escalation rung (``heal``/``respawn``/``abort``)."""
+        name = {"heal": "escalate_heal", "respawn": "escalate_respawn",
+                "abort": "checkpoint_abort"}.get(kind, kind)
+        self.events.append(SupervisorEvent(step, worker, name, detail))
+
+    # -- reporting --------------------------------------------------------------
+    @property
+    def misses(self) -> int:
+        return sum(1 for e in self.events if e.kind == "beat_miss")
+
+    def event_log(self) -> list[dict]:
+        """JSON-ready event log."""
+        return [{"step": e.step, "worker_id": e.worker_id, "kind": e.kind,
+                 "detail": e.detail} for e in self.events]
+
+    def summary(self) -> dict:
+        counts: dict[str, int] = {}
+        for e in self.events:
+            counts[e.kind] = counts.get(e.kind, 0) + 1
+        return {
+            "beat_timeout": self.beat_timeout,
+            "max_missed": self.max_missed,
+            "n_events": len(self.events),
+            "event_counts": counts,
+        }
+
+    def __repr__(self) -> str:
+        return (f"Supervisor(beat_timeout={self.beat_timeout}, "
+                f"max_missed={self.max_missed}, n_events={len(self.events)})")
+
+
+class HeartbeatHook:
+    """Worker-side liveness publisher: one beat per stage boundary.
+
+    Attached to the worker's stage pipelines, it bumps the channel's
+    monotonic heartbeat counter as each stage starts and ends — so a worker
+    grinding through a long sampling phase keeps advertising progress, and
+    one that dies (or hangs) mid-stage goes silent immediately. A
+    ``slow_heartbeat`` fault in the worker's
+    :class:`~repro.resilience.faults.FaultPlan` suppresses the beats for
+    that round while the computation proceeds normally — the
+    healthy-but-silent case the chaos suite uses to exercise the detector
+    on a worker that would have replied anyway.
+
+    Implements the :class:`repro.engine.StageHook` interface structurally
+    (no inheritance) like the other resilience hooks.
+    """
+
+    def __init__(self, chan, plan=None, worker_id: int = 0):
+        self.chan = chan
+        self.plan = plan
+        self.worker_id = worker_id
+
+    def _muted(self, state) -> bool:
+        if self.plan is None:
+            return False
+        return any(f.kind == "slow_heartbeat"
+                   for f in self.plan.faults_for(self.worker_id, state.k))
+
+    def on_step_start(self, state) -> None:
+        if not self._muted(state):
+            self.chan.beat(BEAT_CODES["recv"])
+
+    def on_stage_start(self, name: str, state) -> None:
+        if not self._muted(state):
+            self.chan.beat(BEAT_CODES["stage_start"])
+
+    def on_stage_end(self, name: str, state, elapsed: float) -> None:
+        if not self._muted(state):
+            self.chan.beat(BEAT_CODES["stage_end"])
+
+    def on_step_end(self, state) -> None:
+        if not self._muted(state):
+            self.chan.beat(BEAT_CODES["reply"])

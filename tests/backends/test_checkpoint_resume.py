@@ -1,0 +1,246 @@
+"""Checkpoint/resume acceptance: bit-identical golden traces on every backend.
+
+The contract under test: saving at a step boundary and resuming — in a fresh
+process tree — produces estimates *bit-identical* to the uninterrupted run,
+including runs whose topology was healed and whose workers were respawned
+mid-flight. Plus the transport failure paths around checkpointing: SIGKILL
+between scatter and poll is detected by process liveness (fast, not at the
+deadline), and shm segments are reclaimed when a supervised run aborts.
+"""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.backends import MultiprocessDistributedParticleFilter
+from repro.backends.sequential import SequentialDistributedParticleFilter
+from repro.core import DistributedFilterConfig, DistributedParticleFilter
+from repro.models import LinearGaussianModel
+from repro.prng import make_rng
+from repro.resilience import (
+    CheckpointError,
+    FaultPlan,
+    Supervisor,
+    WorkerFailure,
+    read_manifest,
+)
+
+
+def lg_model():
+    return LinearGaussianModel(A=[[0.9]], C=[[1.0]], Q=[[0.04]], R=[[0.01]])
+
+
+def cfg(**kw):
+    base = dict(n_particles=16, n_filters=8, topology="ring", n_exchange=1,
+                estimator="weighted_mean", seed=3)
+    base.update(kw)
+    return DistributedFilterConfig(**base)
+
+
+def measurements(n_steps, seed=4):
+    model = lg_model()
+    truth = model.simulate(n_steps, make_rng("numpy", seed=seed))
+    return np.asarray(truth.measurements, dtype=np.float64)
+
+
+def drive(pf, meas, start=0):
+    return np.stack([pf.step(meas[k]) for k in range(start, meas.shape[0])])
+
+
+class TestSingleProcessGoldenTrace:
+    @pytest.mark.parametrize("factory", [
+        DistributedParticleFilter, SequentialDistributedParticleFilter,
+    ], ids=["vectorized", "sequential"])
+    def test_resume_is_bit_identical(self, factory, tmp_path):
+        model, meas, cut = lg_model(), measurements(14), 7
+        golden = drive(factory(model, cfg()), meas)
+
+        pf = factory(model, cfg())
+        head = drive(pf, meas[:cut])
+        manifest = pf.save_checkpoint(str(tmp_path / "run.ckpt"))
+        assert manifest["meta"]["k"] == cut and manifest["meta"]["boundary"]
+
+        pf2 = factory(model, cfg())
+        pf2.load_checkpoint(str(tmp_path / "run.ckpt"))
+        assert pf2.k == cut
+        tail = drive(pf2, meas, start=cut)
+        np.testing.assert_array_equal(np.vstack([head, tail]), golden)
+
+    def test_backend_mismatch_rejected(self, tmp_path):
+        model, meas = lg_model(), measurements(3)
+        pf = DistributedParticleFilter(model, cfg())
+        drive(pf, meas)
+        pf.save_checkpoint(str(tmp_path / "vec.ckpt"))
+        with pytest.raises(CheckpointError, match="backend"):
+            SequentialDistributedParticleFilter(model, cfg()).load_checkpoint(
+                str(tmp_path / "vec.ckpt"))
+
+    def test_config_mismatch_rejected(self, tmp_path):
+        model, meas = lg_model(), measurements(3)
+        pf = DistributedParticleFilter(model, cfg())
+        drive(pf, meas)
+        pf.save_checkpoint(str(tmp_path / "run.ckpt"))
+        other = DistributedParticleFilter(model, cfg(seed=99))
+        with pytest.raises(CheckpointError, match="configuration"):
+            other.load_checkpoint(str(tmp_path / "run.ckpt"))
+
+    def test_checkpoint_before_init_rejected(self, tmp_path):
+        pf = DistributedParticleFilter(lg_model(), cfg())
+        with pytest.raises(CheckpointError):
+            pf.save_checkpoint(str(tmp_path / "run.ckpt"))
+
+
+@pytest.mark.parametrize("transport", ["pipe", "shm"])
+class TestMultiprocessGoldenTrace:
+    def test_resume_is_bit_identical(self, transport, tmp_path):
+        model, meas, cut = lg_model(), measurements(12), 6
+        with MultiprocessDistributedParticleFilter(
+                model, cfg(), n_workers=2, transport=transport) as pf:
+            golden = drive(pf, meas)
+
+        path = str(tmp_path / "run.ckpt")
+        with MultiprocessDistributedParticleFilter(
+                model, cfg(), n_workers=2, transport=transport) as pf:
+            head = drive(pf, meas[:cut])
+            manifest = pf.save_checkpoint(path)
+        assert manifest["meta"]["k"] == cut
+        assert manifest["meta"]["transport"] == transport
+
+        with MultiprocessDistributedParticleFilter(
+                model, cfg(), n_workers=2, transport=transport) as pf2:
+            pf2.load_checkpoint(path)
+            assert pf2.k == cut
+            assert pf2.report.checkpoints_restored == 1
+            tail = drive(pf2, meas, start=cut)
+        np.testing.assert_array_equal(np.vstack([head, tail]), golden)
+
+    def test_resume_with_respawned_worker_is_bit_identical(self, transport, tmp_path):
+        # The hard case: a worker is killed and respawned mid-flight BEFORE
+        # the checkpoint. Resuming must reproduce the uninterrupted chaos
+        # run bit-for-bit — which exercises the seed-tag (respawn lineage)
+        # and healed-topology state in the checkpoint.
+        model, meas, cut = lg_model(), measurements(12), 7
+        plan = FaultPlan(seed=0).kill(worker=1, step=3)
+
+        def mk():
+            return MultiprocessDistributedParticleFilter(
+                model, cfg(), n_workers=4, transport=transport, fault_plan=plan,
+                on_failure="heal", respawn_dead=True, recv_timeout=30.0)
+
+        with mk() as pf:
+            golden = drive(pf, meas)
+            assert pf.report.respawns == 1  # the fault actually fired
+
+        path = str(tmp_path / "chaos.ckpt")
+        with mk() as pf:
+            head = drive(pf, meas[:cut])
+            assert pf.report.respawns == 1
+            manifest = pf.save_checkpoint(path)
+        assert manifest["meta"]["seed_tags"][1] == 1  # bumped lineage saved
+
+        with mk() as pf2:
+            pf2.load_checkpoint(path)
+            assert pf2.report.respawns == 1  # report restored from manifest
+            tail = drive(pf2, meas, start=cut)
+        np.testing.assert_array_equal(np.vstack([head, tail]), golden)
+
+    def test_resume_with_dead_block_stays_degraded(self, transport, tmp_path):
+        # Healed-but-not-respawned topology: the dead block must stay dead
+        # (and NaN) across the resume, with the exchange routed around it.
+        model, meas, cut = lg_model(), measurements(10), 6
+        plan = FaultPlan(seed=0).kill(worker=1, step=2)
+
+        def mk(**kw):
+            return MultiprocessDistributedParticleFilter(
+                model, cfg(), n_workers=4, transport=transport,
+                on_failure="heal", recv_timeout=30.0, **kw)
+
+        with mk(fault_plan=plan) as pf:
+            golden = drive(pf, meas)
+            dead_filters = sorted(pf._healer.dead)
+
+        path = str(tmp_path / "degraded.ckpt")
+        with mk(fault_plan=plan) as pf:
+            head = drive(pf, meas[:cut])
+            pf.save_checkpoint(path)
+
+        with mk() as pf2:  # no fault plan: the checkpoint carries the damage
+            pf2.load_checkpoint(path)
+            assert pf2.dead_workers == (1,)
+            assert sorted(pf2._healer.dead) == dead_filters
+            tail = drive(pf2, meas, start=cut)
+        np.testing.assert_array_equal(np.vstack([head, tail]), golden)
+
+    def test_worker_count_mismatch_rejected(self, transport, tmp_path):
+        model, meas = lg_model(), measurements(3)
+        path = str(tmp_path / "run.ckpt")
+        with MultiprocessDistributedParticleFilter(
+                model, cfg(), n_workers=2, transport=transport) as pf:
+            drive(pf, meas)
+            pf.save_checkpoint(path)
+        with MultiprocessDistributedParticleFilter(
+                model, cfg(), n_workers=4, transport=transport) as pf2:
+            with pytest.raises(CheckpointError, match="workers"):
+                pf2.load_checkpoint(path)
+
+
+class TestTransportFailurePaths:
+    def test_sigkill_between_scatter_and_poll_detected_by_liveness(self):
+        # The master must notice the corpse via process liveness / EOF, long
+        # before the 30 s reply deadline would fire.
+        model, meas = lg_model(), measurements(6)
+        with MultiprocessDistributedParticleFilter(
+                model, cfg(), n_workers=2, on_failure="heal",
+                recv_timeout=30.0) as pf:
+            pf.step(meas[0])
+            os.kill(pf._procs[1].pid, signal.SIGKILL)
+            pf._procs[1].join(timeout=5)
+            t0 = time.perf_counter()
+            pf.step(meas[1])
+            elapsed = time.perf_counter() - t0
+            assert elapsed < 10.0  # detected, not waited out
+            assert pf.dead_workers == (1,)
+            assert pf.report.failures[0].kind == "crash"
+
+    def test_shm_segments_reclaimed_on_supervised_abort(self, tmp_path):
+        # on_failure="raise" + checkpoint_on_abort: the typed error still
+        # propagates, but the dead block's shm segments are reclaimed and a
+        # mid-round (non-boundary) rescue checkpoint lands on disk first.
+        model, meas = lg_model(), measurements(6)
+        path = str(tmp_path / "abort.ckpt")
+        plan = FaultPlan(seed=0).kill(worker=1, step=2)
+        sup = Supervisor(beat_timeout=0.2, max_missed=2, checkpoint_on_abort=path)
+        with MultiprocessDistributedParticleFilter(
+                model, cfg(), n_workers=2, transport="shm", fault_plan=plan,
+                on_failure="raise", recv_timeout=30.0, supervisor=sup) as pf:
+            with pytest.raises(WorkerFailure):
+                for k in range(meas.shape[0]):
+                    pf.step(meas[k])
+            assert pf.report.segments_reclaimed > 0
+        manifest = read_manifest(path)
+        assert manifest["meta"]["boundary"] is False
+        assert manifest["meta"]["backend"] == "multiprocess"
+        assert any(e["kind"] == "checkpoint_abort" for e in sup.event_log())
+
+    def test_abort_checkpoint_is_resumable(self, tmp_path):
+        # A checkpoint-on-abort rescue file restores into a fresh instance
+        # (deterministic resume; just not a golden-trace boundary).
+        model, meas = lg_model(), measurements(8)
+        path = str(tmp_path / "abort.ckpt")
+        plan = FaultPlan(seed=0).kill(worker=1, step=2)
+        sup = Supervisor(beat_timeout=0.2, max_missed=2, checkpoint_on_abort=path)
+        with MultiprocessDistributedParticleFilter(
+                model, cfg(), n_workers=2, fault_plan=plan,
+                on_failure="raise", recv_timeout=30.0, supervisor=sup) as pf:
+            with pytest.raises(WorkerFailure):
+                drive(pf, meas)
+        with MultiprocessDistributedParticleFilter(
+                model, cfg(), n_workers=2, on_failure="heal",
+                recv_timeout=30.0) as pf2:
+            pf2.load_checkpoint(path)
+            assert pf2.dead_workers == (1,)  # the aborted run's damage
+            est = drive(pf2, meas, start=pf2.k)  # completes degraded
+            assert np.isfinite(est).all()

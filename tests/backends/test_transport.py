@@ -45,7 +45,8 @@ class TestSlabLayout:
             assert f.offset >= end  # no overlap
             end = f.offset + int(np.prod(f.shape)) * f.dtype.itemsize
         assert lay.nbytes >= end
-        assert lay.segment_nbytes == 2 * lay.nbytes
+        # Two payload buffers plus the out-of-band heartbeat tail.
+        assert lay.segment_nbytes == 2 * lay.nbytes + 64
 
     def test_double_buffers_do_not_alias(self):
         lay = small_layout()

@@ -1,0 +1,167 @@
+"""The checkpoint container: atomicity, integrity, corruption detection."""
+
+import json
+import os
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.resilience import (
+    CHECKPOINT_SCHEMA_VERSION,
+    CheckpointCorruptError,
+    CheckpointError,
+    corrupt_checkpoint_file,
+    read_checkpoint,
+    read_manifest,
+    write_checkpoint,
+)
+from repro.resilience.checkpoint import MANIFEST_MEMBER
+
+
+def sample_arrays():
+    return {
+        "states": np.arange(24, dtype=np.float32).reshape(2, 4, 3),
+        "logw": np.linspace(-3.0, 0.0, 8).reshape(2, 4),
+    }
+
+
+def write_sample(path, meta=None):
+    return write_checkpoint(str(path), sample_arrays(),
+                            meta or {"backend": "test", "k": 7})
+
+
+class TestWriteRead:
+    def test_roundtrip_bit_exact(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        manifest = write_sample(path)
+        arrays, manifest2 = read_checkpoint(str(path))
+        assert manifest2 == manifest
+        assert manifest["schema_version"] == CHECKPOINT_SCHEMA_VERSION
+        assert manifest["meta"]["k"] == 7
+        assert sorted(arrays) == ["logw", "states"]
+        for name, ref in sample_arrays().items():
+            np.testing.assert_array_equal(arrays[name], ref)
+            assert arrays[name].dtype == ref.dtype
+
+    def test_manifest_member_embedded_in_npz(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        write_sample(path)
+        with zipfile.ZipFile(path) as zf:
+            names = zf.namelist()
+            assert MANIFEST_MEMBER in names
+            assert "states.npy" in names and "logw.npy" in names
+            manifest = json.loads(zf.read(MANIFEST_MEMBER))
+        assert manifest["format"] == "esthera-checkpoint"
+        assert manifest["arrays"] == ["logw", "states"]
+        assert "content_hash" in manifest and "git_sha" in manifest
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="does not exist"):
+            read_checkpoint(str(tmp_path / "nope.ckpt"))
+
+    def test_read_manifest_alone(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        write_sample(path, meta={"backend": "x", "k": 3})
+        assert read_manifest(str(path))["meta"]["k"] == 3
+
+
+class TestAtomicity:
+    def test_rewrite_replaces_atomically(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        write_sample(path, meta={"k": 1})
+        write_sample(path, meta={"k": 2})
+        assert read_manifest(str(path))["meta"]["k"] == 2
+        # no staging files left behind
+        assert os.listdir(tmp_path) == ["run.ckpt"]
+
+    def test_interrupted_write_preserves_previous_checkpoint(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        write_sample(path, meta={"k": 1})
+        out = write_checkpoint(str(path), sample_arrays(), {"k": 2},
+                               interrupt_write=True)
+        assert out is None
+        # the simulated SIGKILL left a torn staging file, not a torn target
+        assert read_manifest(str(path))["meta"]["k"] == 1
+        leftovers = [f for f in os.listdir(tmp_path) if ".tmp." in f]
+        assert len(leftovers) == 1
+
+    def test_interrupted_first_write_leaves_no_target(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        write_checkpoint(str(path), sample_arrays(), {"k": 0},
+                         interrupt_write=True)
+        assert not path.exists()
+
+
+class TestIntegrity:
+    def test_bit_flip_detected(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        write_sample(path)
+        n = corrupt_checkpoint_file(str(path), np.random.default_rng(0),
+                                    mode="corrupt", fraction=0.02)
+        assert n >= 1
+        with pytest.raises(CheckpointCorruptError):
+            read_checkpoint(str(path))
+
+    def test_truncation_detected(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        write_sample(path)
+        assert corrupt_checkpoint_file(str(path), np.random.default_rng(0),
+                                       mode="truncate") > 0
+        with pytest.raises(CheckpointCorruptError):
+            read_checkpoint(str(path))
+
+    def test_corrupt_mode_validation(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        write_sample(path)
+        with pytest.raises(ValueError):
+            corrupt_checkpoint_file(str(path), np.random.default_rng(0), mode="melt")
+
+    def test_verify_false_skips_hash_check(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        write_sample(path)
+        # hand-tamper the manifest's hash: verify=True must fail, False must not
+        with zipfile.ZipFile(path) as zf:
+            manifest = json.loads(zf.read(MANIFEST_MEMBER))
+            members = {n: zf.read(n) for n in zf.namelist() if n != MANIFEST_MEMBER}
+        manifest["content_hash"] = "0" * 64
+        with zipfile.ZipFile(path, "w") as zf:
+            for name, data in members.items():
+                zf.writestr(name, data)
+            zf.writestr(MANIFEST_MEMBER, json.dumps(manifest))
+        with pytest.raises(CheckpointCorruptError, match="hash mismatch"):
+            read_checkpoint(str(path))
+        arrays, _ = read_checkpoint(str(path), verify=False)
+        np.testing.assert_array_equal(arrays["logw"], sample_arrays()["logw"])
+
+    def test_not_a_zip(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        path.write_bytes(b"definitely not a zip file")
+        with pytest.raises(CheckpointCorruptError):
+            read_manifest(str(path))
+
+
+class TestSchemaPolicy:
+    def _rewrite_manifest(self, path, **patch):
+        with zipfile.ZipFile(path) as zf:
+            manifest = json.loads(zf.read(MANIFEST_MEMBER))
+            members = {n: zf.read(n) for n in zf.namelist() if n != MANIFEST_MEMBER}
+        manifest.update(patch)
+        with zipfile.ZipFile(path, "w") as zf:
+            for name, data in members.items():
+                zf.writestr(name, data)
+            zf.writestr(MANIFEST_MEMBER, json.dumps(manifest))
+
+    def test_future_schema_version_rejected(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        write_sample(path)
+        self._rewrite_manifest(path, schema_version=CHECKPOINT_SCHEMA_VERSION + 1)
+        with pytest.raises(CheckpointError, match="schema version"):
+            read_manifest(str(path))
+
+    def test_foreign_format_rejected(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        write_sample(path)
+        self._rewrite_manifest(path, format="some-other-tool")
+        with pytest.raises(CheckpointError, match="format"):
+            read_manifest(str(path))

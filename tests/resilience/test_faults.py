@@ -95,5 +95,7 @@ def test_none_plan_is_noop():
 
 def test_fault_kinds_frozen():
     assert set(FAULT_KINDS) == {
-        "kill", "hang", "delay", "poison_nan", "poison_neginf", "corrupt_exchange"
+        "kill", "hang", "delay", "poison_nan", "poison_neginf",
+        "corrupt_exchange", "slow_heartbeat",
+        "ckpt_corrupt", "ckpt_truncate", "ckpt_partial_write",
     }

@@ -1,0 +1,139 @@
+"""Heartbeat supervision under chaos: detection *during* compute phases.
+
+Acceptance: a worker SIGKILLed during sampling is declared dead by the
+heartbeat detector well before the (deliberately huge) gather deadline
+would fire, and the run completes via respawn with the escalation recorded.
+A hung worker is classified as a heartbeat timeout (process still alive);
+a slow-heartbeat fault exercises the detector on a worker that was healthy
+all along.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.backends import MultiprocessDistributedParticleFilter
+from repro.core import DistributedFilterConfig
+from repro.models import LinearGaussianModel
+from repro.prng import make_rng
+from repro.resilience import FaultPlan, Supervisor
+
+#: huge on purpose: if detection relied on the gather deadline, the chaos
+#: steps below would take ≥ the first backoff window (60 * 1/7 ≈ 8.6 s).
+RECV_TIMEOUT = 60.0
+FIRST_WINDOW = RECV_TIMEOUT / 7.0
+
+
+def lg_model():
+    return LinearGaussianModel(A=[[0.9]], C=[[1.0]], Q=[[0.04]], R=[[0.01]])
+
+
+def cfg(**kw):
+    base = dict(n_particles=16, n_filters=8, topology="ring", n_exchange=1,
+                estimator="weighted_mean", seed=3)
+    base.update(kw)
+    return DistributedFilterConfig(**base)
+
+
+def measurements(n_steps, seed=4):
+    model = lg_model()
+    truth = model.simulate(n_steps, make_rng("numpy", seed=seed))
+    return np.asarray(truth.measurements, dtype=np.float64)
+
+
+@pytest.fixture
+def no_eof_transport(monkeypatch):
+    """Disable the local-pipe EOF shortcut: keep the worker-side pipe ends
+    open in the master, the way a remote/socket transport would never see an
+    EOF from a SIGKILLed peer. Heartbeats (or the deadline) must detect it."""
+    from repro.backends import transport as tmod
+
+    monkeypatch.setattr(tmod.PipeMasterChannel, "after_start", lambda self: None)
+    monkeypatch.setattr(tmod.ShmMasterChannel, "after_start", lambda self: None)
+
+
+@pytest.mark.parametrize("transport", ["pipe", "shm"])
+def test_sigkill_mid_sampling_detected_by_heartbeat_before_deadline(
+        transport, no_eof_transport):
+    model, meas = lg_model(), measurements(8)
+    plan = FaultPlan(seed=0).kill(worker=1, step=2)
+    sup = Supervisor(beat_timeout=0.2, max_missed=2)
+    with MultiprocessDistributedParticleFilter(
+            model, cfg(), n_workers=2, transport=transport, fault_plan=plan,
+            on_failure="heal", respawn_dead=True, recv_timeout=RECV_TIMEOUT,
+            supervisor=sup) as pf:
+        t0 = time.perf_counter()
+        est = np.stack([pf.step(meas[k]) for k in range(meas.shape[0])])
+        elapsed = time.perf_counter() - t0
+        report = pf.report
+
+    # detection latency ~ beat_timeout * max_missed = 0.4 s, nowhere near
+    # the 8.6 s first gather window — the whole 8-step run must beat it.
+    assert elapsed < FIRST_WINDOW
+    assert np.isfinite(est).all() and est.shape[0] == meas.shape[0]
+    assert report.respawns == 1
+    assert report.failures[0].kind == "crash"  # corpse found at declaration
+    assert report.escalations.get("heal") == 1
+    assert report.escalations.get("respawn") == 1
+    kinds = [e.kind for e in sup.events]
+    assert "declared_dead" in kinds
+    assert "escalate_respawn" in kinds
+    assert kinds.index("declared_dead") < kinds.index("escalate_respawn")
+
+
+def test_hung_worker_classified_as_heartbeat_timeout():
+    model, meas = lg_model(), measurements(6)
+    plan = FaultPlan(seed=0).hang(worker=1, step=2, duration=3600.0)
+    sup = Supervisor(beat_timeout=0.2, max_missed=2)
+    with MultiprocessDistributedParticleFilter(
+            model, cfg(), n_workers=2, fault_plan=plan, on_failure="heal",
+            recv_timeout=RECV_TIMEOUT, supervisor=sup) as pf:
+        t0 = time.perf_counter()
+        est = np.stack([pf.step(meas[k]) for k in range(meas.shape[0])])
+        elapsed = time.perf_counter() - t0
+        report = pf.report
+
+    assert elapsed < FIRST_WINDOW
+    assert np.isfinite(est).all()
+    # the process is alive (hung), so the failure is a heartbeat timeout,
+    # not a crash — that classification is the supervisor's whole point.
+    assert report.failures[0].kind == "heartbeat"
+    assert report.heartbeat_failures >= 1
+    assert report.heartbeat_misses >= sup.max_missed
+
+
+def test_slow_heartbeat_on_healthy_worker_records_misses_not_failures():
+    # The worker computes normally but mutes its beats for one round (and a
+    # delay fault stretches that round past several beat windows). The
+    # detector must log misses and a recovery — and nothing must die.
+    model, meas = lg_model(), measurements(5)
+    plan = (FaultPlan(seed=0)
+            .slow_heartbeat(worker=1, step=2)
+            .delay(worker=1, step=2, duration=0.8))
+    sup = Supervisor(beat_timeout=0.15, max_missed=100)
+    with MultiprocessDistributedParticleFilter(
+            model, cfg(), n_workers=2, fault_plan=plan, on_failure="heal",
+            recv_timeout=RECV_TIMEOUT, supervisor=sup) as pf:
+        est = np.stack([pf.step(meas[k]) for k in range(meas.shape[0])])
+        report = pf.report
+
+    assert np.isfinite(est).all()
+    assert report.n_failures == 0 and pf.dead_workers == ()
+    assert report.heartbeat_misses >= 1
+    assert report.heartbeat_failures == 0
+    assert sup.misses >= 1
+    assert all(e.kind in ("beat_miss", "recovered") for e in sup.events)
+
+
+def test_supervision_disabled_has_no_heartbeat_counters():
+    # supervisor=None must leave the whole heartbeat plumbing dormant: no
+    # beats, no misses, no events — the perf-gate configuration.
+    model, meas = lg_model(), measurements(4)
+    with MultiprocessDistributedParticleFilter(
+            model, cfg(), n_workers=2) as pf:
+        np.stack([pf.step(meas[k]) for k in range(meas.shape[0])])
+        assert pf.report.heartbeat_misses == 0
+        assert pf.report.heartbeat_failures == 0
+        for chan in pf._chans:
+            assert chan.heartbeat() in (0, -1)  # counter never advanced

@@ -1,0 +1,83 @@
+"""``ResilienceReport.summary()`` schema pin + checkpoint roundtrip.
+
+The summary record is consumed by the CLI's JSON export, the CI chaos-smoke
+artifact, and — via ``from_summary`` — checkpoint restore. Its key set is a
+contract: extend it deliberately (and update this pin), never accidentally.
+"""
+
+import json
+
+from repro.resilience import ResilienceReport
+
+EXPECTED_KEYS = {
+    "n_failures",
+    "dead_workers",
+    "failures",
+    "retries",
+    "timeouts",
+    "sanitized_particles",
+    "rejuvenated_filters",
+    "respawns",
+    "segments_reclaimed",
+    "heartbeat_misses",
+    "heartbeat_failures",
+    "checkpoints_saved",
+    "checkpoints_restored",
+    "escalations",
+}
+
+
+def populated_report():
+    r = ResilienceReport()
+    r.record_failure(step=3, worker_id=1, kind="crash", detail="boom",
+                     filters=(2, 3))
+    r.retries = 4
+    r.timeouts = 1
+    r.sanitized_particles = 7
+    r.rejuvenated_filters = 2
+    r.respawns = 1
+    r.segments_reclaimed = 5
+    r.heartbeat_misses = 6
+    r.heartbeat_failures = 1
+    r.checkpoints_saved = 2
+    r.checkpoints_restored = 1
+    r.record_escalation("heal")
+    r.record_escalation("heal")
+    r.record_escalation("respawn")
+    return r
+
+
+def test_summary_schema_frozen():
+    assert set(populated_report().summary().keys()) == EXPECTED_KEYS
+    assert set(ResilienceReport().summary().keys()) == EXPECTED_KEYS
+
+
+def test_summary_is_json_ready():
+    json.dumps(populated_report().summary())
+
+
+def test_escalation_counters():
+    s = populated_report().summary()
+    assert s["escalations"] == {"heal": 2, "respawn": 1}
+    assert s["heartbeat_misses"] == 6
+    assert s["heartbeat_failures"] == 1
+    assert s["checkpoints_saved"] == 2
+    assert s["checkpoints_restored"] == 1
+
+
+def test_from_summary_roundtrip():
+    original = populated_report().summary()
+    rebuilt = ResilienceReport.from_summary(original)
+    assert rebuilt.summary() == original
+
+
+def test_from_summary_tolerates_old_records():
+    # a record written before the heartbeat/checkpoint counters existed
+    old = {"n_failures": 0, "dead_workers": [], "failures": [],
+           "retries": 2, "timeouts": 0, "sanitized_particles": 0,
+           "rejuvenated_filters": 0, "respawns": 0, "segments_reclaimed": 0}
+    rebuilt = ResilienceReport.from_summary(old)
+    assert rebuilt.retries == 2
+    assert rebuilt.heartbeat_misses == 0
+    assert rebuilt.escalations == {}
+    assert set(rebuilt.summary().keys()) == EXPECTED_KEYS

@@ -1,0 +1,76 @@
+"""The shared retry primitives: backoff windows, deadlines, policy validation."""
+
+import pytest
+
+from repro.resilience import Backoff, Deadline, RetryPolicy
+from repro.resilience.retry import POLL_FOREVER_WINDOW
+
+
+class TestBackoff:
+    def test_windows_double_and_sum_to_timeout(self):
+        w = Backoff(timeout=7.0, max_retries=3).windows()
+        assert w == (1.0, 2.0, 4.0)  # 7 * 2**i / (2**3 - 1)
+        assert sum(w) == pytest.approx(7.0)
+
+    def test_single_window(self):
+        assert Backoff(timeout=5.0, max_retries=1).windows() == (5.0,)
+
+    def test_unbounded_schedule(self):
+        assert Backoff(timeout=None).windows() is None
+
+    def test_windows_sum_exactly_for_any_retry_count(self):
+        for n in (1, 2, 3, 5, 8):
+            w = Backoff(timeout=13.0, max_retries=n).windows()
+            assert len(w) == n
+            assert sum(w) == pytest.approx(13.0)
+            # strictly doubling
+            for a, b in zip(w, w[1:]):
+                assert b == pytest.approx(2 * a)
+
+
+class TestDeadline:
+    def test_retry_then_timeout(self):
+        dl = Deadline((1.0, 2.0, 4.0), now=100.0)
+        assert not dl.due(100.5)
+        assert dl.due(101.0)
+        assert dl.expire(101.0) == "retry"
+        assert dl.due_at == pytest.approx(103.0)  # next window is 2 s
+        assert dl.expire(103.0) == "retry"
+        assert dl.due_at == pytest.approx(107.0)
+        assert dl.expire(107.0) == "timeout"
+
+    def test_remaining_clamps_at_zero(self):
+        dl = Deadline((1.0,), now=0.0)
+        assert dl.remaining(0.25) == pytest.approx(0.75)
+        assert dl.remaining(99.0) == 0.0
+
+    def test_unbounded_deadline_polls_forever(self):
+        dl = Deadline(None, now=0.0)
+        assert dl.due_at == pytest.approx(POLL_FOREVER_WINDOW)
+        for i in range(10):
+            assert dl.expire(float(i)) == "poll"
+        assert dl.due_at == pytest.approx(9.0 + POLL_FOREVER_WINDOW)
+
+
+class TestRetryPolicy:
+    def test_defaults_and_deadline_minting(self):
+        pol = RetryPolicy()
+        assert pol.timeout == 30.0 and pol.max_retries == 3
+        dl = pol.deadline(0.0)
+        assert dl.due_at == pytest.approx(pol.windows()[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout=-1.0)
+        with pytest.raises((ValueError, TypeError)):
+            RetryPolicy(max_retries=0)
+
+    def test_none_timeout_is_poll_forever(self):
+        pol = RetryPolicy(timeout=None)
+        assert pol.windows() is None
+        assert pol.deadline(0.0).expire(5.0) == "poll"
+
+    def test_policy_is_immutable(self):
+        pol = RetryPolicy(timeout=2.0)
+        with pytest.raises(AttributeError):
+            pol.timeout = 5.0

@@ -1,0 +1,137 @@
+"""The heartbeat failure detector: misses, declarations, escalations, log."""
+
+import pytest
+
+from repro.resilience import FaultPlan, Supervisor
+from repro.resilience.supervisor import BEAT_CODES, HeartbeatHook
+
+
+class FakeChannel:
+    def __init__(self):
+        self.beats = []
+
+    def beat(self, code=0):
+        self.beats.append(code)
+
+
+class FakeState:
+    def __init__(self, k=0):
+        self.k = k
+
+
+class TestDetector:
+    def test_progress_is_ok(self):
+        sup = Supervisor(beat_timeout=1.0, max_missed=3)
+        sup.begin_wait(0, count=0, now=0.0)
+        assert sup.observe(0, count=1, now=0.5, step=0) == "ok"
+        assert sup.observe(0, count=2, now=5.0, step=0) == "ok"  # progress trumps time
+        assert sup.events == []
+
+    def test_silence_scores_misses_then_death(self):
+        sup = Supervisor(beat_timeout=1.0, max_missed=3)
+        sup.begin_wait(0, count=5, now=0.0)
+        assert sup.observe(0, 5, now=0.5, step=2) == "ok"    # within the window
+        assert sup.observe(0, 5, now=1.0, step=2) == "miss"  # window 1 expired
+        assert sup.observe(0, 5, now=2.0, step=2) == "miss"
+        assert sup.observe(0, 5, now=3.0, step=2) == "dead"
+        kinds = [e.kind for e in sup.events]
+        assert kinds == ["beat_miss", "beat_miss", "beat_miss", "declared_dead"]
+        assert sup.misses == 3
+        assert all(e.worker_id == 0 and e.step == 2 for e in sup.events)
+
+    def test_progress_clears_streak_and_logs_recovery(self):
+        sup = Supervisor(beat_timeout=1.0, max_missed=2)
+        sup.begin_wait(0, count=0, now=0.0)
+        assert sup.observe(0, 0, now=1.0, step=0) == "miss"
+        assert sup.observe(0, 1, now=1.5, step=0) == "ok"  # beat arrived
+        assert [e.kind for e in sup.events] == ["beat_miss", "recovered"]
+        # streak reset: takes max_missed fresh misses to die again
+        assert sup.observe(0, 1, now=2.5, step=0) == "miss"
+        assert sup.observe(0, 1, now=3.5, step=0) == "dead"
+
+    def test_begin_wait_rearms_between_rounds(self):
+        # idle time between rounds must never count as a hang
+        sup = Supervisor(beat_timeout=1.0, max_missed=2)
+        sup.begin_wait(0, count=3, now=0.0)
+        assert sup.observe(0, 3, now=1.0, step=0) == "miss"
+        sup.begin_wait(0, count=3, now=100.0)  # next round, same counter
+        assert sup.observe(0, 3, now=100.5, step=1) == "ok"
+        assert sup.observe(0, 3, now=101.0, step=1) == "miss"  # streak restarted at 0
+        assert sup.observe(0, 3, now=102.0, step=1) == "dead"
+
+    def test_note_reply_is_progress(self):
+        sup = Supervisor(beat_timeout=1.0, max_missed=2)
+        sup.begin_wait(0, count=0, now=0.0)
+        assert sup.observe(0, 0, now=1.0, step=0) == "miss"
+        sup.note_reply(0, now=1.2)
+        assert sup.observe(0, 0, now=1.5, step=0) == "ok"
+
+    def test_workers_tracked_independently(self):
+        sup = Supervisor(beat_timeout=1.0, max_missed=1)
+        sup.begin_wait(0, count=0, now=0.0)
+        sup.begin_wait(1, count=0, now=0.0)
+        assert sup.observe(0, 0, now=1.0, step=0) == "dead"
+        assert sup.observe(1, 7, now=1.0, step=0) == "ok"
+
+    def test_check_interval_is_half_the_beat_timeout(self):
+        assert Supervisor(beat_timeout=0.5).check_interval == pytest.approx(0.25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Supervisor(beat_timeout=-1.0)
+        with pytest.raises(ValueError):
+            Supervisor(beat_timeout=None)
+        with pytest.raises((ValueError, TypeError)):
+            Supervisor(max_missed=0)
+
+
+class TestEscalationLog:
+    def test_escalate_maps_rungs_to_event_kinds(self):
+        sup = Supervisor()
+        sup.escalate("heal", worker=1, step=4, detail="crash")
+        sup.escalate("respawn", worker=1, step=4)
+        sup.escalate("abort", worker=1, step=5, detail="no quorum")
+        assert [e.kind for e in sup.events] == [
+            "escalate_heal", "escalate_respawn", "checkpoint_abort"]
+
+    def test_event_log_and_summary_are_json_ready(self):
+        import json
+
+        sup = Supervisor(beat_timeout=1.0, max_missed=1)
+        sup.begin_wait(2, count=0, now=0.0)
+        sup.observe(2, 0, now=1.0, step=3)
+        sup.escalate("heal", worker=2, step=3)
+        log = sup.event_log()
+        assert log[0] == {"step": 3, "worker_id": 2, "kind": "beat_miss",
+                          "detail": log[0]["detail"]}
+        s = sup.summary()
+        assert s["n_events"] == 3
+        assert s["event_counts"] == {"beat_miss": 1, "declared_dead": 1,
+                                     "escalate_heal": 1}
+        json.dumps({"events": log, "summary": s})  # must not raise
+
+
+class TestHeartbeatHook:
+    def test_beats_at_every_boundary(self):
+        chan = FakeChannel()
+        hook = HeartbeatHook(chan)
+        state = FakeState(k=0)
+        hook.on_step_start(state)
+        hook.on_stage_start("sample", state)
+        hook.on_stage_end("sample", state, 0.01)
+        hook.on_step_end(state)
+        assert chan.beats == [BEAT_CODES["recv"], BEAT_CODES["stage_start"],
+                              BEAT_CODES["stage_end"], BEAT_CODES["reply"]]
+
+    def test_slow_heartbeat_fault_mutes_that_round_only(self):
+        plan = FaultPlan(seed=0).slow_heartbeat(worker=1, step=4)
+        chan = FakeChannel()
+        hook = HeartbeatHook(chan, plan, worker_id=1)
+        hook.on_stage_start("sample", FakeState(k=4))  # muted
+        assert chan.beats == []
+        hook.on_stage_start("sample", FakeState(k=5))  # not muted
+        assert chan.beats == [BEAT_CODES["stage_start"]]
+        # other workers unaffected at the faulty step
+        other = FakeChannel()
+        HeartbeatHook(other, plan, worker_id=0).on_stage_start("sample", FakeState(k=4))
+        assert other.beats == [BEAT_CODES["stage_start"]]

@@ -159,6 +159,65 @@ class TestBenchMultiprocessCLI:
         assert "disagreed" in capsys.readouterr().err
 
 
+class TestRunCLI:
+    def test_checkpoint_then_resume_matches_uninterrupted(self, tmp_path, capsys):
+        # golden-trace smoke at the CLI surface: final estimate of the
+        # resumed run must be printed identically to the uninterrupted one.
+        rc = main(["run", "--steps", "12", "--seed", "7"])
+        assert rc == 0
+        out = capsys.readouterr().out.strip().splitlines()[-1]
+        golden = out.split("final estimate")[-1]
+
+        ckpt = str(tmp_path / "run.ckpt")
+        rc = main(["run", "--steps", "6", "--seed", "7", "--checkpoint", ckpt])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "wrote checkpoint" in out and "steps 0..5" in out
+
+        rc = main(["run", "--steps", "12", "--seed", "7", "--resume", ckpt])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "resumed" in out and "at step 6" in out and "steps 6..11" in out
+        assert out.strip().splitlines()[-1].split("final estimate")[-1] == golden
+
+    def test_multiprocess_backend_roundtrip(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "mp.ckpt")
+        rc = main(["run", "--backend", "pipe", "--steps", "4", "--checkpoint", ckpt])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(["run", "--backend", "pipe", "--steps", "8", "--resume", ckpt])
+        assert rc == 0
+        assert "steps 4..7" in capsys.readouterr().out
+
+
+class TestChaosCLI:
+    def test_soak_prints_report_and_exports_json(self, tmp_path, capsys):
+        out_path = tmp_path / "chaos.json"
+        rc = main(["chaos", "--steps", "6", "--seed", "5", "--max-kills", "1",
+                   "--respawn", "-o", str(out_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fault plan (seed=5)" in out
+        assert "n_failures" in out and "escalations" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["seed"] == 5 and payload["transport"] == "pipe"
+        assert set(payload) >= {"plan", "report", "events", "supervisor",
+                                "dead_workers"}
+        assert payload["supervisor"]["max_missed"] >= 1
+        # the exported plan replays: it is the reproducibility contract
+        from repro.resilience import FaultPlan
+
+        clone = FaultPlan.from_dicts(payload["plan"])
+        assert clone.seed == 5
+
+    def test_clean_plan_soak(self, capsys):
+        # p=0 probabilities: a chaos soak with no faults still reports
+        rc = main(["chaos", "--steps", "3", "--p-kill", "0", "--p-poison", "0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "clean" in out and "n_failures" in out
+
+
 class TestTraceCLI:
     def test_trace_writes_valid_trace_event_json(self, tmp_path, capsys):
         # The CLI smoke contract: the output opens in Perfetto, i.e. every
