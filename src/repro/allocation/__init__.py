@@ -1,0 +1,68 @@
+"""Adaptive particle allocation across sub-filters.
+
+The paper fixes every sub-filter at ``m`` particles, so the machine spends
+identical FLOPs on every hypothesis regardless of how much posterior mass it
+carries. This package relaxes that: the population becomes a padded
+``(n_filters, m_max, state_dim)`` block with a per-sub-filter live-width
+vector ``m_i`` (padded slots are copies of real particles carrying ``-inf``
+log-weight, so every existing kernel treats them as zero-mass), and a
+pluggable :class:`AllocationPolicy` decides each round how sub-filters grow
+or shrink within a conserved total particle budget.
+
+Policies (see :mod:`repro.allocation.policies`):
+
+- ``fixed`` — the paper's equal split; widths never change and every code
+  path is bit-identical to the pre-allocation layout.
+- ``ess`` — widths proportional to each sub-filter's effective sample size.
+- ``mass`` — DRNA-style (arXiv:1310.4624): widths proportional to each
+  sub-filter's share of the global weight mass, with exponential smoothing,
+  per-filter hysteresis, and min/max clamps.
+
+Migration (see :mod:`repro.allocation.migrate`) reuses the exchange
+plumbing: a growing sub-filter fills its new slots by resampling from the
+same pooled candidate set (own + received particles) the resample stage
+already built, so fresh particles arrive through the topology rather than
+being invented locally.
+"""
+
+from repro.allocation.metrics import (
+    mass_concentration,
+    row_logsumexp,
+    share_from_logsumexp,
+    subfilter_ess,
+    weight_mass_share,
+)
+from repro.allocation.migrate import (
+    apply_width_mask,
+    pad_population,
+    resize_block,
+    width_mask,
+)
+from repro.allocation.policies import (
+    AllocationPolicy,
+    ESSProportionalAllocation,
+    FixedAllocation,
+    WeightMassAllocation,
+    allocation_capacity,
+    apportion,
+    make_allocation_policy,
+)
+
+__all__ = [
+    "AllocationPolicy",
+    "ESSProportionalAllocation",
+    "FixedAllocation",
+    "WeightMassAllocation",
+    "allocation_capacity",
+    "apply_width_mask",
+    "apportion",
+    "make_allocation_policy",
+    "mass_concentration",
+    "pad_population",
+    "resize_block",
+    "row_logsumexp",
+    "share_from_logsumexp",
+    "subfilter_ess",
+    "weight_mass_share",
+    "width_mask",
+]

@@ -1,0 +1,88 @@
+"""Per-sub-filter health metrics driving allocation decisions.
+
+Both metrics are pure reductions over the log-weight matrix — no RNG draws,
+no mutation — so computing them inside the round cannot perturb a golden
+trace. Padded slots carry ``-inf`` log-weight and therefore contribute
+exactly zero to every sum here; the metrics see only the live population.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def subfilter_ess(log_weights: np.ndarray) -> np.ndarray:
+    """Effective sample size per sub-filter, from log-weights directly.
+
+    ``ESS = (sum w)^2 / sum w^2`` after a per-row max shift. A row with no
+    finite weight (fully degenerate or fully padded) reports ESS 0 — unlike
+    :func:`repro.resampling.effective_sample_size`, which falls back to the
+    uniform value; here "no usable mass" must read as "needs no particles".
+    """
+    lw = np.asarray(log_weights, dtype=np.float64)
+    peak = np.max(lw, axis=-1, keepdims=True)
+    with np.errstate(invalid="ignore"):
+        w = np.exp(lw - peak)  # all--inf rows produce NaN from -inf - -inf
+    w = np.where(np.isfinite(w), w, 0.0)
+    s1 = w.sum(axis=-1)
+    s2 = (w * w).sum(axis=-1)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        ess = np.where(s2 > 0.0, (s1 * s1) / np.where(s2 > 0.0, s2, 1.0), 0.0)
+    return ess
+
+
+def row_logsumexp(log_weights: np.ndarray) -> np.ndarray:
+    """Per-row ``logsumexp`` of the log-weight matrix (degenerate → -inf).
+
+    Log-weights are absolute (not normalized per worker), so these values
+    are globally comparable: a multiprocess worker ships its block's rows
+    and the master concatenates them before the softmax — the distributed
+    form of the DRNA weight-mass reduction.
+    """
+    lw = np.asarray(log_weights, dtype=np.float64)
+    peak = np.max(lw, axis=-1, keepdims=True)
+    finite_peak = np.isfinite(peak[..., 0])
+    with np.errstate(invalid="ignore"):
+        w = np.exp(lw - peak)
+    w = np.where(np.isfinite(w), w, 0.0)
+    with np.errstate(divide="ignore"):
+        return np.where(finite_peak, peak[..., 0] + np.log(w.sum(axis=-1)), -np.inf)
+
+
+def share_from_logsumexp(lse: np.ndarray) -> np.ndarray:
+    """Softmax over per-row logsumexps: the global weight-mass shares.
+
+    Degenerate rows (``-inf``) get share 0; if *every* row is degenerate the
+    split is uniform (there is no information to allocate on).
+    """
+    lse = np.asarray(lse, dtype=np.float64)
+    g = lse.max()
+    if not np.isfinite(g):
+        return np.full(lse.shape, 1.0 / lse.shape[-1])
+    share = np.exp(lse - g)
+    return share / share.sum()
+
+
+def weight_mass_share(log_weights: np.ndarray) -> np.ndarray:
+    """Each sub-filter's share of the global (unnormalized) weight mass.
+
+    The DRNA allocation signal: ``softmax`` over the per-row log-sum-exp.
+    Degenerate rows get share 0; if *every* row is degenerate the split is
+    uniform (there is no information to allocate on).
+    """
+    return share_from_logsumexp(row_logsumexp(log_weights))
+
+
+def mass_concentration(share: np.ndarray) -> float:
+    """Herfindahl concentration of the weight-mass shares, in ``[1/F, 1]``.
+
+    ``1/F`` when mass is spread evenly over all sub-filters, 1.0 when a
+    single sub-filter carries everything — the one-number summary exported
+    as the ``alloc.mass_hhi`` telemetry counter.
+    """
+    s = np.asarray(share, dtype=np.float64)
+    total = s.sum()
+    if not np.isfinite(total) or total <= 0:
+        return 1.0 / s.shape[-1]
+    s = s / total
+    return float(np.sum(s * s))

@@ -1,0 +1,127 @@
+"""Width-layout helpers: padding, masking, and particle migration.
+
+The padded layout invariant, relied on by every stage:
+
+- live particles occupy slots ``[0, m_i)`` of each row,
+- padded slots ``[m_i, m_max)`` hold **copies of real particles** with
+  ``-inf`` log-weight — finite states flow harmlessly through the model's
+  transition, the stable descending sort keeps them at the tail, and the
+  shift-exp in every selection kernel gives them exactly zero mass.
+
+Growth and shrink preserve the invariant: a shrinking row truncates (its
+former live tail becomes padding), a growing row fills new slots either by
+resampling from the round's pooled candidate set (the exchange plumbing —
+see :func:`grow_from_pool`) or, where no pool is available (multiprocess
+workers at round start), by deterministic cyclic duplication of its own
+live particles (:func:`resize_block`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def width_mask(widths: np.ndarray, m_max: int) -> np.ndarray:
+    """Boolean ``(F, m_max)`` mask of live slots (``slot < m_i``)."""
+    w = np.asarray(widths, dtype=np.int64)
+    return np.arange(m_max)[None, :] < w[:, None]
+
+
+def apply_width_mask(log_weights: np.ndarray, widths: np.ndarray) -> None:
+    """Force padded slots to ``-inf`` log-weight, in place."""
+    mask = width_mask(widths, log_weights.shape[1])
+    log_weights[~mask] = -np.inf
+
+
+def pad_population(states: np.ndarray, log_weights: np.ndarray,
+                   capacity: int) -> tuple[np.ndarray, np.ndarray]:
+    """Embed a dense ``(F, m, d)`` population into ``(F, capacity, d)``.
+
+    Padded slots replicate each row's first particle (a real state, so the
+    model never sees garbage) at ``-inf`` log-weight. ``capacity == m``
+    returns the inputs unchanged — the fixed-policy fast path.
+    """
+    F, m = log_weights.shape
+    if capacity == m:
+        return states, log_weights
+    if capacity < m:
+        raise ValueError(f"capacity {capacity} < population width {m}")
+    out_states = np.empty((F, capacity, states.shape[-1]), dtype=states.dtype)
+    out_states[:, :m] = states
+    out_states[:, m:] = states[:, :1]
+    out_logw = np.full((F, capacity), -np.inf, dtype=np.float64)
+    out_logw[:, :m] = log_weights
+    return out_states, out_logw
+
+
+def resize_block(states: np.ndarray, log_weights: np.ndarray,
+                 widths: np.ndarray, new_widths: np.ndarray) -> int:
+    """Deterministically resize each row's live region, in place.
+
+    Shrink: the live tail beyond the new width becomes padding (``-inf``).
+    Grow: new slots cyclically duplicate the row's live particles, carrying
+    their log-weights — the normalized local distribution is approximately
+    preserved and no RNG is consumed, which is what lets multiprocess
+    workers apply a width update at round start while keeping
+    checkpoint/resume bit-exact. Returns the number of particles migrated
+    (slots whose liveness changed).
+    """
+    widths = np.asarray(widths, dtype=np.int64)
+    new_widths = np.asarray(new_widths, dtype=np.int64)
+    if new_widths.max(initial=0) > states.shape[1]:
+        raise ValueError("new widths exceed the padded capacity")
+    migrated = 0
+    for f in np.flatnonzero(new_widths != widths):
+        old, new = int(widths[f]), int(new_widths[f])
+        if new < old:
+            log_weights[f, new:old] = -np.inf
+        else:
+            src = np.arange(old, new) % max(old, 1)
+            states[f, old:new] = states[f, src]
+            log_weights[f, old:new] = log_weights[f, src]
+        migrated += abs(new - old)
+    return migrated
+
+
+def grow_from_pool(states: np.ndarray, log_weights: np.ndarray,
+                   widths: np.ndarray, new_widths: np.ndarray,
+                   pooled_states, pooled_logw, resampled: np.ndarray,
+                   resampler, rng) -> int:
+    """Resize rows, drawing grown slots from the pooled candidate set.
+
+    The migration path of the vectorized backend: rows that resampled this
+    round (``resampled`` mask) fill their new slots with fresh draws from
+    the same pooled (own + received) weighted set the resample stage used —
+    particles effectively migrate along the exchange topology — and start
+    uniform (log-weight 0) like the rest of the freshly resampled row.
+    Rows that skipped resampling, and shrinking rows, fall back to the
+    deterministic :func:`resize_block` semantics. Returns particles migrated.
+    """
+    widths = np.asarray(widths, dtype=np.int64)
+    new_widths = np.asarray(new_widths, dtype=np.int64)
+    if new_widths.max(initial=0) > states.shape[1]:
+        raise ValueError("new widths exceed the padded capacity")
+    migrated = 0
+    for f in np.flatnonzero(new_widths != widths):
+        old, new = int(widths[f]), int(new_widths[f])
+        if new < old:
+            log_weights[f, new:old] = -np.inf
+            migrated += old - new
+            continue
+        n = new - old
+        if pooled_logw is not None and bool(resampled[f]):
+            row_logw = np.asarray(pooled_logw[f], dtype=np.float64)
+            peak = row_logw.max()
+            if np.isfinite(peak):
+                w = np.exp(row_logw - peak)
+                idx = resampler.resample(w, n, rng)
+                row_states = np.asarray(pooled_states[f])
+                states[f, old:new] = row_states[np.asarray(idx, dtype=np.intp)]
+                log_weights[f, old:new] = 0.0
+                migrated += n
+                continue
+        src = np.arange(old, new) % max(old, 1)
+        states[f, old:new] = states[f, src]
+        log_weights[f, old:new] = log_weights[f, src]
+        migrated += n
+    return migrated

@@ -1,0 +1,259 @@
+"""Allocation policies: how many particles each sub-filter gets next round.
+
+A policy maps per-sub-filter health metrics (ESS, weight-mass share) to a
+new integer width vector. Every policy obeys the same hard contract:
+
+- the total particle budget ``sum(m_i) == n_filters * n_particles`` is
+  conserved exactly,
+- every width stays within ``[min_width, max_width]``,
+- the decision is a pure function of its inputs plus the policy's own
+  serializable state (no RNG), so checkpoint/resume reproduces the exact
+  width trajectory.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+def apportion(scores: np.ndarray, budget: int, min_width: int,
+              max_width: int) -> np.ndarray:
+    """Largest-remainder apportionment of *budget* particles by score.
+
+    Deterministic water-filling: each sub-filter's real-valued target is its
+    score share of the budget; clamped sub-filters are pinned and the
+    remainder is re-split among the rest until no clamp is violated, then
+    integerized by largest fractional remainder (ties to the lower index).
+    Guarantees ``out.sum() == budget`` and ``min_width <= out <= max_width``
+    whenever ``F*min_width <= budget <= F*max_width``.
+    """
+    s = np.asarray(scores, dtype=np.float64).copy()
+    F = s.shape[0]
+    if budget < F * min_width or budget > F * max_width:
+        raise ValueError(
+            f"budget {budget} infeasible for {F} sub-filters in "
+            f"[{min_width}, {max_width}]")
+    s[~np.isfinite(s) | (s < 0)] = 0.0
+    if s.sum() <= 0:
+        s = np.ones(F)
+
+    target = np.empty(F, dtype=np.float64)
+    pinned = np.zeros(F, dtype=bool)
+    remaining = float(budget)
+    # At most F rounds: every round pins at least one sub-filter or exits.
+    for _ in range(F):
+        free = ~pinned
+        total = s[free].sum()
+        if total <= 0:
+            target[free] = remaining / max(int(free.sum()), 1)
+        else:
+            target[free] = remaining * s[free] / total
+        low = free & (target < min_width)
+        high = free & (target > max_width)
+        if not low.any() and not high.any():
+            break
+        # Pin the violated side that overshoots most to keep convergence
+        # monotone, then redistribute what is left.
+        target[low] = min_width
+        target[high] = max_width
+        pinned |= low | high
+        remaining = budget - target[pinned].sum()
+        if pinned.all():
+            break
+
+    base = np.floor(target).astype(np.int64)
+    np.clip(base, min_width, max_width, out=base)
+    residual = int(budget - base.sum())
+    if residual != 0:
+        frac = target - np.floor(target)
+        if residual > 0:
+            room = base < max_width
+            order = np.lexsort((np.arange(F), -frac))
+        else:
+            room = base > min_width
+            order = np.lexsort((np.arange(F), frac))
+        step = 1 if residual > 0 else -1
+        # Cycle the preference order until the residual is absorbed; each
+        # pass moves at least one particle while any room remains.
+        for _ in range(abs(residual) + F):
+            if residual == 0:
+                break
+            for i in order:
+                if residual == 0:
+                    break
+                if room[i]:
+                    base[i] += step
+                    residual -= step
+                    room[i] = (base[i] < max_width) if step > 0 else (base[i] > min_width)
+    if residual != 0:
+        raise RuntimeError("apportionment failed to place the full budget")
+    return base
+
+
+class AllocationPolicy(abc.ABC):
+    """Decides, per round, the next width vector for the population."""
+
+    name = "?"
+
+    def __init__(self, budget: int, min_width: int, max_width: int,
+                 hysteresis: float = 0.0):
+        self.budget = int(budget)
+        self.min_width = int(min_width)
+        self.max_width = int(max_width)
+        self.hysteresis = float(hysteresis)
+
+    @abc.abstractmethod
+    def decide(self, widths: np.ndarray, ess: np.ndarray,
+               mass_share: np.ndarray) -> np.ndarray:
+        """New per-sub-filter widths given the current ones and metrics.
+
+        Returns an int64 vector with the same sum as ``widths`` (the
+        budget); must not mutate its inputs.
+        """
+
+    # -- checkpointable internal state (smoothed scores etc.) ----------------
+    def state_dict(self) -> dict:
+        return {}
+
+    def load_state_dict(self, d: dict) -> None:
+        pass
+
+    # -- hysteresis ----------------------------------------------------------
+    def _damp(self, widths: np.ndarray, proposal: np.ndarray) -> np.ndarray:
+        """Freeze sub-threshold changes; repair the budget among the rest.
+
+        A sub-filter only moves when the proposed change exceeds
+        ``hysteresis * current_width`` (and at least one particle), which
+        stops the population from thrashing on metric noise. Frozen rows
+        keep their width; any budget residual that freezing introduced is
+        pushed into the changed rows, largest-remainder style, respecting
+        the clamps. If freezing leaves no row able to absorb the residual,
+        the undamped proposal wins.
+        """
+        widths = np.asarray(widths, dtype=np.int64)
+        proposal = np.asarray(proposal, dtype=np.int64)
+        if self.hysteresis <= 0.0:
+            return proposal
+        delta = np.abs(proposal - widths)
+        frozen = delta < np.maximum(1.0, self.hysteresis * widths)
+        if frozen.all():
+            return widths.copy()
+        out = np.where(frozen, widths, proposal)
+        residual = int(self.budget - out.sum())
+        step = 1 if residual > 0 else -1
+        for _ in range(abs(residual)):
+            if residual == 0:
+                break
+            free = ~frozen & (
+                (out < self.max_width) if step > 0 else (out > self.min_width))
+            if not free.any():
+                return proposal
+            # Give to the row furthest below its proposal (take from the one
+            # furthest above), ties to the lower index — deterministic.
+            gap = (proposal - out) * step
+            gap[~free] = np.iinfo(np.int64).min
+            out[int(np.argmax(gap))] += step
+            residual -= step
+        return out
+
+
+class FixedAllocation(AllocationPolicy):
+    """The paper's equal split: widths never change (bit-parity baseline)."""
+
+    name = "fixed"
+
+    def decide(self, widths, ess, mass_share):
+        return np.asarray(widths, dtype=np.int64).copy()
+
+
+class ESSProportionalAllocation(AllocationPolicy):
+    """Widths proportional to each sub-filter's effective sample size.
+
+    A high ESS means the sub-filter's particles genuinely cover its local
+    posterior — extra particles there buy resolution; a collapsed sub-filter
+    (ESS near 1) is riding one hypothesis and shrinks toward the min clamp.
+    """
+
+    name = "ess"
+
+    def decide(self, widths, ess, mass_share):
+        proposal = apportion(np.asarray(ess, dtype=np.float64), self.budget,
+                             self.min_width, self.max_width)
+        return self._damp(widths, proposal)
+
+
+class WeightMassAllocation(AllocationPolicy):
+    """DRNA-style allocation: particles follow the posterior weight mass.
+
+    Each sub-filter's target is its share of the global weight mass
+    (arXiv:1310.4624), exponentially smoothed across rounds
+    (``score <- (1-smooth)*score + smooth*share``) so a single spiky
+    likelihood cannot yank the whole budget, then clamped and damped by the
+    hysteresis band. The smoothed score vector is checkpointed state.
+    """
+
+    name = "mass"
+
+    def __init__(self, budget, min_width, max_width, hysteresis=0.0,
+                 smooth: float = 0.5):
+        super().__init__(budget, min_width, max_width, hysteresis)
+        if not 0.0 < smooth <= 1.0:
+            raise ValueError(f"smooth must be in (0, 1], got {smooth}")
+        self.smooth = float(smooth)
+        self._score: np.ndarray | None = None
+
+    def decide(self, widths, ess, mass_share):
+        share = np.asarray(mass_share, dtype=np.float64)
+        if self._score is None or self._score.shape != share.shape:
+            self._score = share.copy()
+        else:
+            self._score = (1.0 - self.smooth) * self._score + self.smooth * share
+        proposal = apportion(self._score, self.budget,
+                             self.min_width, self.max_width)
+        return self._damp(widths, proposal)
+
+    def state_dict(self) -> dict:
+        return {} if self._score is None else {"score": self._score.tolist()}
+
+    def load_state_dict(self, d: dict) -> None:
+        score = d.get("score")
+        self._score = None if score is None else np.asarray(score, dtype=np.float64)
+
+
+_POLICIES = {
+    "fixed": FixedAllocation,
+    "ess": ESSProportionalAllocation,
+    "mass": WeightMassAllocation,
+}
+
+ALLOCATION_POLICY_NAMES = tuple(_POLICIES)
+
+
+def allocation_capacity(cfg) -> int:
+    """The padded width ``m_max`` the population arrays are sized for.
+
+    The fixed policy keeps the exact pre-allocation shape (capacity == m, no
+    padding anywhere), which is what makes its golden traces bit-identical.
+    Adaptive policies size for the configured max width so growth never
+    reallocates.
+    """
+    if cfg.allocation == "fixed":
+        return cfg.n_particles
+    return int(cfg.alloc_max_width)
+
+
+def make_allocation_policy(cfg) -> AllocationPolicy:
+    """Build the policy named by ``cfg.allocation`` from a filter config."""
+    try:
+        cls = _POLICIES[cfg.allocation]
+    except KeyError:
+        raise ValueError(
+            f"unknown allocation policy {cfg.allocation!r}; "
+            f"expected one of {sorted(_POLICIES)}") from None
+    budget = cfg.n_particles * cfg.n_filters
+    if cfg.allocation == "fixed":
+        return cls(budget, cfg.n_particles, cfg.n_particles)
+    return cls(budget, cfg.alloc_min_width, cfg.alloc_max_width,
+               hysteresis=cfg.alloc_hysteresis)

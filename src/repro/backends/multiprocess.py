@@ -80,6 +80,15 @@ from multiprocessing.connection import wait as _wait_for_connections
 
 import numpy as np
 
+from repro.allocation import (
+    allocation_capacity,
+    make_allocation_policy,
+    mass_concentration,
+    pad_population,
+    row_logsumexp,
+    share_from_logsumexp,
+    subfilter_ess,
+)
 from repro.backends.transport import SlabLayout, make_transport
 from repro.core.estimator import max_weight_estimate, weighted_mean_estimate
 from repro.core.parameters import DistributedFilterConfig, distributed_config_to_dict
@@ -98,6 +107,7 @@ from repro.models.base import StateSpaceModel
 from repro.prng.streams import make_rng
 from repro.resilience.checkpoint import (
     corrupt_checkpoint_file,
+    normalize_config_record,
     read_checkpoint,
     write_checkpoint,
 )
@@ -156,6 +166,8 @@ def _worker_loop(chan, model, config, block_lo, block_hi, worker_id,
     dtype = np.dtype(config.dtype)
     F = block_hi - block_lo
     m = config.n_particles
+    m_cap = allocation_capacity(config)
+    adaptive = m_cap != m
     state = FilterState()
     ctx = ExecutionContext(
         model=model, config=config, rng=rng,
@@ -165,11 +177,15 @@ def _worker_loop(chan, model, config, block_lo, block_hi, worker_id,
     )
     tracer = Tracer()
     heal_hook = HealMonitorHook(tracer=tracer)
-    kernel_hook = KernelTimingHook(
-        tracer=tracer,
-        cost_params=CostParams(m=m, state_dim=model.state_dim, n_groups=F,
-                               dtype_bytes=dtype.itemsize, n_exchange=config.n_exchange),
-    )
+
+    def _cost_params():
+        # Adaptive allocation: charge kernels at the block's actual mean
+        # live width, which moves between rounds.
+        m_live = m if state.widths is None else max(1, round(state.live_particles / F))
+        return CostParams(m=m_live, state_dim=model.state_dim, n_groups=F,
+                          dtype_bytes=dtype.itemsize, n_exchange=config.n_exchange)
+
+    kernel_hook = KernelTimingHook(tracer=tracer, cost_params=_cost_params)
     hooks = [FaultInjectionHook(fault_plan, worker_id, tracer=tracer),
              heal_hook, TimerHook(timer, tracer=tracer), kernel_hook]
     if heartbeat:
@@ -191,19 +207,37 @@ def _worker_loop(chan, model, config, block_lo, block_hi, worker_id,
             try:
                 if kind == "init":
                     flat = model.initial_particles(F * m, rng, dtype=dtype)
-                    state.reset(flat.reshape(F, m, model.state_dim), np.zeros((F, m)))
+                    states = flat.reshape(F, m, model.state_dim)
+                    logw = np.zeros((F, m))
+                    widths = None
+                    if adaptive:
+                        states, logw = pad_population(states, logw, m_cap)
+                        widths = np.full(F, m, dtype=np.int64)
+                    state.reset(states, logw, widths=widths)
                     chan.send(("ok",))
                 elif kind == "adopt":
                     # Respawn path: start from particles cloned off a donor.
-                    _, new_states, new_logw = msg
+                    _, new_states, new_logw, new_widths = msg
                     state.reset(
-                        np.ascontiguousarray(new_states, dtype=dtype).reshape(F, m, model.state_dim),
-                        np.asarray(new_logw, dtype=np.float64).reshape(F, m).copy(),
+                        np.ascontiguousarray(new_states, dtype=dtype).reshape(
+                            F, m_cap, model.state_dim),
+                        np.asarray(new_logw, dtype=np.float64).reshape(F, m_cap).copy(),
+                        widths=new_widths,
                     )
                     chan.send(("ok",))
                 elif kind == "phase1":
-                    _, z, u, k, t, trace = msg
+                    _, z, u, k, t, trace, new_widths = msg
                     tracer.enabled = bool(trace)
+                    if new_widths is not None and state.widths is not None:
+                        w_arr = np.asarray(new_widths, dtype=np.int64)
+                        if not np.array_equal(w_arr, state.widths):
+                            # Deterministic resize before sampling (no RNG,
+                            # no pool at round start), so checkpoint/resume
+                            # stays bit-exact across a width change.
+                            ctx.invoke_kernel(state, "migrate_resize",
+                                              state.states, state.log_weights,
+                                              state.widths, w_arr)
+                            state.widths = w_arr.copy()
                     state.measurement, state.control, state.k = z, u, k
                     timer.reset()
                     local_pipeline.run_stages(ctx, state)
@@ -223,8 +257,16 @@ def _worker_loop(chan, model, config, block_lo, block_hi, worker_id,
                     np.subtract(logw, shift, out=w)
                     np.exp(w, out=w)
                     partial = (w.reshape(-1) @ states.reshape(-1, model.state_dim), w.sum(), shift)
+                    alloc = None
+                    if adaptive:
+                        # Pre-resample allocation metrics: per-sub-filter ESS
+                        # plus the weight-mass logsumexp, which is globally
+                        # comparable — the master concatenates all blocks'
+                        # rows and softmaxes once.
+                        alloc = (subfilter_ess(logw), row_logsumexp(logw))
                     chan.reply_phase1(k, send_states, logw[:, :tp], states[:, 0],
-                                      logw[:, 0], partial, dict(heal_hook.last_round))
+                                      logw[:, 0], partial, dict(heal_hook.last_round),
+                                      alloc)
                 elif kind == "phase2":
                     _, recv_states, recv_logw = msg
                     if recv_states is not None and recv_states.shape[1] > 0:
@@ -262,17 +304,20 @@ def _worker_loop(chan, model, config, block_lo, block_hi, worker_id,
                     chan.send((state.states, state.log_weights))
                 elif kind == "snapshot":
                     # Checkpoint capture: population + the exact RNG state +
-                    # healing counters. Tagged so a gather that had to abort
-                    # a round can tell snapshots from stale round replies.
+                    # healing counters (+ live widths under adaptive
+                    # allocation). Tagged so a gather that had to abort a
+                    # round can tell snapshots from stale round replies.
                     chan.send(("snap", state.states, state.log_weights,
                                rng.state_dict(),
-                               {k: int(v) for k, v in state.heal_counters.items()}))
+                               {k: int(v) for k, v in state.heal_counters.items()},
+                               None if state.widths is None else state.widths.copy()))
                 elif kind == "restore":
-                    _, new_states, new_logw, k, rng_state, heal_counters = msg
+                    _, new_states, new_logw, k, rng_state, heal_counters, widths = msg
                     state.reset(
                         np.ascontiguousarray(new_states, dtype=dtype).reshape(
-                            F, m, model.state_dim),
-                        np.asarray(new_logw, dtype=np.float64).reshape(F, m).copy(),
+                            F, m_cap, model.state_dim),
+                        np.asarray(new_logw, dtype=np.float64).reshape(F, m_cap).copy(),
+                        widths=widths,
                     )
                     state.k = int(k)
                     state.heal_counters = {key: int(v)
@@ -370,6 +415,12 @@ class MultiprocessDistributedParticleFilter:
         self._mask = self._table >= 0
         self.heal_bridge = bool(heal_bridge)
         self._healer = TopologyHealer(self.topology, bridge=self.heal_bridge)
+        #: width-aware allocation: the master owns the policy and the global
+        #: width vector; workers only ever see their own block's widths.
+        self.alloc_policy = make_allocation_policy(config)
+        self._capacity = allocation_capacity(config)
+        self._widths: np.ndarray | None = None
+        self.alloc_counters = {"particles_migrated": 0, "width_changes": 0}
         self.report = ResilienceReport()
         self.timer = PhaseTimer()
         self.kernel_seconds: dict[str, float] = {}
@@ -735,6 +786,11 @@ class MultiprocessDistributedParticleFilter:
 
     # -- filter protocol ------------------------------------------------------
     def initialize(self) -> None:
+        cfg = self.config
+        self._widths = None
+        if self._capacity != cfg.n_particles:
+            self._widths = np.full(cfg.n_filters, cfg.n_particles, dtype=np.int64)
+        self.alloc_counters = {"particles_migrated": 0, "width_changes": 0}
         if not self._started:
             self._start()
         for w in self._live_workers():
@@ -816,6 +872,16 @@ class MultiprocessDistributedParticleFilter:
         partials: dict[int, tuple] = {}
         pooled_route: tuple[np.ndarray, np.ndarray] | None = None
 
+        # Adaptive allocation: global metric assembly for the end-of-round
+        # decision. Dead blocks keep ESS 0 / -inf mass (zero influence).
+        adaptive = self._widths is not None
+        if adaptive:
+            alloc_ess = self._scratch("alloc_ess", (F,), np.float64)
+            alloc_lse = self._scratch("alloc_lse", (F,), np.float64)
+            alloc_ess.fill(0.0)
+            alloc_lse.fill(-np.inf)
+        alloc_seen: set[int] = set()
+
         def dispatch_phase2(w: int) -> None:
             """Route block w's incoming particles and send its phase-2 message."""
             dispatched.add(w)
@@ -845,6 +911,11 @@ class MultiprocessDistributedParticleFilter:
             best_logw[lo:hi] = r[3]
             partials[w] = r[4]
             self.report.merge_worker_stats(r[5])
+            if adaptive and len(r) > 6 and r[6] is not None:
+                # Copy out immediately: shm hands back live slab views.
+                alloc_ess[lo:hi] = r[6][0]
+                alloc_lse[lo:hi] = r[6][1]
+                alloc_seen.add(w)
             arrived.add(w)
             if deps is None:
                 return
@@ -854,11 +925,15 @@ class MultiprocessDistributedParticleFilter:
                 if self._worker_alive[w2] and deps[w2] <= arrived:
                     dispatch_phase2(w2)
 
-        # Phase 1: scatter the measurement to every live worker up front...
+        # Phase 1: scatter the measurement (and, under adaptive allocation,
+        # each block's live widths for this round) to every live worker...
         for w in self._live_workers():
+            lo, hi = self._block_range(w)
             try:
                 self._count_fallbacks(
-                    self._chans[w].send_phase1(measurement, control, self.k, t, tracing))
+                    self._chans[w].send_phase1(
+                        measurement, control, self.k, t, tracing,
+                        self._widths[lo:hi] if adaptive else None))
             except (BrokenPipeError, OSError) as e:
                 self._handle_failure(w, WorkerCrashedError(
                     f"worker {w} pipe failed on phase1 send: {e}",
@@ -915,6 +990,14 @@ class MultiprocessDistributedParticleFilter:
             self.timer.seconds[name] = self.timer.seconds.get(name, 0.0) + sec
         for name, sec in round_kernel_seconds.items():
             self.kernel_seconds[name] = self.kernel_seconds.get(name, 0.0) + sec
+
+        # End-of-round allocation decision: only with complete global metrics
+        # and a fully healthy topology (a degraded round freezes the widths —
+        # re-apportioning around dead blocks would strand budget on rows that
+        # cannot resize).
+        if (adaptive and not self._healer.dead
+                and alloc_seen >= set(self._live_workers())):
+            self._allocate_round(alloc_ess, alloc_lse, tracing)
 
         if self.respawn_dead and self.dead_workers:
             self._respawn_dead_workers()
@@ -1025,6 +1108,60 @@ class MultiprocessDistributedParticleFilter:
         # best particles (itself guarded against NaN states/weights).
         return weighted_mean_estimate(best_states[:, None, :], best_logw[:, None])
 
+    # -- adaptive allocation ----------------------------------------------------
+    def _allocate_round(self, ess: np.ndarray, lse: np.ndarray,
+                        tracing: bool) -> None:
+        """Decide next round's width vector from this round's global metrics.
+
+        The master combines every block's pre-resample metrics (the
+        worker-local logsumexps softmax into global weight-mass shares),
+        runs the allocation policy, and records the new widths; they reach
+        the workers with the *next* phase-1 scatter, where each block
+        resizes deterministically before sampling. ``particles_migrated``
+        counts exactly what :func:`repro.allocation.migrate.resize_block`
+        will move, so master counters match worker behaviour without an
+        extra reply field.
+        """
+        start = time.perf_counter()
+        share = share_from_logsumexp(lse)
+        for i, value in enumerate(ess):
+            self.tracer.gauge(f"alloc.ess.f{i}", value)
+        self.tracer.gauge("alloc.mass_hhi", mass_concentration(share))
+        new_widths = self.alloc_policy.decide(self._widths, ess, share)
+        changes = int((new_widths != self._widths).sum())
+        if changes:
+            migrated = int(np.abs(new_widths - self._widths).sum())
+            self.alloc_counters["width_changes"] += changes
+            self.alloc_counters["particles_migrated"] += migrated
+            self.tracer.count("alloc.width_changes", changes)
+            self.tracer.count("alloc.particles_migrated", migrated)
+            self._widths = np.asarray(new_widths, dtype=np.int64)
+        for i, w in enumerate(self._widths):
+            self.tracer.gauge(f"alloc.width.f{i}", int(w))
+        elapsed = time.perf_counter() - start
+        self.timer.seconds["allocate"] = (
+            self.timer.seconds.get("allocate", 0.0) + elapsed)
+        if tracing:
+            self.tracer.add("allocate", "stage", start, start + elapsed,
+                            attrs={"policy": self.alloc_policy.name,
+                                   "width_changes": changes})
+
+    @property
+    def widths(self) -> np.ndarray | None:
+        """Per-sub-filter live widths (``None`` under the fixed layout).
+
+        The master's view: widths *decided* at the last completed round,
+        which the workers apply at the start of the next one.
+        """
+        return None if self._widths is None else self._widths.copy()
+
+    @property
+    def live_particles(self) -> int:
+        """Total live particles across sub-filters (excludes padding)."""
+        if self._widths is None:
+            return self.config.total_particles
+        return int(self._widths.sum())
+
     # -- recovery ---------------------------------------------------------------
     def _respawn_dead_workers(self) -> None:
         """Respawn dead blocks from particles cloned off live donors.
@@ -1040,9 +1177,17 @@ class MultiprocessDistributedParticleFilter:
         state_cache: dict[int, tuple] = {}
         for w in sorted(self.dead_workers):
             lo, hi = self._block_range(w)
-            new_states = np.empty((self._block, cfg.n_particles, self.model.state_dim),
+            new_states = np.empty((self._block, self._capacity, self.model.state_dim),
                                   dtype=np.dtype(cfg.dtype))
-            new_logw = np.zeros((self._block, cfg.n_particles))
+            new_logw = np.zeros((self._block, self._capacity))
+            new_widths = None
+            if self._widths is not None:
+                # The revived block resumes at the widths the master has
+                # been holding for its rows (frozen while it was dead);
+                # slots beyond each row's width are padding again.
+                new_widths = self._widths[lo:hi].copy()
+                for i in range(self._block):
+                    new_logw[i, int(new_widths[i]):] = -np.inf
             ok = True
             for f in range(lo, hi):
                 donor = donor_map.get(f)
@@ -1065,7 +1210,7 @@ class MultiprocessDistributedParticleFilter:
             self._seed_tags[w] += 1
             self._spawn_worker(w)
             try:
-                self._send(w, ("adopt", new_states, new_logw))
+                self._send(w, ("adopt", new_states, new_logw, new_widths))
                 self._recv(w, what="adopt")
             except WorkerFailure as e:
                 self._handle_failure(w, e)
@@ -1125,20 +1270,29 @@ class MultiprocessDistributedParticleFilter:
         snaps = self._collect_snapshots(strict=boundary)
         if not snaps:
             raise CheckpointError("no live worker could be snapshotted")
-        F, m, d = cfg.n_filters, cfg.n_particles, self.model.state_dim
+        F, m, d = cfg.n_filters, self._capacity, self.model.state_dim
         states = np.full((F, m, d), np.nan, dtype=np.dtype(cfg.dtype))
         logw = np.full((F, m), np.nan)
+        widths = None
+        if self._widths is not None:
+            # Worker-applied widths (the master's pending vector may be one
+            # decision ahead; it is saved separately in the alloc meta).
+            widths = self._widths.copy()
         alive = np.zeros(self.n_workers, dtype=bool)
         worker_rng: dict[str, dict] = {}
         worker_heal: dict[str, dict] = {}
-        for w, (s, lw, rng_state, heal) in snaps.items():
+        for w, (s, lw, rng_state, heal, wd) in snaps.items():
             lo, hi = self._block_range(w)
             states[lo:hi] = s
             logw[lo:hi] = lw
+            if widths is not None and wd is not None:
+                widths[lo:hi] = wd
             alive[w] = True
             worker_rng[str(w)] = rng_state
             worker_heal[str(w)] = heal
         arrays = {"states": states, "log_weights": logw, "alive": alive}
+        if widths is not None:
+            arrays["widths"] = widths
         if self.last_estimate is not None:
             arrays["last_estimate"] = np.asarray(self.last_estimate, dtype=np.float64)
         meta = {
@@ -1156,6 +1310,16 @@ class MultiprocessDistributedParticleFilter:
             "supervisor": None if self.supervisor is None
                           else self.supervisor.summary(),
         }
+        if self.alloc_policy.name != "fixed":
+            meta["alloc"] = {
+                "policy": self.alloc_policy.name,
+                "state": self.alloc_policy.state_dict(),
+                # The master's decided-but-possibly-unapplied width vector:
+                # restoring it and replaying the next phase-1 scatter makes
+                # the resumed width trajectory bit-identical.
+                "widths": [int(x) for x in self._widths],
+                "counters": {k: int(v) for k, v in self.alloc_counters.items()},
+            }
         interrupt = False
         damage = []
         if self.fault_plan is not None:
@@ -1198,7 +1362,8 @@ class MultiprocessDistributedParticleFilter:
             raise CheckpointError(
                 f"checkpoint has {meta.get('n_workers')} workers, this filter "
                 f"has {self.n_workers}")
-        if meta.get("config") != distributed_config_to_dict(self.config):
+        saved_cfg = normalize_config_record(meta.get("config", {}))
+        if saved_cfg != distributed_config_to_dict(self.config):
             raise CheckpointError(
                 "checkpoint configuration does not match this filter's "
                 "configuration")
@@ -1211,6 +1376,25 @@ class MultiprocessDistributedParticleFilter:
         self._healer = TopologyHealer(self.topology, bridge=self.heal_bridge)
         alive = np.asarray(arrays["alive"]).astype(bool)
         states, logw = arrays["states"], arrays["log_weights"]
+        widths_all = arrays.get("widths")
+        alloc = meta.get("alloc")
+        if self.alloc_policy.name != "fixed":
+            if not alloc:
+                raise CheckpointError(
+                    "checkpoint carries no allocation state but this filter "
+                    f"uses the {self.alloc_policy.name!r} policy")
+            if alloc.get("policy") != self.alloc_policy.name:
+                raise CheckpointError(
+                    f"checkpoint allocation policy {alloc.get('policy')!r} "
+                    f"does not match this filter's {self.alloc_policy.name!r}")
+            self.alloc_policy.load_state_dict(alloc.get("state") or {})
+            self._widths = np.asarray(alloc["widths"], dtype=np.int64)
+            self.alloc_counters = {
+                "particles_migrated": 0, "width_changes": 0,
+                **{k_: int(v) for k_, v in (alloc.get("counters") or {}).items()},
+            }
+        else:
+            self._widths = None
         k = int(meta["k"])
         live = []
         for w in range(self.n_workers):
@@ -1232,7 +1416,9 @@ class MultiprocessDistributedParticleFilter:
             self._send(w, ("restore", np.ascontiguousarray(states[lo:hi]),
                            np.ascontiguousarray(logw[lo:hi]), k,
                            meta["worker_rng"][str(w)],
-                           meta.get("worker_heal_counters", {}).get(str(w), {})))
+                           meta.get("worker_heal_counters", {}).get(str(w), {}),
+                           None if widths_all is None
+                           else np.ascontiguousarray(widths_all[lo:hi])))
             live.append(w)
         self._gather(live, what="restore")
         self.k = k
@@ -1250,9 +1436,9 @@ class MultiprocessDistributedParticleFilter:
         exactly which sub-filter slots are out of service.
         """
         cfg = self.config
-        states = np.full((cfg.n_filters, cfg.n_particles, self.model.state_dim),
+        states = np.full((cfg.n_filters, self._capacity, self.model.state_dim),
                          np.nan, dtype=np.dtype(cfg.dtype))
-        logw = np.full((cfg.n_filters, cfg.n_particles), np.nan)
+        logw = np.full((cfg.n_filters, self._capacity), np.nan)
         for w in self._live_workers():
             self._send(w, ("get_state",))
         for w in self._live_workers():

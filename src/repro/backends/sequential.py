@@ -22,6 +22,7 @@ import numpy as np
 from repro.core.parameters import DistributedFilterConfig
 from repro.core.registry import make_policy, make_resampler
 from repro.engine import (
+    AllocationTelemetryHook,
     ExecutionContext,
     FilterState,
     KernelTimingHook,
@@ -47,6 +48,9 @@ class SequentialDistributedParticleFilter:
         self.rng = TimingRNG(make_rng(cfg.rng, cfg.seed), self.timer)
         self.resampler = make_resampler(cfg.resampler)
         self.policy = make_policy(cfg.resample_policy, cfg.resample_arg)
+        from repro.allocation import make_allocation_policy
+
+        self.alloc_policy = make_allocation_policy(cfg)
         self.dtype = np.dtype(cfg.dtype)
         self._state = FilterState()
         self._ctx = ExecutionContext(
@@ -54,11 +58,13 @@ class SequentialDistributedParticleFilter:
             policy=self.policy, dtype=self.dtype, topology=self.topology,
             table=self.topology.neighbor_table(),
             mask=self.topology.neighbor_table() >= 0,
+            alloc_policy=self.alloc_policy,
         )
         self.tracer = Tracer()
         self.kernel_hook = KernelTimingHook(tracer=self.tracer)
         self.pipeline = build_loop_pipeline(
-            hooks=[TimerHook(self.timer, tracer=self.tracer), self.kernel_hook])
+            hooks=[TimerHook(self.timer, tracer=self.tracer), self.kernel_hook,
+                   AllocationTelemetryHook(tracer=self.tracer)])
 
     # -- state delegation ------------------------------------------------------
     @property
@@ -68,6 +74,10 @@ class SequentialDistributedParticleFilter:
     @property
     def log_weights(self) -> np.ndarray | None:
         return self._state.log_weights
+
+    @property
+    def widths(self) -> np.ndarray | None:
+        return self._state.widths
 
     @property
     def k(self) -> int:
@@ -108,7 +118,15 @@ class SequentialDistributedParticleFilter:
             self.model.initial_particles(cfg.n_particles, self.rng, dtype=self.dtype)
             for _ in range(cfg.n_filters)
         ])
-        self._state.reset(states, np.zeros((cfg.n_filters, cfg.n_particles)))
+        log_weights = np.zeros((cfg.n_filters, cfg.n_particles))
+        from repro.allocation import allocation_capacity, pad_population
+
+        capacity = allocation_capacity(cfg)
+        widths = None
+        if capacity != cfg.n_particles:
+            states, log_weights = pad_population(states, log_weights, capacity)
+            widths = np.full(cfg.n_filters, cfg.n_particles, dtype=np.int64)
+        self._state.reset(states, log_weights, widths=widths)
 
     def step(self, measurement: np.ndarray, control: np.ndarray | None = None) -> np.ndarray:
         if self._state.states is None:

@@ -20,9 +20,16 @@ buffer ``k & 1``; the master never reuses a buffer until the worker has
 acknowledged the next header for it, which the strict phase1 → phase2 → k+1
 lockstep of the backend guarantees. Headers are:
 
-- master → worker  ``("phase1", k, t, seq, z_spec, u_spec, trace)``
+- master → worker  ``("phase1", k, t, seq, z_spec, u_spec, trace, widths?)``
 - worker → master  ``("p1", k, seq, heal_stats)``  (payload in the slab)
 - master → worker  ``("phase2s", k, width)``        (payload in the slab)
+
+``widths?`` is a flag (shm) or an inline int64 vector (pipe): under adaptive
+allocation the master scatters each block's per-sub-filter live widths with
+phase 1 (shm: the ``widths`` slab field), and the worker ships back its
+pre-resample allocation metrics — per-sub-filter ESS and weight-mass
+log-sum-exp — in the ``ess`` / ``mass_lse`` slab fields (pipe: inline tuple
+members). Fixed allocation never touches any of these.
 
 ``trace`` is the per-round telemetry context: when the master's tracer is
 enabled the flag rides the phase-1 header (both transports), the worker
@@ -113,6 +120,11 @@ class SlabLayout:
             ("best_states", (B, d), self.dtype),
             ("best_logw", (B,), f64),
             ("partial", (d + 2,), f64),
+            # adaptive-allocation metrics (worker → master; fixed: unused)
+            ("ess", (B,), f64),
+            ("mass_lse", (B,), f64),
+            # per-sub-filter live widths (master → worker; fixed: unused)
+            ("widths", (B,), np.dtype(np.int64)),
             # routed exchange (master → worker)
             ("recv_states", (B, self.recv_cap, d), self.dtype),
             ("recv_logw", (B, self.recv_cap), f64),
@@ -191,14 +203,22 @@ class PipeMasterChannel:
         self.conn.send(msg)
 
     # -- phase 1 -------------------------------------------------------------
-    def send_phase1(self, z, u, k: int, t: int, trace: bool = False) -> int:
-        """Scatter the round inputs; returns the inline-fallback count (0)."""
-        self.conn.send(("phase1", z, u, k, t, bool(trace)))
+    def send_phase1(self, z, u, k: int, t: int, trace: bool = False,
+                    widths=None) -> int:
+        """Scatter the round inputs; returns the inline-fallback count (0).
+
+        ``widths`` (adaptive allocation only) is the block's per-sub-filter
+        live-width vector for this round; the worker resizes before sampling.
+        """
+        w = None if widths is None else np.ascontiguousarray(widths, dtype=np.int64)
+        self.conn.send(("phase1", z, u, k, t, bool(trace), w))
         return 0
 
     def decode_phase1(self, msg, t: int):
-        """The 6-tuple ``(send_states, send_logw, best_states, best_logw,
-        partial, heal_stats)`` — already inline for the pipe transport."""
+        """The 7-tuple ``(send_states, send_logw, best_states, best_logw,
+        partial, heal_stats, alloc)`` — already inline for the pipe
+        transport. ``alloc`` is ``None`` (fixed allocation) or the block's
+        ``(ess, mass_lse)`` metric vectors."""
         return msg
 
     # -- phase 2 -------------------------------------------------------------
@@ -264,10 +284,10 @@ class PipeWorkerChannel:
         self.conn.send(obj)
 
     def reply_phase1(self, k: int, send_states, send_logw, best_states,
-                     best_logw, partial, heal_stats) -> None:
+                     best_logw, partial, heal_stats, alloc=None) -> None:
         self.conn.send((send_states, np.ascontiguousarray(send_logw),
                         best_states.copy(), best_logw.copy(), partial,
-                        heal_stats))
+                        heal_stats, alloc))
 
     def reply_phase2(self, stage_seconds: dict, kernel_seconds: dict,
                      telemetry: dict | None = None) -> None:
@@ -360,7 +380,8 @@ class ShmMasterChannel:
         self.conn.send(msg)
 
     # -- phase 1 -------------------------------------------------------------
-    def send_phase1(self, z, u, k: int, t: int, trace: bool = False) -> int:
+    def send_phase1(self, z, u, k: int, t: int, trace: bool = False,
+                    widths=None) -> int:
         """Scatter the round inputs; returns how many arrays fell back inline."""
         self._seq += 1
         v = self._views[k & 1]
@@ -369,7 +390,11 @@ class ShmMasterChannel:
         fell_back = sum(1 for spec in (z_spec, u_spec)
                         if spec is not None and spec[0] == "inline")
         self.fallbacks += fell_back
-        self.conn.send(("phase1", k, t, self._seq, z_spec, u_spec, bool(trace)))
+        has_widths = widths is not None
+        if has_widths:
+            v["widths"][...] = widths
+        self.conn.send(("phase1", k, t, self._seq, z_spec, u_spec, bool(trace),
+                        has_widths))
         return fell_back
 
     def decode_phase1(self, msg, t: int):
@@ -383,8 +408,11 @@ class ShmMasterChannel:
         d = self.layout.state_dim
         partial = (v["partial"][:d].copy(), float(v["partial"][d]),
                    float(v["partial"][d + 1]))
+        # The metric views are handed out unconditionally; the master reads
+        # them only under adaptive allocation (when the worker wrote them).
         return (v["send_states"], v["send_logw"], v["best_states"],
-                v["best_logw"], partial, heal_stats)
+                v["best_logw"], partial, heal_stats,
+                (v["ess"], v["mass_lse"]))
 
     # -- phase 2 -------------------------------------------------------------
     def phase2_buffers(self, k: int, width: int):
@@ -492,11 +520,13 @@ class ShmWorkerChannel:
         msg = self.conn.recv()
         kind = msg[0] if isinstance(msg, tuple) and msg else None
         if kind == "phase1":
-            _, k, t, seq, z_spec, u_spec, trace = msg
+            _, k, t, seq, z_spec, u_spec, trace, has_widths = msg
             self._seq = seq
             v = self._views[k & 1]
+            # Copy out of the slab: the widths outlive this round's buffer.
+            widths = v["widths"].copy() if has_widths else None
             return ("phase1", _unpack_scatter(v["meas"], z_spec),
-                    _unpack_scatter(v["ctrl"], u_spec), k, t, trace)
+                    _unpack_scatter(v["ctrl"], u_spec), k, t, trace, widths)
         if kind == "phase2s":
             _, k, width = msg
             if width == 0:
@@ -510,7 +540,7 @@ class ShmWorkerChannel:
         self.conn.send(obj)
 
     def reply_phase1(self, k: int, send_states, send_logw, best_states,
-                     best_logw, partial, heal_stats) -> None:
+                     best_logw, partial, heal_stats, alloc=None) -> None:
         v = self._views[k & 1]
         v["send_states"][...] = send_states
         v["send_logw"][...] = send_logw
@@ -520,6 +550,9 @@ class ShmWorkerChannel:
         v["partial"][:d] = partial[0]
         v["partial"][d] = partial[1]
         v["partial"][d + 1] = partial[2]
+        if alloc is not None:
+            v["ess"][...] = alloc[0]
+            v["mass_lse"][...] = alloc[1]
         self.conn.send(("p1", k, self._seq, heal_stats))
 
     def reply_phase2(self, stage_seconds: dict, kernel_seconds: dict,

@@ -89,13 +89,14 @@ def _bench_model(d: int = STATE_DIM) -> PayloadBenchModel:
     return PayloadBenchModel(d)
 
 
-def _bench_config(n_filters: int, m: int) -> DistributedFilterConfig:
+def _bench_config(n_filters: int, m: int,
+                  allocation: str = "fixed") -> DistributedFilterConfig:
     # t = m: every sub-filter mirrors its full population to its neighbours,
     # the maximum-traffic exchange of Algorithm 2.
     return DistributedFilterConfig(
         n_particles=m, n_filters=n_filters, topology="ring",
         n_exchange=m, estimator="weighted_mean", seed=42,
-        dtype=np.float32,
+        dtype=np.float32, allocation=allocation,
     )
 
 
@@ -119,13 +120,20 @@ def _time_filter(pf, meas: np.ndarray, warmup: int) -> tuple[float, np.ndarray]:
 def run_multiprocess_bench(grid: str | list = "default", *, steps: int = 30,
                            warmup: int = 3, backends=("vectorized", "pipe", "shm"),
                            state_dim: int = STATE_DIM,
-                           trace_path: str | None = None) -> dict:
+                           trace_path: str | None = None,
+                           allocation: str = "fixed") -> dict:
     """Run the transport benchmark; returns the JSON-ready report dict.
 
     ``grid`` is a named grid (``smoke``/``default``/``full``) or an explicit
     list of ``(n_filters, m, n_workers)`` tuples. Multiprocess rows include
     ``identical_estimates`` — the pipe-vs-shm bit-parity verdict for that
     config (always required to be ``True``).
+
+    ``allocation`` selects the particle-allocation policy axis: ``fixed``
+    is the classic dense layout; ``ess``/``mass`` run the adaptive layout
+    (padded capacity + per-round width decisions), timing what the
+    allocation machinery costs at transport scale. Bit-parity between pipe
+    and shm is required on every axis value.
 
     With ``trace_path``, every timed run is wrapped in a run-level span and
     the multiprocess backends record full step/stage/kernel spans (master +
@@ -142,7 +150,7 @@ def run_multiprocess_bench(grid: str | list = "default", *, steps: int = 30,
     model = _bench_model(state_dim)
     rows = []
     for n_filters, m, n_workers in configs:
-        cfg = _bench_config(n_filters, m)
+        cfg = _bench_config(n_filters, m, allocation)
         meas = _measurements(model, steps)
         row = {
             "n_filters": n_filters, "m": m, "n_workers": n_workers,
@@ -196,6 +204,7 @@ def run_multiprocess_bench(grid: str | list = "default", *, steps: int = 30,
         "warmup": warmup,
         "state_dim": state_dim,
         "n_exchange": "m (full mirror)",
+        "allocation": allocation,
         "python": platform.python_version(),
         "numpy": np.__version__,
         "machine": platform.machine(),

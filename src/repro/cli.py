@@ -72,6 +72,8 @@ def _cmd_bench(args) -> int:
     target = args.figure
     if target == "multiprocess":
         return _cmd_bench_multiprocess(args)
+    if target == "allocation":
+        return _cmd_bench_allocation(args)
     if target == "fig3":
         print(format_table(run_fig3()))
     elif target == "fig4":
@@ -108,7 +110,8 @@ def _cmd_bench_multiprocess(args) -> int:
     )
 
     report = run_multiprocess_bench(grid=args.grid, steps=args.steps,
-                                    warmup=args.warmup, trace_path=args.trace)
+                                    warmup=args.warmup, trace_path=args.trace,
+                                    allocation=args.allocation)
     if args.trace:
         print(f"wrote {args.trace}")
     if args.assert_overhead is not None:
@@ -147,6 +150,28 @@ def _cmd_bench_multiprocess(args) -> int:
     return 0
 
 
+def _cmd_bench_allocation(args) -> int:
+    from repro.bench.allocation import (
+        format_report,
+        run_allocation_bench,
+        write_report,
+    )
+
+    report = run_allocation_bench(n_seeds=args.seeds)
+    print(format_report(report))
+    if args.output:
+        write_report(report, args.output)
+        print(f"wrote {args.output}")
+    if args.assert_gain is not None:
+        gain = report["summary"]["best_adaptive_gain"] or 0.0
+        if gain < args.assert_gain:
+            print(f"FAIL: best adaptive accuracy-per-FLOP gain {gain:.2f}x < "
+                  f"required {args.assert_gain:.2f}x", file=sys.stderr)
+            return 1
+        print(f"adaptive gain {gain:.2f}x >= {args.assert_gain:.2f}x")
+    return 0
+
+
 def _cmd_trace(args) -> int:
     import numpy as np
 
@@ -159,6 +184,7 @@ def _cmd_trace(args) -> int:
     cfg = DistributedFilterConfig(
         n_particles=args.particles, n_filters=args.filters, topology="ring",
         n_exchange=args.exchange, estimator="weighted_mean", seed=args.seed,
+        allocation=args.allocation,
     )
     truth = model.simulate(args.steps, make_rng("numpy", seed=args.seed + 1))
     meas = np.asarray(truth.measurements, dtype=np.float64)
@@ -360,7 +386,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     b = sub.add_parser("bench", help="regenerate one figure/table, or run the transport benchmark")
     b.add_argument("figure", choices=["fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-                                      "fig9", "tables", "multiprocess"])
+                                      "fig9", "tables", "multiprocess", "allocation"])
     b.add_argument("--grid", default="default", choices=["smoke", "default", "full"],
                    help="(multiprocess) benchmark grid size")
     b.add_argument("--steps", type=int, default=30, help="(multiprocess) timed steps per config")
@@ -376,6 +402,13 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--assert-overhead", type=float, default=None, metavar="FRACTION",
                    help="(multiprocess) fail if the disabled-telemetry hook overhead "
                         "on the vectorized backend exceeds this fraction (e.g. 0.05)")
+    b.add_argument("--allocation", default="fixed", choices=["fixed", "ess", "mass"],
+                   help="(multiprocess) allocation policy for the benchmark axis")
+    b.add_argument("--seeds", type=int, default=16,
+                   help="(allocation) seeds averaged per workload/policy cell")
+    b.add_argument("--assert-gain", type=float, default=None, metavar="FACTOR",
+                   help="(allocation) fail unless some adaptive policy beats the "
+                        "equal split's accuracy-per-FLOP by this factor")
     b.set_defaults(func=_cmd_bench)
 
     tr = sub.add_parser("trace", help="write a merged Chrome/Perfetto trace of a short run")
@@ -387,6 +420,9 @@ def build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--workers", type=int, default=2, help="worker processes (multiprocess)")
     tr.add_argument("--steps", type=int, default=5)
     tr.add_argument("--seed", type=int, default=0)
+    tr.add_argument("--allocation", default="fixed", choices=["fixed", "ess", "mass"],
+                    help="particle allocation policy; adaptive policies surface "
+                         "the alloc.* counters and the allocation table")
     tr.set_defaults(func=_cmd_trace)
 
     rn = sub.add_parser("run", help="linear-Gaussian smoke run with checkpoint/resume")

@@ -22,10 +22,16 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.allocation import (
+    allocation_capacity,
+    make_allocation_policy,
+    pad_population,
+)
 from repro.core.estimator import local_estimates
 from repro.core.parameters import DistributedFilterConfig
 from repro.core.registry import make_policy, make_resampler
 from repro.engine import (
+    AllocationTelemetryHook,
     ExecutionContext,
     FilterState,
     KernelTimingHook,
@@ -63,12 +69,14 @@ class DistributedParticleFilter:
         self.rng = TimingRNG(make_rng(cfg.rng, cfg.seed), self.timer)
         self.resampler = make_resampler(cfg.resampler)
         self.policy = make_policy(cfg.resample_policy, cfg.resample_arg)
+        self.alloc_policy = make_allocation_policy(cfg)
         self.dtype = np.dtype(cfg.dtype)
         self._state = FilterState()
         self._ctx = ExecutionContext(
             model=model, config=cfg, rng=self.rng, resampler=self.resampler,
             policy=self.policy, dtype=self.dtype, topology=self.topology,
             table=self._table, mask=self._mask, owner=self,
+            alloc_policy=self.alloc_policy,
         )
         # Telemetry: span recording is off until an exporter is attached (or
         # ``tracer.enabled`` is set); the hooks below then emit step/stage/
@@ -77,14 +85,23 @@ class DistributedParticleFilter:
         self.kernel_hook = KernelTimingHook(
             tracer=self.tracer, cost_params=self._cost_params)
         self.pipeline = build_vector_pipeline(
-            hooks=[TimerHook(self.timer, tracer=self.tracer), self.kernel_hook])
+            hooks=[TimerHook(self.timer, tracer=self.tracer), self.kernel_hook,
+                   AllocationTelemetryHook(tracer=self.tracer)])
 
     def _cost_params(self):
-        """The shape the kernel cost signatures are evaluated at (span attrs)."""
+        """The shape the kernel cost signatures are evaluated at (span attrs).
+
+        Under adaptive allocation the population is ragged, so kernels are
+        charged at the *actual* mean live width — the cost of a round tracks
+        the particles that exist, not the padded capacity.
+        """
         from repro.kernels.registry import CostParams
 
         cfg = self.config
-        return CostParams(m=cfg.n_particles, state_dim=self.model.state_dim,
+        m = cfg.n_particles
+        if self._state.widths is not None:
+            m = max(1, round(self._state.live_particles / cfg.n_filters))
+        return CostParams(m=m, state_dim=self.model.state_dim,
                           n_groups=cfg.n_filters, dtype_bytes=self.dtype.itemsize,
                           n_exchange=cfg.n_exchange)
 
@@ -137,13 +154,23 @@ class DistributedParticleFilter:
 
     # -- lifecycle ----------------------------------------------------------
     def initialize(self) -> None:
-        """Draw every sub-filter's population from the model prior."""
+        """Draw every sub-filter's population from the model prior.
+
+        Adaptive allocation starts from the paper's equal split, padded out
+        to the policy's capacity ``m_max``; the fixed policy keeps the exact
+        dense ``(F, m, d)`` layout (no padding, ``widths`` unset).
+        """
         cfg = self.config
         flat = self.model.initial_particles(cfg.total_particles, self.rng, dtype=self.dtype)
-        self._state.reset(
-            np.ascontiguousarray(flat.reshape(cfg.n_filters, cfg.n_particles, self.model.state_dim)),
-            np.zeros((cfg.n_filters, cfg.n_particles), dtype=np.float64),
-        )
+        states = np.ascontiguousarray(
+            flat.reshape(cfg.n_filters, cfg.n_particles, self.model.state_dim))
+        log_weights = np.zeros((cfg.n_filters, cfg.n_particles), dtype=np.float64)
+        capacity = allocation_capacity(cfg)
+        widths = None
+        if capacity != cfg.n_particles:
+            states, log_weights = pad_population(states, log_weights, capacity)
+            widths = np.full(cfg.n_filters, cfg.n_particles, dtype=np.int64)
+        self._state.reset(states, log_weights, widths=widths)
 
     def step(self, measurement: np.ndarray, control: np.ndarray | None = None) -> np.ndarray:
         """One distributed filtering round; returns the global estimate."""
@@ -185,6 +212,22 @@ class DistributedParticleFilter:
         return load_filter_checkpoint(self, path, backend="vectorized")
 
     # -- introspection ---------------------------------------------------------
+    @property
+    def widths(self) -> np.ndarray | None:
+        """Per-sub-filter live widths ``m_i`` (``None`` under fixed layout)."""
+        return self._state.widths
+
+    @property
+    def live_particles(self) -> int:
+        """Total live particles across sub-filters (excludes padding)."""
+        return self._state.live_particles
+
+    def weight_mass_share(self) -> np.ndarray:
+        """Each sub-filter's share of the global weight mass, shape (F,)."""
+        from repro.allocation import weight_mass_share
+
+        return weight_mass_share(self.log_weights)
+
     @property
     def n_filters(self) -> int:
         return self.config.n_filters

@@ -75,6 +75,22 @@ class DistributedFilterConfig:
     #: (see docs/robustness.md). Purely corrective — a healthy run takes
     #: the exact same path with or without it.
     self_heal: bool = True
+    #: particle allocation across sub-filters: ``"fixed"`` (the paper's
+    #: equal split — widths never change and the layout is the classic
+    #: ``(F, m, d)`` block), ``"ess"`` (widths proportional to each
+    #: sub-filter's effective sample size) or ``"mass"`` (DRNA-style:
+    #: widths proportional to local weight mass). See
+    #: :mod:`repro.allocation`. The total budget ``n_filters * n_particles``
+    #: is conserved exactly under every policy.
+    allocation: str = "fixed"
+    #: smallest live width an adaptive policy may shrink a sub-filter to.
+    alloc_min_width: int = 4
+    #: largest live width (and the padded capacity ``m_max`` arrays are
+    #: sized for); 0 means "resolve to 4 * n_particles".
+    alloc_max_width: int = 0
+    #: relative dead-band: a sub-filter's width only changes when the
+    #: proposal differs from the current width by more than this fraction.
+    alloc_hysteresis: float = 0.25
     dtype: object = np.float32
     rng: str = "numpy"
     seed: int = 0
@@ -100,6 +116,29 @@ class DistributedFilterConfig:
             raise ValueError(f"frim_quantile must be in (0, 1), got {self.frim_quantile}")
         if self.roughening < 0:
             raise ValueError(f"roughening must be >= 0, got {self.roughening}")
+        if self.allocation not in ("fixed", "ess", "mass"):
+            raise ValueError(
+                f"allocation must be 'fixed', 'ess' or 'mass', got {self.allocation!r}")
+        if self.allocation != "fixed":
+            if self.frim_redraws > 0:
+                raise ValueError(
+                    "adaptive allocation is incompatible with FRIM redraws "
+                    "(the per-sub-filter redraw quantile assumes equal widths)")
+            if self.alloc_hysteresis < 0:
+                raise ValueError(
+                    f"alloc_hysteresis must be >= 0, got {self.alloc_hysteresis}")
+            # Resolve the clamps once, so serialized configs are concrete.
+            max_w = self.alloc_max_width if self.alloc_max_width > 0 else 4 * self.n_particles
+            min_w = min(self.alloc_min_width, self.n_particles)
+            if min_w < 1:
+                raise ValueError(
+                    f"alloc_min_width must be >= 1, got {self.alloc_min_width}")
+            if max_w < self.n_particles:
+                raise ValueError(
+                    f"alloc_max_width ({max_w}) must be >= n_particles "
+                    f"({self.n_particles}) so the initial equal split is feasible")
+            object.__setattr__(self, "alloc_min_width", int(min_w))
+            object.__setattr__(self, "alloc_max_width", int(max_w))
         object.__setattr__(self, "dtype", check_dtype(self.dtype))
 
     @property

@@ -19,7 +19,13 @@ message-passing boundary, and the device-simulated filter attaches a cost
 hook to whichever pipeline it wraps.
 """
 
-from repro.engine.hooks import KernelTimingHook, RecordingHook, StageHook, TimerHook
+from repro.engine.hooks import (
+    AllocationTelemetryHook,
+    KernelTimingHook,
+    RecordingHook,
+    StageHook,
+    TimerHook,
+)
 from repro.engine.pipeline import StepPipeline
 from repro.engine.stage import STAGE_NAMES, ExecutionContext, Stage
 from repro.engine.state import FilterState
@@ -29,6 +35,7 @@ from repro.engine.vector_stages import build_vector_pipeline
 __all__ = [
     "ExecutionContext",
     "FilterState",
+    "AllocationTelemetryHook",
     "KernelTimingHook",
     "RecordingHook",
     "STAGE_NAMES",

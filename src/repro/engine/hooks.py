@@ -105,17 +105,21 @@ class KernelTimingHook(StageHook):
         self.kernel_calls: dict[str, int] = {}
         self.tracer = tracer
         self.cost_params = cost_params
-        self._attr_cache: dict[str, dict | None] = {}
+        self._attr_cache: dict[tuple, dict | None] = {}
 
     def _cost_attrs(self, name: str) -> dict | None:
         if self.cost_params is None:
             return None
-        if name not in self._attr_cache:
+        params = self.cost_params() if callable(self.cost_params) else self.cost_params
+        # Keyed by (name, m): under adaptive allocation the live width moves
+        # between rounds and each kernel must be charged at the width it
+        # actually ran at, not the first round's.
+        key = (name, params.m)
+        if key not in self._attr_cache:
             from repro.kernels.registry import kernel_cost_attrs
 
-            params = self.cost_params() if callable(self.cost_params) else self.cost_params
-            self._attr_cache[name] = kernel_cost_attrs(name, params)
-        return self._attr_cache[name]
+            self._attr_cache[key] = kernel_cost_attrs(name, params)
+        return self._attr_cache[key]
 
     def _drain(self, state: FilterState) -> None:
         events = getattr(state, "kernel_events", None)
@@ -138,6 +142,55 @@ class KernelTimingHook(StageHook):
 
     def on_step_end(self, state: FilterState) -> None:
         self._drain(state)
+
+
+class AllocationTelemetryHook(StageHook):
+    """Publishes per-sub-filter population health into the tracer.
+
+    At every step end it reads the metrics the resample stage captured on
+    the :class:`FilterState` — pre-resample per-sub-filter ESS and weight-
+    mass share — and the cumulative allocation counters, and emits:
+
+    - ``alloc.particles_migrated`` / ``alloc.width_changes`` — cumulative
+      counters (the hook tracks deltas, so re-entrant steps never
+      double-count);
+    - ``alloc.ess.f<i>`` — gauge: each sub-filter's latest pre-resample ESS;
+    - ``alloc.width.f<i>`` — gauge: each sub-filter's live width (only when
+      the population is ragged);
+    - ``alloc.mass_hhi`` — gauge: the Herfindahl concentration of the
+      weight-mass shares (1/F = balanced, 1.0 = one sub-filter holds all
+      the mass).
+
+    Unlike spans, counters are always live, but the whole emission is
+    skipped when no tracer is attached or the state never captured metrics
+    (loop backends without a resample stage run).
+    """
+
+    def __init__(self, tracer=None):
+        self.tracer = tracer
+        self._seen: dict[str, int] = {}
+
+    def on_step_end(self, state: FilterState) -> None:
+        tracer = self.tracer
+        if tracer is None:
+            return
+        for key, total in state.alloc_counters.items():
+            delta = int(total) - self._seen.get(key, 0)
+            if delta:
+                tracer.count(f"alloc.{key}", delta)
+                self._seen[key] = int(total)
+        ess = state.round_ess
+        if ess is not None:
+            for i, value in enumerate(ess):
+                tracer.gauge(f"alloc.ess.f{i}", value)
+        share = state.round_mass_share
+        if share is not None:
+            from repro.allocation.metrics import mass_concentration
+
+            tracer.gauge("alloc.mass_hhi", mass_concentration(share))
+        if state.widths is not None and state.ragged:
+            for i, w in enumerate(state.widths):
+                tracer.gauge(f"alloc.width.f{i}", int(w))
 
 
 class RecordingHook(StageHook):

@@ -32,8 +32,11 @@ class LoopSampleWeightStage:
         if cfg.frim_redraws > 0:
             self._run_frim(ctx, state)
             return
+        widths = state.effective_widths()
         for f in range(cfg.n_filters):
-            for i in range(cfg.n_particles):
+            # Only the live region is propagated; padded slots keep their
+            # (real, copied) states and stay at -inf weight.
+            for i in range(int(widths[f])):
                 state.states[f, i] = ctx.model.transition(
                     state.states[f, i], state.control, state.k, ctx.rng
                 )
@@ -100,6 +103,9 @@ class LoopHealStage:
                 state.states[f] = state.states[alive[0]]
             ok = np.isfinite(state.states[f]).all(axis=-1)
             state.log_weights[f] = np.where(ok, 0.0, -np.inf) if ok.any() else 0.0
+            if state.widths is not None:
+                # The rejuvenated row keeps its own live width.
+                state.log_weights[f, int(state.widths[f]):] = -np.inf
             state.heal_counters["rejuvenated"] += 1
 
 
@@ -182,31 +188,59 @@ class LoopResampleStage:
             flat = state.states.reshape(-1, d)
             span = (flat.max(axis=0) - flat.min(axis=0)).astype(np.float64)
             scale = cfg.roughening * span * cfg.total_particles ** (-1.0 / d)
+        self._capture_metrics(state)
+        widths = state.effective_widths()
+        resampled = np.zeros(cfg.n_filters, dtype=bool)
         for f in range(cfg.n_filters):
+            m_f = int(widths[f])
             logw = state.log_weights[f]
             w_local = np.exp(logw - logw.max())
-            if not bool(ctx.policy.should_resample(w_local[None, :], ctx.rng)[0]):
+            if not bool(ctx.policy.should_resample(
+                    w_local[None, :], ctx.rng, widths=np.array([m_f]))[0]):
                 continue
+            resampled[f] = True
             inc_states = state.pooled_states[f] if state.pooled_states else []
             inc_logw = state.pooled_logw[f] if state.pooled_logw else []
             pool_states = list(state.states[f]) + list(inc_states)
             pool_logw = np.concatenate([logw, np.asarray(inc_logw)]) if inc_logw else logw
             w = np.exp(pool_logw - pool_logw.max())
-            idx = ctx.resampler.resample(w, cfg.n_particles, ctx.rng)
+            idx = ctx.resampler.resample(w, m_f, ctx.rng)
             new_states = np.stack([pool_states[i] for i in idx]).astype(state.states.dtype)
             if cfg.roughening > 0.0:
                 jitter = ctx.rng.normal(new_states.shape, dtype=np.float64) * scale
                 new_states = new_states + jitter.astype(new_states.dtype)
-            state.states[f] = new_states
-            state.log_weights[f] = np.zeros(cfg.n_particles)
+            state.states[f, :m_f] = new_states
+            state.log_weights[f, :m_f] = 0.0
+            state.log_weights[f, m_f:] = -np.inf
+            # Leave the full candidate set behind for the allocation stage:
+            # a growing row draws its new slots from this pool.
+            if state.pooled_states is not None:
+                state.pooled_states[f] = pool_states
+                state.pooled_logw[f] = pool_logw
+        state.resampled_mask = resampled
+
+    @staticmethod
+    def _capture_metrics(state: FilterState) -> None:
+        """Pre-resample ESS / weight-mass share for the allocation stage."""
+        from repro.allocation.metrics import subfilter_ess, weight_mass_share
+
+        state.round_ess = subfilter_ess(state.log_weights)
+        state.round_mass_share = weight_mass_share(state.log_weights)
 
 
 def build_loop_pipeline(hooks=()) -> "StepPipeline":
-    """The full loop-based (oracle) round as an ordered stage list."""
+    """The full loop-based (oracle) round as an ordered stage list.
+
+    The allocation stage is the shared (array-level) implementation — width
+    apportionment is a per-sub-filter decision with no per-particle inner
+    loop, so there is nothing to write more naively.
+    """
     from repro.engine.pipeline import StepPipeline
+    from repro.engine.vector_stages import AllocationStage
 
     return StepPipeline(
         [LoopSampleWeightStage(), LoopHealStage(), LoopSortStage(),
-         LoopEstimateStage(), LoopExchangeStage(), LoopResampleStage()],
+         LoopEstimateStage(), LoopExchangeStage(), LoopResampleStage(),
+         AllocationStage()],
         hooks=hooks,
     )

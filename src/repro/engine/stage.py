@@ -25,7 +25,10 @@ from repro.engine.state import FilterState
 #: Canonical stage names, in execution order. Hooks key their per-stage
 #: accounting by these names; the device cost model's kernel names are a
 #: subset (``heal`` is free on-device, ``rand`` is folded into ``sampling``).
-STAGE_NAMES = ("sampling", "heal", "sort", "estimate", "exchange", "resample")
+#: ``allocate`` — adaptive width re-apportionment — is a strict no-op under
+#: the fixed allocation policy.
+STAGE_NAMES = ("sampling", "heal", "sort", "estimate", "exchange", "resample",
+               "allocate")
 
 
 @runtime_checkable
@@ -69,6 +72,9 @@ class ExecutionContext:
     mask: np.ndarray | None = None
     owner: object = None
     registry: object = None
+    #: the :class:`~repro.allocation.AllocationPolicy` deciding per-round
+    #: widths; ``None`` (or the fixed policy) keeps widths frozen.
+    alloc_policy: object = None
 
     def kernel_registry(self):
         """The kernel registry stages dispatch through (lazily defaulted)."""

@@ -18,6 +18,10 @@ def _fresh_heal_counters() -> dict[str, int]:
     return {"sanitized": 0, "rejuvenated": 0}
 
 
+def _fresh_alloc_counters() -> dict[str, int]:
+    return {"particles_migrated": 0, "width_changes": 0}
+
+
 @dataclass
 class FilterState:
     """Mutable state of one distributed-filter population.
@@ -51,6 +55,14 @@ class FilterState:
     k: int = 0
     heal_counters: dict[str, int] = field(default_factory=_fresh_heal_counters)
     last_estimate: np.ndarray | None = None
+    #: per-sub-filter live widths ``m_i`` for the padded ``(F, m_max, d)``
+    #: layout (``None`` means every row is full — the classic fixed layout).
+    #: Live particles occupy slots ``[0, m_i)``; padded slots hold copies of
+    #: real particles at ``-inf`` log-weight (see :mod:`repro.allocation`).
+    widths: np.ndarray | None = None
+    #: cumulative allocation counters (particles migrated between widths,
+    #: number of per-sub-filter width changes applied).
+    alloc_counters: dict[str, int] = field(default_factory=_fresh_alloc_counters)
 
     # -- per-round scratch, owned by the stages --------------------------------
     measurement: np.ndarray | None = None
@@ -58,6 +70,13 @@ class FilterState:
     estimate: np.ndarray | None = None
     pooled_states: object = None
     pooled_logw: object = None
+    #: per-sub-filter pre-resample health metrics, written by the resample
+    #: stage (weights are reset by resampling, so they must be captured
+    #: there) and consumed by the allocation stage / telemetry hooks.
+    round_ess: np.ndarray | None = None
+    round_mass_share: np.ndarray | None = None
+    #: bool (F,) mask of rows the resample stage actually resampled.
+    resampled_mask: np.ndarray | None = None
     #: ``(kernel_name, elapsed_seconds)`` events appended by
     #: :meth:`~repro.engine.stage.ExecutionContext.invoke_kernel`; drained by
     #: :class:`~repro.engine.hooks.KernelTimingHook` at every stage end.
@@ -66,12 +85,15 @@ class FilterState:
     #: across rounds so the steady-state hot path is allocation-free.
     _scratch: dict = field(default_factory=dict, repr=False)
 
-    def reset(self, states: np.ndarray, log_weights: np.ndarray) -> None:
+    def reset(self, states: np.ndarray, log_weights: np.ndarray,
+              widths: np.ndarray | None = None) -> None:
         """Install a fresh population and clear counters/scratch."""
         self.states = states
         self.log_weights = log_weights
+        self.widths = None if widths is None else np.asarray(widths, dtype=np.int64)
         self.k = 0
         self.heal_counters = _fresh_heal_counters()
+        self.alloc_counters = _fresh_alloc_counters()
         self.last_estimate = None
         self._scratch = {}
         self.clear_round()
@@ -108,6 +130,9 @@ class FilterState:
         self.estimate = None
         self.pooled_states = None
         self.pooled_logw = None
+        self.round_ess = None
+        self.round_mass_share = None
+        self.resampled_mask = None
         self.kernel_events = []
 
     # -- snapshot accessors for hooks -----------------------------------------
@@ -127,6 +152,27 @@ class FilterState:
             return 0
         return self.states.shape[1]
 
+    @property
+    def ragged(self) -> bool:
+        """True when at least one sub-filter is narrower than the padding."""
+        return self.widths is not None and bool(
+            (self.widths != self.states.shape[1]).any())
+
+    @property
+    def live_particles(self) -> int:
+        """Total live particles across sub-filters (excludes padding)."""
+        if self.states is None:
+            return 0
+        if self.widths is None:
+            return self.states.shape[0] * self.states.shape[1]
+        return int(self.widths.sum())
+
+    def effective_widths(self) -> np.ndarray:
+        """The ``(F,)`` width vector, materializing full rows when unset."""
+        if self.widths is not None:
+            return self.widths
+        return np.full(self.n_filters, self.n_particles, dtype=np.int64)
+
     def population(self) -> tuple[np.ndarray, np.ndarray]:
         """The live ``(states, log_weights)`` arrays (views, not copies)."""
         return self.states, self.log_weights
@@ -142,17 +188,29 @@ class FilterState:
         if self.states is None:
             raise ValueError("cannot checkpoint an uninitialized FilterState")
         arrays = {"states": self.states, "log_weights": self.log_weights}
+        if self.widths is not None:
+            arrays["widths"] = self.widths
         if self.last_estimate is not None:
             arrays["last_estimate"] = np.asarray(self.last_estimate)
         meta = {"k": int(self.k), "heal_counters": dict(self.heal_counters)}
+        if any(self.alloc_counters.values()):
+            meta["alloc_counters"] = dict(self.alloc_counters)
         return arrays, meta
 
     def restore_checkpoint(self, arrays: dict, meta: dict) -> None:
-        """Install a checkpointed population; inverse of :meth:`to_checkpoint`."""
+        """Install a checkpointed population; inverse of :meth:`to_checkpoint`.
+
+        Schema-v1 checkpoints carry no ``widths`` array: the population is
+        the classic fixed-width layout and ``widths`` stays ``None``.
+        """
+        widths = arrays.get("widths")
         self.reset(np.ascontiguousarray(arrays["states"]),
-                   np.ascontiguousarray(arrays["log_weights"]))
+                   np.ascontiguousarray(arrays["log_weights"]),
+                   widths=None if widths is None else np.ascontiguousarray(widths))
         self.k = int(meta["k"])
         self.heal_counters = {k: int(v) for k, v in meta["heal_counters"].items()}
+        if "alloc_counters" in meta:
+            self.alloc_counters = {k: int(v) for k, v in meta["alloc_counters"].items()}
         if "last_estimate" in arrays:
             self.last_estimate = np.asarray(arrays["last_estimate"])
 
@@ -164,5 +222,7 @@ class FilterState:
             k=self.k,
             heal_counters=dict(self.heal_counters),
             last_estimate=None if self.last_estimate is None else np.array(self.last_estimate),
+            widths=None if self.widths is None else self.widths.copy(),
+            alloc_counters=dict(self.alloc_counters),
         )
         return out

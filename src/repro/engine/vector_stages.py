@@ -47,6 +47,12 @@ def sample_weight(ctx: ExecutionContext, state: FilterState) -> None:
         state.states = ctx.model.transition(state.states, state.control, state.k, ctx.rng)
         loglik = ctx.model.log_likelihood(state.states, state.measurement, state.k)
     np.add(state.log_weights, loglik, out=state.log_weights)
+    if state.ragged:
+        # Padded slots stay at exactly -inf even if the model emitted a NaN
+        # log-likelihood for their (copied) states.
+        from repro.allocation.migrate import apply_width_mask
+
+        apply_width_mask(state.log_weights, state.widths)
 
 
 def heal_population(ctx: ExecutionContext, state: FilterState) -> None:
@@ -78,6 +84,10 @@ def heal_population(ctx: ExecutionContext, state: FilterState) -> None:
         # restart all of them on uniform weights.
         ok = np.isfinite(state.states[f]).all(axis=-1)
         state.log_weights[f] = np.where(ok, 0.0, -np.inf) if ok.any() else 0.0
+        if state.widths is not None:
+            # The rejuvenated row keeps its own live width; the donor's
+            # particles beyond it are padding again.
+            state.log_weights[f, int(state.widths[f]):] = -np.inf
         state.heal_counters["rejuvenated"] += 1
 
 
@@ -89,7 +99,14 @@ def heal_local(ctx: ExecutionContext, state: FilterState) -> None:
     completing the rejuvenation.
     """
     state.heal_counters["sanitized"] += sanitize_log_weights(state.log_weights, state.states)
-    state.heal_counters["rejuvenated"] += rescue_degenerate_rows(state.log_weights, state.states)
+    rescued = rescue_degenerate_rows(state.log_weights, state.states)
+    state.heal_counters["rejuvenated"] += rescued
+    if rescued and state.ragged:
+        # Rejuvenation restarts whole rows on uniform weight; their padded
+        # slots must drop back to zero mass.
+        from repro.allocation.migrate import apply_width_mask
+
+        apply_width_mask(state.log_weights, state.widths)
 
 
 def sort_by_weight(ctx: ExecutionContext, state: FilterState) -> None:
@@ -138,7 +155,8 @@ def top_t(ctx: ExecutionContext, state: FilterState, t: int) -> tuple[np.ndarray
         sel = np.broadcast_to(np.arange(t), (F, t))
     else:
         # Local-max selection: argpartition the t best, then order them.
-        part = np.argpartition(-state.log_weights, min(t, cfg.n_particles - 1), axis=1)[:, :t]
+        m = state.log_weights.shape[1]
+        part = np.argpartition(-state.log_weights, min(t, m - 1), axis=1)[:, :t]
         part_w = np.take_along_axis(state.log_weights, part, axis=1)
         inner = np.argsort(-part_w, axis=1)
         sel = np.take_along_axis(part, inner, axis=1)
@@ -184,6 +202,30 @@ def exchange_pool(ctx: ExecutionContext, state: FilterState) -> tuple[np.ndarray
     return pooled_states, pooled_logw
 
 
+def _capture_alloc_metrics(state: FilterState, local_w: np.ndarray,
+                           local_peak: np.ndarray) -> None:
+    """Stash pre-resample ESS and weight-mass share on the state.
+
+    Resampling resets the live weights, so the allocation stage (and the
+    allocation telemetry hook) must read these here. Pure reductions over
+    arrays the resample stage already materialized — no RNG, no mutation —
+    so golden traces are untouched.
+    """
+    w = np.where(np.isfinite(local_w), local_w, 0.0)
+    s1 = w.sum(axis=1)
+    s2 = np.einsum("fm,fm->f", w, w)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        state.round_ess = np.where(s2 > 0.0, (s1 * s1) / np.where(s2 > 0.0, s2, 1.0), 0.0)
+        lse = np.where(s1 > 0.0, local_peak[:, 0] + np.log(np.where(s1 > 0.0, s1, 1.0)),
+                       -np.inf)
+    g = lse.max()
+    if np.isfinite(g):
+        share = np.exp(lse - g)
+        state.round_mass_share = share / share.sum()
+    else:
+        state.round_mass_share = np.full(lse.shape, 1.0 / max(lse.shape[0], 1))
+
+
 def resample(ctx: ExecutionContext, state: FilterState) -> None:
     """Resample each flagged sub-filter down to m particles from its pool."""
     cfg = ctx.config
@@ -193,11 +235,12 @@ def resample(ctx: ExecutionContext, state: FilterState) -> None:
     np.subtract(pooled_logw, row_max, out=w)
     np.exp(w, out=w)  # padded -inf entries become 0
     local_w = state.scratch("res.local_w", state.log_weights.shape, np.float64)
-    np.subtract(
-        state.log_weights, state.log_weights.max(axis=1, keepdims=True), out=local_w
-    )
+    local_peak = state.log_weights.max(axis=1, keepdims=True)
+    np.subtract(state.log_weights, local_peak, out=local_w)
     np.exp(local_w, out=local_w)
-    mask = ctx.policy.should_resample(local_w, ctx.rng)
+    _capture_alloc_metrics(state, local_w, local_peak)
+    mask = ctx.policy.should_resample(local_w, ctx.rng, widths=state.widths)
+    state.resampled_mask = mask
     if not mask.any():
         return
     F, m = state.log_weights.shape
@@ -236,6 +279,10 @@ def resample(ctx: ExecutionContext, state: FilterState) -> None:
         state.recycle("res.states", state.states)
         state.states = new_states
         state.log_weights.fill(0.0)
+        if state.ragged:
+            from repro.allocation.migrate import apply_width_mask
+
+            apply_width_mask(state.log_weights, state.widths)
         return
 
     idx = ctx.resampler.resample_batch(w[mask], m, ctx.rng)  # (F', m)
@@ -244,6 +291,45 @@ def resample(ctx: ExecutionContext, state: FilterState) -> None:
         new_states = roughen(new_states)
     state.states[mask] = new_states
     state.log_weights[mask] = 0.0
+    if state.ragged:
+        from repro.allocation.migrate import apply_width_mask
+
+        apply_width_mask(state.log_weights, state.widths)
+
+
+def allocate(ctx: ExecutionContext, state: FilterState) -> None:
+    """Re-apportion particle widths across sub-filters (post-resample).
+
+    Under the fixed policy (or with no policy attached) this returns
+    immediately without touching state, weights or RNG — the bit-parity
+    contract. Adaptive policies decide new widths from the pre-resample
+    metrics the resample stage stashed, then migrate particles: growth slots
+    are drawn from the round's pooled candidate set (own + received — the
+    exchange plumbing) where available, so new particles arrive through the
+    topology.
+    """
+    policy = getattr(ctx, "alloc_policy", None)
+    if policy is None or policy.name == "fixed":
+        return
+    if state.round_ess is None or state.round_mass_share is None:
+        return
+    widths = state.effective_widths()
+    new_widths = policy.decide(widths, state.round_ess, state.round_mass_share)
+    if np.array_equal(new_widths, widths):
+        state.widths = np.asarray(widths, dtype=np.int64)
+        return
+    resampled = state.resampled_mask
+    if resampled is None:
+        resampled = np.zeros(state.n_filters, dtype=bool)
+    pooled_states, pooled_logw = state.pooled_states, state.pooled_logw
+    migrated = ctx.invoke_kernel(
+        state, "migrate_resize", state.states, state.log_weights,
+        widths, new_widths, pooled_states, pooled_logw, resampled,
+        ctx.resampler, ctx.rng,
+    )
+    state.widths = np.asarray(new_widths, dtype=np.int64)
+    state.alloc_counters["particles_migrated"] += int(migrated)
+    state.alloc_counters["width_changes"] += int((new_widths != widths).sum())
 
 
 # ---------------------------------------------------------------------------
@@ -336,12 +422,21 @@ class ResampleStage:
             resample(ctx, state)
 
 
+class AllocationStage:
+    """Adaptive width re-apportionment; a strict no-op under ``fixed``."""
+
+    name = "allocate"
+
+    def run(self, ctx: ExecutionContext, state: FilterState) -> None:
+        allocate(ctx, state)
+
+
 def build_vector_pipeline(hooks=()) -> "StepPipeline":
     """The full vectorized round as an ordered stage list."""
     from repro.engine.pipeline import StepPipeline
 
     return StepPipeline(
         [SampleWeightStage(), HealStage(), SortStage(), EstimateStage(),
-         ExchangeStage(), ResampleStage()],
+         ExchangeStage(), ResampleStage(), AllocationStage()],
         hooks=hooks,
     )

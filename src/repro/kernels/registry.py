@@ -695,6 +695,38 @@ def register_default_kernels(reg: KernelRegistry) -> KernelRegistry:
             make_params=lambda n: CostParams(m=n),
         )
     )
+    # 9) Adaptive-allocation kernels (width-aware population layout).
+    reg.register(
+        KernelDef(
+            name="alloc_metrics",
+            description="per-sub-filter ESS + weight-mass share reductions",
+            cost=CostSig(
+                # Two tree reductions (sum w, sum w^2) plus the shift-exp,
+                # over the live population.
+                local_ops=lambda p: 4.0 * p.total,
+                barriers=lambda p: 2 * p.log2m,
+                bytes_read=lambda p: p.total * p.dtype_bytes,
+                bytes_written=lambda p: p.n_groups * 2 * p.dtype_bytes,
+            ),
+            batch=_alloc_metrics_batch,
+        )
+    )
+    reg.register(
+        KernelDef(
+            name="migrate_resize",
+            description="grow/shrink sub-filter widths; growth draws from the pool",
+            cost=CostSig(
+                # Worst case: every slot of every row migrates — one
+                # scattered particle gather plus the weight rewrite.
+                bytes_read=lambda p: p.total * (p.state_dim + 1) * p.dtype_bytes,
+                read_coalescing=lambda p: p.aos_efficiency,
+                bytes_written=lambda p: p.total * (p.state_dim + 1) * p.dtype_bytes,
+                write_coalescing=lambda p: p.aos_efficiency,
+                serial_ops=lambda p: float(p.n_groups),
+            ),
+            batch=_migrate_resize_batch,
+        )
+    )
     reg.register(
         KernelDef(
             name="metropolis",
@@ -727,6 +759,29 @@ def _rws_batch(weights: np.ndarray, uniforms: np.ndarray) -> np.ndarray:
     from repro.resampling.rws import rws_indices_batch
 
     return rws_indices_batch(weights, uniforms)
+
+
+def _alloc_metrics_batch(log_weights: np.ndarray):
+    """Batched allocation metrics (lazy import avoids a cycle)."""
+    from repro.allocation.metrics import subfilter_ess, weight_mass_share
+
+    return subfilter_ess(log_weights), weight_mass_share(log_weights)
+
+
+def _migrate_resize_batch(states, log_weights, widths, new_widths,
+                          pooled_states=None, pooled_logw=None,
+                          resampled=None, resampler=None, rng=None) -> int:
+    """Width migration (lazy import avoids a cycle); returns particles moved."""
+    import numpy as _np
+
+    from repro.allocation.migrate import grow_from_pool, resize_block
+
+    if pooled_logw is None or resampler is None:
+        return resize_block(states, log_weights, widths, new_widths)
+    if resampled is None:
+        resampled = _np.zeros(_np.asarray(log_weights).shape[0], dtype=bool)
+    return grow_from_pool(states, log_weights, widths, new_widths,
+                          pooled_states, pooled_logw, resampled, resampler, rng)
 
 
 def _alias_build_batch(weights: np.ndarray):

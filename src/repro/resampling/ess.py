@@ -28,28 +28,44 @@ class ResamplingPolicy(abc.ABC):
     """Decides, per sub-filter and per round, whether to resample."""
 
     @abc.abstractmethod
-    def should_resample(self, weights: np.ndarray, rng: FilterRNG) -> np.ndarray:
-        """``weights`` is (n_filters, m); returns a bool mask of shape (n_filters,)."""
+    def should_resample(self, weights: np.ndarray, rng: FilterRNG,
+                        widths: np.ndarray | None = None) -> np.ndarray:
+        """``weights`` is (n_filters, m); returns a bool mask of shape (n_filters,).
+
+        ``widths`` carries each sub-filter's live particle count when the
+        population uses the padded width-aware layout (padded slots hold
+        zero weight); ``None`` means every row is fully live.
+        """
 
 
 class AlwaysResample(ResamplingPolicy):
     """The paper's default: resample every round."""
 
-    def should_resample(self, weights: np.ndarray, rng: FilterRNG) -> np.ndarray:
+    def should_resample(self, weights: np.ndarray, rng: FilterRNG,
+                        widths: np.ndarray | None = None) -> np.ndarray:
         return np.ones(np.atleast_2d(weights).shape[0], dtype=bool)
 
 
 class ESSThresholdPolicy(ResamplingPolicy):
-    """Resample a sub-filter only when its ESS falls below ``ratio * m``."""
+    """Resample a sub-filter only when its ESS falls below ``ratio * m_i``.
+
+    ``m_i`` is the sub-filter's *live* width: under the width-aware layout
+    (and for healed populations whose masked particles carry zero weight) a
+    row's padded/masked slots must not inflate the threshold. Comparing
+    against the padded ``weights.shape[1]`` would make a shrunken sub-filter
+    resample every round even when its live particles are perfectly diverse.
+    """
 
     def __init__(self, ratio: float = 0.5):
         if not 0.0 < ratio <= 1.0:
             raise ValueError(f"ratio must be in (0, 1], got {ratio}")
         self.ratio = float(ratio)
 
-    def should_resample(self, weights: np.ndarray, rng: FilterRNG) -> np.ndarray:
+    def should_resample(self, weights: np.ndarray, rng: FilterRNG,
+                        widths: np.ndarray | None = None) -> np.ndarray:
         w = np.atleast_2d(weights)
-        return effective_sample_size(w, axis=1) < self.ratio * w.shape[1]
+        live = w.shape[1] if widths is None else np.asarray(widths, dtype=np.float64)
+        return effective_sample_size(w, axis=1) < self.ratio * live
 
 
 class RandomFrequencyPolicy(ResamplingPolicy):
@@ -62,7 +78,8 @@ class RandomFrequencyPolicy(ResamplingPolicy):
             raise ValueError(f"frequency must be in [0, 1], got {frequency}")
         self.frequency = float(frequency)
 
-    def should_resample(self, weights: np.ndarray, rng: FilterRNG) -> np.ndarray:
+    def should_resample(self, weights: np.ndarray, rng: FilterRNG,
+                        widths: np.ndarray | None = None) -> np.ndarray:
         n = np.atleast_2d(weights).shape[0]
         if self.frequency >= 1.0:
             return np.ones(n, dtype=bool)

@@ -44,7 +44,14 @@ import numpy as np
 from repro.resilience.errors import CheckpointCorruptError, CheckpointError
 
 #: bump when the on-disk layout changes incompatibly.
-CHECKPOINT_SCHEMA_VERSION = 1
+#: v2 (width-aware allocation): adds the optional ``widths`` array, the
+#: ``alloc_counters`` state entry and the ``alloc`` policy-state block.
+CHECKPOINT_SCHEMA_VERSION = 2
+
+#: schema versions this build can still read. v1 checkpoints are the
+#: fixed-width layout: no ``widths`` array (every row fully live), no
+#: allocation-policy state — both default cleanly on load.
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 
 #: zip member carrying the JSON manifest (alongside the ``*.npy`` arrays).
 MANIFEST_MEMBER = "manifest.json"
@@ -156,10 +163,10 @@ def read_manifest(path: str) -> dict:
             f"checkpoint {path!r} has format {manifest.get('format')!r}, "
             f"expected {_FORMAT!r}")
     version = manifest.get("schema_version")
-    if version != CHECKPOINT_SCHEMA_VERSION:
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
         raise CheckpointError(
             f"checkpoint {path!r} has schema version {version}, this build "
-            f"reads version {CHECKPOINT_SCHEMA_VERSION}")
+            f"reads versions {SUPPORTED_SCHEMA_VERSIONS}")
     return manifest
 
 
@@ -221,7 +228,30 @@ def save_filter_checkpoint(filt, path: str, backend: str) -> dict:
         "rng": filt.rng.state_dict(),
         "state": state_meta,
     }
+    alloc_policy = getattr(filt, "alloc_policy", None)
+    if alloc_policy is not None and alloc_policy.name != "fixed":
+        meta["alloc"] = {"policy": alloc_policy.name,
+                         "state": alloc_policy.state_dict()}
     return write_checkpoint(path, arrays, meta)
+
+
+def normalize_config_record(record: dict) -> dict:
+    """A saved distributed-config dict, normalized for comparison.
+
+    Round-tripping through the dataclass fills in fields introduced after
+    the checkpoint was written (a schema-v1 record carries no allocation
+    fields), so an old fixed-width checkpoint still compares equal to a
+    config that only differs in the new defaults.
+    """
+    from repro.core.parameters import (
+        distributed_config_from_dict,
+        distributed_config_to_dict,
+    )
+
+    try:
+        return distributed_config_to_dict(distributed_config_from_dict(record))
+    except (TypeError, ValueError):
+        return dict(record)
 
 
 def load_filter_checkpoint(filt, path: str, backend: str) -> dict:
@@ -234,11 +264,20 @@ def load_filter_checkpoint(filt, path: str, backend: str) -> dict:
         raise CheckpointError(
             f"checkpoint was written by backend {meta.get('backend')!r}, "
             f"not {backend!r}")
-    if meta.get("config") != distributed_config_to_dict(filt.config):
+    saved_cfg = normalize_config_record(meta.get("config", {}))
+    if saved_cfg != distributed_config_to_dict(filt.config):
         raise CheckpointError(
             "checkpoint configuration does not match this filter's configuration")
     filt._state.restore_checkpoint(arrays, meta["state"])
     filt.rng.load_state_dict(meta["rng"])
+    alloc = meta.get("alloc")
+    alloc_policy = getattr(filt, "alloc_policy", None)
+    if alloc and alloc_policy is not None:
+        if alloc.get("policy") != alloc_policy.name:
+            raise CheckpointError(
+                f"checkpoint allocation policy {alloc.get('policy')!r} does "
+                f"not match this filter's {alloc_policy.name!r}")
+        alloc_policy.load_state_dict(alloc.get("state", {}))
     return manifest
 
 

@@ -17,6 +17,7 @@ from repro.telemetry.exporters import (
     ChromeTraceExporter,
     JsonlExporter,
     SummaryExporter,
+    allocation_table,
     breakdown,
     chrome_trace,
     jsonl_events,
@@ -43,6 +44,7 @@ __all__ = [
     "Span",
     "SummaryExporter",
     "Tracer",
+    "allocation_table",
     "breakdown",
     "chrome_trace",
     "jsonl_events",

@@ -151,12 +151,41 @@ def breakdown(spans: list[Span], kind: str = "stage") -> dict[str, float]:
     return out
 
 
+def allocation_table(counters: dict) -> list[str]:
+    """Per-sub-filter allocation rows from the ``alloc.*`` counter family.
+
+    One row per sub-filter showing its latest live width and pre-resample
+    ESS gauge, preceded by the scalar allocation counters (migration totals,
+    weight-mass HHI). Empty list when no ``alloc.*`` counters were recorded.
+    """
+    alloc = {k[len("alloc."):]: v for k, v in counters.items()
+             if k.startswith("alloc.")}
+    if not alloc:
+        return []
+    lines = ["allocation:"]
+    for name in sorted(k for k in alloc
+                       if not k.startswith(("ess.f", "width.f"))):
+        lines.append(f"  {name:<28} {alloc[name]:g}")
+    ess = {int(k[len("ess.f"):]): v for k, v in alloc.items()
+           if k.startswith("ess.f")}
+    widths = {int(k[len("width.f"):]): v for k, v in alloc.items()
+              if k.startswith("width.f")}
+    if ess or widths:
+        lines.append(f"  {'sub-filter':<12} {'width':>8} {'ess':>10}")
+        for i in sorted(set(ess) | set(widths)):
+            w = f"{widths[i]:g}" if i in widths else "-"
+            e = f"{ess[i]:.2f}" if i in ess else "-"
+            lines.append(f"  f{i:<11} {w:>8} {e:>10}")
+    return lines
+
+
 def summary_table(spans: list[Span], counters: dict | None = None) -> str:
     """Plain-text per-stage/per-kernel breakdown (the paper's Fig. 5-8 shape).
 
     Stage rows show seconds and the share of total stage time — the same
     quantity as ``PhaseTimer.fractions()`` — followed by the per-kernel
-    totals and the counter totals.
+    totals, the allocation table (when ``alloc.*`` counters exist) and the
+    remaining counter totals.
     """
     lines: list[str] = []
     for kind, title in (("stage", "per-stage breakdown"), ("kernel", "per-kernel breakdown")):
@@ -168,10 +197,13 @@ def summary_table(spans: list[Span], counters: dict | None = None) -> str:
         for name, sec in sorted(agg.items(), key=lambda kv: -kv[1]):
             frac = sec / total if total > 0 else 0.0
             lines.append(f"  {name:<16} {sec * 1e3:10.3f} ms  {frac:6.1%}")
-    if counters:
+    lines.extend(allocation_table(counters or {}))
+    plain = {k: counters[k] for k in sorted(counters or {})
+             if not k.startswith("alloc.")}
+    if plain:
         lines.append("counters:")
-        for name in sorted(counters):
-            lines.append(f"  {name:<28} {counters[name]:g}")
+        for name in sorted(plain):
+            lines.append(f"  {name:<28} {plain[name]:g}")
     return "\n".join(lines) if lines else "(no spans recorded)"
 
 

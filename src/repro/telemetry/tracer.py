@@ -184,6 +184,15 @@ class Tracer:
     def count(self, name: str, value: float = 1.0) -> None:
         self.counters[name] = self.counters.get(name, 0.0) + value
 
+    def gauge(self, name: str, value: float) -> None:
+        """Record the latest observation of *name* (overwrite, don't sum).
+
+        Gauges share the counter dict — exporters render both — but carry
+        point-in-time readings (per-sub-filter ESS, weight-mass HHI) where
+        accumulation would be meaningless.
+        """
+        self.counters[name] = float(value)
+
     # -- merging ---------------------------------------------------------------
     def merge(self, spans: list[Span], label: str | None = None) -> None:
         """Adopt already-aligned foreign spans (from a worker process)."""

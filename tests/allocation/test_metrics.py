@@ -1,0 +1,85 @@
+"""Allocation metrics: ESS, weight-mass share, and the distributed split."""
+
+import numpy as np
+
+from repro.allocation import (
+    mass_concentration,
+    row_logsumexp,
+    share_from_logsumexp,
+    subfilter_ess,
+    weight_mass_share,
+)
+
+
+class TestSubfilterESS:
+    def test_uniform_weights_give_full_ess(self):
+        logw = np.zeros((3, 8))
+        np.testing.assert_allclose(subfilter_ess(logw), 8.0)
+
+    def test_collapsed_row_gives_one(self):
+        logw = np.full((1, 8), -np.inf)
+        logw[0, 3] = 0.0
+        np.testing.assert_allclose(subfilter_ess(logw), 1.0)
+
+    def test_fully_degenerate_row_gives_zero(self):
+        logw = np.full((2, 8), -np.inf)
+        logw[1] = 0.0
+        np.testing.assert_allclose(subfilter_ess(logw), [0.0, 8.0])
+
+    def test_padding_contributes_nothing(self):
+        logw = np.zeros((1, 8))
+        padded = np.full((1, 12), -np.inf)
+        padded[0, :8] = logw
+        np.testing.assert_allclose(subfilter_ess(padded), subfilter_ess(logw))
+
+
+class TestWeightMassShare:
+    def test_sums_to_one(self):
+        rng = np.random.default_rng(0)
+        share = weight_mass_share(rng.normal(size=(6, 16)))
+        assert share.shape == (6,)
+        np.testing.assert_allclose(share.sum(), 1.0)
+
+    def test_degenerate_rows_get_zero_share(self):
+        logw = np.zeros((3, 4))
+        logw[1] = -np.inf
+        share = weight_mass_share(logw)
+        assert share[1] == 0.0
+        np.testing.assert_allclose(share[[0, 2]], 0.5)
+
+    def test_all_degenerate_falls_back_uniform(self):
+        share = weight_mass_share(np.full((4, 8), -np.inf))
+        np.testing.assert_allclose(share, 0.25)
+
+    def test_shift_invariant(self):
+        rng = np.random.default_rng(1)
+        logw = rng.normal(size=(5, 12))
+        np.testing.assert_allclose(weight_mass_share(logw),
+                                   weight_mass_share(logw - 1234.5))
+
+
+class TestDistributedSplit:
+    """The multiprocess reduction: workers ship row logsumexps, the master
+    concatenates and softmaxes — must equal the centralized computation."""
+
+    def test_blockwise_equals_central(self):
+        rng = np.random.default_rng(2)
+        logw = rng.normal(size=(8, 16)) * 5.0
+        central = weight_mass_share(logw)
+        # Three workers own rows [0:3], [3:6], [6:8].
+        lse = np.concatenate([row_logsumexp(logw[lo:hi])
+                              for lo, hi in ((0, 3), (3, 6), (6, 8))])
+        np.testing.assert_array_equal(share_from_logsumexp(lse), central)
+
+    def test_row_logsumexp_degenerate_is_neg_inf(self):
+        lse = row_logsumexp(np.full((2, 4), -np.inf))
+        assert np.isneginf(lse).all()
+
+
+class TestMassConcentration:
+    def test_bounds(self):
+        assert mass_concentration(np.full(8, 1.0 / 8)) == 1.0 / 8
+        assert mass_concentration(np.array([1.0, 0.0, 0.0])) == 1.0
+
+    def test_degenerate_input_falls_back_to_uniform_value(self):
+        assert mass_concentration(np.zeros(4)) == 0.25

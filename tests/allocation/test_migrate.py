@@ -1,0 +1,138 @@
+"""Padded-layout invariants: masking, padding, and the two migration paths."""
+
+import numpy as np
+import pytest
+
+from repro.allocation import (
+    apply_width_mask,
+    pad_population,
+    resize_block,
+    width_mask,
+)
+from repro.allocation.migrate import grow_from_pool
+from repro.core.registry import make_resampler
+from repro.prng import make_rng
+
+
+def ragged_population(F=3, cap=8, d=2, seed=0):
+    rng = np.random.default_rng(seed)
+    states = rng.normal(size=(F, cap, d))
+    logw = rng.normal(size=(F, cap))
+    widths = np.array([8, 4, 6], dtype=np.int64)[:F]
+    apply_width_mask(logw, widths)
+    return states, logw, widths
+
+
+class TestMasking:
+    def test_width_mask_shape_and_content(self):
+        mask = width_mask(np.array([2, 0, 3]), 4)
+        expected = np.array([[1, 1, 0, 0], [0, 0, 0, 0], [1, 1, 1, 0]], dtype=bool)
+        np.testing.assert_array_equal(mask, expected)
+
+    def test_apply_width_mask_zeroes_padding_only(self):
+        logw = np.zeros((2, 4))
+        apply_width_mask(logw, np.array([4, 2]))
+        assert np.isfinite(logw[0]).all()
+        assert np.isfinite(logw[1, :2]).all()
+        assert np.isneginf(logw[1, 2:]).all()
+
+
+class TestPadPopulation:
+    def test_equal_capacity_is_identity(self):
+        states = np.ones((2, 4, 3))
+        logw = np.zeros((2, 4))
+        out_s, out_w = pad_population(states, logw, 4)
+        assert out_s is states and out_w is logw
+
+    def test_padding_copies_real_states_at_zero_mass(self):
+        rng = np.random.default_rng(2)
+        states = rng.normal(size=(2, 4, 3))
+        logw = rng.normal(size=(2, 4))
+        out_s, out_w = pad_population(states, logw, 7)
+        np.testing.assert_array_equal(out_s[:, :4], states)
+        np.testing.assert_array_equal(out_w[:, :4], logw)
+        assert np.isneginf(out_w[:, 4:]).all()
+        # Padded states are copies of each row's first particle — real
+        # states the model can propagate without NaNs.
+        for f in range(2):
+            for slot in range(4, 7):
+                np.testing.assert_array_equal(out_s[f, slot], states[f, 0])
+
+    def test_capacity_below_width_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            pad_population(np.ones((1, 4, 2)), np.zeros((1, 4)), 3)
+
+
+class TestResizeBlock:
+    def test_shrink_masks_former_tail(self):
+        states, logw, widths = ragged_population()
+        migrated = resize_block(states, logw, widths, np.array([8, 2, 6]))
+        assert migrated == 2
+        assert np.isneginf(logw[1, 2:]).all()
+        assert np.isfinite(logw[1, :2]).all()
+
+    def test_grow_duplicates_cyclically_with_weights(self):
+        states, logw, widths = ragged_population()
+        before = states.copy()
+        migrated = resize_block(states, logw, widths, np.array([8, 7, 6]))
+        assert migrated == 3
+        # Slots 4..6 of row 1 replicate live slots 0..2 with their weights.
+        for j, src in enumerate(range(4, 7)):
+            np.testing.assert_array_equal(states[1, src], before[1, j % 4])
+            assert logw[1, src] == logw[1, j % 4]
+
+    def test_no_rng_and_deterministic(self):
+        a = ragged_population(seed=5)
+        b = ragged_population(seed=5)
+        new = np.array([6, 8, 2], dtype=np.int64)
+        resize_block(*a[:2], a[2], new)
+        resize_block(*b[:2], b[2], new)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_exceeding_capacity_rejected(self):
+        states, logw, widths = ragged_population()
+        with pytest.raises(ValueError, match="capacity"):
+            resize_block(states, logw, widths, np.array([9, 4, 6]))
+
+    def test_migrated_counts_liveness_changes(self):
+        states, logw, widths = ragged_population()
+        migrated = resize_block(states, logw, widths, np.array([4, 8, 6]))
+        assert migrated == 8  # |4-8| + |8-4| + 0
+
+
+class TestGrowFromPool:
+    def test_resampled_rows_draw_from_pool(self):
+        states, logw, widths = ragged_population()
+        pool_states = np.full((3, 12, 2), 7.0)
+        pool_logw = np.zeros((3, 12))
+        resampled = np.array([False, True, False])
+        migrated = grow_from_pool(
+            states, logw, widths, np.array([8, 8, 6]),
+            pool_states, pool_logw, resampled,
+            make_resampler("systematic"), make_rng("numpy", seed=0))
+        assert migrated == 4
+        # Grown slots came from the pool (value 7.0) on uniform weights.
+        assert (states[1, 4:8] == 7.0).all()
+        assert (logw[1, 4:8] == 0.0).all()
+
+    def test_unresampled_rows_fall_back_to_duplication(self):
+        states, logw, widths = ragged_population()
+        before = states.copy()
+        pool_states = np.full((3, 12, 2), 7.0)
+        pool_logw = np.zeros((3, 12))
+        resampled = np.zeros(3, dtype=bool)
+        grow_from_pool(
+            states, logw, widths, np.array([8, 6, 6]),
+            pool_states, pool_logw, resampled,
+            make_resampler("systematic"), make_rng("numpy", seed=0))
+        np.testing.assert_array_equal(states[1, 4:6], before[1, :2])
+
+    def test_shrink_needs_no_pool_draw(self):
+        states, logw, widths = ragged_population()
+        migrated = grow_from_pool(
+            states, logw, widths, np.array([8, 4, 3]),
+            None, None, np.ones(3, dtype=bool),
+            make_resampler("systematic"), make_rng("numpy", seed=0))
+        assert migrated == 3
+        assert np.isneginf(logw[2, 3:]).all()

@@ -1,0 +1,204 @@
+"""Allocation parity contracts.
+
+Three guarantees the refactor must keep:
+
+- the **fixed** policy is invisible: every backend produces estimates
+  bit-identical to each other (the pre-refactor golden behaviour), with a
+  dense layout (``widths is None``) and zero allocation traffic;
+- the **adaptive** policies are transport-independent: pipe and shm runs
+  agree bit-for-bit on estimates *and* width trajectories;
+- checkpoints: adaptive runs resume bit-identically (policy state and
+  widths ride the snapshot), and schema-v1 checkpoints — written before
+  allocation existed — still load.
+"""
+
+import json
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.backends import MultiprocessDistributedParticleFilter
+from repro.backends.sequential import SequentialDistributedParticleFilter
+from repro.core import DistributedFilterConfig, DistributedParticleFilter
+from repro.models import LinearGaussianModel
+from repro.prng import make_rng
+from repro.resilience.checkpoint import MANIFEST_MEMBER
+
+
+def lg_model():
+    return LinearGaussianModel(A=[[0.9]], C=[[1.0]], Q=[[0.04]], R=[[0.01]])
+
+
+def cfg(**kw):
+    base = dict(n_particles=16, n_filters=8, topology="ring", n_exchange=1,
+                estimator="weighted_mean", seed=3)
+    base.update(kw)
+    return DistributedFilterConfig(**base)
+
+
+def adaptive_cfg(**kw):
+    return cfg(allocation="mass", alloc_min_width=4, alloc_hysteresis=0.0, **kw)
+
+
+def measurements(n_steps, seed=4):
+    model = lg_model()
+    truth = model.simulate(n_steps, make_rng("numpy", seed=seed))
+    return np.asarray(truth.measurements, dtype=np.float64)
+
+
+def drive(pf, meas, start=0):
+    return np.stack([pf.step(meas[k]) for k in range(start, meas.shape[0])])
+
+
+class TestFixedPolicyIsInvisible:
+    """With allocation="fixed" — default or explicit — each backend keeps a
+    dense layout and reproduces its own pre-refactor golden trace. (The
+    vectorized pre-refactor hex traces themselves are pinned by
+    ``tests/engine/test_golden_trace.py``; cross-backend equality is a
+    *statistical* contract in this repo, not a bit-level one.)"""
+
+    @pytest.mark.parametrize("factory", [
+        DistributedParticleFilter, SequentialDistributedParticleFilter,
+    ], ids=["vectorized", "sequential"])
+    def test_explicit_fixed_matches_default_config(self, factory):
+        model, meas = lg_model(), measurements(10)
+        default = drive(factory(model, cfg()), meas)
+        explicit = drive(factory(model, cfg(allocation="fixed")), meas)
+        np.testing.assert_array_equal(explicit, default)
+
+    @pytest.mark.parametrize("transport", ["pipe", "shm"])
+    def test_multiprocess_fixed_matches_default_config(self, transport):
+        model, meas = lg_model(), measurements(10)
+        results = {}
+        for allocation in ("fixed", "fixed-default"):
+            config = cfg() if allocation == "fixed-default" else cfg(
+                allocation="fixed")
+            with MultiprocessDistributedParticleFilter(
+                    model, config, n_workers=2, transport=transport) as pf:
+                results[allocation] = drive(pf, meas)
+                assert pf.widths is None
+                assert all(v == 0 for v in pf.alloc_counters.values())
+        np.testing.assert_array_equal(results["fixed"],
+                                      results["fixed-default"])
+
+    def test_fixed_pipe_equals_shm(self):
+        model, meas = lg_model(), measurements(10)
+        traces = []
+        for transport in ("pipe", "shm"):
+            with MultiprocessDistributedParticleFilter(
+                    model, cfg(allocation="fixed"), n_workers=2,
+                    transport=transport) as pf:
+                traces.append(drive(pf, meas))
+        np.testing.assert_array_equal(traces[0], traces[1])
+
+    def test_dense_layout_and_silent_counters(self):
+        pf = DistributedParticleFilter(lg_model(), cfg())
+        drive(pf, measurements(6))
+        assert pf.widths is None
+        assert pf._state.log_weights.shape == (8, 16)  # no padding columns
+        assert all(v == 0 for v in pf._state.alloc_counters.values())
+
+
+class TestAdaptiveTransportParity:
+    """mass policy: pipe and shm must agree bit-for-bit — estimates, width
+    trajectory, and migration counters alike."""
+
+    def test_pipe_equals_shm(self):
+        model, meas = lg_model(), measurements(12)
+        results = {}
+        for transport in ("pipe", "shm"):
+            with MultiprocessDistributedParticleFilter(
+                    model, adaptive_cfg(), n_workers=2,
+                    transport=transport) as pf:
+                est = drive(pf, meas)
+                results[transport] = (est, pf.widths.copy(),
+                                      dict(pf.alloc_counters))
+        est_p, widths_p, counters_p = results["pipe"]
+        est_s, widths_s, counters_s = results["shm"]
+        np.testing.assert_array_equal(est_p, est_s)
+        np.testing.assert_array_equal(widths_p, widths_s)
+        assert counters_p == counters_s
+        assert counters_p["particles_migrated"] > 0  # adaptivity engaged
+
+
+class TestAdaptiveCheckpointResume:
+    def test_single_process_resume_bit_identical(self, tmp_path):
+        model, meas, cut = lg_model(), measurements(14), 7
+        golden_pf = DistributedParticleFilter(model, adaptive_cfg())
+        golden = drive(golden_pf, meas)
+        assert golden_pf._state.alloc_counters["width_changes"] > 0
+
+        pf = DistributedParticleFilter(model, adaptive_cfg())
+        head = drive(pf, meas[:cut])
+        path = str(tmp_path / "adaptive.ckpt")
+        manifest = pf.save_checkpoint(path)
+        # Adaptive checkpoints carry the policy state block.
+        assert manifest["meta"]["alloc"]["policy"] == "mass"
+
+        pf2 = DistributedParticleFilter(model, adaptive_cfg())
+        pf2.load_checkpoint(path)
+        tail = drive(pf2, meas, start=cut)
+        np.testing.assert_array_equal(np.vstack([head, tail]), golden)
+        np.testing.assert_array_equal(pf2.widths, golden_pf.widths)
+
+    @pytest.mark.parametrize("transport", ["pipe", "shm"])
+    def test_multiprocess_resume_bit_identical(self, transport, tmp_path):
+        model, meas, cut = lg_model(), measurements(12), 6
+
+        def mk():
+            return MultiprocessDistributedParticleFilter(
+                model, adaptive_cfg(), n_workers=2, transport=transport)
+
+        with mk() as pf:
+            golden = drive(pf, meas)
+            golden_widths = pf.widths.copy()
+
+        path = str(tmp_path / "adaptive.ckpt")
+        with mk() as pf:
+            head = drive(pf, meas[:cut])
+            manifest = pf.save_checkpoint(path)
+        assert manifest["meta"]["alloc"]["policy"] == "mass"
+
+        with mk() as pf2:
+            pf2.load_checkpoint(path)
+            assert pf2.k == cut
+            tail = drive(pf2, meas, start=cut)
+            np.testing.assert_array_equal(pf2.widths, golden_widths)
+        np.testing.assert_array_equal(np.vstack([head, tail]), golden)
+
+
+class TestSchemaV1Compat:
+    """Checkpoints written before the allocation refactor (schema v1, no
+    widths array, no allocation config keys) must still load into a
+    fixed-policy filter."""
+
+    def _downgrade_to_v1(self, path):
+        with zipfile.ZipFile(path) as zf:
+            members = {n: zf.read(n) for n in zf.namelist()}
+        manifest = json.loads(members[MANIFEST_MEMBER])
+        manifest["schema_version"] = 1
+        config = manifest["meta"]["config"]
+        for key in list(config):
+            if key == "allocation" or key.startswith("alloc_"):
+                del config[key]
+        members[MANIFEST_MEMBER] = json.dumps(manifest).encode()
+        with zipfile.ZipFile(path, "w", zipfile.ZIP_STORED) as zf:
+            for name, blob in members.items():
+                zf.writestr(name, blob)
+
+    def test_v1_checkpoint_loads_into_fixed_filter(self, tmp_path):
+        model, meas, cut = lg_model(), measurements(10), 5
+        golden = drive(DistributedParticleFilter(model, cfg()), meas)
+
+        pf = DistributedParticleFilter(model, cfg())
+        head = drive(pf, meas[:cut])
+        path = str(tmp_path / "v1.ckpt")
+        pf.save_checkpoint(path)
+        self._downgrade_to_v1(path)
+
+        pf2 = DistributedParticleFilter(model, cfg())
+        pf2.load_checkpoint(path)
+        assert pf2.k == cut
+        tail = drive(pf2, meas, start=cut)
+        np.testing.assert_array_equal(np.vstack([head, tail]), golden)

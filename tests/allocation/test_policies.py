@@ -1,0 +1,156 @@
+"""Allocation policy contracts: conservation, clamps, hysteresis, state."""
+
+import numpy as np
+import pytest
+
+from repro.allocation import (
+    ESSProportionalAllocation,
+    FixedAllocation,
+    WeightMassAllocation,
+    allocation_capacity,
+    apportion,
+    make_allocation_policy,
+)
+from repro.core import DistributedFilterConfig
+
+
+class TestApportion:
+    def test_conserves_budget_exactly(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            scores = rng.uniform(0, 10, size=8)
+            out = apportion(scores, budget=128, min_width=2, max_width=64)
+            assert out.sum() == 128
+            assert out.min() >= 2 and out.max() <= 64
+
+    def test_proportional_when_unclamped(self):
+        out = apportion(np.array([1.0, 3.0]), budget=40, min_width=1, max_width=40)
+        assert out.tolist() == [10, 30]
+
+    def test_clamps_pin_and_redistribute(self):
+        # One huge score would take everything; the max clamp caps it and
+        # the remainder flows to the others.
+        out = apportion(np.array([100.0, 1.0, 1.0]), budget=30,
+                        min_width=4, max_width=16)
+        assert out.sum() == 30
+        assert out[0] == 16
+        assert (out[1:] >= 4).all()
+
+    def test_zero_and_nonfinite_scores_fall_back_uniform(self):
+        out = apportion(np.array([0.0, 0.0, 0.0, 0.0]), budget=16,
+                        min_width=1, max_width=16)
+        assert out.tolist() == [4, 4, 4, 4]
+        out = apportion(np.array([np.nan, -np.inf, 1.0, 1.0]), budget=16,
+                        min_width=2, max_width=16)
+        assert out.sum() == 16
+        assert out[2] == out[3]
+
+    def test_infeasible_budget_raises(self):
+        with pytest.raises(ValueError, match="infeasible"):
+            apportion(np.ones(4), budget=3, min_width=1, max_width=8)
+        with pytest.raises(ValueError, match="infeasible"):
+            apportion(np.ones(4), budget=64, min_width=1, max_width=8)
+
+    def test_deterministic(self):
+        scores = np.array([2.0, 5.0, 3.0, 7.0, 1.0])
+        a = apportion(scores, 100, 2, 60)
+        b = apportion(scores, 100, 2, 60)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestFixedAllocation:
+    def test_widths_never_change(self):
+        policy = FixedAllocation(budget=64, min_width=8, max_width=8)
+        widths = np.full(8, 8, dtype=np.int64)
+        out = policy.decide(widths, np.zeros(8), np.zeros(8))
+        np.testing.assert_array_equal(out, widths)
+        assert out is not widths  # never aliases the input
+
+
+class TestESSProportionalAllocation:
+    def test_follows_ess(self):
+        policy = ESSProportionalAllocation(budget=64, min_width=2, max_width=48)
+        widths = np.full(4, 16, dtype=np.int64)
+        ess = np.array([30.0, 1.0, 1.0, 1.0])
+        out = policy.decide(widths, ess, np.full(4, 0.25))
+        assert out.sum() == 64
+        assert out[0] > 16 and (out[1:] < 16).all()
+
+    def test_hysteresis_freezes_small_changes(self):
+        policy = ESSProportionalAllocation(budget=64, min_width=2, max_width=48,
+                                           hysteresis=0.5)
+        widths = np.full(4, 16, dtype=np.int64)
+        # Mild imbalance: proposal deltas under 50% of the width stay frozen.
+        ess = np.array([18.0, 15.0, 16.0, 15.0])
+        out = policy.decide(widths, ess, np.full(4, 0.25))
+        np.testing.assert_array_equal(out, widths)
+
+    def test_hysteresis_lets_large_changes_through(self):
+        policy = ESSProportionalAllocation(budget=64, min_width=2, max_width=48,
+                                           hysteresis=0.25)
+        widths = np.full(4, 16, dtype=np.int64)
+        ess = np.array([60.0, 1.0, 1.0, 1.0])
+        out = policy.decide(widths, ess, np.full(4, 0.25))
+        assert out.sum() == 64
+        assert out[0] > widths[0]
+
+
+class TestWeightMassAllocation:
+    def test_smoothing_damps_spikes(self):
+        policy = WeightMassAllocation(budget=64, min_width=2, max_width=48,
+                                      smooth=0.5)
+        widths = np.full(4, 16, dtype=np.int64)
+        even = np.full(4, 0.25)
+        w1 = policy.decide(widths, np.full(4, 8.0), even)
+        spike = np.array([0.97, 0.01, 0.01, 0.01])
+        w2 = policy.decide(w1, np.full(4, 8.0), spike)
+        # One spiky round moves widths but not all the way to the clamp.
+        assert w2[0] > w1[0]
+        assert w2[0] < 48
+
+    def test_state_dict_roundtrip_reproduces_decisions(self):
+        def mk():
+            return WeightMassAllocation(budget=64, min_width=2, max_width=48,
+                                        hysteresis=0.1, smooth=0.5)
+
+        rng = np.random.default_rng(1)
+        a = mk()
+        widths = np.full(4, 16, dtype=np.int64)
+        for _ in range(5):
+            share = rng.dirichlet(np.ones(4))
+            widths = a.decide(widths, np.full(4, 8.0), share)
+        saved, saved_widths = a.state_dict(), widths.copy()
+
+        b = mk()
+        b.load_state_dict(saved)
+        share = np.array([0.4, 0.3, 0.2, 0.1])
+        np.testing.assert_array_equal(
+            a.decide(saved_widths, np.full(4, 8.0), share),
+            b.decide(saved_widths, np.full(4, 8.0), share))
+
+    def test_invalid_smooth_rejected(self):
+        with pytest.raises(ValueError, match="smooth"):
+            WeightMassAllocation(64, 2, 48, smooth=0.0)
+
+
+class TestConfigFactory:
+    def test_fixed_capacity_is_dense(self):
+        cfg = DistributedFilterConfig(n_particles=16, n_filters=8)
+        assert cfg.allocation == "fixed"
+        assert allocation_capacity(cfg) == 16
+        policy = make_allocation_policy(cfg)
+        assert policy.name == "fixed"
+
+    def test_adaptive_capacity_is_max_width(self):
+        cfg = DistributedFilterConfig(n_particles=16, n_filters=8,
+                                      allocation="mass")
+        assert allocation_capacity(cfg) == cfg.alloc_max_width
+        assert cfg.alloc_max_width == 64  # defaults to 4 * n_particles
+        policy = make_allocation_policy(cfg)
+        assert policy.name == "mass"
+        assert policy.budget == 128
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="allocation must be"):
+            DistributedFilterConfig(n_particles=16, n_filters=8,
+                                    allocation="bogus")

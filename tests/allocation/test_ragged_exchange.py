@@ -1,0 +1,175 @@
+"""Exchange edge cases under heterogeneous (ragged) sub-filter widths.
+
+The cases the padded-plus-mask layout must survive:
+
+- ``t`` exceeding the smallest live width: top-t selection reaches into a
+  shrunken row's padding, which must travel as zero-mass cargo and never be
+  selected by any downstream resample;
+- dead neighbours adjacent to shrunken sub-filters (rejuvenation donors
+  have a different live width than the row they heal);
+- pooled (All-to-All) top-t routing over ragged rows.
+"""
+
+import numpy as np
+import pytest
+
+from repro.allocation import apply_width_mask
+from repro.core import DistributedFilterConfig, DistributedParticleFilter
+from repro.engine import vector_stages
+from repro.models import LinearGaussianModel
+from repro.prng import make_rng
+
+
+def lg_model():
+    return LinearGaussianModel(A=[[0.9]], C=[[1.0]], Q=[[0.04]], R=[[0.01]])
+
+
+def adaptive_cfg(**kw):
+    base = dict(n_particles=8, n_filters=6, topology="ring", n_exchange=1,
+                estimator="weighted_mean", seed=11, allocation="mass",
+                alloc_min_width=2, alloc_hysteresis=0.0)
+    base.update(kw)
+    return DistributedFilterConfig(**base)
+
+
+def drive(pf, steps=12, seed=5):
+    model = pf.model
+    truth = model.simulate(steps, make_rng("numpy", seed=seed))
+    meas = np.asarray(truth.measurements, dtype=np.float64)
+    return np.stack([pf.step(meas[k]) for k in range(steps)])
+
+
+def assert_layout_invariants(pf):
+    """Live slots finite-capable, padded slots exactly -inf, budget conserved."""
+    cfg = pf.config
+    widths = pf.widths
+    assert widths is not None
+    assert widths.sum() == cfg.n_particles * cfg.n_filters
+    assert widths.min() >= cfg.alloc_min_width
+    assert widths.max() <= cfg.alloc_max_width
+    logw = pf.log_weights
+    for f, w in enumerate(widths):
+        assert np.isneginf(logw[f, int(w):]).all()
+    assert np.isfinite(pf.states).all()
+
+
+class TestExchangeExceedsSmallestWidth:
+    def test_t_larger_than_min_width_stays_finite(self):
+        # t=6 while rows may shrink to 2 live particles: the top-6 of a
+        # shrunken row includes padding, which must carry zero mass.
+        pf = DistributedParticleFilter(lg_model(), adaptive_cfg(n_exchange=6))
+        ests = drive(pf, steps=15)
+        assert np.isfinite(ests).all()
+        assert pf.widths.min() < 6 <= pf.widths.max()  # the case actually hit
+        assert_layout_invariants(pf)
+
+    def test_padding_sent_as_zero_mass_cargo(self):
+        # Direct top-t probe: a row with 2 live particles asked for its top
+        # 5 must send exactly 3 padded (zero-mass) entries.
+        pf = DistributedParticleFilter(lg_model(), adaptive_cfg())
+        pf.initialize()
+        state = pf._state
+        state.widths = np.array([8, 2, 8, 8, 8, 8], dtype=np.int64)
+        apply_width_mask(state.log_weights, state.widths)
+        vector_stages.sort_by_weight(pf._ctx, state)
+        send_states, send_logw = vector_stages.top_t(pf._ctx, state, 5)
+        assert send_logw.shape == (6, 5)
+        assert np.isfinite(send_logw[1, :2]).all()
+        assert np.isneginf(send_logw[1, 2:]).all()
+        assert np.isfinite(send_states).all()
+
+    def test_sampled_selection_never_picks_padding(self):
+        # exchange_select="sample" draws by weight: padded slots have
+        # exactly zero probability, so every sampled particle is live.
+        pf = DistributedParticleFilter(
+            lg_model(), adaptive_cfg(exchange_select="sample", n_exchange=4))
+        pf.initialize()
+        state = pf._state
+        state.widths = np.array([8, 3, 8, 8, 8, 8], dtype=np.int64)
+        apply_width_mask(state.log_weights, state.widths)
+        # Tag the padded slots of row 1 so a leak is detectable.
+        state.states[1, 3:] = 1e9
+        _, send_logw = vector_stages.top_t(pf._ctx, state, 4)
+        send_states, _ = vector_stages.top_t(pf._ctx, state, 4)
+        assert (np.abs(send_states[1]) < 1e9).all()
+
+
+class TestDeadNeighboursNextToShrunkenRows:
+    def test_rejuvenated_row_keeps_its_own_width(self):
+        # A fully degenerate row heals from a neighbour whose live width is
+        # larger; the healed row must re-mask the donor's surplus particles.
+        pf = DistributedParticleFilter(lg_model(), adaptive_cfg())
+        pf.initialize()
+        state = pf._state
+        state.widths = np.array([8, 3, 8, 8, 8, 8], dtype=np.int64)
+        apply_width_mask(state.log_weights, state.widths)
+        state.log_weights[1, :] = -np.inf  # row 1 fully degenerate
+        vector_stages.heal_population(pf._ctx, state)
+        assert state.heal_counters["rejuvenated"] == 1
+        assert np.isfinite(state.log_weights[1, :3]).all()
+        assert np.isneginf(state.log_weights[1, 3:]).all()
+
+    def test_adaptive_run_survives_worker_death(self):
+        # System-level: a worker dies mid-run while widths are ragged. The
+        # healer routes around the dead block and the allocator freezes (a
+        # dead block cannot resize), so the budget over live rows is stable.
+        pytest.importorskip("multiprocessing")
+        from repro.backends import MultiprocessDistributedParticleFilter
+        from repro.resilience import FaultPlan
+
+        model = lg_model()
+        plan = FaultPlan(seed=0).kill(worker=1, step=4)
+        with MultiprocessDistributedParticleFilter(
+            model, adaptive_cfg(n_filters=8), n_workers=4, fault_plan=plan,
+            on_failure="heal", recv_timeout=30.0,
+        ) as pf:
+            ests = drive(pf, steps=10)
+            assert pf.dead_workers == (1,)
+            widths_at_death = pf.widths.copy()
+            more = drive(pf, steps=4, seed=99)
+            # Allocation frozen while degraded: widths must not move.
+            np.testing.assert_array_equal(pf.widths, widths_at_death)
+        assert np.isfinite(ests).all() and np.isfinite(more).all()
+
+    def test_respawned_worker_adopts_donor_widths(self):
+        # With respawn enabled the dead block comes back carrying the
+        # master's width vector for its rows, then allocation resumes.
+        from repro.backends import MultiprocessDistributedParticleFilter
+        from repro.resilience import FaultPlan
+
+        model = lg_model()
+        plan = FaultPlan(seed=0).kill(worker=1, step=3)
+        with MultiprocessDistributedParticleFilter(
+            model, adaptive_cfg(n_filters=8), n_workers=4, fault_plan=plan,
+            on_failure="heal", respawn_dead=True, recv_timeout=30.0,
+        ) as pf:
+            ests = drive(pf, steps=12)
+            assert pf.report.respawns == 1
+            assert np.isfinite(ests).all()
+            cfg = pf.config
+            assert pf.widths.sum() == cfg.n_particles * cfg.n_filters
+
+
+class TestPooledToptRagged:
+    def test_all_to_all_with_ragged_widths(self):
+        pf = DistributedParticleFilter(
+            lg_model(), adaptive_cfg(topology="all-to-all", n_exchange=3))
+        ests = drive(pf, steps=15)
+        assert np.isfinite(ests).all()
+        assert_layout_invariants(pf)
+
+    def test_pooled_route_carries_no_padding_mass(self):
+        pf = DistributedParticleFilter(
+            lg_model(), adaptive_cfg(topology="all-to-all", n_exchange=4))
+        pf.initialize()
+        state = pf._state
+        state.widths = np.array([8, 2, 8, 8, 8, 8], dtype=np.int64)
+        apply_width_mask(state.log_weights, state.widths)
+        vector_stages.sort_by_weight(pf._ctx, state)
+        pooled_states, pooled_logw = vector_stages.exchange_pool(pf._ctx, state)
+        m = state.log_weights.shape[1]
+        # Received region: the global pool selects the best t across all
+        # rows by weight — padding (at -inf) can never beat a live particle
+        # while any live candidates remain.
+        assert np.isfinite(pooled_logw[:, m:]).all()
+        assert np.isfinite(pooled_states).all()

@@ -104,15 +104,17 @@ class TestShmChannelRoundtrip:
         try:
             z = np.array([0.5, -1.0, 2.0])
             master.send_phase1(z, None, k=0, t=lay.t_cap)
-            kind, z2, u2, k, t, trace = worker.recv()
+            kind, z2, u2, k, t, trace, widths = worker.recv()
             assert kind == "phase1" and k == 0 and t == lay.t_cap
             assert trace is False
+            assert widths is None
             np.testing.assert_array_equal(z2, z)
             assert u2 is None
 
             sent = self.fill_phase1_reply(worker, lay, k=0)
             msg = master.conn.recv()
-            send_s, send_w, best_s, best_w, partial, heal = master.decode_phase1(msg, lay.t_cap)
+            send_s, send_w, best_s, best_w, partial, heal, _ = \
+                master.decode_phase1(msg, lay.t_cap)
             np.testing.assert_array_equal(send_s, sent[0])
             np.testing.assert_array_equal(send_w, sent[1])
             np.testing.assert_array_equal(best_s, sent[2])
@@ -130,7 +132,7 @@ class TestShmChannelRoundtrip:
             f32 = np.array([1.0], dtype=np.float32)  # non-f64 keeps exact bits inline
             fell_back = master.send_phase1(big, f32, k=0, t=1)
             assert fell_back == 2 and master.fallbacks == 2
-            _, z2, u2, _, _, _ = worker.recv()
+            _, z2, u2, _, _, _, _ = worker.recv()
             np.testing.assert_array_equal(z2, big)
             assert u2.dtype == np.float32
             np.testing.assert_array_equal(u2, f32)

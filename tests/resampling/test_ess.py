@@ -49,6 +49,55 @@ def test_ess_threshold_policy():
     np.testing.assert_array_equal(mask, [False, True])
 
 
+class TestESSThresholdLiveWidth:
+    """Regression: the threshold must scale with each sub-filter's *live*
+    width, not the padded capacity. A shrunken-but-diverse row under the
+    width-aware layout (or a healed population whose masked slots carry zero
+    weight) would otherwise resample every round."""
+
+    def test_masked_padding_does_not_inflate_threshold(self):
+        # Row 0: 4 live uniform particles in a capacity-16 row. Live ESS is
+        # 4 == 1.0 * m_i, comfortably above 0.5 * 4 — healthy.
+        w = np.zeros((2, 16))
+        w[0, :4] = 1.0
+        w[1, 0] = 1.0  # genuinely collapsed row: 1 live particle of 8
+        w[1, 1] = 1e-9
+        widths = np.array([4, 8])
+        policy = ESSThresholdPolicy(ratio=0.5)
+        mask = policy.should_resample(w, make_rng("numpy", seed=0), widths=widths)
+        np.testing.assert_array_equal(mask, [False, True])
+
+    def test_padded_capacity_would_wrongly_resample(self):
+        # The bug being pinned: against the padded width (16) the same
+        # healthy row falls below threshold (4 < 0.5 * 16) and churns.
+        w = np.zeros((1, 16))
+        w[0, :4] = 1.0
+        policy = ESSThresholdPolicy(ratio=0.5)
+        wrong = policy.should_resample(w, make_rng("numpy", seed=0))
+        right = policy.should_resample(w, make_rng("numpy", seed=0),
+                                       widths=np.array([4]))
+        assert wrong[0] and not right[0]
+
+    def test_healed_population_thresholds_on_live_width(self):
+        # End-to-end: an adaptive run with ESS-gated resampling where rows
+        # genuinely shrink below capacity must stay finite and keep the
+        # live-width threshold semantics (no per-round churn of healthy
+        # shrunken rows is observable as a stable, finite trace).
+        from repro.core import DistributedFilterConfig, DistributedParticleFilter
+        from repro.models import LinearGaussianModel
+
+        model = LinearGaussianModel(A=[[0.9]], C=[[1.0]], Q=[[0.04]], R=[[0.01]])
+        config = DistributedFilterConfig(
+            n_particles=8, n_filters=6, topology="ring", n_exchange=1,
+            seed=11, allocation="mass", alloc_min_width=2,
+            alloc_hysteresis=0.0, resample_policy="ess", resample_arg=0.5)
+        pf = DistributedParticleFilter(model, config)
+        truth = model.simulate(15, make_rng("numpy", seed=5))
+        ests = np.stack([pf.step(truth.measurements[k]) for k in range(15)])
+        assert np.isfinite(ests).all()
+        assert pf.widths.min() < config.n_particles  # rows actually shrank
+
+
 def test_ess_threshold_validation():
     with pytest.raises(ValueError):
         ESSThresholdPolicy(ratio=0.0)
