@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench report examples all clean
+.PHONY: install test bench bench-kernels report examples all clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -12,6 +12,9 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-kernels:
+	$(PYTHON) -m repro.cli bench kernels -o BENCH_kernels.json
 
 report:
 	$(PYTHON) -m repro.cli report -o report.md

@@ -90,6 +90,7 @@ from repro.allocation import (
     subfilter_ess,
 )
 from repro.backends.transport import SlabLayout, make_transport
+from repro.core.dtypes import resolve_dtype_policy
 from repro.core.estimator import max_weight_estimate, weighted_mean_estimate
 from repro.core.parameters import DistributedFilterConfig, distributed_config_to_dict
 from repro.core.registry import make_policy, make_resampler
@@ -163,7 +164,11 @@ def _worker_loop(chan, model, config, block_lo, block_hi, worker_id,
     rng = TimingRNG(
         make_rng(config.rng, config.seed).spawn(1000 + worker_id + 100_000 * seed_tag), timer
     )
-    dtype = np.dtype(config.dtype)
+    from repro.kernels.forms import ExecutionPolicy
+
+    dtype_policy = resolve_dtype_policy(config.dtype_policy, config.dtype)
+    dtype = dtype_policy.state
+    wdt = dtype_policy.weight
     F = block_hi - block_lo
     m = config.n_particles
     m_cap = allocation_capacity(config)
@@ -174,6 +179,8 @@ def _worker_loop(chan, model, config, block_lo, block_hi, worker_id,
         resampler=make_resampler(config.resampler),
         policy=make_policy(config.resample_policy, config.resample_arg),
         dtype=dtype,
+        exec_policy=ExecutionPolicy.from_config(config.execution),
+        dtype_policy=dtype_policy,
     )
     tracer = Tracer()
     heal_hook = HealMonitorHook(tracer=tracer)
@@ -208,7 +215,7 @@ def _worker_loop(chan, model, config, block_lo, block_hi, worker_id,
                 if kind == "init":
                     flat = model.initial_particles(F * m, rng, dtype=dtype)
                     states = flat.reshape(F, m, model.state_dim)
-                    logw = np.zeros((F, m))
+                    logw = np.zeros((F, m), dtype=wdt)
                     widths = None
                     if adaptive:
                         states, logw = pad_population(states, logw, m_cap)
@@ -221,7 +228,7 @@ def _worker_loop(chan, model, config, block_lo, block_hi, worker_id,
                     state.reset(
                         np.ascontiguousarray(new_states, dtype=dtype).reshape(
                             F, m_cap, model.state_dim),
-                        np.asarray(new_logw, dtype=np.float64).reshape(F, m_cap).copy(),
+                        np.asarray(new_logw, dtype=wdt).reshape(F, m_cap).copy(),
                         widths=new_widths,
                     )
                     chan.send(("ok",))
@@ -270,7 +277,7 @@ def _worker_loop(chan, model, config, block_lo, block_hi, worker_id,
                 elif kind == "phase2":
                     _, recv_states, recv_logw = msg
                     if recv_states is not None and recv_states.shape[1] > 0:
-                        recv_logw = np.asarray(recv_logw, dtype=np.float64).copy()
+                        recv_logw = np.asarray(recv_logw, dtype=wdt).copy()
                         # Corrupted incoming particles must never be selected.
                         sanitize_log_weights(recv_logw, recv_states)
                         state.pooled_states = np.concatenate(
@@ -316,7 +323,7 @@ def _worker_loop(chan, model, config, block_lo, block_hi, worker_id,
                     state.reset(
                         np.ascontiguousarray(new_states, dtype=dtype).reshape(
                             F, m_cap, model.state_dim),
-                        np.asarray(new_logw, dtype=np.float64).reshape(F, m_cap).copy(),
+                        np.asarray(new_logw, dtype=wdt).reshape(F, m_cap).copy(),
                         widths=widths,
                     )
                     state.k = int(k)
@@ -452,12 +459,17 @@ class MultiprocessDistributedParticleFilter:
         # path for the affected rounds, so this is a fast path, not a limit.
         t_cap = max(config.n_exchange, 1)
         recv_cap = t_cap if self.topology.pooled else self._table.shape[1] * t_cap
+        # Slab field sizes derive from the resolved dtype policy: the wire
+        # format is exactly the in-memory format, so a float32 policy halves
+        # the per-round particle/weight payload end to end.
+        self.dtype_policy = resolve_dtype_policy(config.dtype_policy, config.dtype)
         self._layout = SlabLayout(
             n_block=self._block, n_particles=config.n_particles,
             state_dim=model.state_dim, t_cap=t_cap, recv_cap=max(recv_cap, 1),
             meas_cap=max(int(getattr(model, "measurement_dim", 1)), 1),
             ctrl_cap=max(int(getattr(model, "control_dim", 0)), 1),
-            dtype=config.dtype,
+            dtype=self.dtype_policy.state,
+            weight_dtype=self.dtype_policy.weight,
         )
 
     # -- process management -----------------------------------------------
@@ -833,8 +845,8 @@ class MultiprocessDistributedParticleFilter:
         # selects them. Reused across rounds.
         F, d = cfg.n_filters, self.model.state_dim
         tp = max(t, 1)
-        send_states = self._scratch("send_states", (F, tp, d), cfg.dtype)
-        send_logw = self._scratch("send_logw", (F, tp), np.float64)
+        send_states = self._scratch("send_states", (F, tp, d), self.dtype_policy.state)
+        send_logw = self._scratch("send_logw", (F, tp), self.dtype_policy.weight)
         best_states = self._scratch("best_states", (F, d), np.float64)
         best_logw = self._scratch("best_logw", (F,), np.float64)
         send_states[...] = 0.0
@@ -1056,7 +1068,7 @@ class MultiprocessDistributedParticleFilter:
             out_s, out_w = bufs
         else:
             out_s = self._scratch(f"recv_states.{w}", (B, width, d), send_states.dtype)
-            out_w = self._scratch(f"recv_logw.{w}", (B, width), np.float64)
+            out_w = self._scratch(f"recv_logw.{w}", (B, width), send_logw.dtype)
         src = np.maximum(rows, 0)
         np.take(send_states[:, :t], src, axis=0, out=out_s.reshape(B, D, t, d))
         np.take(send_logw[:, :t], src, axis=0, out=out_w.reshape(B, D, t))
@@ -1178,8 +1190,9 @@ class MultiprocessDistributedParticleFilter:
         for w in sorted(self.dead_workers):
             lo, hi = self._block_range(w)
             new_states = np.empty((self._block, self._capacity, self.model.state_dim),
-                                  dtype=np.dtype(cfg.dtype))
-            new_logw = np.zeros((self._block, self._capacity))
+                                  dtype=self.dtype_policy.state)
+            new_logw = np.zeros((self._block, self._capacity),
+                                dtype=self.dtype_policy.weight)
             new_widths = None
             if self._widths is not None:
                 # The revived block resumes at the widths the master has
@@ -1271,8 +1284,8 @@ class MultiprocessDistributedParticleFilter:
         if not snaps:
             raise CheckpointError("no live worker could be snapshotted")
         F, m, d = cfg.n_filters, self._capacity, self.model.state_dim
-        states = np.full((F, m, d), np.nan, dtype=np.dtype(cfg.dtype))
-        logw = np.full((F, m), np.nan)
+        states = np.full((F, m, d), np.nan, dtype=self.dtype_policy.state)
+        logw = np.full((F, m), np.nan, dtype=self.dtype_policy.weight)
         widths = None
         if self._widths is not None:
             # Worker-applied widths (the master's pending vector may be one
@@ -1437,8 +1450,9 @@ class MultiprocessDistributedParticleFilter:
         """
         cfg = self.config
         states = np.full((cfg.n_filters, self._capacity, self.model.state_dim),
-                         np.nan, dtype=np.dtype(cfg.dtype))
-        logw = np.full((cfg.n_filters, self._capacity), np.nan)
+                         np.nan, dtype=self.dtype_policy.state)
+        logw = np.full((cfg.n_filters, self._capacity), np.nan,
+                       dtype=self.dtype_policy.weight)
         for w in self._live_workers():
             self._send(w, ("get_state",))
         for w in self._live_workers():

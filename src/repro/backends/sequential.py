@@ -51,7 +51,13 @@ class SequentialDistributedParticleFilter:
         from repro.allocation import make_allocation_policy
 
         self.alloc_policy = make_allocation_policy(cfg)
-        self.dtype = np.dtype(cfg.dtype)
+        from repro.core.dtypes import resolve_dtype_policy
+
+        # The oracle never takes compiled shortcuts (it *is* the reference),
+        # but it honours the dtype policy so float32 runs can be validated
+        # against it on the same precision.
+        self.dtype_policy = resolve_dtype_policy(cfg.dtype_policy, cfg.dtype)
+        self.dtype = self.dtype_policy.state
         self._state = FilterState()
         self._ctx = ExecutionContext(
             model=model, config=cfg, rng=self.rng, resampler=self.resampler,
@@ -59,6 +65,7 @@ class SequentialDistributedParticleFilter:
             table=self.topology.neighbor_table(),
             mask=self.topology.neighbor_table() >= 0,
             alloc_policy=self.alloc_policy,
+            dtype_policy=self.dtype_policy,
         )
         self.tracer = Tracer()
         self.kernel_hook = KernelTimingHook(tracer=self.tracer)
@@ -118,7 +125,8 @@ class SequentialDistributedParticleFilter:
             self.model.initial_particles(cfg.n_particles, self.rng, dtype=self.dtype)
             for _ in range(cfg.n_filters)
         ])
-        log_weights = np.zeros((cfg.n_filters, cfg.n_particles))
+        log_weights = np.zeros((cfg.n_filters, cfg.n_particles),
+                               dtype=self.dtype_policy.weight)
         from repro.allocation import allocation_capacity, pad_population
 
         capacity = allocation_capacity(cfg)

@@ -98,12 +98,18 @@ class SlabLayout:
     meas_cap / ctrl_cap:
         float64 element capacity of the scatter slots.
     dtype:
-        the particle-state dtype (log-weights are always float64).
+        the particle-state dtype.
+    weight_dtype:
+        the log-weight dtype (default float64; a float32
+        :class:`~repro.core.dtypes.DtypePolicy` shrinks the weight slabs to
+        match so the wire format is exactly the in-memory format). Estimate
+        partials and allocation metrics stay float64 regardless — they are
+        reductions.
     """
 
     def __init__(self, n_block: int, n_particles: int, state_dim: int,
                  t_cap: int, recv_cap: int, meas_cap: int, ctrl_cap: int,
-                 dtype) -> None:
+                 dtype, weight_dtype=None) -> None:
         self.n_block = int(n_block)
         self.n_particles = int(n_particles)
         self.state_dim = int(state_dim)
@@ -112,13 +118,15 @@ class SlabLayout:
         self.meas_cap = int(meas_cap)
         self.ctrl_cap = int(ctrl_cap)
         self.dtype = np.dtype(dtype)
+        self.weight_dtype = np.dtype(np.float64 if weight_dtype is None else weight_dtype)
         B, d, f64 = self.n_block, self.state_dim, np.dtype(np.float64)
+        wdt = self.weight_dtype
         specs = [
             # gather (worker → master)
             ("send_states", (B, self.t_cap, d), self.dtype),
-            ("send_logw", (B, self.t_cap), f64),
+            ("send_logw", (B, self.t_cap), wdt),
             ("best_states", (B, d), self.dtype),
-            ("best_logw", (B,), f64),
+            ("best_logw", (B,), wdt),
             ("partial", (d + 2,), f64),
             # adaptive-allocation metrics (worker → master; fixed: unused)
             ("ess", (B,), f64),
@@ -127,7 +135,7 @@ class SlabLayout:
             ("widths", (B,), np.dtype(np.int64)),
             # routed exchange (master → worker)
             ("recv_states", (B, self.recv_cap, d), self.dtype),
-            ("recv_logw", (B, self.recv_cap), f64),
+            ("recv_logw", (B, self.recv_cap), wdt),
             # scatter (master → worker)
             ("meas", (self.meas_cap,), f64),
             ("ctrl", (self.ctrl_cap,), f64),

@@ -74,6 +74,8 @@ def _cmd_bench(args) -> int:
         return _cmd_bench_multiprocess(args)
     if target == "allocation":
         return _cmd_bench_allocation(args)
+    if target == "kernels":
+        return _cmd_bench_kernels(args)
     if target == "fig3":
         print(format_table(run_fig3()))
     elif target == "fig4":
@@ -109,13 +111,15 @@ def _cmd_bench_multiprocess(args) -> int:
         write_report,
     )
 
-    report = run_multiprocess_bench(grid=args.grid, steps=args.steps,
-                                    warmup=args.warmup, trace_path=args.trace,
+    steps = args.steps if args.steps is not None else 30
+    warmup = args.warmup if args.warmup is not None else 3
+    report = run_multiprocess_bench(grid=args.grid, steps=steps,
+                                    warmup=warmup, trace_path=args.trace,
                                     allocation=args.allocation)
     if args.trace:
         print(f"wrote {args.trace}")
     if args.assert_overhead is not None:
-        overhead = measure_telemetry_overhead(steps=args.steps, warmup=args.warmup)
+        overhead = measure_telemetry_overhead(steps=steps, warmup=warmup)
         report["telemetry_overhead"] = overhead
         frac = overhead["overhead_fraction"]
         if frac > args.assert_overhead:
@@ -147,6 +151,37 @@ def _cmd_bench_multiprocess(args) -> int:
                   f"{args.assert_speedup:.2f}x on the largest config", file=sys.stderr)
             return 1
         print(f"shm speedup {speedup:.2f}x >= {args.assert_speedup:.2f}x")
+    return 0
+
+
+def _cmd_bench_kernels(args) -> int:
+    from repro.bench.kernels import run_kernel_bench, write_report
+
+    steps = args.steps if args.steps is not None else 400
+    warmup = args.warmup if args.warmup is not None else 50
+    report = run_kernel_bench(grid=args.grid, steps=steps, warmup=warmup)
+    for row in report["rows"]:
+        print(f"F={row['n_filters']:>4} m={row['m']:>4}  "
+              f"reference {row['reference_float64_steps_per_s']:8.1f} st/s  "
+              f"compiled/f32 {row['compiled_float32_steps_per_s']:8.1f} st/s  "
+              f"speedup {row['speedup']:5.2f}x  "
+              f"parity={'ok' if row['compiled_mixed_bit_identical'] else 'MISMATCH'}")
+    for krow in report["kernels"]:
+        print(f"kernel {krow['kernel']:>12} (n={krow['n']}): "
+              f"reference {krow['reference_us']:7.2f}us  "
+              f"compiled {krow['compiled_us']:7.2f}us  "
+              f"speedup {krow['speedup']:5.2f}x")
+    best = report["summary"]["best_speedup"] or 0.0
+    bc = report["summary"]["best_config"]
+    print(f"best speedup {best:.2f}x at F={bc.get('n_filters')} m={bc.get('m')} "
+          f"(numba={'yes' if report['numba'] else 'no'})")
+    if args.output:
+        write_report(report, args.output)
+        print(f"wrote {args.output}")
+    if args.assert_speedup is not None and best < args.assert_speedup:
+        print(f"FAIL: best compiled/float32 speedup {best:.2f}x < required "
+              f"{args.assert_speedup:.2f}x", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -340,22 +375,27 @@ def _cmd_kernels(args) -> int:
     from repro.bench.harness import format_table
     from repro.device.costmodel import CostModel
     from repro.device.spec import get_platform
+    from repro.kernels.forms import ExecutionPolicy
     from repro.kernels.registry import CostParams, default_registry
 
     spec = get_platform(args.platform)
     cm = CostModel(spec)
     reg = default_registry()
+    policy = ExecutionPolicy.from_config(args.execution)
     params = CostParams(m=args.particles, state_dim=args.state_dim, n_groups=args.filters)
     rows = []
     for name in reg.names():
         kdef = reg.get(name)
         wl = kdef.workload(params)
-        forms = "+".join(
-            f for f, impl in (("batch", kdef.batch), ("wg", kdef.workgroup)) if impl is not None
-        ) or "cost-only"
+        # Every execution form the kernel registers (reference/workgroup
+        # builtins plus named extras like "compiled"), and the form the
+        # active ExecutionPolicy would actually dispatch.
+        forms = "+".join(reg.forms_of(name)) or "cost-only"
+        selected = policy.select(kdef)
         rows.append({
             "kernel": name,
             "forms": forms,
+            "runs": selected[0] if selected is not None else "-",
             "kflops": wl.flops / 1e3,
             "kB_rd": wl.bytes_read / 1e3,
             "kB_wr": wl.bytes_written / 1e3,
@@ -364,7 +404,8 @@ def _cmd_kernels(args) -> int:
             "us": cm.kernel_def_time(kdef, params) * 1e6,
         })
     print(f"{len(rows)} registered kernels on {spec.name} "
-          f"(m={args.particles}, N={args.filters}, d={args.state_dim}):")
+          f"(m={args.particles}, N={args.filters}, d={args.state_dim}, "
+          f"execution={args.execution}):")
     print(format_table(rows))
     return 0
 
@@ -386,16 +427,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     b = sub.add_parser("bench", help="regenerate one figure/table, or run the transport benchmark")
     b.add_argument("figure", choices=["fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-                                      "fig9", "tables", "multiprocess", "allocation"])
+                                      "fig9", "tables", "multiprocess", "allocation",
+                                      "kernels"])
     b.add_argument("--grid", default="default", choices=["smoke", "default", "full"],
-                   help="(multiprocess) benchmark grid size")
-    b.add_argument("--steps", type=int, default=30, help="(multiprocess) timed steps per config")
-    b.add_argument("--warmup", type=int, default=3, help="(multiprocess) untimed warmup steps")
+                   help="(multiprocess/kernels) benchmark grid size")
+    b.add_argument("--steps", type=int, default=None,
+                   help="(multiprocess/kernels) timed steps per config "
+                        "(default: 30 multiprocess, 400 kernels)")
+    b.add_argument("--warmup", type=int, default=None,
+                   help="(multiprocess/kernels) untimed warmup steps "
+                        "(default: 3 multiprocess, 50 kernels)")
     b.add_argument("--output", "-o", default=None,
-                   help="(multiprocess) write the JSON report here")
+                   help="(multiprocess/kernels) write the JSON report here")
     b.add_argument("--assert-speedup", type=float, default=None,
                    help="(multiprocess) fail unless shm/pipe speedup on the largest "
-                        "config reaches this factor")
+                        "config reaches this factor; (kernels) fail unless the "
+                        "best compiled/float32 speedup reaches it")
     b.add_argument("--trace", default=None, metavar="FILE",
                    help="(multiprocess) also record the merged step/stage/kernel "
                         "timeline and write it as a Chrome trace_event file")
@@ -477,6 +524,9 @@ def build_parser() -> argparse.ArgumentParser:
     k.add_argument("--particles", type=int, default=512, help="particles per sub-filter (m)")
     k.add_argument("--filters", type=int, default=64, help="number of sub-filters (N)")
     k.add_argument("--state-dim", type=int, default=9, help="state dimension")
+    k.add_argument("--execution", choices=["reference", "compiled"], default="reference",
+                   help="execution policy used for the `runs` column "
+                        "(which form each kernel would dispatch)")
     k.set_defaults(func=_cmd_kernels)
     return p
 

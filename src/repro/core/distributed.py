@@ -70,13 +70,19 @@ class DistributedParticleFilter:
         self.resampler = make_resampler(cfg.resampler)
         self.policy = make_policy(cfg.resample_policy, cfg.resample_arg)
         self.alloc_policy = make_allocation_policy(cfg)
-        self.dtype = np.dtype(cfg.dtype)
+        from repro.core.dtypes import resolve_dtype_policy
+        from repro.kernels.forms import ExecutionPolicy
+
+        self.dtype_policy = resolve_dtype_policy(cfg.dtype_policy, cfg.dtype)
+        self.exec_policy = ExecutionPolicy.from_config(cfg.execution)
+        self.dtype = self.dtype_policy.state
         self._state = FilterState()
         self._ctx = ExecutionContext(
             model=model, config=cfg, rng=self.rng, resampler=self.resampler,
             policy=self.policy, dtype=self.dtype, topology=self.topology,
             table=self._table, mask=self._mask, owner=self,
             alloc_policy=self.alloc_policy,
+            exec_policy=self.exec_policy, dtype_policy=self.dtype_policy,
         )
         # Telemetry: span recording is off until an exporter is attached (or
         # ``tracer.enabled`` is set); the hooks below then emit step/stage/
@@ -84,9 +90,29 @@ class DistributedParticleFilter:
         self.tracer = Tracer()
         self.kernel_hook = KernelTimingHook(
             tracer=self.tracer, cost_params=self._cost_params)
-        self.pipeline = build_vector_pipeline(
-            hooks=[TimerHook(self.timer, tracer=self.tracer), self.kernel_hook,
-                   AllocationTelemetryHook(tracer=self.tracer)])
+        # Non-default execution/dtype policies are stamped onto every step
+        # span; default runs emit byte-identical telemetry to older builds.
+        span_attrs = None
+        if cfg.execution != "reference" or cfg.dtype_policy != "mixed":
+            span_attrs = {"execution": cfg.execution,
+                          "dtype_policy": cfg.dtype_policy}
+        hooks = [TimerHook(self.timer, tracer=self.tracer, span_attrs=span_attrs),
+                 self.kernel_hook]
+        from repro.engine.fused import build_fused_pipeline, fused_pipeline_applicable
+
+        if fused_pipeline_applicable(self):
+            # The fused envelope requires fixed allocation, so the allocation
+            # telemetry hook would have nothing to report every round.
+            self.pipeline = build_fused_pipeline(hooks=hooks)
+        else:
+            hooks.append(AllocationTelemetryHook(tracer=self.tracer))
+            self.pipeline = build_vector_pipeline(hooks=hooks)
+        if cfg.execution != "reference":
+            # Trigger any JIT compilation (numba, when present) during
+            # construction so the first timed step pays no warm-up cost.
+            from repro.kernels.registry import default_registry
+
+            self.exec_policy.warm_up(default_registry())
 
     def _cost_params(self):
         """The shape the kernel cost signatures are evaluated at (span attrs).
@@ -164,7 +190,8 @@ class DistributedParticleFilter:
         flat = self.model.initial_particles(cfg.total_particles, self.rng, dtype=self.dtype)
         states = np.ascontiguousarray(
             flat.reshape(cfg.n_filters, cfg.n_particles, self.model.state_dim))
-        log_weights = np.zeros((cfg.n_filters, cfg.n_particles), dtype=np.float64)
+        log_weights = np.zeros((cfg.n_filters, cfg.n_particles),
+                               dtype=self.dtype_policy.weight)
         capacity = allocation_capacity(cfg)
         widths = None
         if capacity != cfg.n_particles:

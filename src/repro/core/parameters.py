@@ -92,6 +92,16 @@ class DistributedFilterConfig:
     #: proposal differs from the current width by more than this fraction.
     alloc_hysteresis: float = 0.25
     dtype: object = np.float32
+    #: execution-form preference: ``"reference"`` (the historical batched-
+    #: NumPy forms — every golden trace pins this) or ``"compiled"``
+    #: (fused/JIT forms where a kernel provides them, reference otherwise).
+    #: See :class:`repro.kernels.forms.ExecutionPolicy`.
+    execution: str = "reference"
+    #: per-role precision: ``"mixed"`` (states at ``dtype``, float64
+    #: log-weights and reductions — the historical behaviour), ``"float32"``
+    #: (float32 states *and* log-weights, float64 reductions) or
+    #: ``"float64"`` (everything double). See :mod:`repro.core.dtypes`.
+    dtype_policy: str = "mixed"
     rng: str = "numpy"
     seed: int = 0
 
@@ -139,6 +149,13 @@ class DistributedFilterConfig:
                     f"({self.n_particles}) so the initial equal split is feasible")
             object.__setattr__(self, "alloc_min_width", int(min_w))
             object.__setattr__(self, "alloc_max_width", int(max_w))
+        if self.execution not in ("reference", "compiled"):
+            raise ValueError(
+                f"execution must be 'reference' or 'compiled', got {self.execution!r}")
+        if self.dtype_policy not in ("mixed", "float32", "float64"):
+            raise ValueError(
+                f"dtype_policy must be 'mixed', 'float32' or 'float64', "
+                f"got {self.dtype_policy!r}")
         object.__setattr__(self, "dtype", check_dtype(self.dtype))
 
     @property

@@ -29,10 +29,13 @@ from repro.engine.hooks import (
 from repro.engine.pipeline import StepPipeline
 from repro.engine.stage import STAGE_NAMES, ExecutionContext, Stage
 from repro.engine.state import FilterState
+from repro.engine.fused import FusedStepStage, build_fused_pipeline
 from repro.engine.loop_stages import build_loop_pipeline
 from repro.engine.vector_stages import build_vector_pipeline
 
 __all__ = [
+    "FusedStepStage",
+    "build_fused_pipeline",
     "ExecutionContext",
     "FilterState",
     "AllocationTelemetryHook",

@@ -58,14 +58,23 @@ class TimerHook(StageHook):
     byte-for-byte what they were before the telemetry spine existed.
     """
 
-    def __init__(self, timer: PhaseTimer | None = None, tracer=None):
+    def __init__(self, timer: PhaseTimer | None = None, tracer=None,
+                 span_attrs: dict | None = None):
         self.timer = timer if timer is not None else PhaseTimer()
         self.tracer = tracer
+        #: extra attributes stamped on every ``step`` span (e.g. the active
+        #: execution form / dtype policy). ``None`` keeps step spans
+        #: byte-identical to builds that predate execution-form dispatch.
+        self.span_attrs = span_attrs
 
     def on_step_start(self, state: FilterState) -> None:
         tracer = self.tracer
         if tracer is not None and tracer.enabled:
-            tracer.begin(f"step {state.k}", "step", k=state.k)
+            if self.span_attrs:
+                tracer.begin(f"step {state.k}", "step", k=state.k,
+                             **self.span_attrs)
+            else:
+                tracer.begin(f"step {state.k}", "step", k=state.k)
 
     def on_stage_start(self, name: str, state: FilterState) -> None:
         self.timer.start(name)

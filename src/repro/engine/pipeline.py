@@ -29,15 +29,89 @@ from repro.engine.state import FilterState
 from repro.telemetry.tracer import warn_hook_error_once
 
 
+_HOOK_METHODS = ("on_step_start", "on_stage_start", "on_stage_end", "on_step_end")
+
+
+class _HookList(list):
+    """A hook list that invalidates its pipeline's dispatch table on mutation.
+
+    Tests (and embedders) mutate ``pipeline.hooks`` in place — ``insert``,
+    ``append``, wholesale replacement — so the prebuilt per-callback dispatch
+    below can never trust its cache across a mutation. Every mutating method
+    drops the cache; :meth:`StepPipeline.fire` rebuilds lazily.
+    """
+
+    __slots__ = ("_owner",)
+
+    def __init__(self, iterable, owner):
+        super().__init__(iterable)
+        self._owner = owner
+
+    def _invalidate(self):
+        self._owner._dispatch = None
+
+    def append(self, x):
+        super().append(x)
+        self._invalidate()
+
+    def extend(self, xs):
+        super().extend(xs)
+        self._invalidate()
+
+    def insert(self, i, x):
+        super().insert(i, x)
+        self._invalidate()
+
+    def remove(self, x):
+        super().remove(x)
+        self._invalidate()
+
+    def pop(self, i=-1):
+        out = super().pop(i)
+        self._invalidate()
+        return out
+
+    def clear(self):
+        super().clear()
+        self._invalidate()
+
+    def __setitem__(self, i, x):
+        super().__setitem__(i, x)
+        self._invalidate()
+
+    def __delitem__(self, i):
+        super().__delitem__(i)
+        self._invalidate()
+
+    def __iadd__(self, xs):
+        out = super().__iadd__(xs)
+        self._invalidate()
+        return out
+
+    def sort(self, **kw):
+        super().sort(**kw)
+        self._invalidate()
+
+
 class StepPipeline:
     """Ordered stage list + observer hooks for one filtering round."""
 
     def __init__(self, stages: Sequence[Stage], hooks: Iterable[StageHook] = ()):
         self.stages = list(stages)
-        self.hooks = list(hooks)
+        self._hooks = _HookList(hooks, self)
+        self._dispatch: dict | None = None
         #: hook callbacks that raised and were suppressed (observers must
         #: never abort the filter step they observe).
         self.telemetry_errors = 0
+
+    @property
+    def hooks(self) -> list:
+        return self._hooks
+
+    @hooks.setter
+    def hooks(self, value) -> None:
+        self._hooks = _HookList(value, self)
+        self._dispatch = None
 
     @property
     def stage_names(self) -> tuple[str, ...]:
@@ -45,18 +119,42 @@ class StepPipeline:
 
     def add_hook(self, hook: StageHook) -> StageHook:
         """Attach *hook*; returns it for chaining."""
-        self.hooks.append(hook)
+        self._hooks.append(hook)
         return hook
 
     def remove_hook(self, hook: StageHook) -> None:
-        self.hooks.remove(hook)
+        self._hooks.remove(hook)
 
     # -- hook dispatch ---------------------------------------------------------
+    def _rebuild_dispatch(self) -> dict:
+        """Bound callbacks per event, skipping base-class no-op overrides.
+
+        A hook that inherits :class:`StageHook`'s empty callback for an event
+        contributes nothing to it; filtering those out here keeps the per-step
+        ``fire`` loop to the callbacks that actually observe something.
+        """
+        dispatch = {}
+        for method in _HOOK_METHODS:
+            base = getattr(StageHook, method)
+            dispatch[method] = [
+                (h, getattr(h, method)) for h in self._hooks
+                if getattr(type(h), method, None) is not base
+                and hasattr(h, method)
+            ]
+        self._dispatch = dispatch
+        return dispatch
+
     def fire(self, method: str, *args) -> None:
         """Invoke ``hook.<method>(*args)`` on every hook, isolating failures."""
-        for h in self.hooks:
+        dispatch = self._dispatch
+        if dispatch is None:
+            dispatch = self._rebuild_dispatch()
+        callbacks = dispatch.get(method)
+        if callbacks is None:  # non-standard event name: dispatch dynamically
+            callbacks = [(h, getattr(h, method)) for h in self._hooks]
+        for h, cb in callbacks:
             try:
-                getattr(h, method)(*args)
+                cb(*args)
             except Exception:
                 self.telemetry_errors += 1
                 warn_hook_error_once(f"{type(h).__name__}.{method}")

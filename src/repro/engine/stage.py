@@ -75,6 +75,17 @@ class ExecutionContext:
     #: the :class:`~repro.allocation.AllocationPolicy` deciding per-round
     #: widths; ``None`` (or the fixed policy) keeps widths frozen.
     alloc_policy: object = None
+    #: the :class:`~repro.kernels.forms.ExecutionPolicy` selecting which
+    #: execution form each kernel dispatch resolves to; ``None`` means the
+    #: historical behaviour (always the reference batch form).
+    exec_policy: object = None
+    #: the resolved :class:`~repro.core.dtypes.DtypePolicy` for this run;
+    #: ``None`` means the historical mixed behaviour (state at ``dtype``,
+    #: float64 weights and reductions).
+    dtype_policy: object = None
+
+    def __post_init__(self):
+        self._form_cache: dict[str, object] = {}
 
     def kernel_registry(self):
         """The kernel registry stages dispatch through (lazily defaulted)."""
@@ -84,17 +95,45 @@ class ExecutionContext:
             self.registry = default_registry()
         return self.registry
 
-    def invoke_kernel(self, state: FilterState, name: str, *args, **kwargs):
-        """Run a registered batch kernel and record ``(name, elapsed, start)``.
+    def weight_dtype(self) -> np.dtype:
+        """The dtype carried log-weights use under the active dtype policy."""
+        if self.dtype_policy is None:
+            return np.dtype(np.float64)
+        return self.dtype_policy.weight
 
-        Pure routing — the returned value is exactly what the registered
+    def kernel_impl(self, name: str):
+        """The callable the active execution policy selects for *name*.
+
+        Selection walks the policy's form preference once per kernel name
+        and is then cached — ``invoke_kernel`` stays one dict lookup on the
+        hot path. Without a policy (or when selection yields nothing) this
+        is exactly the old ``registry.batch(name)`` resolution, including
+        its ``ValueError`` for kernels with no batch implementation.
+        """
+        impl = self._form_cache.get(name)
+        if impl is None:
+            registry = self.kernel_registry()
+            if self.exec_policy is None:
+                impl = registry.batch(name)
+            else:
+                selected = self.exec_policy.select(registry.get(name))
+                impl = registry.batch(name) if selected is None else selected[1]
+            self._form_cache[name] = impl
+        return impl
+
+    def invoke_kernel(self, state: FilterState, name: str, *args, **kwargs):
+        """Run a registered kernel and record ``(name, elapsed, start)``.
+
+        Pure routing — the returned value is exactly what the selected
         implementation returns — plus a timing event appended to
         ``state.kernel_events``, which a
         :class:`~repro.engine.hooks.KernelTimingHook` drains into per-kernel
         seconds (and, when tracing, kernel spans with real timestamps) on
-        every backend uniformly.
+        every backend uniformly. Which implementation runs is decided by
+        the context's :class:`~repro.kernels.forms.ExecutionPolicy` (see
+        :meth:`kernel_impl`); the event contract is form-independent.
         """
-        impl = self.kernel_registry().batch(name)
+        impl = self.kernel_impl(name)
         start = time.perf_counter()
         out = impl(*args, **kwargs)
         state.kernel_events.append((name, time.perf_counter() - start, start))

@@ -102,15 +102,20 @@ class FilterState:
     def scratch(self, key: str, shape: tuple, dtype) -> np.ndarray:
         """A reusable uninitialised buffer of the given shape/dtype.
 
-        The buffer persists under *key* across rounds, so stages that call
-        this every step allocate only on the first round (or when the shape
-        changes). Contents are garbage — callers must overwrite fully.
+        The pool is keyed by ``(key, shape, dtype)``, so a float32 request
+        can never be served a float64 buffer that happens to sit under the
+        same name (dtype-policy safety: a recycled buffer of the wrong
+        precision would otherwise silently upcast a whole round). Buffers
+        persist across rounds, so stages that call this every step allocate
+        only on the first round (or when the shape or dtype changes).
+        Contents are garbage — callers must overwrite fully.
         """
         dtype = np.dtype(dtype)
-        arr = self._scratch.get(key)
-        if arr is None or arr.shape != tuple(shape) or arr.dtype != dtype:
+        pool_key = (key, tuple(shape), dtype)
+        arr = self._scratch.get(pool_key)
+        if arr is None:
             arr = np.empty(shape, dtype=dtype)
-            self._scratch[key] = arr
+            self._scratch[pool_key] = arr
         return arr
 
     def recycle(self, key: str, arr: np.ndarray) -> None:
@@ -119,9 +124,11 @@ class FilterState:
         Used after an out-of-place gather: the freshly filled scratch buffer
         becomes the live array and the *old* live array is recycled here, so
         the next round's :meth:`scratch` never hands back a buffer aliasing
-        its own input.
+        its own input. The donated array is keyed by its *own* shape and
+        dtype — a later :meth:`scratch` call only receives it when both
+        match exactly.
         """
-        self._scratch[key] = arr
+        self._scratch[(key, arr.shape, arr.dtype)] = arr
 
     def clear_round(self) -> None:
         """Drop per-round scratch (pooled sets, measurement, estimate)."""

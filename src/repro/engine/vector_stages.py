@@ -187,7 +187,7 @@ def exchange_pool(ctx: ExecutionContext, state: FilterState) -> tuple[np.ndarray
         recv_states, recv_logw = ctx.invoke_kernel(
             state, "route_pairwise", send_states, send_logw, ctx.table, ctx.mask,
             out_states=state.scratch("exch.recv_states", (F, width, d), send_states.dtype),
-            out_logw=state.scratch("exch.recv_logw", (F, width), np.float64),
+            out_logw=state.scratch("exch.recv_logw", (F, width), send_logw.dtype),
         )
 
     # Pool = [own | received], assembled in reusable buffers instead of a
@@ -196,7 +196,8 @@ def exchange_pool(ctx: ExecutionContext, state: FilterState) -> tuple[np.ndarray
     pooled_states = state.scratch("exch.pooled_states", (F, m + width, d), state.states.dtype)
     pooled_states[:, :m] = state.states
     pooled_states[:, m:] = recv_states
-    pooled_logw = state.scratch("exch.pooled_logw", (F, m + width), np.float64)
+    pooled_logw = state.scratch("exch.pooled_logw", (F, m + width),
+                                state.log_weights.dtype)
     pooled_logw[:, :m] = state.log_weights
     pooled_logw[:, m:] = recv_logw
     return pooled_states, pooled_logw

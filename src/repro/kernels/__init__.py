@@ -32,6 +32,13 @@ from repro.kernels.metropolis import (
     metropolis_resample_batch,
     metropolis_workgroup,
 )
+from repro.kernels.forms import (
+    COMPILED_FORM,
+    REFERENCE_FORM,
+    ExecutionPolicy,
+    maybe_njit,
+    numba_available,
+)
 from repro.kernels.reduce import argmax_reduce_batch, max_reduce_batch, tree_reduce_workgroup
 from repro.kernels.exchange import mask_dead_sources, route_pairwise, route_pooled
 from repro.kernels.registry import (
@@ -68,6 +75,11 @@ __all__ = [
     "default_metropolis_steps",
     "metropolis_resample_batch",
     "metropolis_workgroup",
+    "COMPILED_FORM",
+    "REFERENCE_FORM",
+    "ExecutionPolicy",
+    "maybe_njit",
+    "numba_available",
     "CostParams",
     "CostSig",
     "KernelDef",

@@ -1,0 +1,180 @@
+"""Execution-form selection: which implementation of a kernel actually runs.
+
+PR 3's registry bound every kernel to two forms — the batched-NumPy
+``batch`` form the filters execute and the lock-step ``workgroup`` form the
+device simulator validates. This module generalizes that binding into an
+open *execution-form* set: a :class:`~repro.kernels.registry.KernelDef` may
+register any number of named extra forms (``compiled`` being the canonical
+one — a Numba ``@njit``-compiled or hand-fused NumPy variant), and an
+:class:`ExecutionPolicy` decides, per kernel, which form a backend's
+``ctx.invoke_kernel`` dispatch resolves to.
+
+The policy is deliberately boring: an ordered preference list with
+per-kernel overrides, availability probing (a preferred form that is not
+registered, or whose probe fails, is silently skipped), and an unconditional
+fallback to the ``reference`` batch form — so a machine without Numba, or a
+kernel without a compiled variant, degrades to exactly the behaviour every
+golden trace pins.
+
+``warm_up`` exists because JIT compilation must never land inside a timed
+span: it runs each selected non-reference form once on tiny synthetic
+inputs before the benchmark (or filter) starts timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernels.registry import KernelDef, KernelRegistry
+
+#: the form every backend ran before execution-form dispatch existed; the
+#: unconditional fallback of every policy.
+REFERENCE_FORM = "reference"
+
+#: the conventional name for a fused / JIT-compiled variant.
+COMPILED_FORM = "compiled"
+
+_NUMBA_AVAILABLE: bool | None = None
+
+
+def numba_available() -> bool:
+    """Whether ``numba.njit`` can be imported on this interpreter (cached)."""
+    global _NUMBA_AVAILABLE
+    if _NUMBA_AVAILABLE is None:
+        try:
+            from numba import njit  # noqa: F401
+
+            _NUMBA_AVAILABLE = True
+        except Exception:
+            _NUMBA_AVAILABLE = False
+    return _NUMBA_AVAILABLE
+
+
+def maybe_njit(func: Callable | None = None, **options) -> Callable:
+    """``numba.njit(cache=True)`` when Numba is importable, identity otherwise.
+
+    Lets a compiled form be written once as plain NumPy-compatible Python:
+    with Numba present it JIT-compiles (first call pays the compile, which
+    :meth:`ExecutionPolicy.warm_up` hoists out of timed spans); without it
+    the same function body runs as ordinary Python, so the form stays
+    *available* — merely slower — and the A/B harness can still measure it.
+    """
+    def decorate(f: Callable) -> Callable:
+        if not numba_available():
+            return f
+        from numba import njit
+
+        options.setdefault("cache", True)
+        return njit(**options)(f)
+
+    return decorate(func) if func is not None else decorate
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """Form preference order + per-kernel overrides + availability probes.
+
+    ``prefer`` is walked front to back; the first form the kernel actually
+    provides (and whose probe, if any, passes) wins. ``overrides`` replaces
+    the preference list for a single kernel name. ``reference`` (alias
+    ``batch``) always resolves — it is implicitly appended — so selection
+    can never fail for a kernel that has a batch implementation.
+    """
+
+    prefer: tuple[str, ...] = (REFERENCE_FORM,)
+    overrides: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    probes: dict[str, Callable[[], bool]] = field(default_factory=dict)
+
+    @classmethod
+    def from_config(cls, execution: str) -> ExecutionPolicy:
+        """The policy a ``DistributedFilterConfig.execution`` string names."""
+        if execution in (REFERENCE_FORM, "batch"):
+            return cls()
+        if execution == COMPILED_FORM:
+            return cls(prefer=(COMPILED_FORM, REFERENCE_FORM))
+        raise ValueError(
+            f"execution must be 'reference' or 'compiled', got {execution!r}")
+
+    # -- selection ----------------------------------------------------------
+    def preference_for(self, kernel_name: str) -> tuple[str, ...]:
+        pref = self.overrides.get(kernel_name, self.prefer)
+        if REFERENCE_FORM not in pref:
+            pref = (*pref, REFERENCE_FORM)
+        return pref
+
+    def _probe_ok(self, form_name: str) -> bool:
+        probe = self.probes.get(form_name)
+        if probe is None:
+            return True
+        try:
+            return bool(probe())
+        except Exception:
+            return False
+
+    def available_forms(self, kdef: KernelDef) -> tuple[str, ...]:
+        """Every form *kdef* provides, reference first, extras sorted."""
+        forms = []
+        if kdef.batch is not None:
+            forms.append(REFERENCE_FORM)
+        if kdef.workgroup is not None:
+            forms.append("workgroup")
+        forms.extend(sorted(kdef.forms))
+        return tuple(forms)
+
+    def select(self, kdef: KernelDef) -> tuple[str, Callable] | None:
+        """``(form_name, impl)`` this policy runs for *kdef*.
+
+        Returns ``None`` only for cost-only kernels (no batch form and no
+        preferred extra form) — callers treat that exactly like the old
+        ``registry.batch`` ``ValueError`` path.
+        """
+        for form_name in self.preference_for(kdef.name):
+            if form_name in (REFERENCE_FORM, "batch"):
+                impl = kdef.batch
+            elif form_name == "workgroup":
+                impl = kdef.workgroup
+            else:
+                impl = kdef.forms.get(form_name)
+            if impl is not None and self._probe_ok(form_name):
+                return form_name, impl
+        return None
+
+    # -- warm-up ------------------------------------------------------------
+    def warm_up(self, registry: KernelRegistry, names=None, m: int = 8) -> list[str]:
+        """Run each selected non-reference form once, outside timed spans.
+
+        Uses the kernel's ``make_inputs`` validation adapter for synthetic
+        arguments where it exists (size *m*); kernels without one are
+        skipped. JIT compilation — and Numba's on-disk cache population —
+        therefore happens here, never inside a benchmark measurement.
+        Returns the kernel names actually warmed.
+        """
+        warmed = []
+        rng = np.random.default_rng(0)
+        for name in (registry.names() if names is None else names):
+            kdef = registry.get(name)
+            selected = self.select(kdef)
+            if selected is None or selected[0] == REFERENCE_FORM:
+                continue
+            if kdef.make_inputs is None:
+                continue
+            try:
+                inputs = kdef.make_inputs(rng, m)
+                selected[1](*inputs.values())
+                warmed.append(name)
+            except Exception:
+                continue
+        return warmed
+
+
+__all__ = [
+    "COMPILED_FORM",
+    "ExecutionPolicy",
+    "REFERENCE_FORM",
+    "maybe_njit",
+    "numba_available",
+]

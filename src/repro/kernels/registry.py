@@ -68,6 +68,10 @@ __all__ = [
     "weight_argsort_batch",
 ]
 
+#: form names every kernel implicitly understands; anything else resolves
+#: through :attr:`KernelDef.forms` (see :mod:`repro.kernels.forms`).
+_BUILTIN_FORMS = ("batch", "reference", "workgroup")
+
 
 # ---------------------------------------------------------------------------
 # Cost signatures
@@ -186,7 +190,12 @@ class KernelDef:
 
     ``batch``/``workgroup`` are the public implementations the engine and
     the device pipeline dispatch to (either may be ``None`` for cost-only
-    stage signatures like ``rand``). The ``make_inputs``/``run_batch``/
+    stage signatures like ``rand``). ``forms`` holds any number of extra
+    named execution forms — conventionally ``"compiled"`` for a fused /
+    JIT-compiled variant — selected at dispatch time by an
+    :class:`~repro.kernels.forms.ExecutionPolicy`; ``"batch"`` (alias
+    ``"reference"``) and ``"workgroup"`` remain implicit form names for the
+    two classic slots. The ``make_inputs``/``run_batch``/
     ``run_workgroup``/``compare``/``make_params`` adapters define the
     differential-validation protocol; a kernel carrying all of them is
     *validatable* and is picked up automatically by the parametrized parity
@@ -198,6 +207,7 @@ class KernelDef:
     cost: CostSig
     batch: Callable | None = None
     workgroup: Callable | None = None
+    forms: dict[str, Callable] = field(default_factory=dict)
     make_inputs: Callable[[np.random.Generator, int], dict[str, Any]] | None = None
     run_batch: Callable[[dict[str, Any]], np.ndarray] | None = None
     run_workgroup: Callable[[WorkGroup, dict[str, Any]], np.ndarray] | None = None
@@ -258,12 +268,44 @@ class KernelRegistry:
             raise ValueError(f"kernel {name!r} has no work-group implementation")
         return impl
 
+    def register_form(self, name: str, form_name: str, impl: Callable) -> None:
+        """Attach an extra execution form to an already-registered kernel."""
+        if form_name in _BUILTIN_FORMS:
+            raise ValueError(
+                f"form name {form_name!r} is reserved; set the kernel's "
+                f"batch/workgroup slot instead")
+        kdef = self.get(name)
+        if form_name in kdef.forms:
+            raise ValueError(f"kernel {name!r} already has a {form_name!r} form")
+        kdef.forms[form_name] = impl
+
+    def form(self, name: str, form_name: str) -> Callable:
+        """The named execution form of kernel *name* (raises if absent)."""
+        if form_name in ("batch", "reference"):
+            return self.batch(name)
+        if form_name == "workgroup":
+            return self.workgroup(name)
+        impl = self.get(name).forms.get(form_name)
+        if impl is None:
+            raise ValueError(
+                f"form must be one of {self.forms_of(name)} for kernel "
+                f"{name!r}; got {form_name!r}")
+        return impl
+
+    def forms_of(self, name: str) -> tuple[str, ...]:
+        """Every executable form of kernel *name* (reference first)."""
+        kdef = self.get(name)
+        forms = []
+        if kdef.batch is not None:
+            forms.append("reference")
+        if kdef.workgroup is not None:
+            forms.append("workgroup")
+        forms.extend(sorted(kdef.forms))
+        return tuple(forms)
+
     def dispatch(self, name: str, *args, form: str = "batch", **kwargs):
-        """Invoke a kernel implementation by name — pure routing."""
-        if form not in ("batch", "workgroup"):
-            raise ValueError(f"form must be 'batch' or 'workgroup', got {form!r}")
-        impl = self.batch(name) if form == "batch" else self.workgroup(name)
-        return impl(*args, **kwargs)
+        """Invoke a kernel implementation by name and form — pure routing."""
+        return self.form(name, form)(*args, **kwargs)
 
     def workload(self, name: str, params: CostParams) -> KernelWorkload:
         return self.get(name).workload(params)
@@ -751,6 +793,42 @@ def register_default_kernels(reg: KernelRegistry) -> KernelRegistry:
             make_params=lambda n: CostParams(m=n),
         )
     )
+    # 10) Execution-form exemplars. ``logsumexp`` is the numerically-
+    #     sensitive weight-mass reduction (DRNA signal, resample
+    #     normalization); its compiled form drops the degenerate-row guard
+    #     passes and JIT-compiles under Numba. ``fused_step`` is the whole
+    #     sampling→weight→sort→estimate→resample hot path merged into one
+    #     pass over the ``(F, m, d)`` slabs — compiled-only, selected by
+    #     ``ExecutionPolicy(prefer=("compiled", ...))``.
+    reg.register(
+        KernelDef(
+            name="logsumexp",
+            description="per-row log-sum-exp weight-mass reduction",
+            cost=CostSig(
+                local_ops=lambda p: 3.0 * p.total,
+                barriers=lambda p: 2 * p.log2m,
+                bytes_read=lambda p: p.total * p.dtype_bytes,
+                bytes_written=lambda p: p.n_groups * p.dtype_bytes,
+            ),
+            batch=_logsumexp_batch,
+            forms={"compiled": _logsumexp_compiled},
+            make_inputs=lambda rng, n: {"log_weights": rng.standard_normal((4, n))},
+        )
+    )
+    reg.register(
+        KernelDef(
+            name="fused_step",
+            description="fused sample+weight+sort+estimate+resample step",
+            cost=CostSig(
+                flops=lambda p: p.total * (model_flops_per_particle(p.state_dim)
+                                           + 4.0 + p.log2m * 2.0),
+                bytes_read=lambda p: p.total * (p.state_dim + 1) * p.dtype_bytes * 2,
+                bytes_written=lambda p: p.total * (p.state_dim + 1) * p.dtype_bytes,
+                rng_kernel=True,
+            ),
+            forms={"compiled": _fused_step_compiled},
+        )
+    )
     return reg
 
 
@@ -794,6 +872,66 @@ def _alias_sample_batch(prob, alias, u_select, u_coin):
     from repro.resampling.vose import alias_sample
 
     return alias_sample(prob, alias, u_select, u_coin)
+
+
+def _logsumexp_batch(log_weights: np.ndarray) -> np.ndarray:
+    """Reference per-row logsumexp (lazy import avoids a cycle)."""
+    from repro.allocation.metrics import row_logsumexp
+
+    return row_logsumexp(np.atleast_2d(log_weights))
+
+
+def _logsumexp_rows(lw: np.ndarray) -> np.ndarray:
+    """Loop form of the row logsumexp, written to Numba's ``nopython`` subset."""
+    F, m = lw.shape
+    out = np.empty(F, dtype=np.float64)
+    for f in range(F):
+        peak = lw[f, 0]
+        for j in range(1, m):
+            if lw[f, j] > peak:
+                peak = lw[f, j]
+        if not (-np.inf < peak < np.inf):
+            out[f] = -np.inf
+        else:
+            total = 0.0
+            for j in range(m):
+                total += np.exp(lw[f, j] - peak)
+            out[f] = peak + np.log(total)
+    return out
+
+
+_LOGSUMEXP_JIT: Callable | None = None
+
+
+def _logsumexp_compiled(log_weights: np.ndarray) -> np.ndarray:
+    """Compiled logsumexp form: ``@njit`` loops under Numba, fused NumPy else.
+
+    Both variants reduce in float64 regardless of the input dtype (the
+    ``DtypePolicy`` contract for weight reductions). The NumPy fallback
+    performs the reference's exact operation sequence minus its degenerate-
+    row guard passes, so float64 results stay bit-identical on finite rows.
+    """
+    lw = np.atleast_2d(np.asarray(log_weights, dtype=np.float64))
+    from repro.kernels.forms import numba_available
+
+    if numba_available():
+        global _LOGSUMEXP_JIT
+        if _LOGSUMEXP_JIT is None:
+            from repro.kernels.forms import maybe_njit
+
+            _LOGSUMEXP_JIT = maybe_njit(_logsumexp_rows)
+        return _LOGSUMEXP_JIT(np.ascontiguousarray(lw))
+    peak = lw.max(axis=-1)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        out = peak + np.log(np.exp(lw - peak[..., None]).sum(axis=-1))
+    return np.where(np.isfinite(peak), out, -np.inf)
+
+
+def _fused_step_compiled(ctx, state):
+    """One fused filter step (lazy import avoids a kernels→engine cycle)."""
+    from repro.engine.fused import fused_step_batch
+
+    return fused_step_batch(ctx, state)
 
 
 _DEFAULT: KernelRegistry | None = None

@@ -46,12 +46,17 @@ from repro.resilience.errors import CheckpointCorruptError, CheckpointError
 #: bump when the on-disk layout changes incompatibly.
 #: v2 (width-aware allocation): adds the optional ``widths`` array, the
 #: ``alloc_counters`` state entry and the ``alloc`` policy-state block.
-CHECKPOINT_SCHEMA_VERSION = 2
+#: v3 (execution-form dispatch): the config record gains the ``execution``
+#: and ``dtype_policy`` fields, and the saved ``states``/``log_weights``
+#: arrays carry the policy's dtypes (float32 under a float32 policy).
+CHECKPOINT_SCHEMA_VERSION = 3
 
 #: schema versions this build can still read. v1 checkpoints are the
 #: fixed-width layout: no ``widths`` array (every row fully live), no
-#: allocation-policy state — both default cleanly on load.
-SUPPORTED_SCHEMA_VERSIONS = (1, 2)
+#: allocation-policy state — both default cleanly on load. v2 predates the
+#: execution/dtype-policy config fields, which default to the reference
+#: forms and mixed dtypes via :func:`normalize_config_record`.
+SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3)
 
 #: zip member carrying the JSON manifest (alongside the ``*.npy`` arrays).
 MANIFEST_MEMBER = "manifest.json"

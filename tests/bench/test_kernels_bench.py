@@ -1,0 +1,64 @@
+"""Tests for the `esthera bench kernels` A/B harness (fast settings only —
+the committed BENCH_kernels.json numbers come from the default grid)."""
+
+import json
+
+import numpy as np
+
+from repro.bench.kernels import (
+    FLOAT32_RMSE_BUDGET,
+    GRIDS,
+    KernelBenchModel,
+    run_kernel_bench,
+    write_report,
+)
+
+
+def tiny_report():
+    return run_kernel_bench(grid="smoke", steps=12, warmup=2, repeats=1)
+
+
+class TestModel:
+    def test_bench_model_simulates_and_weights(self):
+        from repro.prng.streams import make_rng
+
+        model = KernelBenchModel()
+        truth = model.simulate(5, rng=make_rng("philox", 1))
+        assert truth.measurements.shape == (5, 1)
+        lw = model.log_likelihood(np.zeros((3, 4, 1)), truth.measurements[0], 0)
+        assert lw.shape == (3, 4)
+        assert np.all(np.isfinite(lw))
+
+
+class TestReport:
+    def test_report_structure_and_parity(self, tmp_path):
+        report = tiny_report()
+        assert report["benchmark"] == "kernel-forms"
+        assert report["grid"] == "smoke"
+        assert len(report["rows"]) == len(GRIDS["smoke"])
+        for row in report["rows"]:
+            assert row["compiled_mixed_bit_identical"] is True
+            assert row["compiled_float32_steps_per_s"] > 0
+            assert row["reference_float64_steps_per_s"] > 0
+            assert row["speedup"] > 0
+            assert row["compiled_float32_rmse"] <= (
+                row["reference_float64_rmse"] * FLOAT32_RMSE_BUDGET + 0.05)
+        summary = report["summary"]
+        assert summary["bit_identical"] is True
+        assert summary["float32_rmse_within_budget"] is True
+        assert summary["best_speedup"] == max(r["speedup"] for r in report["rows"])
+        # Per-kernel A/B rows cover every kernel with a compiled form + adapter.
+        assert any(k["kernel"] == "logsumexp" for k in report["kernels"])
+
+    def test_write_report_round_trips(self, tmp_path):
+        report = tiny_report()
+        path = tmp_path / "BENCH_kernels.json"
+        write_report(report, str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded["summary"]["bit_identical"] is True
+
+    def test_fused_pipeline_actually_engaged(self):
+        report = tiny_report()
+        for row in report["rows"]:
+            assert row["compiled_float32_fused"] is True
+            assert row["compiled_mixed_fused"] is True

@@ -1,0 +1,142 @@
+"""Tests for the fused execution form: envelope gating, bit-parity with the
+reference pipeline, and the per-round fallback on unhealthy populations."""
+
+import numpy as np
+import pytest
+
+from repro.core.distributed import DistributedParticleFilter
+from repro.core.parameters import DistributedFilterConfig
+from repro.engine.fused import fused_envelope_ok, fused_pipeline_applicable
+from repro.models.base import StateSpaceModel
+from repro.prng.streams import make_rng
+
+
+class ScalarAR1(StateSpaceModel):
+    """Minimal 1-d AR(1) + Gaussian likelihood, vectorized over any batch."""
+
+    state_dim = 1
+    measurement_dim = 1
+
+    def __init__(self, a=0.9, q=0.3, r=0.4):
+        self.a, self.q, self.r = a, q, r
+
+    def initial_particles(self, n, rng, dtype=np.float64):
+        return rng.normal((n, 1)).astype(dtype, copy=False)
+
+    def initial_state(self, rng):
+        return rng.normal((1,))
+
+    def transition(self, states, control, k, rng):
+        return self.a * states + self.q * rng.normal(states.shape).astype(
+            states.dtype, copy=False)
+
+    def log_likelihood(self, states, measurement, k):
+        diff = states[..., 0] - measurement[0]
+        return -0.5 * (diff / self.r) ** 2
+
+    def observe(self, state, k, rng):
+        return state[:1] + self.r * rng.normal((1,))
+
+
+class PoisonedAR1(ScalarAR1):
+    """Emits an all--inf likelihood at step ``poison_k`` (degenerate round)."""
+
+    def __init__(self, poison_k=3, **kw):
+        super().__init__(**kw)
+        self.poison_k = poison_k
+
+    def log_likelihood(self, states, measurement, k):
+        out = super().log_likelihood(states, measurement, k)
+        if k == self.poison_k:
+            out = np.full_like(out, -np.inf)
+        return out
+
+
+def run_filter(model, execution, dtype_policy="mixed", steps=8, **cfg_kw):
+    cfg_kw.setdefault("topology", "ring")
+    cfg_kw.setdefault("n_exchange", 1)
+    cfg = DistributedFilterConfig(
+        n_filters=8, n_particles=16, seed=11,
+        execution=execution, dtype_policy=dtype_policy, **cfg_kw)
+    pf = DistributedParticleFilter(model, cfg)
+    truth = model.simulate(steps, rng=make_rng("philox", 5))
+    estimates = np.array([pf.step(z) for z in truth.measurements])
+    return pf, estimates
+
+
+class TestEnvelope:
+    def test_default_config_is_inside_the_envelope(self):
+        assert fused_envelope_ok(DistributedFilterConfig())
+
+    @pytest.mark.parametrize("kw", [
+        {"roughening": 0.1},
+        {"frim_redraws": 2},
+        {"resample_policy": "ess", "resample_arg": 0.5},
+        {"estimator": "weighted_mean"},
+        {"resampler": "systematic"},
+        {"allocation": "mass"},
+    ])
+    def test_off_envelope_configs_are_rejected(self, kw):
+        assert not fused_envelope_ok(DistributedFilterConfig(**kw))
+
+    def test_reference_execution_never_fuses(self):
+        pf, _ = run_filter(ScalarAR1(), "reference", steps=1)
+        assert not fused_pipeline_applicable(pf)
+        assert "fused" not in pf.pipeline.stage_names
+
+    def test_compiled_execution_fuses_inside_envelope(self):
+        pf, _ = run_filter(ScalarAR1(), "compiled", steps=1)
+        assert fused_pipeline_applicable(pf)
+        assert pf.pipeline.stage_names == ("fused",)
+
+    def test_compiled_execution_off_envelope_runs_reference_stages(self):
+        pf, _ = run_filter(ScalarAR1(), "compiled", steps=1, roughening=0.1)
+        assert "fused" not in pf.pipeline.stage_names
+
+    def test_subclass_kernel_override_disables_fusion(self):
+        class Variant(DistributedParticleFilter):
+            def _resample(self, pooled_states, pooled_logw):
+                super()._resample(pooled_states, pooled_logw)
+
+        cfg = DistributedFilterConfig(n_filters=4, n_particles=8,
+                                      execution="compiled")
+        pf = Variant(ScalarAR1(), cfg)
+        assert not fused_pipeline_applicable(pf)
+        assert "fused" not in pf.pipeline.stage_names
+
+
+class TestBitParity:
+    @pytest.mark.parametrize("dtype_policy", ["mixed", "float32", "float64"])
+    @pytest.mark.parametrize("topology", ["ring", "all_to_all", "none"])
+    def test_fused_matches_reference_bitwise(self, topology, dtype_policy):
+        kw = {"topology": topology}
+        ref, ref_est = run_filter(ScalarAR1(), "reference", dtype_policy, **kw)
+        fus, fus_est = run_filter(ScalarAR1(), "compiled", dtype_policy, **kw)
+        assert fus.pipeline.stage_names == ("fused",)
+        assert np.array_equal(ref_est, fus_est)
+        assert np.array_equal(ref.states, fus.states)
+        assert np.array_equal(ref.log_weights, fus.log_weights)
+        assert ref.states.dtype == fus.states.dtype
+
+    def test_exchange_width_zero_matches(self):
+        ref, ref_est = run_filter(ScalarAR1(), "reference", n_exchange=0)
+        fus, fus_est = run_filter(ScalarAR1(), "compiled", n_exchange=0)
+        assert np.array_equal(ref_est, fus_est)
+        assert np.array_equal(ref.states, fus.states)
+
+
+class TestDegenerateFallback:
+    def test_poisoned_round_falls_back_and_stays_bit_identical(self):
+        # Step 3 zeroes every likelihood: the fused body's health guard must
+        # hand that round to the reference kernel sequence (heal + rescue),
+        # and the whole trace — including the rounds after — must still
+        # match the reference pipeline bitwise.
+        model = PoisonedAR1(poison_k=3)
+        ref, ref_est = run_filter(model, "reference", steps=7)
+        fus, fus_est = run_filter(model, "compiled", steps=7)
+        assert fus.pipeline.stage_names == ("fused",)
+        assert np.array_equal(ref_est, fus_est)
+        assert np.array_equal(ref.states, fus.states)
+        assert np.array_equal(ref.log_weights, fus.log_weights)
+        assert fus.heal_counters == ref.heal_counters
+        assert sum(fus.heal_counters.values()) > 0

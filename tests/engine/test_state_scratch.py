@@ -49,3 +49,17 @@ class TestScratch:
         a = s.scratch("k", (4,), np.float64)
         s.reset(np.zeros((2, 4, 3)), np.zeros((2, 4)))
         assert s.scratch("k", (4,), np.float64) is not a
+
+    def test_float32_request_never_served_a_float64_recycle(self):
+        # Dtype-policy safety regression: a float64 buffer donated under a
+        # key must not satisfy a float32 request for the same key/shape —
+        # the pool is keyed by (key, shape, dtype), so a float32 run can
+        # never be silently upcast by a stale double-precision buffer.
+        s = make_state()
+        donated = np.empty((3, 5), dtype=np.float64)
+        s.recycle("w", donated)
+        got32 = s.scratch("w", (3, 5), np.float32)
+        assert got32 is not donated
+        assert got32.dtype == np.float32
+        # The donated buffer still serves float64 requests of its shape.
+        assert s.scratch("w", (3, 5), np.float64) is donated

@@ -1,0 +1,103 @@
+"""Float32 tolerance-parity suite: the numerical contract of the float32
+dtype policy.
+
+Every named policy keeps *reductions* in float64 (``DtypePolicy.reduce``),
+so the only float32 error source is the rounding of the stored operands.
+These tests pin that contract over 16 seeds: carrying weights in float32
+costs ~1e-6 relative error through logsumexp / weight normalization /
+prefix sums — never more — and block-distributed reductions remain exactly
+equal to their single-matrix form.
+"""
+
+import numpy as np
+import pytest
+
+from repro.allocation.metrics import row_logsumexp
+from repro.device.simt import WorkGroup
+from repro.kernels.registry import default_registry
+from repro.kernels.scan import (
+    blelloch_scan_workgroup,
+    exclusive_scan_batch,
+    inclusive_scan_batch,
+)
+from repro.utils.arrays import normalize_weights
+
+SEEDS = range(16)
+
+#: documented bound: float32 storage of O(1) log-weights carries 2^-24
+#: relative rounding; a row reduction over m <= 256 terms amplifies it by
+#: well under 100x.
+RTOL32 = 1e-5
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_logsumexp_float32_within_tolerance(seed):
+    rng = np.random.default_rng(seed)
+    lw64 = rng.standard_normal((8, 128)) * 3.0
+    lw32 = lw64.astype(np.float32)
+    ref = default_registry().batch("logsumexp")(lw64)
+    got = default_registry().batch("logsumexp")(lw32)
+    np.testing.assert_allclose(got, ref, rtol=RTOL32, atol=1e-6)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_logsumexp_compiled_form_matches_reference_on_float32(seed):
+    rng = np.random.default_rng(seed)
+    lw32 = (rng.standard_normal((8, 128)) * 3.0).astype(np.float32)
+    reg = default_registry()
+    ref = reg.batch("logsumexp")(lw32)
+    got = reg.form("logsumexp", "compiled")(lw32)
+    np.testing.assert_allclose(got, ref, rtol=1e-12)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_normalize_weights_float32_within_tolerance(seed):
+    rng = np.random.default_rng(seed)
+    w64 = rng.random((8, 128)) + 1e-3
+    w32 = w64.astype(np.float32)
+    ref = normalize_weights(w64)
+    got = normalize_weights(w32)
+    assert got.dtype == np.float64  # reduction promotes
+    np.testing.assert_allclose(got.sum(axis=-1), 1.0, rtol=1e-12)
+    np.testing.assert_allclose(got, ref, rtol=RTOL32, atol=1e-7)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_row_logsumexp_distributed_reduction_equality(seed):
+    # The multiprocess contract: each worker block reduces its own rows and
+    # the master concatenates. Row reductions are block-independent, so the
+    # distributed form must be EXACTLY equal — in float32 too, because
+    # row_logsumexp always accumulates in float64.
+    rng = np.random.default_rng(seed)
+    lw = (rng.standard_normal((12, 64)) * 2.0).astype(np.float32)
+    lw[0, :] = -np.inf  # degenerate row stays -inf through the split
+    whole = row_logsumexp(lw)
+    blocks = np.concatenate([row_logsumexp(lw[lo:lo + 4]) for lo in (0, 4, 8)])
+    assert np.array_equal(whole, blocks)
+    assert whole[0] == -np.inf
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_prefix_scan_float32_within_tolerance(seed):
+    rng = np.random.default_rng(seed)
+    w64 = rng.random((4, 128))
+    w32 = w64.astype(np.float32)
+    np.testing.assert_allclose(inclusive_scan_batch(w32),
+                               inclusive_scan_batch(w64),
+                               rtol=RTOL32, atol=1e-6)
+    np.testing.assert_allclose(exclusive_scan_batch(w32),
+                               exclusive_scan_batch(w64),
+                               rtol=RTOL32, atol=1e-6)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_blelloch_scan_float32_input_matches_batch(seed):
+    # The work-group Blelloch scan promotes to float64 internally; feeding
+    # it float32 data must agree with the batched exclusive scan of the
+    # same float32 values bit-for-bit (identical f64 operands).
+    rng = np.random.default_rng(seed)
+    data = rng.random(64).astype(np.float32)
+    wg = WorkGroup(size=32)
+    got = blelloch_scan_workgroup(wg, data)
+    ref = exclusive_scan_batch(data.astype(np.float64))[0]
+    np.testing.assert_allclose(got, ref, rtol=1e-12, atol=0.0)

@@ -1,0 +1,193 @@
+"""Tests for execution-form dispatch: the open form set on KernelDef and the
+ExecutionPolicy that selects which form a backend actually runs."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.forms import (
+    COMPILED_FORM,
+    REFERENCE_FORM,
+    ExecutionPolicy,
+    maybe_njit,
+    numba_available,
+)
+from repro.kernels.registry import CostParams, CostSig, KernelDef, KernelRegistry, default_registry
+
+
+def make_registry():
+    reg = KernelRegistry()
+    reg.register(KernelDef(
+        name="twice",
+        description="",
+        cost=CostSig(local_ops=lambda p: p.total),
+        batch=lambda x: x * 2,
+        forms={"compiled": lambda x: x + x},
+        make_inputs=lambda rng, n: {"x": rng.standard_normal(n)},
+    ))
+    reg.register(KernelDef(
+        name="plain",
+        description="",
+        cost=CostSig(local_ops=lambda p: p.total),
+        batch=lambda x: x,
+    ))
+    reg.register(KernelDef(
+        name="cost_only",
+        description="",
+        cost=CostSig(local_ops=lambda p: p.total),
+    ))
+    return reg
+
+
+class TestRegistryForms:
+    def test_forms_of_lists_reference_then_extras(self):
+        reg = make_registry()
+        assert reg.forms_of("twice") == ("reference", "compiled")
+        assert reg.forms_of("plain") == ("reference",)
+        assert reg.forms_of("cost_only") == ()
+
+    def test_register_form_attaches_and_dispatches(self):
+        reg = make_registry()
+        reg.register_form("plain", "fused", lambda x: x * 3)
+        assert reg.form("plain", "fused")(2) == 6
+        assert reg.dispatch("plain", 2, form="fused") == 6
+        assert reg.dispatch("plain", 2) == 2  # default form = batch
+
+    def test_register_form_rejects_builtin_names(self):
+        reg = make_registry()
+        for reserved in ("batch", "reference", "workgroup"):
+            with pytest.raises(ValueError, match="reserved"):
+                reg.register_form("plain", reserved, lambda x: x)
+
+    def test_register_form_rejects_duplicates(self):
+        reg = make_registry()
+        with pytest.raises(ValueError, match="already has"):
+            reg.register_form("twice", "compiled", lambda x: x)
+
+    def test_form_raises_for_missing_form(self):
+        reg = make_registry()
+        with pytest.raises(ValueError, match="form must be"):
+            reg.form("plain", "fused")
+
+
+class TestExecutionPolicy:
+    def test_default_policy_selects_reference(self):
+        reg = make_registry()
+        policy = ExecutionPolicy()
+        name, impl = policy.select(reg.get("twice"))
+        assert name == REFERENCE_FORM
+        assert impl is reg.get("twice").batch
+
+    def test_compiled_policy_prefers_compiled(self):
+        reg = make_registry()
+        policy = ExecutionPolicy.from_config("compiled")
+        name, _ = policy.select(reg.get("twice"))
+        assert name == COMPILED_FORM
+
+    def test_compiled_policy_falls_back_to_reference(self):
+        reg = make_registry()
+        policy = ExecutionPolicy.from_config("compiled")
+        name, _ = policy.select(reg.get("plain"))
+        assert name == REFERENCE_FORM
+
+    def test_cost_only_kernel_selects_none(self):
+        reg = make_registry()
+        assert ExecutionPolicy.from_config("compiled").select(reg.get("cost_only")) is None
+
+    def test_per_kernel_override(self):
+        reg = make_registry()
+        policy = ExecutionPolicy(prefer=(COMPILED_FORM, REFERENCE_FORM),
+                                 overrides={"twice": (REFERENCE_FORM,)})
+        assert policy.select(reg.get("twice"))[0] == REFERENCE_FORM
+
+    def test_failing_probe_skips_the_form(self):
+        reg = make_registry()
+        policy = ExecutionPolicy(prefer=(COMPILED_FORM, REFERENCE_FORM),
+                                 probes={COMPILED_FORM: lambda: False})
+        assert policy.select(reg.get("twice"))[0] == REFERENCE_FORM
+
+    def test_raising_probe_counts_as_unavailable(self):
+        reg = make_registry()
+
+        def boom():
+            raise RuntimeError("no device")
+
+        policy = ExecutionPolicy(prefer=(COMPILED_FORM, REFERENCE_FORM),
+                                 probes={COMPILED_FORM: boom})
+        assert policy.select(reg.get("twice"))[0] == REFERENCE_FORM
+
+    def test_from_config_rejects_unknown_execution(self):
+        with pytest.raises(ValueError, match="execution"):
+            ExecutionPolicy.from_config("gpu")
+
+    def test_reference_is_always_appended_to_preferences(self):
+        policy = ExecutionPolicy(prefer=(COMPILED_FORM,))
+        assert policy.preference_for("anything")[-1] == REFERENCE_FORM
+
+    def test_available_forms(self):
+        reg = make_registry()
+        policy = ExecutionPolicy()
+        assert policy.available_forms(reg.get("twice")) == ("reference", "compiled")
+
+
+class TestWarmUp:
+    def test_warm_up_runs_selected_compiled_forms_once(self):
+        reg = make_registry()
+        calls = []
+        reg.get("twice").forms["compiled"] = lambda x: calls.append(x) or x
+        warmed = ExecutionPolicy.from_config("compiled").warm_up(reg)
+        assert warmed == ["twice"]
+        assert len(calls) == 1
+
+    def test_warm_up_skips_reference_selections(self):
+        reg = make_registry()
+        assert ExecutionPolicy().warm_up(reg) == []
+
+    def test_warm_up_survives_a_raising_form(self):
+        reg = make_registry()
+
+        def boom(x):
+            raise RuntimeError("compile failed")
+
+        reg.get("twice").forms["compiled"] = boom
+        assert ExecutionPolicy.from_config("compiled").warm_up(reg) == []
+
+    def test_default_registry_warm_up_names(self):
+        warmed = ExecutionPolicy.from_config("compiled").warm_up(default_registry())
+        assert "logsumexp" in warmed
+
+
+class TestNumbaGate:
+    def test_numba_available_is_bool_and_cached(self):
+        assert numba_available() is numba_available()
+        assert isinstance(numba_available(), bool)
+
+    def test_maybe_njit_returns_a_callable_either_way(self):
+        @maybe_njit
+        def f(x):
+            return x + 1.0
+
+        assert f(1.0) == 2.0
+        if not numba_available():
+            assert f.__name__ == "f"  # identity fallback: the plain function
+
+    def test_maybe_njit_with_options(self):
+        @maybe_njit(fastmath=False)
+        def g(x):
+            return x * 2.0
+
+        assert g(3.0) == 6.0
+
+
+class TestDefaultRegistryForms:
+    def test_logsumexp_has_compiled_form_with_reference_parity(self):
+        reg = default_registry()
+        assert reg.forms_of("logsumexp") == ("reference", "compiled")
+        rng = np.random.default_rng(0)
+        lw = rng.standard_normal((4, 64))
+        np.testing.assert_allclose(reg.form("logsumexp", "compiled")(lw),
+                                   reg.batch("logsumexp")(lw), rtol=1e-12)
+
+    def test_fused_step_is_compiled_only(self):
+        reg = default_registry()
+        assert reg.forms_of("fused_step") == ("compiled",)
+        assert ExecutionPolicy().select(reg.get("fused_step")) is None
