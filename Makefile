@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-kernels report examples all clean
+.PHONY: install test bench bench-kernels bench-sessions report examples all clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -15,6 +15,9 @@ bench:
 
 bench-kernels:
 	$(PYTHON) -m repro.cli bench kernels -o BENCH_kernels.json
+
+bench-sessions:
+	$(PYTHON) -m repro.cli bench sessions -o BENCH_sessions.json
 
 report:
 	$(PYTHON) -m repro.cli report -o report.md

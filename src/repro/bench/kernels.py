@@ -37,6 +37,7 @@ import time
 
 import numpy as np
 
+from repro.bench.harness import resolve_grid
 from repro.core import DistributedFilterConfig, DistributedParticleFilter
 from repro.kernels.forms import COMPILED_FORM, ExecutionPolicy, numba_available
 from repro.models.base import StateSpaceModel
@@ -175,7 +176,7 @@ def run_kernel_bench(grid: str | list = "default", *, steps: int = 400,
     float32 leg's worst estimate deviation. Parity failures raise — a
     speedup that computes something else is not a speedup.
     """
-    configs = GRIDS[grid] if isinstance(grid, str) else [tuple(c) for c in grid]
+    configs = resolve_grid(GRIDS, grid)
     rows = []
     for n_filters, m in configs:
         model = KernelBenchModel()

@@ -30,6 +30,7 @@ import time
 import numpy as np
 
 from repro.core import DistributedFilterConfig, DistributedParticleFilter
+from repro.bench.harness import resolve_grid
 from repro.models.base import StateSpaceModel
 from repro.prng import make_rng
 from repro.telemetry import Tracer, run_metadata, write_chrome_trace
@@ -146,7 +147,7 @@ def run_multiprocess_bench(grid: str | list = "default", *, steps: int = 30,
 
     tracer = Tracer(enabled=trace_path is not None)
     tracer.labels[tracer.pid] = "bench"
-    configs = GRIDS[grid] if isinstance(grid, str) else [tuple(c) for c in grid]
+    configs = resolve_grid(GRIDS, grid)
     model = _bench_model(state_dim)
     rows = []
     for n_filters, m, n_workers in configs:

@@ -1,0 +1,233 @@
+"""Session-layer throughput benchmark: cohort batching vs per-session loops.
+
+``esthera bench sessions`` measures the tentpole claim of the session layer:
+packing ``S`` independent live filters into one cohort slab and stepping the
+slab as a single vectorized (or fused compiled) pipeline pass beats stepping
+``S`` private :class:`~repro.core.DistributedParticleFilter` instances in a
+Python loop. Per grid point it reports both legs' session-steps/s, the
+speedup, and the scheduler's submit-to-result latency percentiles — and it
+spot-checks that the first few cohort-stepped sessions produce *bit-identical*
+estimate trajectories to their naive counterparts, so the speedup can never
+come from computing a different filter.
+
+The benchmark model (:class:`SessionBenchModel`) is a scalar AR(1) with five
+ufunc calls per evaluation: at the target shape (many sessions, one
+sub-filter of ``m = 32`` particles each) a naive per-session round is almost
+pure interpreter/dispatch overhead, which is exactly the per-session cost the
+cohort amortizes across the slab — the paper's many-core batching argument
+applied across *filters* instead of across particles.
+
+Results are written as ``BENCH_sessions.json`` at the repo root (see the CI
+``bench-sessions-smoke`` job), making the perf trajectory trackable
+PR-over-PR.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from repro.bench.harness import resolve_grid
+from repro.core import DistributedFilterConfig, DistributedParticleFilter
+from repro.models.base import StateSpaceModel
+from repro.prng import make_rng
+from repro.sessions import SessionManager
+from repro.telemetry import run_metadata
+
+#: named grids of session counts. The largest "default" entry is the
+#: acceptance config: 1024 live sessions of m = 32 particles each.
+GRIDS: dict[str, list[int]] = {
+    "smoke": [64],
+    "default": [256, 1024],
+    "full": [64, 256, 1024, 2048],
+}
+
+#: particles per session (one sub-filter, the session layer's common case).
+PARTICLES = 32
+
+#: execution legs; both are inside the cohort envelope, and the compiled
+#: leg's default config is also inside the fused form's envelope, so it
+#: exercises the fused cohort stage.
+EXECUTIONS = ("reference", "compiled")
+
+#: sessions whose full estimate trajectories are recorded in both legs and
+#: compared bitwise.
+PARITY_SESSIONS = 8
+
+
+class SessionBenchModel(StateSpaceModel):
+    """Scalar AR(1) with Gaussian noise, written for minimal dispatch cost.
+
+    ``x_k = a x_{k-1} + sigma w_k``, ``z_k = x_k + sqrt(r) v_k``. Transition
+    and log-likelihood are elementwise over every leading batch dim and
+    ignore ``k``, and the likelihood indexes the measurement's trailing axis
+    so a cohort's ``(rows, 1, 1)`` packed measurement broadcasts exactly like
+    the solo filter's scalar one — the :attr:`supports_cohort_batch`
+    contract.
+    """
+
+    state_dim = 1
+    measurement_dim = 1
+    control_dim = 0
+    supports_cohort_batch = True
+
+    def __init__(self, a: float = 0.95, sigma: float = 0.2, r: float = 0.1):
+        self.a, self.sigma, self.r = float(a), float(sigma), float(r)
+
+    def signature(self) -> tuple:
+        return ("session_bench", self.a, self.sigma, self.r)
+
+    def initial_particles(self, n, rng, dtype=np.float64):
+        return rng.normal((n, 1)).astype(dtype, copy=False)
+
+    def transition(self, states, control, k, rng):
+        states = np.asarray(states)
+        noise = rng.normal(states.shape, dtype=np.float64)
+        out = self.a * states + self.sigma * noise.astype(states.dtype, copy=False)
+        return out.astype(states.dtype, copy=False)
+
+    def log_likelihood(self, states, measurement, k):
+        dz = np.asarray(states)[..., 0] - np.asarray(measurement)[..., 0]
+        return -0.5 / self.r * dz * dz
+
+    def initial_state(self, rng):
+        return rng.normal((1,))
+
+    def observe(self, state, k, rng):
+        return np.asarray(state) + np.sqrt(self.r) * rng.normal((1,))
+
+
+def _bench_config(m: int, execution: str, seed: int) -> DistributedFilterConfig:
+    # One sub-filter per session, no exchange: the session layer's common
+    # shape, and (at the defaults) inside the fused form's envelope too.
+    return DistributedFilterConfig(
+        n_particles=m, n_filters=1, n_exchange=0, seed=seed,
+        execution=execution,
+    )
+
+
+def _measurements(n_sessions: int, n_steps: int) -> np.ndarray:
+    """Independent per-session measurement trajectories, ``(S, T, 1)``."""
+    rng = make_rng("numpy", seed=1234)
+    return rng.normal((n_sessions, n_steps, 1))
+
+
+def _run_naive(model, m, execution, meas, warmup):
+    """S private filters stepped in a Python loop; returns (sec/step, ests)."""
+    S, T, _ = meas.shape
+    filters = [DistributedParticleFilter(model, _bench_config(m, execution, i))
+               for i in range(S)]
+    for pf in filters:
+        pf.initialize()
+    n_parity = min(S, PARITY_SESSIONS)
+    ests = np.empty((n_parity, T))
+    for k in range(warmup):
+        for i, pf in enumerate(filters):
+            e = pf.step(meas[i, k])
+            if i < n_parity:
+                ests[i, k] = e[0]
+    t0 = time.perf_counter()
+    for k in range(warmup, T):
+        for i, pf in enumerate(filters):
+            e = pf.step(meas[i, k])
+            if i < n_parity:
+                ests[i, k] = e[0]
+    elapsed = time.perf_counter() - t0
+    return elapsed / max(T - warmup, 1), ests
+
+
+def _run_cohort(model, m, execution, meas, warmup):
+    """The same S sessions through one SessionManager cohort slab.
+
+    Returns ``(sec/tick, ests, latency)`` where the latency dict is the
+    manager's submit-to-result percentile readout over the timed region.
+    """
+    S, T, _ = meas.shape
+    mgr = SessionManager(max_queue=4)
+    for i in range(S):
+        mgr.attach(f"s{i}", model, _bench_config(m, execution, i))
+    if mgr.stats()["solo_sessions"]:
+        raise RuntimeError("benchmark config fell out of the cohort envelope")
+    n_parity = min(S, PARITY_SESSIONS)
+    ests = np.empty((n_parity, T))
+
+    def tick(k):
+        for i in range(S):
+            mgr.submit(f"s{i}", meas[i, k])
+        for res in mgr.tick():
+            i = int(res.session_id[1:])
+            if i < n_parity:
+                ests[i, k] = res.estimate[0]
+
+    for k in range(warmup):
+        tick(k)
+    mgr.reset_latency()  # percentiles over the timed region only
+    t0 = time.perf_counter()
+    for k in range(warmup, T):
+        tick(k)
+    elapsed = time.perf_counter() - t0
+    return elapsed / max(T - warmup, 1), ests, mgr.stats()["latency"]
+
+
+def run_sessions_bench(grid="default", steps: int = 25, warmup: int = 3,
+                       m: int = PARTICLES) -> dict:
+    """Time cohort-batched vs naive per-session stepping over *grid*.
+
+    ``grid`` is a named grid (``smoke``/``default``/``full``) or an explicit
+    list of session counts. Every row carries both legs' session-steps/s,
+    the headline ``speedup`` (cohort over naive, same execution policy), the
+    scheduler's p50/p99 submit-to-result latency, and the bit-parity verdict
+    over the first :data:`PARITY_SESSIONS` sessions' estimate trajectories.
+    Parity failures raise — a speedup that computes something else is not a
+    speedup.
+    """
+    session_counts = [int(s) for s in resolve_grid(GRIDS, grid)]
+    model = SessionBenchModel()
+    T = steps + warmup
+    rows = []
+    for S in session_counts:
+        meas = _measurements(S, T)
+        for execution in EXECUTIONS:
+            naive_sec, naive_ests = _run_naive(model, m, execution, meas, warmup)
+            cohort_sec, cohort_ests, latency = _run_cohort(
+                model, m, execution, meas, warmup)
+            if not np.array_equal(naive_ests, cohort_ests):
+                raise RuntimeError(
+                    f"cohort/naive estimate mismatch at S={S} "
+                    f"execution={execution}: the session layer broke parity")
+            rows.append({
+                "sessions": S, "m": m, "execution": execution,
+                "total_particles": S * m,
+                "naive_steps_per_s": S / naive_sec,
+                "cohort_steps_per_s": S / cohort_sec,
+                "speedup": naive_sec / cohort_sec,
+                "latency_p50_s": latency["p50_s"],
+                "latency_p99_s": latency["p99_s"],
+                "parity_sessions": min(S, PARITY_SESSIONS),
+                "parity_ok": True,
+            })
+    largest = max(session_counts)
+    largest_rows = [r for r in rows if r["sessions"] == largest]
+    best = max(rows, key=lambda r: r["speedup"])
+    return {
+        "benchmark": "sessions",
+        "grid": grid if isinstance(grid, str) else list(session_counts),
+        "steps": steps, "warmup": warmup,
+        "metadata": run_metadata(),
+        "rows": rows,
+        "summary": {
+            "best_speedup": best["speedup"],
+            "best_config": {k: best[k] for k in ("sessions", "m", "execution")},
+            "largest_sessions": largest,
+            "largest_speedup": max(r["speedup"] for r in largest_rows),
+        },
+    }
+
+
+def write_report(report: dict, path: str = "BENCH_sessions.json") -> str:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=1)
+        fh.write("\n")
+    return path

@@ -70,12 +70,20 @@ def _cmd_bench(args) -> int:
     )
 
     target = args.figure
-    if target == "multiprocess":
-        return _cmd_bench_multiprocess(args)
-    if target == "allocation":
-        return _cmd_bench_allocation(args)
-    if target == "kernels":
-        return _cmd_bench_kernels(args)
+    handlers = {
+        "multiprocess": _cmd_bench_multiprocess,
+        "allocation": _cmd_bench_allocation,
+        "kernels": _cmd_bench_kernels,
+        "sessions": _cmd_bench_sessions,
+    }
+    if target in handlers:
+        try:
+            return handlers[target](args)
+        except ValueError as exc:
+            # e.g. an unknown --grid name: a clean diagnostic beats a
+            # KeyError traceback.
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     if target == "fig3":
         print(format_table(run_fig3()))
     elif target == "fig4":
@@ -182,6 +190,37 @@ def _cmd_bench_kernels(args) -> int:
         print(f"FAIL: best compiled/float32 speedup {best:.2f}x < required "
               f"{args.assert_speedup:.2f}x", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_bench_sessions(args) -> int:
+    from repro.bench.sessions import run_sessions_bench, write_report
+
+    steps = args.steps if args.steps is not None else 25
+    warmup = args.warmup if args.warmup is not None else 3
+    report = run_sessions_bench(grid=args.grid, steps=steps, warmup=warmup)
+    for row in report["rows"]:
+        print(f"S={row['sessions']:>5} m={row['m']:>3} {row['execution']:>9}  "
+              f"naive {row['naive_steps_per_s']:9.1f} st/s  "
+              f"cohort {row['cohort_steps_per_s']:9.1f} st/s  "
+              f"speedup {row['speedup']:6.2f}x  "
+              f"p99 {row['latency_p99_s'] * 1e3:7.2f}ms  "
+              f"parity={'ok' if row['parity_ok'] else 'MISMATCH'}")
+    summary = report["summary"]
+    print(f"largest config: S={summary['largest_sessions']} "
+          f"speedup {summary['largest_speedup']:.2f}x "
+          f"(best overall {summary['best_speedup']:.2f}x)")
+    if args.output:
+        write_report(report, args.output)
+        print(f"wrote {args.output}")
+    if args.assert_speedup is not None:
+        speedup = summary["largest_speedup"]
+        if speedup < args.assert_speedup:
+            print(f"FAIL: cohort speedup {speedup:.2f}x < required "
+                  f"{args.assert_speedup:.2f}x at S={summary['largest_sessions']}",
+                  file=sys.stderr)
+            return 1
+        print(f"cohort speedup {speedup:.2f}x >= {args.assert_speedup:.2f}x")
     return 0
 
 
@@ -378,7 +417,11 @@ def _cmd_kernels(args) -> int:
     from repro.kernels.forms import ExecutionPolicy
     from repro.kernels.registry import CostParams, default_registry
 
-    spec = get_platform(args.platform)
+    try:
+        spec = get_platform(args.platform)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     cm = CostModel(spec)
     reg = default_registry()
     policy = ExecutionPolicy.from_config(args.execution)
@@ -428,21 +471,24 @@ def build_parser() -> argparse.ArgumentParser:
     b = sub.add_parser("bench", help="regenerate one figure/table, or run the transport benchmark")
     b.add_argument("figure", choices=["fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
                                       "fig9", "tables", "multiprocess", "allocation",
-                                      "kernels"])
-    b.add_argument("--grid", default="default", choices=["smoke", "default", "full"],
-                   help="(multiprocess/kernels) benchmark grid size")
+                                      "kernels", "sessions"])
+    b.add_argument("--grid", default="default",
+                   help="(multiprocess/kernels/sessions) named benchmark grid: "
+                        "smoke, default or full")
     b.add_argument("--steps", type=int, default=None,
-                   help="(multiprocess/kernels) timed steps per config "
-                        "(default: 30 multiprocess, 400 kernels)")
+                   help="(multiprocess/kernels/sessions) timed steps per config "
+                        "(default: 30 multiprocess, 400 kernels, 25 sessions)")
     b.add_argument("--warmup", type=int, default=None,
-                   help="(multiprocess/kernels) untimed warmup steps "
-                        "(default: 3 multiprocess, 50 kernels)")
+                   help="(multiprocess/kernels/sessions) untimed warmup steps "
+                        "(default: 3 multiprocess/sessions, 50 kernels)")
     b.add_argument("--output", "-o", default=None,
-                   help="(multiprocess/kernels) write the JSON report here")
+                   help="(multiprocess/kernels/sessions) write the JSON report here")
     b.add_argument("--assert-speedup", type=float, default=None,
                    help="(multiprocess) fail unless shm/pipe speedup on the largest "
                         "config reaches this factor; (kernels) fail unless the "
-                        "best compiled/float32 speedup reaches it")
+                        "best compiled/float32 speedup reaches it; (sessions) fail "
+                        "unless the cohort/naive speedup at the largest session "
+                        "count reaches it")
     b.add_argument("--trace", default=None, metavar="FILE",
                    help="(multiprocess) also record the merged step/stage/kernel "
                         "timeline and write it as a Chrome trace_event file")

@@ -245,9 +245,19 @@ def fused_step_batch(ctx: ExecutionContext, state: FilterState) -> bool:
     # -- estimate: rows are sorted descending, so each row's best particle
     #    sits in column 0 and the global max-weight winner is the argmax of
     #    that column (first occurrence — same tie-break as the reference
-    #    flat scan over the sorted population). ----------------------------
-    lead = int(plan.col0.argmax())
-    est = states[lead, order[lead, 0]].astype(np.float64)
+    #    flat scan over the sorted population). A cohort context stripes the
+    #    reduction per session block: each block of ``cohort_block_rows``
+    #    rows is an independent filter and yields its own estimate row, with
+    #    the same first-occurrence tie-break the block would see alone. -----
+    block = getattr(ctx, "cohort_block_rows", None)
+    if block is None:
+        lead = int(plan.col0.argmax())
+        est = states[lead, order[lead, 0]].astype(np.float64)
+    else:
+        n_blocks = F // block
+        leads = np.ascontiguousarray(plan.col0).reshape(n_blocks, block).argmax(axis=1)
+        rows = leads + np.arange(n_blocks, dtype=np.intp) * block
+        est = states[rows, order[rows, 0]].astype(np.float64)
 
     # -- exchange: send each row's top-t (columns 0..t of the sort), pool
     #    [own | received]. The own block stays in *unsorted* particle order;

@@ -84,6 +84,16 @@ class FilterState:
     #: keyed pool of reusable work buffers (see :meth:`scratch`); survives
     #: across rounds so the steady-state hot path is allocation-free.
     _scratch: dict = field(default_factory=dict, repr=False)
+    #: optional cap (bytes) on the bytes the scratch pool may retain; the
+    #: least-recently-used buffers are dropped past it. ``None`` (the
+    #: default) keeps the historical unbounded behaviour — long-lived
+    #: session servers set a cap so shape churn cannot grow the pool
+    #: without bound.
+    scratch_cap_bytes: int | None = None
+    _scratch_bytes: int = field(default=0, repr=False)
+    _scratch_hits: int = field(default=0, repr=False)
+    _scratch_misses: int = field(default=0, repr=False)
+    _scratch_evictions: int = field(default=0, repr=False)
 
     def reset(self, states: np.ndarray, log_weights: np.ndarray,
               widths: np.ndarray | None = None) -> None:
@@ -96,6 +106,7 @@ class FilterState:
         self.alloc_counters = _fresh_alloc_counters()
         self.last_estimate = None
         self._scratch = {}
+        self._scratch_bytes = 0
         self.clear_round()
 
     # -- reusable work buffers --------------------------------------------------
@@ -114,7 +125,16 @@ class FilterState:
         pool_key = (key, tuple(shape), dtype)
         arr = self._scratch.get(pool_key)
         if arr is None:
+            self._scratch_misses += 1
             arr = np.empty(shape, dtype=dtype)
+            self._scratch[pool_key] = arr
+            self._scratch_bytes += arr.nbytes
+            self._enforce_scratch_cap(pool_key)
+        else:
+            self._scratch_hits += 1
+            # Refresh recency (dicts preserve insertion order, so the pool
+            # doubles as an LRU list: oldest entries sit at the front).
+            del self._scratch[pool_key]
             self._scratch[pool_key] = arr
         return arr
 
@@ -128,7 +148,50 @@ class FilterState:
         dtype — a later :meth:`scratch` call only receives it when both
         match exactly.
         """
-        self._scratch[(key, arr.shape, arr.dtype)] = arr
+        pool_key = (key, arr.shape, arr.dtype)
+        old = self._scratch.pop(pool_key, None)
+        if old is not None:
+            self._scratch_bytes -= old.nbytes
+        self._scratch[pool_key] = arr
+        self._scratch_bytes += arr.nbytes
+        self._enforce_scratch_cap(pool_key)
+
+    def _enforce_scratch_cap(self, keep) -> None:
+        """Drop least-recently-used buffers past ``scratch_cap_bytes``.
+
+        Never evicts *keep* (the buffer just handed out or donated): callers
+        hold it live this round. Eviction merely forgets a buffer — the
+        scratch contract says contents are garbage, so a later request for
+        the same key simply allocates fresh.
+        """
+        cap = self.scratch_cap_bytes
+        if cap is None or self._scratch_bytes <= cap:
+            return
+        for k in list(self._scratch):
+            if self._scratch_bytes <= cap:
+                break
+            if k == keep:
+                continue
+            self._scratch_bytes -= self._scratch.pop(k).nbytes
+            self._scratch_evictions += 1
+
+    def scratch_stats(self) -> dict:
+        """Scratch-pool health: ``hits``/``misses``/``evictions`` are
+        cumulative across the state's lifetime; ``buffers``/``bytes_held``
+        describe what the pool currently retains."""
+        return {
+            "hits": self._scratch_hits,
+            "misses": self._scratch_misses,
+            "evictions": self._scratch_evictions,
+            "buffers": len(self._scratch),
+            "bytes_held": self._scratch_bytes,
+        }
+
+    def clear_scratch(self) -> None:
+        """Drop every retained buffer (cohort membership changes call this:
+        the slab shape changed, so pooled buffers can never be served again)."""
+        self._scratch.clear()
+        self._scratch_bytes = 0
 
     def clear_round(self) -> None:
         """Drop per-round scratch (pooled sets, measurement, estimate)."""

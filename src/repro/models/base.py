@@ -45,6 +45,14 @@ class StateSpaceModel(abc.ABC):
     state_dim: int
     measurement_dim: int
     control_dim: int = 0
+    #: cohort-batchability declaration (see :mod:`repro.sessions.envelope`):
+    #: ``True`` promises that ``transition`` / ``log_likelihood`` are
+    #: elementwise over leading batch dims, accept measurements/controls
+    #: carrying leading ``(rows, 1)`` broadcast dims, and ignore the step
+    #: index ``k`` — so independent sessions may share one batched call.
+    #: Models with any population-global reduction or ``k``-dependent branch
+    #: must leave this ``False``.
+    supports_cohort_batch: bool = False
 
     # -- filtering interface ------------------------------------------------
     @abc.abstractmethod

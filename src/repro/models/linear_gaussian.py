@@ -14,6 +14,11 @@ from repro.prng.streams import FilterRNG
 
 
 class LinearGaussianModel(StateSpaceModel):
+    #: transition/log_likelihood are matmuls over the state axis plus
+    #: elementwise noise — no cross-particle coupling, no use of ``k`` — so
+    #: independent sessions may share one batched call.
+    supports_cohort_batch = True
+
     def __init__(
         self,
         A: np.ndarray,
@@ -49,6 +54,15 @@ class LinearGaussianModel(StateSpaceModel):
         self._Lr = np.linalg.cholesky(self.R)
         self._L0 = np.linalg.cholesky(self.x0_cov)
         self._Rinv = np.linalg.inv(self.R)
+
+    def signature(self) -> tuple:
+        """Value-based identity for cohort formation: two instances built
+        from equal matrices group into the same cohort slab."""
+        return ("linear_gaussian",
+                self.A.tobytes(), self.C.tobytes(), self.Q.tobytes(),
+                self.R.tobytes(),
+                None if self.B is None else self.B.tobytes(),
+                self.x0_mean.tobytes(), self.x0_cov.tobytes())
 
     def initial_particles(self, n: int, rng: FilterRNG, dtype=np.float64) -> np.ndarray:
         z = rng.normal((n, self.state_dim), dtype=np.float64)

@@ -1,0 +1,261 @@
+"""The cohort: many same-shaped sessions stepped as one slab.
+
+A :class:`Cohort` owns a ``(R * X, m, d)`` population slab holding ``R``
+sessions of ``X`` sub-filters each (block ``j`` owns rows
+``[j*X, (j+1)*X)``), a block-diagonal neighbour table (``R`` disjoint
+copies of the session topology, so exchange never crosses a session
+boundary), and a cohort pipeline built from the block-local stages in
+:mod:`repro.sessions.stages`. One :meth:`step` call advances every ready
+session by one filtering round through a single vectorized (or fused
+compiled) pipeline pass — the paper's many-core batching argument applied
+across *filters* instead of across particles.
+
+Parity contract: a session stepped through a cohort produces bit-identical
+estimates, populations, widths and counters to the same session stepped
+alone on a :class:`~repro.core.DistributedParticleFilter`, for any
+interleaving of cohort-mates attaching, detaching or idling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.registry import make_policy, make_resampler
+from repro.engine import KernelTimingHook, TimerHook
+from repro.engine.state import FilterState
+from repro.metrics.timing import PhaseTimer
+from repro.sessions.rng import CohortRNG
+from repro.sessions.session import FilterSession
+from repro.sessions.stages import CohortExecutionContext, build_cohort_pipeline
+from repro.topology import resolve_topology
+
+
+class _BlockTopology:
+    """Synthetic pairwise topology view over the block-diagonal table.
+
+    The stages only ever ask ``pooled`` (routing itself goes through the
+    explicit neighbour table); a cohort table is never pooled — the envelope
+    only admits pooled topologies when their neighbour table is empty, which
+    short-circuits the exchange before this object is consulted.
+    """
+
+    pooled = False
+
+    def __init__(self, n_filters: int):
+        self.n_filters = n_filters
+
+
+class Cohort:
+    """A slab of interchangeable-shape sessions stepped together."""
+
+    def __init__(self, key, model, config, tracer=None,
+                 scratch_cap_bytes: int | None = None):
+        from repro.core.dtypes import resolve_dtype_policy
+        from repro.engine.fused import fused_envelope_ok
+        from repro.kernels.forms import ExecutionPolicy
+
+        self.key = key
+        self.model = model
+        self.config = config
+        self.X = config.n_filters
+        self.sessions: list[FilterSession] = []
+        self.rng = CohortRNG()
+        self.resampler = make_resampler(config.resampler)
+        self.policy = make_policy(config.resample_policy, config.resample_arg)
+        self.dtype_policy = resolve_dtype_policy(config.dtype_policy, config.dtype)
+        self.exec_policy = ExecutionPolicy.from_config(config.execution)
+        self.tracer = tracer
+        self._base_table = resolve_topology(config.topology, self.X).neighbor_table()
+        #: the full slab; ``_sub`` is the persistent gather target for ticks
+        #: where only a subset of sessions has work (its scratch pool and
+        #: fused plan are reused whenever the same subset size recurs).
+        self._state = FilterState(scratch_cap_bytes=scratch_cap_bytes)
+        self._sub = FilterState(scratch_cap_bytes=scratch_cap_bytes)
+        self._ctx_cache: dict[int, CohortExecutionContext] = {}
+        self.use_fused = (config.execution == "compiled"
+                          and fused_envelope_ok(config))
+        self.timer = PhaseTimer()
+        self.kernel_hook = KernelTimingHook(tracer=tracer)
+        self.pipeline = build_cohort_pipeline(
+            hooks=[TimerHook(self.timer, tracer=tracer), self.kernel_hook],
+            fused=self.use_fused)
+        if config.execution != "reference":
+            from repro.kernels.registry import default_registry
+
+            self.exec_policy.warm_up(default_registry())
+        self.steps = 0
+
+    def __len__(self) -> int:
+        return len(self.sessions)
+
+    # -- membership ----------------------------------------------------------
+    def attach(self, sess: FilterSession) -> None:
+        """Append *sess*'s population as the slab's last block."""
+        sess.ensure_initialized(self.dtype_policy)
+        states, logw, widths = sess.take_population()
+        st = self._state
+        if st.states is None:
+            st.states = states
+            st.log_weights = logw
+            st.widths = widths
+        else:
+            if (st.widths is None) != (widths is None):
+                raise ValueError("cohort-mates disagree on width layout")
+            st.states = np.concatenate([st.states, states], axis=0)
+            st.log_weights = np.concatenate([st.log_weights, logw], axis=0)
+            if widths is not None:
+                st.widths = np.concatenate([st.widths, widths])
+        sess.cohort = self
+        sess.block = len(self.sessions)
+        self.sessions.append(sess)
+        self._membership_changed()
+
+    def detach(self, sess: FilterSession) -> None:
+        """Remove *sess* without disturbing any cohort-mate's rows or stream.
+
+        The last block is swapped into the vacated slot and the slab is
+        truncated — every remaining session keeps its own rows and its own
+        generator, so remaining traces are unaffected by who leaves.
+        """
+        if sess.cohort is not self:
+            raise ValueError(f"session {sess.session_id!r} is not in this cohort")
+        X = self.X
+        b = sess.block
+        st = self._state
+        last = len(self.sessions) - 1
+        states = st.states[b * X:(b + 1) * X].copy()
+        logw = st.log_weights[b * X:(b + 1) * X].copy()
+        widths = None if st.widths is None else st.widths[b * X:(b + 1) * X].copy()
+        if b != last:
+            st.states[b * X:(b + 1) * X] = st.states[last * X:(last + 1) * X]
+            st.log_weights[b * X:(b + 1) * X] = st.log_weights[last * X:(last + 1) * X]
+            if st.widths is not None:
+                st.widths[b * X:(b + 1) * X] = st.widths[last * X:(last + 1) * X]
+            moved = self.sessions[last]
+            self.sessions[b] = moved
+            moved.block = b
+        self.sessions.pop()
+        if last == 0:
+            st.states = st.log_weights = st.widths = None
+        else:
+            st.states = st.states[:last * X].copy()
+            st.log_weights = st.log_weights[:last * X].copy()
+            if st.widths is not None:
+                st.widths = st.widths[:last * X].copy()
+        sess.cohort = None
+        sess.block = -1
+        sess.store_population(states, logw, widths)
+        self._membership_changed()
+
+    def _membership_changed(self) -> None:
+        # The slab shape changed: pooled scratch buffers and the fused plan
+        # are keyed by shape and can never be served again — drop them so
+        # they don't sit in (capped) scratch memory.
+        for st in (self._state, self._sub):
+            st.clear_scratch()
+            if hasattr(st, "_fused_plan"):
+                del st._fused_plan
+        self._sub.states = self._sub.log_weights = self._sub.widths = None
+
+    def session_rows(self, sess: FilterSession):
+        """Views of *sess*'s ``(X, m, d)`` rows inside the slab."""
+        X, b = self.X, sess.block
+        st = self._state
+        return (st.states[b * X:(b + 1) * X],
+                st.log_weights[b * X:(b + 1) * X],
+                None if st.widths is None else st.widths[b * X:(b + 1) * X])
+
+    # -- stepping ------------------------------------------------------------
+    def _ctx_for(self, R: int) -> CohortExecutionContext:
+        ctx = self._ctx_cache.get(R)
+        if ctx is None:
+            X = self.X
+            cfg = self.config.with_(n_filters=R * X)
+            base = self._base_table
+            deg = base.shape[1]
+            offsets = np.arange(R, dtype=base.dtype) * X
+            table = np.where(
+                base[None, :, :] >= 0,
+                base[None, :, :] + offsets[:, None, None],
+                base.dtype.type(-1),
+            ).reshape(R * X, deg)
+            ctx = CohortExecutionContext(
+                model=self.model, config=cfg, rng=self.rng,
+                resampler=self.resampler, policy=self.policy,
+                dtype=self.dtype_policy.state,
+                topology=_BlockTopology(R * X), table=table, mask=table >= 0,
+                owner=None, alloc_policy=None, exec_policy=self.exec_policy,
+                dtype_policy=self.dtype_policy,
+                cohort_block_rows=X,
+            )
+            self._ctx_cache[R] = ctx
+        return ctx
+
+    @staticmethod
+    def _pack(values, X: int) -> np.ndarray | None:
+        """Stack per-session vectors and repeat per sub-filter row.
+
+        ``(R,)`` payloads become a ``(R*X, 1, z)`` array: row blocks carry
+        their own session's measurement and the singleton particle axis
+        broadcasts against ``(rows, m, z)`` predictions — elementwise
+        identical to the solo filter's plain-broadcast measurement.
+        """
+        if all(v is None for v in values):
+            return None
+        if any(v is None for v in values):
+            raise ValueError("cohort-mates disagree on control presence")
+        stacked = np.stack([np.asarray(v).reshape(-1) for v in values])
+        return np.repeat(stacked, X, axis=0)[:, None, :]
+
+    def step(self, ready: list[FilterSession], measurements, controls=None):
+        """Advance every session in *ready* by one round; returns estimates.
+
+        *ready* must be a subset of the cohort's sessions; ``measurements``
+        (and ``controls``) align with it, and the returned list of ``(d,)``
+        estimates aligns with *ready* in its original order (the slab is
+        stepped in block order internally).
+        """
+        order = sorted(range(len(ready)), key=lambda i: ready[i].block)
+        ready = [ready[i] for i in order]
+        measurements = [measurements[i] for i in order]
+        if controls is not None:
+            controls = [controls[i] for i in order]
+        R = len(ready)
+        X = self.X
+        st = self._state
+        partial = R != len(self.sessions)
+        if partial:
+            blocks = np.array([s.block for s in ready], dtype=np.intp)
+            rows = (blocks[:, None] * X + np.arange(X, dtype=np.intp)).reshape(-1)
+            state = self._sub
+            state.states = st.states[rows]
+            state.log_weights = st.log_weights[rows]
+            state.widths = None if st.widths is None else st.widths[rows]
+        else:
+            state = st
+        meas = self._pack(measurements, X)
+        ctrl = None if controls is None else self._pack(controls, X)
+        ctx = self._ctx_for(R)
+        ctx.cohort_sessions = ready
+        self.rng.bind([s.rng for s in ready], X)
+        est = self.pipeline.run(ctx, state, meas, ctrl)
+        if partial:
+            st.states[rows] = state.states
+            st.log_weights[rows] = state.log_weights
+            if st.widths is not None:
+                st.widths[rows] = state.widths
+        self.steps += 1
+        out = [None] * R
+        for j, sess in enumerate(ready):
+            e = np.array(est[j], dtype=np.float64)
+            sess.k += 1
+            sess.last_estimate = e
+            out[order[j]] = e
+        return out
+
+    # -- introspection -------------------------------------------------------
+    def scratch_stats(self) -> dict:
+        """Combined scratch-pool stats of the slab and the subset buffer."""
+        full = self._state.scratch_stats()
+        sub = self._sub.scratch_stats()
+        return {k: full[k] + sub[k] for k in full}

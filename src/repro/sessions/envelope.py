@@ -1,0 +1,84 @@
+"""The cohort envelope: which (model, config) pairs may share a slab.
+
+Cohort batching advances several independent sessions through one batched
+pipeline call. That is only bit-identical to stepping each session alone
+when every operation of the round is **block-local** — no floating-point
+value, RNG draw or control-flow decision of one session's rows may depend on
+another session's rows. The checks here are the static part of that
+argument; the striped RNG (:mod:`repro.sessions.rng`) is the dynamic part.
+
+Out-of-envelope sessions are still served — the scheduler runs them on a
+private :class:`~repro.core.DistributedParticleFilter` — they just don't get
+the batched fast path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+
+from repro.core.parameters import DistributedFilterConfig
+
+#: Resamplers whose ``resample_batch`` draws exactly one leading-dim-``rows``
+#: uniform block (verified against :mod:`repro.resampling`): these stripe
+#: cleanly across per-session generators. ``metropolis`` draws a
+#: ``(2, F, B, n)`` tensor and the alias/multinomial/residual family loops
+#: rows through scalar draws — neither maps onto per-block streams.
+COHORT_SAFE_RESAMPLERS = frozenset({"rws", "roulette", "systematic", "stratified"})
+
+
+def cohort_envelope(model, cfg: DistributedFilterConfig) -> tuple[bool, str]:
+    """``(ok, reason)`` — may sessions of this (model, config) share a slab?
+
+    The conditions, each tied to a cross-row coupling it excludes:
+
+    - the model must declare ``supports_cohort_batch``: its ``transition`` /
+      ``log_likelihood`` are elementwise over leading batch dims, accept
+      measurements/controls with leading ``(rows, 1)`` broadcast dims, and
+      ignore the step index ``k`` (cohort-mates run on different clocks);
+    - no FRIM redraws and no roughening (the roughening jitter scale is a
+      *population-wide* state range — inherently cross-session);
+    - a stripe-safe resampler (see :data:`COHORT_SAFE_RESAMPLERS`);
+    - no pooled (All-to-All) exchange across multiple sub-filters: the
+      global pool would mix particles between sessions. Single-sub-filter
+      sessions are fine — their neighbour table is empty either way.
+    """
+    if not getattr(model, "supports_cohort_batch", False):
+        return False, "model does not declare supports_cohort_batch"
+    if cfg.frim_redraws > 0:
+        return False, "FRIM redraws compare candidates through shared draws"
+    if cfg.roughening > 0.0:
+        return False, "roughening scales jitter by the global state span"
+    if cfg.resampler not in COHORT_SAFE_RESAMPLERS:
+        return False, (
+            f"resampler {cfg.resampler!r} does not stripe per session "
+            f"(safe: {sorted(COHORT_SAFE_RESAMPLERS)})")
+    if cfg.n_exchange > 0 and cfg.n_filters > 1:
+        from repro.topology import resolve_topology
+
+        if resolve_topology(cfg.topology, cfg.n_filters).pooled:
+            return False, "pooled (All-to-All) exchange mixes sessions"
+    return True, ""
+
+
+def cohort_key(model, cfg: DistributedFilterConfig) -> tuple:
+    """The cohort-formation key: sessions with equal keys share one slab.
+
+    Two sessions are slab-compatible when they run the *same model* and the
+    same configuration **up to the seed** — the seed (the RNG lineage) is
+    exactly the per-session degree of freedom cohort batching preserves.
+    Models that implement ``signature()`` group by value (two equivalent
+    model instances share a cohort); others group by identity.
+    """
+    sig = getattr(model, "signature", None)
+    model_key = sig() if callable(sig) else id(model)
+    cfg_key = []
+    for f in fields(cfg):
+        if f.name == "seed":
+            continue
+        v = getattr(cfg, f.name)
+        try:
+            hash(v)
+        except TypeError:  # e.g. a pre-built topology object
+            v = id(v)
+        cfg_key.append((f.name, v))
+    return (model_key, tuple(cfg_key))

@@ -1,0 +1,69 @@
+"""Tests for the session-layer throughput benchmark."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import resolve_grid
+from repro.bench.sessions import (
+    GRIDS,
+    SessionBenchModel,
+    run_sessions_bench,
+    write_report,
+)
+from repro.prng import make_rng
+
+
+class TestResolveGrid:
+    def test_named_grid(self):
+        assert resolve_grid(GRIDS, "smoke") == GRIDS["smoke"]
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(ValueError, match=r"unknown grid 'xl'.*default.*full.*smoke"):
+            resolve_grid(GRIDS, "xl")
+
+    def test_explicit_list_passes_through_as_tuples(self):
+        assert resolve_grid(GRIDS, [[4, 8], (2, 2)]) == [(4, 8), (2, 2)]
+
+
+class TestSessionBenchModel:
+    def test_cohort_broadcast_matches_per_session_likelihood(self):
+        # The (rows, 1, 1) packed measurement must evaluate elementwise
+        # identically to each session's scalar measurement.
+        model = SessionBenchModel()
+        rng = make_rng("numpy", seed=0)
+        states = rng.normal((4, 2, 1))
+        meas = rng.normal((4, 1))
+        batched = model.log_likelihood(states, meas[:, None, :], k=0)
+        for i in range(4):
+            np.testing.assert_array_equal(
+                batched[i], model.log_likelihood(states[i], meas[i], k=0))
+
+    def test_simulate_roundtrip(self):
+        truth = SessionBenchModel().simulate(5, make_rng("numpy", seed=1))
+        assert truth.measurements.shape == (5, 1)
+
+
+class TestRunSessionsBench:
+    def test_report_structure_and_parity(self):
+        report = run_sessions_bench(grid=[3], steps=2, warmup=1)
+        assert [r["sessions"] for r in report["rows"]] == [3, 3]
+        for row in report["rows"]:
+            assert row["parity_ok"]
+            assert row["naive_steps_per_s"] > 0
+            assert row["cohort_steps_per_s"] > 0
+            assert row["latency_p99_s"] >= row["latency_p50_s"] >= 0
+        summary = report["summary"]
+        assert summary["largest_sessions"] == 3
+        assert summary["largest_speedup"] == max(
+            r["speedup"] for r in report["rows"])
+        assert summary["best_config"]["sessions"] == 3
+
+    def test_write_report_roundtrip(self, tmp_path):
+        report = run_sessions_bench(grid=[2], steps=1, warmup=0)
+        path = write_report(report, str(tmp_path / "BENCH_sessions.json"))
+        with open(path) as fh:
+            back = json.load(fh)
+        assert back["benchmark"] == "sessions"
+        assert back["rows"] == report["rows"]

@@ -63,3 +63,65 @@ class TestScratch:
         assert got32.dtype == np.float32
         # The donated buffer still serves float64 requests of its shape.
         assert s.scratch("w", (3, 5), np.float64) is donated
+
+
+class TestScratchStatsAndCap:
+    """The session-server additions: observable pool health, bounded size."""
+
+    def test_stats_track_hits_misses_and_bytes(self):
+        s = make_state()
+        s.scratch("k", (4,), np.float64)
+        s.scratch("k", (4,), np.float64)
+        s.scratch("j", (2, 8), np.float32)
+        stats = s.scratch_stats()
+        assert stats["misses"] == 2
+        assert stats["hits"] == 1
+        assert stats["buffers"] == 2
+        assert stats["bytes_held"] == 4 * 8 + 2 * 8 * 4
+        assert stats["evictions"] == 0
+
+    def test_cap_evicts_least_recently_used(self):
+        s = make_state()
+        s.scratch_cap_bytes = 200
+        a = s.scratch("a", (16,), np.float64)  # 128 bytes
+        s.scratch("b", (8,), np.float64)       # 64 bytes -> 192 held
+        s.scratch("a", (16,), np.float64)      # refresh a's recency
+        s.scratch("c", (8,), np.float64)       # 256 held -> evict LRU ("b")
+        stats = s.scratch_stats()
+        assert stats["evictions"] == 1
+        assert stats["bytes_held"] == 192
+        # "a" survived (recently used); "b" was the eviction victim.
+        assert s.scratch("a", (16,), np.float64) is a
+        assert s.scratch_stats()["hits"] >= 2
+
+    def test_cap_never_evicts_the_buffer_just_served(self):
+        s = make_state()
+        s.scratch_cap_bytes = 8
+        big = s.scratch("big", (100,), np.float64)  # alone over the cap
+        assert s.scratch("big", (100,), np.float64) is big
+        assert s.scratch_stats()["buffers"] == 1
+
+    def test_recycle_respects_the_cap(self):
+        s = make_state()
+        s.scratch_cap_bytes = 100
+        s.scratch("a", (8,), np.float64)            # 64 bytes
+        s.recycle("d", np.empty(10, np.float64))    # 80 more -> evict "a"
+        stats = s.scratch_stats()
+        assert stats["evictions"] == 1
+        assert stats["bytes_held"] == 80
+
+    def test_clear_scratch_drops_buffers_keeps_counters(self):
+        s = make_state()
+        s.scratch("k", (4,), np.float64)
+        s.scratch("k", (4,), np.float64)
+        s.clear_scratch()
+        stats = s.scratch_stats()
+        assert stats["buffers"] == 0 and stats["bytes_held"] == 0
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_uncapped_pool_never_evicts(self):
+        s = make_state()
+        for i in range(32):
+            s.scratch(f"k{i}", (64,), np.float64)
+        assert s.scratch_stats()["evictions"] == 0
+        assert s.scratch_stats()["buffers"] == 32

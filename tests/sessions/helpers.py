@@ -1,0 +1,71 @@
+"""Shared parity harness: a cohort-stepped session must be bit-identical to
+the same (model, config) pair run alone on a DistributedParticleFilter."""
+
+import numpy as np
+import pytest
+
+from repro.core import DistributedFilterConfig, DistributedParticleFilter
+from repro.models import LinearGaussianModel
+from repro.prng import make_rng
+from repro.sessions import SessionManager
+
+
+def scalar_model():
+    return LinearGaussianModel(A=[[0.9]], C=[[1.0]], Q=[[0.04]], R=[[0.01]])
+
+
+def measurements(n_sessions, n_steps, meas_dim=1, seed=77):
+    rng = make_rng("numpy", seed=seed)
+    return rng.normal((n_sessions, n_steps, meas_dim))
+
+
+def solo_run(model, cfg, meas):
+    """Trajectory + final population of one filter stepped alone."""
+    pf = DistributedParticleFilter(model, cfg)
+    pf.initialize()
+    ests = np.array([np.asarray(pf.step(z), dtype=np.float64) for z in meas])
+    widths = pf._state.widths
+    return {
+        "estimates": ests,
+        "states": pf.states.copy(),
+        "log_weights": pf.log_weights.copy(),
+        "widths": None if widths is None else widths.copy(),
+    }
+
+
+def cohort_run(model, cfgs, meas, manager=None):
+    """The same sessions stepped through one SessionManager; returns a list
+    of per-session dicts shaped like :func:`solo_run`'s."""
+    mgr = manager or SessionManager()
+    S, T = meas.shape[:2]
+    for i, cfg in enumerate(cfgs):
+        mgr.attach(f"s{i}", model, cfg)
+    ests = [[] for _ in range(S)]
+    for k in range(T):
+        for i in range(S):
+            mgr.submit(f"s{i}", meas[i, k])
+        for res in mgr.tick():
+            ests[int(res.session_id[1:])].append(res.estimate)
+    out = []
+    for i in range(S):
+        sess = mgr.sessions[f"s{i}"]
+        out.append({
+            "estimates": np.array(ests[i]),
+            "states": np.asarray(sess.states).copy(),
+            "log_weights": np.asarray(sess.log_weights).copy(),
+            "widths": None if sess.widths is None else np.asarray(sess.widths).copy(),
+        })
+    return out
+
+
+def assert_bit_identical(got, want, label=""):
+    np.testing.assert_array_equal(got["estimates"], want["estimates"],
+                                  err_msg=f"{label}: estimates diverged")
+    np.testing.assert_array_equal(got["states"], want["states"],
+                                  err_msg=f"{label}: states diverged")
+    np.testing.assert_array_equal(got["log_weights"], want["log_weights"],
+                                  err_msg=f"{label}: log-weights diverged")
+    assert (got["widths"] is None) == (want["widths"] is None)
+    if want["widths"] is not None:
+        np.testing.assert_array_equal(got["widths"], want["widths"],
+                                      err_msg=f"{label}: widths diverged")

@@ -1,0 +1,100 @@
+"""Tests for the striped per-session generator behind cohort batching."""
+
+import numpy as np
+import pytest
+
+from repro.prng import make_rng
+from repro.sessions import CohortRNG, CohortStripeError
+
+
+def bound_rng(n_sessions=3, block_rows=2, kind="numpy"):
+    rng = CohortRNG()
+    gens = [make_rng(kind, seed=100 + i) for i in range(n_sessions)]
+    rng.bind(gens, block_rows)
+    return rng, gens
+
+
+def solo_gens(n_sessions=3, kind="numpy"):
+    return [make_rng(kind, seed=100 + i) for i in range(n_sessions)]
+
+
+class TestStriping:
+    @pytest.mark.parametrize("method", ["uniform", "normal"])
+    def test_batched_draw_is_stitched_solo_draws(self, method):
+        rng, _ = bound_rng()
+        solo = solo_gens()
+        batched = getattr(rng, method)((6, 4))
+        for j, g in enumerate(solo):
+            expect = getattr(g, method)((2, 4))
+            np.testing.assert_array_equal(batched[2 * j:2 * (j + 1)], expect)
+
+    def test_successive_draws_preserve_per_session_order(self):
+        # Each session consumes its own stream in solo order across calls
+        # and across mixed uniform/normal draws.
+        rng, _ = bound_rng()
+        solo = solo_gens()
+        a = rng.normal((6, 3))
+        b = rng.uniform((6,))
+        for j, g in enumerate(solo):
+            np.testing.assert_array_equal(a[2 * j:2 * (j + 1)], g.normal((2, 3)))
+            np.testing.assert_array_equal(b[2 * j:2 * (j + 1)], g.uniform((2,)))
+
+    def test_dtype_matches_request(self):
+        rng, _ = bound_rng()
+        assert rng.normal((6, 2), dtype=np.float32).dtype == np.float32
+
+    def test_philox_streams_stripe_too(self):
+        rng, _ = bound_rng(kind="philox")
+        solo = solo_gens(kind="philox")
+        batched = rng.uniform((6,))
+        for j, g in enumerate(solo):
+            np.testing.assert_array_equal(batched[2 * j:2 * (j + 1)], g.uniform((2,)))
+
+
+class TestStripeErrors:
+    def test_wrong_leading_dim_raises(self):
+        rng, _ = bound_rng()
+        with pytest.raises(CohortStripeError, match="does not match"):
+            rng.normal((5, 3))
+
+    def test_scalar_shape_raises(self):
+        rng, _ = bound_rng()
+        with pytest.raises(CohortStripeError, match="no leading rows"):
+            rng.uniform(())
+
+    def test_spawn_is_refused(self):
+        rng, _ = bound_rng()
+        with pytest.raises(NotImplementedError):
+            rng.spawn(0)
+
+
+class TestScoping:
+    def test_scoped_rows_draws_only_from_owning_sessions(self):
+        # Sessions 0 and 2 resample (rows 0,1,4,5); session 1 must not
+        # consume any stream state.
+        rng, _ = bound_rng()
+        solo = solo_gens()
+        with rng.scoped_rows(np.array([0, 1, 4, 5])):
+            sub = rng.uniform((4,))
+        np.testing.assert_array_equal(sub[:2], solo[0].uniform((2,)))
+        np.testing.assert_array_equal(sub[2:], solo[2].uniform((2,)))
+        # A following full-width draw still aligns: session 1's stream is
+        # exactly where a solo run that skipped the resample would be.
+        full = rng.normal((6,))
+        np.testing.assert_array_equal(full[2:4], solo[1].normal((2,)))
+
+    def test_scoped_rows_restores_full_striping(self):
+        rng, _ = bound_rng()
+        with rng.scoped_rows(np.array([0, 1])):
+            rng.uniform((2,))
+        rng.uniform((6,))  # must not raise
+
+    def test_delegating_forwards_verbatim(self):
+        rng, _ = bound_rng()
+        solo = solo_gens()
+        with rng.delegating(1):
+            flat = rng.uniform((5,))
+        np.testing.assert_array_equal(flat, solo[1].uniform((5,)))
+        # Delegation over: striping resumes.
+        with pytest.raises(CohortStripeError):
+            rng.uniform((5,))

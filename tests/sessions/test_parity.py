@@ -1,0 +1,110 @@
+"""The session layer's core contract: cohort-stepped == solo, bit for bit."""
+
+import numpy as np
+import pytest
+
+from repro.core import DistributedFilterConfig, DistributedParticleFilter
+from repro.models import LinearGaussianModel, UNGMModel
+from repro.sessions import SessionManager, cohort_envelope, cohort_key
+from tests.sessions.helpers import (
+    assert_bit_identical,
+    cohort_run,
+    measurements,
+    scalar_model,
+    solo_run,
+)
+
+#: every config is run as S=3 sessions (seeds differ) through one cohort and
+#: compared bitwise, session by session, to the solo filter.
+CONFIGS = {
+    "single_filter": dict(n_particles=8, n_filters=1, n_exchange=0),
+    "ring_exchange": dict(n_particles=8, n_filters=4, topology="ring", n_exchange=2),
+    "fused_compiled": dict(n_particles=8, n_filters=4, topology="ring",
+                           n_exchange=1, execution="compiled"),
+    "ess_policy": dict(n_particles=8, n_filters=4, topology="ring", n_exchange=1,
+                       resample_policy="ess", resample_arg=0.5),
+    "adaptive_ess_alloc": dict(n_particles=8, n_filters=4, topology="ring",
+                               n_exchange=1, allocation="ess"),
+    "weighted_mean": dict(n_particles=8, n_filters=4, topology="ring",
+                          n_exchange=1, estimator="weighted_mean"),
+    "stratified": dict(n_particles=8, n_filters=4, topology="ring", n_exchange=1,
+                       resampler="stratified"),
+    "float32_policy": dict(n_particles=8, n_filters=4, topology="ring",
+                           n_exchange=1, dtype_policy="float32"),
+    "philox": dict(n_particles=8, n_filters=4, topology="ring", n_exchange=1,
+                   rng="philox"),
+}
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_cohort_matches_solo(name):
+    model = scalar_model()
+    kw = CONFIGS[name]
+    cfgs = [DistributedFilterConfig(seed=10 + i, **kw) for i in range(3)]
+    meas = measurements(3, 6)
+    got = cohort_run(model, cfgs, meas)
+    for i, cfg in enumerate(cfgs):
+        want = solo_run(model, cfg, meas[i])
+        assert_bit_identical(got[i], want, label=f"{name}/s{i}")
+
+
+def test_sessions_actually_share_one_cohort():
+    model = scalar_model()
+    cfgs = [DistributedFilterConfig(n_particles=8, n_filters=2, n_exchange=0,
+                                    seed=i) for i in range(4)]
+    mgr = SessionManager()
+    for i, cfg in enumerate(cfgs):
+        mgr.attach(f"s{i}", model, cfg)
+    assert len(mgr.cohorts) == 1
+    assert len(next(iter(mgr.cohorts.values()))) == 4
+
+
+def test_equal_value_models_share_a_cohort():
+    # cohort_key uses the model's value signature, so two instances built
+    # from equal matrices batch together.
+    m1, m2 = scalar_model(), scalar_model()
+    cfg = DistributedFilterConfig(n_particles=8, n_filters=1, n_exchange=0)
+    assert cohort_key(m1, cfg.with_(seed=1)) == cohort_key(m2, cfg.with_(seed=2))
+
+
+def test_different_shapes_form_different_cohorts():
+    model = scalar_model()
+    mgr = SessionManager()
+    mgr.attach("a", model, DistributedFilterConfig(n_particles=8, n_filters=1,
+                                                  n_exchange=0, seed=1))
+    mgr.attach("b", model, DistributedFilterConfig(n_particles=16, n_filters=1,
+                                                   n_exchange=0, seed=1))
+    assert len(mgr.cohorts) == 2
+
+
+class TestSoloFallback:
+    def test_out_of_envelope_model_is_served_solo(self):
+        model = UNGMModel()
+        cfg = DistributedFilterConfig(n_particles=8, n_filters=2, n_exchange=0,
+                                      seed=3)
+        ok, reason = cohort_envelope(model, cfg)
+        assert not ok and reason
+        mgr = SessionManager()
+        sess = mgr.attach("u", model, cfg)
+        assert sess.solo is not None
+        assert sess.envelope_reason == reason
+        assert not mgr.cohorts
+
+    def test_solo_fallback_matches_direct_filter(self):
+        model = UNGMModel()
+        cfg = DistributedFilterConfig(n_particles=8, n_filters=2, n_exchange=0,
+                                      seed=3)
+        meas = measurements(1, 5)
+        mgr = SessionManager()
+        mgr.attach("u", model, cfg)
+        ests = []
+        for k in range(5):
+            mgr.submit("u", meas[0, k])
+            (res,) = mgr.tick()
+            ests.append(res.estimate)
+        pf = DistributedParticleFilter(model, cfg)
+        pf.initialize()
+        want = np.array([np.asarray(pf.step(z), dtype=np.float64)
+                         for z in meas[0]])
+        np.testing.assert_array_equal(np.array(ests), want)
+        assert mgr.counters["solo_steps"] == 5

@@ -1,0 +1,148 @@
+"""Admission, bounded ingress, batch-on-size stepping and stats readout."""
+
+import numpy as np
+import pytest
+
+from repro.core import DistributedFilterConfig
+from repro.sessions import QueueFullError, SessionManager
+from tests.sessions.helpers import measurements, scalar_model
+
+
+def cfg(seed=0, **kw):
+    kw.setdefault("n_particles", 8)
+    kw.setdefault("n_filters", 1)
+    kw.setdefault("n_exchange", 0)
+    return DistributedFilterConfig(seed=seed, **kw)
+
+
+def manager_with(n=2, **kw):
+    mgr = SessionManager(**kw)
+    model = scalar_model()
+    for i in range(n):
+        mgr.attach(f"s{i}", model, cfg(seed=i))
+    return mgr
+
+
+class TestAdmission:
+    def test_duplicate_attach_rejected(self):
+        mgr = manager_with(1)
+        with pytest.raises(ValueError, match="already attached"):
+            mgr.attach("s0", scalar_model(), cfg())
+
+    def test_unknown_session_rejected(self):
+        mgr = manager_with(1)
+        with pytest.raises(KeyError):
+            mgr.submit("ghost", np.zeros(1))
+        with pytest.raises(KeyError):
+            mgr.detach("ghost")
+
+    def test_readmit_still_in_cohort_rejected(self):
+        mgr = manager_with(1)
+        with pytest.raises(ValueError, match="still in a cohort"):
+            SessionManager().readmit(mgr.sessions["s0"])
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="on_full"):
+            SessionManager(on_full="explode")
+        with pytest.raises(ValueError, match="max_queue"):
+            SessionManager(max_queue=0)
+
+
+class TestBoundedIngress:
+    def test_full_queue_raises_by_default(self):
+        mgr = manager_with(1, max_queue=2)
+        mgr.submit("s0", np.zeros(1))
+        mgr.submit("s0", np.zeros(1))
+        with pytest.raises(QueueFullError, match="queue is full"):
+            mgr.submit("s0", np.zeros(1))
+
+    def test_drop_oldest_evicts_and_counts(self):
+        mgr = manager_with(1, max_queue=2, on_full="drop_oldest")
+        for v in (1.0, 2.0, 3.0):
+            mgr.submit("s0", np.array([v]))
+        assert mgr.counters["dropped"] == 1
+        queued = [m[0][0] for m in mgr.sessions["s0"].queue]
+        assert queued == [2.0, 3.0]
+
+    def test_detach_drops_queued_observations(self):
+        mgr = manager_with(2)
+        mgr.submit("s0", np.zeros(1))
+        sess = mgr.detach("s0")
+        assert not sess.queue
+        assert mgr.queued == 0
+
+
+class TestStepping:
+    def test_tick_steps_only_ready_sessions(self):
+        mgr = manager_with(3)
+        meas = measurements(3, 1)
+        mgr.submit("s0", meas[0, 0])
+        mgr.submit("s2", meas[2, 0])
+        results = mgr.tick()
+        assert sorted(r.session_id for r in results) == ["s0", "s2"]
+        assert mgr.sessions["s1"].k == 0
+        assert mgr.counters["cohort_steps"] == 1
+        assert mgr.counters["session_steps"] == 2
+
+    def test_batch_on_size_steps_eagerly(self):
+        mgr = manager_with(3, batch_size=2)
+        meas = measurements(3, 1)
+        mgr.submit("s0", meas[0, 0])
+        assert not mgr._results  # below threshold: nothing stepped yet
+        mgr.submit("s1", meas[1, 0])
+        results = mgr.drain()
+        assert sorted(r.session_id for r in results) == ["s0", "s1"]
+        assert mgr.queued == 0
+
+    def test_pump_drains_everything(self):
+        mgr = manager_with(2)
+        meas = measurements(2, 3)
+        for k in range(3):
+            for i in range(2):
+                mgr.submit(f"s{i}", meas[i, k])
+        results = mgr.pump()
+        assert len(results) == 6
+        assert mgr.queued == 0
+        ks = [r.k for r in results if r.session_id == "s0"]
+        assert ks == [1, 2, 3]
+
+    def test_results_carry_latency(self):
+        mgr = manager_with(1)
+        mgr.submit("s0", np.zeros(1))
+        (res,) = mgr.tick()
+        assert res.latency_s >= 0.0
+        assert res.estimate.shape == (1,)
+
+
+class TestStats:
+    def test_stats_shape_and_counts(self):
+        mgr = manager_with(2)
+        meas = measurements(2, 2)
+        for k in range(2):
+            for i in range(2):
+                mgr.submit(f"s{i}", meas[i, k])
+            mgr.tick()
+        stats = mgr.stats()
+        assert stats["sessions"] == 2
+        assert stats["cohorts"] == 1
+        assert stats["solo_sessions"] == 0
+        assert stats["queued"] == 0
+        assert stats["counters"]["session_steps"] == 4
+        lat = stats["latency"]
+        assert lat["count"] == 4
+        assert 0.0 <= lat["p50_s"] <= lat["p99_s"] <= lat["max_s"]
+        assert set(stats["scratch"]) == {"hits", "misses", "evictions",
+                                         "buffers", "bytes_held"}
+
+    def test_reset_latency_restarts_window(self):
+        mgr = manager_with(1)
+        mgr.submit("s0", np.zeros(1))
+        mgr.tick()
+        assert mgr.stats()["latency"]["count"] == 1
+        mgr.reset_latency()
+        assert mgr.stats()["latency"]["count"] == 0
+
+    def test_scratch_cap_is_plumbed_to_cohorts(self):
+        mgr = manager_with(2, scratch_cap_bytes=1 << 20)
+        cohort = next(iter(mgr.cohorts.values()))
+        assert cohort._state.scratch_cap_bytes == 1 << 20

@@ -73,13 +73,26 @@ class TestCLI:
         for name in ("sort", "rws", "metropolis", "route_pooled"):
             assert name in out
 
-    def test_kernels_rejects_unknown_platform(self):
-        with pytest.raises(ValueError, match="unknown platform"):
-            main(["kernels", "--platform", "not-a-device"])
+    def test_kernels_rejects_unknown_platform(self, capsys):
+        # A clean diagnostic and exit code, not a ValueError traceback.
+        rc = main(["kernels", "--platform", "not-a-device"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown platform 'not-a-device'" in err
+        assert "gtx-580" in err  # the message lists the valid choices
 
     def test_bench_rejects_unknown_figure(self):
         with pytest.raises(SystemExit):
             main(["bench", "fig99"])
+
+    @pytest.mark.parametrize("figure", ["multiprocess", "kernels", "sessions"])
+    def test_bench_rejects_unknown_grid(self, figure, capsys):
+        # A clean diagnostic and exit code, not a KeyError traceback.
+        rc = main(["bench", figure, "--grid", "not-a-grid"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown grid 'not-a-grid'" in err
+        assert "smoke" in err  # the message lists the valid choices
 
     def test_report_to_file(self, tmp_path, capsys, monkeypatch):
         # Patch the heavy runners for a fast structural check of the report.
@@ -157,6 +170,51 @@ class TestBenchMultiprocessCLI:
         rc = main(["bench", "multiprocess"])
         assert rc == 1
         assert "disagreed" in capsys.readouterr().err
+
+
+class TestBenchSessionsCLI:
+    def fake_report(self, speedup=6.0):
+        row = {
+            "sessions": 64, "m": 32, "execution": "reference",
+            "total_particles": 2048,
+            "naive_steps_per_s": 4000.0,
+            "cohort_steps_per_s": 4000.0 * speedup,
+            "speedup": speedup,
+            "latency_p50_s": 0.001, "latency_p99_s": 0.002,
+            "parity_sessions": 8, "parity_ok": True,
+        }
+        return {
+            "benchmark": "sessions", "grid": "smoke", "steps": 25, "warmup": 3,
+            "metadata": {}, "rows": [row],
+            "summary": {
+                "best_speedup": speedup,
+                "best_config": {"sessions": 64, "m": 32,
+                                "execution": "reference"},
+                "largest_sessions": 64, "largest_speedup": speedup,
+            },
+        }
+
+    def patch(self, monkeypatch, **kw):
+        import repro.bench.sessions as sessions
+
+        monkeypatch.setattr(sessions, "run_sessions_bench",
+                            lambda **kwargs: self.fake_report(**kw))
+
+    def test_writes_report_and_asserts_speedup(self, tmp_path, capsys, monkeypatch):
+        self.patch(monkeypatch, speedup=6.0)
+        out_path = tmp_path / "sessions.json"
+        rc = main(["bench", "sessions", "--grid", "smoke",
+                   "-o", str(out_path), "--assert-speedup", "5.0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "speedup   6.00x" in out and "parity=ok" in out
+        assert json.loads(out_path.read_text())["summary"]["largest_speedup"] == 6.0
+
+    def test_fails_below_required_speedup(self, capsys, monkeypatch):
+        self.patch(monkeypatch, speedup=1.2)
+        rc = main(["bench", "sessions", "--assert-speedup", "5.0"])
+        assert rc == 1
+        assert "FAIL" in capsys.readouterr().err
 
 
 class TestRunCLI:
