@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-kernels bench-sessions report examples all clean
+.PHONY: install test bench bench-kernels bench-sessions bench-shard report examples all clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -18,6 +18,9 @@ bench-kernels:
 
 bench-sessions:
 	$(PYTHON) -m repro.cli bench sessions -o BENCH_sessions.json
+
+bench-shard:
+	$(PYTHON) -m repro.cli bench shard -o BENCH_shard.json
 
 report:
 	$(PYTHON) -m repro.cli report -o report.md

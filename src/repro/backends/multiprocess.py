@@ -90,6 +90,7 @@ from repro.allocation import (
     subfilter_ess,
 )
 from repro.backends.transport import SlabLayout, make_transport
+from repro.backends.worker_rng import FilterStripedRNG
 from repro.core.dtypes import resolve_dtype_policy
 from repro.core.estimator import max_weight_estimate, weighted_mean_estimate
 from repro.core.parameters import DistributedFilterConfig, distributed_config_to_dict
@@ -122,18 +123,25 @@ from repro.resilience.errors import (
 )
 from repro.resilience.faults import FaultInjectionHook, FaultPlan, corrupt_send_states
 from repro.resilience.healing import TopologyHealer
+from repro.resilience.membership import Membership
 from repro.resilience.monitor import HealMonitorHook, ResilienceReport
 from repro.resilience.retry import RetryPolicy
 from repro.resilience.supervisor import HeartbeatHook, Supervisor
 from repro.telemetry.tracer import Tracer, spans_from_wire, spans_to_wire
-from repro.topology import resolve_topology
+from repro.topology import resolve_topology, shard_table_view
 from repro.utils.arrays import sanitize_log_weights
 from repro.utils.validation import check_positive_int
 
 
-def _worker_loop(chan, model, config, block_lo, block_hi, worker_id,
-                 fault_plan=None, seed_tag=0, heartbeat=False):
-    """One worker process: owns sub-filters ``block_lo:block_hi``.
+def _delegated_init(model, rng, i, m, dtype):
+    """Draw one sub-filter's initial particles from its own stream."""
+    with rng.delegating(i):
+        return model.initial_particles(m, rng, dtype=dtype)
+
+
+def _worker_loop(chan, model, config, ids, worker_id,
+                 fault_plan=None, rng_spec=("worker", 0), heartbeat=False):
+    """One worker process: owns the global sub-filters listed in ``ids``.
 
     The round's kernels are not implemented here: the worker builds the
     shared engine stages over its local block and runs the *local-only*
@@ -148,9 +156,23 @@ def _worker_loop(chan, model, config, block_lo, block_hi, worker_id,
 
     Any exception inside a message handler is reported back to the master
     as a structured ``("error", traceback_str)`` reply instead of dying
-    silently (which would leave the master blocked on ``recv``). The
-    ``seed_tag`` distinguishes RNG streams across respawns of the same
-    block so a replacement worker never replays its predecessor's draws.
+    silently (which would leave the master blocked on ``recv``).
+
+    ``rng_spec`` selects the randomness partition: ``("worker", seed_tag)``
+    is the historical one-stream-per-process policy (the tag distinguishes
+    respawn generations so a replacement never replays its predecessor's
+    draws); ``("filter", {filter_id: tag})`` serves the same batched draws
+    through a :class:`FilterStripedRNG` — one stream per owned sub-filter —
+    which makes every draw a function of the *sub-filter*, not the worker,
+    so results are invariant to how sub-filters shard over processes.
+
+    Beyond the classic message kinds, three support the shard-aware
+    topology: ``("shard", payload)`` installs a
+    :class:`~repro.topology.ShardView` (one-way; no reply), ``("phase2c",
+    t, packed_s, packed_w)`` runs phase 2 from cut-edge particles only
+    (local slots are filled from the worker's own post-sort buffers,
+    bit-identical to the dense route), and ``("grow", ...)`` merges adopted
+    sub-filters into the local population mid-run (elastic rebalancing).
 
     With ``heartbeat=True`` a :class:`HeartbeatHook` leads the hook list,
     publishing liveness at every stage boundary *from the compute thread* —
@@ -161,16 +183,23 @@ def _worker_loop(chan, model, config, block_lo, block_hi, worker_id,
     counters — everything that determines the block's future draws.
     """
     timer = PhaseTimer()
-    rng = TimingRNG(
-        make_rng(config.rng, config.seed).spawn(1000 + worker_id + 100_000 * seed_tag), timer
-    )
+    ids = np.sort(np.asarray(ids, dtype=np.int64))
+    rng_mode, rng_arg = rng_spec
+    if rng_mode == "filter":
+        inner = FilterStripedRNG(config.rng, config.seed, ids,
+                                 tags=[int(rng_arg.get(int(f), 0)) for f in ids])
+    else:
+        inner = make_rng(config.rng, config.seed).spawn(
+            1000 + worker_id + 100_000 * int(rng_arg))
+    rng = TimingRNG(inner, timer)
     from repro.kernels.forms import ExecutionPolicy
 
     dtype_policy = resolve_dtype_policy(config.dtype_policy, config.dtype)
     dtype = dtype_policy.state
     wdt = dtype_policy.weight
-    F = block_hi - block_lo
+    F = int(ids.size)
     m = config.n_particles
+    shard_view = None
     m_cap = allocation_capacity(config)
     adaptive = m_cap != m
     state = FilterState()
@@ -205,6 +234,42 @@ def _worker_loop(chan, model, config, block_lo, block_hi, worker_id,
     )
     resample_pipeline = StepPipeline([ResampleStage()], hooks=hooks)
     reported_errors = 0
+
+    def _finish_phase2(recv_states, recv_logw):
+        """Pool incoming particles, resample, reply with round telemetry."""
+        nonlocal reported_errors
+        if recv_states is not None and recv_states.shape[1] > 0:
+            recv_logw = np.asarray(recv_logw, dtype=wdt).copy()
+            # Corrupted incoming particles must never be selected.
+            sanitize_log_weights(recv_logw, recv_states)
+            state.pooled_states = np.concatenate(
+                [state.states, recv_states.astype(state.states.dtype)], axis=1
+            )
+            state.pooled_logw = np.concatenate([state.log_weights, recv_logw], axis=1)
+        else:
+            state.pooled_states, state.pooled_logw = state.states, state.log_weights
+        resample_pipeline.run_stages(ctx, state)
+        kernel_seconds = dict(kernel_hook.kernel_seconds)
+        kernel_hook.kernel_seconds.clear()
+        kernel_hook.kernel_calls.clear()
+        # Telemetry piggybacks on the phase-2 reply: this round's spans
+        # (empty unless the master requested tracing in the phase-1
+        # header), counter deltas, suppressed hook-error count, and this
+        # process's clock *now* — the master uses receipt time minus this
+        # clock to align the timelines.
+        spans, counters = tracer.drain()
+        errors = (local_pipeline.telemetry_errors
+                  + resample_pipeline.telemetry_errors)
+        telemetry = {
+            "pid": tracer.pid,
+            "clock": tracer.clock(),
+            "spans": spans_to_wire(spans),
+            "counters": counters,
+            "errors": errors - reported_errors,
+        }
+        reported_errors = errors
+        chan.reply_phase2(dict(timer.seconds), kernel_seconds, telemetry)
+
     try:
         while True:
             msg = chan.recv()
@@ -213,8 +278,16 @@ def _worker_loop(chan, model, config, block_lo, block_hi, worker_id,
             kind = msg[0]
             try:
                 if kind == "init":
-                    flat = model.initial_particles(F * m, rng, dtype=dtype)
-                    states = flat.reshape(F, m, model.state_dim)
+                    if rng_mode == "filter":
+                        # One init draw per sub-filter from its own stream —
+                        # the same (m, d) draw it would perform under any
+                        # partition, which is what shard parity pins.
+                        states = np.stack([
+                            _delegated_init(model, rng, i, m, dtype)
+                            for i in range(F)])
+                    else:
+                        flat = model.initial_particles(F * m, rng, dtype=dtype)
+                        states = flat.reshape(F, m, model.state_dim)
                     logw = np.zeros((F, m), dtype=wdt)
                     widths = None
                     if adaptive:
@@ -258,12 +331,23 @@ def _worker_loop(chan, model, config, block_lo, block_hi, worker_id,
                         # worker's own particles.
                         send_states = states[:, :tp].copy()
                         corrupt_send_states(fault_plan, worker_id, k, send_states)
-                    # Local-estimate partials for a weighted-mean reduction.
-                    shift = logw.max()
+                    # Per-sub-filter estimate partials, keyed downstream by
+                    # global id: [Σ_j w·x (d) | Σ_j w | row shift]. Row-local
+                    # shifts (not a block max) make every row's value
+                    # independent of which other rows share the worker, so
+                    # the master's reduction is shard-invariant. einsum
+                    # accumulates each row sequentially over m — the same
+                    # bits under any partition.
+                    d_ = model.state_dim
+                    shift = logw.max(axis=1)
+                    safe = np.where(np.isfinite(shift), shift, 0.0)
                     w = state.scratch("partial.w", logw.shape, np.float64)
-                    np.subtract(logw, shift, out=w)
+                    np.subtract(logw, safe[:, None], out=w)
                     np.exp(w, out=w)
-                    partial = (w.reshape(-1) @ states.reshape(-1, model.state_dim), w.sum(), shift)
+                    partial = np.empty((F, d_ + 2), dtype=np.float64)
+                    partial[:, :d_] = np.einsum("fm,fmd->fd", w, states)
+                    partial[:, d_] = w.sum(axis=1)
+                    partial[:, d_ + 1] = shift
                     alloc = None
                     if adaptive:
                         # Pre-resample allocation metrics: per-sub-filter ESS
@@ -276,37 +360,70 @@ def _worker_loop(chan, model, config, block_lo, block_hi, worker_id,
                                       alloc)
                 elif kind == "phase2":
                     _, recv_states, recv_logw = msg
-                    if recv_states is not None and recv_states.shape[1] > 0:
-                        recv_logw = np.asarray(recv_logw, dtype=wdt).copy()
-                        # Corrupted incoming particles must never be selected.
-                        sanitize_log_weights(recv_logw, recv_states)
-                        state.pooled_states = np.concatenate(
-                            [state.states, recv_states.astype(state.states.dtype)], axis=1
-                        )
-                        state.pooled_logw = np.concatenate([state.log_weights, recv_logw], axis=1)
+                    _finish_phase2(recv_states, recv_logw)
+                elif kind == "shard":
+                    # One-way push of this worker's ShardView payload (slot
+                    # coordinates of local vs. wire exchange sources). No
+                    # reply: the framed transport preserves ordering, so the
+                    # next phase2c is guaranteed to see it installed.
+                    shard_view = msg[1]
+                elif kind == "phase2c":
+                    # Cut-edge phase 2: the master shipped only the wire
+                    # slots; local slots are filled from this worker's own
+                    # post-sort buffers. The reconstructed receive table is
+                    # bit-identical to the dense route's.
+                    _, t2, packed_s, packed_w = msg
+                    if shard_view is None:
+                        raise RuntimeError("phase2c before any shard view")
+                    _vids, D, li, lj, lsrc, wi, wj, _wvalid = shard_view
+                    if D == 0 or t2 == 0:
+                        _finish_phase2(None, None)
                     else:
-                        state.pooled_states, state.pooled_logw = state.states, state.log_weights
-                    resample_pipeline.run_stages(ctx, state)
-                    kernel_seconds = dict(kernel_hook.kernel_seconds)
-                    kernel_hook.kernel_seconds.clear()
-                    kernel_hook.kernel_calls.clear()
-                    # Telemetry piggybacks on the phase-2 reply: this round's
-                    # spans (empty unless the master requested tracing in the
-                    # phase-1 header), counter deltas, suppressed hook-error
-                    # count, and this process's clock *now* — the master uses
-                    # receipt time minus this clock to align the timelines.
-                    spans, counters = tracer.drain()
-                    errors = (local_pipeline.telemetry_errors
-                              + resample_pipeline.telemetry_errors)
-                    telemetry = {
-                        "pid": tracer.pid,
-                        "clock": tracer.clock(),
-                        "spans": spans_to_wire(spans),
-                        "counters": counters,
-                        "errors": errors - reported_errors,
-                    }
-                    reported_errors = errors
-                    chan.reply_phase2(dict(timer.seconds), kernel_seconds, telemetry)
+                        rs = np.empty((F, D, t2, model.state_dim),
+                                      dtype=state.states.dtype)
+                        rw = np.empty((F, D, t2), dtype=wdt)
+                        if li.size:
+                            rs[li, lj] = state.states[lsrc, :t2]
+                            rw[li, lj] = state.log_weights[lsrc, :t2]
+                        if wi.size:
+                            rs[wi, wj] = packed_s
+                            rw[wi, wj] = packed_w
+                        _finish_phase2(rs.reshape(F, D * t2, model.state_dim),
+                                       rw.reshape(F, D * t2))
+                elif kind == "grow":
+                    # Elastic rebalance: merge adopted sub-filters (donor
+                    # clones, uniform weights) into the local population,
+                    # keeping global-id-ascending row order, and give each
+                    # adopted id a fresh generation-tagged RNG stream.
+                    _, new_ids, g_states, g_logw, g_widths, g_tags = msg
+                    new_ids = np.asarray(new_ids, dtype=np.int64)
+                    merged = np.concatenate([ids, new_ids])
+                    order = np.argsort(merged)
+                    n_new = int(new_ids.size)
+                    ns = np.empty((F + n_new, m_cap, model.state_dim), dtype=dtype)
+                    lw = np.empty((F + n_new, m_cap), dtype=wdt)
+                    ns[:F] = state.states
+                    ns[F:] = np.ascontiguousarray(g_states, dtype=dtype).reshape(
+                        n_new, m_cap, model.state_dim)
+                    lw[:F] = state.log_weights
+                    lw[F:] = np.asarray(g_logw, dtype=wdt).reshape(n_new, m_cap)
+                    new_widths = None
+                    if state.widths is not None:
+                        new_widths = np.concatenate(
+                            [state.widths,
+                             np.asarray(g_widths, dtype=np.int64)])[order]
+                    k_saved = state.k
+                    heal_saved = dict(state.heal_counters)
+                    state.reset(np.ascontiguousarray(ns[order]),
+                                np.ascontiguousarray(lw[order]),
+                                widths=new_widths)
+                    state.k, state.heal_counters = k_saved, heal_saved
+                    ids = merged[order]
+                    F = int(ids.size)
+                    if hasattr(rng.inner, "adopt"):
+                        rng.inner.adopt(new_ids, [int(x) for x in g_tags])
+                    shard_view = None  # stale coordinates after the merge
+                    chan.send(("ok",))
                 elif kind == "get_state":
                     chan.send((state.states, state.log_weights))
                 elif kind == "snapshot":
@@ -327,8 +444,11 @@ def _worker_loop(chan, model, config, block_lo, block_hi, worker_id,
                         widths=widths,
                     )
                     state.k = int(k)
-                    state.heal_counters = {key: int(v)
-                                           for key, v in heal_counters.items()}
+                    # Merge over reset()'s defaults: an elastic restore sends
+                    # no counters (they are shard-local aggregates) and must
+                    # still leave every counter key present.
+                    state.heal_counters.update(
+                        {key: int(v) for key, v in heal_counters.items()})
                     rng.load_state_dict(rng_state)
                     chan.send(("ok",))
                 elif kind == "stop":
@@ -397,7 +517,9 @@ class MultiprocessDistributedParticleFilter:
                  n_workers: int = 2, *, transport: str = "pipe",
                  recv_timeout: float | None = 30.0,
                  max_retries: int = 3, on_failure: str = "raise",
-                 respawn_dead: bool = False, fault_plan: FaultPlan | None = None,
+                 respawn_dead: bool = False, rebalance_dead: bool = False,
+                 shard_exchange: str = "auto",
+                 fault_plan: FaultPlan | None = None,
                  heal_bridge: bool = True, supervisor: Supervisor | None = None):
         check_positive_int(n_workers, "n_workers")
         if config.n_filters % n_workers:
@@ -408,6 +530,42 @@ class MultiprocessDistributedParticleFilter:
         self.config = config
         self.n_workers = n_workers
         self.transport = make_transport(transport)
+        caps = self.transport.caps
+        if shard_exchange not in ("auto", "on", "off"):
+            raise ValueError(
+                f"shard_exchange must be 'auto', 'on' or 'off', "
+                f"got {shard_exchange!r}")
+        if shard_exchange == "on" and not caps.framed:
+            raise ValueError(
+                f"shard_exchange='on' needs a framed transport "
+                f"(transport {self.transport.name!r} moves payloads through "
+                f"fixed-size slabs)")
+        #: cut-edge exchange: ship only the particles that actually cross a
+        #: shard boundary. ``auto`` turns it on for cross-host transports
+        #: (where wire bytes are the cost that matters) and leaves local
+        #: transports on the dense route; results are bitwise identical
+        #: either way.
+        self.shard_exchange = shard_exchange
+        self._shard_exchange_on = (
+            shard_exchange == "on"
+            or (shard_exchange == "auto" and caps.cross_host))
+        if rebalance_dead:
+            if respawn_dead:
+                raise ValueError(
+                    "respawn_dead and rebalance_dead are exclusive recovery "
+                    "strategies; pick one")
+            if on_failure != "heal":
+                raise ValueError("rebalance_dead requires on_failure='heal'")
+            if not caps.elastic:
+                raise ValueError(
+                    f"rebalance_dead needs an elastic (framed) transport, "
+                    f"not {self.transport.name!r}")
+            if config.rng_streams != "filter":
+                raise ValueError(
+                    "rebalance_dead requires rng_streams='filter': adopted "
+                    "sub-filters must carry their own RNG streams to stay "
+                    "deterministic on the surviving workers")
+        self.rebalance_dead = bool(rebalance_dead)
         #: the waiting discipline shared by every master↔worker path.
         self.retry = RetryPolicy(timeout=recv_timeout, max_retries=max_retries)
         self.recv_timeout = self.retry.timeout
@@ -445,9 +603,25 @@ class MultiprocessDistributedParticleFilter:
         self.k = 0
         self._procs: list = []
         self._chans: list = []
-        self._worker_alive: list[bool] = []
+        #: group membership: worker statuses + the filter→worker shard
+        #: assignment, with an epoch that invalidates cached shard views.
+        self.membership = Membership(config.n_filters, n_workers)
         self._seed_tags = [0] * n_workers
+        #: per-sub-filter RNG generation tags (``rng_streams="filter"``):
+        #: bumped when a sub-filter is re-seeded by respawn or rebalance
+        #: adoption, so a replacement stream never replays the original.
+        self._filter_tags = np.zeros(config.n_filters, dtype=np.int64)
         self._block = config.n_filters // n_workers
+        #: cached per-worker ShardViews + the (membership, topology) epoch
+        #: they were pushed at; a stale view is recomputed and re-pushed.
+        self._shard_views: dict[int, object] = {}
+        self._shard_sync: dict[int, tuple] = {}
+        self._topo_epoch = 0
+        #: serialized cut-edge payload bytes/particles (shard exchange).
+        self.shard_cut_bytes = 0
+        self.shard_cut_particles = 0
+        #: cumulative transport byte counters (transports that meter them).
+        self.transport_bytes = {"sent": 0, "received": 0}
         self._started = False
         self._scratch_pool: dict[str, np.ndarray] = {}
         self.last_estimate: np.ndarray | None = None
@@ -473,20 +647,26 @@ class MultiprocessDistributedParticleFilter:
         )
 
     # -- process management -----------------------------------------------
-    def _block_range(self, w: int) -> tuple[int, int]:
-        return w * self._block, (w + 1) * self._block
+    def _owned(self, w: int) -> np.ndarray:
+        """Global sub-filter ids worker *w* currently owns, ascending."""
+        return self.membership.owned(w)
 
     def _live_workers(self) -> list[int]:
-        return [w for w in range(self.n_workers) if self._worker_alive[w]]
+        return self.membership.live_workers()
+
+    def _rng_spec(self, w: int) -> tuple:
+        if self.config.rng_streams == "filter":
+            return ("filter", {int(f): int(self._filter_tags[f])
+                               for f in self._owned(w)})
+        return ("worker", self._seed_tags[w])
 
     def _spawn_worker(self, w: int) -> None:
         ctx = mp.get_context("fork")
         master_chan, worker_chan = self.transport.channel_pair(ctx, self._layout)
-        lo, hi = self._block_range(w)
         p = ctx.Process(
             target=_worker_loop,
-            args=(worker_chan, self.model, self.config, lo, hi, w,
-                  self.fault_plan, self._seed_tags[w],
+            args=(worker_chan, self.model, self.config, self._owned(w).copy(),
+                  w, self.fault_plan, self._rng_spec(w),
                   self.supervisor is not None),
             daemon=True,
         )
@@ -494,12 +674,15 @@ class MultiprocessDistributedParticleFilter:
         master_chan.after_start()  # drop the worker-side ends: EOF = worker gone
         self._procs[w] = p
         self._chans[w] = master_chan
-        self._worker_alive[w] = True
+        self.membership.join(w, self.k)
+        self._shard_sync.pop(w, None)  # a fresh process holds no view
 
-    def _start(self) -> None:
+    def _start(self, assignment=None) -> None:
         self._procs = [None] * self.n_workers
         self._chans = [None] * self.n_workers
-        self._worker_alive = [False] * self.n_workers
+        self.membership = Membership(self.config.n_filters, self.n_workers,
+                                     assignment=assignment)
+        self._shard_views, self._shard_sync = {}, {}
         for w in range(self.n_workers):
             self._spawn_worker(w)
         self._started = True
@@ -546,7 +729,10 @@ class MultiprocessDistributedParticleFilter:
         for chan in self._chans:
             if chan is not None:
                 chan.close()
-        self._procs, self._chans, self._worker_alive = [], [], []
+        self._procs, self._chans = [], []
+        for w in range(self.n_workers):
+            if self.membership.is_live(w):
+                self.membership.leave(w, self.k, detail="close")
         self._started = False
 
     def __enter__(self):
@@ -722,9 +908,8 @@ class MultiprocessDistributedParticleFilter:
             kind = "error"
         else:
             kind = "crash"
-        lo, hi = self._block_range(w)
         self.report.record_failure(self.k, w, kind, detail=str(exc).splitlines()[0],
-                                   filters=range(lo, hi))
+                                   filters=[int(f) for f in self._owned(w)])
         if self.on_failure == "raise":
             sup = self.supervisor
             if sup is not None and sup.checkpoint_on_abort:
@@ -778,22 +963,32 @@ class MultiprocessDistributedParticleFilter:
             if count_reclaim:
                 self.report.segments_reclaimed += reclaimed
         self._chans[w] = None
-        self._worker_alive[w] = False
-        lo, hi = self._block_range(w)
-        self._healer.mark_dead(range(lo, hi))
+        if self.membership.is_live(w):
+            self.membership.evict(w, self.k, detail="declared dead")
+        self._healer.mark_dead(self._owned(w))
+        self._topo_epoch += 1
 
     @property
     def dead_workers(self) -> tuple[int, ...]:
-        """Currently-dead worker blocks (healed around, not yet respawned)."""
+        """Currently-dead worker shards (healed around, not yet recovered)."""
         if not self._started:
             return ()
-        return tuple(w for w in range(self.n_workers) if not self._worker_alive[w])
+        return tuple(w for w in range(self.n_workers)
+                     if not self.membership.is_live(w))
 
     def diagnostics(self) -> dict:
         """JSON-ready resilience snapshot: failures, heals, liveness."""
         out = self.report.summary()
         out["live_workers"] = list(self._live_workers()) if self._started else []
         out["dead_filters"] = list(self._healer.dead)
+        out["membership"] = self.membership.summary()
+        out["shard"] = {
+            "exchange": self.shard_exchange,
+            "exchange_on": self._shard_exchange_on,
+            "cut_bytes": int(self.shard_cut_bytes),
+            "cut_particles": int(self.shard_cut_particles),
+        }
+        out["transport_bytes"] = dict(self.transport_bytes)
         return out
 
     # -- filter protocol ------------------------------------------------------
@@ -853,6 +1048,12 @@ class MultiprocessDistributedParticleFilter:
         best_states[...] = 0.0
         send_logw.fill(-np.inf)
         best_logw.fill(-np.inf)
+        # Per-sub-filter estimate partials, assembled by global id so the
+        # weighted-mean reduction sees the same (F, d+2) array no matter how
+        # the sub-filters shard over workers. Dead rows stay [0 | 0 | -inf].
+        partial = self._scratch("partials", (F, d + 2), np.float64)
+        partial[:, : d + 1] = 0.0
+        partial[:, d + 1] = -np.inf
 
         # The routing table is FROZEN at round start: every block of this
         # round is routed with the same table no matter when its reply
@@ -866,6 +1067,7 @@ class MultiprocessDistributedParticleFilter:
         # Source-block dependencies for eager (overlapped) phase-2 dispatch:
         # block w can be routed once every block its table rows read from has
         # reported. Pooled topologies need the global pool -> gather barrier.
+        owner = self.membership.owner_of()
         deps: dict[int, set[int]] | None
         if not exchange_on:
             deps = {w: set() for w in range(self.n_workers)}
@@ -874,14 +1076,14 @@ class MultiprocessDistributedParticleFilter:
         else:
             deps = {}
             for w in range(self.n_workers):
-                lo, hi = self._block_range(w)
-                src = table[lo:hi][mask[lo:hi]]
-                deps[w] = set((src // self._block).tolist())
+                ids = self._owned(w)
+                src = table[ids][mask[ids]]
+                deps[w] = set(owner[src].tolist()) - {-1}
 
         arrived: set[int] = set()
         dispatched: set[int] = set()
         p2_sent: list[int] = []
-        partials: dict[int, tuple] = {}
+        any_partial = False
         pooled_route: tuple[np.ndarray, np.ndarray] | None = None
 
         # Adaptive allocation: global metric assembly for the end-of-round
@@ -902,10 +1104,13 @@ class MultiprocessDistributedParticleFilter:
                     if self._chans[w].send_phase2(self.k, None, None):
                         self._count_fallbacks(1)
                 elif pooled:
-                    lo, hi = self._block_range(w)
+                    ids = self._owned(w)
                     if self._chans[w].send_phase2(
-                            self.k, pooled_route[0][lo:hi], pooled_route[1][lo:hi]):
+                            self.k, pooled_route[0][ids], pooled_route[1][ids]):
                         self._count_fallbacks(1)
+                elif self._shard_exchange_on:
+                    self._route_block_shard(w, t, send_states, send_logw,
+                                            owner, table, mask)
                 else:
                     self._route_block(w, t, send_states, send_logw, table, mask)
                 p2_sent.append(w)
@@ -915,18 +1120,20 @@ class MultiprocessDistributedParticleFilter:
                     worker_id=w, step=self.k))
 
         def on_phase1(w: int, msg) -> None:
+            nonlocal any_partial
             r = self._chans[w].decode_phase1(msg, t)
-            lo, hi = self._block_range(w)
-            send_states[lo:hi] = r[0]
-            send_logw[lo:hi] = r[1]
-            best_states[lo:hi] = r[2]
-            best_logw[lo:hi] = r[3]
-            partials[w] = r[4]
+            ids = self._owned(w)
+            send_states[ids] = r[0]
+            send_logw[ids] = r[1]
+            best_states[ids] = r[2]
+            best_logw[ids] = r[3]
+            partial[ids] = r[4]
+            any_partial = True
             self.report.merge_worker_stats(r[5])
             if adaptive and len(r) > 6 and r[6] is not None:
                 # Copy out immediately: shm hands back live slab views.
-                alloc_ess[lo:hi] = r[6][0]
-                alloc_lse[lo:hi] = r[6][1]
+                alloc_ess[ids] = r[6][0]
+                alloc_lse[ids] = r[6][1]
                 alloc_seen.add(w)
             arrived.add(w)
             if deps is None:
@@ -934,33 +1141,32 @@ class MultiprocessDistributedParticleFilter:
             # Overlap: route any arrived block whose sources have all arrived
             # while the remaining workers are still computing.
             for w2 in sorted(arrived - dispatched):
-                if self._worker_alive[w2] and deps[w2] <= arrived:
+                if self.membership.is_live(w2) and deps[w2] <= arrived:
                     dispatch_phase2(w2)
 
         # Phase 1: scatter the measurement (and, under adaptive allocation,
         # each block's live widths for this round) to every live worker...
         for w in self._live_workers():
-            lo, hi = self._block_range(w)
             try:
                 self._count_fallbacks(
                     self._chans[w].send_phase1(
                         measurement, control, self.k, t, tracing,
-                        self._widths[lo:hi] if adaptive else None))
+                        self._widths[self._owned(w)] if adaptive else None))
             except (BrokenPipeError, OSError) as e:
                 self._handle_failure(w, WorkerCrashedError(
                     f"worker {w} pipe failed on phase1 send: {e}",
                     worker_id=w, step=self.k))
         # ...then gather tops + estimate partials in arrival order.
         self._gather(self._live_workers(), what="phase1", handler=on_phase1)
-        if not partials:
+        if not any_partial:
             raise NoLiveWorkersError("all worker blocks died during phase 1", step=self.k)
 
-        # Global estimate reduction over the live blocks only (sorted worker
-        # order: the float sum must not depend on arrival order).
+        # Global estimate reduction over the assembled per-filter partials
+        # (a fixed (F, d+2) array: the float sum cannot depend on arrival
+        # order or on the shard assignment).
         est_t0 = self.tracer.clock() if tracing else 0.0
         with self.timer.phase("estimate"):
-            estimate = self._reduce_estimate(
-                best_states, best_logw, [partials[w] for w in sorted(partials)])
+            estimate = self._reduce_estimate(best_states, best_logw, partial)
         if tracing:
             self.tracer.add("estimate", "stage", est_t0, self.tracer.clock(),
                             attrs={"kernel": "reduce_estimate"})
@@ -968,7 +1174,8 @@ class MultiprocessDistributedParticleFilter:
 
         # Route + dispatch whatever the overlap could not cover: pooled
         # topologies (global barrier) and blocks with late/dead sources.
-        rest = [w for w in sorted(arrived - dispatched) if self._worker_alive[w]]
+        rest = [w for w in sorted(arrived - dispatched)
+                if self.membership.is_live(w)]
         if rest and exchange_on and pooled and pooled_route is None:
             # Pooled routing self-heals: dead blocks' -inf placeholders can
             # never enter the global top-t.
@@ -993,7 +1200,7 @@ class MultiprocessDistributedParticleFilter:
             if isinstance(telem, dict):
                 self._merge_worker_telemetry(w, telem, recv_clock)
 
-        self._gather([w for w in p2_sent if self._worker_alive[w]],
+        self._gather([w for w in p2_sent if self.membership.is_live(w)],
                      what="phase2", handler=on_phase2)
         # Workers run concurrently: the critical path per stage is the
         # slowest block, so fold the per-stage *max* into the master's timer
@@ -1011,8 +1218,19 @@ class MultiprocessDistributedParticleFilter:
                 and alloc_seen >= set(self._live_workers())):
             self._allocate_round(alloc_ess, alloc_lse, tracing)
 
-        if self.respawn_dead and self.dead_workers:
+        if self.rebalance_dead and self.dead_workers:
+            self._rebalance_dead_workers()
+        elif self.respawn_dead and self.dead_workers:
             self._respawn_dead_workers()
+        if self.transport.caps.byte_counters:
+            sent = recv = 0
+            for w in self._live_workers():
+                chan = self._chans[w]
+                sent += int(getattr(chan, "bytes_sent", 0))
+                recv += int(getattr(chan, "bytes_received", 0))
+            self.transport_bytes = {"sent": sent, "received": recv}
+            self.tracer.gauge("transport.bytes_sent", sent)
+            self.tracer.gauge("transport.bytes_received", recv)
         if tracing:
             # Recorded with explicit endpoints rather than begin/end so a
             # mid-step failure can never leave the span stack unbalanced.
@@ -1049,9 +1267,9 @@ class MultiprocessDistributedParticleFilter:
         buffers, the gather writes directly into the worker's recv slab
         (zero-copy: no intermediate array, no pickle).
         """
-        lo, hi = self._block_range(w)
-        rows = table[lo:hi]
-        rmask = mask[lo:hi]
+        ids = self._owned(w)
+        rows = table[ids]
+        rmask = mask[ids]
         B, D = rows.shape
         d = send_states.shape[2]
         width = D * t
@@ -1091,6 +1309,56 @@ class MultiprocessDistributedParticleFilter:
             if chan.send_phase2(self.k, out_s, out_w):
                 self._count_fallbacks(1)
 
+    def _shard_view(self, w: int, owner, table, mask):
+        """Worker *w*'s ShardView, recomputed and pushed when stale.
+
+        Staleness is keyed on ``(membership epoch, topology epoch)``: any
+        join/evict/rebalance or heal/revive invalidates every cached view.
+        The refreshed payload is pushed with a one-way ``("shard", ...)``
+        message; the framed transport's ordering guarantees the worker
+        installs it before the phase2c that relies on it.
+        """
+        epoch = (self.membership.epoch, self._topo_epoch)
+        if self._shard_sync.get(w) != epoch:
+            view = shard_table_view(w, self._owned(w), owner, table, mask)
+            self._chans[w].request(("shard", view.wire_payload()))
+            self._shard_views[w] = view
+            self._shard_sync[w] = epoch
+        return self._shard_views[w]
+
+    def _route_block_shard(self, w: int, t: int, send_states, send_logw,
+                           owner, table, mask) -> None:
+        """Cut-edge phase-2 dispatch: serialize only wire-slot particles.
+
+        Intra-shard slots never leave the master: the worker fills them from
+        its own post-sort buffers. Wire slots (out-of-shard sources plus
+        masked/dead placeholders) are packed here with exactly the values
+        the dense route would have gathered — including the row-0 filler and
+        ``-inf`` log-weights for invalid slots — so the worker's pooled
+        candidate set is bit-identical to an unsharded round.
+        """
+        start = time.perf_counter()
+        view = self._shard_view(w, owner, table, mask)
+        src = np.maximum(view.wire_src, 0)
+        packed_s = np.ascontiguousarray(send_states[:, :t][src])
+        packed_w = send_logw[:, :t][src].copy()
+        packed_w[~view.wire_valid] = -np.inf
+        nbytes = packed_s.nbytes + packed_w.nbytes
+        self.shard_cut_bytes += nbytes
+        self.shard_cut_particles += int(src.size) * t
+        self.tracer.count("shard.cut_bytes", nbytes)
+        elapsed = time.perf_counter() - start
+        self.kernel_seconds["route_shard"] = (
+            self.kernel_seconds.get("route_shard", 0.0) + elapsed)
+        self.timer.seconds["exchange"] = (
+            self.timer.seconds.get("exchange", 0.0) + elapsed)
+        if self.tracer.enabled:
+            self.tracer.add("exchange", "stage", start, start + elapsed,
+                            attrs={"kernel": "route_shard", "block": w,
+                                   "wire_slots": int(src.size),
+                                   "cut_bytes": nbytes})
+        self._chans[w].request(("phase2c", t, packed_s, packed_w))
+
     def _route(self, kernel: str, *args):
         """Dispatch an exchange-routing kernel through the registry, timed."""
         start = time.perf_counter()
@@ -1104,16 +1372,28 @@ class MultiprocessDistributedParticleFilter:
         return out
 
     def _reduce_estimate(self, best_states: np.ndarray, best_logw: np.ndarray,
-                         partials: list) -> np.ndarray:
-        """Two-round reduction over live partials, NaN-safe by construction."""
+                         partial: np.ndarray) -> np.ndarray:
+        """Reduction over the global per-filter partials, NaN-safe.
+
+        ``partial`` is the assembled ``(F, d+2)`` array of per-sub-filter
+        ``[Σ w·x | Σ w | row shift]`` rows. Because the array is keyed by
+        global filter id, it is identical no matter how the sub-filters
+        were sharded over workers — which makes the weighted-mean estimate
+        (like the max-weight one) shard-invariant to the bit. Dead or fully
+        degenerate rows carry ``-inf`` shifts and scale to exactly zero.
+        """
         if self.config.estimator == "max_weight":
             return max_weight_estimate(best_states[:, None, :], best_logw[:, None])
-        finite = [p for p in partials
-                  if np.isfinite(p[2]) and np.isfinite(p[1]) and np.all(np.isfinite(p[0]))]
-        if finite:
-            g = max(p[2] for p in finite)
-            num = sum(p[0] * np.exp(p[2] - g) for p in finite)
-            den = sum(p[1] * np.exp(p[2] - g) for p in finite)
+        d = self.model.state_dim
+        shift, wsum = partial[:, d + 1], partial[:, d]
+        finite = (np.isfinite(shift) & np.isfinite(wsum) & (wsum > 0)
+                  & np.all(np.isfinite(partial[:, :d]), axis=1))
+        if finite.any():
+            g = shift[finite].max()
+            scale = np.zeros(shift.shape[0], dtype=np.float64)
+            scale[finite] = np.exp(shift[finite] - g)
+            num = np.einsum("f,fd->d", scale, partial[:, :d])
+            den = float(scale @ wsum)
             if den > 0 and np.all(np.isfinite(num)):
                 return (num / den).astype(np.float64)
         # No usable partial survived: weighted mean over the per-filter
@@ -1186,41 +1466,23 @@ class MultiprocessDistributedParticleFilter:
         """
         cfg = self.config
         donor_map = self._healer.donor_map()
+        owner_of = self.membership.live_owner_of()
         state_cache: dict[int, tuple] = {}
         for w in sorted(self.dead_workers):
-            lo, hi = self._block_range(w)
-            new_states = np.empty((self._block, self._capacity, self.model.state_dim),
-                                  dtype=self.dtype_policy.state)
-            new_logw = np.zeros((self._block, self._capacity),
-                                dtype=self.dtype_policy.weight)
-            new_widths = None
-            if self._widths is not None:
-                # The revived block resumes at the widths the master has
-                # been holding for its rows (frozen while it was dead);
-                # slots beyond each row's width are padding again.
-                new_widths = self._widths[lo:hi].copy()
-                for i in range(self._block):
-                    new_logw[i, int(new_widths[i]):] = -np.inf
-            ok = True
-            for f in range(lo, hi):
-                donor = donor_map.get(f)
-                owner = None if donor is None else donor // self._block
-                if owner is None or not self._worker_alive[owner]:
-                    ok = False
-                    break
-                if owner not in state_cache:
-                    try:
-                        self._send(owner, ("get_state",))
-                        state_cache[owner] = self._recv(owner, what="get_state")
-                    except WorkerFailure as e:
-                        self._handle_failure(owner, e)
-                        ok = False
-                        break
-                donor_states = state_cache[owner][0]
-                new_states[f - lo] = donor_states[donor - owner * self._block]
+            ids = self._owned(w)
+            if ids.size == 0:
+                continue  # rebalanced away; nothing to respawn
+            B = int(ids.size)
+            new_states, new_logw, new_widths, ok = self._clone_from_donors(
+                ids, donor_map, owner_of, state_cache)
             if not ok:
                 continue  # no live donor this round; try again next step
-            self._seed_tags[w] += 1
+            if cfg.rng_streams == "filter":
+                # Fresh per-filter generations: the replacement streams must
+                # never replay the dead worker's draws.
+                self._filter_tags[ids] += 1
+            else:
+                self._seed_tags[w] += 1
             self._spawn_worker(w)
             try:
                 self._send(w, ("adopt", new_states, new_logw, new_widths))
@@ -1228,13 +1490,120 @@ class MultiprocessDistributedParticleFilter:
             except WorkerFailure as e:
                 self._handle_failure(w, e)
                 continue
-            self._healer.revive(range(lo, hi))
+            self._healer.revive(ids)
+            self._topo_epoch += 1
             self.report.respawns += 1
             self.report.record_escalation("respawn")
             self.tracer.count("escalation.respawn")
             if self.supervisor is not None:
                 self.supervisor.escalate("respawn", w, self.k,
                                          detail=f"seed_tag={self._seed_tags[w]}")
+
+    def _clone_from_donors(self, ids: np.ndarray, donor_map: dict,
+                           owner_of: np.ndarray, state_cache: dict):
+        """Donor-cloned ``(states, logw, widths, ok)`` for the given ids.
+
+        For each sub-filter the healer names the nearest live donor by hop
+        count on the original topology; the donor's current particles seed
+        the replacement at uniform weights. ``ok=False`` when any id lacks
+        a reachable live donor (the caller retries next round).
+        """
+        B = int(ids.size)
+        new_states = np.empty((B, self._capacity, self.model.state_dim),
+                              dtype=self.dtype_policy.state)
+        new_logw = np.zeros((B, self._capacity), dtype=self.dtype_policy.weight)
+        new_widths = None
+        if self._widths is not None:
+            # Revived rows resume at the widths the master has been holding
+            # for them (frozen while dead); slots beyond each row's width
+            # are padding again.
+            new_widths = self._widths[ids].copy()
+            for i in range(B):
+                new_logw[i, int(new_widths[i]):] = -np.inf
+        for i, f in enumerate(ids):
+            donor = donor_map.get(int(f))
+            owner = None if donor is None else int(owner_of[donor])
+            if owner is None or owner < 0 or not self.membership.is_live(owner):
+                return None, None, None, False
+            if owner not in state_cache:
+                try:
+                    self._send(owner, ("get_state",))
+                    state_cache[owner] = (self._recv(owner, what="get_state"),
+                                          self._owned(owner).copy())
+                except WorkerFailure as e:
+                    self._handle_failure(owner, e)
+                    return None, None, None, False
+            (donor_states, _), donor_ids = state_cache[owner]
+            new_states[i] = donor_states[int(np.searchsorted(donor_ids, donor))]
+        return new_states, new_logw, new_widths, True
+
+    def _rebalance_dead_workers(self) -> None:
+        """Deal a dead shard's sub-filters to the survivors, mid-run.
+
+        The leader-driven last rung before checkpoint-and-abort: instead of
+        respawning a replacement process, the dead worker's sub-filters are
+        redistributed (deterministically — ascending id to the least-loaded
+        survivor) and each survivor *grows* its local population with donor
+        clones. Requires ``rng_streams="filter"``: the adopted sub-filters
+        bring their own fresh generation-tagged streams with them, so the
+        survivors' existing draws are untouched and the post-rebalance run
+        is a pure function of the failure history.
+        """
+        for w in sorted(self.dead_workers):
+            orphans = self._owned(w)
+            if orphans.size == 0:
+                continue  # already rebalanced; the worker just stays dead
+            donor_map = self._healer.donor_map()
+            owner_of = self.membership.live_owner_of()
+            # Donor rows are looked up against pre-grow ownership, so all
+            # donor state is fetched before any survivor's layout changes.
+            state_cache: dict[int, tuple] = {}
+            clones: dict[int, tuple] = {}
+            ok = True
+            moves_plan = {s: ids for s, ids in
+                          self._plan_rebalance(w).items() if ids.size}
+            for s, ids in sorted(moves_plan.items()):
+                cs, cl, cw, ok = self._clone_from_donors(
+                    ids, donor_map, owner_of, state_cache)
+                if not ok:
+                    break
+                clones[s] = (cs, cl, cw)
+            if not ok:
+                continue  # no donors yet; retry next round
+            moves = self.membership.rebalance(w, self.k)
+            self._topo_epoch += 1
+            for s in sorted(moves):
+                ids = moves[s]
+                self._filter_tags[ids] += 1
+                cs, cl, cw = clones[s]
+                tags = [int(x) for x in self._filter_tags[ids]]
+                try:
+                    self._send(s, ("grow", ids, cs, cl, cw, tags))
+                    self._recv(s, what="grow")
+                except WorkerFailure as e:
+                    self._handle_failure(s, e)
+                    continue
+                self._healer.revive(ids)
+                self._topo_epoch += 1
+            self.report.record_escalation("rebalance")
+            self.tracer.count("escalation.rebalance")
+            if self.supervisor is not None:
+                self.supervisor.escalate(
+                    "rebalance", w, self.k,
+                    detail=f"{int(orphans.size)} filters over "
+                           f"{len(moves)} survivors")
+
+    def _plan_rebalance(self, dead_worker: int) -> dict[int, np.ndarray]:
+        """Dry-run of :meth:`Membership.rebalance` (same deterministic deal)."""
+        orphans = self._owned(dead_worker)
+        live = self._live_workers()
+        loads = {s: int(self._owned(s).size) for s in live}
+        out: dict[int, list[int]] = {s: [] for s in live}
+        for f in orphans.tolist():
+            s = min(live, key=lambda x: (loads[x], x))
+            out[s].append(f)
+            loads[s] += 1
+        return {s: np.asarray(ids, dtype=np.int64) for s, ids in out.items()}
 
     # -- checkpoint / restore ---------------------------------------------------
     def _collect_snapshots(self, strict: bool = True) -> dict[int, tuple]:
@@ -1295,11 +1664,11 @@ class MultiprocessDistributedParticleFilter:
         worker_rng: dict[str, dict] = {}
         worker_heal: dict[str, dict] = {}
         for w, (s, lw, rng_state, heal, wd) in snaps.items():
-            lo, hi = self._block_range(w)
-            states[lo:hi] = s
-            logw[lo:hi] = lw
+            ids = self._owned(w)
+            states[ids] = s
+            logw[ids] = lw
             if widths is not None and wd is not None:
-                widths[lo:hi] = wd
+                widths[ids] = wd
             alive[w] = True
             worker_rng[str(w)] = rng_state
             worker_heal[str(w)] = heal
@@ -1316,6 +1685,13 @@ class MultiprocessDistributedParticleFilter:
             "transport": self.transport.name,
             "config": distributed_config_to_dict(cfg),
             "seed_tags": [int(t) for t in self._seed_tags],
+            # Schema v4: the shard assignment + per-filter RNG generations.
+            # Together with filter-keyed stream states (rng_streams="filter")
+            # they let load_checkpoint re-deal the run over a *different*
+            # worker count, bit-identically.
+            "assignment": [int(x) for x in self.membership.assignment()],
+            "filter_tags": [int(t) for t in self._filter_tags],
+            "membership": self.membership.summary(),
             "dead_filters": sorted(int(f) for f in self._healer.dead),
             "worker_rng": worker_rng,
             "worker_heal_counters": worker_heal,
@@ -1357,13 +1733,22 @@ class MultiprocessDistributedParticleFilter:
     def load_checkpoint(self, path: str) -> dict:
         """Restore a :meth:`save_checkpoint` snapshot into this filter.
 
-        Spawns the process tree if needed, pushes each live block's
-        population + RNG state into its worker, retires blocks that were
+        Spawns the process tree if needed, pushes each live shard's
+        population + RNG state into its worker, retires shards that were
         dead at save time (healing the topology around them, without
         re-counting their segment reclaims), and restores the step counter,
         respawn lineage, and resilience report. After this returns, the
         next :meth:`step` produces output bit-identical to the run the
         checkpoint was taken from.
+
+        Schema v4 checkpoints additionally carry the shard assignment and
+        per-filter RNG generations, which unlocks **elastic resume**: with
+        ``rng_streams="filter"`` (and no healed-out sub-filters) a
+        checkpoint written by an N-worker run loads into an M-worker
+        filter — every sub-filter's particles and private stream state are
+        re-dealt to the new contiguous shards, and the resumed trajectory
+        stays bit-identical because no sub-filter's randomness depends on
+        which worker hosts it.
         """
         arrays, manifest = read_checkpoint(path)
         meta = manifest["meta"]
@@ -1371,23 +1756,67 @@ class MultiprocessDistributedParticleFilter:
             raise CheckpointError(
                 f"checkpoint was written by backend {meta.get('backend')!r}, "
                 f"not 'multiprocess'")
-        if int(meta.get("n_workers", -1)) != self.n_workers:
-            raise CheckpointError(
-                f"checkpoint has {meta.get('n_workers')} workers, this filter "
-                f"has {self.n_workers}")
         saved_cfg = normalize_config_record(meta.get("config", {}))
         if saved_cfg != distributed_config_to_dict(self.config):
             raise CheckpointError(
                 "checkpoint configuration does not match this filter's "
                 "configuration")
+        cfg = self.config
+        saved_workers = int(meta.get("n_workers", -1))
+        saved_assign = meta.get("assignment")
+        dead_filters = sorted(int(f) for f in meta.get("dead_filters", []))
+        alive = np.asarray(arrays["alive"]).astype(bool)
+        elastic = saved_workers != self.n_workers
+        if elastic:
+            if cfg.rng_streams != "filter":
+                raise CheckpointError(
+                    f"checkpoint has {saved_workers} workers, this filter has "
+                    f"{self.n_workers}; resuming across a different shard "
+                    "count requires rng_streams='filter' (per-worker streams "
+                    "are tied to the shard layout)")
+            if saved_assign is None:
+                raise CheckpointError(
+                    f"checkpoint has {saved_workers} workers and predates "
+                    f"shard assignments (schema < 4); cannot resume on "
+                    f"{self.n_workers} workers")
+            owner_saved = np.asarray(saved_assign, dtype=np.int64)
+            if owner_saved.min() < 0 or not alive[owner_saved].all():
+                raise CheckpointError(
+                    "cannot resume across a different shard count: some "
+                    "sub-filters were on dead workers at save time (their "
+                    "state is not in the checkpoint)")
+            if dead_filters:
+                raise CheckpointError(
+                    "cannot resume across a different shard count while "
+                    f"{len(dead_filters)} sub-filters are healed out")
+            # Lineage re-keys to the new shard layout: per-filter generation
+            # tags carry across, per-worker seed tags do not.
+            target_assign = None  # contiguous default over self.n_workers
+            self._seed_tags = [0] * self.n_workers
+        else:
+            target_assign = (None if saved_assign is None
+                             else np.asarray(saved_assign, dtype=np.int64))
+            self._seed_tags = [int(t) for t in meta["seed_tags"]]
+        ftags = meta.get("filter_tags")
+        self._filter_tags = (np.zeros(cfg.n_filters, dtype=np.int64)
+                             if ftags is None
+                             else np.asarray(ftags, dtype=np.int64))
+        block = cfg.n_filters // self.n_workers
+        want = (np.repeat(np.arange(self.n_workers, dtype=np.int64), block)
+                if target_assign is None else target_assign)
+        if self._started and not np.array_equal(
+                self.membership.assignment(), want):
+            # A worker's shard is fixed at spawn: when the saved assignment
+            # differs from the running tree's (post-rebalance checkpoint, or
+            # a different worker count), restart the tree under the saved
+            # layout before pushing state.
+            self.close()
         if not self._started:
-            self._start()
-        self._seed_tags = [int(t) for t in meta["seed_tags"]]
+            self._start(assignment=target_assign)
         # The healed-topology view is rebuilt from the checkpoint, not
         # merged: any dead set this instance accumulated before the load is
         # superseded by the saved run's.
         self._healer = TopologyHealer(self.topology, bridge=self.heal_bridge)
-        alive = np.asarray(arrays["alive"]).astype(bool)
         states, logw = arrays["states"], arrays["log_weights"]
         widths_all = arrays.get("widths")
         alloc = meta.get("alloc")
@@ -1409,31 +1838,56 @@ class MultiprocessDistributedParticleFilter:
         else:
             self._widths = None
         k = int(meta["k"])
+        if elastic:
+            # Re-deal the per-filter streams: flatten every saved worker's
+            # filter-keyed stream states into one global map, then slice it
+            # by this instance's shard assignment.
+            stream_map: dict[int, tuple] = {}
+            rng_kind, rng_seed = cfg.rng, cfg.seed
+            for rec in meta["worker_rng"].values():
+                rng_kind, rng_seed = rec["rng"], rec["seed"]
+                for f, tag, st in rec["streams"]:
+                    stream_map[int(f)] = (int(tag), st)
+            missing = [f for f in range(cfg.n_filters) if f not in stream_map]
+            if missing:
+                raise CheckpointError(
+                    f"checkpoint carries no RNG stream state for sub-filters "
+                    f"{missing[:8]}; cannot re-deal across shard counts")
         live = []
         for w in range(self.n_workers):
-            if not alive[w]:
+            ids = self._owned(w)
+            if not elastic and not alive[w]:
                 # Dead at save time: retire it here too. The spawned-with-
                 # stale-tag worker is harmless — it never computed.
-                if self._worker_alive[w]:
+                if self.membership.is_live(w):
                     self._declare_dead(w, count_reclaim=False)
                 else:
-                    lo, hi = self._block_range(w)
-                    self._healer.mark_dead(range(lo, hi))
+                    self._healer.mark_dead(ids)
                 continue
-            if not self._worker_alive[w]:
+            if not self.membership.is_live(w):
                 # Alive in the checkpoint but dead here (loading into a
-                # degraded instance): give the block a fresh process; the
+                # degraded instance): give the shard a fresh process; the
                 # restore below installs its exact saved state.
                 self._spawn_worker(w)
-            lo, hi = self._block_range(w)
-            self._send(w, ("restore", np.ascontiguousarray(states[lo:hi]),
-                           np.ascontiguousarray(logw[lo:hi]), k,
-                           meta["worker_rng"][str(w)],
-                           meta.get("worker_heal_counters", {}).get(str(w), {}),
+            if elastic:
+                rng_rec = {"kind": "filter_striped", "rng": rng_kind,
+                           "seed": rng_seed,
+                           "streams": [[int(f), *stream_map[int(f)]]
+                                       for f in ids]}
+                # Worker heal counters are local telemetry aggregates; they
+                # do not survive a re-deal (and never affect the numerics).
+                heal_rec: dict = {}
+            else:
+                rng_rec = meta["worker_rng"][str(w)]
+                heal_rec = meta.get("worker_heal_counters", {}).get(str(w), {})
+            self._send(w, ("restore", np.ascontiguousarray(states[ids]),
+                           np.ascontiguousarray(logw[ids]), k, rng_rec,
+                           heal_rec,
                            None if widths_all is None
-                           else np.ascontiguousarray(widths_all[lo:hi])))
+                           else np.ascontiguousarray(widths_all[ids])))
             live.append(w)
         self._gather(live, what="restore")
+        self._topo_epoch += 1  # force shard views to rebuild post-restore
         self.k = k
         self.last_estimate = (None if "last_estimate" not in arrays
                               else np.asarray(arrays["last_estimate"]))
@@ -1456,7 +1910,7 @@ class MultiprocessDistributedParticleFilter:
         for w in self._live_workers():
             self._send(w, ("get_state",))
         for w in self._live_workers():
-            lo, hi = self._block_range(w)
+            ids = self._owned(w)
             s, l = self._recv(w, what="get_state")
-            states[lo:hi], logw[lo:hi] = s, l
+            states[ids], logw[ids] = s, l
         return states, logw

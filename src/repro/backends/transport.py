@@ -66,6 +66,37 @@ import numpy as np
 _ALIGN = 64  # slab field alignment [bytes]; keeps rows cache-line friendly
 
 
+@dataclass(frozen=True)
+class TransportCaps:
+    """What a transport's data plane can and cannot do.
+
+    The backend probes these instead of matching on transport names, so new
+    transports only have to describe themselves:
+
+    - ``zero_copy``: payloads move through preallocated shared slabs rather
+      than being serialized per round.
+    - ``framed``: payloads are serialized frames whose shapes may change
+      round to round — a prerequisite for elastic ownership (a worker's
+      sub-filter count growing mid-run) and for shard-aware cut-only
+      exchange, neither of which fits a fixed-size slab.
+    - ``cross_host``: the wire could, in principle, span machines (the
+      channel is address-based, not fd-inheritance-based).
+    - ``byte_counters``: the channel counts bytes on the wire
+      (``bytes_sent`` / ``bytes_received`` on ``chan.conn``), feeding the
+      cut-edge byte telemetry.
+    """
+
+    zero_copy: bool = False
+    framed: bool = True
+    cross_host: bool = False
+    byte_counters: bool = False
+
+    @property
+    def elastic(self) -> bool:
+        """Framed transports tolerate per-worker shapes changing mid-run."""
+        return self.framed
+
+
 def _align(n: int) -> int:
     return (n + _ALIGN - 1) // _ALIGN * _ALIGN
 
@@ -127,7 +158,10 @@ class SlabLayout:
             ("send_logw", (B, self.t_cap), wdt),
             ("best_states", (B, d), self.dtype),
             ("best_logw", (B,), wdt),
-            ("partial", (d + 2,), f64),
+            # per-sub-filter estimate partials [w·x (d) | w.sum | row shift]:
+            # keyed by global filter id on the master, so the weighted-mean
+            # reduction is invariant to how filters are sharded over workers.
+            ("partial", (B, d + 2), f64),
             # adaptive-allocation metrics (worker → master; fixed: unused)
             ("ess", (B,), f64),
             ("mass_lse", (B,), f64),
@@ -312,6 +346,7 @@ class PipeTransport:
     """Pickle-over-pipe data plane (the reference transport)."""
 
     name = "pipe"
+    caps = TransportCaps(zero_copy=False, framed=True, cross_host=False)
 
     def channel_pair(self, ctx, layout: SlabLayout):
         parent, child = ctx.Pipe()
@@ -413,13 +448,10 @@ class ShmMasterChannel:
             raise RuntimeError(
                 f"shm protocol: stale slab ack (seq {seq} != {self._seq})")
         v = self._views[k & 1]
-        d = self.layout.state_dim
-        partial = (v["partial"][:d].copy(), float(v["partial"][d]),
-                   float(v["partial"][d + 1]))
         # The metric views are handed out unconditionally; the master reads
         # them only under adaptive allocation (when the worker wrote them).
         return (v["send_states"], v["send_logw"], v["best_states"],
-                v["best_logw"], partial, heal_stats,
+                v["best_logw"], v["partial"].copy(), heal_stats,
                 (v["ess"], v["mass_lse"]))
 
     # -- phase 2 -------------------------------------------------------------
@@ -554,10 +586,7 @@ class ShmWorkerChannel:
         v["send_logw"][...] = send_logw
         v["best_states"][...] = best_states
         v["best_logw"][...] = best_logw
-        d = self.layout.state_dim
-        v["partial"][:d] = partial[0]
-        v["partial"][d] = partial[1]
-        v["partial"][d + 1] = partial[2]
+        v["partial"][...] = partial
         if alloc is not None:
             v["ess"][...] = alloc[0]
             v["mass_lse"][...] = alloc[1]
@@ -588,6 +617,7 @@ class SharedMemoryTransport:
     """Zero-copy data plane over ``multiprocessing.shared_memory`` slabs."""
 
     name = "shm"
+    caps = TransportCaps(zero_copy=True, framed=False, cross_host=False)
 
     def channel_pair(self, ctx, layout: SlabLayout):
         master = ShmMasterChannel(ctx, layout)
@@ -599,6 +629,23 @@ _TRANSPORTS = {
     "shm": SharedMemoryTransport,
     "shared_memory": SharedMemoryTransport,
 }
+
+
+def transport_choices() -> list[str]:
+    """The registered transport names, sorted — the CLI's choices list."""
+    return sorted(_TRANSPORTS)
+
+
+def transport_caps(spec) -> TransportCaps:
+    """The :class:`TransportCaps` a spec resolves to (without building it)."""
+    if isinstance(spec, str):
+        try:
+            return _TRANSPORTS[spec].caps
+        except KeyError:
+            raise ValueError(
+                f"unknown transport {spec!r}; expected one of {sorted(_TRANSPORTS)}"
+            ) from None
+    return spec.caps
 
 
 def make_transport(spec):
@@ -613,3 +660,11 @@ def make_transport(spec):
     if isinstance(spec, type):
         return spec()
     return spec
+
+
+# The socket transport lives in its own module (it builds on the pipe
+# channels defined above); importing it registers "tcp" in ``_TRANSPORTS``.
+# The import is effect-only — socket_transport registers itself at its own
+# module bottom, which keeps the mutual import safe whichever side loads
+# first.
+from repro.backends import socket_transport as _socket_transport  # noqa: E402, F401

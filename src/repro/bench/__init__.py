@@ -18,6 +18,7 @@ from repro.bench.allocation import run_allocation_bench
 from repro.bench.kernels import run_kernel_bench
 from repro.bench.perf import run_multiprocess_bench, write_report
 from repro.bench.sessions import run_sessions_bench
+from repro.bench.shard import run_shard_bench
 from repro.bench.tables import table2_rows, table3_rows
 
 __all__ = [
@@ -25,6 +26,7 @@ __all__ = [
     "run_kernel_bench",
     "run_multiprocess_bench",
     "run_sessions_bench",
+    "run_shard_bench",
     "write_report",
     "format_table",
     "sweep_error",

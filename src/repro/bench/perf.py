@@ -184,13 +184,18 @@ def run_multiprocess_bench(grid: str | list = "default", *, steps: int = 30,
             trajectories[backend] = ests
             row[f"{backend}_steps_per_s"] = 1.0 / sec
             row[f"{backend}_particles_per_s"] = n_filters * m / sec
-        if "pipe" in trajectories and "shm" in trajectories:
-            row["identical_estimates"] = bool(
-                np.array_equal(trajectories["pipe"], trajectories["shm"])
+        base = trajectories.get("pipe")
+        others = [b for b in trajectories if b not in ("vectorized", "pipe")]
+        if base is not None and others:
+            # Every multiprocess transport must reproduce pipe's estimates
+            # bit-for-bit — shm and tcp are transport optimizations only.
+            row["identical_estimates"] = all(
+                bool(np.array_equal(base, trajectories[b])) for b in others
             )
-            row["shm_speedup_vs_pipe"] = (
-                row["shm_steps_per_s"] / row["pipe_steps_per_s"]
-            )
+            for b in others:
+                row[f"{b}_speedup_vs_pipe"] = (
+                    row[f"{b}_steps_per_s"] / row["pipe_steps_per_s"]
+                )
         rows.append(row)
 
     if trace_path is not None:

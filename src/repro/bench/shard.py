@@ -1,0 +1,137 @@
+"""Shard-cut benchmark: cross-shard traffic scales with the cut, not the run.
+
+The shard-aware exchange (``shard_exchange``) serializes only *cut-edge*
+particles across worker boundaries — each worker's local exchange slots are
+filled from its own population without touching the wire. This benchmark
+pins the resulting scaling law: at a fixed topology cut, growing the
+per-filter population ``m`` leaves the measured cut bytes flat, while
+growing the number of sub-filters (and with it the cut) grows them
+linearly. Every row also carries a bit-parity verdict against the
+single-process golden trace, so the byte savings are never bought with a
+numerical divergence.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+
+import numpy as np
+
+from repro.bench.harness import resolve_grid
+from repro.core import DistributedFilterConfig
+from repro.models import LinearGaussianModel
+from repro.prng import make_rng
+from repro.telemetry import run_metadata
+from repro.topology import make_shard_plan, resolve_topology
+
+#: (n_filters, m, n_workers) — one axis varies m at fixed cut, one varies
+#: the filter count (and with it the ring cut) at fixed m.
+GRIDS = {
+    "smoke": [(8, 16, 2), (8, 64, 2), (16, 16, 2)],
+    "default": [
+        (16, 32, 2), (16, 128, 2), (16, 512, 2),   # m grows, cut fixed
+        (16, 32, 4), (32, 32, 4), (64, 32, 4),     # cut grows, m fixed
+    ],
+    "full": [
+        (32, 64, 4), (32, 256, 4), (32, 1024, 4),
+        (32, 64, 8), (64, 64, 8), (128, 64, 8),
+    ],
+}
+
+
+def _config(n_filters: int, m: int) -> DistributedFilterConfig:
+    return DistributedFilterConfig(
+        n_particles=m, n_filters=n_filters, topology="ring", n_exchange=2,
+        estimator="weighted_mean", seed=7, rng_streams="filter",
+    )
+
+
+def run_shard_bench(grid: str | list = "default", *, steps: int = 12,
+                    warmup: int = 2, transport: str = "tcp") -> dict:
+    """Run the shard-cut benchmark; returns the JSON-ready report dict.
+
+    For every ``(n_filters, m, n_workers)`` cell:
+
+    - a single-worker pipe run produces the golden estimate trajectory;
+    - an ``n_workers``-shard run over *transport* (shard exchange forced on)
+      must reproduce it bitwise (``parity``);
+    - the master's ``shard_cut_bytes`` counter, divided by the timed steps,
+      is compared against :meth:`ShardPlan.cut_bytes_per_round`'s
+      prediction from the topology cut alone.
+    """
+    from repro.backends import MultiprocessDistributedParticleFilter
+
+    configs = resolve_grid(GRIDS, grid)
+    model = LinearGaussianModel(A=[[0.9]], C=[[1.0]], Q=[[0.04]], R=[[0.01]])
+    rows = []
+    for n_filters, m, n_workers in configs:
+        cfg = _config(n_filters, m)
+        truth = model.simulate(steps + warmup, make_rng("numpy", seed=11))
+        meas = np.asarray(truth.measurements, dtype=np.float64)
+
+        with MultiprocessDistributedParticleFilter(
+                model, cfg, n_workers=1, transport="pipe") as pf:
+            golden = np.array([pf.step(z) for z in meas])
+
+        plan = make_shard_plan(resolve_topology(cfg.topology, n_filters),
+                               n_workers)
+        with MultiprocessDistributedParticleFilter(
+                model, cfg, n_workers=n_workers, transport=transport,
+                shard_exchange="on") as pf:
+            for z in meas[:warmup]:
+                pf.step(z)
+            base_bytes = pf.shard_cut_bytes
+            t0 = time.perf_counter()
+            ests = [pf.step(z) for z in meas[warmup:]]
+            sec = (time.perf_counter() - t0) / max(steps, 1)
+            cut_bytes = pf.shard_cut_bytes - base_bytes
+            state_itemsize = np.dtype(pf.dtype_policy.state).itemsize
+            weight_itemsize = np.dtype(pf.dtype_policy.weight).itemsize
+        ests = np.array(ests)
+        predicted = plan.cut_bytes_per_round(
+            cfg.n_exchange, model.state_dim,
+            state_itemsize=state_itemsize, weight_itemsize=weight_itemsize)
+        rows.append({
+            "n_filters": n_filters, "m": m, "n_workers": n_workers,
+            "total_particles": n_filters * m,
+            "cut_edges": plan.cut_size(),
+            "predicted_cut_bytes_per_round": int(predicted),
+            "measured_cut_bytes_per_round": cut_bytes / max(steps, 1),
+            "steps_per_s": 1.0 / sec if sec > 0 else float("inf"),
+            "parity": bool(np.array_equal(golden[warmup:], ests)),
+        })
+
+    # The headline claim, stated as data: same cut, 4x the particles,
+    # same bytes; more cut edges, proportionally more bytes.
+    by_cut: dict[int, set] = {}
+    for r in rows:
+        by_cut.setdefault(r["cut_edges"], set()).add(
+            r["measured_cut_bytes_per_round"])
+    return {
+        "benchmark": "shard-cut",
+        "grid": grid if isinstance(grid, str) else "custom",
+        "transport": transport,
+        "steps": steps,
+        "warmup": warmup,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "metadata": run_metadata(),
+        "rows": rows,
+        "summary": {
+            "parity": all(r["parity"] for r in rows),
+            # One distinct byte figure per cut size ⇒ traffic is a function
+            # of the cut alone, independent of the population.
+            "bytes_depend_only_on_cut": all(
+                len(v) == 1 for v in by_cut.values()),
+        },
+    }
+
+
+def write_report(report: dict, path: str = "BENCH_shard.json") -> str:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=1)
+        fh.write("\n")
+    return path

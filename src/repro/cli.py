@@ -17,6 +17,9 @@ Commands
 - ``chaos``   — soak the multiprocess backend under a seeded random
   ``FaultPlan`` with heartbeat supervision; print/export the
   ``ResilienceReport`` and supervisor event log.
+- ``shard-plan`` — partition the sub-filter exchange graph into shards and
+  report per-strategy cut sizes and predicted cut-edge wire bytes
+  (see ``docs/architecture.md``, "Sharding & transports").
 """
 
 from __future__ import annotations
@@ -75,6 +78,7 @@ def _cmd_bench(args) -> int:
         "allocation": _cmd_bench_allocation,
         "kernels": _cmd_bench_kernels,
         "sessions": _cmd_bench_sessions,
+        "shard": _cmd_bench_shard,
     }
     if target in handlers:
         try:
@@ -121,9 +125,15 @@ def _cmd_bench_multiprocess(args) -> int:
 
     steps = args.steps if args.steps is not None else 30
     warmup = args.warmup if args.warmup is not None else 3
+    backends = ["vectorized", "pipe", "shm"]
+    if getattr(args, "transport", None):
+        _check_transport(args.transport)  # ValueError → exit 2 upstream
+        if args.transport not in backends:
+            backends.append(args.transport)
     report = run_multiprocess_bench(grid=args.grid, steps=steps,
                                     warmup=warmup, trace_path=args.trace,
-                                    allocation=args.allocation)
+                                    allocation=args.allocation,
+                                    backends=tuple(backends))
     if args.trace:
         print(f"wrote {args.trace}")
     if args.assert_overhead is not None:
@@ -138,16 +148,21 @@ def _cmd_bench_multiprocess(args) -> int:
               f"<= {args.assert_overhead * 100:.1f}%")
     for row in report["rows"]:
         cols = [f"F={row['n_filters']:>4} m={row['m']:>4} w={row['n_workers']}"]
-        for backend in ("vectorized", "pipe", "shm"):
-            key = f"{backend}_steps_per_s"
+        names = [b for b in ("vectorized", "pipe", "shm") if f"{b}_steps_per_s" in row]
+        names += [k[: -len("_steps_per_s")] for k in row
+                  if k.endswith("_steps_per_s")
+                  and k[: -len("_steps_per_s")] not in names]
+        for backend in names:
+            cols.append(f"{backend} {row[f'{backend}_steps_per_s']:8.1f} st/s")
+        for backend in names:
+            key = f"{backend}_speedup_vs_pipe"
             if key in row:
-                cols.append(f"{backend} {row[key]:8.1f} st/s")
-        if "shm_speedup_vs_pipe" in row:
-            cols.append(f"shm/pipe {row['shm_speedup_vs_pipe']:.2f}x "
-                        f"parity={'ok' if row['identical_estimates'] else 'MISMATCH'}")
+                cols.append(f"{backend}/pipe {row[key]:.2f}x")
+        if "identical_estimates" in row:
+            cols.append(f"parity={'ok' if row['identical_estimates'] else 'MISMATCH'}")
         print("  ".join(cols))
     if not report["summary"]["identical_estimates"]:
-        print("FAIL: pipe and shm transports disagreed on the estimates", file=sys.stderr)
+        print("FAIL: the transports disagreed on the estimates", file=sys.stderr)
         return 1
     if args.output:
         write_report(report, args.output)
@@ -159,6 +174,34 @@ def _cmd_bench_multiprocess(args) -> int:
                   f"{args.assert_speedup:.2f}x on the largest config", file=sys.stderr)
             return 1
         print(f"shm speedup {speedup:.2f}x >= {args.assert_speedup:.2f}x")
+    return 0
+
+
+def _cmd_bench_shard(args) -> int:
+    from repro.bench.shard import run_shard_bench, write_report
+
+    transport = getattr(args, "transport", None) or "tcp"
+    _check_transport(transport)  # ValueError → exit 2 upstream
+    steps = args.steps if args.steps is not None else 12
+    warmup = args.warmup if args.warmup is not None else 2
+    report = run_shard_bench(grid=args.grid, steps=steps, warmup=warmup,
+                             transport=transport)
+    for row in report["rows"]:
+        print(f"F={row['n_filters']:>4} m={row['m']:>5} "
+              f"w={row['n_workers']}  cut={row['cut_edges']:>4} edges  "
+              f"wire {row['measured_cut_bytes_per_round']:8.0f} B/round "
+              f"(predicted {row['predicted_cut_bytes_per_round']})  "
+              f"{row['steps_per_s']:7.1f} st/s  "
+              f"parity={'ok' if row['parity'] else 'MISMATCH'}")
+    summary = report["summary"]
+    print(f"bytes depend only on cut: {summary['bytes_depend_only_on_cut']}")
+    if args.output:
+        write_report(report, args.output)
+        print(f"wrote {args.output}")
+    if not summary["parity"]:
+        print("FAIL: a sharded run diverged from the single-process golden "
+              "trace", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -292,6 +335,56 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _check_transport(name: str) -> str:
+    """Validate a transport name against the registry (exit-2 on unknown).
+
+    Runtime validation instead of static argparse ``choices`` so optional
+    transports registered by plugins/extensions are accepted and the error
+    always lists what this build actually offers.
+    """
+    from repro.backends.transport import transport_choices
+
+    choices = sorted(transport_choices())
+    if name not in choices:
+        raise ValueError(
+            f"unknown transport {name!r}; choices: {', '.join(choices)}")
+    return name
+
+
+def _cmd_shard_plan(args) -> int:
+    from repro.bench.harness import format_table
+    from repro.topology import make_shard_plan, resolve_topology
+
+    try:
+        topo = resolve_topology(args.topology, args.filters)
+        strategies = ([args.strategy] if args.strategy
+                      else ["contiguous", "strided"])
+        rows = []
+        for strategy in strategies:
+            plan = make_shard_plan(topo, args.shards, strategy=strategy)
+            s = plan.summary(n_exchange=args.exchange,
+                            state_dim=args.state_dim)
+            sizes = s["shard_sizes"]
+            rows.append({
+                "strategy": strategy,
+                "shards": s["n_shards"],
+                "filters": s["n_filters"],
+                "min_size": min(sizes),
+                "max_size": max(sizes),
+                "cut_edges": s["cut_edges"],
+                "cut_B_per_round": s["cut_bytes_per_round"],
+            })
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"{args.topology} topology, N={args.filters}, t={args.exchange}, "
+          f"d={args.state_dim}:")
+    print(format_table(rows))
+    print("only cut-edge particles cross shard boundaries; bytes/round "
+          "scale with the cut, not with the population")
+    return 0
+
+
 def _smoke_setup(args):
     """Shared model/config/measurements for the ``run`` and ``chaos`` commands."""
     import numpy as np
@@ -332,12 +425,21 @@ def _cmd_run(args) -> int:
               f"{np.asarray(est).ravel()[0]:+.6f}")
         return 0
 
-    if args.backend == "vectorized":
+    transport = args.transport
+    if transport is not None:
+        try:
+            _check_transport(transport)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    if args.backend == "vectorized" and transport is None:
         return drive(DistributedParticleFilter(model, cfg))
     from repro.backends import MultiprocessDistributedParticleFilter
 
     with MultiprocessDistributedParticleFilter(
-            model, cfg, n_workers=args.workers, transport=args.backend) as pf:
+            model, cfg, n_workers=args.workers,
+            transport=transport if transport is not None else args.backend,
+    ) as pf:
         return drive(pf)
 
 
@@ -347,7 +449,22 @@ def _cmd_chaos(args) -> int:
     from repro.backends import MultiprocessDistributedParticleFilter
     from repro.resilience import FaultPlan, Supervisor
 
+    try:
+        _check_transport(args.transport)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.rebalance and args.respawn:
+        print("error: --rebalance and --respawn are mutually exclusive "
+              "recovery rungs", file=sys.stderr)
+        return 2
     model, cfg, meas = _smoke_setup(args)
+    if args.rebalance:
+        # Elastic rebalancing re-deals sub-filters across survivors, which
+        # is only bit-reproducible under per-filter RNG streams.
+        from dataclasses import replace
+
+        cfg = replace(cfg, rng_streams="filter")
     plan = FaultPlan.random(
         args.seed, n_workers=args.workers, n_steps=args.steps,
         p_kill=args.p_kill, p_hang=args.p_hang, p_poison=args.p_poison,
@@ -362,6 +479,7 @@ def _cmd_chaos(args) -> int:
     with MultiprocessDistributedParticleFilter(
             model, cfg, n_workers=args.workers, transport=args.transport,
             fault_plan=plan, on_failure="heal", respawn_dead=args.respawn,
+            rebalance_dead=args.rebalance,
             recv_timeout=args.recv_timeout, supervisor=sup) as pf:
         for k in range(meas.shape[0]):
             pf.step(meas[k])
@@ -373,6 +491,8 @@ def _cmd_chaos(args) -> int:
                 "respawns", "checkpoints_saved", "escalations"):
         print(f"  {key:>20}: {report[key]}")
     print(f"  {'dead_workers':>20}: {diag['dead_workers']}")
+    if args.rebalance:
+        print(f"  {'owned_counts':>20}: {diag['membership']['owned_counts']}")
     for ev in events:
         print(f"  [k={ev['step']:>3}] w{ev['worker_id']} "
               f"{ev['kind']}: {ev['detail']}")
@@ -380,6 +500,8 @@ def _cmd_chaos(args) -> int:
         payload = {"seed": args.seed, "transport": args.transport,
                    "steps": args.steps, "plan": plan.to_dicts(),
                    "report": report, "dead_workers": diag["dead_workers"],
+                   "membership": diag["membership"],
+                   "shard": diag["shard"],
                    "supervisor": sup.summary() if sup else None,
                    "events": events}
         with open(args.output, "w") as fh:
@@ -471,7 +593,7 @@ def build_parser() -> argparse.ArgumentParser:
     b = sub.add_parser("bench", help="regenerate one figure/table, or run the transport benchmark")
     b.add_argument("figure", choices=["fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
                                       "fig9", "tables", "multiprocess", "allocation",
-                                      "kernels", "sessions"])
+                                      "kernels", "sessions", "shard"])
     b.add_argument("--grid", default="default",
                    help="(multiprocess/kernels/sessions) named benchmark grid: "
                         "smoke, default or full")
@@ -497,6 +619,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "on the vectorized backend exceeds this fraction (e.g. 0.05)")
     b.add_argument("--allocation", default="fixed", choices=["fixed", "ess", "mass"],
                    help="(multiprocess) allocation policy for the benchmark axis")
+    b.add_argument("--transport", default=None, metavar="NAME",
+                   help="(multiprocess) also benchmark this transport against "
+                        "pipe (e.g. tcp); unknown names exit 2 with the "
+                        "registered choices")
     b.add_argument("--seeds", type=int, default=16,
                    help="(allocation) seeds averaged per workload/policy cell")
     b.add_argument("--assert-gain", type=float, default=None, metavar="FACTOR",
@@ -520,6 +646,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     rn = sub.add_parser("run", help="linear-Gaussian smoke run with checkpoint/resume")
     rn.add_argument("--backend", default="vectorized", choices=["vectorized", "pipe", "shm"])
+    rn.add_argument("--transport", default=None, metavar="NAME",
+                    help="multiprocess data plane (pipe/shm/tcp...); implies "
+                         "the multiprocess backend; unknown names exit 2 "
+                         "with the registered choices")
     rn.add_argument("--particles", type=int, default=32, help="particles per sub-filter (m)")
     rn.add_argument("--filters", type=int, default=8, help="number of sub-filters (N)")
     rn.add_argument("--workers", type=int, default=2, help="worker processes (multiprocess)")
@@ -533,7 +663,9 @@ def build_parser() -> argparse.ArgumentParser:
     rn.set_defaults(func=_cmd_run)
 
     c = sub.add_parser("chaos", help="seeded FaultPlan soak with heartbeat supervision")
-    c.add_argument("--transport", default="pipe", choices=["pipe", "shm"])
+    c.add_argument("--transport", default="pipe", metavar="NAME",
+                   help="multiprocess data plane (pipe/shm/tcp...); unknown "
+                        "names exit 2 with the registered choices")
     c.add_argument("--workers", type=int, default=2)
     c.add_argument("--particles", type=int, default=16, help="particles per sub-filter (m)")
     c.add_argument("--filters", type=int, default=8, help="number of sub-filters (N)")
@@ -545,6 +677,10 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--max-kills", type=int, default=1, help="cap on killed workers (keeps a quorum)")
     c.add_argument("--respawn", action="store_true",
                    help="respawn dead blocks instead of leaving the topology healed")
+    c.add_argument("--rebalance", action="store_true",
+                   help="rebalance a dead worker's sub-filters onto the "
+                        "survivors (elastic sharding; forces per-filter "
+                        "RNG streams)")
     c.add_argument("--no-supervisor", action="store_true",
                    help="disable heartbeat supervision (deadline-only detection)")
     c.add_argument("--beat-timeout", type=float, default=0.25,
@@ -561,6 +697,23 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("--output", "-o", default=None, help="write Markdown to this file")
     r.add_argument("--full", action="store_true", help="higher statistical effort")
     r.set_defaults(func=_cmd_report)
+
+    sp = sub.add_parser("shard-plan",
+                        help="partition a topology into shards and report "
+                             "cut-edge sizes and wire bytes per round")
+    sp.add_argument("--topology", default="ring",
+                    choices=["ring", "torus", "all-to-all", "none"])
+    sp.add_argument("--filters", type=int, default=64,
+                    help="number of sub-filters (N)")
+    sp.add_argument("--shards", type=int, default=2,
+                    help="number of shards (worker processes/hosts)")
+    sp.add_argument("--strategy", default=None,
+                    choices=["contiguous", "strided"],
+                    help="partitioning strategy (default: show both)")
+    sp.add_argument("--exchange", type=int, default=1,
+                    help="particles per exchange edge (t)")
+    sp.add_argument("--state-dim", type=int, default=9, help="state dimension")
+    sp.set_defaults(func=_cmd_shard_plan)
 
     pl = sub.add_parser("platforms", help="list simulated platforms")
     pl.set_defaults(func=_cmd_platforms)

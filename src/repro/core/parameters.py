@@ -102,6 +102,15 @@ class DistributedFilterConfig:
     #: (float32 states *and* log-weights, float64 reductions) or
     #: ``"float64"`` (everything double). See :mod:`repro.core.dtypes`.
     dtype_policy: str = "mixed"
+    #: randomness partitioning across workers: ``"worker"`` (one stream per
+    #: worker process — the historical behaviour every pre-shard golden
+    #: trace pins) or ``"filter"`` (one stream per sub-filter, striped into
+    #: the worker's batched draws — results become invariant to how
+    #: sub-filters are sharded over workers, which is what makes N-shard
+    #: runs bit-identical to single-process runs and lets checkpoints
+    #: resume under a different shard count). Single-process backends
+    #: ignore it.
+    rng_streams: str = "worker"
     rng: str = "numpy"
     seed: int = 0
 
@@ -156,6 +165,10 @@ class DistributedFilterConfig:
             raise ValueError(
                 f"dtype_policy must be 'mixed', 'float32' or 'float64', "
                 f"got {self.dtype_policy!r}")
+        if self.rng_streams not in ("worker", "filter"):
+            raise ValueError(
+                f"rng_streams must be 'worker' or 'filter', "
+                f"got {self.rng_streams!r}")
         object.__setattr__(self, "dtype", check_dtype(self.dtype))
 
     @property

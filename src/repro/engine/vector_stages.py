@@ -12,6 +12,8 @@ owner (multiprocess workers) run the module-level kernel functions directly.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
+
 import numpy as np
 
 from repro.core.estimator import global_estimate
@@ -22,6 +24,20 @@ from repro.utils.arrays import (
     rescue_degenerate_rows,
     sanitize_log_weights,
 )
+
+
+def _row_scope(rng, rows):
+    """Scope a row-striped RNG to a row subset; no-op for plain RNGs.
+
+    Row-subset draws (the masked resample path) must consume only the
+    affected rows' streams when the RNG stripes draws per row — that is
+    what keeps per-sub-filter streams shard-invariant. Plain generators
+    (every pre-shard golden trace) take the exact same path as before.
+    """
+    scope = getattr(rng, "scoped_rows", None)
+    if scope is None:
+        return nullcontext(rng)
+    return scope(rows)
 
 # ---------------------------------------------------------------------------
 # Kernel bodies
@@ -286,10 +302,11 @@ def resample(ctx: ExecutionContext, state: FilterState) -> None:
             apply_width_mask(state.log_weights, state.widths)
         return
 
-    idx = ctx.resampler.resample_batch(w[mask], m, ctx.rng)  # (F', m)
-    new_states = np.take_along_axis(pooled_states[mask], idx[:, :, None], axis=1)
-    if cfg.roughening > 0.0:
-        new_states = roughen(new_states)
+    with _row_scope(ctx.rng, np.flatnonzero(mask)):
+        idx = ctx.resampler.resample_batch(w[mask], m, ctx.rng)  # (F', m)
+        new_states = np.take_along_axis(pooled_states[mask], idx[:, :, None], axis=1)
+        if cfg.roughening > 0.0:
+            new_states = roughen(new_states)
     state.states[mask] = new_states
     state.log_weights[mask] = 0.0
     if state.ragged:

@@ -94,6 +94,28 @@ class TimingRNG(FilterRNG):
     def spawn(self, stream: int) -> "TimingRNG":
         return TimingRNG(self.inner.spawn(stream), self.timer)
 
+    def scoped_rows(self, rows):
+        """Forward row scoping to a striped inner RNG (no-op otherwise).
+
+        Draws inside the scope still route through this wrapper, so they
+        stay billed to the ``rand`` phase.
+        """
+        scope = getattr(self.inner, "scoped_rows", None)
+        if scope is None:
+            from contextlib import nullcontext
+
+            return nullcontext(self)
+        return scope(rows)
+
+    def delegating(self, block: int):
+        """Forward per-row delegation to a striped inner RNG."""
+        scope = getattr(self.inner, "delegating", None)
+        if scope is None:
+            from contextlib import nullcontext
+
+            return nullcontext(self)
+        return scope(block)
+
     def state_dict(self) -> dict:
         return self.inner.state_dict()
 

@@ -49,14 +49,21 @@ from repro.resilience.errors import CheckpointCorruptError, CheckpointError
 #: v3 (execution-form dispatch): the config record gains the ``execution``
 #: and ``dtype_policy`` fields, and the saved ``states``/``log_weights``
 #: arrays carry the policy's dtypes (float32 under a float32 policy).
-CHECKPOINT_SCHEMA_VERSION = 3
+#: v4 (shard-aware topology): the multiprocess meta records the shard
+#: ``assignment`` (sub-filter → worker), the config's ``rng_streams``
+#: policy and — under ``rng_streams="filter"`` — per-sub-filter RNG states
+#: keyed by global filter id, which is what lets a v4 checkpoint resume
+#: bit-identically under a *different* worker/shard count.
+CHECKPOINT_SCHEMA_VERSION = 4
 
 #: schema versions this build can still read. v1 checkpoints are the
 #: fixed-width layout: no ``widths`` array (every row fully live), no
 #: allocation-policy state — both default cleanly on load. v2 predates the
 #: execution/dtype-policy config fields, which default to the reference
-#: forms and mixed dtypes via :func:`normalize_config_record`.
-SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3)
+#: forms and mixed dtypes via :func:`normalize_config_record`. v3 predates
+#: shard assignments and per-filter RNG streams, which default to the
+#: legacy per-worker policy.
+SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3, 4)
 
 #: zip member carrying the JSON manifest (alongside the ``*.npy`` arrays).
 MANIFEST_MEMBER = "manifest.json"

@@ -33,6 +33,7 @@ checking process liveness at declaration time.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 from repro.utils.validation import check_positive_int, check_timeout
@@ -78,18 +79,31 @@ class Supervisor:
         optional path: when a failure is about to propagate out of the
         backend (``on_failure="raise"``), the survivors' state is
         checkpointed here first so the run can be resumed.
+    event_cap:
+        the event log is a ring buffer of this many most-recent events, so
+        a chaotic multi-day soak (one ``beat_miss`` per flap, forever)
+        cannot grow master memory without bound. Evicted events are counted
+        in :attr:`events_dropped` and reported by :meth:`summary`.
     """
 
     def __init__(self, beat_timeout: float = 0.5, max_missed: int = 3,
-                 checkpoint_on_abort: str | None = None):
+                 checkpoint_on_abort: str | None = None,
+                 event_cap: int = 4096):
         timeout = check_timeout(beat_timeout, "beat_timeout")
         if timeout is None:
             raise ValueError("beat_timeout must be a finite number of seconds")
         self.beat_timeout = timeout
         self.max_missed = check_positive_int(max_missed, "max_missed")
         self.checkpoint_on_abort = checkpoint_on_abort
-        self.events: list[SupervisorEvent] = []
+        self.event_cap = check_positive_int(event_cap, "event_cap")
+        self.events: deque[SupervisorEvent] = deque(maxlen=self.event_cap)
+        self.events_dropped = 0
         self._views: dict[int, _WorkerView] = {}
+
+    def _record(self, event: SupervisorEvent) -> None:
+        if len(self.events) == self.event_cap:
+            self.events_dropped += 1
+        self.events.append(event)
 
     # -- detector cadence ------------------------------------------------------
     @property
@@ -117,7 +131,7 @@ class Supervisor:
         view = self._views.setdefault(worker, _WorkerView(count=int(count), since=now))
         if int(count) != view.count:
             if view.missed:
-                self.events.append(SupervisorEvent(
+                self._record(SupervisorEvent(
                     step, worker, "recovered",
                     f"heartbeat resumed after {view.missed} missed windows"))
             view.count = int(count)
@@ -128,12 +142,12 @@ class Supervisor:
             return "ok"
         view.missed += 1
         view.since = now
-        self.events.append(SupervisorEvent(
+        self._record(SupervisorEvent(
             step, worker, "beat_miss",
             f"no heartbeat progress for {self.beat_timeout:g}s "
             f"(miss {view.missed}/{self.max_missed})"))
         if view.missed >= self.max_missed:
-            self.events.append(SupervisorEvent(
+            self._record(SupervisorEvent(
                 step, worker, "declared_dead",
                 f"{view.missed} consecutive heartbeat misses"))
             return "dead"
@@ -151,7 +165,7 @@ class Supervisor:
         """Record one escalation rung (``heal``/``respawn``/``abort``)."""
         name = {"heal": "escalate_heal", "respawn": "escalate_respawn",
                 "abort": "checkpoint_abort"}.get(kind, kind)
-        self.events.append(SupervisorEvent(step, worker, name, detail))
+        self._record(SupervisorEvent(step, worker, name, detail))
 
     # -- reporting --------------------------------------------------------------
     @property
@@ -171,6 +185,7 @@ class Supervisor:
             "beat_timeout": self.beat_timeout,
             "max_missed": self.max_missed,
             "n_events": len(self.events),
+            "events_dropped": self.events_dropped,
             "event_counts": counts,
         }
 

@@ -14,6 +14,19 @@ from repro.topology.torus import Torus2DTopology
 from repro.topology.alltoall import AllToAllTopology
 from repro.topology.custom import GraphTopology
 from repro.topology.base import make_topology
+from repro.topology.shards import (
+    ShardPlan,
+    ShardView,
+    make_shard_plan,
+    shard_table_view,
+)
+
+__all__ = [
+    "ExchangeTopology", "RingTopology", "Torus2DTopology",
+    "AllToAllTopology", "GraphTopology", "make_topology",
+    "ShardPlan", "ShardView", "make_shard_plan", "shard_table_view",
+    "resolve_topology",
+]
 
 
 def resolve_topology(spec, n_filters: int) -> ExchangeTopology:

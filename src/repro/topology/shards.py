@@ -1,0 +1,221 @@
+"""Shard planning: partition the sub-filter graph over workers/hosts.
+
+A :class:`ShardPlan` assigns every sub-filter to a shard and rewrites the
+exchange neighbour table from the shard's point of view: a column of a
+sub-filter's receive row is **local** when its source lives in the same
+shard (the exchange can be satisfied from the worker's own post-sort send
+buffer — zero wire bytes) and **cut** otherwise (the particles must
+serialize across the shard boundary). Because exchange topologies are
+symmetric (``validate`` enforces it), a shard's cut in-edges and cut
+out-edges coincide, so the per-round wire traffic of a shard is exactly
+``t`` particles per directed cut edge — independent of how many particles
+or sub-filters the shard holds. That is the scaling the shard benchmark
+pins: cut bytes grow with the partition's cut size, not with the total
+particle count.
+
+The plan also feeds the paper's analytic cost model: each shard is priced
+as its own ``n_groups = |shard|`` filter round via the kernels' registered
+``CostSig`` formulas, with the cut-byte estimate layered on top — the
+"which partition is cheapest" question answered before any process spawns
+(`esthera shard-plan`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.topology.base import ExchangeTopology
+
+
+def make_shard_plan(topology: ExchangeTopology, n_shards: int,
+                    strategy: str = "contiguous") -> "ShardPlan":
+    """Partition *topology*'s sub-filters into *n_shards* shards.
+
+    Strategies:
+
+    - ``"contiguous"`` — equal consecutive blocks (shard ``s`` owns
+      ``[s*B, (s+1)*B)``). Minimal cut for ring/torus-style locality and
+      identical to the classic per-worker block split, so it is the
+      backend's default.
+    - ``"strided"`` — round-robin (``f % n_shards``). Deliberately
+      locality-hostile: nearly every edge is a cut edge. Useful as the
+      pessimal contrast in benchmarks and tests.
+    """
+    F = topology.n_filters
+    n_shards = int(n_shards)
+    if not 1 <= n_shards <= F:
+        raise ValueError(f"n_shards must be in [1, {F}], got {n_shards}")
+    if strategy == "contiguous":
+        if F % n_shards:
+            raise ValueError(
+                f"contiguous plan needs n_shards ({n_shards}) to divide "
+                f"n_filters ({F})")
+        assignment = np.repeat(np.arange(n_shards, dtype=np.int64),
+                               F // n_shards)
+    elif strategy == "strided":
+        assignment = (np.arange(F, dtype=np.int64) % n_shards)
+    else:
+        raise ValueError(
+            f"unknown shard strategy {strategy!r}; "
+            f"expected one of ['contiguous', 'strided']")
+    return ShardPlan(assignment, n_shards, topology=topology)
+
+
+class ShardPlan:
+    """An assignment of every sub-filter to a shard, plus its cut analysis."""
+
+    def __init__(self, assignment, n_shards: int,
+                 topology: ExchangeTopology | None = None):
+        self.assignment = np.asarray(assignment, dtype=np.int64).copy()
+        self.n_shards = int(n_shards)
+        self.topology = topology
+        if self.assignment.ndim != 1:
+            raise ValueError("assignment must be a 1-D filter→shard vector")
+        if self.assignment.size and not (
+                (self.assignment >= 0).all()
+                and (self.assignment < self.n_shards).all()):
+            raise ValueError("assignment references shards outside "
+                             f"[0, {self.n_shards})")
+
+    @property
+    def n_filters(self) -> int:
+        return int(self.assignment.size)
+
+    def members(self, shard: int) -> np.ndarray:
+        """Global sub-filter ids owned by *shard*, ascending."""
+        return np.flatnonzero(self.assignment == int(shard))
+
+    def counts(self) -> np.ndarray:
+        return np.bincount(self.assignment, minlength=self.n_shards)
+
+    # -- cut analysis ---------------------------------------------------------
+    def cut_edges(self) -> np.ndarray:
+        """Directed exchange edges crossing a shard boundary, as an
+        ``(E, 2)`` array of ``(dst, src)`` pairs (dst receives from src)."""
+        if self.topology is None:
+            raise ValueError("cut analysis needs the plan's topology")
+        table = self.topology.neighbor_table()
+        if table.size == 0:
+            return np.empty((0, 2), dtype=np.int64)
+        F, D = table.shape
+        dst = np.repeat(np.arange(F, dtype=np.int64), D)
+        src = table.reshape(-1)
+        valid = src >= 0
+        dst, src = dst[valid], src[valid]
+        crossing = self.assignment[dst] != self.assignment[src]
+        return np.stack([dst[crossing], src[crossing]], axis=1)
+
+    def cut_size(self) -> int:
+        """Number of directed cut edges."""
+        return int(self.cut_edges().shape[0])
+
+    def cut_bytes_per_round(self, n_exchange: int, state_dim: int,
+                            state_itemsize: int = 4,
+                            weight_itemsize: int = 8) -> int:
+        """Predicted serialized payload bytes per round: ``t`` particles
+        (state + log-weight) per directed cut edge. Framing/pickle overhead
+        is excluded — it is O(edges), not O(particles)."""
+        t = max(int(n_exchange), 0)
+        per_edge = t * (state_dim * state_itemsize + weight_itemsize)
+        return self.cut_size() * per_edge
+
+    def summary(self, n_exchange: int = 1, state_dim: int = 1) -> dict:
+        counts = self.counts()
+        return {
+            "n_filters": self.n_filters,
+            "n_shards": self.n_shards,
+            "shard_sizes": counts.tolist(),
+            "cut_edges": self.cut_size(),
+            "cut_bytes_per_round": self.cut_bytes_per_round(
+                n_exchange, state_dim),
+        }
+
+    # -- cost-model feed ------------------------------------------------------
+    def shard_cost_params(self, shard: int, n_particles: int, state_dim: int,
+                          n_exchange: int = 1, dtype_bytes: int = 4):
+        """A per-shard :class:`~repro.kernels.registry.CostParams`: the shard
+        priced as its own ``n_groups = |shard|`` filter round."""
+        from repro.kernels.registry import CostParams
+
+        size = int(self.counts()[int(shard)])
+        deg = self.topology.max_degree if self.topology is not None else 2
+        return CostParams(
+            m=int(n_particles), state_dim=int(state_dim),
+            n_groups=max(size, 1), dtype_bytes=int(dtype_bytes),
+            pool=int(n_particles) + deg * max(int(n_exchange), 1),
+            n_exchange=max(int(n_exchange), 1), degree=max(deg, 1))
+
+
+@dataclass(frozen=True)
+class ShardView:
+    """One worker's rewritten neighbour table.
+
+    Every ``(row, column)`` slot of the worker's ``(B, D)`` receive table is
+    classified exactly once:
+
+    - **local**: the source is owned by the same worker — the worker fills
+      the slot from its own post-sort send buffer (``local_src`` is the
+      source's local row index); nothing crosses the wire.
+    - **wire**: everything else — out-of-shard sources *and* masked/dead
+      slots, which the master fills with the same row-0 filler + ``-inf``
+      log-weights the dense routing path uses, so the pooled candidate set
+      is bit-identical to an unsharded round.
+
+    ``wire_src`` (global source rows, ``-1`` preserved) exists for the
+    master's packing; workers only need the slot coordinates.
+    """
+
+    worker: int
+    ids: np.ndarray       # (B,) global sub-filter ids, ascending
+    n_cols: int           # D, the dense table width
+    local_i: np.ndarray   # local-slot row coordinates
+    local_j: np.ndarray   # local-slot column coordinates
+    local_src: np.ndarray  # local row index of each local slot's source
+    wire_i: np.ndarray    # wire-slot row coordinates (row-major order)
+    wire_j: np.ndarray    # wire-slot column coordinates
+    wire_src: np.ndarray  # global source row of each wire slot (-1 kept)
+    wire_valid: np.ndarray  # live-source mask over the wire slots
+
+    @property
+    def n_rows(self) -> int:
+        return int(self.ids.size)
+
+    @property
+    def n_wire_slots(self) -> int:
+        return int(self.wire_i.size)
+
+    def wire_payload(self) -> tuple:
+        """The arrays a worker needs to reconstruct its receive table."""
+        return (self.ids, self.n_cols, self.local_i, self.local_j,
+                self.local_src, self.wire_i, self.wire_j, self.wire_valid)
+
+
+def shard_table_view(worker: int, ids, owner, table, mask) -> ShardView:
+    """Build *worker*'s :class:`ShardView` from the (healed) dense table.
+
+    ``owner`` maps every global sub-filter id to its owning worker (``-1``
+    for unowned/dead); ``table``/``mask`` are the healer's frozen neighbour
+    table for this round.
+    """
+    ids = np.asarray(ids, dtype=np.int64)
+    owner = np.asarray(owner, dtype=np.int64)
+    table = np.asarray(table)
+    mask = np.asarray(mask, dtype=bool)
+    rows = table[ids]            # (B, D) global sources
+    rmask = mask[ids]
+    valid = rmask & (rows >= 0)
+    src_owner = np.where(valid, owner[np.maximum(rows, 0)], -1)
+    local = valid & (src_owner == int(worker))
+    wire = ~local
+    # global id -> local row index for in-shard sources
+    lookup = np.full(owner.shape[0], -1, dtype=np.int64)
+    lookup[ids] = np.arange(ids.size, dtype=np.int64)
+    li, lj = np.nonzero(local)
+    wi, wj = np.nonzero(wire)
+    return ShardView(
+        worker=int(worker), ids=ids, n_cols=int(rows.shape[1] if rows.ndim == 2 else 0),
+        local_i=li, local_j=lj, local_src=lookup[rows[li, lj]],
+        wire_i=wi, wire_j=wj, wire_src=rows[wi, wj],
+        wire_valid=valid[wi, wj])

@@ -33,7 +33,8 @@ class TestSlabLayout:
         assert f["send_logw"].shape == (2, 4)
         assert f["send_logw"].dtype == np.float64  # log-weights always f64
         assert f["recv_states"].shape == (2, 8, 3)
-        assert f["partial"].shape == (3 + 2,)
+        # One estimate partial per sub-filter row: [sum w*x | sum w | shift].
+        assert f["partial"].shape == (2, 3 + 2)
         assert f["meas"].shape == (4,) and f["ctrl"].shape == (2,)
 
     def test_offsets_are_aligned_and_disjoint(self):
@@ -95,7 +96,8 @@ class TestShmChannelRoundtrip:
         send_w = rng.normal(size=(B, t))
         best_s = rng.normal(size=(B, d)).astype(lay.dtype)
         best_w = rng.normal(size=(B,))
-        partial = (rng.normal(size=(d,)), 1.25, -0.5)
+        # Per-sub-filter estimate partial rows: [sum w*x | sum w | shift].
+        partial = rng.normal(size=(B, d + 2))
         worker.reply_phase1(k, send_s, send_w, best_s, best_w, partial, {"sanitized": 2})
         return send_s, send_w, best_s, best_w, partial
 
@@ -119,8 +121,7 @@ class TestShmChannelRoundtrip:
             np.testing.assert_array_equal(send_w, sent[1])
             np.testing.assert_array_equal(best_s, sent[2])
             np.testing.assert_array_equal(best_w, sent[3])
-            np.testing.assert_array_equal(partial[0], sent[4][0])
-            assert partial[1:] == (1.25, -0.5)
+            np.testing.assert_array_equal(partial, sent[4])
             assert heal == {"sanitized": 2}
         finally:
             master.close()

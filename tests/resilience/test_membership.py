@@ -1,0 +1,112 @@
+"""Unit tests for cluster membership (statuses, ownership, rebalancing)."""
+
+import numpy as np
+import pytest
+
+from repro.resilience.membership import Membership
+
+
+class TestOwnership:
+    def test_default_assignment_is_contiguous_blocks(self):
+        m = Membership(8, 2)
+        np.testing.assert_array_equal(m.owned(0), [0, 1, 2, 3])
+        np.testing.assert_array_equal(m.owned(1), [4, 5, 6, 7])
+        np.testing.assert_array_equal(m.owner_of(), [0, 0, 0, 0, 1, 1, 1, 1])
+        np.testing.assert_array_equal(m.assignment(), m.owner_of())
+
+    def test_explicit_assignment(self):
+        m = Membership(4, 2, assignment=[1, 0, 1, 0])
+        np.testing.assert_array_equal(m.owned(0), [1, 3])
+        np.testing.assert_array_equal(m.owned(1), [0, 2])
+
+    def test_indivisible_default_rejected(self):
+        with pytest.raises(ValueError):
+            Membership(7, 2)
+
+    def test_set_owned_bumps_epoch(self):
+        m = Membership(4, 2)
+        before = m.epoch
+        m.set_owned(0, [3, 0])
+        np.testing.assert_array_equal(m.owned(0), [0, 3])  # sorted
+        assert m.epoch == before + 1
+
+
+class TestStatuses:
+    def test_join_leave_evict_lifecycle(self):
+        m = Membership(4, 2)
+        assert m.status == ["init", "init"]
+        m.join(0, step=0)
+        m.join(1, step=0)
+        assert m.live_workers() == [0, 1] and m.n_live == 2
+        m.evict(1, step=3, detail="declared dead")
+        assert not m.is_live(1)
+        assert m.live_workers() == [0]
+        # Eviction keeps ownership (state may still be checkpointed/donated).
+        np.testing.assert_array_equal(m.owned(1), [2, 3])
+        np.testing.assert_array_equal(m.live_owner_of(), [0, 0, -1, -1])
+        kinds = [e.kind for e in m.events]
+        assert kinds == ["join", "join", "evict"]
+
+
+class TestRebalance:
+    def test_deals_ascending_ids_to_least_loaded(self):
+        m = Membership(8, 4)
+        for w in range(4):
+            m.join(w)
+        m.evict(3)
+        moves = m.rebalance(3, step=5)
+        # Orphans 6, 7 dealt one each to the least-loaded (all tied at 2,
+        # ties to the lowest id): 6 -> w0, 7 -> w1.
+        np.testing.assert_array_equal(moves[0], [6])
+        np.testing.assert_array_equal(moves[1], [7])
+        assert 2 not in moves
+        assert m.owned(3).size == 0
+        np.testing.assert_array_equal(m.owned(0), [0, 1, 6])
+        assert m.owner_of()[6] == 0 and m.owner_of()[7] == 1
+
+    def test_deterministic_across_replays(self):
+        def play():
+            m = Membership(12, 3)
+            for w in range(3):
+                m.join(w)
+            m.evict(2)
+            return {w: ids.tolist() for w, ids in m.rebalance(2).items()}
+
+        assert play() == play()
+
+    def test_needs_a_live_survivor(self):
+        m = Membership(4, 2)
+        m.join(0), m.join(1)
+        m.evict(0), m.evict(1)
+        with pytest.raises(ValueError):
+            m.rebalance(0)
+
+    def test_rebalance_bumps_epoch_and_records_events(self):
+        m = Membership(4, 2)
+        m.join(0), m.join(1)
+        m.evict(1)
+        before = m.epoch
+        m.rebalance(1, step=9)
+        assert m.epoch == before + 1
+        kinds = [e.kind for e in m.events]
+        assert "adopt" in kinds and "rebalance" in kinds
+
+
+class TestEventLog:
+    def test_ring_buffer_drops_oldest_and_counts(self):
+        m = Membership(4, 2, event_cap=3)
+        for i in range(5):
+            m.record(i, 0, "join", f"n{i}")
+        assert len(m.events) == 3
+        assert m.events_dropped == 2
+        assert [e.step for e in m.events] == [2, 3, 4]
+        s = m.summary()
+        assert s["n_events"] == 3 and s["events_dropped"] == 2
+
+    def test_summary_counts_by_kind(self):
+        m = Membership(4, 2)
+        m.join(0), m.join(1), m.evict(0)
+        s = m.summary()
+        assert s["event_counts"] == {"join": 2, "evict": 1}
+        assert s["statuses"] == ["dead", "live"]
+        assert s["owned_counts"] == [2, 2]

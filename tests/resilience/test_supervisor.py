@@ -25,7 +25,7 @@ class TestDetector:
         sup.begin_wait(0, count=0, now=0.0)
         assert sup.observe(0, count=1, now=0.5, step=0) == "ok"
         assert sup.observe(0, count=2, now=5.0, step=0) == "ok"  # progress trumps time
-        assert sup.events == []
+        assert list(sup.events) == []
 
     def test_silence_scores_misses_then_death(self):
         sup = Supervisor(beat_timeout=1.0, max_missed=3)
@@ -135,3 +135,42 @@ class TestHeartbeatHook:
         other = FakeChannel()
         HeartbeatHook(other, plan, worker_id=0).on_stage_start("sample", FakeState(k=4))
         assert other.beats == [BEAT_CODES["stage_start"]]
+
+
+class TestEventRingBuffer:
+    def test_cap_drops_oldest_and_counts_evictions(self):
+        sup = Supervisor(beat_timeout=0.1, event_cap=4)
+        for k in range(7):
+            sup.escalate("heal", worker=0, step=k, detail=f"n{k}")
+        assert len(sup.events) == 4
+        assert sup.events_dropped == 3
+        # Oldest evicted, newest retained, in order.
+        assert [e.step for e in sup.events] == [3, 4, 5, 6]
+        s = sup.summary()
+        assert s["n_events"] == 4 and s["events_dropped"] == 3
+
+    def test_default_cap_is_generous_and_unreached(self):
+        sup = Supervisor(beat_timeout=0.1)
+        for k in range(100):
+            sup.escalate("heal", worker=0, step=k)
+        assert sup.events_dropped == 0
+        assert sup.summary()["events_dropped"] == 0
+
+    def test_event_cap_must_be_positive(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            Supervisor(event_cap=0)
+
+    def test_detector_misses_respect_the_cap(self):
+        # A multi-day flapping soak must not grow master memory: the miss
+        # stream is bounded by the ring, and the dropped count keeps the
+        # totals honest.
+        sup = Supervisor(beat_timeout=0.01, max_missed=10**9, event_cap=8)
+        now = 0.0
+        sup.begin_wait(0, count=0, now=now)
+        for k in range(50):
+            now += 1.0  # every observation is a miss
+            sup.observe(0, count=0, now=now, step=k)
+        assert len(sup.events) == 8
+        assert sup.events_dropped == 42

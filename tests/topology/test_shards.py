@@ -1,0 +1,109 @@
+"""Unit tests for the shard-plan layer (partitioning + cut accounting)."""
+
+import numpy as np
+import pytest
+
+from repro.resilience.healing import TopologyHealer
+from repro.topology import make_shard_plan, make_topology, shard_table_view
+
+
+class TestMakeShardPlan:
+    def test_contiguous_partition_covers_all_filters(self):
+        plan = make_shard_plan(make_topology("ring", 12), 3)
+        seen = np.sort(np.concatenate([plan.members(s) for s in range(3)]))
+        np.testing.assert_array_equal(seen, np.arange(12))
+        np.testing.assert_array_equal(plan.counts(), [4, 4, 4])
+
+    def test_ring_contiguous_cut_is_two_edges_per_boundary(self):
+        # Each shard boundary of a contiguous ring partition carries exactly
+        # one directed edge per direction, regardless of the filter count.
+        for n in (8, 16, 64):
+            plan = make_shard_plan(make_topology("ring", n), 2)
+            assert plan.cut_size() == 4
+        assert make_shard_plan(make_topology("ring", 16), 4).cut_size() == 8
+
+    def test_strided_cut_never_beats_contiguous_on_a_ring(self):
+        topo = make_topology("ring", 16)
+        contiguous = make_shard_plan(topo, 4, strategy="contiguous")
+        strided = make_shard_plan(topo, 4, strategy="strided")
+        assert strided.cut_size() >= contiguous.cut_size()
+
+    def test_single_shard_has_no_cut(self):
+        plan = make_shard_plan(make_topology("ring", 8), 1)
+        assert plan.cut_size() == 0
+        assert plan.cut_bytes_per_round(2, 3) == 0
+
+    def test_cut_bytes_formula(self):
+        plan = make_shard_plan(make_topology("ring", 8), 2)
+        t, d = 3, 5
+        expected = plan.cut_size() * t * (d * 4 + 8)
+        assert plan.cut_bytes_per_round(t, d) == expected
+        # Wider states cost proportionally more on the wire.
+        assert plan.cut_bytes_per_round(t, d, state_itemsize=8) == \
+            plan.cut_size() * t * (d * 8 + 8)
+
+    def test_summary_keys(self):
+        s = make_shard_plan(make_topology("torus", 16), 4).summary(
+            n_exchange=2, state_dim=3)
+        assert s["n_filters"] == 16 and s["n_shards"] == 4
+        assert s["shard_sizes"] == [4, 4, 4, 4]
+        assert s["cut_edges"] > 0 and s["cut_bytes_per_round"] > 0
+
+    def test_rejects_bad_shard_counts(self):
+        topo = make_topology("ring", 8)
+        with pytest.raises(ValueError):
+            make_shard_plan(topo, 0)
+        with pytest.raises(ValueError):
+            make_shard_plan(topo, 3)  # does not divide 8
+        with pytest.raises(ValueError):
+            make_shard_plan(topo, 2, strategy="bogus")
+
+
+class TestShardTableView:
+    def _setup(self, n=8, workers=2):
+        topo = make_topology("ring", n)
+        healer = TopologyHealer(topo)
+        table, mask = healer.neighbor_table()
+        block = n // workers
+        owner = np.repeat(np.arange(workers, dtype=np.int64), block)
+        return topo, table, mask, owner, block
+
+    def test_local_and_wire_slots_partition_the_table(self):
+        _, table, mask, owner, block = self._setup()
+        ids = np.arange(block, dtype=np.int64)  # worker 0
+        view = shard_table_view(0, ids, owner, table, mask)
+        n_slots = ids.size * view.n_cols
+        assert view.local_i.size + view.wire_i.size == n_slots
+        # Local sources resolve to rows inside this shard.
+        assert (view.local_src >= 0).all()
+        assert (view.local_src < ids.size).all()
+
+    def test_ring_boundary_filters_are_the_only_wire_consumers(self):
+        _, table, mask, owner, block = self._setup()
+        ids = np.arange(block, dtype=np.int64)
+        view = shard_table_view(0, ids, owner, table, mask)
+        # On a contiguous ring shard only the first and last member have a
+        # cross-shard neighbour.
+        assert set(view.wire_i[view.wire_valid].tolist()) == {0, block - 1}
+        # Valid wire sources live on the *other* shard.
+        srcs = view.wire_src[view.wire_valid]
+        assert (owner[srcs] != 0).all()
+
+    def test_dead_slots_ride_the_wire_as_invalid(self):
+        topo, _, _, owner, block = self._setup()
+        healer = TopologyHealer(topo)
+        healer.mark_dead([block])  # worker 1's first filter
+        table, mask = healer.neighbor_table()
+        ids = np.arange(block, dtype=np.int64)
+        view = shard_table_view(0, ids, owner, table, mask)
+        # Masked slots are wire slots with wire_valid False, so the master
+        # packs the same row-0 + (-inf) filler the dense path uses.
+        assert (~view.wire_valid).any() or (~mask[ids]).sum() == 0
+
+    def test_wire_payload_roundtrip(self):
+        _, table, mask, owner, block = self._setup()
+        ids = np.arange(block, dtype=np.int64)
+        view = shard_table_view(0, ids, owner, table, mask)
+        payload = view.wire_payload()
+        np.testing.assert_array_equal(payload[0], ids)
+        assert payload[1] == view.n_cols
